@@ -1,0 +1,60 @@
+package ubft
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// Tests of the public façade: everything a downstream user touches.
+
+func TestFacadeQuickstart(t *testing.T) {
+	u := New(Options{Seed: 1})
+	defer u.Stop()
+	res, lat := u.InvokeSync(0, []byte("facade"), 10*Millisecond)
+	if string(res) != "edacaf" {
+		t.Fatalf("result = %q", res)
+	}
+	if lat <= 0 || lat > 100*Microsecond {
+		t.Fatalf("latency = %v", lat)
+	}
+}
+
+func TestFacadeApplications(t *testing.T) {
+	if NewFlip() == nil || NewKV(0) == nil || NewRKV() == nil || NewOrderBook() == nil {
+		t.Fatal("application constructors returned nil")
+	}
+	var sm StateMachine = NewKV(4)
+	if sm.Snapshot() == nil {
+		t.Fatal("StateMachine interface not satisfied usefully")
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	un := NewUnreplicated(1, nil)
+	if res, _ := un.InvokeSync([]byte("ab"), 10*Millisecond); string(res) != "ba" {
+		t.Fatalf("unreplicated: %q", res)
+	}
+	mu := NewMu(cluster.MuOptions{Seed: 1})
+	defer mu.Stop()
+	if res, _ := mu.InvokeSync([]byte("ab"), 10*Millisecond); string(res) != "ba" {
+		t.Fatalf("mu: %q", res)
+	}
+	mb := NewMinBFT(cluster.MinBFTOptions{Seed: 1, Mode: MinBFTHMAC})
+	if res, _ := mb.InvokeSync([]byte("ab"), 100*Millisecond); string(res) != "ba" {
+		t.Fatalf("minbft: %q", res)
+	}
+}
+
+func TestFacadeModeConstants(t *testing.T) {
+	// The re-exported mode constants must wire through to real behaviour.
+	u := New(Options{Seed: 1, DisableFastPath: true, CTBMode: SlowOnly})
+	defer u.Stop()
+	res, lat := u.InvokeSync(0, []byte("slow"), 100*Millisecond)
+	if string(res) != "wols" {
+		t.Fatalf("slow mode result: %q", res)
+	}
+	if lat < 100*Microsecond {
+		t.Fatalf("SlowOnly mode suspiciously fast: %v", lat)
+	}
+}

@@ -1,0 +1,23 @@
+// Package app defines the replicated-application interface of the SMR
+// layer and hosts the four applications evaluated in the paper (§7.1):
+// Flip (toy echo-reverser), a Memcached-like key-value store, a Redis-like
+// key-value store with richer operations, and a Liquibook-like financial
+// order matching engine.
+package app
+
+import "repro/internal/sim"
+
+// StateMachine is the deterministic application replicated by uBFT and the
+// baselines. Implementations must be deterministic: the same request
+// sequence produces the same state and the same responses on every replica.
+type StateMachine interface {
+	// Apply executes one request and returns its response.
+	Apply(req []byte) []byte
+	// Snapshot serializes the full application state (checkpointing).
+	Snapshot() []byte
+	// Restore replaces the state with a snapshot (state transfer).
+	Restore(snapshot []byte)
+	// ExecCost returns the virtual CPU time executing req takes, so the
+	// simulation charges realistic application latency.
+	ExecCost(req []byte) sim.Duration
+}

@@ -1,0 +1,439 @@
+package app
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// --- Flip ---------------------------------------------------------------
+
+func TestFlipReverses(t *testing.T) {
+	f := NewFlip()
+	if got := f.Apply([]byte("abc")); string(got) != "cba" {
+		t.Fatalf("Apply = %q", got)
+	}
+	if got := f.Apply(nil); len(got) != 0 {
+		t.Fatalf("empty request: %q", got)
+	}
+}
+
+func TestFlipQuickInvolution(t *testing.T) {
+	f := NewFlip()
+	prop := func(b []byte) bool {
+		return bytes.Equal(f.Apply(f.Apply(b)), b)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlipSnapshotRoundTrip(t *testing.T) {
+	f := NewFlip()
+	for i := 0; i < 5; i++ {
+		f.Apply([]byte("x"))
+	}
+	snap := f.Snapshot()
+	g := NewFlip()
+	g.Restore(snap)
+	if !bytes.Equal(g.Snapshot(), snap) {
+		t.Fatal("snapshot round trip failed")
+	}
+}
+
+func TestFlipExecCostGrowsWithSize(t *testing.T) {
+	f := NewFlip()
+	if f.ExecCost(make([]byte, 4096)) <= f.ExecCost(make([]byte, 16)) {
+		t.Fatal("exec cost should grow with request size")
+	}
+}
+
+// --- KV -----------------------------------------------------------------
+
+func TestKVSetGetDelete(t *testing.T) {
+	kv := NewKV(0)
+	if res := kv.Apply(EncodeKVSet([]byte("k"), []byte("v"))); res[0] != KVStored {
+		t.Fatalf("set: %v", res)
+	}
+	res := kv.Apply(EncodeKVGet([]byte("k")))
+	if res[0] != KVOK || string(res[2:]) != "v" {
+		t.Fatalf("get: %v", res)
+	}
+	if res := kv.Apply(EncodeKVDelete([]byte("k"))); res[0] != KVDeleted {
+		t.Fatalf("delete: %v", res)
+	}
+	if res := kv.Apply(EncodeKVGet([]byte("k"))); res[0] != KVMiss {
+		t.Fatalf("get after delete: %v", res)
+	}
+	if res := kv.Apply(EncodeKVDelete([]byte("k"))); res[0] != KVNotFound {
+		t.Fatalf("double delete: %v", res)
+	}
+}
+
+func TestKVOverwrite(t *testing.T) {
+	kv := NewKV(0)
+	kv.Apply(EncodeKVSet([]byte("k"), []byte("v1")))
+	kv.Apply(EncodeKVSet([]byte("k"), []byte("v2")))
+	res := kv.Apply(EncodeKVGet([]byte("k")))
+	if string(res[2:]) != "v2" {
+		t.Fatalf("overwrite lost: %v", res)
+	}
+	if kv.Len() != 1 {
+		t.Fatalf("len = %d", kv.Len())
+	}
+}
+
+func TestKVEviction(t *testing.T) {
+	kv := NewKV(3)
+	for i := 0; i < 5; i++ {
+		kv.Apply(EncodeKVSet([]byte(fmt.Sprintf("k%d", i)), []byte("v")))
+	}
+	if kv.Len() != 3 {
+		t.Fatalf("len = %d, want 3 (eviction bound)", kv.Len())
+	}
+	// Oldest keys evicted first.
+	if res := kv.Apply(EncodeKVGet([]byte("k0"))); res[0] != KVMiss {
+		t.Fatal("k0 should have been evicted")
+	}
+	if res := kv.Apply(EncodeKVGet([]byte("k4"))); res[0] != KVOK {
+		t.Fatal("k4 should be present")
+	}
+}
+
+func TestKVMalformedRequests(t *testing.T) {
+	kv := NewKV(0)
+	for _, req := range [][]byte{
+		{},
+		{99},
+		{KVGet},
+		{KVSet, 0xFF, 0xFF},
+	} {
+		res := kv.Apply(req)
+		if len(res) != 1 || res[0] != KVBadReq {
+			t.Fatalf("malformed request %v -> %v", req, res)
+		}
+	}
+}
+
+func TestKVSnapshotDeterministic(t *testing.T) {
+	// Two stores filled in different orders must snapshot identically.
+	a, b := NewKV(0), NewKV(0)
+	keys := []string{"zeta", "alpha", "mid"}
+	for _, k := range keys {
+		a.Apply(EncodeKVSet([]byte(k), []byte(k+"-v")))
+	}
+	for i := len(keys) - 1; i >= 0; i-- {
+		b.Apply(EncodeKVSet([]byte(keys[i]), []byte(keys[i]+"-v")))
+	}
+	// Insertion order differs, so the eviction order section differs, but
+	// same-order application on replicas is guaranteed by SMR; here we
+	// check the map section by re-importing.
+	ra, rb := NewKV(0), NewKV(0)
+	ra.Restore(a.Snapshot())
+	rb.Restore(b.Snapshot())
+	for _, k := range keys {
+		va := ra.Apply(EncodeKVGet([]byte(k)))
+		vb := rb.Apply(EncodeKVGet([]byte(k)))
+		if !bytes.Equal(va, vb) {
+			t.Fatalf("restored stores disagree on %q", k)
+		}
+	}
+}
+
+func TestKVQuickSnapshotRestore(t *testing.T) {
+	prop := func(ops [][2][8]byte) bool {
+		kv := NewKV(0)
+		for _, op := range ops {
+			kv.Apply(EncodeKVSet(op[0][:], op[1][:]))
+		}
+		snap := kv.Snapshot()
+		kv2 := NewKV(0)
+		kv2.Restore(snap)
+		return bytes.Equal(kv2.Snapshot(), snap) && kv2.Len() == kv.Len()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- RKV ----------------------------------------------------------------
+
+func TestRKVBasicOps(t *testing.T) {
+	r := NewRKV()
+	if res := r.Apply(EncodeRSet([]byte("k"), []byte("v"))); res[0] != ROK {
+		t.Fatalf("set: %v", res)
+	}
+	if res := r.Apply(EncodeRGet([]byte("k"))); res[0] != ROK || string(res[2:]) != "v" {
+		t.Fatalf("get: %v", res)
+	}
+	if res := r.Apply(EncodeRExists([]byte("k"))); res[0] != ROK || res[1] != 1 {
+		t.Fatalf("exists: %v", res)
+	}
+	if res := r.Apply(EncodeRDel([]byte("k"))); res[0] != ROK {
+		t.Fatalf("del: %v", res)
+	}
+	if res := r.Apply(EncodeRGet([]byte("k"))); res[0] != RMiss {
+		t.Fatalf("get after del: %v", res)
+	}
+	if res := r.Apply(EncodeRDel([]byte("k"))); res[0] != RMiss {
+		t.Fatalf("del of missing: %v", res)
+	}
+}
+
+func TestRKVIncr(t *testing.T) {
+	r := NewRKV()
+	for want := int64(1); want <= 3; want++ {
+		res := r.Apply(EncodeRIncr([]byte("ctr")))
+		if res[0] != ROK {
+			t.Fatalf("incr: %v", res)
+		}
+	}
+	res := r.Apply(EncodeRGet([]byte("ctr")))
+	if string(res[2:]) != "3" {
+		t.Fatalf("counter = %q, want 3", res[2:])
+	}
+	// INCR on a non-numeric value errors.
+	r.Apply(EncodeRSet([]byte("s"), []byte("not-a-number")))
+	if res := r.Apply(EncodeRIncr([]byte("s"))); res[0] != RErr {
+		t.Fatalf("incr on string: %v", res)
+	}
+}
+
+func TestRKVAppend(t *testing.T) {
+	r := NewRKV()
+	r.Apply(EncodeRAppend([]byte("k"), []byte("foo")))
+	r.Apply(EncodeRAppend([]byte("k"), []byte("bar")))
+	res := r.Apply(EncodeRGet([]byte("k")))
+	if string(res[2:]) != "foobar" {
+		t.Fatalf("append result: %q", res[2:])
+	}
+}
+
+func TestRKVMGet(t *testing.T) {
+	r := NewRKV()
+	r.Apply(EncodeRSet([]byte("a"), []byte("1")))
+	r.Apply(EncodeRSet([]byte("c"), []byte("3")))
+	res := r.Apply(EncodeRMGet([]byte("a"), []byte("b"), []byte("c")))
+	if res[0] != ROK {
+		t.Fatalf("mget: %v", res)
+	}
+}
+
+func TestRKVSnapshotRoundTrip(t *testing.T) {
+	r := NewRKV()
+	for i := 0; i < 20; i++ {
+		r.Apply(EncodeRSet([]byte(fmt.Sprintf("k%02d", i)), []byte(fmt.Sprintf("v%d", i))))
+	}
+	snap := r.Snapshot()
+	r2 := NewRKV()
+	r2.Restore(snap)
+	if !bytes.Equal(r2.Snapshot(), snap) || r2.Len() != 20 {
+		t.Fatal("snapshot round trip failed")
+	}
+}
+
+func TestRKVMalformed(t *testing.T) {
+	r := NewRKV()
+	for _, req := range [][]byte{{}, {77}, {RGet}, {RMGet, 0xFF}} {
+		if res := r.Apply(req); res[0] != RBadReq {
+			t.Fatalf("malformed %v -> %v", req, res)
+		}
+	}
+}
+
+// --- OrderBook ----------------------------------------------------------
+
+func TestOrderBookRestingAndCrossing(t *testing.T) {
+	ob := NewOrderBook()
+	// Non-crossing orders rest.
+	ob.Apply(EncodeOrder(OpBuy, 99, 10))
+	ob.Apply(EncodeOrder(OpSell, 101, 10))
+	if ob.BidCount() != 1 || ob.AskCount() != 1 {
+		t.Fatalf("book depth: %d bids %d asks", ob.BidCount(), ob.AskCount())
+	}
+	// A crossing buy takes the ask.
+	res := ob.Apply(EncodeOrder(OpBuy, 101, 10))
+	_, _, remaining, fills, err := DecodeOrderResp(res)
+	if err != nil || remaining != 0 || len(fills) != 1 || fills[0].Price != 101 {
+		t.Fatalf("cross: remaining=%d fills=%v err=%v", remaining, fills, err)
+	}
+	if ob.AskCount() != 0 {
+		t.Fatal("ask not consumed")
+	}
+}
+
+func TestOrderBookPriceTimePriority(t *testing.T) {
+	ob := NewOrderBook()
+	ob.Apply(EncodeOrder(OpSell, 100, 5)) // order 1: best price, earliest
+	ob.Apply(EncodeOrder(OpSell, 100, 5)) // order 2: same price, later
+	ob.Apply(EncodeOrder(OpSell, 99, 5))  // order 3: better price
+	res := ob.Apply(EncodeOrder(OpBuy, 100, 12))
+	_, _, _, fills, _ := DecodeOrderResp(res)
+	if len(fills) != 3 {
+		t.Fatalf("fills: %v", fills)
+	}
+	// Best price first (order 3 @99), then time priority (1 before 2).
+	if fills[0].MakerID != 3 || fills[0].Price != 99 {
+		t.Fatalf("price priority violated: %+v", fills[0])
+	}
+	if fills[1].MakerID != 1 || fills[2].MakerID != 2 {
+		t.Fatalf("time priority violated: %+v", fills)
+	}
+}
+
+func TestOrderBookPartialFill(t *testing.T) {
+	ob := NewOrderBook()
+	ob.Apply(EncodeOrder(OpSell, 100, 4))
+	res := ob.Apply(EncodeOrder(OpBuy, 100, 10))
+	_, _, remaining, fills, _ := DecodeOrderResp(res)
+	if remaining != 6 || len(fills) != 1 || fills[0].Qty != 4 {
+		t.Fatalf("partial fill: remaining=%d fills=%v", remaining, fills)
+	}
+	if ob.BidCount() != 1 {
+		t.Fatal("remainder should rest on the bid side")
+	}
+}
+
+func TestOrderBookCancel(t *testing.T) {
+	ob := NewOrderBook()
+	res := ob.Apply(EncodeOrder(OpSell, 100, 4))
+	_, id, _, _, _ := DecodeOrderResp(res)
+	res = ob.Apply(EncodeCancel(id))
+	ok, _, _, _, _ := DecodeOrderResp(res)
+	if !ok || ob.AskCount() != 0 {
+		t.Fatal("cancel failed")
+	}
+	res = ob.Apply(EncodeCancel(id))
+	ok, _, _, _, _ = DecodeOrderResp(res)
+	if ok {
+		t.Fatal("double cancel should fail")
+	}
+}
+
+func TestOrderBookZeroQtyRejected(t *testing.T) {
+	ob := NewOrderBook()
+	res := ob.Apply(EncodeOrder(OpBuy, 100, 0))
+	ok, _, _, _, _ := DecodeOrderResp(res)
+	if ok {
+		t.Fatal("zero-quantity order accepted")
+	}
+}
+
+func TestOrderBookSnapshotRoundTrip(t *testing.T) {
+	ob := NewOrderBook()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		side := uint8(OpBuy)
+		if rng.Intn(2) == 1 {
+			side = OpSell
+		}
+		ob.Apply(EncodeOrder(side, 90+uint64(rng.Intn(20)), uint64(1+rng.Intn(9))))
+	}
+	snap := ob.Snapshot()
+	ob2 := NewOrderBook()
+	ob2.Restore(snap)
+	if !bytes.Equal(ob2.Snapshot(), snap) {
+		t.Fatal("snapshot round trip failed")
+	}
+	if ob2.BidCount() != ob.BidCount() || ob2.AskCount() != ob.AskCount() {
+		t.Fatal("book depth changed across restore")
+	}
+}
+
+// TestOrderBookQuickConservation checks the core matching invariant:
+// every submitted unit of quantity is either matched (once as taker, once
+// as maker) or still resting in the book.
+func TestOrderBookQuickConservation(t *testing.T) {
+	direct := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ob := NewOrderBook()
+		var submitted, matched uint64
+		for i := 0; i < 100; i++ {
+			side := uint8(OpBuy)
+			if rng.Intn(2) == 1 {
+				side = OpSell
+			}
+			qty := uint64(1 + rng.Intn(9))
+			submitted += qty
+			res := ob.Apply(EncodeOrder(side, 95+uint64(rng.Intn(10)), qty))
+			_, _, _, fills, err := DecodeOrderResp(res)
+			if err != nil {
+				return false
+			}
+			for _, f := range fills {
+				matched += f.Qty // maker volume == taker volume per fill
+			}
+		}
+		// Every submitted unit is either matched (once as taker, once as
+		// maker => 2*matched) or still resting.
+		return submitted == 2*matched+restingVolume(ob)
+	}
+	if err := quick.Check(direct, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// restingVolume sums the open quantity on both sides via the snapshot.
+func restingVolume(ob *OrderBook) uint64 {
+	total := uint64(0)
+	for _, o := range ob.bids {
+		total += o.Qty
+	}
+	for _, o := range ob.asks {
+		total += o.Qty
+	}
+	return total
+}
+
+// TestOrderBookNoCrossedBookInvariant: after any sequence of orders, the
+// best bid is strictly below the best ask (otherwise they would have
+// matched).
+func TestOrderBookNoCrossedBookInvariant(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ob := NewOrderBook()
+		for i := 0; i < 150; i++ {
+			side := uint8(OpBuy)
+			if rng.Intn(2) == 1 {
+				side = OpSell
+			}
+			ob.Apply(EncodeOrder(side, 90+uint64(rng.Intn(21)), uint64(1+rng.Intn(5))))
+			if len(ob.bids) > 0 && len(ob.asks) > 0 && ob.bids[0].Price >= ob.asks[0].Price {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAppsDeterminism feeds the same request stream to two instances of
+// every app and requires identical responses and snapshots — the property
+// SMR depends on.
+func TestAppsDeterminism(t *testing.T) {
+	builders := map[string]func() StateMachine{
+		"flip": func() StateMachine { return NewFlip() },
+		"kv":   func() StateMachine { return NewKV(64) },
+		"rkv":  func() StateMachine { return NewRKV() },
+		"ob":   func() StateMachine { return NewOrderBook() },
+	}
+	for name, mk := range builders {
+		a, b := mk(), mk()
+		rng := rand.New(rand.NewSource(9))
+		for i := 0; i < 300; i++ {
+			req := make([]byte, 1+rng.Intn(40))
+			rng.Read(req)
+			ra, rb := a.Apply(req), b.Apply(req)
+			if !bytes.Equal(ra, rb) {
+				t.Fatalf("%s: nondeterministic response at step %d", name, i)
+			}
+		}
+		if !bytes.Equal(a.Snapshot(), b.Snapshot()) {
+			t.Fatalf("%s: nondeterministic snapshot", name)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package app
+
+import (
+	"sort"
+	"strconv"
+
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// RKV is a Redis-like store (§7.1): on top of GET/SET/DEL it supports
+// INCR, APPEND, EXISTS and MGET, mirroring the richer command surface (and
+// slightly higher per-request cost) of Redis compared to Memcached.
+type RKV struct {
+	m map[string][]byte
+}
+
+// RKV opcodes.
+const (
+	RGet    uint8 = 1
+	RSet    uint8 = 2
+	RDel    uint8 = 3
+	RIncr   uint8 = 4
+	RAppend uint8 = 5
+	RExists uint8 = 6
+	RMGet   uint8 = 7
+)
+
+// RKV status codes.
+const (
+	ROK     uint8 = 0
+	RMiss   uint8 = 1
+	RBadReq uint8 = 2
+	RErr    uint8 = 3
+)
+
+// NewRKV creates an empty store.
+func NewRKV() *RKV { return &RKV{m: make(map[string][]byte)} }
+
+// EncodeRGet builds a GET request.
+func EncodeRGet(key []byte) []byte { return encodeKeyOp(RGet, key) }
+
+// EncodeRDel builds a DEL request.
+func EncodeRDel(key []byte) []byte { return encodeKeyOp(RDel, key) }
+
+// EncodeRIncr builds an INCR request.
+func EncodeRIncr(key []byte) []byte { return encodeKeyOp(RIncr, key) }
+
+// EncodeRExists builds an EXISTS request.
+func EncodeRExists(key []byte) []byte { return encodeKeyOp(RExists, key) }
+
+func encodeKeyOp(op uint8, key []byte) []byte {
+	w := wire.NewWriter(8 + len(key))
+	w.U8(op)
+	w.Bytes(key)
+	return w.Finish()
+}
+
+// EncodeRSet builds a SET request.
+func EncodeRSet(key, value []byte) []byte {
+	w := wire.NewWriter(16 + len(key) + len(value))
+	w.U8(RSet)
+	w.Bytes(key)
+	w.Bytes(value)
+	return w.Finish()
+}
+
+// EncodeRAppend builds an APPEND request.
+func EncodeRAppend(key, value []byte) []byte {
+	w := wire.NewWriter(16 + len(key) + len(value))
+	w.U8(RAppend)
+	w.Bytes(key)
+	w.Bytes(value)
+	return w.Finish()
+}
+
+// EncodeRMGet builds an MGET request over several keys.
+func EncodeRMGet(keys ...[]byte) []byte {
+	w := wire.NewWriter(64)
+	w.U8(RMGet)
+	w.Uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		w.Bytes(k)
+	}
+	return w.Finish()
+}
+
+// Apply executes one command.
+func (r *RKV) Apply(req []byte) []byte {
+	rd := wire.NewReader(req)
+	op := rd.U8()
+	switch op {
+	case RGet:
+		key := rd.Bytes()
+		if rd.Done() != nil {
+			return []byte{RBadReq}
+		}
+		v, ok := r.m[string(key)]
+		if !ok {
+			return []byte{RMiss}
+		}
+		w := wire.NewWriter(4 + len(v))
+		w.U8(ROK)
+		w.Bytes(v)
+		return w.Finish()
+	case RSet:
+		key, val := rd.Bytes(), rd.Bytes()
+		if rd.Done() != nil {
+			return []byte{RBadReq}
+		}
+		r.m[string(key)] = val
+		return []byte{ROK}
+	case RDel:
+		key := rd.Bytes()
+		if rd.Done() != nil {
+			return []byte{RBadReq}
+		}
+		if _, ok := r.m[string(key)]; !ok {
+			return []byte{RMiss}
+		}
+		delete(r.m, string(key))
+		return []byte{ROK}
+	case RIncr:
+		key := rd.Bytes()
+		if rd.Done() != nil {
+			return []byte{RBadReq}
+		}
+		cur := int64(0)
+		if v, ok := r.m[string(key)]; ok {
+			n, err := strconv.ParseInt(string(v), 10, 64)
+			if err != nil {
+				return []byte{RErr}
+			}
+			cur = n
+		}
+		cur++
+		r.m[string(key)] = []byte(strconv.FormatInt(cur, 10))
+		w := wire.NewWriter(16)
+		w.U8(ROK)
+		w.I64(cur)
+		return w.Finish()
+	case RAppend:
+		key, val := rd.Bytes(), rd.Bytes()
+		if rd.Done() != nil {
+			return []byte{RBadReq}
+		}
+		k := string(key)
+		r.m[k] = append(r.m[k], val...)
+		w := wire.NewWriter(16)
+		w.U8(ROK)
+		w.Uvarint(uint64(len(r.m[k])))
+		return w.Finish()
+	case RExists:
+		key := rd.Bytes()
+		if rd.Done() != nil {
+			return []byte{RBadReq}
+		}
+		_, ok := r.m[string(key)]
+		w := wire.NewWriter(4)
+		w.U8(ROK)
+		w.Bool(ok)
+		return w.Finish()
+	case RMGet:
+		n := int(rd.Uvarint())
+		if n > 1024 {
+			return []byte{RBadReq}
+		}
+		keys := make([][]byte, 0, n)
+		for i := 0; i < n; i++ {
+			keys = append(keys, rd.Bytes())
+		}
+		if rd.Done() != nil {
+			return []byte{RBadReq}
+		}
+		w := wire.NewWriter(64)
+		w.U8(ROK)
+		w.Uvarint(uint64(len(keys)))
+		for _, k := range keys {
+			v, ok := r.m[string(k)]
+			w.Bool(ok)
+			if ok {
+				w.Bytes(v)
+			}
+		}
+		return w.Finish()
+	default:
+		return []byte{RBadReq}
+	}
+}
+
+// Len returns the number of keys.
+func (r *RKV) Len() int { return len(r.m) }
+
+// Snapshot serializes the store deterministically.
+func (r *RKV) Snapshot() []byte {
+	keys := make([]string, 0, len(r.m))
+	for k := range r.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w := wire.NewWriter(64 * len(keys))
+	w.Uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		w.String(k)
+		w.Bytes(r.m[k])
+	}
+	return w.Finish()
+}
+
+// Restore replaces the store from a snapshot.
+func (r *RKV) Restore(snap []byte) {
+	rd := wire.NewReader(snap)
+	n := int(rd.Uvarint())
+	r.m = make(map[string][]byte, n)
+	for i := 0; i < n; i++ {
+		k := rd.String()
+		r.m[k] = rd.Bytes()
+	}
+}
+
+// ExecCost models the Redis server path (single-threaded event loop,
+// command dispatch). Calibrated against Figure 7: Redis unreplicated p90
+// is 17.62 us, slightly above Memcached.
+func (r *RKV) ExecCost(req []byte) sim.Duration {
+	return 14800*sim.Nanosecond + sim.Duration(len(req)/16)*sim.Nanosecond
+}

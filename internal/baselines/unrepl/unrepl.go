@@ -1,0 +1,105 @@
+// Package unrepl is the paper's "Unreplicated" baseline (§7.1-7.2): a
+// single server executing client requests over the same RPC fabric, with
+// no fault tolerance. It sets the latency floor every replicated system is
+// compared against.
+package unrepl
+
+import (
+	"repro/internal/app"
+	"repro/internal/ids"
+	"repro/internal/latmodel"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+const (
+	tagRequest  uint8 = 1
+	tagResponse uint8 = 2
+)
+
+// Server executes requests on a single state machine.
+type Server struct {
+	rt  *router.Router
+	app app.StateMachine
+}
+
+// NewServer wires the server onto its host router.
+func NewServer(rt *router.Router, a app.StateMachine) *Server {
+	s := &Server{rt: rt, app: a}
+	rt.Register(router.ChanRPC, s.onRequest)
+	return s
+}
+
+func (s *Server) onRequest(from ids.ID, payload []byte) {
+	rd := wire.NewReader(payload)
+	if rd.U8() != tagRequest {
+		return
+	}
+	num := rd.U64()
+	req := rd.Bytes()
+	if rd.Done() != nil {
+		return
+	}
+	proc := s.rt.Node().Proc()
+	proc.Charge(s.app.ExecCost(req) + latmodel.AppExecBase)
+	result := s.app.Apply(req)
+	w := wire.NewWriter(16 + len(result))
+	w.U8(tagResponse)
+	w.U64(num)
+	w.Bytes(result)
+	s.rt.Send(from, router.ChanRPC, w.Finish())
+}
+
+// Client is the unreplicated client.
+type Client struct {
+	rt      *router.Router
+	proc    *sim.Proc
+	server  ids.ID
+	nextNum uint64
+	pending map[uint64]pendingCall
+}
+
+type pendingCall struct {
+	started sim.Time
+	done    func([]byte, sim.Duration)
+}
+
+// NewClient wires a client that talks to server.
+func NewClient(rt *router.Router, server ids.ID) *Client {
+	c := &Client{rt: rt, proc: rt.Node().Proc(), server: server, pending: make(map[uint64]pendingCall)}
+	rt.Register(router.ChanRPC, c.onResponse)
+	return c
+}
+
+// Invoke sends one request; done receives the result and latency.
+func (c *Client) Invoke(payload []byte, done func(result []byte, latency sim.Duration)) {
+	c.nextNum++
+	c.pending[c.nextNum] = pendingCall{started: c.proc.Now(), done: done}
+	w := wire.NewWriter(16 + len(payload))
+	w.U8(tagRequest)
+	w.U64(c.nextNum)
+	w.Bytes(payload)
+	c.rt.Send(c.server, router.ChanRPC, w.Finish())
+}
+
+func (c *Client) onResponse(from ids.ID, payload []byte) {
+	if from != c.server {
+		return
+	}
+	rd := wire.NewReader(payload)
+	if rd.U8() != tagResponse {
+		return
+	}
+	num := rd.U64()
+	result := rd.Bytes()
+	if rd.Done() != nil {
+		return
+	}
+	p, ok := c.pending[num]
+	if !ok {
+		return
+	}
+	delete(c.pending, num)
+	p.done(result, c.proc.Now().Sub(p.started))
+}

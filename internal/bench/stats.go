@@ -1,0 +1,89 @@
+// Package bench is the paper-reproduction harness: workload generators,
+// latency statistics and one runner per table/figure of the evaluation
+// (§7). Each figure function returns structured rows and can print them in
+// the same layout the paper uses, so EXPERIMENTS.md can be regenerated
+// mechanically.
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Recorder accumulates latency samples and answers percentile queries.
+type Recorder struct {
+	samples []sim.Duration
+	sorted  bool
+}
+
+// NewRecorder returns an empty recorder with capacity for n samples.
+func NewRecorder(n int) *Recorder { return &Recorder{samples: make([]sim.Duration, 0, n)} }
+
+// Add records one sample.
+func (r *Recorder) Add(d sim.Duration) {
+	r.samples = append(r.samples, d)
+	r.sorted = false
+}
+
+// Count returns the number of samples.
+func (r *Recorder) Count() int { return len(r.samples) }
+
+func (r *Recorder) sort() {
+	if !r.sorted {
+		sort.Slice(r.samples, func(i, j int) bool { return r.samples[i] < r.samples[j] })
+		r.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) using
+// nearest-rank. It panics on an empty recorder: asking for percentiles of
+// nothing is always a harness bug.
+func (r *Recorder) Percentile(p float64) sim.Duration {
+	if len(r.samples) == 0 {
+		panic("bench: percentile of empty recorder")
+	}
+	r.sort()
+	rank := int(p/100*float64(len(r.samples))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(r.samples) {
+		rank = len(r.samples) - 1
+	}
+	return r.samples[rank]
+}
+
+// Median returns the 50th percentile.
+func (r *Recorder) Median() sim.Duration { return r.Percentile(50) }
+
+// Min returns the smallest sample.
+func (r *Recorder) Min() sim.Duration {
+	r.sort()
+	return r.samples[0]
+}
+
+// Max returns the largest sample.
+func (r *Recorder) Max() sim.Duration {
+	r.sort()
+	return r.samples[len(r.samples)-1]
+}
+
+// Mean returns the arithmetic mean.
+func (r *Recorder) Mean() sim.Duration {
+	if len(r.samples) == 0 {
+		panic("bench: mean of empty recorder")
+	}
+	var total sim.Duration
+	for _, s := range r.samples {
+		total += s
+	}
+	return total / sim.Duration(len(r.samples))
+}
+
+// Summary formats the p50/p90/p95/p99 line used throughout the harness.
+func (r *Recorder) Summary() string {
+	return fmt.Sprintf("p50=%v p90=%v p95=%v p99=%v n=%d",
+		r.Percentile(50), r.Percentile(90), r.Percentile(95), r.Percentile(99), r.Count())
+}

@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"math/rand"
+
+	"repro/internal/app"
+)
+
+// Workload produces a deterministic request stream for one application.
+type Workload interface {
+	// Next returns the next request payload.
+	Next() []byte
+}
+
+// FlipWorkload produces fixed-size Flip requests (§7.1: 32 B).
+type FlipWorkload struct {
+	size int
+	rng  *rand.Rand
+	buf  []byte
+}
+
+// NewFlipWorkload builds the workload with the given request size.
+func NewFlipWorkload(size int, rng *rand.Rand) *FlipWorkload {
+	return &FlipWorkload{size: size, rng: rng, buf: make([]byte, size)}
+}
+
+// Next returns a fresh random payload of the configured size.
+func (w *FlipWorkload) Next() []byte {
+	out := make([]byte, w.size)
+	w.rng.Read(out)
+	return out
+}
+
+// KVWorkload reproduces the paper's key-value workload (§7.1): 16 B keys,
+// 32 B values, 30% GETs of which 80% hit (so 70% SETs, and GET keys are
+// drawn from previously written keys 80% of the time).
+type KVWorkload struct {
+	rng      *rand.Rand
+	written  [][]byte
+	keyLen   int
+	valLen   int
+	getRatio float64
+	hitRatio float64
+	redis    bool
+}
+
+// NewKVWorkload builds the Memcached-shaped workload.
+func NewKVWorkload(rng *rand.Rand) *KVWorkload {
+	return &KVWorkload{rng: rng, keyLen: 16, valLen: 32, getRatio: 0.30, hitRatio: 0.80}
+}
+
+// NewRKVWorkload builds the same mixture encoded for the Redis-like store.
+func NewRKVWorkload(rng *rand.Rand) *KVWorkload {
+	w := NewKVWorkload(rng)
+	w.redis = true
+	return w
+}
+
+func (w *KVWorkload) randKey() []byte {
+	k := make([]byte, w.keyLen)
+	w.rng.Read(k)
+	return k
+}
+
+// Next returns the next GET or SET.
+func (w *KVWorkload) Next() []byte {
+	if w.rng.Float64() < w.getRatio && len(w.written) > 0 {
+		var key []byte
+		if w.rng.Float64() < w.hitRatio {
+			key = w.written[w.rng.Intn(len(w.written))]
+		} else {
+			key = w.randKey()
+		}
+		if w.redis {
+			return app.EncodeRGet(key)
+		}
+		return app.EncodeKVGet(key)
+	}
+	key := w.randKey()
+	val := make([]byte, w.valLen)
+	w.rng.Read(val)
+	if len(w.written) < 4096 {
+		w.written = append(w.written, key)
+	}
+	if w.redis {
+		return app.EncodeRSet(key, val)
+	}
+	return app.EncodeKVSet(key, val)
+}
+
+// OrderWorkload reproduces the Liquibook workload (§7.1): 32 B orders,
+// 50% BUY / 50% SELL around a drifting mid price.
+type OrderWorkload struct {
+	rng *rand.Rand
+	mid uint64
+}
+
+// NewOrderWorkload builds the order stream.
+func NewOrderWorkload(rng *rand.Rand) *OrderWorkload {
+	return &OrderWorkload{rng: rng, mid: 10_000}
+}
+
+// Next returns the next order.
+func (w *OrderWorkload) Next() []byte {
+	side := app.OpBuy
+	if w.rng.Intn(2) == 1 {
+		side = app.OpSell
+	}
+	// Limit prices hover around the mid so roughly half the orders cross.
+	offset := uint64(w.rng.Intn(8))
+	price := w.mid
+	if side == app.OpBuy {
+		price += offset
+	} else {
+		price -= offset
+	}
+	if w.rng.Intn(64) == 0 {
+		w.mid += uint64(w.rng.Intn(3)) - 1
+	}
+	qty := uint64(1 + w.rng.Intn(10))
+	return app.EncodeOrder(side, price, qty)
+}

@@ -1,0 +1,199 @@
+// Package cluster assembles complete uBFT deployments on the simulated
+// fabric: 2f+1 replica hosts, 2f_m+1 memory nodes, clients, key registry
+// and network, wired exactly as in the paper's testbed (§7: 1 client, 3
+// replicas, 3 memory nodes on one switch). It is the top-level entry point
+// the examples and the benchmark harness build on.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/app"
+	"repro/internal/consensus"
+	"repro/internal/ctbcast"
+	"repro/internal/ids"
+	"repro/internal/memnode"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/xcrypto"
+)
+
+// ID allocation: replicas at 0.., memory nodes at 100.., clients at 200..
+const (
+	memNodeIDBase = 100
+	clientIDBase  = 200
+)
+
+// Options configures a uBFT cluster. Zero values take the paper's defaults.
+type Options struct {
+	Seed       int64
+	F          int // replica fault threshold (default 1 -> 3 replicas)
+	Fm         int // memory-node fault threshold (default 1 -> 3 memory nodes)
+	NumClients int // default 1
+
+	Window int // consensus window (paper default 256)
+	Tail   int // CTBcast tail t (paper default 128)
+	MsgCap int // max request size (default 8 KiB)
+
+	// FastPath enables uBFT's fast path (default on via
+	// DisableFastPath=false).
+	DisableFastPath   bool
+	CTBMode           ctbcast.PathMode
+	SlowPathDelay     sim.Duration
+	CTBSlowDelay      sim.Duration
+	ViewChangeTimeout sim.Duration // 0 disables view changes
+	EchoTimeout       sim.Duration // 0 disables the echo round
+	BatchSize         int          // >1 enables leader-side batching (§9 extension)
+
+	// NewApp builds one state-machine instance per replica; nil defaults
+	// to Flip.
+	NewApp func() app.StateMachine
+
+	// NetOptions overrides the network model (defaults to RDMA-class).
+	NetOptions *simnet.Options
+}
+
+func (o *Options) fill() {
+	if o.F == 0 {
+		o.F = 1
+	}
+	if o.Fm == 0 {
+		o.Fm = 1
+	}
+	if o.NumClients == 0 {
+		o.NumClients = 1
+	}
+	if o.Window == 0 {
+		o.Window = 256
+	}
+	if o.Tail == 0 {
+		o.Tail = 128
+	}
+	if o.MsgCap == 0 {
+		o.MsgCap = 8192
+	}
+	if o.EchoTimeout == 0 {
+		o.EchoTimeout = 100 * sim.Microsecond
+	}
+	if o.NewApp == nil {
+		o.NewApp = func() app.StateMachine { return app.NewFlip() }
+	}
+}
+
+// UBFT is an assembled cluster.
+type UBFT struct {
+	Eng      *sim.Engine
+	Net      *simnet.Network
+	Registry *xcrypto.Registry
+	Replicas []*consensus.Replica
+	Apps     []app.StateMachine
+	MemNodes []*memnode.Node
+	Clients  []*consensus.Client
+
+	ReplicaIDs []ids.ID
+	MemNodeIDs []ids.ID
+	ClientIDs  []ids.ID
+}
+
+// NewUBFT builds and wires a cluster. The engine starts at virtual time 0;
+// call Run* on u.Eng to execute.
+func NewUBFT(opts Options) *UBFT {
+	opts.fill()
+	u := &UBFT{Eng: sim.NewEngine(opts.Seed)}
+	netOpts := simnet.RDMAOptions()
+	if opts.NetOptions != nil {
+		netOpts = *opts.NetOptions
+	}
+	u.Net = simnet.New(u.Eng, netOpts)
+
+	n := 2*opts.F + 1
+	nm := 2*opts.Fm + 1
+	for i := 0; i < n; i++ {
+		u.ReplicaIDs = append(u.ReplicaIDs, ids.ID(i))
+	}
+	for i := 0; i < nm; i++ {
+		u.MemNodeIDs = append(u.MemNodeIDs, ids.ID(memNodeIDBase+i))
+	}
+	for i := 0; i < opts.NumClients; i++ {
+		u.ClientIDs = append(u.ClientIDs, ids.ID(clientIDBase+i))
+	}
+
+	// Keys for replicas and clients (memory nodes do not sign).
+	all := append(append([]ids.ID{}, u.ReplicaIDs...), u.ClientIDs...)
+	u.Registry = xcrypto.NewRegistry(opts.Seed+1, all)
+
+	// Memory nodes.
+	for i, id := range u.MemNodeIDs {
+		rt := router.New(u.Net.AddNode(id, fmt.Sprintf("mem%d", i)))
+		u.MemNodes = append(u.MemNodes, memnode.New(rt))
+	}
+
+	cfgFor := func(self ids.ID, a app.StateMachine) consensus.Config {
+		return consensus.Config{
+			Self:              self,
+			Replicas:          u.ReplicaIDs,
+			F:                 opts.F,
+			MemNodes:          u.MemNodeIDs,
+			Fm:                opts.Fm,
+			Window:            opts.Window,
+			Tail:              opts.Tail,
+			MsgCap:            opts.MsgCap,
+			FastPath:          !opts.DisableFastPath,
+			SlowPathDelay:     opts.SlowPathDelay,
+			CTBMode:           opts.CTBMode,
+			CTBSlowDelay:      opts.CTBSlowDelay,
+			ViewChangeTimeout: opts.ViewChangeTimeout,
+			EchoTimeout:       opts.EchoTimeout,
+			BatchSize:         opts.BatchSize,
+			App:               a,
+		}
+	}
+	consensus.AllocateCluster(cfgFor(u.ReplicaIDs[0], opts.NewApp()), u.MemNodes)
+
+	for i, id := range u.ReplicaIDs {
+		rt := router.New(u.Net.AddNode(id, fmt.Sprintf("replica%d", i)))
+		a := opts.NewApp()
+		u.Apps = append(u.Apps, a)
+		u.Replicas = append(u.Replicas, consensus.NewReplica(cfgFor(id, a), consensus.Deps{
+			RT:       rt,
+			Registry: u.Registry,
+		}))
+	}
+
+	for i, id := range u.ClientIDs {
+		rt := router.New(u.Net.AddNode(id, fmt.Sprintf("client%d", i)))
+		u.Clients = append(u.Clients, consensus.NewClient(rt, u.ReplicaIDs, opts.F))
+	}
+	return u
+}
+
+// Client returns client i (panics if absent).
+func (u *UBFT) Client(i int) *consensus.Client { return u.Clients[i] }
+
+// Stop tears down background timers on all replicas.
+func (u *UBFT) Stop() {
+	for _, r := range u.Replicas {
+		r.Stop()
+	}
+}
+
+// InvokeSync submits a request from client ci and runs the engine until the
+// result arrives or maxWait elapses. It returns the result and the
+// end-to-end latency (latency < 0 means timeout).
+func (u *UBFT) InvokeSync(ci int, payload []byte, maxWait sim.Duration) ([]byte, sim.Duration) {
+	var result []byte
+	lat := sim.Duration(-1)
+	doneAt := sim.Time(-1)
+	u.Clients[ci].Invoke(payload, func(res []byte, l sim.Duration) {
+		result, lat = res, l
+		doneAt = u.Eng.Now()
+	})
+	deadline := u.Eng.Now().Add(maxWait)
+	for u.Eng.Now() < deadline && doneAt < 0 {
+		if !u.Eng.Step() {
+			break
+		}
+	}
+	return result, lat
+}

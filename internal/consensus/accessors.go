@@ -1,0 +1,51 @@
+package consensus
+
+// Accessors used by tests, the benchmark harness and the memory-consumption
+// accounting (Table 2).
+
+// Checkpoint returns the replica's current stable checkpoint.
+func (r *Replica) Checkpoint() Checkpoint { return r.chkpt }
+
+// SlotStateCount returns how many per-slot state entries are retained
+// (bounded by the window — the finite-memory claim).
+func (r *Replica) SlotStateCount() int { return len(r.slots) }
+
+// PendingProposals returns the leader's queued, not-yet-proposed requests.
+func (r *Replica) PendingProposals() int { return len(r.proposeQ) }
+
+// Groups exposes per-broadcaster CTBcast statistics.
+func (r *Replica) GroupStats() (fast, slow, summaries uint64) {
+	for _, g := range r.groups {
+		fast += g.FastDeliveries
+		slow += g.SlowDeliveries
+		summaries += g.SummariesUsed
+	}
+	return
+}
+
+// DisaggregatedBytes returns this replica's share of disaggregated memory
+// on ONE memory node: the SWMR regions of all its CTBcast groups.
+func (r *Replica) DisaggregatedBytes() int {
+	total := 0
+	for _, g := range r.groups {
+		total += g.AllocatedDisaggregatedBytes()
+	}
+	// Every replica participates in the same n groups; the per-node total
+	// is shared, so report it once (groups are identical across replicas).
+	return total / r.cfg.n()
+}
+
+// LocalBytes approximates this replica's preallocated local memory: ring
+// mirrors and buffers of all broadcast channels plus per-window request
+// buffers. This drives the Table 2 reproduction.
+func (r *Replica) LocalBytes() int {
+	total := 0
+	for _, g := range r.groups {
+		total += g.AllocatedLocalBytes()
+	}
+	total += r.auxOut.AllocatedBytes()
+	// Window request buffers (prepares, commits, certified state) at
+	// MsgCap granularity, for every peer.
+	total += r.cfg.Window * r.cfg.MsgCap * r.cfg.n()
+	return total
+}

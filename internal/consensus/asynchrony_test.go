@@ -1,0 +1,100 @@
+package consensus_test
+
+// Eventual-synchrony tests (paper §2.4): before GST the network delays and
+// drops messages arbitrarily; safety must hold throughout and liveness
+// must resume after GST.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+func TestLivenessResumesAfterGST(t *testing.T) {
+	netOpts := simnet.RDMAOptions()
+	netOpts.GST = sim.Time(5 * sim.Millisecond)
+	netOpts.AsyncExtraMax = 2 * sim.Millisecond
+	netOpts.AsyncDropProb = 0.3
+	u := flipCluster(cluster.Options{
+		Seed:              5,
+		NetOptions:        &netOpts,
+		NewApp:            func() app.StateMachine { return app.NewKV(0) },
+		ViewChangeTimeout: 2 * sim.Millisecond,
+		SlowPathDelay:     200 * sim.Microsecond,
+		CTBSlowDelay:      200 * sim.Microsecond,
+		Window:            16,
+		Tail:              8,
+	})
+	defer u.Stop()
+
+	// Requests during the asynchronous period: may or may not complete.
+	preGST := 0
+	for i := 0; i < 5; i++ {
+		key := []byte(fmt.Sprintf("pre%d", i))
+		if res, _ := u.InvokeSync(0, app.EncodeKVSet(key, []byte("v")), sim.Millisecond); res != nil {
+			preGST++
+		}
+	}
+	// Cross GST and let retransmissions drain.
+	u.Eng.RunUntil(sim.Time(6 * sim.Millisecond))
+
+	// After GST every request must complete.
+	for i := 0; i < 5; i++ {
+		key := []byte(fmt.Sprintf("post%d", i))
+		res, _ := u.InvokeSync(0, app.EncodeKVSet(key, []byte("v")), 200*sim.Millisecond)
+		if res == nil {
+			t.Fatalf("post-GST request %d did not complete (liveness lost)", i)
+		}
+	}
+	// Safety: with time to settle, replicas at equal progress agree.
+	u.Eng.RunFor(100 * sim.Millisecond)
+	for i := 0; i < len(u.Replicas); i++ {
+		for j := i + 1; j < len(u.Replicas); j++ {
+			if u.Replicas[i].LastApplied() == u.Replicas[j].LastApplied() &&
+				!bytes.Equal(u.Apps[i].Snapshot(), u.Apps[j].Snapshot()) {
+				t.Fatalf("replicas %d and %d diverged across the asynchronous period", i, j)
+			}
+		}
+	}
+	t.Logf("pre-GST completions: %d/5 (best effort); post-GST: 5/5", preGST)
+}
+
+func TestPreGSTNeverViolatesAgreement(t *testing.T) {
+	// A long asynchronous period with aggressive drops: whatever decides,
+	// decides identically everywhere.
+	netOpts := simnet.RDMAOptions()
+	netOpts.GST = sim.Time(20 * sim.Millisecond)
+	netOpts.AsyncExtraMax = 5 * sim.Millisecond
+	netOpts.AsyncDropProb = 0.5
+	u := flipCluster(cluster.Options{
+		Seed:              8,
+		NetOptions:        &netOpts,
+		ViewChangeTimeout: 3 * sim.Millisecond,
+		SlowPathDelay:     500 * sim.Microsecond,
+		CTBSlowDelay:      500 * sim.Microsecond,
+		Window:            16,
+		Tail:              8,
+	})
+	defer u.Stop()
+	for i := 0; i < 10; i++ {
+		u.Clients[0].Invoke([]byte(fmt.Sprintf("m%d", i)), func([]byte, sim.Duration) {})
+		u.Eng.RunFor(2 * sim.Millisecond)
+	}
+	// Let the system stabilize well past GST.
+	u.Eng.RunUntil(sim.Time(40 * sim.Millisecond))
+	u.Eng.RunFor(200 * sim.Millisecond)
+	// Compare executed prefixes via snapshots at equal progress.
+	for i := 0; i < len(u.Replicas); i++ {
+		for j := i + 1; j < len(u.Replicas); j++ {
+			if u.Replicas[i].LastApplied() == u.Replicas[j].LastApplied() &&
+				!bytes.Equal(u.Apps[i].Snapshot(), u.Apps[j].Snapshot()) {
+				t.Fatalf("agreement violated between replicas %d and %d", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,287 @@
+package consensus
+
+// White-box tests of the Byzantine message checks (Algorithm 5) and the
+// pieces of the view-change machinery that fault injection exercises.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/ids"
+	"repro/internal/memnode"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/wire"
+	"repro/internal/xcrypto"
+)
+
+// wbRig builds three wired replicas with white-box access.
+type wbRig struct {
+	eng  *sim.Engine
+	net  *simnet.Network
+	reg  *xcrypto.Registry
+	reps []*Replica
+}
+
+func newWBRig(t *testing.T) *wbRig {
+	t.Helper()
+	rig := &wbRig{eng: sim.NewEngine(1)}
+	rig.net = simnet.New(rig.eng, simnet.RDMAOptions())
+	repIDs := []ids.ID{0, 1, 2}
+	memIDs := []ids.ID{100, 101, 102}
+	var mns []*memnode.Node
+	for i, id := range memIDs {
+		rt := router.New(rig.net.AddNode(id, fmt.Sprintf("mem%d", i)))
+		mns = append(mns, memnode.New(rt))
+	}
+	rig.reg = xcrypto.NewRegistry(2, repIDs)
+	cfg := func(self ids.ID) Config {
+		return Config{
+			Self: self, Replicas: repIDs, F: 1, MemNodes: memIDs, Fm: 1,
+			Window: 32, Tail: 16, MsgCap: 1024,
+			FastPath: true, EchoTimeout: 50 * sim.Microsecond,
+			App: app.NewFlip(),
+		}
+	}
+	AllocateCluster(cfg(0), mns)
+	for _, id := range repIDs {
+		rt := router.New(rig.net.AddNode(id, fmt.Sprintf("r%d", id)))
+		rig.reps = append(rig.reps, NewReplica(cfg(id), Deps{RT: rt, Registry: rig.reg}))
+	}
+	return rig
+}
+
+func (rig *wbRig) stop() {
+	for _, r := range rig.reps {
+		r.Stop()
+	}
+}
+
+func TestValidatePrepareFromNonLeaderRejected(t *testing.T) {
+	rig := newWBRig(t)
+	defer rig.stop()
+	r := rig.reps[0]
+	// Replica 1 is not the leader of view 0 but "broadcasts" a PREPARE.
+	pr := Prepare{View: 0, Slot: 0, Req: Request{Client: 200, Num: 1, Payload: []byte("x")}}
+	if r.validateMsg(ids.ID(1), encodePrepare(pr)) {
+		t.Fatal("PREPARE from non-leader validated")
+	}
+	// From the actual leader it passes.
+	if !r.validateMsg(ids.ID(0), encodePrepare(pr)) {
+		t.Fatal("legitimate PREPARE rejected")
+	}
+}
+
+func TestValidatePrepareOutsideWindowRejected(t *testing.T) {
+	rig := newWBRig(t)
+	defer rig.stop()
+	r := rig.reps[1]
+	pr := Prepare{View: 0, Slot: 999, Req: NoOp()} // window is [0,31]
+	if r.validateMsg(ids.ID(0), encodePrepare(pr)) {
+		t.Fatal("out-of-window PREPARE validated")
+	}
+}
+
+func TestValidateDuplicatePrepareRejected(t *testing.T) {
+	rig := newWBRig(t)
+	defer rig.stop()
+	r := rig.reps[1]
+	pr := Prepare{View: 0, Slot: 3, Req: Request{Client: 200, Num: 1, Payload: []byte("a")}}
+	if !r.validateMsg(ids.ID(0), encodePrepare(pr)) {
+		t.Fatal("first PREPARE rejected")
+	}
+	r.onPrepare(ids.ID(0), pr) // record it in state[0]
+	// A second, conflicting PREPARE for the same slot in the same view is
+	// equivocation at the consensus level.
+	pr2 := Prepare{View: 0, Slot: 3, Req: Request{Client: 200, Num: 2, Payload: []byte("b")}}
+	if r.validateMsg(ids.ID(0), encodePrepare(pr2)) {
+		t.Fatal("consensus-level equivocation validated")
+	}
+}
+
+func TestValidateCommitNeedsRealCertificate(t *testing.T) {
+	rig := newWBRig(t)
+	defer rig.stop()
+	r := rig.reps[0]
+	req := Request{Client: 200, Num: 1, Payload: []byte("x")}
+	dg := req.Digest()
+
+	// Forged certificate: garbage signatures.
+	forged := CommitCert{View: 0, Slot: 0, Req: req, Sigs: map[ids.ID]xcrypto.Signature{
+		1: make(xcrypto.Signature, xcrypto.SigLen),
+		2: make(xcrypto.Signature, xcrypto.SigLen),
+	}}
+	w := wire.NewWriter(256)
+	w.U8(tagCommit)
+	forged.encode(w)
+	if r.validateMsg(ids.ID(1), w.Finish()) {
+		t.Fatal("forged COMMIT certificate validated")
+	}
+
+	// Real certificate: f+1 genuine CERTIFY signatures.
+	proc := sim.NewProc(rig.eng, "signer")
+	real := CommitCert{View: 0, Slot: 0, Req: req, Sigs: map[ids.ID]xcrypto.Signature{
+		1: rig.reg.Signer(1).Sign(proc, certifyPayload(0, 0, dg)),
+		2: rig.reg.Signer(2).Sign(proc, certifyPayload(0, 0, dg)),
+	}}
+	w2 := wire.NewWriter(256)
+	w2.U8(tagCommit)
+	real.encode(w2)
+	if !r.validateMsg(ids.ID(1), w2.Finish()) {
+		t.Fatal("genuine COMMIT certificate rejected")
+	}
+}
+
+func TestValidateCheckpointNeedsCertAndProgress(t *testing.T) {
+	rig := newWBRig(t)
+	defer rig.stop()
+	r := rig.reps[0]
+	// Non-superseding checkpoint (seq 0 == genesis).
+	w := wire.NewWriter(64)
+	w.U8(tagCheckpoint)
+	(&Checkpoint{Seq: 0}).encode(w)
+	if r.validateMsg(ids.ID(1), w.Finish()) {
+		t.Fatal("non-superseding CHECKPOINT validated")
+	}
+	// Superseding but uncertified.
+	w2 := wire.NewWriter(64)
+	w2.U8(tagCheckpoint)
+	(&Checkpoint{Seq: 32}).encode(w2)
+	if r.validateMsg(ids.ID(1), w2.Finish()) {
+		t.Fatal("uncertified CHECKPOINT validated")
+	}
+}
+
+func TestValidateSealViewMonotonic(t *testing.T) {
+	rig := newWBRig(t)
+	defer rig.stop()
+	r := rig.reps[0]
+	mkSeal := func(v View) []byte {
+		w := wire.NewWriter(16)
+		w.U8(tagSealView)
+		w.U64(uint64(v))
+		return w.Finish()
+	}
+	if !r.validateMsg(ids.ID(1), mkSeal(1)) {
+		t.Fatal("legitimate SEAL_VIEW rejected")
+	}
+	r.onSealView(ids.ID(1), 2)
+	if r.validateMsg(ids.ID(1), mkSeal(2)) {
+		t.Fatal("non-increasing SEAL_VIEW validated")
+	}
+	if r.validateMsg(ids.ID(1), mkSeal(1)) {
+		t.Fatal("regressing SEAL_VIEW validated")
+	}
+}
+
+func TestValidateUnknownTagRejected(t *testing.T) {
+	rig := newWBRig(t)
+	defer rig.stop()
+	if rig.reps[0].validateMsg(ids.ID(1), []byte{0xEE, 1, 2, 3}) {
+		t.Fatal("unknown message tag validated")
+	}
+}
+
+func TestMustProposeSelectsHighestView(t *testing.T) {
+	rig := newWBRig(t)
+	defer rig.stop()
+	r := rig.reps[0]
+	mkCert := func(slot Slot, v View, payload string) ReplicaCert {
+		cs := CertifiedState{
+			View:       3,
+			Checkpoint: Checkpoint{Seq: 0},
+			Commits: map[Slot]CommitCert{
+				slot: {View: v, Slot: slot, Req: Request{Client: 200, Num: uint64(v), Payload: []byte(payload)}},
+			},
+		}
+		return ReplicaCert{About: 0, StateBytes: encodeCertifiedState(&cs)}
+	}
+	certs := []ReplicaCert{mkCert(5, 1, "old"), mkCert(5, 2, "new")}
+	req, any := r.mustPropose(5, certs)
+	if any || string(req.Payload) != "new" {
+		t.Fatalf("mustPropose picked %q (any=%v), want highest-view commit", req.Payload, any)
+	}
+	// Slot without commits but below the max open slot: noop.
+	req, any = r.mustPropose(3, certs)
+	if any || !req.IsNoOp() {
+		t.Fatalf("uncommitted open slot: %+v any=%v", req, any)
+	}
+	// Slot beyond everything: free for new proposals.
+	if _, any = r.mustPropose(6, certs); !any {
+		t.Fatal("slot beyond certified range should be Any")
+	}
+}
+
+func TestCertifySigCache(t *testing.T) {
+	rig := newWBRig(t)
+	defer rig.stop()
+	r := rig.reps[0]
+	req := Request{Client: 200, Num: 1, Payload: []byte("x")}
+	dg := req.Digest()
+	proc := sim.NewProc(rig.eng, "signer")
+	sig := rig.reg.Signer(1).Sign(proc, certifyPayload(0, 0, dg))
+	if !r.verifyCertifySig(0, 0, dg, 1, sig) {
+		t.Fatal("valid share rejected")
+	}
+	busy := r.proc.BusyUntil()
+	// Second verification must hit the cache: no crypto charge.
+	if !r.verifyCertifySig(0, 0, dg, 1, sig) {
+		t.Fatal("cached share rejected")
+	}
+	if r.proc.BusyUntil() != busy {
+		t.Fatal("cache miss: crypto charged twice for the same share")
+	}
+	// A corrupted signature must not hit the cache.
+	bad := append(xcrypto.Signature(nil), sig...)
+	bad[0] ^= 1
+	if r.verifyCertifySig(0, 0, dg, 1, bad) {
+		t.Fatal("corrupted share accepted")
+	}
+}
+
+func TestStateTransferRejectsForgedSnapshot(t *testing.T) {
+	rig := newWBRig(t)
+	defer rig.stop()
+	r := rig.reps[0]
+	// Pretend a checkpoint at 32 with a known digest is stable.
+	var dg [xcrypto.DigestLen]byte
+	good := []byte("genuine-snapshot")
+	dg = xcrypto.DigestNoCharge(good)
+	r.chkpt = Checkpoint{Seq: 32, StateDigest: dg}
+	// A Byzantine replica responds with a forged snapshot.
+	w := wire.NewWriter(64)
+	w.U8(tagStateResp)
+	w.U64(32)
+	w.Bytes([]byte("forged-snapshot"))
+	frame := w.Finish()
+	r.onDirect(ids.ID(1), frame)
+	if r.lastApplied >= 32 {
+		t.Fatal("forged snapshot adopted")
+	}
+	// The genuine one is accepted.
+	w2 := wire.NewWriter(64)
+	w2.U8(tagStateResp)
+	w2.U64(32)
+	w2.Bytes(good)
+	r.onDirect(ids.ID(1), w2.Finish())
+	if r.lastApplied != 32 {
+		t.Fatalf("genuine snapshot not adopted: lastApplied=%d", r.lastApplied)
+	}
+}
+
+func TestClientImpersonationRejected(t *testing.T) {
+	rig := newWBRig(t)
+	defer rig.stop()
+	r := rig.reps[0]
+	// A request claiming to be from client 200 but sent by node 1.
+	req := Request{Client: 200, Num: 1, Payload: []byte("fake")}
+	w := wire.NewWriter(64)
+	w.U8(tagRequest)
+	req.encode(w)
+	r.onRPC(ids.ID(1), w.Finish())
+	if len(r.reqStore) != 0 {
+		t.Fatal("impersonated request stored")
+	}
+}

@@ -1,0 +1,355 @@
+package consensus
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ids"
+	"repro/internal/wire"
+	"repro/internal/xcrypto"
+)
+
+// View numbers views; the leader of view v is Replicas[v % n].
+type View uint64
+
+// Slot numbers consensus slots (the total order position of a request).
+type Slot uint64
+
+// Message tags. CTBcast carries the consensus-level messages (PREPARE,
+// COMMIT, CHECKPOINT, SEAL_VIEW, NEW_VIEW); the auxiliary TBcast channel
+// carries CERTIFY, WILL_CERTIFY, WILL_COMMIT and CERTIFY_CHECKPOINT; view
+// change certificate shares travel as direct messages.
+const (
+	tagPrepare     uint8 = 1
+	tagCommit      uint8 = 2
+	tagCheckpoint  uint8 = 3
+	tagSealView    uint8 = 4
+	tagNewView     uint8 = 5
+	tagCertify     uint8 = 10
+	tagWillCertify uint8 = 11
+	tagWillCommit  uint8 = 12
+	tagCertifyCP   uint8 = 13
+	tagCertifyVC   uint8 = 20
+	tagStateReq    uint8 = 21
+	tagStateResp   uint8 = 22
+)
+
+// Request is a client command. A no-op request (view-change filler) has
+// Client == ids.None.
+type Request struct {
+	Client  ids.ID
+	Num     uint64
+	Payload []byte
+}
+
+// NoOp returns the view-change filler request.
+func NoOp() Request { return Request{Client: ids.None} }
+
+// IsNoOp reports whether the request is the filler.
+func (r Request) IsNoOp() bool { return r.Client == ids.None }
+
+// batchClient marks a batch container request (the §9 batching extension:
+// the leader packs several client requests into one consensus slot).
+const batchClient ids.ID = -2
+
+// IsBatch reports whether the request is a batch container.
+func (r Request) IsBatch() bool { return r.Client == batchClient }
+
+// EncodeBatch packs several client requests into one container request.
+func EncodeBatch(reqs []Request) Request {
+	w := wire.NewWriter(64)
+	w.Uvarint(uint64(len(reqs)))
+	for _, q := range reqs {
+		q.encode(w)
+	}
+	return Request{Client: batchClient, Payload: w.Finish()}
+}
+
+// DecodeBatch unpacks a batch container.
+func DecodeBatch(r Request) ([]Request, error) {
+	rd := wire.NewReader(r.Payload)
+	n := int(rd.Uvarint())
+	if n > 4096 {
+		return nil, fmt.Errorf("consensus: oversized batch (%d requests)", n)
+	}
+	out := make([]Request, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, decodeRequest(rd))
+	}
+	if err := rd.Done(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (r Request) encode(w *wire.Writer) {
+	w.I64(int64(r.Client))
+	w.U64(r.Num)
+	w.Bytes(r.Payload)
+}
+
+func decodeRequest(rd *wire.Reader) Request {
+	return Request{Client: ids.ID(rd.I64()), Num: rd.U64(), Payload: rd.Bytes()}
+}
+
+// EncodeRequest serializes a request standalone (used by the RPC layer).
+func EncodeRequest(r Request) []byte {
+	w := wire.NewWriter(24 + len(r.Payload))
+	r.encode(w)
+	return w.Finish()
+}
+
+// DecodeRequest parses a standalone request.
+func DecodeRequest(b []byte) (Request, error) {
+	rd := wire.NewReader(b)
+	r := decodeRequest(rd)
+	if err := rd.Done(); err != nil {
+		return Request{}, err
+	}
+	return r, nil
+}
+
+// Digest fingerprints a request without charging virtual time (cost is
+// charged by callers at the protocol level).
+func (r Request) Digest() [xcrypto.DigestLen]byte {
+	return xcrypto.DigestNoCharge(EncodeRequest(r))
+}
+
+// Prepare is the leader's proposal for a slot.
+type Prepare struct {
+	View View
+	Slot Slot
+	Req  Request
+}
+
+func encodePrepare(p Prepare) []byte {
+	w := wire.NewWriter(40 + len(p.Req.Payload))
+	w.U8(tagPrepare)
+	w.U64(uint64(p.View))
+	w.U64(uint64(p.Slot))
+	p.Req.encode(w)
+	return w.Finish()
+}
+
+func decodePrepare(rd *wire.Reader) (Prepare, error) {
+	p := Prepare{View: View(rd.U64()), Slot: Slot(rd.U64()), Req: decodeRequest(rd)}
+	return p, rd.Err()
+}
+
+// certifyPayload is what replicas sign in CERTIFY messages: it binds
+// (view, slot) to the request fingerprint.
+func certifyPayload(v View, s Slot, reqDigest [xcrypto.DigestLen]byte) []byte {
+	w := wire.NewWriter(56)
+	w.U8(tagCertify)
+	w.U64(uint64(v))
+	w.U64(uint64(s))
+	w.Raw(reqDigest[:])
+	return w.Finish()
+}
+
+// CommitCert is PΣ: an unforgeable proof, made of f+1 CERTIFY signatures,
+// that the leader of View proposed Req in Slot.
+type CommitCert struct {
+	View View
+	Slot Slot
+	Req  Request
+	Sigs map[ids.ID]xcrypto.Signature
+}
+
+func (c *CommitCert) encode(w *wire.Writer) {
+	w.U64(uint64(c.View))
+	w.U64(uint64(c.Slot))
+	c.Req.encode(w)
+	w.Uvarint(uint64(len(c.Sigs)))
+	for _, id := range sortedIDs(c.Sigs) {
+		w.I64(int64(id))
+		w.Bytes(c.Sigs[id])
+	}
+}
+
+func decodeCommitCert(rd *wire.Reader) (CommitCert, error) {
+	c := CommitCert{View: View(rd.U64()), Slot: Slot(rd.U64()), Req: decodeRequest(rd)}
+	n := int(rd.Uvarint())
+	if n > 64 {
+		return c, fmt.Errorf("consensus: oversized certificate (%d sigs)", n)
+	}
+	c.Sigs = make(map[ids.ID]xcrypto.Signature, n)
+	for i := 0; i < n; i++ {
+		id := ids.ID(rd.I64())
+		c.Sigs[id] = rd.Bytes()
+	}
+	return c, rd.Err()
+}
+
+func sortedIDs(m map[ids.ID]xcrypto.Signature) []ids.ID {
+	out := make([]ids.ID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Checkpoint is CΣ: the application state digest after applying all slots
+// below Seq, signed by f+1 replicas, authorizing work on
+// [Seq, Seq+Window-1].
+type Checkpoint struct {
+	Seq         Slot
+	StateDigest [xcrypto.DigestLen]byte
+	Sigs        map[ids.ID]xcrypto.Signature
+}
+
+// checkpointPayload is what replicas sign in CERTIFY_CHECKPOINT.
+func checkpointPayload(seq Slot, digest [xcrypto.DigestLen]byte) []byte {
+	w := wire.NewWriter(48)
+	w.U8(tagCertifyCP)
+	w.U64(uint64(seq))
+	w.Raw(digest[:])
+	return w.Finish()
+}
+
+func (c *Checkpoint) encode(w *wire.Writer) {
+	w.U64(uint64(c.Seq))
+	w.Raw(c.StateDigest[:])
+	w.Uvarint(uint64(len(c.Sigs)))
+	for _, id := range sortedIDs(c.Sigs) {
+		w.I64(int64(id))
+		w.Bytes(c.Sigs[id])
+	}
+}
+
+func decodeCheckpoint(rd *wire.Reader) (Checkpoint, error) {
+	c := Checkpoint{Seq: Slot(rd.U64())}
+	copy(c.StateDigest[:], rd.Raw(xcrypto.DigestLen))
+	n := int(rd.Uvarint())
+	if n > 64 {
+		return c, fmt.Errorf("consensus: oversized checkpoint cert (%d sigs)", n)
+	}
+	c.Sigs = make(map[ids.ID]xcrypto.Signature, n)
+	for i := 0; i < n; i++ {
+		id := ids.ID(rd.I64())
+		c.Sigs[id] = rd.Bytes()
+	}
+	return c, rd.Err()
+}
+
+// Supersedes reports whether c authorizes strictly newer slots than other.
+func (c *Checkpoint) Supersedes(other *Checkpoint) bool { return c.Seq > other.Seq }
+
+// CertifiedState is the per-replica state attested during a view change:
+// the replica's latest checkpoint and its most recent COMMIT per open slot
+// (§5.3).
+type CertifiedState struct {
+	View       View
+	Checkpoint Checkpoint
+	Commits    map[Slot]CommitCert
+}
+
+func encodeCertifiedState(s *CertifiedState) []byte {
+	w := wire.NewWriter(256)
+	w.U64(uint64(s.View))
+	s.Checkpoint.encode(w)
+	w.Uvarint(uint64(len(s.Commits)))
+	slots := make([]Slot, 0, len(s.Commits))
+	for sl := range s.Commits {
+		slots = append(slots, sl)
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+	for _, sl := range slots {
+		c := s.Commits[sl]
+		c.encode(w)
+	}
+	return w.Finish()
+}
+
+func decodeCertifiedState(b []byte) (CertifiedState, error) {
+	rd := wire.NewReader(b)
+	s := CertifiedState{View: View(rd.U64())}
+	var err error
+	s.Checkpoint, err = decodeCheckpoint(rd)
+	if err != nil {
+		return s, err
+	}
+	n := int(rd.Uvarint())
+	if n > 4096 {
+		return s, fmt.Errorf("consensus: oversized certified state (%d commits)", n)
+	}
+	s.Commits = make(map[Slot]CommitCert, n)
+	for i := 0; i < n; i++ {
+		c, err := decodeCommitCert(rd)
+		if err != nil {
+			return s, err
+		}
+		s.Commits[c.Slot] = c
+	}
+	if err := rd.Done(); err != nil {
+		return s, err
+	}
+	return s, nil
+}
+
+// vcSharePayload is what replicas sign in CRTFY_VC: it attests that
+// stateBytes is replica about's state as of view v.
+func vcSharePayload(v View, about ids.ID, stateBytes []byte) []byte {
+	dg := xcrypto.DigestNoCharge(stateBytes)
+	w := wire.NewWriter(64)
+	w.U8(tagCertifyVC)
+	w.U64(uint64(v))
+	w.I64(int64(about))
+	w.Raw(dg[:])
+	return w.Finish()
+}
+
+// ReplicaCert is one entry of a NEW_VIEW message: replica About's certified
+// state with f+1 attesting signatures.
+type ReplicaCert struct {
+	About      ids.ID
+	StateBytes []byte
+	Sigs       map[ids.ID]xcrypto.Signature
+}
+
+// NewViewMsg announces the start of View with the certified states that
+// constrain the new leader's proposals.
+type NewViewMsg struct {
+	View  View
+	Certs []ReplicaCert
+}
+
+func encodeNewView(nv NewViewMsg) []byte {
+	w := wire.NewWriter(512)
+	w.U8(tagNewView)
+	w.U64(uint64(nv.View))
+	w.Uvarint(uint64(len(nv.Certs)))
+	for _, c := range nv.Certs {
+		w.I64(int64(c.About))
+		w.Bytes(c.StateBytes)
+		w.Uvarint(uint64(len(c.Sigs)))
+		for _, id := range sortedIDs(c.Sigs) {
+			w.I64(int64(id))
+			w.Bytes(c.Sigs[id])
+		}
+	}
+	return w.Finish()
+}
+
+func decodeNewView(rd *wire.Reader) (NewViewMsg, error) {
+	nv := NewViewMsg{View: View(rd.U64())}
+	n := int(rd.Uvarint())
+	if n > 64 {
+		return nv, fmt.Errorf("consensus: oversized NEW_VIEW (%d certs)", n)
+	}
+	for i := 0; i < n; i++ {
+		c := ReplicaCert{About: ids.ID(rd.I64()), StateBytes: rd.Bytes()}
+		ns := int(rd.Uvarint())
+		if ns > 64 {
+			return nv, fmt.Errorf("consensus: oversized replica cert (%d sigs)", ns)
+		}
+		c.Sigs = make(map[ids.ID]xcrypto.Signature, ns)
+		for j := 0; j < ns; j++ {
+			id := ids.ID(rd.I64())
+			c.Sigs[id] = rd.Bytes()
+		}
+		nv.Certs = append(nv.Certs, c)
+	}
+	return nv, rd.Err()
+}

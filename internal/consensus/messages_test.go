@@ -1,0 +1,197 @@
+package consensus
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ids"
+	"repro/internal/wire"
+	"repro/internal/xcrypto"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	req := Request{Client: 200, Num: 42, Payload: []byte("payload")}
+	got, err := DecodeRequest(EncodeRequest(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Client != req.Client || got.Num != req.Num || !bytes.Equal(got.Payload, req.Payload) {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestNoOpRequest(t *testing.T) {
+	n := NoOp()
+	if !n.IsNoOp() {
+		t.Fatal("NoOp not recognized")
+	}
+	if (Request{Client: 5}).IsNoOp() {
+		t.Fatal("real request flagged as noop")
+	}
+	got, err := DecodeRequest(EncodeRequest(n))
+	if err != nil || !got.IsNoOp() {
+		t.Fatalf("noop round trip: %+v %v", got, err)
+	}
+}
+
+func TestRequestDigestBindsAllFields(t *testing.T) {
+	base := Request{Client: 1, Num: 2, Payload: []byte("p")}
+	same := Request{Client: 1, Num: 2, Payload: []byte("p")}
+	if base.Digest() != same.Digest() {
+		t.Fatal("digest not deterministic")
+	}
+	for _, other := range []Request{
+		{Client: 2, Num: 2, Payload: []byte("p")},
+		{Client: 1, Num: 3, Payload: []byte("p")},
+		{Client: 1, Num: 2, Payload: []byte("q")},
+	} {
+		if base.Digest() == other.Digest() {
+			t.Fatalf("digest collision with %+v", other)
+		}
+	}
+}
+
+func TestPrepareRoundTrip(t *testing.T) {
+	p := Prepare{View: 3, Slot: 77, Req: Request{Client: 9, Num: 1, Payload: []byte("x")}}
+	rd := wire.NewReader(encodePrepare(p))
+	if rd.U8() != tagPrepare {
+		t.Fatal("tag wrong")
+	}
+	got, err := decodePrepare(rd)
+	if err != nil || rd.Done() != nil {
+		t.Fatalf("decode: %v %v", err, rd.Done())
+	}
+	if got.View != 3 || got.Slot != 77 || got.Req.Client != 9 {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestCommitCertRoundTrip(t *testing.T) {
+	c := CommitCert{
+		View: 1, Slot: 5,
+		Req: Request{Client: 9, Num: 2, Payload: []byte("req")},
+		Sigs: map[ids.ID]xcrypto.Signature{
+			0: bytes.Repeat([]byte{1}, xcrypto.SigLen),
+			2: bytes.Repeat([]byte{2}, xcrypto.SigLen),
+		},
+	}
+	w := wire.NewWriter(256)
+	c.encode(w)
+	got, err := decodeCommitCert(wire.NewReader(w.Finish()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.View != 1 || got.Slot != 5 || len(got.Sigs) != 2 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if !bytes.Equal(got.Sigs[2], c.Sigs[2]) {
+		t.Fatal("sigs lost")
+	}
+}
+
+func TestCheckpointRoundTripAndSupersedes(t *testing.T) {
+	cp := Checkpoint{Seq: 256}
+	copy(cp.StateDigest[:], bytes.Repeat([]byte{7}, xcrypto.DigestLen))
+	cp.Sigs = map[ids.ID]xcrypto.Signature{1: bytes.Repeat([]byte{9}, xcrypto.SigLen)}
+	w := wire.NewWriter(128)
+	cp.encode(w)
+	got, err := decodeCheckpoint(wire.NewReader(w.Finish()))
+	if err != nil || got.Seq != 256 || got.StateDigest != cp.StateDigest {
+		t.Fatalf("round trip: %+v %v", got, err)
+	}
+	older := Checkpoint{Seq: 128}
+	if !cp.Supersedes(&older) || older.Supersedes(&cp) || cp.Supersedes(&cp) {
+		t.Fatal("Supersedes wrong")
+	}
+}
+
+func TestCertifiedStateRoundTrip(t *testing.T) {
+	cs := CertifiedState{
+		View:       4,
+		Checkpoint: Checkpoint{Seq: 100},
+		Commits: map[Slot]CommitCert{
+			101: {View: 4, Slot: 101, Req: Request{Client: 1, Num: 1}},
+			105: {View: 3, Slot: 105, Req: NoOp()},
+		},
+	}
+	got, err := decodeCertifiedState(encodeCertifiedState(&cs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.View != 4 || len(got.Commits) != 2 || got.Commits[105].View != 3 {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestCertifiedStateEncodingDeterministic(t *testing.T) {
+	// The summary/view-change machinery relies on byte-equal encodings
+	// across replicas; map iteration order must not leak in.
+	cs := CertifiedState{
+		View:       1,
+		Checkpoint: Checkpoint{Seq: 0, Sigs: map[ids.ID]xcrypto.Signature{2: {1}, 0: {2}, 1: {3}}},
+		Commits:    map[Slot]CommitCert{},
+	}
+	for s := Slot(0); s < 20; s++ {
+		cs.Commits[s] = CommitCert{Slot: s, Req: NoOp(),
+			Sigs: map[ids.ID]xcrypto.Signature{1: {byte(s)}, 0: {byte(s + 1)}}}
+	}
+	a := encodeCertifiedState(&cs)
+	for i := 0; i < 10; i++ {
+		if !bytes.Equal(a, encodeCertifiedState(&cs)) {
+			t.Fatal("encoding depends on map iteration order")
+		}
+	}
+}
+
+func TestNewViewRoundTrip(t *testing.T) {
+	nv := NewViewMsg{
+		View: 2,
+		Certs: []ReplicaCert{
+			{About: 0, StateBytes: []byte("s0"), Sigs: map[ids.ID]xcrypto.Signature{1: {1}}},
+			{About: 1, StateBytes: []byte("s1"), Sigs: map[ids.ID]xcrypto.Signature{2: {2}}},
+		},
+	}
+	rd := wire.NewReader(encodeNewView(nv))
+	if rd.U8() != tagNewView {
+		t.Fatal("tag wrong")
+	}
+	got, err := decodeNewView(rd)
+	if err != nil || rd.Done() != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.View != 2 || len(got.Certs) != 2 || got.Certs[1].About != 1 {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestDecodersRejectGarbage(t *testing.T) {
+	prop := func(garbage []byte) bool {
+		// None of these may panic; errors are fine.
+		rd := wire.NewReader(garbage)
+		_, _ = decodePrepare(rd)
+		_, _ = decodeCommitCert(wire.NewReader(garbage))
+		_, _ = decodeCheckpoint(wire.NewReader(garbage))
+		_, _ = decodeCertifiedState(garbage)
+		rd2 := wire.NewReader(garbage)
+		_, _ = decodeNewView(rd2)
+		_, _ = DecodeRequest(garbage)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOversizedCertificatesRejected(t *testing.T) {
+	// A Byzantine replica cannot make us allocate unbounded memory via a
+	// huge signature count.
+	w := wire.NewWriter(64)
+	w.U64(0) // view
+	w.U64(0) // slot
+	NoOp().encode(w)
+	w.Uvarint(1 << 20) // absurd signature count
+	if _, err := decodeCommitCert(wire.NewReader(w.Finish())); err == nil {
+		t.Fatal("oversized commit cert accepted")
+	}
+}

@@ -1,0 +1,878 @@
+// Package consensus implements uBFT's state-machine replication engine
+// (paper §5, Algorithms 2-5): a PBFT-layout protocol rebuilt for 2f+1
+// replicas on top of Consistent Tail Broadcast, with a signature-free fast
+// path (Prepare / WillCertify / WillCommit), a signed slow path (Prepare /
+// Certify / Commit over SWMR registers), application checkpoints that
+// advance a sliding window of consensus slots, PBFT-style view changes,
+// and CTBcast summaries for finite memory.
+package consensus
+
+import (
+	"fmt"
+
+	"repro/internal/app"
+	"repro/internal/ctbcast"
+	"repro/internal/ids"
+	"repro/internal/latmodel"
+	"repro/internal/memnode"
+	"repro/internal/msgring"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/swmr"
+	"repro/internal/tbcast"
+	"repro/internal/wire"
+	"repro/internal/xcrypto"
+)
+
+// Config assembles one replica. All replicas must use identical values for
+// everything except Self.
+type Config struct {
+	Self     ids.ID
+	Replicas []ids.ID // 2F+1, in globally agreed order
+	F        int
+	MemNodes []ids.ID // 2Fm+1 memory nodes
+	Fm       int
+
+	// Window is the checkpoint window size (open slots per checkpoint,
+	// paper §7: 256).
+	Window int
+	// Tail is CTBcast's t (paper §7 default: 128).
+	Tail int
+	// MsgCap bounds request size.
+	MsgCap int
+
+	// FastPath enables the WillCertify/WillCommit fast path; when false
+	// every slot runs the signed slow path (Certify/Commit).
+	FastPath bool
+	// SlowPathDelay is the per-slot fallback timeout from Prepare delivery
+	// to engaging the slow path (only with FastPath).
+	SlowPathDelay sim.Duration
+	// CTBMode configures the underlying CTBcast groups.
+	CTBMode      ctbcast.PathMode
+	CTBSlowDelay sim.Duration
+	// ViewChangeTimeout is the leader-suspicion timeout; zero disables
+	// view changes (stable-leader benchmarks).
+	ViewChangeTimeout sim.Duration
+	// EchoTimeout bounds how long the leader waits for followers to echo
+	// a client request before proposing anyway (§5.4).
+	EchoTimeout sim.Duration
+	// BatchSize lets the leader pack up to this many queued requests into
+	// one consensus slot (the throughput optimization §9 mentions but the
+	// paper's prototype does not implement; 0/1 disables batching).
+	BatchSize int
+	// RegionOffset shifts this deployment's SWMR regions on the memory
+	// nodes, letting several independent replicated applications share the
+	// same memory nodes (§1: "they can be shared among many applications").
+	RegionOffset memnode.RegionID
+
+	App app.StateMachine
+	// Responder delivers execution results toward the client (wired by
+	// the RPC server). May be nil.
+	Responder func(client ids.ID, reqNum uint64, slot Slot, result []byte)
+}
+
+func (c *Config) n() int { return len(c.Replicas) }
+
+// leaderOf returns the leader of view v (round-robin, §5.3).
+func (c *Config) leaderOf(v View) ids.ID { return c.Replicas[int(uint64(v)%uint64(c.n()))] }
+
+func (c *Config) indexOf(p ids.ID) int {
+	for i, r := range c.Replicas {
+		if r == p {
+			return i
+		}
+	}
+	return -1
+}
+
+// Instance / region layout: each replica i owns a CTBcast group (n+1 ring
+// instances) plus one auxiliary TBcast channel.
+func (c *Config) groupInstanceBase(i int) msgring.Instance {
+	return msgring.Instance(i * (c.n() + 2))
+}
+func (c *Config) auxInstance(i int) msgring.Instance {
+	return msgring.Instance(i*(c.n()+2) + c.n() + 1)
+}
+func (c *Config) regionBase(i int) memnode.RegionID {
+	return c.RegionOffset + memnode.RegionID(i*c.n()*c.Tail)
+}
+
+// RegionSpan returns how many region IDs a deployment with this config
+// occupies on each memory node (for allocating the next application's
+// RegionOffset when sharing memory nodes).
+func (c *Config) RegionSpan() memnode.RegionID {
+	return memnode.RegionID(c.n() * c.n() * c.Tail)
+}
+
+// auxSlotCap bounds auxiliary messages (certify shares and promises).
+const auxSlotCap = 512
+
+// replicaState is state[p] of Algorithm 2: this replica's view of what
+// broadcaster p has CTBcast, updated strictly in FIFO order.
+type replicaState struct {
+	view        View
+	sealedView  View
+	newView     *NewViewMsg
+	newViewUsed bool // p broadcast a non-CHECKPOINT message in its current view
+	prepares    map[Slot]Prepare
+	commits     map[Slot]CommitCert
+	checkpoint  Checkpoint
+}
+
+// voteKey identifies fast-path vote sets.
+type voteKey struct {
+	v View
+	s Slot
+}
+
+// slotState tracks this replica's local progress on one slot.
+type slotState struct {
+	willCertify map[voteKey]map[ids.ID]bool
+	willCommit  map[voteKey]map[ids.ID]bool
+	// certSigs accumulates CERTIFY signatures per (view, request digest).
+	certSigs map[certKey]map[ids.ID]xcrypto.Signature
+	// willCertifySent / willCommitSent / certifySent / commitSent are
+	// keyed by view to reset across view changes.
+	willCertifySent map[View]bool
+	willCommitSent  map[View]bool
+	certifySent     map[View]bool
+	commitSent      map[View]bool
+	fallback        *sim.Timer
+	waitingReq      *Prepare // prepare delivered but client request not yet seen
+}
+
+type certKey struct {
+	v  View
+	dg [xcrypto.DigestLen]byte
+}
+
+// Replica is one uBFT consensus participant.
+type Replica struct {
+	cfg    Config
+	rt     *router.Router
+	proc   *sim.Proc
+	bgProc *sim.Proc // crypto thread pool for bookkeeping signatures
+	signer *xcrypto.Signer
+
+	hub    *msgring.Hub
+	ackHub *tbcast.AckHub
+	store  *swmr.Store
+	sumHub *ctbcast.SummaryHub
+
+	view     View
+	nextSlot Slot
+	chkpt    Checkpoint // this replica's current stable checkpoint
+
+	state map[ids.ID]*replicaState
+	slots map[Slot]*slotState
+
+	decided     map[Slot]Request
+	lastApplied Slot // next slot to apply
+
+	groups map[ids.ID]*ctbcast.Group
+	auxOut *tbcast.Broadcaster
+
+	// Checkpoint certification.
+	// knownCertSigs caches verified CERTIFY signatures (keyed by slot for
+	// checkpoint-time pruning) so COMMIT certificates built from shares
+	// we already saw cost no extra public-key operations.
+	knownCertSigs map[Slot]map[string]bool
+
+	cpSigs     map[Slot]map[ids.ID]xcrypto.Signature
+	cpDigest   map[Slot][xcrypto.DigestLen]byte // our own computed digest per seq
+	cpMine     map[Slot]bool                    // we certified this seq ourselves
+	cpVerified map[Slot][xcrypto.DigestLen]byte // certificate-verification cache
+	// Snapshots retained for state transfer, keyed by checkpoint seq.
+	snapshots map[Slot][]byte
+
+	// RPC / proposal state.
+	reqStore   map[[xcrypto.DigestLen]byte]Request // requests received directly from clients
+	echoes     map[[xcrypto.DigestLen]byte]map[ids.ID]bool
+	echoTimers map[[xcrypto.DigestLen]byte]*sim.Timer
+	proposeQ   []Request
+	batchTimer *sim.Timer
+	proposed   map[[xcrypto.DigestLen]byte]bool
+	seenReq    map[ids.ID]uint64 // highest req num proposed per client
+	// Exactly-once execution bookkeeping.
+	execHighest map[ids.ID]uint64
+	lastResult  map[ids.ID][]byte
+
+	// View change state.
+	sealTarget    View // view being sealed into (0 = not sealing)
+	vcStreak      int  // consecutive view changes without progress (backoff)
+	pendingNV     map[View][]ReplicaCert
+	promised      map[voteKey]bool // WILL_COMMITs sent, pending COMMIT before seal
+	vcShares      map[View]map[ids.ID]map[ids.ID]vcShare
+	newViewSent   map[View]bool
+	progressTimer *sim.Timer
+	stopped       bool
+
+	// Stats.
+	FastDecides uint64
+	SlowDecides uint64
+	ViewChanges uint64
+	Executed    uint64
+}
+
+type vcShare struct {
+	stateBytes []byte
+	sig        xcrypto.Signature
+}
+
+// Deps bundles the per-host infrastructure the replica plugs into.
+type Deps struct {
+	RT       *router.Router
+	Registry *xcrypto.Registry
+}
+
+// NewReplica wires a replica onto its host router.
+func NewReplica(cfg Config, deps Deps) *Replica {
+	if len(cfg.Replicas) != 2*cfg.F+1 {
+		panic(fmt.Sprintf("consensus: need 2f+1=%d replicas, got %d", 2*cfg.F+1, len(cfg.Replicas)))
+	}
+	if cfg.Window <= 0 || cfg.Tail <= 0 {
+		panic("consensus: Window and Tail must be positive")
+	}
+	r := &Replica{
+		cfg:           cfg,
+		rt:            deps.RT,
+		proc:          deps.RT.Node().Proc(),
+		signer:        deps.Registry.Signer(cfg.Self),
+		state:         make(map[ids.ID]*replicaState),
+		slots:         make(map[Slot]*slotState),
+		decided:       make(map[Slot]Request),
+		groups:        make(map[ids.ID]*ctbcast.Group),
+		knownCertSigs: make(map[Slot]map[string]bool),
+		cpSigs:        make(map[Slot]map[ids.ID]xcrypto.Signature),
+		cpDigest:      make(map[Slot][xcrypto.DigestLen]byte),
+		cpMine:        make(map[Slot]bool),
+		cpVerified:    make(map[Slot][xcrypto.DigestLen]byte),
+		snapshots:     make(map[Slot][]byte),
+		reqStore:      make(map[[xcrypto.DigestLen]byte]Request),
+		echoes:        make(map[[xcrypto.DigestLen]byte]map[ids.ID]bool),
+		echoTimers:    make(map[[xcrypto.DigestLen]byte]*sim.Timer),
+		proposed:      make(map[[xcrypto.DigestLen]byte]bool),
+		seenReq:       make(map[ids.ID]uint64),
+		execHighest:   make(map[ids.ID]uint64),
+		lastResult:    make(map[ids.ID][]byte),
+		promised:      make(map[voteKey]bool),
+		pendingNV:     make(map[View][]ReplicaCert),
+		vcShares:      make(map[View]map[ids.ID]map[ids.ID]vcShare),
+		newViewSent:   make(map[View]bool),
+	}
+	initialCP := Checkpoint{Seq: 0, StateDigest: xcrypto.DigestNoCharge(cfg.App.Snapshot())}
+	r.chkpt = initialCP
+	r.snapshots[0] = cfg.App.Snapshot()
+	for _, p := range cfg.Replicas {
+		r.state[p] = &replicaState{
+			prepares:   make(map[Slot]Prepare),
+			commits:    make(map[Slot]CommitCert),
+			checkpoint: initialCP,
+		}
+	}
+
+	r.hub = msgring.NewHub(deps.RT, r.proc)
+	r.ackHub = tbcast.NewAckHub(deps.RT)
+	r.store = swmr.NewStore(deps.RT, r.proc, cfg.MemNodes, cfg.Fm)
+	r.sumHub = ctbcast.NewSummaryHub(deps.RT)
+	r.bgProc = sim.NewProc(r.proc.Engine(), r.proc.Name()+"-crypto")
+
+	env := ctbcast.Env{
+		RT: deps.RT, Proc: r.proc, Hub: r.hub, AckHub: r.ackHub,
+		Store: r.store, Signer: r.signer, SumHub: r.sumHub, BgProc: r.bgProc,
+	}
+	for i, p := range cfg.Replicas {
+		p := p
+		r.groups[p] = ctbcast.NewGroup(ctbcast.Params{
+			Self:          cfg.Self,
+			Broadcaster:   p,
+			Procs:         cfg.Replicas,
+			F:             cfg.F,
+			Tail:          cfg.Tail,
+			MsgCap:        cfg.MsgCap + 4096, // consensus framing + certificates
+			SummaryCap:    cfg.Window*(cfg.MsgCap+512) + 4096,
+			Mode:          cfg.CTBMode,
+			SlowPathDelay: cfg.CTBSlowDelay,
+			InstanceBase:  cfg.groupInstanceBase(i),
+			RegionBase:    cfg.regionBase(i),
+			Deliver:       func(k uint64, m []byte) { r.onConsensusMsg(p, m) },
+			Validate:      func(k uint64, m []byte) bool { return r.validateMsg(p, m) },
+			Capture:       func(id uint64) []byte { return r.captureState(p) },
+			ApplySummary:  func(id uint64, st []byte) { r.applySummary(p, st) },
+		}, env)
+	}
+
+	// Auxiliary channel: my CERTIFY / WILL_* / CERTIFY_CHECKPOINT stream.
+	myIdx := cfg.indexOf(cfg.Self)
+	r.auxOut = tbcast.NewBroadcaster(tbcast.Config{
+		RT: deps.RT, Proc: r.proc, AckHub: r.ackHub,
+		Instance:    cfg.auxInstance(myIdx),
+		Receivers:   othersOf(cfg.Replicas, cfg.Self),
+		Slots:       4 * cfg.Window,
+		SlotCap:     auxSlotCap,
+		SelfDeliver: func(_ uint64, m []byte) { r.onAuxMsg(cfg.Self, m) },
+	})
+	for i, p := range cfg.Replicas {
+		if p == cfg.Self {
+			continue
+		}
+		p := p
+		tbcast.Listen(r.hub, deps.RT, r.proc, p, cfg.auxInstance(i), 4*cfg.Window, auxSlotCap,
+			func(_ uint64, m []byte) { r.onAuxMsg(p, m) })
+	}
+
+	deps.RT.Register(router.ChanDirect, r.onDirect)
+	deps.RT.Register(router.ChanRPC, r.onRPC)
+	return r
+}
+
+func othersOf(procs []ids.ID, self ids.ID) []ids.ID {
+	var out []ids.ID
+	for _, p := range procs {
+		if p != self {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// AllocateCluster allocates the SWMR regions all replicas of cfg need on
+// the given memory nodes. Call once before creating replicas.
+func AllocateCluster(cfg Config, nodes []*memnode.Node) {
+	for i := range cfg.Replicas {
+		ctbcast.AllocateRegions(nodes, cfg.Replicas, cfg.Tail, cfg.regionBase(i))
+	}
+}
+
+// Stop cancels background activity (teardown for tests and benches).
+func (r *Replica) Stop() {
+	r.stopped = true
+	for _, g := range r.groups {
+		g.Stop()
+	}
+	r.auxOut.Stop()
+	if r.progressTimer != nil {
+		r.progressTimer.Cancel()
+	}
+	if r.batchTimer != nil {
+		r.batchTimer.Cancel()
+	}
+	for _, s := range r.slots {
+		if s.fallback != nil {
+			s.fallback.Cancel()
+		}
+	}
+	for _, t := range r.echoTimers {
+		t.Cancel()
+	}
+}
+
+// View returns the replica's current view.
+func (r *Replica) View() View { return r.view }
+
+// IsLeader reports whether this replica leads its current view.
+func (r *Replica) IsLeader() bool { return r.cfg.leaderOf(r.view) == r.cfg.Self }
+
+// DecidedCount returns how many slots have been decided locally.
+func (r *Replica) DecidedCount() int { return len(r.decided) + int(r.lastAppliedBelowDecided()) }
+
+func (r *Replica) lastAppliedBelowDecided() Slot { return 0 } // decided map retains applied entries until pruned
+
+// LastApplied returns the next slot to execute (all below are applied).
+func (r *Replica) LastApplied() Slot { return r.lastApplied }
+
+func (r *Replica) slot(s Slot) *slotState {
+	ss, ok := r.slots[s]
+	if !ok {
+		ss = &slotState{
+			willCertify:     make(map[voteKey]map[ids.ID]bool),
+			willCommit:      make(map[voteKey]map[ids.ID]bool),
+			certSigs:        make(map[certKey]map[ids.ID]xcrypto.Signature),
+			willCertifySent: make(map[View]bool),
+			willCommitSent:  make(map[View]bool),
+			certifySent:     make(map[View]bool),
+			commitSent:      make(map[View]bool),
+		}
+		r.slots[s] = ss
+	}
+	return ss
+}
+
+func (r *Replica) inWindow(s Slot) bool {
+	return s >= r.chkpt.Seq && s < r.chkpt.Seq+Slot(r.cfg.Window)
+}
+
+func (r *Replica) inWindowOf(cp *Checkpoint, s Slot) bool {
+	return s >= cp.Seq && s < cp.Seq+Slot(r.cfg.Window)
+}
+
+// ---------------------------------------------------------------------
+// Proposal (leader side): Algorithm 2, Propose.
+// ---------------------------------------------------------------------
+
+// enqueueProposal queues a request for proposal by this replica when it
+// leads, dropping duplicates.
+func (r *Replica) enqueueProposal(req Request) {
+	dg := req.Digest()
+	if r.proposed[dg] {
+		return
+	}
+	if !req.IsNoOp() && req.Num <= r.seenReq[req.Client] && r.seenReq[req.Client] != 0 {
+		return
+	}
+	r.proposeQ = append(r.proposeQ, req)
+	if r.cfg.BatchSize > 1 {
+		// Accumulate briefly so concurrent arrivals coalesce into one
+		// slot (§9 batching extension). The window is a few microseconds:
+		// far below end-to-end latency, enough to catch a burst.
+		if r.batchTimer == nil || !r.batchTimer.Pending() {
+			r.batchTimer = r.proc.After(5*sim.Microsecond, r.pumpProposals)
+		}
+		return
+	}
+	r.pumpProposals()
+}
+
+// pumpProposals proposes queued requests while the window and leadership
+// conditions of Algorithm 2 line 15 hold.
+func (r *Replica) pumpProposals() {
+	if r.stopped || !r.IsLeader() || r.isSealing() {
+		return
+	}
+	if r.view > 0 && !r.newViewSent[r.view] {
+		return // must broadcast NEW_VIEW before proposing (line 15)
+	}
+	for len(r.proposeQ) > 0 && r.inWindow(r.nextSlot) {
+		req := r.takeProposal()
+		if req == nil {
+			break
+		}
+		p := Prepare{View: r.view, Slot: r.nextSlot, Req: *req}
+		r.nextSlot++
+		r.groups[r.cfg.Self].Broadcast(encodePrepare(p))
+	}
+	r.armProgressTimer()
+}
+
+// takeProposal pops the next proposal, packing up to BatchSize queued
+// requests into a batch container (§9 extension). Returns nil when the
+// queue holds only already-proposed duplicates.
+func (r *Replica) takeProposal() *Request {
+	var fresh []Request
+	limit := r.cfg.BatchSize
+	if limit < 1 {
+		limit = 1
+	}
+	for len(r.proposeQ) > 0 && len(fresh) < limit {
+		req := r.proposeQ[0]
+		r.proposeQ = r.proposeQ[1:]
+		dg := req.Digest()
+		if r.proposed[dg] {
+			continue
+		}
+		r.proposed[dg] = true
+		if !req.IsNoOp() {
+			r.seenReq[req.Client] = req.Num
+		}
+		fresh = append(fresh, req)
+	}
+	switch len(fresh) {
+	case 0:
+		return nil
+	case 1:
+		return &fresh[0]
+	default:
+		b := EncodeBatch(fresh)
+		return &b
+	}
+}
+
+// ---------------------------------------------------------------------
+// CTBcast delivery: consensus-level messages from broadcaster p, FIFO.
+// ---------------------------------------------------------------------
+
+func (r *Replica) onConsensusMsg(p ids.ID, m []byte) {
+	if r.stopped {
+		return
+	}
+	rd := wire.NewReader(m)
+	switch rd.U8() {
+	case tagPrepare:
+		pr, err := decodePrepare(rd)
+		if err != nil {
+			return
+		}
+		r.onPrepare(p, pr)
+	case tagCommit:
+		c, err := decodeCommitCert(rd)
+		if err != nil {
+			return
+		}
+		r.onCommit(p, c)
+	case tagCheckpoint:
+		cp, err := decodeCheckpoint(rd)
+		if err != nil {
+			return
+		}
+		r.onCheckpointMsg(p, cp)
+	case tagSealView:
+		v := View(rd.U64())
+		r.onSealView(p, v)
+	case tagNewView:
+		nv, err := decodeNewView(rd)
+		if err != nil {
+			return
+		}
+		r.onNewView(p, nv)
+	}
+}
+
+// onPrepare implements Algorithm 2 lines 18-22 (validation already passed).
+func (r *Replica) onPrepare(p ids.ID, pr Prepare) {
+	st := r.state[p]
+	st.prepares[pr.Slot] = pr
+	st.newViewUsed = true
+	if pr.View != r.view || !r.inWindow(pr.Slot) {
+		return // line 20: stale or out-of-window for me (state[p] still updated)
+	}
+	r.endorseOrWait(pr)
+}
+
+// requestKnown reports whether this replica holds the client's direct copy
+// of req (for a batch container: of every sub-request).
+func (r *Replica) requestKnown(req Request) bool {
+	if req.IsNoOp() {
+		return true
+	}
+	if req.IsBatch() {
+		subs, err := DecodeBatch(req)
+		if err != nil {
+			return false
+		}
+		for _, sub := range subs {
+			if !r.requestKnown(sub) {
+				return false
+			}
+		}
+		return true
+	}
+	if r.seenExec(req.Client, req.Num) {
+		return true // already executed: provenance is settled
+	}
+	_, ok := r.reqStore[req.Digest()]
+	return ok
+}
+
+// endorseOrWait enforces §5.4: a replica endorses a PREPARE only once it
+// has the client request directly (no-ops and view-change re-proposals are
+// endorsed immediately; re-proposals carry f+1-certified provenance).
+func (r *Replica) endorseOrWait(pr Prepare) {
+	ss := r.slot(pr.Slot)
+	if !r.requestKnown(pr.Req) && pr.View == 0 && r.cfg.EchoTimeout > 0 {
+		// Wait for the client's direct copy before endorsing.
+		ss.waitingReq = &pr
+		return
+	}
+	r.endorse(pr)
+}
+
+func (r *Replica) endorse(pr Prepare) {
+	ss := r.slot(pr.Slot)
+	ss.waitingReq = nil
+	if r.cfg.FastPath {
+		// Fast path: WILL_CERTIFY promise (line 21).
+		if !ss.willCertifySent[pr.View] {
+			ss.willCertifySent[pr.View] = true
+			r.auxBroadcast(encodeSlotVote(tagWillCertify, pr.View, pr.Slot))
+		}
+		delay := r.cfg.SlowPathDelay
+		if delay <= 0 {
+			delay = sim.Millisecond // see ctbcast: must exceed hiccup scale
+		}
+		if ss.fallback == nil || !ss.fallback.Pending() {
+			v, s := pr.View, pr.Slot
+			ss.fallback = r.proc.After(delay, func() {
+				if _, done := r.decided[s]; !done && s >= r.chkpt.Seq {
+					r.sendCertify(v, s)
+				}
+			})
+		}
+	} else {
+		// Slow path: CERTIFY immediately (line 22).
+		r.sendCertify(pr.View, pr.Slot)
+	}
+	r.armProgressTimer()
+}
+
+// sendCertify signs and Tail-Broadcasts a CERTIFY share for the prepare we
+// delivered for (v, s).
+func (r *Replica) sendCertify(v View, s Slot) {
+	ss := r.slot(s)
+	if ss.certifySent[v] {
+		return
+	}
+	pr, ok := r.state[r.cfg.leaderOf(v)].prepares[s]
+	if !ok || pr.View != v {
+		return
+	}
+	ss.certifySent[v] = true
+	dg := pr.Req.Digest()
+	r.proc.Charge(latmodel.DigestCost(len(pr.Req.Payload)))
+	sig := r.signer.Sign(r.proc, certifyPayload(v, s, dg))
+	w := wire.NewWriter(128)
+	w.U8(tagCertify)
+	w.U64(uint64(v))
+	w.U64(uint64(s))
+	w.Raw(dg[:])
+	w.Bytes(sig)
+	r.auxBroadcast(w.Finish())
+}
+
+func (r *Replica) auxBroadcast(m []byte) { r.auxOut.Broadcast(m) }
+
+// encodeSlotVote builds WILL_CERTIFY / WILL_COMMIT frames.
+func encodeSlotVote(tag uint8, v View, s Slot) []byte {
+	w := wire.NewWriter(24)
+	w.U8(tag)
+	w.U64(uint64(v))
+	w.U64(uint64(s))
+	return w.Finish()
+}
+
+// ---------------------------------------------------------------------
+// Auxiliary channel: CERTIFY, WILL_*, CERTIFY_CHECKPOINT.
+// ---------------------------------------------------------------------
+
+func (r *Replica) onAuxMsg(p ids.ID, m []byte) {
+	if r.stopped {
+		return
+	}
+	rd := wire.NewReader(m)
+	switch rd.U8() {
+	case tagWillCertify:
+		v, s := View(rd.U64()), Slot(rd.U64())
+		if rd.Done() == nil {
+			r.onWillCertify(p, v, s)
+		}
+	case tagWillCommit:
+		v, s := View(rd.U64()), Slot(rd.U64())
+		if rd.Done() == nil {
+			r.onWillCommit(p, v, s)
+		}
+	case tagCertify:
+		v, s := View(rd.U64()), Slot(rd.U64())
+		var dg [xcrypto.DigestLen]byte
+		copy(dg[:], rd.Raw(xcrypto.DigestLen))
+		sig := rd.Bytes()
+		if rd.Done() == nil {
+			r.onCertify(p, v, s, dg, sig)
+		}
+	case tagCertifyCP:
+		seq := Slot(rd.U64())
+		var dg [xcrypto.DigestLen]byte
+		copy(dg[:], rd.Raw(xcrypto.DigestLen))
+		sig := rd.Bytes()
+		if rd.Done() == nil {
+			r.onCertifyCheckpoint(p, seq, dg, sig)
+		}
+	}
+}
+
+// onWillCertify implements lines 25-27: unanimity over WILL_CERTIFY lets
+// the replica promise WILL_COMMIT.
+func (r *Replica) onWillCertify(p ids.ID, v View, s Slot) {
+	if v != r.view || !r.inWindow(s) {
+		return
+	}
+	ss := r.slot(s)
+	key := voteKey{v, s}
+	if ss.willCertify[key] == nil {
+		ss.willCertify[key] = make(map[ids.ID]bool)
+	}
+	ss.willCertify[key][p] = true
+	if len(ss.willCertify[key]) == r.cfg.n() && !ss.willCommitSent[v] {
+		ss.willCommitSent[v] = true
+		r.promised[key] = true
+		r.auxBroadcast(encodeSlotVote(tagWillCommit, v, s))
+	}
+}
+
+// onWillCommit implements lines 29-31: unanimity decides on the fast path.
+func (r *Replica) onWillCommit(p ids.ID, v View, s Slot) {
+	if v != r.view || !r.inWindow(s) {
+		return
+	}
+	ss := r.slot(s)
+	key := voteKey{v, s}
+	if ss.willCommit[key] == nil {
+		ss.willCommit[key] = make(map[ids.ID]bool)
+	}
+	ss.willCommit[key][p] = true
+	if len(ss.willCommit[key]) == r.cfg.n() {
+		pr, ok := r.state[r.cfg.leaderOf(v)].prepares[s]
+		if !ok || pr.View != v {
+			return
+		}
+		r.FastDecides++
+		r.decide(s, pr.Req)
+	}
+}
+
+// onCertify implements lines 34-36: f+1 matching CERTIFY shares make PΣ,
+// which is then CTBcast in a COMMIT.
+func (r *Replica) onCertify(p ids.ID, v View, s Slot, dg [xcrypto.DigestLen]byte, sig xcrypto.Signature) {
+	if !r.inWindow(s) {
+		return
+	}
+	// Our own share needs no verification; remote shares are verified once
+	// and remembered so COMMIT-certificate validation does not re-pay.
+	if p != r.cfg.Self {
+		if !r.signer.Verify(r.proc, p, certifyPayload(v, s, dg), sig) {
+			return
+		}
+	}
+	r.rememberCertifySig(v, s, dg, p, sig)
+	ss := r.slot(s)
+	key := certKey{v, dg}
+	if ss.certSigs[key] == nil {
+		ss.certSigs[key] = make(map[ids.ID]xcrypto.Signature)
+	}
+	ss.certSigs[key][p] = sig
+	if len(ss.certSigs[key]) < r.cfg.F+1 || ss.commitSent[v] {
+		return
+	}
+	pr, ok := r.state[r.cfg.leaderOf(v)].prepares[s]
+	if !ok || pr.View != v || pr.Req.Digest() != dg {
+		return
+	}
+	ss.commitSent[v] = true
+	delete(r.promised, voteKey{v, s})
+	cert := CommitCert{View: v, Slot: s, Req: pr.Req, Sigs: ss.certSigs[key]}
+	w := wire.NewWriter(256 + len(pr.Req.Payload))
+	w.U8(tagCommit)
+	cert.encode(w)
+	r.groups[r.cfg.Self].Broadcast(w.Finish())
+	r.maybeSeal()
+}
+
+func certSigCacheKey(v View, dg [xcrypto.DigestLen]byte, p ids.ID, sig xcrypto.Signature) string {
+	w := wire.NewWriter(128)
+	w.U64(uint64(v))
+	w.Raw(dg[:])
+	w.I64(int64(p))
+	w.Bytes(sig)
+	return string(w.Finish())
+}
+
+func (r *Replica) rememberCertifySig(v View, s Slot, dg [xcrypto.DigestLen]byte, p ids.ID, sig xcrypto.Signature) {
+	m := r.knownCertSigs[s]
+	if m == nil {
+		m = make(map[string]bool)
+		r.knownCertSigs[s] = m
+	}
+	m[certSigCacheKey(v, dg, p, sig)] = true
+}
+
+// verifyCertifySig checks one CERTIFY signature, consulting the cache of
+// shares already verified on arrival.
+func (r *Replica) verifyCertifySig(v View, s Slot, dg [xcrypto.DigestLen]byte, p ids.ID, sig xcrypto.Signature) bool {
+	if r.knownCertSigs[s][certSigCacheKey(v, dg, p, sig)] {
+		return true
+	}
+	if !r.signer.Verify(r.proc, p, certifyPayload(v, s, dg), sig) {
+		return false
+	}
+	r.rememberCertifySig(v, s, dg, p, sig)
+	return true
+}
+
+// onCommit implements lines 38-41 (validation already verified the cert).
+func (r *Replica) onCommit(p ids.ID, c CommitCert) {
+	st := r.state[p]
+	st.commits[c.Slot] = c
+	st.newViewUsed = true
+	if !r.inWindow(c.Slot) {
+		return
+	}
+	// Count distinct broadcasters whose latest COMMIT carries this request.
+	dg := c.Req.Digest()
+	matching := 0
+	for _, q := range r.cfg.Replicas {
+		qc, ok := r.state[q].commits[c.Slot]
+		if ok && qc.Req.Digest() == dg {
+			matching++
+		}
+	}
+	if matching >= r.cfg.F+1 {
+		r.SlowDecides++
+		r.decide(c.Slot, c.Req)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Decide and execute.
+// ---------------------------------------------------------------------
+
+func (r *Replica) decide(s Slot, req Request) {
+	if _, done := r.decided[s]; done || s < r.lastApplied {
+		return
+	}
+	r.decided[s] = req
+	ss := r.slot(s)
+	if ss.fallback != nil {
+		ss.fallback.Cancel()
+	}
+	r.vcStreak = 0 // progress: reset the suspicion backoff
+	r.resetProgressTimer()
+	r.executeReady()
+}
+
+// executeReady applies decided requests strictly in slot order.
+func (r *Replica) executeReady() {
+	for {
+		req, ok := r.decided[r.lastApplied]
+		if !ok {
+			break
+		}
+		s := r.lastApplied
+		r.lastApplied++
+		switch {
+		case req.IsBatch():
+			subs, err := DecodeBatch(req)
+			if err == nil {
+				for _, sub := range subs {
+					r.applyOne(sub, s)
+				}
+			}
+		case !req.IsNoOp():
+			r.applyOne(req, s)
+		}
+		r.maybeCreateCheckpoint()
+	}
+	r.armProgressTimer()
+}
+
+// applyOne executes a single client request decided in slot s with
+// exactly-once semantics and responds to the client.
+func (r *Replica) applyOne(req Request, s Slot) {
+	if req.IsNoOp() || req.IsBatch() {
+		return
+	}
+	var result []byte
+	if r.seenExec(req.Client, req.Num) {
+		// A re-proposed duplicate: respond with the cached result instead
+		// of applying twice (exactly-once execution).
+		result = r.lastResult[req.Client]
+	} else {
+		r.proc.Charge(r.cfg.App.ExecCost(req.Payload) + latmodel.AppExecBase)
+		result = r.cfg.App.Apply(req.Payload)
+		r.Executed++
+		r.execHighest[req.Client] = req.Num
+		r.lastResult[req.Client] = result
+		delete(r.reqStore, req.Digest())
+	}
+	r.respond(req.Client, req.Num, s, result)
+	if r.cfg.Responder != nil {
+		r.cfg.Responder(req.Client, req.Num, s, result)
+	}
+}

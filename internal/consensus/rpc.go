@@ -1,0 +1,241 @@
+package consensus
+
+import (
+	"repro/internal/ids"
+	"repro/internal/latmodel"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/wire"
+	"repro/internal/xcrypto"
+)
+
+// This file implements uBFT's RPC layer (§5.4 and Figure 4's Echo round):
+// clients send UNSIGNED requests to all replicas (no client signatures on
+// the fast path); followers echo each request to the leader so the leader
+// knows everyone holds it before proposing; replicas respond after
+// execution and the client accepts a result once f+1 replicas agree.
+
+const (
+	tagEcho     uint8 = 23
+	tagRequest  uint8 = 30
+	tagResponse uint8 = 31
+)
+
+// onRPC handles client traffic arriving at a replica.
+func (r *Replica) onRPC(from ids.ID, payload []byte) {
+	if r.stopped {
+		return
+	}
+	rd := wire.NewReader(payload)
+	if rd.U8() != tagRequest {
+		return
+	}
+	req := decodeRequest(rd)
+	if rd.Done() != nil || req.IsNoOp() {
+		return
+	}
+	if req.Client != from {
+		return // authenticated links: a client cannot impersonate another
+	}
+	if r.seenExec(req.Client, req.Num) {
+		// Retransmission of an executed request: re-send the cached result.
+		r.respond(req.Client, req.Num, 0, r.lastResult[req.Client])
+		return
+	}
+	dg := req.Digest()
+	r.proc.Charge(latmodel.DigestCost(len(req.Payload)))
+	if _, dup := r.reqStore[dg]; dup {
+		return
+	}
+	r.reqStore[dg] = req
+
+	// Unblock any PREPARE waiting for this request's endorsement (batch
+	// containers become endorsable once their last sub-request arrives).
+	for _, ss := range r.slots {
+		if ss.waitingReq != nil && r.requestKnown(ss.waitingReq.Req) {
+			r.endorse(*ss.waitingReq)
+		}
+	}
+
+	if r.IsLeader() {
+		r.noteEcho(dg, r.cfg.Self)
+	} else {
+		// Echo toward the leader (Fig 4, "Echo Req").
+		w := wire.NewWriter(48)
+		w.U8(tagEcho)
+		w.Raw(dg[:])
+		r.rt.Send(r.cfg.leaderOf(r.view), router.ChanDirect, w.Finish())
+	}
+	r.armProgressTimer()
+}
+
+// onEcho records a follower's echo at the leader.
+func (r *Replica) onEcho(from ids.ID, rd *wire.Reader) {
+	var dg [xcrypto.DigestLen]byte
+	copy(dg[:], rd.Raw(xcrypto.DigestLen))
+	if rd.Done() != nil || r.cfg.indexOf(from) < 0 {
+		return
+	}
+	r.noteEcho(dg, from)
+}
+
+// noteEcho tracks who holds the request; the leader proposes once every
+// follower echoed, or after EchoTimeout (a Byzantine client that sent its
+// request to only some replicas cannot stall the system, §5.4).
+func (r *Replica) noteEcho(dg [xcrypto.DigestLen]byte, from ids.ID) {
+	if !r.IsLeader() {
+		return
+	}
+	if r.proposed[dg] {
+		return
+	}
+	if r.echoes[dg] == nil {
+		r.echoes[dg] = make(map[ids.ID]bool)
+	}
+	r.echoes[dg][from] = true
+	req, haveReq := r.reqStore[dg]
+	if !haveReq {
+		return // echo arrived before the client's own copy
+	}
+	if r.cfg.EchoTimeout <= 0 || len(r.echoes[dg]) == r.cfg.n() {
+		r.finishEcho(dg, req)
+		return
+	}
+	if _, armed := r.echoTimers[dg]; !armed {
+		r.echoTimers[dg] = r.proc.After(r.cfg.EchoTimeout, func() {
+			if req, ok := r.reqStore[dg]; ok {
+				r.finishEcho(dg, req)
+			}
+		})
+	}
+}
+
+func (r *Replica) finishEcho(dg [xcrypto.DigestLen]byte, req Request) {
+	if t, ok := r.echoTimers[dg]; ok {
+		t.Cancel()
+		delete(r.echoTimers, dg)
+	}
+	delete(r.echoes, dg)
+	r.enqueueProposal(req)
+}
+
+// rebroadcastPending re-routes known-but-unexecuted client requests after a
+// view change: followers echo them to the new leader, the new leader
+// enqueues its own copies. Without this, requests echoed to a crashed
+// leader would be lost until the client retransmits.
+func (r *Replica) rebroadcastPending() {
+	for dg, req := range r.reqStore {
+		if req.IsNoOp() || r.executedReq(req) || r.proposed[dg] {
+			continue
+		}
+		if r.IsLeader() {
+			r.noteEcho(dg, r.cfg.Self)
+		} else {
+			w := wire.NewWriter(48)
+			w.U8(tagEcho)
+			w.Raw(dg[:])
+			r.rt.Send(r.cfg.leaderOf(r.view), router.ChanDirect, w.Finish())
+		}
+	}
+}
+
+// respond sends an execution result back to the client.
+func (r *Replica) respond(client ids.ID, reqNum uint64, slot Slot, result []byte) {
+	w := wire.NewWriter(32 + len(result))
+	w.U8(tagResponse)
+	w.U64(reqNum)
+	w.U64(uint64(slot))
+	w.Bytes(result)
+	r.rt.Send(client, router.ChanRPC, w.Finish())
+}
+
+// Client is a uBFT client: it fires unsigned requests at every replica and
+// accepts a result confirmed by f+1 of them.
+type Client struct {
+	rt       *router.Router
+	proc     *sim.Proc
+	replicas []ids.ID
+	f        int
+
+	nextNum uint64
+	pending map[uint64]*pendingReq
+}
+
+type pendingReq struct {
+	started sim.Time
+	byRes   map[uint64]int // result checksum -> count
+	results map[uint64][]byte
+	done    func(result []byte, latency sim.Duration)
+	fired   bool
+}
+
+// NewClient wires a client onto its host router.
+func NewClient(rt *router.Router, replicas []ids.ID, f int) *Client {
+	c := &Client{
+		rt:       rt,
+		proc:     rt.Node().Proc(),
+		replicas: replicas,
+		f:        f,
+		pending:  make(map[uint64]*pendingReq),
+	}
+	rt.Register(router.ChanRPC, c.onResponse)
+	return c
+}
+
+// Invoke submits payload for replicated execution; done receives the
+// f+1-confirmed result and the end-to-end latency.
+func (c *Client) Invoke(payload []byte, done func(result []byte, latency sim.Duration)) {
+	c.nextNum++
+	num := c.nextNum
+	c.pending[num] = &pendingReq{
+		started: c.proc.Now(),
+		byRes:   make(map[uint64]int),
+		results: make(map[uint64][]byte),
+		done:    done,
+	}
+	req := Request{Client: c.rt.ID(), Num: num, Payload: payload}
+	w := wire.NewWriter(32 + len(payload))
+	w.U8(tagRequest)
+	req.encode(w)
+	frame := w.Finish()
+	for _, rep := range c.replicas {
+		c.rt.Send(rep, router.ChanRPC, frame)
+	}
+}
+
+func (c *Client) onResponse(from ids.ID, payload []byte) {
+	rd := wire.NewReader(payload)
+	if rd.U8() != tagResponse {
+		return
+	}
+	num := rd.U64()
+	rd.U64() // slot (informational)
+	result := rd.Bytes()
+	if rd.Done() != nil {
+		return
+	}
+	if !c.isReplica(from) {
+		return
+	}
+	p := c.pending[num]
+	if p == nil || p.fired {
+		return
+	}
+	key := xcrypto.ChecksumNoCharge(result)
+	p.byRes[key]++
+	p.results[key] = result
+	if p.byRes[key] >= c.f+1 {
+		p.fired = true
+		delete(c.pending, num)
+		p.done(result, c.proc.Now().Sub(p.started))
+	}
+}
+
+func (c *Client) isReplica(id ids.ID) bool {
+	for _, r := range c.replicas {
+		if r == id {
+			return true
+		}
+	}
+	return false
+}

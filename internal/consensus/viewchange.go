@@ -1,0 +1,570 @@
+package consensus
+
+import (
+	"bytes"
+
+	"repro/internal/ids"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/wire"
+	"repro/internal/xcrypto"
+)
+
+// This file implements the view change (paper §5.3, Algorithm 3), the
+// Byzantine message checks (Algorithm 5, wired in as the CTBcast Validate
+// hook), and the CTBcast summary capture/apply hooks (Algorithm 4's state
+// content).
+//
+// Three engineering details beyond the pseudocode:
+//
+//   - Exponential backoff: the suspicion timeout doubles with every view
+//     change that fails to restore progress (a complete view change costs
+//     around a millisecond of signature work, so a fixed microsecond-scale
+//     timeout would preempt itself forever).
+//   - View joining: a replica that observes f+1 distinct replicas sealing
+//     a higher view joins it, keeping timers loosely synchronized.
+//   - Seal-before-speak: every replica broadcasts SEAL_VIEW(v) on its own
+//     CTBcast channel before sending any view-v message, because the
+//     Byzantine checks validate each replica's messages against the view
+//     that replica itself declared in FIFO order.
+
+// ---------------------------------------------------------------------
+// Leader suspicion with exponential backoff.
+// ---------------------------------------------------------------------
+
+func (r *Replica) suspicionTimeout() sim.Duration {
+	shift := r.vcStreak
+	if shift > 8 {
+		shift = 8
+	}
+	return r.cfg.ViewChangeTimeout << shift
+}
+
+// armProgressTimer (re)arms the leader-suspicion timer while there is
+// undecided work in flight.
+func (r *Replica) armProgressTimer() {
+	if r.cfg.ViewChangeTimeout <= 0 || r.stopped {
+		return
+	}
+	if !r.hasUndecidedWork() {
+		return
+	}
+	if r.progressTimer != nil && r.progressTimer.Pending() {
+		return
+	}
+	r.progressTimer = r.proc.After(r.suspicionTimeout(), func() {
+		if r.stopped || !r.hasUndecidedWork() {
+			return
+		}
+		r.ViewChanges++
+		r.vcStreak++
+		r.changeView()
+		r.armProgressTimer()
+	})
+}
+
+func (r *Replica) resetProgressTimer() {
+	if r.progressTimer != nil {
+		r.progressTimer.Cancel()
+		r.progressTimer = nil
+	}
+	r.armProgressTimer()
+}
+
+// hasUndecidedWork reports whether this replica is waiting on the leader:
+// a known client request that is neither proposed-and-decided nor covered
+// by a checkpoint.
+func (r *Replica) hasUndecidedWork() bool {
+	for dg, req := range r.reqStore {
+		if req.IsNoOp() {
+			continue
+		}
+		if r.executedReq(req) {
+			delete(r.reqStore, dg) // executed: no longer evidence of stall
+			continue
+		}
+		return true
+	}
+	// Prepared-but-undecided slots also count (the leader proposed but the
+	// protocol stalled).
+	for s := range r.slots {
+		if _, done := r.decided[s]; !done && s >= r.chkpt.Seq && r.hasPrepare(s) {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Replica) executedReq(req Request) bool {
+	return r.seenExec(req.Client, req.Num)
+}
+
+func (r *Replica) seenExec(client ids.ID, num uint64) bool {
+	n, ok := r.execHighest[client]
+	return ok && n >= num
+}
+
+func (r *Replica) hasPrepare(s Slot) bool {
+	for _, q := range r.cfg.Replicas {
+		if _, ok := r.state[q].prepares[s]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------
+// Sealing views (Algorithm 3 lines 3-6).
+// ---------------------------------------------------------------------
+
+func (r *Replica) isSealing() bool { return r.sealTarget > r.view }
+
+// changeView targets the next view.
+func (r *Replica) changeView() {
+	if r.isSealing() {
+		return // a seal is already in flight; the backoff timer retries
+	}
+	r.sealTo(r.view + 1)
+}
+
+// joinView targets a specific higher view (observed via f+1 seals or a
+// NEW_VIEW message).
+func (r *Replica) joinView(v View) {
+	if v <= r.view || v <= r.sealTarget {
+		return
+	}
+	r.sealTo(v)
+}
+
+// sealTo honours fast-path promises, then seals into view v.
+func (r *Replica) sealTo(v View) {
+	r.sealTarget = v
+	// Lines 4-5: every WILL_COMMIT promise must be backed by a COMMIT (or
+	// a covering checkpoint) before SEAL_VIEW. Certify every slot with a
+	// delivered, uncommitted prepare — from ANY view — so that peers'
+	// promises can complete too: a promise for (v, s) implies every
+	// correct replica delivered PREPARE(v, s), so each of them certifying
+	// at seal time guarantees the f+1 shares PΣ needs, even when views
+	// diverged transiently.
+	for _, p := range r.cfg.Replicas {
+		for s, pr := range r.state[p].prepares {
+			if s >= r.chkpt.Seq && !r.slot(s).commitSent[pr.View] {
+				r.sendCertify(pr.View, s)
+			}
+		}
+	}
+	r.maybeSeal()
+}
+
+// maybeSeal broadcasts SEAL_VIEW once every promise is honoured.
+func (r *Replica) maybeSeal() {
+	if !r.isSealing() || r.stopped {
+		return
+	}
+	for key := range r.promised {
+		if key.s < r.chkpt.Seq {
+			delete(r.promised, key) // covered by a checkpoint
+			continue
+		}
+		if !r.slot(key.s).commitSent[key.v] {
+			return // still waiting for the certificate
+		}
+		delete(r.promised, key)
+	}
+	v := r.sealTarget
+	r.sealTarget = 0
+	r.view = v
+	w := wire.NewWriter(16)
+	w.U8(tagSealView)
+	w.U64(uint64(v))
+	r.groups[r.cfg.Self].Broadcast(w.Finish())
+	// If we are the new leader and the certificate set is already
+	// complete, start the view now that we have declared it.
+	if certs, ok := r.pendingNV[v]; ok && r.cfg.leaderOf(v) == r.cfg.Self && !r.newViewSent[v] {
+		delete(r.pendingNV, v)
+		r.newViewSent[v] = true
+		r.startView(v, certs)
+	}
+	r.reprocessPrepares()
+	// Restart the suspicion window: the new view's leader deserves a full
+	// (backed-off) timeout before being abandoned in turn.
+	r.resetProgressTimer()
+}
+
+// onSealView implements lines 8-11: record the seal, certify the sealer's
+// state toward the new leader, and join views the quorum is moving to.
+func (r *Replica) onSealView(p ids.ID, v View) {
+	st := r.state[p]
+	st.sealedView = v
+	st.view = v
+	st.newViewUsed = false
+	// Certify p's state as this replica has delivered it.
+	cs := CertifiedState{
+		View:       v,
+		Checkpoint: st.checkpoint,
+		Commits:    make(map[Slot]CommitCert, len(st.commits)),
+	}
+	for s, c := range st.commits {
+		if r.inWindowOf(&st.checkpoint, s) {
+			cs.Commits[s] = c
+		}
+	}
+	stateBytes := encodeCertifiedState(&cs)
+	sig := r.signer.Sign(r.proc, vcSharePayload(v, p, stateBytes))
+	w := wire.NewWriter(64 + len(stateBytes))
+	w.U8(tagCertifyVC)
+	w.U64(uint64(v))
+	w.I64(int64(p))
+	w.Bytes(stateBytes)
+	w.Bytes(sig)
+	r.rt.Send(r.cfg.leaderOf(v), router.ChanDirect, w.Finish())
+
+	// Join if f+1 distinct replicas sealed at least v.
+	if v > r.view && v > r.sealTarget {
+		sealers := 0
+		for _, q := range r.cfg.Replicas {
+			if r.state[q].sealedView >= v {
+				sealers++
+			}
+		}
+		if sealers >= r.cfg.F+1 {
+			r.joinView(v)
+		}
+	}
+}
+
+// reprocessPrepares re-endorses prepares of the current view that arrived
+// while this replica was still sealing.
+func (r *Replica) reprocessPrepares() {
+	leader := r.cfg.leaderOf(r.view)
+	for s, pr := range r.state[leader].prepares {
+		if pr.View != r.view || !r.inWindow(s) {
+			continue
+		}
+		if _, done := r.decided[s]; done {
+			continue
+		}
+		r.endorseOrWait(pr)
+	}
+}
+
+// onDirect dispatches direct messages (view-change shares, echoes, state
+// transfer).
+func (r *Replica) onDirect(from ids.ID, payload []byte) {
+	if r.stopped {
+		return
+	}
+	rd := wire.NewReader(payload)
+	tag := rd.U8()
+	switch tag {
+	case tagCertifyVC:
+		v := View(rd.U64())
+		about := ids.ID(rd.I64())
+		stateBytes := rd.Bytes()
+		sig := rd.Bytes()
+		if rd.Done() == nil {
+			r.onCertifyVC(from, v, about, stateBytes, sig)
+		}
+	case tagStateReq, tagStateResp:
+		r.onStateTransfer(from, tag, rd)
+	case tagEcho:
+		r.onEcho(from, rd)
+	}
+}
+
+// onCertifyVC implements lines 13-19 at the new leader: collect f+1
+// matching shares about f+1 distinct replicas, then broadcast NEW_VIEW and
+// re-propose the open slots.
+func (r *Replica) onCertifyVC(from ids.ID, v View, about ids.ID, stateBytes []byte, sig xcrypto.Signature) {
+	if r.cfg.leaderOf(v) != r.cfg.Self || v < r.view || r.newViewSent[v] {
+		return
+	}
+	if r.cfg.indexOf(from) < 0 || r.cfg.indexOf(about) < 0 {
+		return
+	}
+	if !r.signer.Verify(r.proc, from, vcSharePayload(v, about, stateBytes), sig) {
+		return
+	}
+	if r.vcShares[v] == nil {
+		r.vcShares[v] = make(map[ids.ID]map[ids.ID]vcShare)
+	}
+	if r.vcShares[v][about] == nil {
+		r.vcShares[v][about] = make(map[ids.ID]vcShare)
+	}
+	r.vcShares[v][about][from] = vcShare{stateBytes: stateBytes, sig: sig}
+
+	// A replica's state is certified once f+1 signers agree on the bytes.
+	certified := make([]ReplicaCert, 0, r.cfg.n())
+	for aboutID, shares := range r.vcShares[v] {
+		byState := make(map[string][]ids.ID)
+		for signer, sh := range shares {
+			byState[string(sh.stateBytes)] = append(byState[string(sh.stateBytes)], signer)
+		}
+		for stateStr, signers := range byState {
+			if len(signers) >= r.cfg.F+1 {
+				sigs := make(map[ids.ID]xcrypto.Signature, len(signers))
+				for _, s := range signers {
+					sigs[s] = shares[s].sig
+				}
+				certified = append(certified, ReplicaCert{
+					About:      aboutID,
+					StateBytes: []byte(stateStr),
+					Sigs:       sigs,
+				})
+				break
+			}
+		}
+	}
+	if len(certified) < r.cfg.F+1 {
+		return
+	}
+	if r.view < v {
+		// We must declare (seal) view v ourselves before speaking in it;
+		// stash the certificates and finish when the seal lands.
+		r.pendingNV[v] = certified
+		r.joinView(v)
+		return
+	}
+	if r.view == v {
+		r.newViewSent[v] = true
+		r.startView(v, certified)
+	}
+}
+
+// startView is the new leader's half of lines 15-19. The caller guarantees
+// r.view == v and that SEAL_VIEW(v) was broadcast before.
+func (r *Replica) startView(v View, certs []ReplicaCert) {
+	nv := NewViewMsg{View: v, Certs: certs[:r.cfg.F+1]}
+	r.groups[r.cfg.Self].Broadcast(encodeNewView(nv))
+	r.state[r.cfg.Self].newView = &nv
+	// Adopt the highest certified checkpoint.
+	for _, c := range nv.Certs {
+		cs, err := decodeCertifiedState(c.StateBytes)
+		if err != nil {
+			continue
+		}
+		r.maybeCheckpoint(cs.Checkpoint)
+	}
+	// Re-propose every open slot per MustPropose.
+	for s := r.chkpt.Seq; s < r.chkpt.Seq+Slot(r.cfg.Window); s++ {
+		req, any := r.mustPropose(s, nv.Certs)
+		if any {
+			break // slots beyond the certified range take fresh requests
+		}
+		p := Prepare{View: v, Slot: s, Req: req}
+		if s >= r.nextSlot {
+			r.nextSlot = s + 1
+		}
+		r.groups[r.cfg.Self].Broadcast(encodePrepare(p))
+	}
+	r.rebroadcastPending()
+	r.pumpProposals()
+}
+
+// mustPropose implements lines 25-27. any=true means the slot is beyond
+// every certified commit and checkpoint: the leader may propose fresh
+// requests there.
+func (r *Replica) mustPropose(s Slot, certs []ReplicaCert) (Request, bool) {
+	maxOpen := Slot(0)
+	var best *CommitCert
+	for _, c := range certs {
+		cs, err := decodeCertifiedState(c.StateBytes)
+		if err != nil {
+			continue
+		}
+		for sl, cc := range cs.Commits {
+			if sl > maxOpen {
+				maxOpen = sl
+			}
+			if sl == s {
+				cc := cc
+				if best == nil || cc.View > best.View {
+					best = &cc
+				}
+			}
+		}
+	}
+	if best != nil {
+		return best.Req, false
+	}
+	if s > maxOpen {
+		return Request{}, true
+	}
+	return NoOp(), false
+}
+
+// onNewView implements lines 21-23 at followers.
+func (r *Replica) onNewView(p ids.ID, nv NewViewMsg) {
+	st := r.state[p]
+	st.newView = &nv
+	st.newViewUsed = false
+	// Adopt the highest certified checkpoint from the certificates.
+	for _, c := range nv.Certs {
+		cs, err := decodeCertifiedState(c.StateBytes)
+		if err != nil {
+			continue
+		}
+		r.maybeCheckpoint(cs.Checkpoint)
+	}
+	// Catch up to the new view (line 23), declaring it on our own channel.
+	r.joinView(nv.View)
+	r.rebroadcastPending()
+	r.reprocessPrepares()
+	r.resetProgressTimer()
+}
+
+// ---------------------------------------------------------------------
+// Byzantine checks (Algorithm 5) — the CTBcast Validate hook.
+// ---------------------------------------------------------------------
+
+// validateMsg vets broadcaster p's next FIFO message. Returning false
+// proves p Byzantine and blocks its channel (Algorithm 2 line 1).
+func (r *Replica) validateMsg(p ids.ID, m []byte) bool {
+	rd := wire.NewReader(m)
+	st := r.state[p]
+	switch rd.U8() {
+	case tagPrepare:
+		pr, err := decodePrepare(rd)
+		if err != nil || rd.Done() != nil {
+			return false
+		}
+		if st.view != pr.View || r.cfg.leaderOf(pr.View) != p {
+			return false
+		}
+		if !r.inWindowOf(&st.checkpoint, pr.Slot) {
+			return false
+		}
+		if prev, dup := st.prepares[pr.Slot]; dup && prev.View == pr.View {
+			return false // p already prepared this slot in this view
+		}
+		if pr.View > 0 {
+			if st.newView == nil {
+				return false
+			}
+			req, any := r.mustPropose(pr.Slot, st.newView.Certs)
+			if !any && !bytes.Equal(EncodeRequest(req), EncodeRequest(pr.Req)) {
+				return false
+			}
+		}
+		return true
+	case tagCommit:
+		c, err := decodeCommitCert(rd)
+		if err != nil || rd.Done() != nil {
+			return false
+		}
+		if !r.inWindowOf(&st.checkpoint, c.Slot) {
+			return false
+		}
+		if c.View > st.view {
+			return false
+		}
+		// Verify PΣ: f+1 valid CERTIFY signatures over the request digest
+		// (cached shares verified on arrival cost nothing here).
+		dg := c.Req.Digest()
+		valid := 0
+		for q, sig := range c.Sigs {
+			if r.cfg.indexOf(q) < 0 {
+				continue
+			}
+			if r.verifyCertifySig(c.View, c.Slot, dg, q, sig) {
+				valid++
+			}
+		}
+		return valid >= r.cfg.F+1
+	case tagCheckpoint:
+		cp, err := decodeCheckpoint(rd)
+		if err != nil || rd.Done() != nil {
+			return false
+		}
+		if !cp.Supersedes(&st.checkpoint) {
+			return false
+		}
+		return r.verifyCheckpointCert(&cp)
+	case tagSealView:
+		v := View(rd.U64())
+		if rd.Done() != nil {
+			return false
+		}
+		return v > st.view
+	case tagNewView:
+		nv, err := decodeNewView(rd)
+		if err != nil || rd.Done() != nil {
+			return false
+		}
+		if r.cfg.leaderOf(st.view) != p || nv.View != st.view {
+			return false
+		}
+		if st.newViewUsed {
+			return false // must be p's first non-CHECKPOINT message in the view
+		}
+		seen := make(map[ids.ID]bool)
+		for _, c := range nv.Certs {
+			if seen[c.About] || r.cfg.indexOf(c.About) < 0 {
+				return false
+			}
+			seen[c.About] = true
+			cs, err := decodeCertifiedState(c.StateBytes)
+			if err != nil || cs.View != nv.View {
+				return false
+			}
+			valid := 0
+			for q, sig := range c.Sigs {
+				if r.cfg.indexOf(q) < 0 {
+					continue
+				}
+				if r.signer.Verify(r.proc, q, vcSharePayload(nv.View, c.About, c.StateBytes), sig) {
+					valid++
+				}
+			}
+			if valid < r.cfg.F+1 {
+				return false
+			}
+		}
+		return len(nv.Certs) >= r.cfg.F+1
+	}
+	return false // unknown tag: Byzantine
+}
+
+// ---------------------------------------------------------------------
+// CTBcast summaries: capture / apply the consensus-level state[p].
+// ---------------------------------------------------------------------
+
+// captureState serializes state[p] deterministically: every correct
+// replica that delivered the same FIFO prefix produces identical bytes,
+// which is what lets f+1 shares match.
+func (r *Replica) captureState(p ids.ID) []byte {
+	st := r.state[p]
+	cs := CertifiedState{
+		View:       st.view,
+		Checkpoint: st.checkpoint,
+		Commits:    make(map[Slot]CommitCert, len(st.commits)),
+	}
+	// Only commits inside p's declared window are relevant (older slots
+	// are covered by the checkpoint); this also bounds the summary size.
+	for s, c := range st.commits {
+		if r.inWindowOf(&st.checkpoint, s) {
+			cs.Commits[s] = c
+		}
+	}
+	return encodeCertifiedState(&cs)
+}
+
+// applySummary installs a certified summary of p's stream for a receiver
+// that missed messages: the summarized checkpoint and commits become
+// state[p], and their consensus effects replay.
+func (r *Replica) applySummary(p ids.ID, stateBytes []byte) {
+	cs, err := decodeCertifiedState(stateBytes)
+	if err != nil {
+		return
+	}
+	st := r.state[p]
+	st.view = cs.View
+	if cs.Checkpoint.Supersedes(&st.checkpoint) {
+		st.checkpoint = cs.Checkpoint
+		r.maybeCheckpoint(cs.Checkpoint)
+	}
+	for s, c := range cs.Commits {
+		st.commits[s] = c
+		r.onCommit(p, c)
+	}
+}

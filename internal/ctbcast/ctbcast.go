@@ -1,0 +1,709 @@
+// Package ctbcast implements Consistent Tail Broadcast (paper §4), the
+// novel non-equivocation primitive at the heart of uBFT, together with the
+// CTBcast summary mechanism of §5.2 that restores FIFO delivery across
+// tail-validity gaps.
+//
+// One Group object realizes one broadcast channel: a designated broadcaster
+// and n = 2f+1 receivers (the broadcaster is also a receiver). Properties
+// (§4.1): tail-validity for the last t messages, agreement (no two correct
+// receivers deliver different messages for the same identifier — the
+// non-equivocation guarantee), integrity, and no duplication.
+//
+// The implementation is Algorithm 1 verbatim:
+//
+//   - Fast path (signature-free): the broadcaster Tail-Broadcasts
+//     <LOCK, k, m>; receivers commit to (k, m) in their locks array and
+//     Tail-Broadcast <LOCKED, k, m>; unanimous LOCKED messages deliver.
+//   - Slow path: the broadcaster Tail-Broadcasts <SIGNED, k, m, sig>;
+//     receivers verify, re-check their lock, copy (k, fingerprint, sig)
+//     into their own SWMR register for slot k%t, read everyone else's
+//     registers, and deliver unless they find a conflicting signed value
+//     (Byzantine broadcaster) or a higher aliasing identifier (out of
+//     tail). Per §7.6, registers hold the message id and a 32-byte
+//     fingerprint rather than the message body.
+//
+// On top of Algorithm 1, the Group FIFO-orders deliveries to the upper
+// layer (§5.2 requires consensus to interpret messages in FIFO order) and
+// runs the interactive summary protocol: every t/2 identifiers the
+// broadcaster blocks until f+1 receivers certify a summary of its state,
+// then Tail-Broadcasts the certified summary so receivers with gaps can
+// catch up without the missed messages.
+package ctbcast
+
+import (
+	"fmt"
+
+	"repro/internal/ids"
+	"repro/internal/latmodel"
+	"repro/internal/memnode"
+	"repro/internal/msgring"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/swmr"
+	"repro/internal/tbcast"
+	"repro/internal/wire"
+	"repro/internal/xcrypto"
+)
+
+// Message tags on the broadcaster's tail-broadcast channel.
+const (
+	tagLock    uint8 = 1
+	tagSigned  uint8 = 2
+	tagSummary uint8 = 3
+	tagLocked  uint8 = 4 // on receivers' LOCKED channels
+)
+
+// registerValueCap is the capacity of each SWMR register's value:
+// identifier (8) + fingerprint (32) + signature (64).
+const registerValueCap = 8 + xcrypto.DigestLen + xcrypto.SigLen
+
+// PathMode selects how the slow path is triggered.
+type PathMode int
+
+const (
+	// FastWithFallback runs the fast path and starts the slow path for an
+	// identifier only if it has not been delivered after SlowPathDelay.
+	// This is uBFT's production configuration.
+	FastWithFallback PathMode = iota
+	// FastOnly never signs (benchmarking the fast path in isolation).
+	FastOnly
+	// SlowOnly skips LOCK/LOCKED and always signs (benchmarking the slow
+	// path / operating under failure suspicion).
+	SlowOnly
+	// BothEager broadcasts LOCK and SIGNED together, as in the pedagogical
+	// presentation of Algorithm 1.
+	BothEager
+)
+
+// Params configures one CTBcast group.
+type Params struct {
+	// Self is this process; Broadcaster names the group's designated
+	// broadcaster (may equal Self).
+	Self        ids.ID
+	Broadcaster ids.ID
+	// Procs lists all 2F+1 group members in a globally agreed order.
+	Procs []ids.ID
+	F     int
+	// Tail is t: the number of identifiers guaranteed deliverable.
+	Tail int
+	// MsgCap bounds message size.
+	MsgCap int
+	// SummaryCap bounds summary-certificate size on the broadcaster's
+	// channel (summaries carry upper-layer state synopses, which can be
+	// much larger than individual messages). Zero defaults to MsgCap
+	// headroom. The ring slots of the broadcaster channel are sized for
+	// the largest of the two — mirroring the paper's prototype, which
+	// preallocates ring slots "large enough for the largest message"
+	// (§6.2) and whose local memory therefore scales with both the tail
+	// and the message size (Table 2).
+	SummaryCap int
+	// Mode selects the fast/slow path policy; SlowPathDelay is the
+	// fallback timeout for FastWithFallback.
+	Mode          PathMode
+	SlowPathDelay sim.Duration
+
+	// InstanceBase reserves tail-broadcast instances [InstanceBase,
+	// InstanceBase+len(Procs)] for this group: InstanceBase is the
+	// broadcaster's LOCK/SIGNED channel, InstanceBase+1+i the LOCKED
+	// channel of Procs[i].
+	InstanceBase msgring.Instance
+	// RegionBase reserves memory-node regions [RegionBase, RegionBase +
+	// len(Procs)*Tail) for the group's SWMR registers: receiver i owns
+	// regions [RegionBase+i*Tail, RegionBase+(i+1)*Tail).
+	RegionBase memnode.RegionID
+
+	// Deliver receives FIFO-ordered deliveries. k starts at 1.
+	Deliver func(k uint64, m []byte)
+	// Validate, if non-nil, is the upper layer's Byzantine check
+	// (Algorithm 5): returning false marks the broadcaster Byzantine and
+	// blocks all further deliveries from it (Algorithm 2 line 1).
+	Validate func(k uint64, m []byte) bool
+	// Capture returns the upper layer's deterministic state snapshot after
+	// applying the broadcaster's messages up to id (summary content). May
+	// be nil (empty summaries).
+	Capture func(id uint64) []byte
+	// ApplySummary applies a certified summary for a gap the upper layer
+	// missed. May be nil.
+	ApplySummary func(id uint64, state []byte)
+}
+
+// Env bundles the per-host infrastructure a Group plugs into.
+type Env struct {
+	RT     *router.Router
+	Proc   *sim.Proc
+	Hub    *msgring.Hub
+	AckHub *tbcast.AckHub
+	Store  *swmr.Store
+	Signer *xcrypto.Signer
+	SumHub *SummaryHub
+	// BgProc is the host's crypto thread pool: bookkeeping signatures
+	// (summaries) run there so the main event loop never blocks (§3.2).
+	// NewGroup creates a private one when nil.
+	BgProc *sim.Proc
+}
+
+type lockEntry struct {
+	k  uint64
+	dg [xcrypto.DigestLen]byte
+	ok bool
+}
+
+type lockedEntry struct {
+	k uint64
+	m []byte
+}
+
+// Group is one process's view of one CTBcast channel.
+type Group struct {
+	p   Params
+	env Env
+	n   int
+
+	// Broadcaster-side state.
+	bcast       *tbcast.Broadcaster
+	lockedSelf  *tbcast.Broadcaster // my LOCKED channel (every member has one)
+	nextK       uint64              // next identifier to assign (1-based)
+	sendQ       [][]byte
+	lastSummary uint64
+	shareStates map[uint64][]summaryShare
+	halfT       int
+
+	// Receiver-side state (Algorithm 1 lines 7-10).
+	locks     []lockEntry              // t slots
+	delivered []uint64                 // t slots, highest k delivered per slot
+	locked    map[ids.ID][]lockedEntry // n x t slots
+	myRegs    []*swmr.Register
+	peerRegs  map[ids.ID][]*swmr.Register
+
+	// Messages awaiting slow-path completion, keyed by k.
+	slowPending map[uint64][]byte
+	// Fallback timers per identifier (FastWithFallback).
+	fallbacks map[uint64]*sim.Timer
+
+	// FIFO delivery layer.
+	nextDeliver uint64
+	pendingFIFO map[uint64][]byte
+	byzBlocked  bool
+
+	// Stats for tests, Table 2 and Figure 9.
+	FastDeliveries uint64
+	SlowDeliveries uint64
+	SummariesUsed  uint64
+}
+
+type summaryShare struct {
+	state []byte
+	sigs  map[ids.ID]xcrypto.Signature
+}
+
+// NewGroup wires one group member. Every member of the group must create
+// its Group with identical Params (except Self) over the same Env kinds.
+func NewGroup(p Params, env Env) *Group {
+	if len(p.Procs) != 2*p.F+1 {
+		panic(fmt.Sprintf("ctbcast: need 2f+1=%d procs, got %d", 2*p.F+1, len(p.Procs)))
+	}
+	if p.Tail < 2 || p.Tail%2 != 0 {
+		panic(fmt.Sprintf("ctbcast: tail must be even and >= 2, got %d", p.Tail))
+	}
+	g := &Group{
+		p:           p,
+		env:         env,
+		n:           len(p.Procs),
+		nextK:       1,
+		nextDeliver: 1,
+		halfT:       p.Tail / 2,
+		shareStates: make(map[uint64][]summaryShare),
+		locks:       make([]lockEntry, p.Tail),
+		delivered:   make([]uint64, p.Tail),
+		locked:      make(map[ids.ID][]lockedEntry, len(p.Procs)),
+		peerRegs:    make(map[ids.ID][]*swmr.Register, len(p.Procs)),
+		slowPending: make(map[uint64][]byte),
+		fallbacks:   make(map[uint64]*sim.Timer),
+		pendingFIFO: make(map[uint64][]byte),
+	}
+	if env.BgProc == nil {
+		env.BgProc = sim.NewProc(env.Proc.Engine(), env.Proc.Name()+"-crypto")
+	}
+	g.env = env
+	slotCap := innerCap(p.MsgCap)
+	bcastSlotCap := slotCap
+	if p.SummaryCap > bcastSlotCap {
+		bcastSlotCap = p.SummaryCap
+	}
+	ringSlots := 2 * p.Tail // TBcast buffers the last 2t messages (§4.2)
+
+	// Register handles: receiver i owns regions RegionBase+i*Tail ...
+	for i, q := range p.Procs {
+		g.locked[q] = make([]lockedEntry, p.Tail)
+		regs := make([]*swmr.Register, p.Tail)
+		for s := 0; s < p.Tail; s++ {
+			regs[s] = swmr.NewRegister(env.Store, p.RegionBase+memnode.RegionID(i*p.Tail+s), registerValueCap)
+		}
+		g.peerRegs[q] = regs
+		if q == p.Self {
+			g.myRegs = regs
+		}
+	}
+
+	// Broadcaster channel (LOCK / SIGNED / SUMMARY).
+	if p.Self == p.Broadcaster {
+		g.bcast = tbcast.NewBroadcaster(tbcast.Config{
+			RT:          env.RT,
+			Proc:        env.Proc,
+			AckHub:      env.AckHub,
+			Instance:    p.InstanceBase,
+			Receivers:   others(p.Procs, p.Self),
+			Slots:       ringSlots,
+			SlotCap:     bcastSlotCap,
+			SelfDeliver: func(_ uint64, m []byte) { g.onBroadcasterMsg(p.Self, m) },
+		})
+	} else {
+		tbcast.Listen(env.Hub, env.RT, env.Proc, p.Broadcaster, p.InstanceBase, ringSlots, bcastSlotCap,
+			func(_ uint64, m []byte) { g.onBroadcasterMsg(p.Broadcaster, m) })
+	}
+
+	// LOCKED channels: every member broadcasts its commitments.
+	for i, q := range p.Procs {
+		inst := p.InstanceBase + msgring.Instance(1+i)
+		if q == p.Self {
+			g.lockedBcastInit(inst, others(p.Procs, p.Self), ringSlots, slotCap)
+		} else {
+			q := q
+			tbcast.Listen(env.Hub, env.RT, env.Proc, q, inst, ringSlots, slotCap,
+				func(_ uint64, m []byte) { g.onLockedMsg(q, m) })
+		}
+	}
+
+	if env.SumHub != nil {
+		env.SumHub.register(p.InstanceBase, g)
+	}
+	return g
+}
+
+func others(procs []ids.ID, self ids.ID) []ids.ID {
+	var out []ids.ID
+	for _, q := range procs {
+		if q != self {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// innerCap is the TBcast slot capacity for an application message cap:
+// tag + identifier + length prefixes + signature headroom.
+func innerCap(msgCap int) int { return msgCap + 128 }
+
+func (g *Group) lockedBcastInit(inst msgring.Instance, receivers []ids.ID, slots, cap int) {
+	g.lockedSelf = tbcast.NewBroadcaster(tbcast.Config{
+		RT:          g.env.RT,
+		Proc:        g.env.Proc,
+		AckHub:      g.env.AckHub,
+		Instance:    inst,
+		Receivers:   receivers,
+		Slots:       slots,
+		SlotCap:     cap,
+		SelfDeliver: func(_ uint64, m []byte) { g.onLockedMsg(g.p.Self, m) },
+	})
+}
+
+// Stop cancels background timers (teardown).
+func (g *Group) Stop() {
+	if g.bcast != nil {
+		g.bcast.Stop()
+	}
+	if g.lockedSelf != nil {
+		g.lockedSelf.Stop()
+	}
+	for _, t := range g.fallbacks {
+		t.Cancel()
+	}
+}
+
+// NextIdentifier returns the identifier the next Broadcast will use.
+func (g *Group) NextIdentifier() uint64 { return g.nextK }
+
+// Broadcast sends m with the next identifier. Only the designated
+// broadcaster may call it. If the summary protocol requires blocking
+// (paper §5.2: every t/2 messages), the message queues until the summary
+// certificate arrives.
+func (g *Group) Broadcast(m []byte) {
+	if g.p.Self != g.p.Broadcaster {
+		panic("ctbcast: only the designated broadcaster may Broadcast")
+	}
+	if len(m) > g.p.MsgCap {
+		panic(fmt.Sprintf("ctbcast: message %dB exceeds cap %dB", len(m), g.p.MsgCap))
+	}
+	cp := make([]byte, len(m))
+	copy(cp, m)
+	g.sendQ = append(g.sendQ, cp)
+	g.pumpBroadcast()
+}
+
+// pumpBroadcast sends queued messages while the summary window allows.
+func (g *Group) pumpBroadcast() {
+	for len(g.sendQ) > 0 {
+		k := g.nextK
+		// Block if k would outrun the double-buffered tail: identifiers
+		// beyond lastSummary+t would evict messages receivers may still
+		// need for the current summary (§5.2, footnote 3).
+		if k > g.lastSummary+uint64(g.p.Tail) {
+			return
+		}
+		m := g.sendQ[0]
+		g.sendQ = g.sendQ[1:]
+		g.nextK++
+		g.emit(k, m)
+	}
+}
+
+func (g *Group) emit(k uint64, m []byte) {
+	switch g.p.Mode {
+	case FastOnly:
+		g.sendLock(k, m)
+	case SlowOnly:
+		g.sendSigned(k, m)
+	case BothEager:
+		g.sendLock(k, m)
+		g.sendSigned(k, m)
+	case FastWithFallback:
+		g.sendLock(k, m)
+		delay := g.p.SlowPathDelay
+		if delay <= 0 {
+			// Default far above common-case latency: a fallback that fires
+			// on transient hiccups floods the system with signature work
+			// and keeps it in the slow path (a metastable failure mode).
+			delay = sim.Millisecond
+		}
+		k, m := k, m
+		g.fallbacks[k] = g.env.Proc.After(delay, func() {
+			delete(g.fallbacks, k)
+			if !g.isDelivered(k) {
+				g.sendSigned(k, m)
+			}
+		})
+	}
+}
+
+func (g *Group) isDelivered(k uint64) bool {
+	return g.delivered[k%uint64(g.p.Tail)] >= k
+}
+
+func (g *Group) sendLock(k uint64, m []byte) {
+	w := wire.NewWriter(16 + len(m))
+	w.U8(tagLock)
+	w.U64(k)
+	w.Bytes(m)
+	g.bcast.Broadcast(w.Finish())
+}
+
+func (g *Group) sendSigned(k uint64, m []byte) {
+	dg := xcrypto.Digest(g.env.Proc, m)
+	sig := g.env.Signer.Sign(g.env.Proc, signedPayload(g.p.Broadcaster, k, dg))
+	w := wire.NewWriter(128 + len(m))
+	w.U8(tagSigned)
+	w.U64(k)
+	w.Bytes(m)
+	w.Bytes(sig)
+	g.bcast.Broadcast(w.Finish())
+}
+
+// signedPayload is the byte string the broadcaster signs for (k, m):
+// non-equivocation binds identifier to fingerprint.
+func signedPayload(b ids.ID, k uint64, dg [xcrypto.DigestLen]byte) []byte {
+	w := wire.NewWriter(64)
+	w.U8(tagSigned)
+	w.I64(int64(b))
+	w.U64(k)
+	w.Raw(dg[:])
+	return w.Finish()
+}
+
+// onBroadcasterMsg handles LOCK / SIGNED / SUMMARY from the broadcaster's
+// channel (TBcast-deliver events at this receiver).
+func (g *Group) onBroadcasterMsg(from ids.ID, payload []byte) {
+	r := wire.NewReader(payload)
+	switch r.U8() {
+	case tagLock:
+		k := r.U64()
+		m := r.Bytes()
+		if r.Done() != nil || k == 0 {
+			return
+		}
+		g.onLock(k, m)
+	case tagSigned:
+		k := r.U64()
+		m := r.Bytes()
+		sig := r.Bytes()
+		if r.Done() != nil || k == 0 {
+			return
+		}
+		g.onSigned(k, m, sig)
+	case tagSummary:
+		id := r.U64()
+		state := r.Bytes()
+		nsigs := int(r.Uvarint())
+		sigs := make(map[ids.ID]xcrypto.Signature, nsigs)
+		for i := 0; i < nsigs; i++ {
+			signer := ids.ID(r.I64())
+			sigs[signer] = r.Bytes()
+		}
+		if r.Done() != nil {
+			return
+		}
+		g.onSummaryCert(id, state, sigs)
+	}
+}
+
+// onLock implements Algorithm 1 lines 12-16.
+func (g *Group) onLock(k uint64, m []byte) {
+	slot := k % uint64(g.p.Tail)
+	if k <= g.locks[slot].k {
+		return
+	}
+	g.locks[slot] = lockEntry{k: k, dg: xcrypto.Digest(g.env.Proc, m), ok: true}
+	// TBcast-broadcast <LOCKED, k, m> on my channel.
+	w := wire.NewWriter(16 + len(m))
+	w.U8(tagLocked)
+	w.U64(k)
+	w.Bytes(m)
+	g.lockedSelf.Broadcast(w.Finish())
+}
+
+// onLockedMsg handles <LOCKED, k, m> from q (Algorithm 1 lines 18-23).
+func (g *Group) onLockedMsg(q ids.ID, payload []byte) {
+	r := wire.NewReader(payload)
+	if r.U8() != tagLocked {
+		return
+	}
+	k := r.U64()
+	m := r.Bytes()
+	if r.Done() != nil || k == 0 {
+		return
+	}
+	slot := k % uint64(g.p.Tail)
+	ent := &g.locked[q][slot]
+	if k <= ent.k {
+		return
+	}
+	ent.k, ent.m = k, m
+	// Unanimity check: all n processes locked the same (k, m).
+	first := true
+	for _, p := range g.p.Procs {
+		e := g.locked[p][slot]
+		if e.k != k || !bytesEqual(e.m, m) {
+			first = false
+			break
+		}
+	}
+	if first {
+		g.env.Proc.Charge(latmodel.ChecksumCost(len(m)))
+		g.FastDeliveries++
+		g.deliverOnce(k, m)
+	}
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// onSigned implements Algorithm 1 lines 25-37.
+func (g *Group) onSigned(k uint64, m []byte, sig []byte) {
+	dg := xcrypto.Digest(g.env.Proc, m)
+	if !g.env.Signer.Verify(g.env.Proc, g.p.Broadcaster, signedPayload(g.p.Broadcaster, k, dg), sig) {
+		return // line 26: invalid signature
+	}
+	slot := k % uint64(g.p.Tail)
+	lk := g.locks[slot]
+	if !(k > lk.k || (k == lk.k && lk.ok && dg == lk.dg)) {
+		return // line 28: committed to a different message
+	}
+	g.locks[slot] = lockEntry{k: k, dg: dg, ok: true}
+	// Line 30: copy (k, sig, fingerprint) into my register for this slot.
+	val := encodeRegValue(k, dg, sig)
+	g.slowPending[k] = m
+	g.myRegs[slot].Write(k, val, func(err error) {
+		if err != nil {
+			delete(g.slowPending, k)
+			return
+		}
+		g.readPeerRegisters(k, slot, dg)
+	})
+}
+
+// readPeerRegisters implements lines 31-37: read every receiver's register
+// for the slot, abort on conflict or out-of-tail, otherwise deliver.
+func (g *Group) readPeerRegisters(k uint64, slot uint64, dg [xcrypto.DigestLen]byte) {
+	total := len(g.p.Procs)
+	done := 0
+	results := make([]swmr.ReadResult, 0, total)
+	finish := func() {
+		m, ok := g.slowPending[k]
+		delete(g.slowPending, k)
+		if !ok {
+			return
+		}
+		for _, res := range results {
+			if res.Empty {
+				continue
+			}
+			k2, dg2, sig2, err := decodeRegValue(res.Value)
+			if err != nil {
+				continue // garbage in a Byzantine receiver's register
+			}
+			if k2 == k && dg2 == dg {
+				continue // echoes our own value: no behavioural effect,
+				// so its signature needs no (expensive) verification
+			}
+			// Only entries that would change our behaviour — a conflict
+			// for the same identifier or a higher aliasing identifier —
+			// must carry a valid broadcaster signature (line 32); without
+			// one they are fabrications of a Byzantine receiver and are
+			// ignored. Skipping the rest keeps public-key operations off
+			// the common slow path, matching the paper's cost profile.
+			if !g.env.Signer.Verify(g.env.Proc, g.p.Broadcaster, signedPayload(g.p.Broadcaster, k2, dg2), sig2) {
+				continue
+			}
+			if k2 == k && dg2 != dg {
+				return // line 33-34: Byzantine broadcaster, abort delivery
+			}
+			if k2 > k && (k2-k)%uint64(g.p.Tail) == 0 {
+				return // line 35-36: out of tail, drop
+			}
+		}
+		g.SlowDeliveries++
+		g.deliverOnce(k, m)
+	}
+	for _, q := range g.p.Procs {
+		reg := g.peerRegs[q][slot]
+		reg.Read(func(res swmr.ReadResult, err error) {
+			done++
+			if err == nil {
+				results = append(results, res)
+			}
+			// A Byzantine register owner (err != nil) contributes the
+			// default (empty) value and is otherwise ignored.
+			if done == total {
+				finish()
+			}
+		})
+	}
+}
+
+func encodeRegValue(k uint64, dg [xcrypto.DigestLen]byte, sig []byte) []byte {
+	w := wire.NewWriter(registerValueCap)
+	w.U64(k)
+	w.Raw(dg[:])
+	w.Raw(sig)
+	return w.Finish()
+}
+
+func decodeRegValue(v []byte) (k uint64, dg [xcrypto.DigestLen]byte, sig []byte, err error) {
+	r := wire.NewReader(v)
+	k = r.U64()
+	copy(dg[:], r.Raw(xcrypto.DigestLen))
+	sig = r.Raw(xcrypto.SigLen)
+	if e := r.Done(); e != nil {
+		return 0, dg, nil, e
+	}
+	return k, dg, sig, nil
+}
+
+// deliverOnce implements Algorithm 1 lines 39-42 plus the FIFO layer.
+func (g *Group) deliverOnce(k uint64, m []byte) {
+	slot := k % uint64(g.p.Tail)
+	if k <= g.delivered[slot] {
+		return
+	}
+	g.delivered[slot] = k
+	if t, ok := g.fallbacks[k]; ok {
+		t.Cancel()
+		delete(g.fallbacks, k)
+	}
+	g.fifoDeliver(k, m)
+}
+
+// fifoDeliver hands messages to the upper layer strictly in identifier
+// order (§5.2). Out-of-order deliveries buffer; gaps resolve via summaries.
+func (g *Group) fifoDeliver(k uint64, m []byte) {
+	if g.byzBlocked || k < g.nextDeliver {
+		return
+	}
+	if _, dup := g.pendingFIFO[k]; !dup {
+		g.pendingFIFO[k] = m
+	}
+	g.drainFIFO()
+}
+
+func (g *Group) drainFIFO() {
+	for {
+		m, ok := g.pendingFIFO[g.nextDeliver]
+		if !ok {
+			return
+		}
+		delete(g.pendingFIFO, g.nextDeliver)
+		k := g.nextDeliver
+		g.nextDeliver++
+		if g.p.Validate != nil && !g.p.Validate(k, m) {
+			// Algorithm 2 line 1: block on a Byzantine message.
+			g.byzBlocked = true
+			g.pendingFIFO = make(map[uint64][]byte)
+			return
+		}
+		if g.p.Deliver != nil {
+			g.p.Deliver(k, m)
+		}
+		g.afterFIFODeliver(k)
+	}
+}
+
+// Blocked reports whether the upper layer declared the broadcaster
+// Byzantine (deliveries stopped).
+func (g *Group) Blocked() bool { return g.byzBlocked }
+
+// Delivered returns the count of FIFO-delivered identifiers.
+func (g *Group) Delivered() uint64 { return g.nextDeliver - 1 }
+
+// AllocatedDisaggregatedBytes returns the disaggregated memory footprint of
+// this group's registers on ONE memory node (Table 2 accounting).
+func (g *Group) AllocatedDisaggregatedBytes() int {
+	return g.n * g.p.Tail * swmr.RegionSize(registerValueCap)
+}
+
+// AllocatedLocalBytes approximates this member's local-memory footprint:
+// ring mirrors/buffers plus the bookkeeping arrays.
+func (g *Group) AllocatedLocalBytes() int {
+	total := 0
+	if g.bcast != nil {
+		total += g.bcast.AllocatedBytes()
+	}
+	if g.lockedSelf != nil {
+		total += g.lockedSelf.AllocatedBytes()
+	}
+	perSlot := innerCap(g.p.MsgCap) + 64
+	total += g.p.Tail * perSlot            // locks + delivered bookkeeping
+	total += g.n * g.p.Tail * perSlot      // locked array
+	total += (g.n + 1) * g.p.Tail * 2 * 20 // register handles
+	return total
+}
+
+// AllocateRegions allocates this group's SWMR regions on the given memory
+// nodes. Call once per group before any Broadcast, with the same Params the
+// members use.
+func AllocateRegions(nodes []*memnode.Node, procs []ids.ID, tail int, regionBase memnode.RegionID) {
+	for _, mn := range nodes {
+		for i, owner := range procs {
+			for s := 0; s < tail; s++ {
+				mn.Allocate(regionBase+memnode.RegionID(i*tail+s), owner, swmr.RegionSize(registerValueCap))
+			}
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package ctbcast
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/ids"
+	"repro/internal/msgring"
+	"repro/internal/router"
+	"repro/internal/wire"
+	"repro/internal/xcrypto"
+)
+
+// This file implements CTBcast summaries (paper §5.2, Algorithm 4).
+//
+// A summary is an unforgeable synopsis of the messages a broadcaster has
+// CTBcast up to identifier id: a state blob produced by the upper layer's
+// Capture hook, certified by f+1 receivers. Summaries restore FIFO delivery
+// across tail-validity gaps (a receiver that missed messages applies the
+// certified state instead) and gate the broadcaster: every t/2 identifiers
+// it blocks until the next summary certificate exists, which is the
+// double-buffering the paper uses to avoid latency hiccups (footnote 3)
+// and the mechanism behind Figure 11's thrashing at small t.
+
+const tagSummaryShare uint8 = 9
+
+// SummaryHub routes CERTIFY_SUMMARY shares arriving at one host to the
+// broadcaster groups living there. One per host.
+type SummaryHub struct {
+	groups map[msgring.Instance]*Group
+}
+
+// NewSummaryHub installs the hub on the host's summary channel.
+func NewSummaryHub(rt *router.Router) *SummaryHub {
+	h := &SummaryHub{groups: make(map[msgring.Instance]*Group)}
+	rt.Register(router.ChanSummary, h.onShare)
+	return h
+}
+
+func (h *SummaryHub) register(inst msgring.Instance, g *Group) {
+	if _, dup := h.groups[inst]; dup {
+		panic(fmt.Sprintf("ctbcast: summary instance %d registered twice", inst))
+	}
+	h.groups[inst] = g
+}
+
+func (h *SummaryHub) onShare(from ids.ID, payload []byte) {
+	r := wire.NewReader(payload)
+	inst := msgring.Instance(r.U32())
+	id := r.U64()
+	state := r.Bytes()
+	sig := r.Bytes()
+	if r.Done() != nil {
+		return
+	}
+	g := h.groups[inst]
+	if g == nil || g.p.Self != g.p.Broadcaster {
+		return
+	}
+	g.onSummaryShare(from, id, state, sig)
+}
+
+// sharePayload is the byte string receivers sign to certify a summary.
+func sharePayload(broadcaster ids.ID, id uint64, state []byte) []byte {
+	dg := xcrypto.ChecksumNoCharge(state) // cheap binding; the signature provides unforgeability
+	w := wire.NewWriter(64)
+	w.U8(tagSummaryShare)
+	w.I64(int64(broadcaster))
+	w.U64(id)
+	w.U64(dg)
+	w.Uvarint(uint64(len(state)))
+	return w.Finish()
+}
+
+// afterFIFODeliver runs the receiver half of Algorithm 4: after delivering
+// the message whose identifier crosses a t/2 boundary, capture the upper
+// layer's state and send a signed certificate share to the broadcaster.
+func (g *Group) afterFIFODeliver(k uint64) {
+	if k%uint64(g.halfT) != 0 {
+		return
+	}
+	var state []byte
+	if g.p.Capture != nil {
+		state = g.p.Capture(k)
+	}
+	// Bookkeeping signature: signed on the crypto pool so the main event
+	// loop (and hence the fast path) never blocks (§3.2, §5.4).
+	g.env.Signer.SignBg(g.env.BgProc, g.env.Proc, sharePayload(g.p.Broadcaster, k, state), func(sig xcrypto.Signature) {
+		w := wire.NewWriter(64 + len(state))
+		w.U32(uint32(g.p.InstanceBase))
+		w.U64(k)
+		w.Bytes(state)
+		w.Bytes(sig)
+		g.env.RT.Send(g.p.Broadcaster, router.ChanSummary, w.Finish())
+	})
+}
+
+// onSummaryShare runs at the broadcaster: collect matching shares until f+1
+// distinct receivers certify the same (id, state), then Tail-Broadcast the
+// certificate and unblock pending broadcasts.
+func (g *Group) onSummaryShare(from ids.ID, id uint64, state []byte, sig xcrypto.Signature) {
+	if id <= g.lastSummary || !g.isMember(from) {
+		return
+	}
+	// Verify on the crypto pool; the share is bookkeeping, not fast path.
+	g.env.Signer.VerifyBg(g.env.BgProc, g.env.Proc, from, sharePayload(g.p.Broadcaster, id, state), sig, func(ok bool) {
+		if ok {
+			g.acceptSummaryShare(from, id, state, sig)
+		}
+	})
+}
+
+func (g *Group) acceptSummaryShare(from ids.ID, id uint64, state []byte, sig xcrypto.Signature) {
+	if id <= g.lastSummary {
+		return
+	}
+	shares := g.shareStates[id]
+	var entry *summaryShare
+	for i := range shares {
+		if bytes.Equal(shares[i].state, state) {
+			entry = &shares[i]
+			break
+		}
+	}
+	if entry == nil {
+		g.shareStates[id] = append(shares, summaryShare{
+			state: state,
+			sigs:  map[ids.ID]xcrypto.Signature{from: sig},
+		})
+		shares = g.shareStates[id]
+		entry = &shares[len(shares)-1]
+	} else {
+		entry.sigs[from] = sig
+	}
+	if len(entry.sigs) < g.p.F+1 {
+		return
+	}
+	// Certificate complete: broadcast it and advance the summary window.
+	g.broadcastSummaryCert(id, entry.state, entry.sigs)
+	if id > g.lastSummary {
+		g.lastSummary = id
+	}
+	for old := range g.shareStates {
+		if old <= g.lastSummary {
+			delete(g.shareStates, old)
+		}
+	}
+	g.pumpBroadcast()
+}
+
+func (g *Group) isMember(q ids.ID) bool {
+	for _, p := range g.p.Procs {
+		if p == q {
+			return true
+		}
+	}
+	return false
+}
+
+func (g *Group) broadcastSummaryCert(id uint64, state []byte, sigs map[ids.ID]xcrypto.Signature) {
+	w := wire.NewWriter(128 + len(state))
+	w.U8(tagSummary)
+	w.U64(id)
+	w.Bytes(state)
+	w.Uvarint(uint64(len(sigs)))
+	for _, q := range g.p.Procs { // deterministic order
+		if sig, ok := sigs[q]; ok {
+			w.I64(int64(q))
+			w.Bytes(sig)
+		}
+	}
+	g.bcast.Broadcast(w.Finish())
+}
+
+// onSummaryCert runs at receivers: verify the certificate and, if this
+// receiver has a gap at or before id, apply the summary and resume FIFO
+// delivery after id (Algorithm 4 lines 11-15).
+func (g *Group) onSummaryCert(id uint64, state []byte, sigs map[ids.ID]xcrypto.Signature) {
+	if g.byzBlocked {
+		return
+	}
+	if g.p.Self == g.p.Broadcaster && id > g.lastSummary {
+		// A broadcaster restarting from a peer-certified summary.
+		g.lastSummary = id
+	}
+	if g.nextDeliver > id {
+		return // no gap: the certificate is irrelevant, skip verification
+	}
+	// The certificate is actually needed to heal a gap: verify its f+1
+	// signatures (on the critical recovery path, so charged to the main
+	// process like the paper's slow path).
+	valid := 0
+	for q, sig := range sigs {
+		if !g.isMember(q) {
+			continue
+		}
+		if g.env.Signer.Verify(g.env.Proc, q, sharePayload(g.p.Broadcaster, id, state), sig) {
+			valid++
+		}
+	}
+	if valid < g.p.F+1 {
+		return // forged certificate from a Byzantine broadcaster
+	}
+	if g.nextDeliver > id {
+		return
+	}
+	g.SummariesUsed++
+	if g.p.ApplySummary != nil {
+		g.p.ApplySummary(id, state)
+	}
+	for k := range g.pendingFIFO {
+		if k <= id {
+			delete(g.pendingFIFO, k)
+		}
+	}
+	g.nextDeliver = id + 1
+	g.drainFIFO()
+}

@@ -1,0 +1,22 @@
+// Package ids defines the process identifier type shared by every layer of
+// the reproduction (network nodes, replicas, clients, memory nodes, key
+// registry). Keeping it in a leaf package avoids dependency cycles between
+// the crypto, network and protocol layers.
+package ids
+
+import "fmt"
+
+// ID identifies a simulated process. Replicas, clients and memory nodes
+// share one namespace.
+type ID int
+
+// None is the sentinel "no process" value.
+const None ID = -1
+
+// String renders the ID for diagnostics.
+func (i ID) String() string {
+	if i == None {
+		return "p(none)"
+	}
+	return fmt.Sprintf("p%d", int(i))
+}

@@ -1,0 +1,20 @@
+package ids
+
+import "testing"
+
+func TestString(t *testing.T) {
+	if got := ID(7).String(); got != "p7" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := None.String(); got != "p(none)" {
+		t.Fatalf("None.String = %q", got)
+	}
+}
+
+func TestNoneIsDistinct(t *testing.T) {
+	for i := 0; i < 1000; i++ {
+		if ID(i) == None {
+			t.Fatalf("valid id %d collides with None", i)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package latmodel
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// These tests pin the calibration invariants the reproduction depends on:
+// the relations between constants matter more than their absolute values,
+// because the paper's shape claims are relations.
+
+func TestPerByteMonotonic(t *testing.T) {
+	prev := sim.Duration(-1)
+	for _, n := range []int{0, 1, 8, 64, 1024, 8192} {
+		d := PerByte(n)
+		if d < prev {
+			t.Fatalf("PerByte not monotonic at %d", n)
+		}
+		prev = d
+	}
+	if PerByte(0) != 0 {
+		t.Fatal("PerByte(0) != 0")
+	}
+}
+
+func TestSmallPayloadsDoNotRoundToZero(t *testing.T) {
+	if PerByte(4) <= 0 {
+		t.Fatal("4-byte payload rounds to zero wire time")
+	}
+	if CopyCost(1) <= 0 || ChecksumCost(1) <= 0 || HMACCost(1) <= 0 || DigestCost(1) <= 0 {
+		t.Fatal("unit costs round to zero")
+	}
+}
+
+func TestCryptoOrdering(t *testing.T) {
+	// Verification is several times more expensive than signing for
+	// ed25519-class schemes; both dwarf hashing.
+	if VerifyCost <= SignCost {
+		t.Fatal("verify should cost more than sign")
+	}
+	if SignCost <= HMACCost(64)*10 {
+		t.Fatal("public-key signing should dwarf HMAC")
+	}
+}
+
+func TestEnclaveWindow(t *testing.T) {
+	// The paper's measured 7-12.5us window (§7.4).
+	if EnclaveCost(0) < 7*sim.Microsecond {
+		t.Fatalf("enclave floor %v", EnclaveCost(0))
+	}
+	if EnclaveCost(1<<30) > 12500*sim.Nanosecond {
+		t.Fatalf("enclave ceiling %v", EnclaveCost(1<<30))
+	}
+}
+
+func TestDeltaAboveRoundTrip(t *testing.T) {
+	// The register cooldown must comfortably exceed a post-GST round trip,
+	// otherwise readers can starve (§6.1).
+	rtt := 2 * (WireBase + WireJitter + 2*DispatchCost)
+	if Delta < 2*rtt {
+		t.Fatalf("Delta %v too close to round trip %v", Delta, rtt)
+	}
+}
+
+func TestTCPSlowerThanRDMA(t *testing.T) {
+	if TCPKernelBypassBase <= WireBase {
+		t.Fatal("kernel-bypass TCP should be slower than RDMA verbs")
+	}
+}
+
+func TestUnreplicatedAnchor(t *testing.T) {
+	// Client->server->client for a tiny request should land near the
+	// paper's 2.2us: two hops plus dispatch costs.
+	e2e := 2*(WireBase+2*DispatchCost) + AppExecBase
+	if e2e < 1500*sim.Nanosecond || e2e > 4*sim.Microsecond {
+		t.Fatalf("unreplicated anchor drifted: %v", e2e)
+	}
+}

@@ -1,0 +1,254 @@
+// Package memnode implements the trusted disaggregated-memory servers of
+// the paper (§2.4, §6.1). A memory node is a simple, application-oblivious
+// process that exposes fixed-size memory regions over the network with
+// hardware-style access control: each region has a designated writer
+// (single-writer) and is readable by everyone (multiple-reader). Memory
+// nodes are part of the trusted computing base: they may crash but are
+// never Byzantine.
+//
+// Faithful RDMA quirks are modeled:
+//
+//   - 8-byte atomicity only (§3.2, §6.1): a READ that overlaps an
+//     in-flight WRITE can return torn data, mixing new and old values at
+//     8-byte granularity. The SWMR register layer must (and does) detect
+//     this with checksums.
+//   - One-sided operation: serving a READ/WRITE costs the memory node no
+//     CPU time (the NIC does the work).
+//   - Per-accessor permissions: a WRITE from any process other than the
+//     region's owner is rejected, exactly like an RDMA protection fault.
+package memnode
+
+import (
+	"fmt"
+
+	"repro/internal/ids"
+	"repro/internal/latmodel"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// Op codes of the memory-node wire protocol.
+const (
+	opWrite uint8 = 1
+	opRead  uint8 = 2
+)
+
+// Status codes of responses.
+const (
+	StatusOK         uint8 = 0
+	StatusPermDenied uint8 = 1
+	StatusNoRegion   uint8 = 2
+	StatusBadRequest uint8 = 3
+)
+
+// RegionID names a region within one memory node. Region IDs are allocated
+// identically across the replicated memory nodes, so the same ID addresses
+// the same logical register everywhere.
+type RegionID uint32
+
+type pendingWrite struct {
+	old   []byte
+	start sim.Time
+	end   sim.Time
+	off   int
+}
+
+type region struct {
+	owner   ids.ID
+	data    []byte
+	pending *pendingWrite
+}
+
+// Node is one memory server.
+type Node struct {
+	id      ids.ID
+	proc    *sim.Proc
+	rt      *router.Router
+	regions map[RegionID]*region
+
+	// AllocatedBytes tracks total region bytes allocated on this node,
+	// feeding the paper's Table 2 (disaggregated memory consumption).
+	AllocatedBytes int
+}
+
+// New creates a memory node attached to rt's endpoint.
+func New(rt *router.Router) *Node {
+	n := &Node{
+		id:      rt.ID(),
+		proc:    rt.Node().Proc(),
+		rt:      rt,
+		regions: make(map[RegionID]*region),
+	}
+	rt.Register(router.ChanMemReq, n.onRequest)
+	return n
+}
+
+// ID returns the memory node's identity.
+func (n *Node) ID() ids.ID { return n.id }
+
+// Crash stops the node permanently (crash-stop model).
+func (n *Node) Crash() { n.proc.Crash() }
+
+// Crashed reports whether the node has crashed.
+func (n *Node) Crashed() bool { return n.proc.Crashed() }
+
+// Allocate creates a region of size bytes writable only by owner. The
+// management plane (connection handling, §2.3) allocates regions before the
+// protocol runs; allocating an existing region panics.
+func (n *Node) Allocate(id RegionID, owner ids.ID, size int) {
+	if _, dup := n.regions[id]; dup {
+		panic(fmt.Sprintf("memnode %v: region %d allocated twice", n.id, id))
+	}
+	if size <= 0 {
+		panic(fmt.Sprintf("memnode %v: region %d size %d", n.id, id, size))
+	}
+	n.regions[id] = &region{owner: owner, data: make([]byte, size)}
+	n.AllocatedBytes += size
+}
+
+// snapshotAt materializes the region's contents as seen by a READ arriving
+// at time now, applying the torn-read model: during a write's settling
+// window, words settle front-to-back, so a concurrent read sees a prefix of
+// new data and a suffix of old data at 8-byte granularity.
+func (rg *region) snapshotAt(now sim.Time) []byte {
+	out := make([]byte, len(rg.data))
+	copy(out, rg.data)
+	p := rg.pending
+	if p == nil || now >= p.end {
+		rg.pending = nil
+		return out
+	}
+	span := p.end - p.start
+	frac := float64(now-p.start) / float64(span)
+	writeLen := len(p.old)
+	settledWords := int(frac * float64((writeLen+7)/8))
+	settledBytes := settledWords * 8
+	if settledBytes > writeLen {
+		settledBytes = writeLen
+	}
+	// Bytes beyond the settled prefix still hold the old value.
+	copy(out[p.off+settledBytes:p.off+writeLen], p.old[settledBytes:])
+	return out
+}
+
+func (n *Node) onRequest(from ids.ID, payload []byte) {
+	r := wire.NewReader(payload)
+	op := r.U8()
+	seq := r.U64()
+	regionID := RegionID(r.U32())
+	switch op {
+	case opWrite:
+		off := int(r.Uvarint())
+		data := r.Bytes()
+		if r.Done() != nil {
+			n.respondWrite(from, seq, StatusBadRequest)
+			return
+		}
+		n.serveWrite(from, seq, regionID, off, data)
+	case opRead:
+		if r.Done() != nil {
+			n.respondRead(from, seq, StatusBadRequest, nil)
+			return
+		}
+		n.serveRead(from, seq, regionID)
+	default:
+		n.respondWrite(from, seq, StatusBadRequest)
+	}
+}
+
+func (n *Node) serveWrite(from ids.ID, seq uint64, id RegionID, off int, data []byte) {
+	rg, ok := n.regions[id]
+	if !ok {
+		n.respondWrite(from, seq, StatusNoRegion)
+		return
+	}
+	if rg.owner != from {
+		// RDMA protection fault: the requester lacks the write token.
+		n.respondWrite(from, seq, StatusPermDenied)
+		return
+	}
+	if off < 0 || off+len(data) > len(rg.data) {
+		n.respondWrite(from, seq, StatusBadRequest)
+		return
+	}
+	now := n.proc.Now()
+	// Record the torn window before overwriting: the write settles over
+	// roughly the PCIe copy duration of the payload.
+	old := make([]byte, len(data))
+	copy(old, rg.data[off:off+len(data)])
+	settle := latmodel.CopyCost(len(data))
+	rg.pending = &pendingWrite{old: old, start: now, end: now.Add(settle), off: off}
+	copy(rg.data[off:], data)
+	n.respondWrite(from, seq, StatusOK)
+}
+
+func (n *Node) serveRead(from ids.ID, seq uint64, id RegionID) {
+	rg, ok := n.regions[id]
+	if !ok {
+		n.respondRead(from, seq, StatusNoRegion, nil)
+		return
+	}
+	n.respondRead(from, seq, StatusOK, rg.snapshotAt(n.proc.Now()))
+}
+
+func (n *Node) respondWrite(to ids.ID, seq uint64, status uint8) {
+	w := wire.NewWriter(16)
+	w.U8(opWrite)
+	w.U64(seq)
+	w.U8(status)
+	n.rt.Send(to, router.ChanMemResp, w.Finish())
+}
+
+func (n *Node) respondRead(to ids.ID, seq uint64, status uint8, data []byte) {
+	w := wire.NewWriter(16 + len(data))
+	w.U8(opRead)
+	w.U64(seq)
+	w.U8(status)
+	w.Bytes(data)
+	n.rt.Send(to, router.ChanMemResp, w.Finish())
+}
+
+// EncodeWrite builds a write request frame (exported for the client side).
+func EncodeWrite(seq uint64, id RegionID, off int, data []byte) []byte {
+	w := wire.NewWriter(24 + len(data))
+	w.U8(opWrite)
+	w.U64(seq)
+	w.U32(uint32(id))
+	w.Uvarint(uint64(off))
+	w.Bytes(data)
+	return w.Finish()
+}
+
+// EncodeRead builds a read request frame.
+func EncodeRead(seq uint64, id RegionID) []byte {
+	w := wire.NewWriter(16)
+	w.U8(opRead)
+	w.U64(seq)
+	w.U32(uint32(id))
+	return w.Finish()
+}
+
+// Response is a decoded memory-node completion.
+type Response struct {
+	Op     uint8
+	Seq    uint64
+	Status uint8
+	Data   []byte
+}
+
+// DecodeResponse parses a completion frame.
+func DecodeResponse(payload []byte) (Response, error) {
+	r := wire.NewReader(payload)
+	resp := Response{Op: r.U8(), Seq: r.U64(), Status: r.U8()}
+	if resp.Op == opRead {
+		resp.Data = r.Bytes()
+	}
+	if err := r.Done(); err != nil {
+		return Response{}, err
+	}
+	return resp, nil
+}
+
+// IsWriteResp reports whether the response completes a write.
+func (r Response) IsWriteResp() bool { return r.Op == opWrite }

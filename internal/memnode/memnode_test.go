@@ -1,0 +1,215 @@
+package memnode
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// rig wires one memory node (id 10) and two compute hosts (0 = owner,
+// 1 = other).
+type rig struct {
+	eng   *sim.Engine
+	node  *Node
+	owner *router.Router
+	other *router.Router
+	resps map[ids.ID][]Response
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	net := simnet.New(eng, simnet.RDMAOptions())
+	mrt := router.New(net.AddNode(10, "mem"))
+	r := &rig{
+		eng:   eng,
+		node:  New(mrt),
+		owner: router.New(net.AddNode(0, "owner")),
+		other: router.New(net.AddNode(1, "other")),
+		resps: make(map[ids.ID][]Response),
+	}
+	for _, rt := range []*router.Router{r.owner, r.other} {
+		id := rt.ID()
+		rt.Register(router.ChanMemResp, func(from ids.ID, payload []byte) {
+			resp, err := DecodeResponse(payload)
+			if err != nil {
+				t.Errorf("bad response: %v", err)
+				return
+			}
+			r.resps[id] = append(r.resps[id], resp)
+		})
+	}
+	return r
+}
+
+func (r *rig) last(id ids.ID) Response {
+	rs := r.resps[id]
+	return rs[len(rs)-1]
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	r := newRig(t)
+	r.node.Allocate(1, 0, 64)
+	r.owner.Send(10, router.ChanMemReq, EncodeWrite(1, 1, 0, []byte("hello-region")))
+	r.eng.Run()
+	if got := r.last(0); got.Status != StatusOK || !got.IsWriteResp() {
+		t.Fatalf("write resp: %+v", got)
+	}
+	r.other.Send(10, router.ChanMemReq, EncodeRead(2, 1))
+	r.eng.Run()
+	got := r.last(1)
+	if got.Status != StatusOK || !bytes.HasPrefix(got.Data, []byte("hello-region")) {
+		t.Fatalf("read resp: %+v", got)
+	}
+	if len(got.Data) != 64 {
+		t.Fatalf("read returned %d bytes, want full region", len(got.Data))
+	}
+}
+
+func TestPermissionFault(t *testing.T) {
+	// RDMA-style access control: only the region owner can write.
+	r := newRig(t)
+	r.node.Allocate(1, 0, 32)
+	r.other.Send(10, router.ChanMemReq, EncodeWrite(1, 1, 0, []byte("forged")))
+	r.eng.Run()
+	if got := r.last(1); got.Status != StatusPermDenied {
+		t.Fatalf("non-owner write status = %d, want PermDenied", got.Status)
+	}
+	// The region contents are untouched.
+	r.owner.Send(10, router.ChanMemReq, EncodeRead(2, 1))
+	r.eng.Run()
+	if got := r.last(0); !bytes.Equal(got.Data, make([]byte, 32)) {
+		t.Fatal("region mutated by rejected write")
+	}
+}
+
+func TestReadableByEveryone(t *testing.T) {
+	r := newRig(t)
+	r.node.Allocate(1, 0, 16)
+	r.owner.Send(10, router.ChanMemReq, EncodeWrite(1, 1, 0, []byte("pub")))
+	r.eng.Run()
+	for _, rt := range []*router.Router{r.owner, r.other} {
+		rt.Send(10, router.ChanMemReq, EncodeRead(9, 1))
+	}
+	r.eng.Run()
+	for _, id := range []ids.ID{0, 1} {
+		if got := r.last(id); got.Status != StatusOK {
+			t.Fatalf("reader %v denied: %+v", id, got)
+		}
+	}
+}
+
+func TestUnknownRegion(t *testing.T) {
+	r := newRig(t)
+	r.owner.Send(10, router.ChanMemReq, EncodeRead(1, 99))
+	r.owner.Send(10, router.ChanMemReq, EncodeWrite(2, 99, 0, []byte("x")))
+	r.eng.Run()
+	for _, got := range r.resps[0] {
+		if got.Status != StatusNoRegion {
+			t.Fatalf("unknown region status = %d", got.Status)
+		}
+	}
+}
+
+func TestOutOfBoundsWrite(t *testing.T) {
+	r := newRig(t)
+	r.node.Allocate(1, 0, 8)
+	r.owner.Send(10, router.ChanMemReq, EncodeWrite(1, 1, 4, []byte("too-long")))
+	r.eng.Run()
+	if got := r.last(0); got.Status != StatusBadRequest {
+		t.Fatalf("oob write status = %d", got.Status)
+	}
+}
+
+func TestOffsetWrite(t *testing.T) {
+	r := newRig(t)
+	r.node.Allocate(1, 0, 16)
+	r.owner.Send(10, router.ChanMemReq, EncodeWrite(1, 1, 8, []byte("BBBB")))
+	r.eng.Run()
+	r.owner.Send(10, router.ChanMemReq, EncodeRead(2, 1))
+	r.eng.Run()
+	got := r.last(0)
+	if !bytes.Equal(got.Data[8:12], []byte("BBBB")) || got.Data[0] != 0 {
+		t.Fatalf("offset write wrong: %v", got.Data)
+	}
+}
+
+func TestCrashedNodeSilent(t *testing.T) {
+	r := newRig(t)
+	r.node.Allocate(1, 0, 8)
+	r.node.Crash()
+	if !r.node.Crashed() {
+		t.Fatal("Crashed() false")
+	}
+	r.owner.Send(10, router.ChanMemReq, EncodeRead(1, 1))
+	r.eng.Run()
+	if len(r.resps[0]) != 0 {
+		t.Fatal("crashed memory node responded")
+	}
+}
+
+func TestMalformedRequestRejected(t *testing.T) {
+	r := newRig(t)
+	r.node.Allocate(1, 0, 8)
+	r.owner.Send(10, router.ChanMemReq, []byte{1, 2})
+	r.eng.Run()
+	// Truncated frames yield a BadRequest (the node never crashes on
+	// garbage — memory nodes are trusted but their clients may not be).
+	if len(r.resps[0]) == 1 && r.resps[0][0].Status == StatusOK {
+		t.Fatal("malformed request accepted")
+	}
+}
+
+func TestDuplicateAllocationPanics(t *testing.T) {
+	r := newRig(t)
+	r.node.Allocate(1, 0, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate allocation did not panic")
+		}
+	}()
+	r.node.Allocate(1, 0, 8)
+}
+
+func TestAllocationAccounting(t *testing.T) {
+	r := newRig(t)
+	r.node.Allocate(1, 0, 100)
+	r.node.Allocate(2, 1, 50)
+	if r.node.AllocatedBytes != 150 {
+		t.Fatalf("AllocatedBytes = %d", r.node.AllocatedBytes)
+	}
+}
+
+func TestTornReadModel(t *testing.T) {
+	// A read that lands inside a write's settling window sees a prefix of
+	// new data and a suffix of old data at 8-byte granularity — never
+	// interleaved garbage.
+	r := newRig(t)
+	r.node.Allocate(1, 0, 32)
+	oldData := bytes.Repeat([]byte{0xAA}, 32)
+	newData := bytes.Repeat([]byte{0xBB}, 32)
+	r.owner.Send(10, router.ChanMemReq, EncodeWrite(1, 1, 0, oldData))
+	r.eng.Run()
+	// Issue the write and a racing read in the same instant.
+	r.owner.Send(10, router.ChanMemReq, EncodeWrite(2, 1, 0, newData))
+	r.other.Send(10, router.ChanMemReq, EncodeRead(3, 1))
+	r.eng.Run()
+	got := r.last(1).Data
+	// Validate the prefix/suffix structure.
+	boundary := 0
+	for boundary < 32 && got[boundary] == 0xBB {
+		boundary++
+	}
+	for i := boundary; i < 32; i++ {
+		if got[i] != 0xAA {
+			t.Fatalf("torn read interleaved: %v", got)
+		}
+	}
+	if boundary%8 != 0 && boundary != 32 {
+		t.Fatalf("torn boundary %d not 8-byte aligned", boundary)
+	}
+}

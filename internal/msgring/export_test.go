@@ -1,0 +1,6 @@
+package msgring
+
+import "repro/internal/wire"
+
+// newFrameWriter exposes the wire writer to tests that forge raw frames.
+func newFrameWriter() *wire.Writer { return wire.NewWriter(64) }

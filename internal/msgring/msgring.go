@@ -1,0 +1,287 @@
+// Package msgring implements the paper's fast one-way message-passing
+// primitive (§6.2, Figure 6): an acknowledgement-free circular buffer that
+// the sender RDMA-writes into and the receiver polls. Old messages are
+// overwritten by newer ones even if never delivered, which is what gives
+// the primitive its tail semantics (only the last `slots` messages are
+// guaranteed) and its practically bounded memory.
+//
+// Layout per slot: checksum (8B) | incarnation (8B) | size (4B) | payload.
+// The incarnation number is how many times the slot has been written
+// (absolute message index / slot count + 1), letting the receiver detect
+// both new messages and skipped ones. The receiver copies a slot to a
+// private buffer, re-checks the incarnation, then validates the checksum
+// before delivering — the paper's torn-read defence, reproduced here.
+//
+// A second staging buffer queues messages whose target slot has an RDMA
+// WRITE still in flight (the NIC has not reported completion); the staging
+// buffer evicts its oldest entry when full, preserving boundedness.
+package msgring
+
+import (
+	"fmt"
+
+	"repro/internal/ids"
+	"repro/internal/latmodel"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/wire"
+	"repro/internal/xcrypto"
+)
+
+// Instance distinguishes independent rings between the same pair of hosts
+// (e.g. one per broadcast channel).
+type Instance uint32
+
+type ringKey struct {
+	peer ids.ID
+	inst Instance
+}
+
+// Hub demultiplexes all ring traffic arriving at one host. Create exactly
+// one Hub per host and register receivers on it.
+type Hub struct {
+	rt        *router.Router
+	proc      *sim.Proc
+	receivers map[ringKey]*Receiver
+}
+
+// NewHub installs the hub on the host's ring channel.
+func NewHub(rt *router.Router, proc *sim.Proc) *Hub {
+	h := &Hub{rt: rt, proc: proc, receivers: make(map[ringKey]*Receiver)}
+	rt.Register(router.ChanRing, h.onFrame)
+	return h
+}
+
+func (h *Hub) onFrame(from ids.ID, payload []byte) {
+	r := wire.NewReader(payload)
+	inst := Instance(r.U32())
+	slot := int(r.U32())
+	inc := r.U64()
+	chk := r.U64()
+	data := r.Bytes()
+	if r.Done() != nil {
+		return // malformed frame from a Byzantine sender
+	}
+	recv := h.receivers[ringKey{peer: from, inst: inst}]
+	if recv == nil {
+		return
+	}
+	recv.accept(slot, inc, chk, data)
+}
+
+// Sender is the writing end of one ring, bound to a single receiver host.
+type Sender struct {
+	rt    *router.Router
+	proc  *sim.Proc
+	to    ids.ID
+	inst  Instance
+	slots int
+	cap   int
+
+	next     uint64 // absolute index of the next message
+	inFlight []bool
+	staged   []stagedMsg // bounded staging buffer (second ring of Fig 6)
+
+	// Retransmit support: mirror of the last `slots` messages.
+	mirror [][]byte
+
+	// AllocatedBytes approximates the local memory this ring pins
+	// (mirror image + staging), for the Table 2 accounting.
+	AllocatedBytes int
+}
+
+type stagedMsg struct {
+	idx  uint64
+	data []byte
+}
+
+// NewSender creates the sending side. slotCap bounds message size.
+func NewSender(rt *router.Router, proc *sim.Proc, to ids.ID, inst Instance, slots, slotCap int) *Sender {
+	if slots <= 0 || slotCap <= 0 {
+		panic(fmt.Sprintf("msgring: bad geometry slots=%d cap=%d", slots, slotCap))
+	}
+	return &Sender{
+		rt:             rt,
+		proc:           proc,
+		to:             to,
+		inst:           inst,
+		slots:          slots,
+		cap:            slotCap,
+		inFlight:       make([]bool, slots),
+		mirror:         make([][]byte, slots),
+		AllocatedBytes: 2 * slots * (slotCap + 20), // local mirror + staging area
+	}
+}
+
+// Slots returns the ring's slot count.
+func (s *Sender) Slots() int { return s.slots }
+
+// Send transmits msg as the next message, returning its absolute index.
+// If the target slot has a WRITE in flight the message is staged; staging
+// overflow evicts the oldest staged message (it is simply lost, as the
+// primitive's tail semantics allow).
+func (s *Sender) Send(msg []byte) uint64 {
+	idx := s.next
+	s.next++
+	s.post(idx, msg)
+	return idx
+}
+
+// Retransmit re-sends the message at absolute index idx if it is still in
+// the mirror (i.e. among the last `slots` sent). Used by Tail Broadcast's
+// retransmission loop. Reports whether the message was still available.
+func (s *Sender) Retransmit(idx uint64) bool {
+	if idx >= s.next || s.next-idx > uint64(s.slots) {
+		return false
+	}
+	data := s.mirror[idx%uint64(s.slots)]
+	if data == nil {
+		return false
+	}
+	s.post(idx, data)
+	return true
+}
+
+func (s *Sender) post(idx uint64, msg []byte) {
+	if len(msg) > s.cap {
+		panic(fmt.Sprintf("msgring: message %dB exceeds slot capacity %dB", len(msg), s.cap))
+	}
+	slot := int(idx % uint64(s.slots))
+	stored := make([]byte, len(msg))
+	copy(stored, msg)
+	s.mirror[slot] = stored
+	if s.inFlight[slot] {
+		// Slot has a WRITE in flight: stage the message.
+		if len(s.staged) >= s.slots {
+			s.staged = s.staged[1:] // evict oldest
+		}
+		s.staged = append(s.staged, stagedMsg{idx: idx, data: stored})
+		return
+	}
+	s.transmit(idx, slot, stored)
+}
+
+func (s *Sender) transmit(idx uint64, slot int, data []byte) {
+	inc := idx/uint64(s.slots) + 1
+	s.proc.Charge(latmodel.CopyCost(len(data)))
+	chk := xcrypto.Checksum(s.proc, data)
+	w := wire.NewWriter(32 + len(data))
+	w.U32(uint32(s.inst))
+	w.U32(uint32(slot))
+	w.U64(inc)
+	w.U64(chk)
+	w.Bytes(data)
+	s.inFlight[slot] = true
+	s.rt.Send(s.to, router.ChanRing, w.Finish())
+	// The NIC reports WRITE completion after roughly one round trip.
+	s.proc.After(2*latmodel.WireBase+latmodel.PerByte(len(data)), func() {
+		s.inFlight[slot] = false
+		s.drainStaging()
+	})
+}
+
+func (s *Sender) drainStaging() {
+	for len(s.staged) > 0 {
+		m := s.staged[0]
+		slot := int(m.idx % uint64(s.slots))
+		if s.inFlight[slot] {
+			return
+		}
+		// Only transmit if this is still the freshest message for the slot.
+		s.staged = s.staged[1:]
+		if cur := s.mirror[slot]; cur != nil && s.next-m.idx <= uint64(s.slots) {
+			s.transmit(m.idx, slot, cur)
+		}
+	}
+}
+
+// Receiver is the polling end of one ring.
+type Receiver struct {
+	proc    *sim.Proc
+	slots   int
+	deliver func(idx uint64, msg []byte)
+
+	stored  []storedSlot
+	nextIdx uint64
+
+	// AllocatedBytes approximates the RDMA-exposed buffer size, for the
+	// Table 2 accounting.
+	AllocatedBytes int
+
+	// Corrupt counts frames dropped for checksum mismatch (Byzantine or
+	// torn writes).
+	Corrupt uint64
+}
+
+type storedSlot struct {
+	has  bool
+	idx  uint64
+	data []byte
+}
+
+// NewReceiver registers a receiving ring on the hub for messages from peer
+// on the given instance. deliver is called in FIFO order of absolute index,
+// skipping overwritten messages.
+func NewReceiver(h *Hub, peer ids.ID, inst Instance, slots, slotCap int, deliver func(idx uint64, msg []byte)) *Receiver {
+	key := ringKey{peer: peer, inst: inst}
+	if _, dup := h.receivers[key]; dup {
+		panic(fmt.Sprintf("msgring: receiver for %v/%d registered twice", peer, inst))
+	}
+	r := &Receiver{
+		proc:           h.proc,
+		slots:          slots,
+		deliver:        deliver,
+		stored:         make([]storedSlot, slots),
+		AllocatedBytes: slots * (slotCap + 20),
+	}
+	h.receivers[key] = r
+	return r
+}
+
+// NextIndex returns the absolute index of the next message the receiver
+// expects to deliver.
+func (r *Receiver) NextIndex() uint64 { return r.nextIdx }
+
+func (r *Receiver) accept(slot int, inc, chk uint64, data []byte) {
+	if slot < 0 || slot >= r.slots || inc == 0 {
+		return // malformed (Byzantine sender)
+	}
+	// Copy to a private buffer then validate the checksum, as in Fig 6.
+	r.proc.Charge(latmodel.CopyCost(len(data)))
+	if xcrypto.Checksum(r.proc, data) != chk {
+		r.Corrupt++
+		return
+	}
+	idx := (inc-1)*uint64(r.slots) + uint64(slot)
+	cur := &r.stored[slot]
+	if cur.has && cur.idx >= idx {
+		return // stale rewrite (retransmission of something newer already here)
+	}
+	cur.has, cur.idx, cur.data = true, idx, data
+	r.scan()
+}
+
+// scan delivers every stored message with index >= nextIdx in increasing
+// order. This realizes "advance the read pointer to the oldest undelivered
+// message" from the paper: overwritten indices are skipped permanently.
+func (r *Receiver) scan() {
+	for {
+		best := -1
+		var bestIdx uint64
+		for i := range r.stored {
+			s := &r.stored[i]
+			if !s.has || s.idx < r.nextIdx {
+				continue
+			}
+			if best == -1 || s.idx < bestIdx {
+				best, bestIdx = i, s.idx
+			}
+		}
+		if best == -1 {
+			return
+		}
+		s := &r.stored[best]
+		r.nextIdx = s.idx + 1
+		r.deliver(s.idx, s.data)
+	}
+}

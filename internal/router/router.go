@@ -1,0 +1,77 @@
+// Package router multiplexes the many protocol components of one simulated
+// host (RPC, message rings, memory-node traffic, consensus control
+// messages) over that host's single authenticated network endpoint. Every
+// message carries a one-byte channel tag; components register a handler per
+// channel. This mirrors how the paper's prototype multiplexes queue pairs
+// and completion queues on one RDMA NIC.
+package router
+
+import (
+	"fmt"
+
+	"repro/internal/ids"
+	"repro/internal/simnet"
+)
+
+// Channel tags. Kept in one place so the wire format is self-describing.
+const (
+	ChanMemReq   uint8 = 1 // host -> memory node: register READ/WRITE
+	ChanMemResp  uint8 = 2 // memory node -> host: completions
+	ChanRing     uint8 = 3 // message-ring RDMA writes (sender -> receiver)
+	ChanRingAck  uint8 = 4 // tail-broadcast acknowledgements
+	ChanRPC      uint8 = 5 // client <-> replica requests/responses
+	ChanDirect   uint8 = 6 // consensus direct messages (view-change shares, summaries)
+	ChanBaseline uint8 = 7 // baseline protocols (Mu, MinBFT)
+	ChanSummary  uint8 = 8 // CTBcast summary certificate shares
+
+)
+
+// Handler consumes a demultiplexed message.
+type Handler func(from ids.ID, payload []byte)
+
+// Router wraps one simnet node and dispatches by channel tag.
+type Router struct {
+	node     *simnet.Node
+	handlers [256]Handler
+}
+
+// New installs a router as the node's message handler.
+func New(node *simnet.Node) *Router {
+	r := &Router{node: node}
+	node.SetHandler(r.dispatch)
+	return r
+}
+
+// Node returns the underlying network endpoint.
+func (r *Router) Node() *simnet.Node { return r.node }
+
+// ID returns the host's identity.
+func (r *Router) ID() ids.ID { return r.node.ID() }
+
+// Register installs h for channel ch. Registering a channel twice panics:
+// it is always a wiring bug.
+func (r *Router) Register(ch uint8, h Handler) {
+	if r.handlers[ch] != nil {
+		panic(fmt.Sprintf("router: channel %d registered twice on %v", ch, r.node.ID()))
+	}
+	r.handlers[ch] = h
+}
+
+// Send transmits payload to the host to on channel ch.
+func (r *Router) Send(to ids.ID, ch uint8, payload []byte) {
+	buf := make([]byte, 1+len(payload))
+	buf[0] = ch
+	copy(buf[1:], payload)
+	r.node.Send(to, buf)
+}
+
+func (r *Router) dispatch(from ids.ID, payload []byte) {
+	if len(payload) == 0 {
+		return // malformed frame from a Byzantine sender; drop
+	}
+	h := r.handlers[payload[0]]
+	if h == nil {
+		return // channel not wired on this host; drop
+	}
+	h(from, payload[1:])
+}

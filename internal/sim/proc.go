@@ -1,0 +1,113 @@
+package sim
+
+import "fmt"
+
+// Proc models one simulated process (a replica, a client, a memory node).
+// It tracks a busy-until horizon so that CPU work (cryptography, hashing,
+// buffer copies) serializes: an event delivered while the process is busy
+// waits until the process frees up, exactly like a single-threaded event
+// loop. This is what produces the "Other" (queuing/glue) latency category in
+// the paper's Figure 9 breakdown.
+type Proc struct {
+	eng       *Engine
+	name      string
+	busyUntil Time
+	crashed   bool
+
+	// byzantine marks the process as adversarial. The protocol code never
+	// reads this; fault-injection test harnesses use it to decide which
+	// behaviours to corrupt.
+	byzantine bool
+}
+
+// NewProc creates a process bound to the engine.
+func NewProc(eng *Engine, name string) *Proc {
+	return &Proc{eng: eng, name: name}
+}
+
+// Engine returns the engine the process is bound to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Name returns the process's diagnostic name.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.Now() }
+
+// Crash stops the process: every subsequent delivery or execution on it is
+// dropped. Crashes are permanent (crash-stop model).
+func (p *Proc) Crash() { p.crashed = true }
+
+// Crashed reports whether the process has crashed.
+func (p *Proc) Crashed() bool { return p.crashed }
+
+// SetByzantine marks the process as adversarial for fault-injection tests.
+func (p *Proc) SetByzantine(b bool) { p.byzantine = b }
+
+// Byzantine reports whether the process was marked adversarial.
+func (p *Proc) Byzantine() bool { return p.byzantine }
+
+// free returns the earliest time the process can start new work.
+func (p *Proc) free() Time {
+	if p.busyUntil > p.eng.Now() {
+		return p.busyUntil
+	}
+	return p.eng.Now()
+}
+
+// Deliver schedules fn to run on this process as soon as it is free.
+// Use it for message/handler delivery: if the process is mid-computation
+// the handler queues behind it.
+func (p *Proc) Deliver(fn func()) *Timer {
+	start := p.free()
+	return p.eng.At(start, func() {
+		if p.crashed {
+			return
+		}
+		fn()
+	})
+}
+
+// Exec schedules fn after the process performs cost worth of CPU work.
+// The work starts when the process is next free and extends its busy
+// horizon, so concurrent Execs serialize.
+func (p *Proc) Exec(cost Duration, fn func()) *Timer {
+	if cost < 0 {
+		panic(fmt.Sprintf("sim: negative exec cost %d on %s", cost, p.name))
+	}
+	start := p.free()
+	end := start.Add(cost)
+	p.busyUntil = end
+	return p.eng.At(end, func() {
+		if p.crashed {
+			return
+		}
+		fn()
+	})
+}
+
+// Charge accounts cost of CPU work synchronously: it extends the busy
+// horizon without scheduling a continuation. Use it inside a handler for
+// work whose result is needed inline (e.g. a checksum computed before
+// sending).
+func (p *Proc) Charge(cost Duration) {
+	if cost < 0 {
+		panic(fmt.Sprintf("sim: negative charge %d on %s", cost, p.name))
+	}
+	p.busyUntil = p.free().Add(cost)
+}
+
+// After schedules fn to run d from now regardless of busy state (a timer,
+// not CPU work). Crashed processes never fire their timers.
+func (p *Proc) After(d Duration, fn func()) *Timer {
+	return p.eng.After(d, func() {
+		if p.crashed {
+			return
+		}
+		fn()
+	})
+}
+
+// BusyUntil exposes the busy horizon (used by tests and the latency
+// breakdown tracer).
+func (p *Proc) BusyUntil() Time { return p.busyUntil }

@@ -1,0 +1,212 @@
+// Package sim provides a deterministic discrete-event simulation engine
+// with a virtual nanosecond clock. It is the substrate on which the whole
+// uBFT reproduction runs: processes, networks, memory nodes and crypto cost
+// models all schedule work on a single Engine, which executes events in
+// (time, sequence) order. Runs with the same seed are bit-for-bit
+// reproducible, which is what lets the benchmark harness regenerate the
+// paper's figures deterministically.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds. It mirrors
+// time.Duration's unit so the usual constants read naturally
+// (3 * sim.Microsecond, etc.).
+type Duration int64
+
+// Convenient duration units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// String renders a Duration in microseconds, the natural unit of this paper.
+func (d Duration) String() string {
+	return fmt.Sprintf("%.3fus", float64(d)/float64(Microsecond))
+}
+
+// Micros returns the duration in (fractional) microseconds.
+func (d Duration) Micros() float64 { return float64(d) / float64(Microsecond) }
+
+// Add advances a Time by a Duration.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the Duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Timer is a handle to a scheduled event; it can be cancelled before firing.
+type Timer struct {
+	ev *event
+}
+
+// Cancel prevents the timer's function from running. Cancelling an already
+// fired or already cancelled timer is a no-op. It reports whether the event
+// was still pending.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.fired {
+		return false
+	}
+	t.ev.cancelled = true
+	return true
+}
+
+// Pending reports whether the timer has neither fired nor been cancelled.
+func (t *Timer) Pending() bool {
+	return t != nil && t.ev != nil && !t.ev.cancelled && !t.ev.fired
+}
+
+type event struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	fired     bool
+	index     int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event scheduler. It is not safe for
+// concurrent use; all simulated processes run as callbacks inside Run.
+type Engine struct {
+	now      Time
+	seq      uint64
+	events   eventHeap
+	rng      *rand.Rand
+	executed uint64
+	stopped  bool
+}
+
+// NewEngine returns an engine whose randomness is derived from seed.
+// Two engines with the same seed and the same scheduled workload produce
+// identical executions.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source. All simulated
+// nondeterminism (jitter, drops, workload choices) must come from here.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Executed returns the number of events executed so far (a cheap progress
+// and runaway-loop diagnostic).
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending returns the number of events still queued (including cancelled
+// ones that have not yet been popped).
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it always indicates a bug in a cost model.
+func (e *Engine) At(t Time, fn func()) *Timer {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d nanoseconds from now. Negative durations are
+// clamped to zero (run "immediately", after already queued same-time events).
+func (e *Engine) After(d Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// Stop makes Run/RunUntil return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the single next event. It reports whether an event ran
+// (false when the queue is empty). Cancelled events are skipped silently.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		ev.fired = true
+		e.executed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then sets the clock
+// to deadline (if it advanced that far). Events scheduled beyond deadline
+// remain queued.
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.events) == 0 {
+			break
+		}
+		// Peek.
+		next := e.events[0]
+		if next.cancelled {
+			heap.Pop(&e.events)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunFor runs the simulation for d nanoseconds of virtual time.
+func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now.Add(d)) }

@@ -1,0 +1,290 @@
+package simnet
+
+import (
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/latmodel"
+	"repro/internal/sim"
+)
+
+func twoNodes(t *testing.T, opts Options) (*sim.Engine, *Network, *Node, *Node) {
+	t.Helper()
+	e := sim.NewEngine(1)
+	n := New(e, opts)
+	a := n.AddNode(0, "a")
+	b := n.AddNode(1, "b")
+	return e, n, a, b
+}
+
+func TestDelivery(t *testing.T) {
+	e, _, a, b := twoNodes(t, RDMAOptions())
+	var gotFrom ids.ID = ids.None
+	var gotPayload []byte
+	b.SetHandler(func(from ids.ID, p []byte) { gotFrom, gotPayload = from, p })
+	a.Send(1, []byte("hello"))
+	e.Run()
+	if gotFrom != 0 || string(gotPayload) != "hello" {
+		t.Fatalf("delivery wrong: from=%v payload=%q", gotFrom, gotPayload)
+	}
+}
+
+func TestDeliveryLatencyBounds(t *testing.T) {
+	e, _, a, b := twoNodes(t, RDMAOptions())
+	var at sim.Time = -1
+	b.SetHandler(func(ids.ID, []byte) { at = e.Now() })
+	payload := make([]byte, 1024)
+	a.Send(1, payload)
+	e.Run()
+	min := latmodel.WireBase
+	max := latmodel.WireBase + latmodel.PerByte(1024+64) + latmodel.WireJitter +
+		2*latmodel.DispatchCost + sim.Microsecond
+	if at < sim.Time(min) || at > sim.Time(max) {
+		t.Fatalf("delivery at %v outside [%v, %v]", at, min, max)
+	}
+}
+
+func TestLargerMessagesArriveLater(t *testing.T) {
+	opts := RDMAOptions()
+	opts.Jitter = 0
+	e, _, a, b := twoNodes(t, opts)
+	var times []sim.Time
+	b.SetHandler(func(ids.ID, []byte) { times = append(times, e.Now()) })
+	a.Send(1, make([]byte, 8192))
+	e.Run()
+	big := times[0]
+
+	e2 := sim.NewEngine(1)
+	n2 := New(e2, opts)
+	a2 := n2.AddNode(0, "a")
+	b2 := n2.AddNode(1, "b")
+	var small sim.Time
+	b2.SetHandler(func(ids.ID, []byte) { small = e2.Now() })
+	a2.Send(1, make([]byte, 8))
+	e2.Run()
+	if big <= small {
+		t.Fatalf("8KiB message (%v) not slower than 8B (%v)", big, small)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	e, n, a, b := twoNodes(t, RDMAOptions())
+	got := 0
+	b.SetHandler(func(ids.ID, []byte) { got++ })
+	n.Partition(0, 1)
+	a.Send(1, []byte("x"))
+	e.Run()
+	if got != 0 {
+		t.Fatal("partitioned message delivered")
+	}
+	if n.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", n.Dropped)
+	}
+	n.Heal(0, 1)
+	a.Send(1, []byte("y"))
+	e.Run()
+	if got != 1 {
+		t.Fatal("healed link did not deliver")
+	}
+	n.Partition(0, 1)
+	n.HealAll()
+	a.Send(1, []byte("z"))
+	e.Run()
+	if got != 2 {
+		t.Fatal("HealAll did not heal")
+	}
+}
+
+func TestPartitionSymmetric(t *testing.T) {
+	_, n, _, _ := twoNodes(t, RDMAOptions())
+	n.Partition(1, 0)
+	if !n.Partitioned(0, 1) || !n.Partitioned(1, 0) {
+		t.Fatal("partition not symmetric")
+	}
+}
+
+func TestCrashedSenderSendsNothing(t *testing.T) {
+	e, n, a, b := twoNodes(t, RDMAOptions())
+	got := 0
+	b.SetHandler(func(ids.ID, []byte) { got++ })
+	a.Proc().Crash()
+	a.Send(1, []byte("x"))
+	e.Run()
+	if got != 0 || n.MsgsSent != 0 {
+		t.Fatal("crashed sender transmitted")
+	}
+}
+
+func TestCrashedReceiverDropsDelivery(t *testing.T) {
+	e, _, a, b := twoNodes(t, RDMAOptions())
+	got := 0
+	b.SetHandler(func(ids.ID, []byte) { got++ })
+	a.Send(1, []byte("x"))
+	b.Proc().Crash()
+	e.Run()
+	if got != 0 {
+		t.Fatal("crashed receiver handled message")
+	}
+}
+
+func TestPreGSTDropsAndDelays(t *testing.T) {
+	opts := RDMAOptions()
+	opts.GST = sim.Time(1 * sim.Millisecond)
+	opts.AsyncExtraMax = 100 * sim.Microsecond
+	opts.AsyncDropProb = 0.5
+	e := sim.NewEngine(7)
+	n := New(e, opts)
+	a := n.AddNode(0, "a")
+	b := n.AddNode(1, "b")
+	got := 0
+	b.SetHandler(func(ids.ID, []byte) { got++ })
+	const sent = 200
+	for i := 0; i < sent; i++ {
+		a.Send(1, []byte("x"))
+	}
+	e.Run()
+	if got == sent || got == 0 {
+		t.Fatalf("pre-GST drop model inert: %d/%d delivered", got, sent)
+	}
+	if n.Dropped == 0 {
+		t.Fatal("no drops recorded")
+	}
+}
+
+func TestPostGSTNeverDrops(t *testing.T) {
+	opts := RDMAOptions()
+	opts.GST = 0
+	opts.AsyncDropProb = 0.9
+	e := sim.NewEngine(7)
+	n := New(e, opts)
+	a := n.AddNode(0, "a")
+	b := n.AddNode(1, "b")
+	got := 0
+	b.SetHandler(func(ids.ID, []byte) { got++ })
+	for i := 0; i < 100; i++ {
+		a.Send(1, []byte("x"))
+	}
+	e.Run()
+	if got != 100 {
+		t.Fatalf("post-GST dropped messages: %d/100", got)
+	}
+}
+
+func TestBroadcastSkipsSelf(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := New(e, RDMAOptions())
+	nodes := make([]*Node, 3)
+	counts := make([]int, 3)
+	all := []ids.ID{0, 1, 2}
+	for i := range nodes {
+		i := i
+		nodes[i] = n.AddNode(ids.ID(i), "n")
+		nodes[i].SetHandler(func(ids.ID, []byte) { counts[i]++ })
+	}
+	nodes[0].Broadcast(all, []byte("x"))
+	e.Run()
+	if counts[0] != 0 || counts[1] != 1 || counts[2] != 1 {
+		t.Fatalf("broadcast counts = %v", counts)
+	}
+}
+
+func TestDuplicateNodePanics(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := New(e, RDMAOptions())
+	n.AddNode(0, "a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate AddNode did not panic")
+		}
+	}()
+	n.AddNode(0, "b")
+}
+
+func TestSendToUnknownPanics(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := New(e, RDMAOptions())
+	a := n.AddNode(0, "a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("send to unknown node did not panic")
+		}
+	}()
+	a.Send(99, []byte("x"))
+}
+
+func TestStatsAccounting(t *testing.T) {
+	e, n, a, b := twoNodes(t, RDMAOptions())
+	b.SetHandler(func(ids.ID, []byte) {})
+	a.Send(1, make([]byte, 100))
+	e.Run()
+	if n.MsgsSent != 1 {
+		t.Fatalf("MsgsSent = %d", n.MsgsSent)
+	}
+	if n.BytesSent != 100+64 {
+		t.Fatalf("BytesSent = %d", n.BytesSent)
+	}
+}
+
+func TestTCPOptionsSlowerThanRDMA(t *testing.T) {
+	if TCPOptions().BaseLatency <= RDMAOptions().BaseLatency {
+		t.Fatal("TCP baseline should be slower than RDMA")
+	}
+}
+
+func TestAttachNodeSharesProc(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := New(e, RDMAOptions())
+	host := sim.NewProc(e, "host")
+	a := n.AttachNode(0, host)
+	b := n.AddNode(1, "b")
+	got := 0
+	b.SetHandler(func(ids.ID, []byte) { got++ })
+	if a.Proc() != host {
+		t.Fatal("AttachNode did not reuse the process")
+	}
+	// A busy shared process delays the attached node's sends.
+	host.Charge(10 * sim.Microsecond)
+	var at sim.Time
+	b.SetHandler(func(ids.ID, []byte) { at = e.Now() })
+	a.Send(1, []byte("x"))
+	e.Run()
+	if at < sim.Time(10*sim.Microsecond) {
+		t.Fatalf("send did not queue behind shared process: %v", at)
+	}
+}
+
+func TestAttachDuplicatePanics(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := New(e, RDMAOptions())
+	n.AddNode(0, "a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate AttachNode did not panic")
+		}
+	}()
+	n.AttachNode(0, sim.NewProc(e, "dup"))
+}
+
+func TestSetGST(t *testing.T) {
+	e := sim.NewEngine(7)
+	n := New(e, RDMAOptions())
+	a := n.AddNode(0, "a")
+	b := n.AddNode(1, "b")
+	got := 0
+	b.SetHandler(func(ids.ID, []byte) { got++ })
+	n.SetGST(sim.Time(sim.Millisecond), 0, 1.0) // drop everything pre-GST
+	a.Send(1, []byte("x"))
+	e.Run()
+	if got != 0 {
+		t.Fatal("pre-GST message with drop probability 1 delivered")
+	}
+	e.RunUntil(sim.Time(sim.Millisecond))
+	a.Send(1, []byte("y"))
+	e.Run()
+	if got != 1 {
+		t.Fatal("post-GST message dropped")
+	}
+	if n.Options().GST != sim.Time(sim.Millisecond) {
+		t.Fatal("Options() does not reflect SetGST")
+	}
+}

@@ -1,0 +1,375 @@
+// Package swmr implements the paper's reliable Single-Writer
+// Multiple-Reader regular registers (§6.1, Figure 5) on top of crash-only
+// memory nodes.
+//
+// Each register is materialized as one region per memory node holding two
+// sub-registers (double buffering). A WRITE goes to sub-register ts%2 and
+// carries a checksum and a logical timestamp; the writer observes a δ
+// cooldown between WRITEs to the same register so that a reader always
+// finds at least one settled sub-register after GST. A READ fetches the
+// whole region from every memory node, waits for a majority (f_m+1),
+// validates checksums, and returns the highest-timestamped valid value;
+// per the paper, a read that finds no valid sub-register within δ proves
+// the register's owner Byzantine (it ignored the cooldown or wrote bogus
+// checksums), and equal timestamps in both sub-registers likewise.
+//
+// Reliability comes from quorum replication across 2f_m+1 memory nodes:
+// WRITEs complete at f_m+1 acks, READs at f_m+1 responses, so reads
+// intersect the last completed write.
+package swmr
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ids"
+	"repro/internal/latmodel"
+	"repro/internal/memnode"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/wire"
+	"repro/internal/xcrypto"
+)
+
+// ErrByzantineWriter is returned by Read when the register's contents prove
+// the owner violated the write protocol (bogus checksums within δ, or equal
+// timestamps in both sub-registers).
+var ErrByzantineWriter = errors.New("swmr: register owner is Byzantine")
+
+// ErrTooManyRetries is returned when a read keeps overlapping writes far
+// beyond the synchronous bound (only possible before GST or under a crash
+// of more than f_m memory nodes).
+var ErrTooManyRetries = errors.New("swmr: read retry budget exhausted")
+
+// maxReadRetries bounds read retries; after GST a single retry suffices.
+const maxReadRetries = 64
+
+// slotHeaderLen is checksum(8) + timestamp(8) + length(4).
+const slotHeaderLen = 20
+
+// Store is a per-host client that multiplexes register operations to the
+// memory-node quorum. One Store serves all registers used by its host.
+type Store struct {
+	rt    *router.Router
+	proc  *sim.Proc
+	nodes []ids.ID
+	fm    int
+
+	nextSeq uint64
+	writes  map[uint64]*writeOp
+	reads   map[uint64]*readOp
+}
+
+type writeOp struct {
+	need int
+	got  int
+	fail int
+	n    int
+	done func(error)
+}
+
+type readOp struct {
+	need      int
+	snapshots [][]byte
+	fails     int
+	n         int
+	done      func(snapshots [][]byte, err error)
+}
+
+// NewStore creates the client. nodes must list the 2f_m+1 memory nodes.
+func NewStore(rt *router.Router, proc *sim.Proc, nodes []ids.ID, fm int) *Store {
+	if len(nodes) != 2*fm+1 {
+		panic(fmt.Sprintf("swmr: need 2*fm+1=%d memory nodes, got %d", 2*fm+1, len(nodes)))
+	}
+	s := &Store{
+		rt:     rt,
+		proc:   proc,
+		nodes:  nodes,
+		fm:     fm,
+		writes: make(map[uint64]*writeOp),
+		reads:  make(map[uint64]*readOp),
+	}
+	rt.Register(router.ChanMemResp, s.onResponse)
+	return s
+}
+
+func (s *Store) onResponse(from ids.ID, payload []byte) {
+	resp, err := memnode.DecodeResponse(payload)
+	if err != nil {
+		return // memory nodes are trusted; a bad frame means a forged sender, drop
+	}
+	if resp.IsWriteResp() {
+		op := s.writes[resp.Seq]
+		if op == nil {
+			return // late completion after quorum; ignore
+		}
+		if resp.Status == memnode.StatusOK {
+			op.got++
+		} else {
+			op.fail++
+		}
+		if op.got >= op.need {
+			delete(s.writes, resp.Seq)
+			op.done(nil)
+		} else if op.fail > op.n-op.need {
+			delete(s.writes, resp.Seq)
+			op.done(fmt.Errorf("swmr: write rejected by %d/%d memory nodes (status %d)", op.fail, op.n, resp.Status))
+		}
+		return
+	}
+	op := s.reads[resp.Seq]
+	if op == nil {
+		return
+	}
+	if resp.Status == memnode.StatusOK {
+		op.snapshots = append(op.snapshots, resp.Data)
+	} else {
+		op.fails++
+	}
+	if len(op.snapshots) >= op.need {
+		delete(s.reads, resp.Seq)
+		op.done(op.snapshots, nil)
+	} else if op.fails > op.n-op.need {
+		delete(s.reads, resp.Seq)
+		op.done(nil, fmt.Errorf("swmr: read rejected by %d/%d memory nodes", op.fails, op.n))
+	}
+}
+
+// writeAll issues the same region write to every memory node; done runs at
+// f_m+1 completions.
+func (s *Store) writeAll(region memnode.RegionID, off int, data []byte, done func(error)) {
+	s.nextSeq++
+	seq := s.nextSeq
+	s.writes[seq] = &writeOp{need: s.fm + 1, n: len(s.nodes), done: done}
+	frame := memnode.EncodeWrite(seq, region, off, data)
+	for _, nid := range s.nodes {
+		s.rt.Send(nid, router.ChanMemReq, frame)
+	}
+}
+
+// readAll issues a region read to every memory node; done runs with f_m+1
+// snapshots.
+func (s *Store) readAll(region memnode.RegionID, done func([][]byte, error)) {
+	s.nextSeq++
+	seq := s.nextSeq
+	s.reads[seq] = &readOp{need: s.fm + 1, n: len(s.nodes), done: done}
+	frame := memnode.EncodeRead(seq, region)
+	for _, nid := range s.nodes {
+		s.rt.Send(nid, router.ChanMemReq, frame)
+	}
+}
+
+// Register is a handle to one reliable SWMR regular register. The same
+// handle type serves writers (on the owner host) and readers (elsewhere);
+// the memory nodes enforce that only the owner's writes succeed.
+type Register struct {
+	store    *Store
+	region   memnode.RegionID
+	valueCap int
+
+	// Writer-side cooldown state.
+	lastWriteAt sim.Time
+	wrotOnce    bool
+	writeCount  uint64
+	queue       []queuedWrite
+	writing     bool
+}
+
+type queuedWrite struct {
+	ts    uint64
+	value []byte
+	done  func(error)
+}
+
+// SlotSize returns the byte size of one sub-register for a given value
+// capacity.
+func SlotSize(valueCap int) int { return slotHeaderLen + valueCap }
+
+// RegionSize returns the byte size of one register's region (two
+// sub-registers).
+func RegionSize(valueCap int) int { return 2 * SlotSize(valueCap) }
+
+// NewRegister creates a handle. The region must have been allocated on
+// every memory node with size RegionSize(valueCap) and the writer as owner.
+func NewRegister(store *Store, region memnode.RegionID, valueCap int) *Register {
+	return &Register{store: store, region: region, valueCap: valueCap}
+}
+
+// encodeSlot builds a sub-register image: checksum | ts | len | value+pad.
+func (r *Register) encodeSlot(ts uint64, value []byte) []byte {
+	if len(value) > r.valueCap {
+		panic(fmt.Sprintf("swmr: value %dB exceeds register capacity %dB", len(value), r.valueCap))
+	}
+	slot := make([]byte, SlotSize(r.valueCap))
+	w := wire.NewWriter(slotHeaderLen)
+	w.U64(0) // checksum placeholder
+	w.U64(ts)
+	w.U32(uint32(len(value)))
+	header := w.Finish()
+	copy(slot, header)
+	copy(slot[slotHeaderLen:], value)
+	chk := xcrypto.Checksum(r.store.proc, slot[8:])
+	w2 := wire.NewWriter(8)
+	w2.U64(chk)
+	copy(slot[:8], w2.Finish())
+	return slot
+}
+
+// decodeSlot parses a sub-register image. ok is false for invalid
+// checksums; empty reports an all-zero (never written) slot, which is valid
+// initial state.
+func decodeSlot(slot []byte) (ts uint64, value []byte, ok, empty bool) {
+	allZero := true
+	for _, b := range slot {
+		if b != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		return 0, nil, true, true
+	}
+	if len(slot) < slotHeaderLen {
+		return 0, nil, false, false
+	}
+	r := wire.NewReader(slot[:slotHeaderLen])
+	chk := r.U64()
+	ts = r.U64()
+	length := r.U32()
+	if int(length) > len(slot)-slotHeaderLen {
+		return 0, nil, false, false
+	}
+	if xcrypto.ChecksumNoCharge(slot[8:]) != chk {
+		return 0, nil, false, false
+	}
+	return ts, slot[slotHeaderLen : slotHeaderLen+int(length)], true, false
+}
+
+// Write stores (ts, value) in the register, observing the δ cooldown
+// between consecutive writes (paper §6.1: the writer waits δ between two
+// WRITEs to the same register). Writes queue FIFO behind the cooldown.
+// done runs when a majority of memory nodes acked.
+func (r *Register) Write(ts uint64, value []byte, done func(error)) {
+	v := make([]byte, len(value))
+	copy(v, value)
+	r.queue = append(r.queue, queuedWrite{ts: ts, value: v, done: done})
+	r.pump()
+}
+
+func (r *Register) pump() {
+	if r.writing || len(r.queue) == 0 {
+		return
+	}
+	now := r.store.proc.Now()
+	if r.wrotOnce {
+		next := r.lastWriteAt.Add(latmodel.Delta)
+		if now < next {
+			r.writing = true
+			r.store.proc.After(next.Sub(now), func() {
+				r.writing = false
+				r.pump()
+			})
+			return
+		}
+	}
+	qw := r.queue[0]
+	r.queue = r.queue[1:]
+	r.writing = true
+	r.wrotOnce = true
+	r.lastWriteAt = now
+	slot := r.encodeSlot(qw.ts, qw.value)
+	// Round-robin between the two sub-registers by write count (§6.1).
+	off := 0
+	if r.writeCount%2 == 1 {
+		off = SlotSize(r.valueCap)
+	}
+	r.writeCount++
+	r.store.proc.Charge(latmodel.CopyCost(len(slot)))
+	r.store.writeAll(r.region, off, slot, func(err error) {
+		r.writing = false
+		qw.done(err)
+		r.pump()
+	})
+}
+
+// ReadResult is the outcome of a register read.
+type ReadResult struct {
+	TS    uint64
+	Value []byte
+	// Empty reports that the register has never been written.
+	Empty bool
+}
+
+// Read performs the regular-register read protocol: fetch both
+// sub-registers from a majority of memory nodes, validate checksums, return
+// the highest-timestamped valid value. It retries reads that overlap
+// writes (no settled sub-register yet, elapsed ≥ δ) and reports
+// ErrByzantineWriter when the contents prove the owner misbehaved.
+func (r *Register) Read(done func(ReadResult, error)) {
+	r.readAttempt(r.store.proc.Now(), 0, done)
+}
+
+func (r *Register) readAttempt(start sim.Time, attempt int, done func(ReadResult, error)) {
+	if attempt > maxReadRetries {
+		done(ReadResult{}, ErrTooManyRetries)
+		return
+	}
+	attemptStart := r.store.proc.Now()
+	r.store.readAll(r.region, func(snapshots [][]byte, err error) {
+		if err != nil {
+			done(ReadResult{}, err)
+			return
+		}
+		elapsed := r.store.proc.Now().Sub(attemptStart)
+		best := ReadResult{Empty: true}
+		haveValid := false
+		byz := false
+		for _, snap := range snapshots {
+			if len(snap) != RegionSize(r.valueCap) {
+				continue // trusted memnodes never truncate; defensive anyway
+			}
+			half := SlotSize(r.valueCap)
+			tsA, valA, okA, emptyA := decodeSlot(snap[:half])
+			tsB, valB, okB, emptyB := decodeSlot(snap[half:])
+			r.store.proc.Charge(latmodel.ChecksumCost(len(snap)))
+			if okA && okB && !emptyA && !emptyB && tsA == tsB {
+				// Two settled sub-registers with equal timestamps: the
+				// writer violated the round-robin discipline.
+				byz = true
+				continue
+			}
+			for _, c := range []struct {
+				ts    uint64
+				val   []byte
+				ok    bool
+				empty bool
+			}{{tsA, valA, okA, emptyA}, {tsB, valB, okB, emptyB}} {
+				if !c.ok || c.empty {
+					continue
+				}
+				haveValid = true
+				if best.Empty || c.ts > best.TS {
+					v := make([]byte, len(c.val))
+					copy(v, c.val)
+					best = ReadResult{TS: c.ts, Value: v}
+				}
+			}
+			if emptyA && emptyB {
+				haveValid = true // settled initial state counts as a valid (empty) read
+			}
+		}
+		if haveValid {
+			done(best, nil)
+			return
+		}
+		if byz || elapsed < latmodel.Delta {
+			// No settled sub-register although reads are fast (post-GST a
+			// read within δ cannot overlap writes to both sub-registers):
+			// the writer is Byzantine. Return the default value.
+			done(ReadResult{Empty: true}, ErrByzantineWriter)
+			return
+		}
+		// The read took longer than δ (pre-GST asynchrony): retry.
+		r.readAttempt(start, attempt+1, done)
+	})
+}

@@ -1,0 +1,244 @@
+// Package tbcast implements Tail Broadcast (paper §4.1–4.2): a best-effort
+// broadcast with finite memory that guarantees correct receivers deliver
+// the last 2t messages of a correct broadcaster, preserves integrity and
+// no-duplication, but does NOT prevent equivocation (that is CTBcast's
+// job, built on top).
+//
+// The implementation follows the paper: the broadcaster buffers its last
+// 2t messages (the message-ring mirror) and retransmits them until
+// acknowledged by all receivers; broadcasting into a full buffer evicts
+// the oldest message. Transport is the ack-free message ring of §6.2;
+// acknowledgements flow on a separate lightweight channel and are only
+// used to stop retransmission — they are never on the critical path.
+package tbcast
+
+import (
+	"fmt"
+
+	"repro/internal/ids"
+	"repro/internal/latmodel"
+	"repro/internal/msgring"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// RetransmitInterval is how often the broadcaster re-pushes unacked
+// messages. Retransmission only matters before GST or across partitions;
+// after GST the first transmission always arrives.
+const RetransmitInterval = 200 * sim.Microsecond
+
+// Instance identifies one broadcast channel; it must be unique per
+// (broadcaster host, instance) pair and equal at broadcaster and listeners.
+type Instance = msgring.Instance
+
+// AckHub collects tail-broadcast acknowledgements arriving at one host and
+// routes them to that host's broadcasters. One per host.
+type AckHub struct {
+	rt          *router.Router
+	broadcaster map[Instance]*Broadcaster
+}
+
+// NewAckHub installs the hub on the host's ack channel.
+func NewAckHub(rt *router.Router) *AckHub {
+	h := &AckHub{rt: rt, broadcaster: make(map[Instance]*Broadcaster)}
+	rt.Register(router.ChanRingAck, h.onAck)
+	return h
+}
+
+func (h *AckHub) onAck(from ids.ID, payload []byte) {
+	r := wire.NewReader(payload)
+	inst := Instance(r.U32())
+	upTo := r.U64()
+	if r.Done() != nil {
+		return
+	}
+	b := h.broadcaster[inst]
+	if b == nil {
+		return
+	}
+	b.onAck(from, upTo)
+}
+
+// Broadcaster is the sending side of one tail-broadcast channel.
+type Broadcaster struct {
+	proc  *sim.Proc
+	inst  Instance
+	slots int
+
+	receivers []ids.ID // ordered: send order must be deterministic
+	senders   map[ids.ID]*msgring.Sender
+	acked     map[ids.ID]uint64 // highest idx acked + 1 (i.e. count)
+	next      uint64
+
+	selfDeliver func(idx uint64, msg []byte)
+	retransmit  *sim.Timer
+	stopped     bool
+}
+
+// Config assembles a Broadcaster.
+type Config struct {
+	RT        *router.Router
+	Proc      *sim.Proc
+	AckHub    *AckHub
+	Instance  Instance
+	Receivers []ids.ID // remote receivers (exclude self)
+	// Slots is the ring size; per the paper it should be 2t for a CTBcast
+	// tail of t.
+	Slots   int
+	SlotCap int
+	// SelfDeliver, if non-nil, receives every broadcast locally (the
+	// broadcaster is also a receiver in Algorithm 1).
+	SelfDeliver func(idx uint64, msg []byte)
+}
+
+// NewBroadcaster creates the sending side and starts its retransmission
+// loop.
+func NewBroadcaster(cfg Config) *Broadcaster {
+	if cfg.Slots <= 0 {
+		panic(fmt.Sprintf("tbcast: bad slots %d", cfg.Slots))
+	}
+	b := &Broadcaster{
+		proc:        cfg.Proc,
+		inst:        cfg.Instance,
+		slots:       cfg.Slots,
+		senders:     make(map[ids.ID]*msgring.Sender, len(cfg.Receivers)),
+		acked:       make(map[ids.ID]uint64, len(cfg.Receivers)),
+		selfDeliver: cfg.SelfDeliver,
+	}
+	for _, to := range cfg.Receivers {
+		b.receivers = append(b.receivers, to)
+		b.senders[to] = msgring.NewSender(cfg.RT, cfg.Proc, to, cfg.Instance, cfg.Slots, cfg.SlotCap)
+		b.acked[to] = 0
+	}
+	if cfg.AckHub != nil {
+		if _, dup := cfg.AckHub.broadcaster[cfg.Instance]; dup {
+			panic(fmt.Sprintf("tbcast: instance %d registered twice", cfg.Instance))
+		}
+		cfg.AckHub.broadcaster[cfg.Instance] = b
+	}
+	return b
+}
+
+// unacked reports whether any receiver is missing messages the mirror can
+// still supply (acks below the mirror floor are unrecoverable and do not
+// keep the retransmission loop alive).
+func (b *Broadcaster) unacked() bool {
+	lo := uint64(0)
+	if b.next > uint64(b.slots) {
+		lo = b.next - uint64(b.slots)
+	}
+	for _, got := range b.acked {
+		if got < lo {
+			got = lo
+		}
+		if got < b.next {
+			return true
+		}
+	}
+	return false
+}
+
+// Stop halts the retransmission loop (for teardown in tests/benches).
+func (b *Broadcaster) Stop() {
+	b.stopped = true
+	if b.retransmit != nil {
+		b.retransmit.Cancel()
+	}
+}
+
+// Next returns the absolute index the next broadcast will get.
+func (b *Broadcaster) Next() uint64 { return b.next }
+
+// AllocatedBytes sums the ring memory pinned by this channel's senders.
+func (b *Broadcaster) AllocatedBytes() int {
+	total := 0
+	for _, s := range b.senders {
+		total += s.AllocatedBytes
+	}
+	return total
+}
+
+// Broadcast sends msg to every receiver (and self-delivers), returning the
+// message's absolute index within this channel.
+func (b *Broadcaster) Broadcast(msg []byte) uint64 {
+	idx := b.next
+	b.next++
+	for _, to := range b.receivers {
+		b.senders[to].Send(msg)
+	}
+	if b.selfDeliver != nil {
+		cp := make([]byte, len(msg))
+		copy(cp, msg)
+		self := b.selfDeliver
+		b.proc.Deliver(func() { self(idx, cp) })
+	}
+	b.armRetransmit()
+	return idx
+}
+
+func (b *Broadcaster) onAck(from ids.ID, upTo uint64) {
+	if cur, ok := b.acked[from]; ok && upTo > cur {
+		b.acked[from] = upTo
+	}
+}
+
+// armRetransmit schedules the retransmission loop if it is not already
+// pending. The loop disarms itself once every retransmittable message has
+// been acked, so a quiescent system drains its event queue.
+func (b *Broadcaster) armRetransmit() {
+	if b.stopped || (b.retransmit != nil && b.retransmit.Pending()) || !b.unacked() {
+		return
+	}
+	b.retransmit = b.proc.After(RetransmitInterval, func() {
+		if b.stopped {
+			return
+		}
+		lo := uint64(0)
+		if b.next > uint64(b.slots) {
+			lo = b.next - uint64(b.slots)
+		}
+		for _, to := range b.receivers {
+			from := b.acked[to]
+			if from < lo {
+				from = lo
+			}
+			for idx := from; idx < b.next; idx++ {
+				b.senders[to].Retransmit(idx)
+			}
+		}
+		b.armRetransmit()
+	})
+}
+
+// Listener is the receiving side of one tail-broadcast channel at one host.
+type Listener struct {
+	rt          *router.Router
+	proc        *sim.Proc
+	broadcaster ids.ID
+	inst        Instance
+	recv        *msgring.Receiver
+}
+
+// Listen registers a listener for broadcasts from the given broadcaster on
+// the host's ring hub. deliver runs in FIFO index order (gaps allowed once
+// messages fall out of the tail).
+func Listen(hub *msgring.Hub, rt *router.Router, proc *sim.Proc, broadcaster ids.ID, inst Instance, slots, slotCap int, deliver func(idx uint64, msg []byte)) *Listener {
+	l := &Listener{rt: rt, proc: proc, broadcaster: broadcaster, inst: inst}
+	l.recv = msgring.NewReceiver(hub, broadcaster, inst, slots, slotCap, func(idx uint64, msg []byte) {
+		deliver(idx, msg)
+		l.ack(idx)
+	})
+	return l
+}
+
+// AllocatedBytes returns the ring memory pinned by this listener.
+func (l *Listener) AllocatedBytes() int { return l.recv.AllocatedBytes }
+
+func (l *Listener) ack(idx uint64) {
+	w := wire.NewWriter(16)
+	w.U32(uint32(l.inst))
+	w.U64(idx + 1)
+	l.proc.Charge(latmodel.DispatchCost)
+	l.rt.Send(l.broadcaster, router.ChanRingAck, w.Finish())
+}

@@ -1,0 +1,225 @@
+package tbcast
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/msgring"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// net3 builds a 3-host network (host 0 broadcasts, hosts 1 and 2 listen)
+// with the full stack: router, ring hub, ack hub.
+type net3 struct {
+	eng       *sim.Engine
+	net       *simnet.Network
+	rts       []*router.Router
+	hubs      []*msgring.Hub
+	ackHubs   []*AckHub
+	delivered [3][]string
+	indices   [3][]uint64
+}
+
+func newNet3(t *testing.T) *net3 {
+	t.Helper()
+	n := &net3{eng: sim.NewEngine(1)}
+	n.net = simnet.New(n.eng, simnet.RDMAOptions())
+	for i := 0; i < 3; i++ {
+		rt := router.New(n.net.AddNode(ids.ID(i), fmt.Sprintf("h%d", i)))
+		n.rts = append(n.rts, rt)
+		n.hubs = append(n.hubs, msgring.NewHub(rt, rt.Node().Proc()))
+		n.ackHubs = append(n.ackHubs, NewAckHub(rt))
+	}
+	return n
+}
+
+func (n *net3) broadcaster(host int, inst Instance, slots, cap int) *Broadcaster {
+	var receivers []ids.ID
+	for i := 0; i < 3; i++ {
+		if i != host {
+			receivers = append(receivers, ids.ID(i))
+		}
+	}
+	host0 := host
+	b := NewBroadcaster(Config{
+		RT:        n.rts[host],
+		Proc:      n.rts[host].Node().Proc(),
+		AckHub:    n.ackHubs[host],
+		Instance:  inst,
+		Receivers: receivers,
+		Slots:     slots,
+		SlotCap:   cap,
+		SelfDeliver: func(idx uint64, msg []byte) {
+			n.delivered[host0] = append(n.delivered[host0], string(msg))
+			n.indices[host0] = append(n.indices[host0], idx)
+		},
+	})
+	for i := 0; i < 3; i++ {
+		if i == host {
+			continue
+		}
+		i := i
+		Listen(n.hubs[i], n.rts[i], n.rts[i].Node().Proc(), ids.ID(host), inst, slots, cap,
+			func(idx uint64, msg []byte) {
+				n.delivered[i] = append(n.delivered[i], string(msg))
+				n.indices[i] = append(n.indices[i], idx)
+			})
+	}
+	return b
+}
+
+func TestBroadcastReachesAllIncludingSelf(t *testing.T) {
+	n := newNet3(t)
+	b := n.broadcaster(0, 1, 8, 64)
+	b.Broadcast([]byte("hello"))
+	n.eng.Run()
+	for i := 0; i < 3; i++ {
+		if len(n.delivered[i]) != 1 || n.delivered[i][0] != "hello" {
+			t.Fatalf("host %d delivered %v", i, n.delivered[i])
+		}
+	}
+}
+
+func TestFIFOOrderAtAllReceivers(t *testing.T) {
+	n := newNet3(t)
+	b := n.broadcaster(0, 1, 16, 64)
+	for i := 0; i < 8; i++ {
+		b.Broadcast([]byte(fmt.Sprintf("m%d", i)))
+	}
+	n.eng.Run()
+	for host := 0; host < 3; host++ {
+		if len(n.delivered[host]) != 8 {
+			t.Fatalf("host %d delivered %d/8", host, len(n.delivered[host]))
+		}
+		for i, m := range n.delivered[host] {
+			if m != fmt.Sprintf("m%d", i) {
+				t.Fatalf("host %d out of order: %v", host, n.delivered[host])
+			}
+		}
+	}
+}
+
+func TestTailValidityLastMessagesDelivered(t *testing.T) {
+	// Burst 4x the ring: receivers may miss old messages but must deliver
+	// the last `slots` ones in order (tail-validity with 2t = slots).
+	n := newNet3(t)
+	slots := 4
+	b := n.broadcaster(0, 1, slots, 64)
+	const total = 16
+	for i := 0; i < total; i++ {
+		b.Broadcast([]byte(fmt.Sprintf("m%d", i)))
+	}
+	n.eng.RunFor(2 * sim.Millisecond)
+	for host := 1; host < 3; host++ {
+		got := n.delivered[host]
+		if len(got) == 0 || got[len(got)-1] != fmt.Sprintf("m%d", total-1) {
+			t.Fatalf("host %d missing tail: %v", host, got)
+		}
+	}
+}
+
+func TestRetransmissionHealsPartition(t *testing.T) {
+	n := newNet3(t)
+	b := n.broadcaster(0, 1, 8, 64)
+	n.net.Partition(0, 2)
+	b.Broadcast([]byte("during-partition"))
+	n.eng.RunFor(100 * sim.Microsecond)
+	if len(n.delivered[2]) != 0 {
+		t.Fatal("partitioned host received message")
+	}
+	n.net.Heal(0, 2)
+	n.eng.RunFor(2 * sim.Millisecond)
+	if len(n.delivered[2]) != 1 || n.delivered[2][0] != "during-partition" {
+		t.Fatalf("retransmission did not heal: %v", n.delivered[2])
+	}
+}
+
+func TestRetransmitLoopDisarmsWhenQuiescent(t *testing.T) {
+	n := newNet3(t)
+	b := n.broadcaster(0, 1, 8, 64)
+	b.Broadcast([]byte("x"))
+	// Run must terminate: after all acks arrive the loop disarms.
+	n.eng.Run()
+	if n.eng.Pending() != 0 {
+		t.Fatalf("event queue not drained: %d pending", n.eng.Pending())
+	}
+}
+
+func TestNoDuplicateDeliveries(t *testing.T) {
+	n := newNet3(t)
+	b := n.broadcaster(0, 1, 8, 64)
+	// Partition one host so retransmissions happen, then heal: deliveries
+	// must still be unique.
+	n.net.Partition(0, 1)
+	for i := 0; i < 4; i++ {
+		b.Broadcast([]byte(fmt.Sprintf("m%d", i)))
+	}
+	n.eng.RunFor(300 * sim.Microsecond)
+	n.net.Heal(0, 1)
+	n.eng.RunFor(3 * sim.Millisecond)
+	seen := map[uint64]bool{}
+	for _, idx := range n.indices[1] {
+		if seen[idx] {
+			t.Fatalf("duplicate delivery at host 1: %v", n.indices[1])
+		}
+		seen[idx] = true
+	}
+	if len(n.delivered[1]) != 4 {
+		t.Fatalf("host 1 delivered %d/4 after heal", len(n.delivered[1]))
+	}
+}
+
+func TestTwoBroadcastersIndependentChannels(t *testing.T) {
+	n := newNet3(t)
+	b0 := n.broadcaster(0, 1, 8, 64)
+	b1 := n.broadcaster(1, 2, 8, 64)
+	b0.Broadcast([]byte("from0"))
+	b1.Broadcast([]byte("from1"))
+	n.eng.Run()
+	// Host 2 hears both.
+	if len(n.delivered[2]) != 2 {
+		t.Fatalf("host 2 delivered %v", n.delivered[2])
+	}
+}
+
+func TestStopCancelsRetransmission(t *testing.T) {
+	n := newNet3(t)
+	b := n.broadcaster(0, 1, 8, 64)
+	n.net.Partition(0, 1) // keeps host 1 unacked forever
+	b.Broadcast([]byte("x"))
+	n.eng.RunFor(500 * sim.Microsecond)
+	b.Stop()
+	n.eng.Run() // must terminate
+	if n.eng.Pending() != 0 {
+		t.Fatalf("pending events after Stop: %d", n.eng.Pending())
+	}
+}
+
+func TestDuplicateInstancePanics(t *testing.T) {
+	n := newNet3(t)
+	n.broadcaster(0, 1, 8, 64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate instance did not panic")
+		}
+	}()
+	NewBroadcaster(Config{
+		RT:       n.rts[0],
+		Proc:     n.rts[0].Node().Proc(),
+		AckHub:   n.ackHubs[0],
+		Instance: 1,
+		Slots:    8,
+		SlotCap:  64,
+	})
+}
+
+func TestAllocatedBytesAccounted(t *testing.T) {
+	n := newNet3(t)
+	b := n.broadcaster(0, 1, 8, 64)
+	if b.AllocatedBytes() <= 0 {
+		t.Fatal("broadcaster memory accounting missing")
+	}
+}

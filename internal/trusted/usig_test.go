@@ -1,0 +1,137 @@
+package trusted
+
+import (
+	"testing"
+
+	"repro/internal/latmodel"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+func rig() (*sim.Engine, *USIG, *USIG) {
+	eng := sim.NewEngine(1)
+	secret := NewSecret(7)
+	a := NewUSIG(0, secret, sim.NewProc(eng, "a"))
+	b := NewUSIG(1, secret, sim.NewProc(eng, "b"))
+	return eng, a, b
+}
+
+func TestCreateVerifyUI(t *testing.T) {
+	_, a, b := rig()
+	msg := []byte("prepare seq 1")
+	ui := a.CreateUI(msg)
+	if ui.Counter != 1 {
+		t.Fatalf("first counter = %d", ui.Counter)
+	}
+	if !b.VerifyUI(0, msg, ui) {
+		t.Fatal("valid UI rejected")
+	}
+	if b.VerifyUI(1, msg, ui) {
+		t.Fatal("UI attributed to wrong process accepted")
+	}
+	if b.VerifyUI(0, []byte("other"), ui) {
+		t.Fatal("UI over different message accepted")
+	}
+}
+
+func TestCountersMonotonic(t *testing.T) {
+	_, a, _ := rig()
+	prev := uint64(0)
+	for i := 0; i < 10; i++ {
+		ui := a.CreateUI([]byte("m"))
+		if ui.Counter != prev+1 {
+			t.Fatalf("counter %d after %d", ui.Counter, prev)
+		}
+		prev = ui.Counter
+	}
+	if a.Counter() != 10 {
+		t.Fatalf("Counter() = %d", a.Counter())
+	}
+}
+
+func TestNonEquivocationProperty(t *testing.T) {
+	// The defining property: two different messages can never carry the
+	// same counter value, so a forged (msg2, counter1) binding must fail.
+	_, a, b := rig()
+	ui1 := a.CreateUI([]byte("msg-one"))
+	forged := UI{Counter: ui1.Counter, MAC: ui1.MAC}
+	if b.VerifyUI(0, []byte("msg-two"), forged) {
+		t.Fatal("equivocation: same counter accepted for a different message")
+	}
+}
+
+func TestDifferentSecretsReject(t *testing.T) {
+	eng := sim.NewEngine(1)
+	a := NewUSIG(0, NewSecret(1), sim.NewProc(eng, "a"))
+	b := NewUSIG(1, NewSecret(2), sim.NewProc(eng, "b"))
+	ui := a.CreateUI([]byte("m"))
+	if b.VerifyUI(0, []byte("m"), ui) {
+		t.Fatal("UI verified across different deployment secrets")
+	}
+}
+
+func TestEnclaveLatencyCharged(t *testing.T) {
+	eng := sim.NewEngine(1)
+	proc := sim.NewProc(eng, "p")
+	u := NewUSIG(0, NewSecret(1), proc)
+	before := proc.BusyUntil()
+	u.CreateUI([]byte("m"))
+	charged := proc.BusyUntil() - before
+	if sim.Duration(charged) < latmodel.EnclaveAccessBase {
+		t.Fatalf("enclave access charged only %v", sim.Duration(charged))
+	}
+	if u.Invocations != 1 {
+		t.Fatalf("Invocations = %d", u.Invocations)
+	}
+}
+
+func TestEnclaveCostGrowsWithSizeAndSaturates(t *testing.T) {
+	small := latmodel.EnclaveCost(4)
+	big := latmodel.EnclaveCost(4096)
+	huge := latmodel.EnclaveCost(1 << 20)
+	if big <= small {
+		t.Fatal("enclave cost should grow with message size")
+	}
+	if huge > 12500*sim.Nanosecond {
+		t.Fatalf("enclave cost exceeds the paper's 12.5us ceiling: %v", huge)
+	}
+}
+
+func TestAuthenticateCounterless(t *testing.T) {
+	_, a, b := rig()
+	before := a.Counter()
+	mac := a.Authenticate([]byte("reply"))
+	if a.Counter() != before {
+		t.Fatal("Authenticate consumed a counter value")
+	}
+	if !b.VerifyAuth(0, []byte("reply"), mac) {
+		t.Fatal("valid MAC rejected")
+	}
+	if b.VerifyAuth(0, []byte("other"), mac) {
+		t.Fatal("MAC over different message accepted")
+	}
+	if b.VerifyAuth(1, []byte("reply"), mac) {
+		t.Fatal("MAC from wrong origin accepted")
+	}
+}
+
+func TestUIWireRoundTrip(t *testing.T) {
+	_, a, _ := rig()
+	ui := a.CreateUI([]byte("m"))
+	w := wire.NewWriter(64)
+	EncodeUI(w, ui)
+	rd := wire.NewReader(w.Finish())
+	got := DecodeUI(rd)
+	if rd.Done() != nil || got.Counter != ui.Counter || string(got.MAC) != string(ui.MAC) {
+		t.Fatal("UI wire round trip failed")
+	}
+}
+
+func TestSecretDeterministic(t *testing.T) {
+	if string(NewSecret(5)) != string(NewSecret(5)) {
+		t.Fatal("secret not deterministic")
+	}
+	if string(NewSecret(5)) == string(NewSecret(6)) {
+		t.Fatal("different seeds share a secret")
+	}
+}

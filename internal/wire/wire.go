@@ -1,0 +1,231 @@
+// Package wire implements the binary encoding used by every protocol
+// message in the reproduction. Messages really are serialized to bytes and
+// parsed back on delivery: payload sizes are honest (they drive the
+// network's per-byte latency), and Byzantine test harnesses can corrupt
+// encodings at the byte level to exercise decoder hardening.
+//
+// The format is little-endian with unsigned varints for lengths, no
+// reflection, and sticky-error readers: decoders validate bounds on every
+// read and never panic on malformed input.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrTruncated is returned when a decoder runs past the end of its buffer.
+var ErrTruncated = errors.New("wire: truncated message")
+
+// ErrOversized is returned when a length prefix exceeds sane bounds.
+var ErrOversized = errors.New("wire: oversized field")
+
+// MaxFieldLen bounds any single length-prefixed field. Byzantine senders
+// cannot make a correct process allocate unbounded memory (finite-memory is
+// a core claim of the paper, so the codec enforces it too).
+const MaxFieldLen = 1 << 24
+
+// Writer builds an encoded message. The zero value is ready to use.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a writer with capacity preallocated for n bytes.
+func NewWriter(n int) *Writer { return &Writer{buf: make([]byte, 0, n)} }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Finish returns the encoded bytes. The writer must not be reused after.
+func (w *Writer) Finish() []byte { return w.buf }
+
+// U8 appends one byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// U16 appends a little-endian uint16.
+func (w *Writer) U16(v uint16) { w.buf = binary.LittleEndian.AppendUint16(w.buf, v) }
+
+// U32 appends a little-endian uint32.
+func (w *Writer) U32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+
+// U64 appends a little-endian uint64.
+func (w *Writer) U64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+
+// I64 appends a little-endian int64.
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// Bool appends a boolean as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// Uvarint appends an unsigned varint.
+func (w *Writer) Uvarint(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
+
+// Bytes appends a length-prefixed byte slice.
+func (w *Writer) Bytes(b []byte) {
+	w.Uvarint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// String appends a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.Uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Raw appends bytes with no prefix (fixed-size fields).
+func (w *Writer) Raw(b []byte) { w.buf = append(w.buf, b...) }
+
+// Reader decodes an encoded message with a sticky error.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader wraps buf for decoding.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Err returns the first decoding error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// Done returns nil if the buffer was fully and cleanly consumed.
+func (r *Reader) Done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		return fmt.Errorf("wire: %d trailing bytes", len(r.buf)-r.off)
+	}
+	return nil
+}
+
+func (r *Reader) fail() {
+	if r.err == nil {
+		r.err = ErrTruncated
+	}
+}
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.buf) {
+		r.fail()
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U16 reads a little-endian uint16.
+func (r *Reader) U16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+// U32 reads a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64 reads a little-endian int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Bool reads a boolean byte; any nonzero value is true.
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Bytes reads a length-prefixed byte slice. The returned slice is a COPY:
+// decoded messages never alias network buffers, so a Byzantine sender
+// cannot mutate data after delivery.
+func (r *Reader) Bytes() []byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > MaxFieldLen {
+		r.err = ErrOversized
+		return nil
+	}
+	b := r.take(int(n))
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.Uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > MaxFieldLen {
+		r.err = ErrOversized
+		return ""
+	}
+	b := r.take(int(n))
+	return string(b)
+}
+
+// Raw reads n bytes with no prefix (fixed-size fields). Returns a copy.
+func (r *Reader) Raw(n int) []byte {
+	b := r.take(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}

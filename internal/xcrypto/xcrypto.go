@@ -1,0 +1,180 @@
+// Package xcrypto is the cryptographic substrate of the uBFT reproduction.
+// It wraps the standard library's ed25519 (standing in for ed25519-dalek)
+// and HMAC-SHA256 (standing in for BLAKE3 keyed hashing), implements
+// xxHash64 from scratch for checksums, and charges calibrated virtual-time
+// costs on the simulated process performing each operation. Signatures are
+// REAL: a forged or corrupted signature genuinely fails verification, so
+// Byzantine tests exercise true cryptographic rejection, while the virtual
+// clock advances by dalek-class costs from internal/latmodel.
+package xcrypto
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"crypto/hmac"
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/ids"
+	"repro/internal/latmodel"
+	"repro/internal/sim"
+)
+
+// ProcID identifies a process in the key registry (replicas and clients).
+// It aliases ids.ID so network-layer and crypto-layer identities are one
+// namespace.
+type ProcID = ids.ID
+
+// Signature is an ed25519 signature (64 bytes).
+type Signature []byte
+
+// SigLen is the length of a signature in bytes.
+const SigLen = ed25519.SignatureSize
+
+// DigestLen is the length of a message fingerprint in bytes (paper §7.6:
+// a 32 B cryptographic hash).
+const DigestLen = sha256.Size
+
+// Registry holds the pre-published public keys of all processes (paper
+// §2.4: "processes can sign messages using their private key and verify
+// unforgeable signatures using the pre-published public keys").
+type Registry struct {
+	pubs  map[ProcID]ed25519.PublicKey
+	privs map[ProcID]ed25519.PrivateKey
+}
+
+// NewRegistry deterministically generates a keypair for each id in ids,
+// seeding key generation from seed so simulations are reproducible.
+func NewRegistry(seed int64, ids []ProcID) *Registry {
+	r := &Registry{
+		pubs:  make(map[ProcID]ed25519.PublicKey, len(ids)),
+		privs: make(map[ProcID]ed25519.PrivateKey, len(ids)),
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for _, id := range ids {
+		var keySeed [ed25519.SeedSize]byte
+		if _, err := io.ReadFull(rng, keySeed[:]); err != nil {
+			panic(err) // math/rand never errors
+		}
+		priv := ed25519.NewKeyFromSeed(keySeed[:])
+		r.privs[id] = priv
+		r.pubs[id] = priv.Public().(ed25519.PublicKey)
+	}
+	return r
+}
+
+// Signer returns the signing handle for id. It panics if id is unknown:
+// asking for a missing key is always a harness bug.
+func (r *Registry) Signer(id ProcID) *Signer {
+	priv, ok := r.privs[id]
+	if !ok {
+		panic(fmt.Sprintf("xcrypto: no key registered for process %d", id))
+	}
+	return &Signer{id: id, priv: priv, reg: r}
+}
+
+// PublicKey returns the public key of id (nil if unknown).
+func (r *Registry) PublicKey(id ProcID) ed25519.PublicKey { return r.pubs[id] }
+
+// Signer signs on behalf of one process and verifies against the registry.
+type Signer struct {
+	id   ProcID
+	priv ed25519.PrivateKey
+	reg  *Registry
+}
+
+// ID returns the process the signer signs for.
+func (s *Signer) ID() ProcID { return s.id }
+
+// Sign produces a real ed25519 signature over msg and charges the
+// calibrated signing cost (plus crypto-pool dispatch) to p.
+func (s *Signer) Sign(p *sim.Proc, msg []byte) Signature {
+	p.Charge(latmodel.SignCost + latmodel.CryptoDispatchCost)
+	return Signature(ed25519.Sign(s.priv, msg))
+}
+
+// SignAsync signs msg off the critical path: the continuation runs once the
+// process has paid the signing cost. Used for the background bookkeeping
+// signatures of the fast path (checkpoints, summaries).
+func (s *Signer) SignAsync(p *sim.Proc, msg []byte, done func(Signature)) {
+	sig := Signature(ed25519.Sign(s.priv, msg))
+	p.Exec(latmodel.SignCost+latmodel.CryptoDispatchCost, func() { done(sig) })
+}
+
+// SignBg signs on the pool process (a crypto thread pool running on other
+// cores, as in the paper's prototype, which relegates bookkeeping
+// signatures to a background task) and delivers the result to the main
+// process without blocking it.
+func (s *Signer) SignBg(pool, main *sim.Proc, msg []byte, done func(Signature)) {
+	sig := Signature(ed25519.Sign(s.priv, msg))
+	pool.Exec(latmodel.SignCost+latmodel.CryptoDispatchCost, func() {
+		main.Deliver(func() { done(sig) })
+	})
+}
+
+// VerifyBg verifies on the pool process and delivers the result to the
+// main process without blocking it.
+func (s *Signer) VerifyBg(pool, main *sim.Proc, from ProcID, msg []byte, sig Signature, done func(bool)) {
+	pub, ok := s.reg.pubs[from]
+	valid := ok && len(sig) == ed25519.SignatureSize && ed25519.Verify(pub, msg, sig)
+	pool.Exec(latmodel.VerifyCost+latmodel.CryptoDispatchCost, func() {
+		main.Deliver(func() { done(valid) })
+	})
+}
+
+// Verify checks that sig is from's signature over msg, charging the
+// verification cost to p. It returns false for unknown signers, malformed
+// or forged signatures.
+func (s *Signer) Verify(p *sim.Proc, from ProcID, msg []byte, sig Signature) bool {
+	p.Charge(latmodel.VerifyCost + latmodel.CryptoDispatchCost)
+	pub, ok := s.reg.pubs[from]
+	if !ok || len(sig) != ed25519.SignatureSize {
+		return false
+	}
+	return ed25519.Verify(pub, msg, sig)
+}
+
+// Digest returns a 32-byte cryptographic fingerprint of msg, charging the
+// hashing cost to p. Fingerprints are what CTBcast stores in disaggregated
+// memory instead of full messages (paper §7.6).
+func Digest(p *sim.Proc, msg []byte) [DigestLen]byte {
+	p.Charge(latmodel.DigestCost(len(msg)))
+	return sha256.Sum256(msg)
+}
+
+// Checksum returns the xxHash64 checksum of data, charging cost to p.
+// This is the torn-read/corruption detector of registers and message rings.
+func Checksum(p *sim.Proc, data []byte) uint64 {
+	p.Charge(latmodel.ChecksumCost(len(data)))
+	return XXHash64(data, 0)
+}
+
+// ChecksumNoCharge computes the checksum without charging virtual time;
+// used when the cost is accounted at a coarser granularity.
+func ChecksumNoCharge(data []byte) uint64 { return XXHash64(data, 0) }
+
+// DigestNoCharge fingerprints msg without charging virtual time; used when
+// the caller accounts hashing cost at a coarser granularity.
+func DigestNoCharge(msg []byte) [DigestLen]byte { return sha256.Sum256(msg) }
+
+// MAC computes an HMAC-SHA256 tag over msg with key, charging BLAKE3-class
+// keyed-hash cost to p.
+func MAC(p *sim.Proc, key, msg []byte) []byte {
+	p.Charge(latmodel.HMACCost(len(msg)))
+	m := hmac.New(sha256.New, key)
+	m.Write(msg)
+	return m.Sum(nil)
+}
+
+// VerifyMAC checks an HMAC tag in constant time, charging cost to p.
+func VerifyMAC(p *sim.Proc, key, msg, tag []byte) bool {
+	p.Charge(latmodel.HMACCost(len(msg)))
+	m := hmac.New(sha256.New, key)
+	m.Write(msg)
+	return hmac.Equal(m.Sum(nil), tag)
+}
+
+// EqualDigests reports whether two fingerprints match.
+func EqualDigests(a, b [DigestLen]byte) bool { return bytes.Equal(a[:], b[:]) }

@@ -1,0 +1,94 @@
+// Package ubft is the public façade of this reproduction of "uBFT:
+// Microsecond-Scale BFT using Disaggregated Memory" (ASPLOS 2023).
+//
+// It re-exports the pieces a downstream user needs:
+//
+//   - New / Options: assemble a complete uBFT cluster (2f+1 replicas,
+//     2f_m+1 memory nodes, clients) on the deterministic simulated fabric.
+//   - State machines: Flip, the Memcached-like KV, the Redis-like RKV and
+//     the Liquibook-like OrderBook, plus the StateMachine interface for
+//     custom applications.
+//   - Baselines: Unreplicated, Mu and MinBFT deployments for comparison.
+//
+// Quickstart:
+//
+//	u := ubft.New(ubft.Options{})
+//	res, lat := u.InvokeSync(0, []byte("hello"), 10*ubft.Millisecond)
+//	fmt.Printf("%q in %v\n", res, lat)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record of every table and figure.
+package ubft
+
+import (
+	"repro/internal/app"
+	"repro/internal/baselines/minbft"
+	"repro/internal/cluster"
+	"repro/internal/ctbcast"
+	"repro/internal/sim"
+)
+
+// Re-exported core types.
+type (
+	// Options configures a uBFT cluster (zero values take the paper's
+	// defaults: f=1, f_m=1, window 256, tail 128).
+	Options = cluster.Options
+	// Cluster is an assembled uBFT deployment.
+	Cluster = cluster.UBFT
+	// StateMachine is the replicated-application interface.
+	StateMachine = app.StateMachine
+	// Duration is a span of virtual time (nanoseconds).
+	Duration = sim.Duration
+	// Time is a point in virtual time.
+	Time = sim.Time
+)
+
+// Convenient virtual-time units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// CTBcast path modes (for Options.CTBMode).
+const (
+	FastWithFallback = ctbcast.FastWithFallback
+	FastOnly         = ctbcast.FastOnly
+	SlowOnly         = ctbcast.SlowOnly
+)
+
+// MinBFT client-authentication variants.
+const (
+	MinBFTVanilla = minbft.Vanilla
+	MinBFTHMAC    = minbft.HMACClients
+)
+
+// New assembles a uBFT cluster.
+func New(opts Options) *Cluster { return cluster.NewUBFT(opts) }
+
+// NewUnreplicated assembles the unreplicated baseline.
+func NewUnreplicated(seed int64, newApp func() StateMachine) *cluster.Unrepl {
+	return cluster.NewUnrepl(seed, newApp)
+}
+
+// NewMu assembles the Mu (crash-fault-tolerant) baseline.
+func NewMu(opts cluster.MuOptions) *cluster.Mu { return cluster.NewMu(opts) }
+
+// NewMinBFT assembles the MinBFT (SGX trusted-counter) baseline.
+func NewMinBFT(opts cluster.MinBFTOptions) *cluster.MinBFT { return cluster.NewMinBFT(opts) }
+
+// Application constructors.
+
+// NewFlip returns the toy echo-reverser application.
+func NewFlip() StateMachine { return app.NewFlip() }
+
+// NewKV returns the Memcached-like key-value store (maxItems 0 =
+// unbounded).
+func NewKV(maxItems int) *app.KV { return app.NewKV(maxItems) }
+
+// NewRKV returns the Redis-like key-value store.
+func NewRKV() *app.RKV { return app.NewRKV() }
+
+// NewOrderBook returns the Liquibook-like order matching engine.
+func NewOrderBook() *app.OrderBook { return app.NewOrderBook() }
