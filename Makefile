@@ -1,0 +1,39 @@
+# CI entry points for the uBFT reproduction. `make ci` is what a PR gate
+# should run: build, vet, full tests, a smoke pass over every benchmark
+# (one iteration each, so the perf harness itself is exercised), and the
+# fuzz seeds.
+
+GO ?= go
+
+.PHONY: all build test vet race bench-smoke bench fuzz-smoke ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/wire/ ./internal/msgring/ ./internal/tbcast/ ./internal/ctbcast/
+
+# One iteration of every benchmark in short mode: catches harness rot and
+# prints allocs/op for the hot-path benchmarks on every PR.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem -short .
+
+# The full benchmark pass used for recorded before/after numbers
+# (benchstat-ready with -count).
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkFig8_UBFTFast_64B|BenchmarkFig10_CTBFast_16B' -benchtime 3x -benchmem -count 5 .
+
+# Fuzz the wire codec briefly (the seeds always run under `make test`).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzReader -fuzztime 10s ./internal/wire/
+	$(GO) test -run '^$$' -fuzz FuzzRoundTrip -fuzztime 10s ./internal/wire/
+
+ci: build vet test race bench-smoke

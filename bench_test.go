@@ -45,6 +45,7 @@ func samples(b *testing.B, base int) int {
 func fig7Case(b *testing.B, mkSys func(func() app.StateMachine) bench.System,
 	mkApp func() app.StateMachine, wl func(*rand.Rand) bench.Workload) {
 	b.Helper()
+	b.ReportAllocs()
 	for b.Loop() {
 		reportLatency(b, mkSys(mkApp), wl(rand.New(rand.NewSource(1))), samples(b, 400))
 	}
@@ -90,6 +91,7 @@ func BenchmarkFig7_Redis_UBFT(b *testing.B) {
 
 func fig8Case(b *testing.B, mk func() bench.System, size, n int) {
 	b.Helper()
+	b.ReportAllocs()
 	for b.Loop() {
 		reportLatency(b, mk(), bench.NewFlipWorkload(size, rand.New(rand.NewSource(1))), samples(b, n))
 	}
@@ -129,6 +131,7 @@ func BenchmarkFig9_Breakdown(b *testing.B) {
 // ----- Figure 10: non-equivocation mechanisms ---------------------------
 
 func BenchmarkFig10_CTBFast_16B(b *testing.B) {
+	b.ReportAllocs()
 	for b.Loop() {
 		rec := bench.NonEquivCTB(1, ctbcast.FastOnly, 16, samples(b, 300))
 		b.ReportMetric(rec.Median().Micros(), "median-us")
@@ -136,6 +139,7 @@ func BenchmarkFig10_CTBFast_16B(b *testing.B) {
 }
 
 func BenchmarkFig10_CTBSlow_16B(b *testing.B) {
+	b.ReportAllocs()
 	for b.Loop() {
 		rec := bench.NonEquivCTB(1, ctbcast.SlowOnly, 16, samples(b, 60))
 		b.ReportMetric(rec.Median().Micros(), "median-us")
@@ -153,6 +157,7 @@ func BenchmarkFig10_SGX_16B(b *testing.B) {
 
 func fig11Case(b *testing.B, tail int) {
 	b.Helper()
+	b.ReportAllocs()
 	for b.Loop() {
 		s := bench.NewUBFTSystem(cluster.Options{Seed: 1, Tail: tail, MsgCap: 4096})
 		rec := bench.RunClosedLoop(s, bench.NewFlipWorkload(64, rand.New(rand.NewSource(1))), 20, samples(b, 400))

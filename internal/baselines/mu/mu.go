@@ -60,7 +60,7 @@ type Replica struct {
 	// Failover.
 	lastHeartbeat sim.Time
 	permHolders   map[ids.ID]ids.ID // follower -> who it granted write permission
-	hbTimer       *sim.Timer
+	hbTimer       sim.Timer
 	stopped       bool
 
 	// Executed counts applied entries (tests).
@@ -100,9 +100,7 @@ func NewReplica(cfg Config, rt *router.Router) *Replica {
 // Stop cancels timers.
 func (r *Replica) Stop() {
 	r.stopped = true
-	if r.hbTimer != nil {
-		r.hbTimer.Cancel()
-	}
+	r.hbTimer.Cancel()
 }
 
 // Leader returns the replica's current leader belief.
@@ -299,7 +297,7 @@ type pendingCall struct {
 	started sim.Time
 	payload []byte
 	done    func([]byte, sim.Duration)
-	retry   *sim.Timer
+	retry   sim.Timer
 }
 
 // NewClient wires a Mu client.
@@ -355,9 +353,7 @@ func (c *Client) onResponse(from ids.ID, payload []byte) {
 	if !ok {
 		return
 	}
-	if pc.retry != nil {
-		pc.retry.Cancel()
-	}
+	pc.retry.Cancel()
 	delete(c.pending, num)
 	pc.done(result, c.proc.Now().Sub(pc.started))
 }

@@ -189,9 +189,7 @@ func (r *Replica) adoptSnapshot(seq Slot, snap []byte) {
 func (r *Replica) pruneBelow(seq Slot) {
 	for s := range r.slots {
 		if s < seq {
-			if t := r.slots[s].fallback; t != nil {
-				t.Cancel()
-			}
+			r.slots[s].fallback.Cancel()
 			delete(r.slots, s)
 		}
 	}

@@ -40,6 +40,13 @@ type Request struct {
 	Client  ids.ID
 	Num     uint64
 	Payload []byte
+
+	// digest memoizes the request fingerprint. Requests are immutable after
+	// construction, so the cache is computed at most once per lineage:
+	// copies of a Request (map inserts, parameter passing) carry it along,
+	// and xcrypto fingerprinting never re-encodes the request.
+	digest   [xcrypto.DigestLen]byte
+	digestOK bool
 }
 
 // NoOp returns the view-change filler request.
@@ -88,8 +95,12 @@ func (r Request) encode(w *wire.Writer) {
 	w.Bytes(r.Payload)
 }
 
+// decodeRequest parses a request in borrow mode: Payload aliases the
+// reader's buffer. All consensus decode paths read from per-delivery
+// network buffers or private self-delivery copies, which are never
+// recycled, so retaining the view (reqStore, decided, prepares) is safe.
 func decodeRequest(rd *wire.Reader) Request {
-	return Request{Client: ids.ID(rd.I64()), Num: rd.U64(), Payload: rd.Bytes()}
+	return Request{Client: ids.ID(rd.I64()), Num: rd.U64(), Payload: rd.BytesView()}
 }
 
 // EncodeRequest serializes a request standalone (used by the RPC layer).
@@ -110,9 +121,18 @@ func DecodeRequest(b []byte) (Request, error) {
 }
 
 // Digest fingerprints a request without charging virtual time (cost is
-// charged by callers at the protocol level).
-func (r Request) Digest() [xcrypto.DigestLen]byte {
-	return xcrypto.DigestNoCharge(EncodeRequest(r))
+// charged by callers at the protocol level). The fingerprint is computed
+// lazily, once, through a pooled encode buffer; repeated calls — and calls
+// on copies made after the first call — return the cached value.
+func (r *Request) Digest() [xcrypto.DigestLen]byte {
+	if !r.digestOK {
+		w := wire.GetWriter(24 + len(r.Payload))
+		r.encode(w)
+		r.digest = xcrypto.DigestNoCharge(w.Finish())
+		r.digestOK = true
+		wire.PutWriter(w)
+	}
+	return r.digest
 }
 
 // Prepare is the leader's proposal for a slot.
@@ -122,12 +142,20 @@ type Prepare struct {
 	Req  Request
 }
 
-func encodePrepare(p Prepare) []byte {
-	w := wire.NewWriter(40 + len(p.Req.Payload))
+// appendPrepare encodes a PREPARE frame into w (append-style so hot paths
+// can use pooled writers).
+func appendPrepare(w *wire.Writer, p Prepare) {
 	w.U8(tagPrepare)
 	w.U64(uint64(p.View))
 	w.U64(uint64(p.Slot))
 	p.Req.encode(w)
+}
+
+// encodePrepare allocates a standalone PREPARE frame (tests and Byzantine
+// harnesses; hot paths use appendPrepare with pooled writers).
+func encodePrepare(p Prepare) []byte {
+	w := wire.NewWriter(40 + len(p.Req.Payload))
+	appendPrepare(w, p)
 	return w.Finish()
 }
 
@@ -136,14 +164,20 @@ func decodePrepare(rd *wire.Reader) (Prepare, error) {
 	return p, rd.Err()
 }
 
-// certifyPayload is what replicas sign in CERTIFY messages: it binds
-// (view, slot) to the request fingerprint.
-func certifyPayload(v View, s Slot, reqDigest [xcrypto.DigestLen]byte) []byte {
-	w := wire.NewWriter(56)
+// appendCertifyPayload encodes what replicas sign in CERTIFY messages: it
+// binds (view, slot) to the request fingerprint.
+func appendCertifyPayload(w *wire.Writer, v View, s Slot, reqDigest [xcrypto.DigestLen]byte) {
 	w.U8(tagCertify)
 	w.U64(uint64(v))
 	w.U64(uint64(s))
 	w.Raw(reqDigest[:])
+}
+
+// certifyPayload allocates the CERTIFY payload standalone (tests and cold
+// paths; hot paths use appendCertifyPayload with pooled writers).
+func certifyPayload(v View, s Slot, reqDigest [xcrypto.DigestLen]byte) []byte {
+	w := wire.NewWriter(56)
+	appendCertifyPayload(w, v, s, reqDigest)
 	return w.Finish()
 }
 

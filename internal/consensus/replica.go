@@ -125,20 +125,36 @@ type voteKey struct {
 	s Slot
 }
 
-// slotState tracks this replica's local progress on one slot.
+// sent-flag bits, keyed by view to reset across view changes.
+const (
+	sentWillCertify uint8 = 1 << iota
+	sentWillCommit
+	sentCertify
+	sentCommit
+)
+
+// slotState tracks this replica's local progress on one slot. Vote sets are
+// bitmasks indexed by replica position (n = 2f+1 <= 64), and all maps are
+// allocated lazily, so a fast-path slot costs three small maps instead of
+// six maps of maps.
 type slotState struct {
-	willCertify map[voteKey]map[ids.ID]bool
-	willCommit  map[voteKey]map[ids.ID]bool
+	willCertify map[voteKey]uint64 // bitmask of voters by replica index
+	willCommit  map[voteKey]uint64
 	// certSigs accumulates CERTIFY signatures per (view, request digest).
 	certSigs map[certKey]map[ids.ID]xcrypto.Signature
-	// willCertifySent / willCommitSent / certifySent / commitSent are
-	// keyed by view to reset across view changes.
-	willCertifySent map[View]bool
-	willCommitSent  map[View]bool
-	certifySent     map[View]bool
-	commitSent      map[View]bool
-	fallback        *sim.Timer
-	waitingReq      *Prepare // prepare delivered but client request not yet seen
+	// sentFlags holds the four *Sent bits per view.
+	sentFlags  map[View]uint8
+	fallback   sim.Timer
+	waitingReq *Prepare // prepare delivered but client request not yet seen
+}
+
+func (ss *slotState) sent(v View, flag uint8) bool { return ss.sentFlags[v]&flag != 0 }
+
+func (ss *slotState) markSent(v View, flag uint8) {
+	if ss.sentFlags == nil {
+		ss.sentFlags = make(map[View]uint8, 1)
+	}
+	ss.sentFlags[v] |= flag
 }
 
 type certKey struct {
@@ -188,11 +204,14 @@ type Replica struct {
 	// RPC / proposal state.
 	reqStore   map[[xcrypto.DigestLen]byte]Request // requests received directly from clients
 	echoes     map[[xcrypto.DigestLen]byte]map[ids.ID]bool
-	echoTimers map[[xcrypto.DigestLen]byte]*sim.Timer
+	echoTimers map[[xcrypto.DigestLen]byte]sim.Timer
 	proposeQ   []Request
-	batchTimer *sim.Timer
-	proposed   map[[xcrypto.DigestLen]byte]bool
-	seenReq    map[ids.ID]uint64 // highest req num proposed per client
+	// freshScratch is takeProposal's reusable staging slice; its contents
+	// are copied (by value) into the Prepare before the next call.
+	freshScratch []Request
+	batchTimer   sim.Timer
+	proposed     map[[xcrypto.DigestLen]byte]bool
+	seenReq      map[ids.ID]uint64 // highest req num proposed per client
 	// Exactly-once execution bookkeeping.
 	execHighest map[ids.ID]uint64
 	lastResult  map[ids.ID][]byte
@@ -204,7 +223,7 @@ type Replica struct {
 	promised      map[voteKey]bool // WILL_COMMITs sent, pending COMMIT before seal
 	vcShares      map[View]map[ids.ID]map[ids.ID]vcShare
 	newViewSent   map[View]bool
-	progressTimer *sim.Timer
+	progressTimer sim.Timer
 	stopped       bool
 
 	// Stats.
@@ -230,6 +249,11 @@ func NewReplica(cfg Config, deps Deps) *Replica {
 	if len(cfg.Replicas) != 2*cfg.F+1 {
 		panic(fmt.Sprintf("consensus: need 2f+1=%d replicas, got %d", 2*cfg.F+1, len(cfg.Replicas)))
 	}
+	if len(cfg.Replicas) > 64 {
+		// Fast-path vote sets are uint64 bitmasks indexed by replica
+		// position; fail loudly rather than silently dropping votes.
+		panic(fmt.Sprintf("consensus: vote bitmasks support at most 64 replicas, got %d", len(cfg.Replicas)))
+	}
 	if cfg.Window <= 0 || cfg.Tail <= 0 {
 		panic("consensus: Window and Tail must be positive")
 	}
@@ -250,7 +274,7 @@ func NewReplica(cfg Config, deps Deps) *Replica {
 		snapshots:     make(map[Slot][]byte),
 		reqStore:      make(map[[xcrypto.DigestLen]byte]Request),
 		echoes:        make(map[[xcrypto.DigestLen]byte]map[ids.ID]bool),
-		echoTimers:    make(map[[xcrypto.DigestLen]byte]*sim.Timer),
+		echoTimers:    make(map[[xcrypto.DigestLen]byte]sim.Timer),
 		proposed:      make(map[[xcrypto.DigestLen]byte]bool),
 		seenReq:       make(map[ids.ID]uint64),
 		execHighest:   make(map[ids.ID]uint64),
@@ -351,16 +375,10 @@ func (r *Replica) Stop() {
 		g.Stop()
 	}
 	r.auxOut.Stop()
-	if r.progressTimer != nil {
-		r.progressTimer.Cancel()
-	}
-	if r.batchTimer != nil {
-		r.batchTimer.Cancel()
-	}
+	r.progressTimer.Cancel()
+	r.batchTimer.Cancel()
 	for _, s := range r.slots {
-		if s.fallback != nil {
-			s.fallback.Cancel()
-		}
+		s.fallback.Cancel()
 	}
 	for _, t := range r.echoTimers {
 		t.Cancel()
@@ -384,15 +402,7 @@ func (r *Replica) LastApplied() Slot { return r.lastApplied }
 func (r *Replica) slot(s Slot) *slotState {
 	ss, ok := r.slots[s]
 	if !ok {
-		ss = &slotState{
-			willCertify:     make(map[voteKey]map[ids.ID]bool),
-			willCommit:      make(map[voteKey]map[ids.ID]bool),
-			certSigs:        make(map[certKey]map[ids.ID]xcrypto.Signature),
-			willCertifySent: make(map[View]bool),
-			willCommitSent:  make(map[View]bool),
-			certifySent:     make(map[View]bool),
-			commitSent:      make(map[View]bool),
-		}
+		ss = &slotState{}
 		r.slots[s] = ss
 	}
 	return ss
@@ -425,7 +435,7 @@ func (r *Replica) enqueueProposal(req Request) {
 		// Accumulate briefly so concurrent arrivals coalesce into one
 		// slot (§9 batching extension). The window is a few microseconds:
 		// far below end-to-end latency, enough to catch a burst.
-		if r.batchTimer == nil || !r.batchTimer.Pending() {
+		if !r.batchTimer.Pending() {
 			r.batchTimer = r.proc.After(5*sim.Microsecond, r.pumpProposals)
 		}
 		return
@@ -449,7 +459,10 @@ func (r *Replica) pumpProposals() {
 		}
 		p := Prepare{View: r.view, Slot: r.nextSlot, Req: *req}
 		r.nextSlot++
-		r.groups[r.cfg.Self].Broadcast(encodePrepare(p))
+		w := wire.GetWriter(40 + len(p.Req.Payload))
+		appendPrepare(w, p)
+		r.groups[r.cfg.Self].Broadcast(w.Finish()) // Broadcast does not retain
+		wire.PutWriter(w)
 	}
 	r.armProgressTimer()
 }
@@ -458,7 +471,7 @@ func (r *Replica) pumpProposals() {
 // requests into a batch container (§9 extension). Returns nil when the
 // queue holds only already-proposed duplicates.
 func (r *Replica) takeProposal() *Request {
-	var fresh []Request
+	fresh := r.freshScratch[:0]
 	limit := r.cfg.BatchSize
 	if limit < 1 {
 		limit = 1
@@ -476,6 +489,7 @@ func (r *Replica) takeProposal() *Request {
 		}
 		fresh = append(fresh, req)
 	}
+	r.freshScratch = fresh
 	switch len(fresh) {
 	case 0:
 		return nil
@@ -529,6 +543,10 @@ func (r *Replica) onConsensusMsg(p ids.ID, m []byte) {
 
 // onPrepare implements Algorithm 2 lines 18-22 (validation already passed).
 func (r *Replica) onPrepare(p ids.ID, pr Prepare) {
+	// Fingerprint before storing: the memoized digest travels with every
+	// copy taken from the prepares map (endorsement, certify, commit),
+	// so the request is encoded and hashed exactly once per replica.
+	pr.Req.Digest()
 	st := r.state[p]
 	st.prepares[pr.Slot] = pr
 	st.newViewUsed = true
@@ -581,15 +599,15 @@ func (r *Replica) endorse(pr Prepare) {
 	ss.waitingReq = nil
 	if r.cfg.FastPath {
 		// Fast path: WILL_CERTIFY promise (line 21).
-		if !ss.willCertifySent[pr.View] {
-			ss.willCertifySent[pr.View] = true
-			r.auxBroadcast(encodeSlotVote(tagWillCertify, pr.View, pr.Slot))
+		if !ss.sent(pr.View, sentWillCertify) {
+			ss.markSent(pr.View, sentWillCertify)
+			r.auxVote(tagWillCertify, pr.View, pr.Slot)
 		}
 		delay := r.cfg.SlowPathDelay
 		if delay <= 0 {
 			delay = sim.Millisecond // see ctbcast: must exceed hiccup scale
 		}
-		if ss.fallback == nil || !ss.fallback.Pending() {
+		if !ss.fallback.Pending() {
 			v, s := pr.View, pr.Slot
 			ss.fallback = r.proc.After(delay, func() {
 				if _, done := r.decided[s]; !done && s >= r.chkpt.Seq {
@@ -608,35 +626,57 @@ func (r *Replica) endorse(pr Prepare) {
 // delivered for (v, s).
 func (r *Replica) sendCertify(v View, s Slot) {
 	ss := r.slot(s)
-	if ss.certifySent[v] {
+	if ss.sent(v, sentCertify) {
 		return
 	}
 	pr, ok := r.state[r.cfg.leaderOf(v)].prepares[s]
 	if !ok || pr.View != v {
 		return
 	}
-	ss.certifySent[v] = true
+	ss.markSent(v, sentCertify)
 	dg := pr.Req.Digest()
 	r.proc.Charge(latmodel.DigestCost(len(pr.Req.Payload)))
-	sig := r.signer.Sign(r.proc, certifyPayload(v, s, dg))
-	w := wire.NewWriter(128)
+	sig := r.signCertify(v, s, dg)
+	w := wire.GetWriter(128)
 	w.U8(tagCertify)
 	w.U64(uint64(v))
 	w.U64(uint64(s))
 	w.Raw(dg[:])
 	w.Bytes(sig)
 	r.auxBroadcast(w.Finish())
+	wire.PutWriter(w)
 }
 
+// signCertify / verifyCertify run the CERTIFY signature scheme over pooled
+// scratch buffers (ed25519 does not retain the message).
+func (r *Replica) signCertify(v View, s Slot, dg [xcrypto.DigestLen]byte) xcrypto.Signature {
+	w := wire.GetWriter(56)
+	appendCertifyPayload(w, v, s, dg)
+	sig := r.signer.Sign(r.proc, w.Finish())
+	wire.PutWriter(w)
+	return sig
+}
+
+func (r *Replica) verifyCertify(p ids.ID, v View, s Slot, dg [xcrypto.DigestLen]byte, sig xcrypto.Signature) bool {
+	w := wire.GetWriter(56)
+	appendCertifyPayload(w, v, s, dg)
+	ok := r.signer.Verify(r.proc, p, w.Finish(), sig)
+	wire.PutWriter(w)
+	return ok
+}
+
+// auxBroadcast fans m out on the auxiliary channel; m is not retained.
 func (r *Replica) auxBroadcast(m []byte) { r.auxOut.Broadcast(m) }
 
-// encodeSlotVote builds WILL_CERTIFY / WILL_COMMIT frames.
-func encodeSlotVote(tag uint8, v View, s Slot) []byte {
-	w := wire.NewWriter(24)
+// auxVote broadcasts a WILL_CERTIFY / WILL_COMMIT frame through a pooled
+// encode buffer.
+func (r *Replica) auxVote(tag uint8, v View, s Slot) {
+	w := wire.GetWriter(24)
 	w.U8(tag)
 	w.U64(uint64(v))
 	w.U64(uint64(s))
-	return w.Finish()
+	r.auxBroadcast(w.Finish())
+	wire.PutWriter(w)
 }
 
 // ---------------------------------------------------------------------
@@ -678,22 +718,38 @@ func (r *Replica) onAuxMsg(p ids.ID, m []byte) {
 	}
 }
 
+// voteBit returns p's bit in a vote mask, or 0 for non-replicas.
+func (r *Replica) voteBit(p ids.ID) uint64 {
+	idx := r.cfg.indexOf(p)
+	if idx < 0 {
+		return 0
+	}
+	return 1 << uint(idx)
+}
+
+// fullVote is the mask with every replica's bit set.
+func (r *Replica) fullVote() uint64 { return (1 << uint(r.cfg.n())) - 1 }
+
 // onWillCertify implements lines 25-27: unanimity over WILL_CERTIFY lets
 // the replica promise WILL_COMMIT.
 func (r *Replica) onWillCertify(p ids.ID, v View, s Slot) {
 	if v != r.view || !r.inWindow(s) {
 		return
 	}
+	bit := r.voteBit(p)
+	if bit == 0 {
+		return
+	}
 	ss := r.slot(s)
 	key := voteKey{v, s}
-	if ss.willCertify[key] == nil {
-		ss.willCertify[key] = make(map[ids.ID]bool)
+	if ss.willCertify == nil {
+		ss.willCertify = make(map[voteKey]uint64, 1)
 	}
-	ss.willCertify[key][p] = true
-	if len(ss.willCertify[key]) == r.cfg.n() && !ss.willCommitSent[v] {
-		ss.willCommitSent[v] = true
+	ss.willCertify[key] |= bit
+	if ss.willCertify[key] == r.fullVote() && !ss.sent(v, sentWillCommit) {
+		ss.markSent(v, sentWillCommit)
 		r.promised[key] = true
-		r.auxBroadcast(encodeSlotVote(tagWillCommit, v, s))
+		r.auxVote(tagWillCommit, v, s)
 	}
 }
 
@@ -702,13 +758,17 @@ func (r *Replica) onWillCommit(p ids.ID, v View, s Slot) {
 	if v != r.view || !r.inWindow(s) {
 		return
 	}
+	bit := r.voteBit(p)
+	if bit == 0 {
+		return
+	}
 	ss := r.slot(s)
 	key := voteKey{v, s}
-	if ss.willCommit[key] == nil {
-		ss.willCommit[key] = make(map[ids.ID]bool)
+	if ss.willCommit == nil {
+		ss.willCommit = make(map[voteKey]uint64, 1)
 	}
-	ss.willCommit[key][p] = true
-	if len(ss.willCommit[key]) == r.cfg.n() {
+	ss.willCommit[key] |= bit
+	if ss.willCommit[key] == r.fullVote() {
 		pr, ok := r.state[r.cfg.leaderOf(v)].prepares[s]
 		if !ok || pr.View != v {
 			return
@@ -727,41 +787,47 @@ func (r *Replica) onCertify(p ids.ID, v View, s Slot, dg [xcrypto.DigestLen]byte
 	// Our own share needs no verification; remote shares are verified once
 	// and remembered so COMMIT-certificate validation does not re-pay.
 	if p != r.cfg.Self {
-		if !r.signer.Verify(r.proc, p, certifyPayload(v, s, dg), sig) {
+		if !r.verifyCertify(p, v, s, dg, sig) {
 			return
 		}
 	}
 	r.rememberCertifySig(v, s, dg, p, sig)
 	ss := r.slot(s)
 	key := certKey{v, dg}
+	if ss.certSigs == nil {
+		ss.certSigs = make(map[certKey]map[ids.ID]xcrypto.Signature, 1)
+	}
 	if ss.certSigs[key] == nil {
 		ss.certSigs[key] = make(map[ids.ID]xcrypto.Signature)
 	}
 	ss.certSigs[key][p] = sig
-	if len(ss.certSigs[key]) < r.cfg.F+1 || ss.commitSent[v] {
+	if len(ss.certSigs[key]) < r.cfg.F+1 || ss.sent(v, sentCommit) {
 		return
 	}
 	pr, ok := r.state[r.cfg.leaderOf(v)].prepares[s]
 	if !ok || pr.View != v || pr.Req.Digest() != dg {
 		return
 	}
-	ss.commitSent[v] = true
+	ss.markSent(v, sentCommit)
 	delete(r.promised, voteKey{v, s})
 	cert := CommitCert{View: v, Slot: s, Req: pr.Req, Sigs: ss.certSigs[key]}
-	w := wire.NewWriter(256 + len(pr.Req.Payload))
+	w := wire.GetWriter(256 + len(pr.Req.Payload))
 	w.U8(tagCommit)
 	cert.encode(w)
 	r.groups[r.cfg.Self].Broadcast(w.Finish())
+	wire.PutWriter(w)
 	r.maybeSeal()
 }
 
 func certSigCacheKey(v View, dg [xcrypto.DigestLen]byte, p ids.ID, sig xcrypto.Signature) string {
-	w := wire.NewWriter(128)
+	w := wire.GetWriter(128)
 	w.U64(uint64(v))
 	w.Raw(dg[:])
 	w.I64(int64(p))
 	w.Bytes(sig)
-	return string(w.Finish())
+	k := string(w.Finish())
+	wire.PutWriter(w)
+	return k
 }
 
 func (r *Replica) rememberCertifySig(v View, s Slot, dg [xcrypto.DigestLen]byte, p ids.ID, sig xcrypto.Signature) {
@@ -779,7 +845,7 @@ func (r *Replica) verifyCertifySig(v View, s Slot, dg [xcrypto.DigestLen]byte, p
 	if r.knownCertSigs[s][certSigCacheKey(v, dg, p, sig)] {
 		return true
 	}
-	if !r.signer.Verify(r.proc, p, certifyPayload(v, s, dg), sig) {
+	if !r.verifyCertify(p, v, s, dg, sig) {
 		return false
 	}
 	r.rememberCertifySig(v, s, dg, p, sig)
@@ -788,6 +854,9 @@ func (r *Replica) verifyCertifySig(v View, s Slot, dg [xcrypto.DigestLen]byte, p
 
 // onCommit implements lines 38-41 (validation already verified the cert).
 func (r *Replica) onCommit(p ids.ID, c CommitCert) {
+	// Fingerprint before storing so the commits map carries the cache (the
+	// matching scan below re-reads every replica's latest COMMIT).
+	dg := c.Req.Digest()
 	st := r.state[p]
 	st.commits[c.Slot] = c
 	st.newViewUsed = true
@@ -795,7 +864,6 @@ func (r *Replica) onCommit(p ids.ID, c CommitCert) {
 		return
 	}
 	// Count distinct broadcasters whose latest COMMIT carries this request.
-	dg := c.Req.Digest()
 	matching := 0
 	for _, q := range r.cfg.Replicas {
 		qc, ok := r.state[q].commits[c.Slot]
@@ -819,9 +887,7 @@ func (r *Replica) decide(s Slot, req Request) {
 	}
 	r.decided[s] = req
 	ss := r.slot(s)
-	if ss.fallback != nil {
-		ss.fallback.Cancel()
-	}
+	ss.fallback.Cancel()
 	r.vcStreak = 0 // progress: reset the suspicion backoff
 	r.resetProgressTimer()
 	r.executeReady()

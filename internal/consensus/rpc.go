@@ -61,12 +61,19 @@ func (r *Replica) onRPC(from ids.ID, payload []byte) {
 		r.noteEcho(dg, r.cfg.Self)
 	} else {
 		// Echo toward the leader (Fig 4, "Echo Req").
-		w := wire.NewWriter(48)
-		w.U8(tagEcho)
-		w.Raw(dg[:])
-		r.rt.Send(r.cfg.leaderOf(r.view), router.ChanDirect, w.Finish())
+		r.sendEcho(dg)
 	}
 	r.armProgressTimer()
+}
+
+// sendEcho sends one digest echo to the leader through a pooled buffer
+// (router.Send copies the frame before returning).
+func (r *Replica) sendEcho(dg [xcrypto.DigestLen]byte) {
+	w := wire.GetWriter(48)
+	w.U8(tagEcho)
+	w.Raw(dg[:])
+	r.rt.Send(r.cfg.leaderOf(r.view), router.ChanDirect, w.Finish())
+	wire.PutWriter(w)
 }
 
 // onEcho records a follower's echo at the leader.
@@ -131,22 +138,20 @@ func (r *Replica) rebroadcastPending() {
 		if r.IsLeader() {
 			r.noteEcho(dg, r.cfg.Self)
 		} else {
-			w := wire.NewWriter(48)
-			w.U8(tagEcho)
-			w.Raw(dg[:])
-			r.rt.Send(r.cfg.leaderOf(r.view), router.ChanDirect, w.Finish())
+			r.sendEcho(dg)
 		}
 	}
 }
 
 // respond sends an execution result back to the client.
 func (r *Replica) respond(client ids.ID, reqNum uint64, slot Slot, result []byte) {
-	w := wire.NewWriter(32 + len(result))
+	w := wire.GetWriter(32 + len(result))
 	w.U8(tagResponse)
 	w.U64(reqNum)
 	w.U64(uint64(slot))
 	w.Bytes(result)
 	r.rt.Send(client, router.ChanRPC, w.Finish())
+	wire.PutWriter(w)
 }
 
 // Client is a uBFT client: it fires unsigned requests at every replica and
@@ -194,13 +199,14 @@ func (c *Client) Invoke(payload []byte, done func(result []byte, latency sim.Dur
 		done:    done,
 	}
 	req := Request{Client: c.rt.ID(), Num: num, Payload: payload}
-	w := wire.NewWriter(32 + len(payload))
+	w := wire.GetWriter(32 + len(payload))
 	w.U8(tagRequest)
 	req.encode(w)
 	frame := w.Finish()
 	for _, rep := range c.replicas {
 		c.rt.Send(rep, router.ChanRPC, frame)
 	}
+	wire.PutWriter(w)
 }
 
 func (c *Client) onResponse(from ids.ID, payload []byte) {

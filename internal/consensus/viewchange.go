@@ -49,7 +49,7 @@ func (r *Replica) armProgressTimer() {
 	if !r.hasUndecidedWork() {
 		return
 	}
-	if r.progressTimer != nil && r.progressTimer.Pending() {
+	if r.progressTimer.Pending() {
 		return
 	}
 	r.progressTimer = r.proc.After(r.suspicionTimeout(), func() {
@@ -64,10 +64,7 @@ func (r *Replica) armProgressTimer() {
 }
 
 func (r *Replica) resetProgressTimer() {
-	if r.progressTimer != nil {
-		r.progressTimer.Cancel()
-		r.progressTimer = nil
-	}
+	r.progressTimer.Cancel()
 	r.armProgressTimer()
 }
 
@@ -148,7 +145,7 @@ func (r *Replica) sealTo(v View) {
 	// diverged transiently.
 	for _, p := range r.cfg.Replicas {
 		for s, pr := range r.state[p].prepares {
-			if s >= r.chkpt.Seq && !r.slot(s).commitSent[pr.View] {
+			if s >= r.chkpt.Seq && !r.slot(s).sent(pr.View, sentCommit) {
 				r.sendCertify(pr.View, s)
 			}
 		}
@@ -166,7 +163,7 @@ func (r *Replica) maybeSeal() {
 			delete(r.promised, key) // covered by a checkpoint
 			continue
 		}
-		if !r.slot(key.s).commitSent[key.v] {
+		if !r.slot(key.s).sent(key.v, sentCommit) {
 			return // still waiting for the certificate
 		}
 		delete(r.promised, key)
@@ -355,7 +352,10 @@ func (r *Replica) startView(v View, certs []ReplicaCert) {
 		if s >= r.nextSlot {
 			r.nextSlot = s + 1
 		}
-		r.groups[r.cfg.Self].Broadcast(encodePrepare(p))
+		w := wire.GetWriter(40 + len(p.Req.Payload))
+		appendPrepare(w, p)
+		r.groups[r.cfg.Self].Broadcast(w.Finish())
+		wire.PutWriter(w)
 	}
 	r.rebroadcastPending()
 	r.pumpProposals()

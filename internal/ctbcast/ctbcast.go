@@ -178,7 +178,7 @@ type Group struct {
 	// Messages awaiting slow-path completion, keyed by k.
 	slowPending map[uint64][]byte
 	// Fallback timers per identifier (FastWithFallback).
-	fallbacks map[uint64]*sim.Timer
+	fallbacks map[uint64]sim.Timer
 
 	// FIFO delivery layer.
 	nextDeliver uint64
@@ -218,7 +218,7 @@ func NewGroup(p Params, env Env) *Group {
 		locked:      make(map[ids.ID][]lockedEntry, len(p.Procs)),
 		peerRegs:    make(map[ids.ID][]*swmr.Register, len(p.Procs)),
 		slowPending: make(map[uint64][]byte),
-		fallbacks:   make(map[uint64]*sim.Timer),
+		fallbacks:   make(map[uint64]sim.Timer),
 		pendingFIFO: make(map[uint64][]byte),
 	}
 	if env.BgProc == nil {
@@ -390,63 +390,96 @@ func (g *Group) isDelivered(k uint64) bool {
 }
 
 func (g *Group) sendLock(k uint64, m []byte) {
-	w := wire.NewWriter(16 + len(m))
+	w := wire.GetWriter(16 + len(m))
 	w.U8(tagLock)
 	w.U64(k)
 	w.Bytes(m)
-	g.bcast.Broadcast(w.Finish())
+	g.bcast.Broadcast(w.Finish()) // Broadcast does not retain the frame
+	wire.PutWriter(w)
 }
 
 func (g *Group) sendSigned(k uint64, m []byte) {
 	dg := xcrypto.Digest(g.env.Proc, m)
-	sig := g.env.Signer.Sign(g.env.Proc, signedPayload(g.p.Broadcaster, k, dg))
-	w := wire.NewWriter(128 + len(m))
+	sig := g.signSigned(k, dg)
+	w := wire.GetWriter(128 + len(m))
 	w.U8(tagSigned)
 	w.U64(k)
 	w.Bytes(m)
 	w.Bytes(sig)
 	g.bcast.Broadcast(w.Finish())
+	wire.PutWriter(w)
 }
 
-// signedPayload is the byte string the broadcaster signs for (k, m):
-// non-equivocation binds identifier to fingerprint.
-func signedPayload(b ids.ID, k uint64, dg [xcrypto.DigestLen]byte) []byte {
-	w := wire.NewWriter(64)
+// appendSignedPayload encodes the byte string the broadcaster signs for
+// (k, m): non-equivocation binds identifier to fingerprint.
+func appendSignedPayload(w *wire.Writer, b ids.ID, k uint64, dg [xcrypto.DigestLen]byte) {
 	w.U8(tagSigned)
 	w.I64(int64(b))
 	w.U64(k)
 	w.Raw(dg[:])
+}
+
+// signedPayload allocates the SIGNED payload standalone. Hot paths use
+// appendSignedPayload with pooled writers; this form serves tests and
+// Byzantine harnesses that need a detached copy.
+func signedPayload(b ids.ID, k uint64, dg [xcrypto.DigestLen]byte) []byte {
+	w := wire.NewWriter(64)
+	appendSignedPayload(w, b, k, dg)
 	return w.Finish()
+}
+
+// signSigned signs the SIGNED payload for (k, dg) using a pooled scratch
+// buffer (ed25519 does not retain the message).
+func (g *Group) signSigned(k uint64, dg [xcrypto.DigestLen]byte) xcrypto.Signature {
+	w := wire.GetWriter(64)
+	appendSignedPayload(w, g.p.Broadcaster, k, dg)
+	sig := g.env.Signer.Sign(g.env.Proc, w.Finish())
+	wire.PutWriter(w)
+	return sig
+}
+
+// verifySigned checks a broadcaster signature over (k2, dg2) using a pooled
+// scratch buffer.
+func (g *Group) verifySigned(k uint64, dg [xcrypto.DigestLen]byte, sig []byte) bool {
+	w := wire.GetWriter(64)
+	appendSignedPayload(w, g.p.Broadcaster, k, dg)
+	ok := g.env.Signer.Verify(g.env.Proc, g.p.Broadcaster, w.Finish(), sig)
+	wire.PutWriter(w)
+	return ok
 }
 
 // onBroadcasterMsg handles LOCK / SIGNED / SUMMARY from the broadcaster's
 // channel (TBcast-deliver events at this receiver).
+// onBroadcasterMsg decodes in borrow mode: payload is either a view into a
+// per-delivery network buffer (never recycled) or the broadcaster's private
+// self-delivery copy, so views — even ones retained in locks/slowPending —
+// stay valid indefinitely without copying.
 func (g *Group) onBroadcasterMsg(from ids.ID, payload []byte) {
 	r := wire.NewReader(payload)
 	switch r.U8() {
 	case tagLock:
 		k := r.U64()
-		m := r.Bytes()
+		m := r.BytesView()
 		if r.Done() != nil || k == 0 {
 			return
 		}
 		g.onLock(k, m)
 	case tagSigned:
 		k := r.U64()
-		m := r.Bytes()
-		sig := r.Bytes()
+		m := r.BytesView()
+		sig := r.BytesView()
 		if r.Done() != nil || k == 0 {
 			return
 		}
 		g.onSigned(k, m, sig)
 	case tagSummary:
 		id := r.U64()
-		state := r.Bytes()
+		state := r.BytesView()
 		nsigs := int(r.Uvarint())
 		sigs := make(map[ids.ID]xcrypto.Signature, nsigs)
 		for i := 0; i < nsigs; i++ {
 			signer := ids.ID(r.I64())
-			sigs[signer] = r.Bytes()
+			sigs[signer] = r.BytesView()
 		}
 		if r.Done() != nil {
 			return
@@ -463,11 +496,12 @@ func (g *Group) onLock(k uint64, m []byte) {
 	}
 	g.locks[slot] = lockEntry{k: k, dg: xcrypto.Digest(g.env.Proc, m), ok: true}
 	// TBcast-broadcast <LOCKED, k, m> on my channel.
-	w := wire.NewWriter(16 + len(m))
+	w := wire.GetWriter(16 + len(m))
 	w.U8(tagLocked)
 	w.U64(k)
 	w.Bytes(m)
 	g.lockedSelf.Broadcast(w.Finish())
+	wire.PutWriter(w)
 }
 
 // onLockedMsg handles <LOCKED, k, m> from q (Algorithm 1 lines 18-23).
@@ -477,7 +511,9 @@ func (g *Group) onLockedMsg(q ids.ID, payload []byte) {
 		return
 	}
 	k := r.U64()
-	m := r.Bytes()
+	// Borrow mode: the view is retained in the locked array, which is safe
+	// because delivered buffers are per-message and never recycled.
+	m := r.BytesView()
 	if r.Done() != nil || k == 0 {
 		return
 	}
@@ -518,7 +554,7 @@ func bytesEqual(a, b []byte) bool {
 // onSigned implements Algorithm 1 lines 25-37.
 func (g *Group) onSigned(k uint64, m []byte, sig []byte) {
 	dg := xcrypto.Digest(g.env.Proc, m)
-	if !g.env.Signer.Verify(g.env.Proc, g.p.Broadcaster, signedPayload(g.p.Broadcaster, k, dg), sig) {
+	if !g.verifySigned(k, dg, sig) {
 		return // line 26: invalid signature
 	}
 	slot := k % uint64(g.p.Tail)
@@ -528,15 +564,19 @@ func (g *Group) onSigned(k uint64, m []byte, sig []byte) {
 	}
 	g.locks[slot] = lockEntry{k: k, dg: dg, ok: true}
 	// Line 30: copy (k, sig, fingerprint) into my register for this slot.
-	val := encodeRegValue(k, dg, sig)
+	// Register.Write copies the value synchronously, so the pooled encode
+	// buffer can be recycled as soon as it returns.
+	vw := wire.GetWriter(registerValueCap)
+	encodeRegValue(vw, k, dg, sig)
 	g.slowPending[k] = m
-	g.myRegs[slot].Write(k, val, func(err error) {
+	g.myRegs[slot].Write(k, vw.Finish(), func(err error) {
 		if err != nil {
 			delete(g.slowPending, k)
 			return
 		}
 		g.readPeerRegisters(k, slot, dg)
 	})
+	wire.PutWriter(vw)
 }
 
 // readPeerRegisters implements lines 31-37: read every receiver's register
@@ -569,7 +609,7 @@ func (g *Group) readPeerRegisters(k uint64, slot uint64, dg [xcrypto.DigestLen]b
 			// one they are fabrications of a Byzantine receiver and are
 			// ignored. Skipping the rest keeps public-key operations off
 			// the common slow path, matching the paper's cost profile.
-			if !g.env.Signer.Verify(g.env.Proc, g.p.Broadcaster, signedPayload(g.p.Broadcaster, k2, dg2), sig2) {
+			if !g.verifySigned(k2, dg2, sig2) {
 				continue
 			}
 			if k2 == k && dg2 != dg {
@@ -598,19 +638,19 @@ func (g *Group) readPeerRegisters(k uint64, slot uint64, dg [xcrypto.DigestLen]b
 	}
 }
 
-func encodeRegValue(k uint64, dg [xcrypto.DigestLen]byte, sig []byte) []byte {
-	w := wire.NewWriter(registerValueCap)
+func encodeRegValue(w *wire.Writer, k uint64, dg [xcrypto.DigestLen]byte, sig []byte) {
 	w.U64(k)
 	w.Raw(dg[:])
 	w.Raw(sig)
-	return w.Finish()
 }
 
+// decodeRegValue parses a register value in borrow mode: sig aliases v,
+// which callers only use within the read completion.
 func decodeRegValue(v []byte) (k uint64, dg [xcrypto.DigestLen]byte, sig []byte, err error) {
 	r := wire.NewReader(v)
 	k = r.U64()
-	copy(dg[:], r.Raw(xcrypto.DigestLen))
-	sig = r.Raw(xcrypto.SigLen)
+	copy(dg[:], r.RawView(xcrypto.DigestLen))
+	sig = r.RawView(xcrypto.SigLen)
 	if e := r.Done(); e != nil {
 		return 0, dg, nil, e
 	}

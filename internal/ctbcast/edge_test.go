@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/ids"
 	"repro/internal/sim"
 	"repro/internal/swmr"
 	"repro/internal/wire"
@@ -85,7 +86,9 @@ func TestRegisterValueCodec(t *testing.T) {
 	for i := range sig {
 		sig[i] = byte(255 - i)
 	}
-	v := encodeRegValue(42, dg, sig)
+	vw := wire.NewWriter(registerValueCap)
+	encodeRegValue(vw, 42, dg, sig)
+	v := vw.Finish()
 	if len(v) != registerValueCap {
 		t.Fatalf("encoded register value %dB, want %d", len(v), registerValueCap)
 	}
@@ -101,11 +104,16 @@ func TestRegisterValueCodec(t *testing.T) {
 func TestSignedPayloadBindsFields(t *testing.T) {
 	var dgA, dgB [xcrypto.DigestLen]byte
 	dgB[0] = 1
-	base := signedPayload(0, 1, dgA)
+	payload := func(b ids.ID, k uint64, dg [xcrypto.DigestLen]byte) []byte {
+		w := wire.NewWriter(64)
+		appendSignedPayload(w, b, k, dg)
+		return w.Finish()
+	}
+	base := payload(0, 1, dgA)
 	for _, other := range [][]byte{
-		signedPayload(1, 1, dgA), // different broadcaster
-		signedPayload(0, 2, dgA), // different identifier
-		signedPayload(0, 1, dgB), // different fingerprint
+		payload(1, 1, dgA), // different broadcaster
+		payload(0, 2, dgA), // different identifier
+		payload(0, 1, dgB), // different fingerprint
 	} {
 		if string(base) == string(other) {
 			t.Fatal("signed payload does not bind all fields")

@@ -58,7 +58,12 @@ func (h *Hub) onFrame(from ids.ID, payload []byte) {
 	slot := int(r.U32())
 	inc := r.U64()
 	chk := r.U64()
-	data := r.Bytes()
+	// Zero-copy borrow: the router allocates a fresh buffer per delivered
+	// message and never recycles it, so the view stays valid for as long as
+	// the receiver (or anyone downstream) retains it. A Byzantine sender
+	// cannot mutate it either — the router copied out of the sender's
+	// buffer at send time.
+	data := r.BytesView()
 	if r.Done() != nil {
 		return // malformed frame from a Byzantine sender
 	}
@@ -81,6 +86,9 @@ type Sender struct {
 	next     uint64 // absolute index of the next message
 	inFlight []bool
 	staged   []stagedMsg // bounded staging buffer (second ring of Fig 6)
+	// complete[slot] is the NIC WRITE-completion callback for the slot,
+	// built once so posting a frame allocates no closure.
+	complete []func()
 
 	// Retransmit support: mirror of the last `slots` messages.
 	mirror [][]byte
@@ -90,9 +98,11 @@ type Sender struct {
 	AllocatedBytes int
 }
 
+// stagedMsg queues an absolute index whose slot had a WRITE in flight; the
+// payload itself lives in the mirror (always the freshest message for the
+// slot, which is the only one worth transmitting).
 type stagedMsg struct {
-	idx  uint64
-	data []byte
+	idx uint64
 }
 
 // NewSender creates the sending side. slotCap bounds message size.
@@ -100,7 +110,7 @@ func NewSender(rt *router.Router, proc *sim.Proc, to ids.ID, inst Instance, slot
 	if slots <= 0 || slotCap <= 0 {
 		panic(fmt.Sprintf("msgring: bad geometry slots=%d cap=%d", slots, slotCap))
 	}
-	return &Sender{
+	s := &Sender{
 		rt:             rt,
 		proc:           proc,
 		to:             to,
@@ -109,8 +119,17 @@ func NewSender(rt *router.Router, proc *sim.Proc, to ids.ID, inst Instance, slot
 		cap:            slotCap,
 		inFlight:       make([]bool, slots),
 		mirror:         make([][]byte, slots),
+		complete:       make([]func(), slots),
 		AllocatedBytes: 2 * slots * (slotCap + 20), // local mirror + staging area
 	}
+	for i := range s.complete {
+		slot := i
+		s.complete[slot] = func() {
+			s.inFlight[slot] = false
+			s.drainStaging()
+		}
+	}
+	return s
 }
 
 // Slots returns the ring's slot count.
@@ -143,41 +162,115 @@ func (s *Sender) Retransmit(idx uint64) bool {
 }
 
 func (s *Sender) post(idx uint64, msg []byte) {
+	slot := s.storeMirror(idx, msg)
+	if slot < 0 {
+		return // staged
+	}
+	s.transmit(idx, slot, s.mirror[slot])
+}
+
+// storeMirror copies msg into the mirror slot for idx, REUSING the slot's
+// previous buffer (the mirror is the only owner of its buffers: frames copy
+// out of it before the network sees them, and staging references the mirror
+// by index). Returns the slot to transmit, or -1 if the message was staged
+// behind an in-flight WRITE.
+func (s *Sender) storeMirror(idx uint64, msg []byte) int {
 	if len(msg) > s.cap {
 		panic(fmt.Sprintf("msgring: message %dB exceeds slot capacity %dB", len(msg), s.cap))
 	}
 	slot := int(idx % uint64(s.slots))
-	stored := make([]byte, len(msg))
-	copy(stored, msg)
-	s.mirror[slot] = stored
+	s.mirror[slot] = append(s.mirror[slot][:0], msg...)
 	if s.inFlight[slot] {
 		// Slot has a WRITE in flight: stage the message.
 		if len(s.staged) >= s.slots {
 			s.staged = s.staged[1:] // evict oldest
 		}
-		s.staged = append(s.staged, stagedMsg{idx: idx, data: stored})
-		return
+		s.staged = append(s.staged, stagedMsg{idx: idx})
+		return -1
 	}
-	s.transmit(idx, slot, stored)
+	return slot
 }
 
 func (s *Sender) transmit(idx uint64, slot int, data []byte) {
-	inc := idx/uint64(s.slots) + 1
 	s.proc.Charge(latmodel.CopyCost(len(data)))
 	chk := xcrypto.Checksum(s.proc, data)
-	w := wire.NewWriter(32 + len(data))
+	w := wire.GetWriter(32 + len(data))
+	s.encodeFrame(w, idx, slot, chk, data)
+	s.sendFrame(slot, w.Finish(), len(data))
+	wire.PutWriter(w) // router.Send copied the frame; safe to recycle
+}
+
+// encodeFrame builds the ring frame for one slot write.
+func (s *Sender) encodeFrame(w *wire.Writer, idx uint64, slot int, chk uint64, data []byte) {
+	inc := idx/uint64(s.slots) + 1
 	w.U32(uint32(s.inst))
 	w.U32(uint32(slot))
 	w.U64(inc)
 	w.U64(chk)
 	w.Bytes(data)
+}
+
+// sendFrame posts one prebuilt frame and schedules the WRITE completion.
+func (s *Sender) sendFrame(slot int, frame []byte, dataLen int) {
 	s.inFlight[slot] = true
-	s.rt.Send(s.to, router.ChanRing, w.Finish())
+	s.rt.Send(s.to, router.ChanRing, frame)
 	// The NIC reports WRITE completion after roughly one round trip.
-	s.proc.After(2*latmodel.WireBase+latmodel.PerByte(len(data)), func() {
-		s.inFlight[slot] = false
-		s.drainStaging()
-	})
+	s.proc.PostAfter(2*latmodel.WireBase+latmodel.PerByte(dataLen), s.complete[slot])
+}
+
+// SendAll transmits msg as the next message on every ring in senders,
+// encoding the wire frame AT MOST ONCE in the common case (all rings
+// aligned on the same next index, geometry and instance, no slot busy).
+// Tail Broadcast uses this to fan one broadcast out to all receivers
+// without re-encoding per receiver. Virtual-time costs are still charged
+// per ring, mirroring the per-receiver RDMA WRITEs of the real system.
+// Returns the absolute index assigned (senders always stay index-aligned
+// when driven exclusively through SendAll/Send in lockstep).
+func SendAll(senders []*Sender, msg []byte) uint64 {
+	if len(senders) == 0 {
+		return 0
+	}
+	first := senders[0]
+	idx := first.next
+	shared := true
+	for _, s := range senders[1:] {
+		if s.next != idx || s.slots != first.slots || s.inst != first.inst {
+			shared = false
+			break
+		}
+	}
+	if !shared {
+		// Rings diverged (should not happen under lockstep use): fall back
+		// to the per-ring path.
+		for _, s := range senders {
+			s.Send(msg)
+		}
+		return idx
+	}
+	var frame *wire.Writer
+	var chk uint64
+	for _, s := range senders {
+		s.next++
+		slot := s.storeMirror(idx, msg)
+		if slot < 0 {
+			continue // staged behind an in-flight WRITE on this ring
+		}
+		data := s.mirror[slot]
+		// Same costs as the per-ring path: each RDMA WRITE pays its copy
+		// and checksum time even though the host computes them once.
+		s.proc.Charge(latmodel.CopyCost(len(data)))
+		s.proc.Charge(latmodel.ChecksumCost(len(data)))
+		if frame == nil {
+			chk = xcrypto.ChecksumNoCharge(data)
+			frame = wire.GetWriter(32 + len(data))
+			s.encodeFrame(frame, idx, slot, chk, data)
+		}
+		s.sendFrame(slot, frame.Finish(), len(data))
+	}
+	if frame != nil {
+		wire.PutWriter(frame)
+	}
+	return idx
 }
 
 func (s *Sender) drainStaging() {
@@ -246,7 +339,10 @@ func (r *Receiver) accept(slot int, inc, chk uint64, data []byte) {
 	if slot < 0 || slot >= r.slots || inc == 0 {
 		return // malformed (Byzantine sender)
 	}
-	// Copy to a private buffer then validate the checksum, as in Fig 6.
+	// The paper's receiver copies the slot to a private buffer and then
+	// validates the checksum (Fig 6). The virtual-time cost of that copy is
+	// charged here; the host-level copy itself is elided because the
+	// delivered buffer is already private (see Hub.onFrame).
 	r.proc.Charge(latmodel.CopyCost(len(data)))
 	if xcrypto.Checksum(r.proc, data) != chk {
 		r.Corrupt++

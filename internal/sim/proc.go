@@ -57,33 +57,38 @@ func (p *Proc) free() Time {
 
 // Deliver schedules fn to run on this process as soon as it is free.
 // Use it for message/handler delivery: if the process is mid-computation
-// the handler queues behind it.
-func (p *Proc) Deliver(fn func()) *Timer {
-	start := p.free()
-	return p.eng.At(start, func() {
-		if p.crashed {
-			return
-		}
-		fn()
-	})
+// the handler queues behind it. The crash check happens at fire time in the
+// engine; no wrapper closure is allocated.
+func (p *Proc) Deliver(fn func()) Timer {
+	ev := p.eng.schedule(p.free(), p, fn)
+	return Timer{ev: ev, gen: ev.gen}
+}
+
+// Post is Deliver without a cancellation handle: the hot-path variant for
+// callers that never cancel the delivery (saves the Timer allocation).
+func (p *Proc) Post(fn func()) {
+	p.eng.schedule(p.free(), p, fn)
+}
+
+// PostMsg is Post for a long-lived MsgHandler: the (from, payload)
+// arguments ride in the event record, so the delivery allocates no closure.
+func (p *Proc) PostMsg(h MsgHandler, from int, payload []byte) {
+	ev := p.eng.schedule(p.free(), p, nil)
+	ev.mfn, ev.mfrom, ev.mpayload = h, from, payload
 }
 
 // Exec schedules fn after the process performs cost worth of CPU work.
 // The work starts when the process is next free and extends its busy
 // horizon, so concurrent Execs serialize.
-func (p *Proc) Exec(cost Duration, fn func()) *Timer {
+func (p *Proc) Exec(cost Duration, fn func()) Timer {
 	if cost < 0 {
 		panic(fmt.Sprintf("sim: negative exec cost %d on %s", cost, p.name))
 	}
 	start := p.free()
 	end := start.Add(cost)
 	p.busyUntil = end
-	return p.eng.At(end, func() {
-		if p.crashed {
-			return
-		}
-		fn()
-	})
+	ev := p.eng.schedule(end, p, fn)
+	return Timer{ev: ev, gen: ev.gen}
 }
 
 // Charge accounts cost of CPU work synchronously: it extends the busy
@@ -99,13 +104,21 @@ func (p *Proc) Charge(cost Duration) {
 
 // After schedules fn to run d from now regardless of busy state (a timer,
 // not CPU work). Crashed processes never fire their timers.
-func (p *Proc) After(d Duration, fn func()) *Timer {
-	return p.eng.After(d, func() {
-		if p.crashed {
-			return
-		}
-		fn()
-	})
+func (p *Proc) After(d Duration, fn func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	ev := p.eng.schedule(p.eng.now.Add(d), p, fn)
+	return Timer{ev: ev, gen: ev.gen}
+}
+
+// PostAfter is After without a cancellation handle (saves the Timer
+// allocation for fire-and-forget timers like NIC completion callbacks).
+func (p *Proc) PostAfter(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	p.eng.schedule(p.eng.now.Add(d), p, fn)
 }
 
 // BusyUntil exposes the busy horizon (used by tests and the latency

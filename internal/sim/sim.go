@@ -45,15 +45,21 @@ func (t Time) Add(d Duration) Time { return t + Time(d) }
 func (t Time) Sub(u Time) Duration { return Duration(t - u) }
 
 // Timer is a handle to a scheduled event; it can be cancelled before firing.
+// It is a small value (no allocation per scheduling); the zero Timer is an
+// inert handle whose Cancel and Pending are no-ops. Events are pooled: the
+// generation number lets a stale handle (whose event has fired and been
+// recycled for an unrelated scheduling) detect that it no longer owns the
+// event instead of cancelling someone else's.
 type Timer struct {
-	ev *event
+	ev  *event
+	gen uint64
 }
 
 // Cancel prevents the timer's function from running. Cancelling an already
-// fired or already cancelled timer is a no-op. It reports whether the event
-// was still pending.
-func (t *Timer) Cancel() bool {
-	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.fired {
+// fired or already cancelled timer (or the zero Timer) is a no-op. It
+// reports whether the event was still pending.
+func (t Timer) Cancel() bool {
+	if t.ev == nil || t.ev.gen != t.gen || t.ev.cancelled || t.ev.fired {
 		return false
 	}
 	t.ev.cancelled = true
@@ -61,14 +67,35 @@ func (t *Timer) Cancel() bool {
 }
 
 // Pending reports whether the timer has neither fired nor been cancelled.
-func (t *Timer) Pending() bool {
-	return t != nil && t.ev != nil && !t.ev.cancelled && !t.ev.fired
+func (t Timer) Pending() bool {
+	return t.ev != nil && t.ev.gen == t.gen && !t.ev.cancelled && !t.ev.fired
 }
 
+// MsgHandler is a long-lived message-delivery function. Message events
+// carry (handler, from, payload) in the event record itself, so delivering
+// a message allocates no closure.
+type MsgHandler func(from int, payload []byte)
+
 type event struct {
-	at        Time
-	seq       uint64
-	fn        func()
+	at  Time
+	seq uint64
+	gen uint64
+	fn  func()
+	// Message-event fast path: when mfn is non-nil it is invoked with
+	// (mfrom, mpayload) instead of fn.
+	mfn      MsgHandler
+	mfrom    int
+	mpayload []byte
+	// proc, when non-nil, is the process the event is delivered to: a
+	// crashed process drops the event at fire time. Keeping the check in
+	// the engine (rather than a wrapper closure) saves one allocation per
+	// scheduling on the hot path.
+	proc *Proc
+	// deferBusy marks an arrival event that must queue (once) behind the
+	// computation its process has in progress at arrival time, mirroring
+	// the arrival-then-deliver two-step without a second closure+event.
+	deferBusy bool
+	requeued  bool
 	cancelled bool
 	fired     bool
 	index     int
@@ -108,6 +135,7 @@ type Engine struct {
 	now      Time
 	seq      uint64
 	events   eventHeap
+	free     []*event // recycled event records (steady state allocates none)
 	rng      *rand.Rand
 	executed uint64
 	stopped  bool
@@ -135,21 +163,61 @@ func (e *Engine) Executed() uint64 { return e.executed }
 // ones that have not yet been popped).
 func (e *Engine) Pending() int { return len(e.events) }
 
-// At schedules fn to run at absolute virtual time t. Scheduling in the past
-// panics: it always indicates a bug in a cost model.
-func (e *Engine) At(t Time, fn func()) *Timer {
+// schedule enqueues an event, reusing a recycled record when available.
+func (e *Engine) schedule(t Time, proc *Proc, fn func()) *event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free = e.free[:n-1]
+		ev.cancelled, ev.fired = false, false
+	} else {
+		ev = &event{}
+	}
+	ev.at, ev.seq, ev.proc, ev.fn = t, e.seq, proc, fn
 	e.seq++
 	heap.Push(&e.events, ev)
-	return &Timer{ev: ev}
+	return ev
 }
+
+// recycle returns a popped event to the free list. The generation bump
+// invalidates any Timer handle still pointing at it.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.mfn = nil
+	ev.mpayload = nil
+	ev.proc = nil
+	ev.deferBusy, ev.requeued = false, false
+	e.free = append(e.free, ev)
+}
+
+// PostMsg schedules h(from, payload) on proc at arrival time t, queueing
+// (once) behind whatever computation proc has in progress at t — the
+// message-delivery discipline of Proc.Deliver sampled at arrival — without
+// allocating a closure, a Timer, or a second event.
+func (e *Engine) PostMsg(t Time, proc *Proc, h MsgHandler, from int, payload []byte) {
+	ev := e.schedule(t, proc, nil)
+	ev.mfn, ev.mfrom, ev.mpayload = h, from, payload
+	ev.deferBusy = true
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it always indicates a bug in a cost model.
+func (e *Engine) At(t Time, fn func()) Timer {
+	ev := e.schedule(t, nil, fn)
+	return Timer{ev: ev, gen: ev.gen}
+}
+
+// Post schedules fn at absolute time t without returning a cancellation
+// handle: the hot-path variant of At (no Timer allocation).
+func (e *Engine) Post(t Time, fn func()) { e.schedule(t, nil, fn) }
 
 // After schedules fn to run d nanoseconds from now. Negative durations are
 // clamped to zero (run "immediately", after already queued same-time events).
-func (e *Engine) After(d Duration, fn func()) *Timer {
+func (e *Engine) After(d Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
@@ -160,17 +228,49 @@ func (e *Engine) After(d Duration, fn func()) *Timer {
 func (e *Engine) Stop() { e.stopped = true }
 
 // Step executes the single next event. It reports whether an event ran
-// (false when the queue is empty). Cancelled events are skipped silently.
+// (false when the queue is empty). Cancelled events are skipped silently;
+// events bound to a crashed process fire as no-ops (the clock still
+// advances, exactly as when the crash check lived in a wrapper closure).
 func (e *Engine) Step() bool {
 	for len(e.events) > 0 {
 		ev := heap.Pop(&e.events).(*event)
 		if ev.cancelled {
+			e.recycle(ev)
+			continue
+		}
+		// An arrival event requeues exactly once at the process's free
+		// time as sampled now, at arrival — reproducing the two-step
+		// arrive-then-Deliver scheme's timing AND its sequence numbering
+		// (the delivery always re-enters the queue behind events already
+		// scheduled for the same instant), just without the second
+		// closure and event allocation.
+		if ev.deferBusy && !ev.requeued {
+			ev.requeued = true
+			if ev.proc != nil && ev.proc.busyUntil > ev.at {
+				ev.at = ev.proc.busyUntil
+			}
+			ev.seq = e.seq
+			e.seq++
+			heap.Push(&e.events, ev)
 			continue
 		}
 		e.now = ev.at
 		ev.fired = true
 		e.executed++
-		ev.fn()
+		crashed := ev.proc != nil && ev.proc.crashed
+		if ev.mfn != nil {
+			mfn, mfrom, mpayload := ev.mfn, ev.mfrom, ev.mpayload
+			e.recycle(ev)
+			if !crashed {
+				mfn(mfrom, mpayload)
+			}
+		} else {
+			fn := ev.fn
+			e.recycle(ev)
+			if !crashed {
+				fn()
+			}
+		}
 		return true
 	}
 	return false
@@ -195,7 +295,7 @@ func (e *Engine) RunUntil(deadline Time) {
 		// Peek.
 		next := e.events[0]
 		if next.cancelled {
-			heap.Pop(&e.events)
+			e.recycle(heap.Pop(&e.events).(*event))
 			continue
 		}
 		if next.at > deadline {

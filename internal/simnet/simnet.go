@@ -114,6 +114,7 @@ func (n *Network) AddNode(id ids.ID, name string) *Node {
 		panic(fmt.Sprintf("simnet: duplicate node %v", id))
 	}
 	nd := &Node{id: id, net: n, proc: sim.NewProc(n.eng, name)}
+	nd.deliver = nd.deliverMsg
 	n.nodes[id] = nd
 	return nd
 }
@@ -125,6 +126,7 @@ func (n *Network) AttachNode(id ids.ID, proc *sim.Proc) *Node {
 		panic(fmt.Sprintf("simnet: duplicate node %v", id))
 	}
 	nd := &Node{id: id, net: n, proc: proc}
+	nd.deliver = nd.deliverMsg
 	n.nodes[id] = nd
 	return nd
 }
@@ -178,6 +180,19 @@ type Node struct {
 	net     *Network
 	proc    *sim.Proc
 	handler Handler
+	// deliver is the long-lived sim.MsgHandler for this node, built once so
+	// message delivery allocates no closure (see Send).
+	deliver sim.MsgHandler
+}
+
+// deliverMsg runs on the destination process when a message is handed to
+// the application: it pays the dispatch cost and invokes the handler.
+func (nd *Node) deliverMsg(from int, payload []byte) {
+	if nd.handler == nil {
+		return
+	}
+	nd.proc.Charge(latmodel.DispatchCost)
+	nd.handler(ids.ID(from), payload)
 }
 
 // ID returns the node's identity.
@@ -231,15 +246,10 @@ func (nd *Node) Send(to ids.ID, payload []byte) {
 		arrive = last
 	}
 	nd.net.lastArrival[link] = arrive
-	nd.net.eng.At(arrive, func() {
-		if dst.proc.Crashed() || dst.handler == nil {
-			return
-		}
-		dst.proc.Deliver(func() {
-			dst.proc.Charge(latmodel.DispatchCost)
-			dst.handler(from, payload)
-		})
-	})
+	// Closure-free delivery: the engine carries (handler, from, payload) in
+	// the event record and queues once behind the receiver's busy horizon
+	// at arrival, replicating the arrive-then-deliver two-step.
+	nd.net.eng.PostMsg(arrive, dst.proc, dst.deliver, int(from), payload)
 }
 
 // Broadcast sends payload to every id in tos (convenience; each send is an

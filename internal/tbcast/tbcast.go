@@ -66,14 +66,18 @@ type Broadcaster struct {
 	inst  Instance
 	slots int
 
-	receivers []ids.ID // ordered: send order must be deterministic
-	senders   map[ids.ID]*msgring.Sender
-	acked     map[ids.ID]uint64 // highest idx acked + 1 (i.e. count)
-	next      uint64
+	receivers  []ids.ID // ordered: send order must be deterministic
+	senders    map[ids.ID]*msgring.Sender
+	senderList []*msgring.Sender // receivers order, for encode-once fan-out
+	acked      map[ids.ID]uint64 // highest idx acked + 1 (i.e. count)
+	next       uint64
 
 	selfDeliver func(idx uint64, msg []byte)
-	retransmit  *sim.Timer
-	stopped     bool
+	// selfFn adapts selfDeliver to the engine's closure-free message
+	// events; built once in NewBroadcaster.
+	selfFn     sim.MsgHandler
+	retransmit sim.Timer
+	stopped    bool
 }
 
 // Config assembles a Broadcaster.
@@ -106,9 +110,14 @@ func NewBroadcaster(cfg Config) *Broadcaster {
 		acked:       make(map[ids.ID]uint64, len(cfg.Receivers)),
 		selfDeliver: cfg.SelfDeliver,
 	}
+	if b.selfDeliver != nil {
+		b.selfFn = func(idx int, msg []byte) { b.selfDeliver(uint64(idx), msg) }
+	}
 	for _, to := range cfg.Receivers {
 		b.receivers = append(b.receivers, to)
-		b.senders[to] = msgring.NewSender(cfg.RT, cfg.Proc, to, cfg.Instance, cfg.Slots, cfg.SlotCap)
+		s := msgring.NewSender(cfg.RT, cfg.Proc, to, cfg.Instance, cfg.Slots, cfg.SlotCap)
+		b.senders[to] = s
+		b.senderList = append(b.senderList, s)
 		b.acked[to] = 0
 	}
 	if cfg.AckHub != nil {
@@ -142,9 +151,7 @@ func (b *Broadcaster) unacked() bool {
 // Stop halts the retransmission loop (for teardown in tests/benches).
 func (b *Broadcaster) Stop() {
 	b.stopped = true
-	if b.retransmit != nil {
-		b.retransmit.Cancel()
-	}
+	b.retransmit.Cancel()
 }
 
 // Next returns the absolute index the next broadcast will get.
@@ -160,18 +167,20 @@ func (b *Broadcaster) AllocatedBytes() int {
 }
 
 // Broadcast sends msg to every receiver (and self-delivers), returning the
-// message's absolute index within this channel.
+// message's absolute index within this channel. The ring frame is encoded
+// once and shared across all receivers' rings (they advance in lockstep),
+// and msg itself is not retained: callers may reuse its buffer — e.g. a
+// pooled wire.Writer — as soon as Broadcast returns.
 func (b *Broadcaster) Broadcast(msg []byte) uint64 {
 	idx := b.next
 	b.next++
-	for _, to := range b.receivers {
-		b.senders[to].Send(msg)
-	}
+	msgring.SendAll(b.senderList, msg)
 	if b.selfDeliver != nil {
+		// Self-delivery is asynchronous, so it needs a private copy: the
+		// caller reclaims msg's buffer as soon as Broadcast returns.
 		cp := make([]byte, len(msg))
 		copy(cp, msg)
-		self := b.selfDeliver
-		b.proc.Deliver(func() { self(idx, cp) })
+		b.proc.PostMsg(b.selfFn, int(idx), cp)
 	}
 	b.armRetransmit()
 	return idx
@@ -187,7 +196,7 @@ func (b *Broadcaster) onAck(from ids.ID, upTo uint64) {
 // pending. The loop disarms itself once every retransmittable message has
 // been acked, so a quiescent system drains its event queue.
 func (b *Broadcaster) armRetransmit() {
-	if b.stopped || (b.retransmit != nil && b.retransmit.Pending()) || !b.unacked() {
+	if b.stopped || b.retransmit.Pending() || !b.unacked() {
 		return
 	}
 	b.retransmit = b.proc.After(RetransmitInterval, func() {
@@ -236,9 +245,10 @@ func Listen(hub *msgring.Hub, rt *router.Router, proc *sim.Proc, broadcaster ids
 func (l *Listener) AllocatedBytes() int { return l.recv.AllocatedBytes }
 
 func (l *Listener) ack(idx uint64) {
-	w := wire.NewWriter(16)
+	w := wire.GetWriter(16)
 	w.U32(uint32(l.inst))
 	w.U64(idx + 1)
 	l.proc.Charge(latmodel.DispatchCost)
 	l.rt.Send(l.broadcaster, router.ChanRingAck, w.Finish())
+	wire.PutWriter(w)
 }

@@ -42,6 +42,9 @@ type USIG struct {
 	secret  Secret
 	counter uint64
 	proc    *sim.Proc
+	// km is the enclave's keyed-hash state: one HMAC key schedule derived
+	// at provisioning time and reused for every invocation.
+	km *xcrypto.KeyedMAC
 
 	// Invocations counts enclave calls (diagnostics / Fig 10 accounting).
 	Invocations uint64
@@ -49,18 +52,22 @@ type USIG struct {
 
 // NewUSIG creates the enclave for owner on the given process.
 func NewUSIG(owner ids.ID, secret Secret, proc *sim.Proc) *USIG {
-	return &USIG{owner: owner, secret: secret, proc: proc}
+	return &USIG{owner: owner, secret: secret, proc: proc, km: xcrypto.NewKeyedMAC(secret)}
 }
 
 // Counter returns the current counter value (last assigned).
 func (u *USIG) Counter() uint64 { return u.counter }
 
-func uiPayload(owner ids.ID, counter uint64, msg []byte) []byte {
+func appendUIPayload(w *wire.Writer, owner ids.ID, counter uint64, msg []byte) {
 	dg := xcrypto.DigestNoCharge(msg)
-	w := wire.NewWriter(64)
 	w.I64(int64(owner))
 	w.U64(counter)
 	w.Raw(dg[:])
+}
+
+func uiPayload(owner ids.ID, counter uint64, msg []byte) []byte {
+	w := wire.NewWriter(64)
+	appendUIPayload(w, owner, counter, msg)
 	return w.Finish()
 }
 
@@ -70,7 +77,10 @@ func (u *USIG) CreateUI(msg []byte) UI {
 	u.Invocations++
 	u.proc.Charge(latmodel.EnclaveCost(len(msg)))
 	u.counter++
-	mac := xcrypto.MAC(u.proc, u.secret, uiPayload(u.owner, u.counter, msg))
+	w := wire.GetWriter(64)
+	appendUIPayload(w, u.owner, u.counter, msg)
+	mac := u.km.MAC(u.proc, w.Finish())
+	wire.PutWriter(w)
 	return UI{Counter: u.counter, MAC: mac}
 }
 
@@ -80,7 +90,11 @@ func (u *USIG) CreateUI(msg []byte) UI {
 func (u *USIG) VerifyUI(from ids.ID, msg []byte, ui UI) bool {
 	u.Invocations++
 	u.proc.Charge(latmodel.EnclaveCost(len(msg)))
-	return xcrypto.VerifyMAC(u.proc, u.secret, uiPayload(from, ui.Counter, msg), ui.MAC)
+	w := wire.GetWriter(64)
+	appendUIPayload(w, from, ui.Counter, msg)
+	ok := u.km.Verify(u.proc, w.Finish(), ui.MAC)
+	wire.PutWriter(w)
+	return ok
 }
 
 // Authenticate produces a counterless enclave MAC over msg (used for
@@ -89,7 +103,11 @@ func (u *USIG) VerifyUI(from ids.ID, msg []byte, ui UI) bool {
 func (u *USIG) Authenticate(msg []byte) []byte {
 	u.Invocations++
 	u.proc.Charge(latmodel.EnclaveCost(len(msg)))
-	return xcrypto.MAC(u.proc, u.secret, uiPayload(u.owner, 0, msg))
+	w := wire.GetWriter(64)
+	appendUIPayload(w, u.owner, 0, msg)
+	mac := u.km.MAC(u.proc, w.Finish())
+	wire.PutWriter(w)
+	return mac
 }
 
 // VerifyAuth checks a counterless enclave MAC from a peer. Charges one
@@ -97,7 +115,11 @@ func (u *USIG) Authenticate(msg []byte) []byte {
 func (u *USIG) VerifyAuth(from ids.ID, msg, mac []byte) bool {
 	u.Invocations++
 	u.proc.Charge(latmodel.EnclaveCost(len(msg)))
-	return xcrypto.VerifyMAC(u.proc, u.secret, uiPayload(from, 0, msg), mac)
+	w := wire.GetWriter(64)
+	appendUIPayload(w, from, 0, msg)
+	ok := u.km.Verify(u.proc, w.Finish(), mac)
+	wire.PutWriter(w)
+	return ok
 }
 
 // EncodeUI serializes a UI.

@@ -1,0 +1,92 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestWriterReset verifies Reset keeps capacity but drops content.
+func TestWriterReset(t *testing.T) {
+	w := NewWriter(8)
+	w.Bytes(bytes.Repeat([]byte{0xAA}, 100))
+	if w.Len() == 0 {
+		t.Fatal("nothing written")
+	}
+	w.Reset()
+	if w.Len() != 0 {
+		t.Fatalf("reset left %d bytes", w.Len())
+	}
+	w.U8(1)
+	if got := w.Finish(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("post-reset encode corrupted: %x", got)
+	}
+}
+
+// TestPooledWriterNoBleed guards the pool's ownership rules: a recycled
+// writer must never leak bytes from a previous (longer) message into a
+// subsequent (shorter) one.
+func TestPooledWriterNoBleed(t *testing.T) {
+	w := GetWriter(16)
+	w.Bytes(bytes.Repeat([]byte{0xFF}, 512))
+	long := w.Finish()
+	if !bytes.Contains(long, []byte{0xFF, 0xFF}) {
+		t.Fatal("long message not encoded")
+	}
+	PutWriter(w)
+
+	// Drain the pool until we (very likely) see the same writer again;
+	// regardless of which writer comes back, its content must be empty.
+	for i := 0; i < 8; i++ {
+		w2 := GetWriter(16)
+		if w2.Len() != 0 {
+			t.Fatalf("recycled writer carries %d stale bytes", w2.Len())
+		}
+		w2.U8(0x01)
+		got := w2.Finish()
+		if len(got) != 1 || got[0] != 0x01 {
+			t.Fatalf("recycled writer produced %x", got)
+		}
+		if bytes.Contains(got, []byte{0xFF}) {
+			t.Fatal("stale bytes leaked into a recycled writer")
+		}
+		PutWriter(w2)
+	}
+}
+
+// TestGrowPreservesContent verifies Grow never loses already-written bytes.
+func TestGrowPreservesContent(t *testing.T) {
+	w := NewWriter(4)
+	w.U32(0xDEADBEEF)
+	w.Grow(1024)
+	w.U32(0xCAFEBABE)
+	r := NewReader(w.Finish())
+	if r.U32() != 0xDEADBEEF || r.U32() != 0xCAFEBABE {
+		t.Fatal("grow corrupted content")
+	}
+	if err := r.Done(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestViewsAliasReader documents the borrow-mode contract: views alias the
+// reader's buffer (no defensive copy), while Bytes/Raw detach.
+func TestViewsAliasReader(t *testing.T) {
+	buf := NewWriter(32)
+	buf.Bytes([]byte{1, 2, 3})
+	data := buf.Finish()
+
+	rView := NewReader(data)
+	v := rView.BytesView()
+	data[1] = 9 // mutate the underlying buffer (offset 1 = first payload byte)
+	if v[0] != 9 {
+		t.Fatal("BytesView did not alias the buffer")
+	}
+
+	data[1] = 1
+	rCopy := NewReader(data)
+	c := rCopy.Bytes()
+	data[1] = 7
+	if c[0] != 1 {
+		t.Fatal("Bytes did not detach from the buffer")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // ErrTruncated is returned when a decoder runs past the end of its buffer.
@@ -37,8 +38,55 @@ func NewWriter(n int) *Writer { return &Writer{buf: make([]byte, 0, n)} }
 // Len returns the number of bytes written so far.
 func (w *Writer) Len() int { return len(w.buf) }
 
-// Finish returns the encoded bytes. The writer must not be reused after.
+// Finish returns the encoded bytes. The writer must not be reused after,
+// except via Reset (which invalidates the returned slice).
 func (w *Writer) Finish() []byte { return w.buf }
+
+// Reset truncates the writer to zero length, keeping its capacity, so the
+// buffer can be reused for the next message. Any slice previously obtained
+// from Finish aliases the buffer and must no longer be referenced.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
+// Grow ensures capacity for at least n more bytes, so a sequence of appends
+// encoding one message performs at most one allocation.
+func (w *Writer) Grow(n int) {
+	if cap(w.buf)-len(w.buf) >= n {
+		return
+	}
+	nb := make([]byte, len(w.buf), len(w.buf)+n)
+	copy(nb, w.buf)
+	w.buf = nb
+}
+
+// writerPool recycles encode buffers for the hot path. Pooled writers keep
+// whatever capacity they grew to, so steady-state encoding allocates
+// nothing.
+var writerPool = sync.Pool{New: func() any { return &Writer{} }}
+
+// GetWriter returns a pooled writer with capacity for at least n bytes,
+// reset to zero length.
+//
+// Ownership rules: the writer and any slice obtained from Finish remain
+// valid until PutWriter. Callers must not call PutWriter while the encoded
+// bytes are still referenced by anyone — hand-offs that retain the slice
+// (storing it, deferring its use to a later event) require a copy first.
+// Sends through router.Send/simnet are safe: the router copies the payload
+// into a fresh network buffer before returning.
+func GetWriter(n int) *Writer {
+	w := writerPool.Get().(*Writer)
+	w.Reset()
+	w.Grow(n)
+	return w
+}
+
+// PutWriter recycles w. The caller must hold no references to w or to any
+// slice obtained from it after this call.
+func PutWriter(w *Writer) {
+	if cap(w.buf) > MaxFieldLen {
+		return // do not let one oversized message pin memory in the pool
+	}
+	writerPool.Put(w)
+}
 
 // U8 appends one byte.
 func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
@@ -204,6 +252,32 @@ func (r *Reader) Bytes() []byte {
 	copy(out, b)
 	return out
 }
+
+// BytesView reads a length-prefixed byte slice WITHOUT copying: the
+// returned slice aliases the reader's underlying buffer.
+//
+// Borrow rules: use it only where the buffer's lifetime dominates the
+// value's. Buffers delivered by simnet/router are allocated fresh per
+// message and never recycled, so views into them stay valid indefinitely;
+// buffers owned by a pool or a reusable ring slot must be decoded with the
+// copying Bytes instead (or the caller must copy before the buffer is
+// reused). Byzantine-facing boundaries that must not alias sender-reachable
+// memory keep using Bytes.
+func (r *Reader) BytesView() []byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > MaxFieldLen {
+		r.err = ErrOversized
+		return nil
+	}
+	return r.take(int(n))
+}
+
+// RawView reads n bytes with no prefix WITHOUT copying. The same borrow
+// rules as BytesView apply.
+func (r *Reader) RawView(n int) []byte { return r.take(n) }
 
 // String reads a length-prefixed string.
 func (r *Reader) String() string {

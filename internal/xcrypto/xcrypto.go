@@ -14,6 +14,7 @@ import (
 	"crypto/hmac"
 	"crypto/sha256"
 	"fmt"
+	"hash"
 	"io"
 	"math/rand"
 
@@ -160,12 +161,48 @@ func ChecksumNoCharge(data []byte) uint64 { return XXHash64(data, 0) }
 func DigestNoCharge(msg []byte) [DigestLen]byte { return sha256.Sum256(msg) }
 
 // MAC computes an HMAC-SHA256 tag over msg with key, charging BLAKE3-class
-// keyed-hash cost to p.
+// keyed-hash cost to p. For repeated MACs under one key, use KeyedMAC,
+// which reuses the keyed hash state instead of re-deriving it per call.
 func MAC(p *sim.Proc, key, msg []byte) []byte {
 	p.Charge(latmodel.HMACCost(len(msg)))
 	m := hmac.New(sha256.New, key)
 	m.Write(msg)
 	return m.Sum(nil)
+}
+
+// KeyedMAC is a reusable HMAC-SHA256 state bound to one key. hmac.Reset
+// restores the keyed initial state, so steady-state operation re-derives
+// neither the key schedule nor the inner/outer pads; Verify additionally
+// computes the expected tag into a scratch buffer instead of allocating.
+// Not safe for concurrent use (one per simulated process, like the
+// enclaves it models).
+type KeyedMAC struct {
+	mac     hash.Hash
+	scratch [sha256.Size]byte
+}
+
+// NewKeyedMAC binds a reusable HMAC state to key.
+func NewKeyedMAC(key []byte) *KeyedMAC {
+	return &KeyedMAC{mac: hmac.New(sha256.New, key)}
+}
+
+// MAC computes the tag over msg, charging keyed-hash cost to p. The tag is
+// freshly allocated (callers embed tags in retained messages).
+func (k *KeyedMAC) MAC(p *sim.Proc, msg []byte) []byte {
+	p.Charge(latmodel.HMACCost(len(msg)))
+	k.mac.Reset()
+	k.mac.Write(msg)
+	return k.mac.Sum(nil)
+}
+
+// Verify checks tag over msg in constant time, without heap-allocating the
+// expected tag.
+func (k *KeyedMAC) Verify(p *sim.Proc, msg, tag []byte) bool {
+	p.Charge(latmodel.HMACCost(len(msg)))
+	k.mac.Reset()
+	k.mac.Write(msg)
+	sum := k.mac.Sum(k.scratch[:0])
+	return hmac.Equal(sum, tag)
 }
 
 // VerifyMAC checks an HMAC tag in constant time, charging cost to p.
