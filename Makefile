@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench-smoke bench fuzz-smoke ci
+.PHONY: all build test vet race bounded-mem bench-smoke bench bench-shard fuzz-smoke ci
 
 all: build
 
@@ -19,7 +19,12 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/wire/ ./internal/msgring/ ./internal/tbcast/ ./internal/ctbcast/
+	$(GO) test -race ./internal/wire/ ./internal/msgring/ ./internal/tbcast/ ./internal/ctbcast/ ./internal/shard/
+
+# The bounded-memory regression gate: leader map cardinality must stay flat
+# across checkpoint intervals (uBFT's finite-memory claim).
+bounded-mem:
+	$(GO) test -run 'TestLeaderMemoryBounded|TestLeaderMapsFlatAcrossIntervals' ./internal/consensus/
 
 # One iteration of every benchmark in short mode: catches harness rot and
 # prints allocs/op for the hot-path benchmarks on every PR.
@@ -31,9 +36,14 @@ bench-smoke:
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig8_UBFTFast_64B|BenchmarkFig10_CTBFast_16B' -benchtime 3x -benchmem -count 5 .
 
+# One iteration of the horizontal-scaling benchmark (S=1..8 sharded KV):
+# exercises the shard layer end to end and prints decided-req/virtual-sec.
+bench-shard:
+	$(GO) test -run '^$$' -bench BenchmarkShardScaling -benchtime 1x -benchmem -short .
+
 # Fuzz the wire codec briefly (the seeds always run under `make test`).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzReader -fuzztime 10s ./internal/wire/
 	$(GO) test -run '^$$' -fuzz FuzzRoundTrip -fuzztime 10s ./internal/wire/
 
-ci: build vet test race bench-smoke
+ci: build vet test race bounded-mem bench-smoke bench-shard

@@ -10,6 +10,7 @@ package ubft
 // Regenerate everything in table form with: go run ./cmd/ubft-bench -all
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -203,6 +204,29 @@ func BenchmarkThroughput_Depth2(b *testing.B) {
 		ops, _ := bench.RunPipelined(s, bench.NewFlipWorkload(32, rand.New(rand.NewSource(1))), 2, samples(b, 400))
 		s.Stop()
 		b.ReportMetric(ops/1000, "kops")
+	}
+}
+
+// Extension: horizontal scaling via the shard layer — S independent
+// consensus groups on one fabric, key space hash-partitioned across them,
+// memory nodes shared. Decided-requests/virtual-second should grow near-
+// linearly in S (each group has its own leader, window and CTBcast tail;
+// the fabric model has no shared-switch bottleneck).
+func BenchmarkShardScaling(b *testing.B) {
+	for _, s := range []int{1, 2, 4, 8} {
+		s := s
+		b.Run(fmt.Sprintf("S%d", s), func(b *testing.B) {
+			b.ReportAllocs()
+			for b.Loop() {
+				res := bench.ShardScaling(1, s, 4, samples(b, 200))
+				if res.Completed == 0 {
+					b.Fatal("no requests completed")
+				}
+				b.ReportMetric(res.OpsPerSec/1000, "kops-virtual")
+				b.ReportMetric(res.OpsPerSec/float64(s)/1000, "kops-per-shard")
+				b.ReportMetric(float64(res.Decided), "decided-slots")
+			}
+		})
 	}
 }
 

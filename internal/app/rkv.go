@@ -34,6 +34,10 @@ const (
 	RErr    uint8 = 3
 )
 
+// rkvMGetMax bounds MGET fan-in, shared by Apply and the shard router so
+// routing never admits a request the state machine will refuse.
+const rkvMGetMax = 1024
+
 // NewRKV creates an empty store.
 func NewRKV() *RKV { return &RKV{m: make(map[string][]byte)} }
 
@@ -162,7 +166,7 @@ func (r *RKV) Apply(req []byte) []byte {
 		return w.Finish()
 	case RMGet:
 		n := int(rd.Uvarint())
-		if n > 1024 {
+		if n > rkvMGetMax {
 			return []byte{RBadReq}
 		}
 		keys := make([][]byte, 0, n)

@@ -1,0 +1,133 @@
+package app
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/wire"
+	"repro/internal/xcrypto"
+)
+
+// This file is the application side of the sharded deployment: key
+// extraction so a shard-aware client can hash-route requests, and a
+// deterministic sharded KV workload whose keys all land on one target
+// partition (used by the horizontal-scaling benchmark and the multi-shard
+// determinism tests).
+
+// ErrNoKey reports a request whose key cannot be extracted (malformed or an
+// opcode the router does not know).
+var ErrNoKey = errors.New("app: request has no routable key")
+
+// ShardOfKey maps a key to one of `shards` partitions using the repo's
+// xxhash (cheap, and independent of the SHA-256 protocol digests so routing
+// cannot bias request fingerprints).
+func ShardOfKey(key []byte, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	return int(xcrypto.ChecksumNoCharge(key) % uint64(shards))
+}
+
+// KVRequestKey extracts the key of a Memcached-style KV request. Every KV
+// opcode (GET/SET/DELETE) touches exactly one key.
+func KVRequestKey(req []byte) ([]byte, error) {
+	rd := wire.NewReader(req)
+	op := rd.U8()
+	switch op {
+	case KVGet, KVSet, KVDelete:
+		key := rd.BytesView()
+		if rd.Err() != nil {
+			return nil, ErrNoKey
+		}
+		return key, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown KV opcode %d", ErrNoKey, op)
+	}
+}
+
+// RKVRequestKeys extracts every key a Redis-style request touches. Single-
+// key opcodes return one key; MGET returns all of its keys, letting the
+// shard router detect (and reject) cross-shard fan-out.
+func RKVRequestKeys(req []byte) ([][]byte, error) {
+	rd := wire.NewReader(req)
+	op := rd.U8()
+	switch op {
+	case RGet, RSet, RDel, RIncr, RAppend, RExists:
+		key := rd.BytesView()
+		if rd.Err() != nil {
+			return nil, ErrNoKey
+		}
+		return [][]byte{key}, nil
+	case RMGet:
+		n := int(rd.Uvarint())
+		if n > rkvMGetMax {
+			// Same bound RKV.Apply enforces: don't route (and burn a
+			// consensus slot on) a request the state machine will refuse.
+			// An empty MGET is valid and key-less: it returns no keys and
+			// the router may place it on any shard.
+			return nil, ErrNoKey
+		}
+		keys := make([][]byte, 0, n)
+		for i := 0; i < n; i++ {
+			keys = append(keys, rd.BytesView())
+		}
+		if rd.Err() != nil {
+			return nil, ErrNoKey
+		}
+		return keys, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown RKV opcode %d", ErrNoKey, op)
+	}
+}
+
+// ShardedKVWorkload produces the paper's Memcached request mixture (30%
+// GETs, 80% of which hit previously written keys) with every key
+// rejection-sampled to hash onto one target shard. One instance per shard
+// lets a benchmark drive all partitions evenly while each request still
+// routes through the hash-of-key path.
+type ShardedKVWorkload struct {
+	rng     *rand.Rand
+	shard   int
+	shards  int
+	keyLen  int
+	valLen  int
+	written [][]byte
+}
+
+// NewShardedKVWorkload builds the workload targeting `shard` of `shards`.
+func NewShardedKVWorkload(shard, shards int, rng *rand.Rand) *ShardedKVWorkload {
+	return &ShardedKVWorkload{rng: rng, shard: shard, shards: shards, keyLen: 16, valLen: 32}
+}
+
+// randKey draws keys until one lands on the target shard (geometric with
+// mean `shards` draws, so cheap for any sane shard count).
+func (w *ShardedKVWorkload) randKey() []byte {
+	for {
+		k := make([]byte, w.keyLen)
+		w.rng.Read(k)
+		if ShardOfKey(k, w.shards) == w.shard {
+			return k
+		}
+	}
+}
+
+// Next returns the next GET or SET, always routable to the target shard.
+func (w *ShardedKVWorkload) Next() []byte {
+	if w.rng.Float64() < 0.30 && len(w.written) > 0 {
+		var key []byte
+		if w.rng.Float64() < 0.80 {
+			key = w.written[w.rng.Intn(len(w.written))]
+		} else {
+			key = w.randKey()
+		}
+		return EncodeKVGet(key)
+	}
+	key := w.randKey()
+	val := make([]byte, w.valLen)
+	w.rng.Read(val)
+	if len(w.written) < 4096 {
+		w.written = append(w.written, key)
+	}
+	return EncodeKVSet(key, val)
+}

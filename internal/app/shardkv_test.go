@@ -1,0 +1,96 @@
+package app
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestKVRequestKey(t *testing.T) {
+	key := []byte("some-key-0123456")
+	for _, req := range [][]byte{
+		EncodeKVGet(key),
+		EncodeKVSet(key, []byte("value")),
+		EncodeKVDelete(key),
+	} {
+		got, err := KVRequestKey(req)
+		if err != nil || !bytes.Equal(got, key) {
+			t.Fatalf("KVRequestKey(%v) = %q, %v", req[0], got, err)
+		}
+	}
+	if _, err := KVRequestKey([]byte{99, 1, 2}); err == nil {
+		t.Fatal("unknown opcode accepted")
+	}
+	if _, err := KVRequestKey(nil); err == nil {
+		t.Fatal("empty request accepted")
+	}
+}
+
+func TestRKVRequestKeys(t *testing.T) {
+	key := []byte("k1")
+	single := [][]byte{
+		EncodeRGet(key), EncodeRSet(key, []byte("v")), EncodeRDel(key),
+		EncodeRIncr(key), EncodeRAppend(key, []byte("v")), EncodeRExists(key),
+	}
+	for i, req := range single {
+		keys, err := RKVRequestKeys(req)
+		if err != nil || len(keys) != 1 || !bytes.Equal(keys[0], key) {
+			t.Fatalf("case %d: keys=%q err=%v", i, keys, err)
+		}
+	}
+	keys, err := RKVRequestKeys(EncodeRMGet([]byte("a"), []byte("b"), []byte("c")))
+	if err != nil || len(keys) != 3 || !bytes.Equal(keys[2], []byte("c")) {
+		t.Fatalf("MGET keys=%q err=%v", keys, err)
+	}
+	if _, err := RKVRequestKeys([]byte{RMGet}); err == nil {
+		t.Fatal("truncated MGET accepted")
+	}
+	// An empty MGET is valid (RKV.Apply accepts it) and key-less.
+	keys, err = RKVRequestKeys(EncodeRMGet())
+	if err != nil || len(keys) != 0 {
+		t.Fatalf("empty MGET: keys=%q err=%v", keys, err)
+	}
+}
+
+func TestShardOfKeyStableAndSpread(t *testing.T) {
+	// Stable: the same key always maps to the same shard.
+	k := []byte("stable-key")
+	if ShardOfKey(k, 8) != ShardOfKey(k, 8) {
+		t.Fatal("ShardOfKey not deterministic")
+	}
+	if ShardOfKey(k, 1) != 0 || ShardOfKey(k, 0) != 0 {
+		t.Fatal("degenerate shard counts must map to 0")
+	}
+	// Spread: random keys hit every one of 8 partitions.
+	rng := rand.New(rand.NewSource(1))
+	seen := map[int]int{}
+	for i := 0; i < 1024; i++ {
+		key := make([]byte, 16)
+		rng.Read(key)
+		s := ShardOfKey(key, 8)
+		if s < 0 || s >= 8 {
+			t.Fatalf("shard %d out of range", s)
+		}
+		seen[s]++
+	}
+	if len(seen) != 8 {
+		t.Fatalf("1024 random keys hit only %d of 8 shards: %v", len(seen), seen)
+	}
+}
+
+func TestShardedKVWorkloadTargetsShard(t *testing.T) {
+	const shards = 4
+	for target := 0; target < shards; target++ {
+		wl := NewShardedKVWorkload(target, shards, rand.New(rand.NewSource(3)))
+		for i := 0; i < 64; i++ {
+			req := wl.Next()
+			key, err := KVRequestKey(req)
+			if err != nil {
+				t.Fatalf("workload emitted unroutable request: %v", err)
+			}
+			if got := ShardOfKey(key, shards); got != target {
+				t.Fatalf("request %d routed to shard %d, want %d", i, got, target)
+			}
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"math/rand"
+
+	"repro/internal/app"
+	"repro/internal/shard"
+	"repro/internal/sim"
+)
+
+// This file drives the horizontal-scaling experiment: S consensus groups on
+// one fabric, each saturated by its own shard-aware client, measured in
+// decided requests per virtual second. The comparison across S values runs
+// on the same deterministic fabric model, so the ratio is a pure protocol/
+// parallelism effect, not a measurement artifact.
+
+// ShardResult is one row of the scaling experiment.
+type ShardResult struct {
+	Shards    int
+	Completed int     // client-confirmed requests
+	Decided   int     // slots decided across all groups
+	OpsPerSec float64 // completed requests per virtual second
+	Elapsed   sim.Duration
+	Rec       *Recorder
+}
+
+// RunShardedPipelined keeps `outstanding` requests in flight per client
+// (client i drives shard i with its own workload) until every client has
+// completed nPerShard requests, and reports aggregate throughput over
+// virtual time.
+func RunShardedPipelined(d *shard.Deployment, wls []Workload, outstanding, nPerShard int) ShardResult {
+	res := ShardResult{Shards: d.Shards(), Rec: NewRecorder(nPerShard * len(wls))}
+	eng := d.Eng
+	start := eng.Now()
+
+	total := nPerShard * len(wls)
+	completed := 0
+	for ci := range wls {
+		ci := ci
+		issued, inFlight := 0, 0
+		var fill func()
+		fill = func() {
+			for inFlight < outstanding && issued < nPerShard {
+				issued++
+				inFlight++
+				// Routed Invoke: the workload's keys are shard-targeted, so
+				// the hash-of-key path sends every request to shard ci while
+				// still exercising the real client routing.
+				if _, err := d.Client(ci).Invoke(wls[ci].Next(), func(_ []byte, l sim.Duration) {
+					inFlight--
+					completed++
+					res.Rec.Add(l)
+					fill()
+				}); err != nil {
+					panic(err) // shard-targeted workloads are always routable
+				}
+			}
+		}
+		fill()
+	}
+
+	deadline := eng.Now().Add(sim.Duration(total) * maxWait / 100)
+	for completed < total && eng.Now() < deadline {
+		if !eng.Step() {
+			break
+		}
+	}
+	res.Completed = completed
+	res.Decided = d.DecidedTotal()
+	res.Elapsed = eng.Now().Sub(start)
+	if res.Elapsed > 0 && completed > 0 {
+		res.OpsPerSec = float64(completed) / (float64(res.Elapsed) / 1e9)
+	}
+	return res
+}
+
+// ShardScaling deploys S consensus groups (one client per shard, keys
+// rejection-sampled onto that shard) and reports throughput after each
+// client completes nPerShard requests at the given pipeline depth.
+func ShardScaling(seed int64, shards, outstanding, nPerShard int) ShardResult {
+	d := shard.New(shard.Options{
+		Seed:       seed,
+		Shards:     shards,
+		NumClients: shards, // one driving client per shard
+	})
+	defer d.Stop()
+	wls := make([]Workload, shards)
+	for s := 0; s < shards; s++ {
+		wls[s] = app.NewShardedKVWorkload(s, shards, rand.New(rand.NewSource(seed+int64(s))))
+	}
+	return RunShardedPipelined(d, wls, outstanding, nPerShard)
+}

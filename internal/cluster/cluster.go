@@ -6,6 +6,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/app"
@@ -69,6 +70,11 @@ func (o *Options) fill() {
 	}
 	if o.Tail == 0 {
 		o.Tail = 128
+		if o.Tail > o.Window {
+			// A small explicit Window keeps the defaulted Tail valid: the
+			// zero value must always take a working paper-default.
+			o.Tail = o.Window
+		}
 	}
 	if o.MsgCap == 0 {
 		o.MsgCap = 8192
@@ -78,6 +84,74 @@ func (o *Options) fill() {
 	}
 	if o.NewApp == nil {
 		o.NewApp = func() app.StateMachine { return app.NewFlip() }
+	}
+}
+
+// validate rejects configurations that would assemble a broken cluster.
+// Called after fill, so zero values have already taken the paper defaults.
+func (o *Options) validate() error {
+	switch {
+	case o.F < 0:
+		return fmt.Errorf("cluster: negative replica fault threshold F=%d", o.F)
+	case 2*o.F+1 > 64:
+		// Consensus vote sets are uint64 bitmasks indexed by replica
+		// position; rejecting here also keeps replica IDs clear of the
+		// memory-node/client ID bases in every deployment layout.
+		return fmt.Errorf("cluster: F=%d needs %d replicas, above the 64-replica limit", o.F, 2*o.F+1)
+	case o.Fm < 0:
+		return fmt.Errorf("cluster: negative memory-node fault threshold Fm=%d", o.Fm)
+	case 2*o.Fm+1 >= clientIDBase-memNodeIDBase:
+		return fmt.Errorf("cluster: Fm=%d needs %d memory nodes, colliding with the client ID base", o.Fm, 2*o.Fm+1)
+	case o.NumClients < 0:
+		return fmt.Errorf("cluster: negative NumClients=%d", o.NumClients)
+	case o.BatchSize < 0:
+		return fmt.Errorf("cluster: negative BatchSize=%d", o.BatchSize)
+	case o.MsgCap < 0:
+		return fmt.Errorf("cluster: negative MsgCap=%d", o.MsgCap)
+	case o.Window < 0 || o.Tail < 0:
+		return fmt.Errorf("cluster: negative Window=%d or Tail=%d", o.Window, o.Tail)
+	case o.Tail > o.Window:
+		// CTBcast retains at most Tail unacknowledged messages per
+		// broadcaster while consensus keeps Window slots open: a tail longer
+		// than the window can never fill, and the summary sizing assumes
+		// Tail <= Window.
+		return fmt.Errorf("cluster: Tail=%d exceeds Window=%d", o.Tail, o.Window)
+	}
+	return nil
+}
+
+// Normalize fills defaults and validates the result. Deployment layers that
+// assemble clusters themselves (the shard layer) call this before wiring.
+func (o *Options) Normalize() error {
+	o.fill()
+	return o.validate()
+}
+
+// ConsensusConfig maps the per-group options onto one replica's consensus
+// configuration. It is the single source of truth for the Options ->
+// consensus.Config translation: every deployment layer (this package's
+// NewUBFT, the shard layer's groups) must build configs through it so a
+// newly added option cannot silently propagate to one layer but not the
+// other. Callers set RegionOffset afterwards when several groups share
+// memory nodes.
+func (o *Options) ConsensusConfig(self ids.ID, replicas, memNodes []ids.ID, a app.StateMachine) consensus.Config {
+	return consensus.Config{
+		Self:              self,
+		Replicas:          replicas,
+		F:                 o.F,
+		MemNodes:          memNodes,
+		Fm:                o.Fm,
+		Window:            o.Window,
+		Tail:              o.Tail,
+		MsgCap:            o.MsgCap,
+		FastPath:          !o.DisableFastPath,
+		SlowPathDelay:     o.SlowPathDelay,
+		CTBMode:           o.CTBMode,
+		CTBSlowDelay:      o.CTBSlowDelay,
+		ViewChangeTimeout: o.ViewChangeTimeout,
+		EchoTimeout:       o.EchoTimeout,
+		BatchSize:         o.BatchSize,
+		App:               a,
 	}
 }
 
@@ -97,9 +171,12 @@ type UBFT struct {
 }
 
 // NewUBFT builds and wires a cluster. The engine starts at virtual time 0;
-// call Run* on u.Eng to execute.
+// call Run* on u.Eng to execute. Invalid options (negative thresholds,
+// Tail > Window) panic: they are assembly-time bugs, not runtime faults.
 func NewUBFT(opts Options) *UBFT {
-	opts.fill()
+	if err := opts.Normalize(); err != nil {
+		panic(err)
+	}
 	u := &UBFT{Eng: sim.NewEngine(opts.Seed)}
 	netOpts := simnet.RDMAOptions()
 	if opts.NetOptions != nil {
@@ -130,24 +207,7 @@ func NewUBFT(opts Options) *UBFT {
 	}
 
 	cfgFor := func(self ids.ID, a app.StateMachine) consensus.Config {
-		return consensus.Config{
-			Self:              self,
-			Replicas:          u.ReplicaIDs,
-			F:                 opts.F,
-			MemNodes:          u.MemNodeIDs,
-			Fm:                opts.Fm,
-			Window:            opts.Window,
-			Tail:              opts.Tail,
-			MsgCap:            opts.MsgCap,
-			FastPath:          !opts.DisableFastPath,
-			SlowPathDelay:     opts.SlowPathDelay,
-			CTBMode:           opts.CTBMode,
-			CTBSlowDelay:      opts.CTBSlowDelay,
-			ViewChangeTimeout: opts.ViewChangeTimeout,
-			EchoTimeout:       opts.EchoTimeout,
-			BatchSize:         opts.BatchSize,
-			App:               a,
-		}
+		return opts.ConsensusConfig(self, u.ReplicaIDs, u.MemNodeIDs, a)
 	}
 	consensus.AllocateCluster(cfgFor(u.ReplicaIDs[0], opts.NewApp()), u.MemNodes)
 
@@ -178,22 +238,71 @@ func (u *UBFT) Stop() {
 	}
 }
 
+// InvokeSync failure outcomes. Both are negative so the historical
+// "latency < 0 means failure" check keeps working, but they are distinct:
+// a timeout means virtual time reached the deadline with events still
+// flowing; a stall means the engine ran out of events first — nothing more
+// will ever happen (a deadlocked or fully partitioned deployment).
+var (
+	// ErrTimeout is returned when maxWait elapses before the result.
+	ErrTimeout = errors.New("cluster: invoke timed out")
+	// ErrStalled is returned when the engine runs out of events before the
+	// deadline: the deployment can make no further progress.
+	ErrStalled = errors.New("cluster: engine ran out of events before the deadline (deployment stalled)")
+)
+
+// Sentinel latencies InvokeSync reports for the two failure outcomes.
+const (
+	LatTimeout = sim.Duration(-1)
+	LatStalled = sim.Duration(-2)
+)
+
 // InvokeSync submits a request from client ci and runs the engine until the
 // result arrives or maxWait elapses. It returns the result and the
-// end-to-end latency (latency < 0 means timeout).
+// end-to-end latency; on failure the latency is LatTimeout (deadline hit)
+// or LatStalled (engine out of events). Use InvokeSyncErr for an explicit
+// error value.
 func (u *UBFT) InvokeSync(ci int, payload []byte, maxWait sim.Duration) ([]byte, sim.Duration) {
+	res, lat, _ := u.InvokeSyncErr(ci, payload, maxWait)
+	return res, lat
+}
+
+// InvokeSyncErr is InvokeSync with a distinguishable outcome: it returns
+// nil error on success, ErrTimeout when maxWait elapsed, and ErrStalled
+// when the engine ran dry before the deadline (a deadlocked deployment).
+func (u *UBFT) InvokeSyncErr(ci int, payload []byte, maxWait sim.Duration) ([]byte, sim.Duration, error) {
 	var result []byte
 	lat := sim.Duration(-1)
-	doneAt := sim.Time(-1)
+	fired := false
 	u.Clients[ci].Invoke(payload, func(res []byte, l sim.Duration) {
-		result, lat = res, l
-		doneAt = u.Eng.Now()
+		result, lat, fired = res, l, true
 	})
-	deadline := u.Eng.Now().Add(maxWait)
-	for u.Eng.Now() < deadline && doneAt < 0 {
-		if !u.Eng.Step() {
-			break
+	if err := SyncWait(u.Eng, maxWait, func() bool { return fired }); err != nil {
+		return nil, FailureLatency(err), err
+	}
+	return result, lat, nil
+}
+
+// SyncWait steps the engine until done reports true, the deadline passes
+// (ErrTimeout), or the engine runs out of events (ErrStalled). Shared by
+// every synchronous-invoke surface (this package, the shard layer).
+func SyncWait(eng *sim.Engine, maxWait sim.Duration, done func() bool) error {
+	deadline := eng.Now().Add(maxWait)
+	for !done() {
+		if eng.Now() >= deadline {
+			return ErrTimeout
+		}
+		if !eng.Step() {
+			return ErrStalled
 		}
 	}
-	return result, lat
+	return nil
+}
+
+// FailureLatency maps a SyncWait error to its sentinel latency.
+func FailureLatency(err error) sim.Duration {
+	if err == ErrStalled {
+		return LatStalled
+	}
+	return LatTimeout
 }

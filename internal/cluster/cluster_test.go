@@ -52,14 +52,78 @@ func TestMultipleClients(t *testing.T) {
 func TestInvokeSyncTimeout(t *testing.T) {
 	u := NewUBFT(Options{Seed: 1})
 	defer u.Stop()
-	// Partition the client from everyone: the invoke must time out and
-	// report a negative latency rather than hanging.
+	// Partition the client from everyone: the invoke must fail with a
+	// negative latency rather than hanging. With no events left to flow
+	// the distinguishable outcome is a stall, not a timeout.
 	for _, r := range u.ReplicaIDs {
 		u.Net.Partition(u.ClientIDs[0], r)
 	}
-	res, lat := u.InvokeSync(0, []byte("x"), 2*sim.Millisecond)
+	res, lat, err := u.InvokeSyncErr(0, []byte("x"), 2*sim.Millisecond)
 	if res != nil || lat >= 0 {
-		t.Fatalf("timeout not reported: res=%v lat=%v", res, lat)
+		t.Fatalf("failure not reported: res=%v lat=%v", res, lat)
+	}
+	if err != ErrStalled || lat != LatStalled {
+		t.Fatalf("fully partitioned client should stall: err=%v lat=%v", err, lat)
+	}
+}
+
+func TestInvokeSyncDistinguishesTimeoutFromStall(t *testing.T) {
+	// A live cluster given too little time: events still flow when the
+	// deadline hits, so the outcome is a timeout, not a stall.
+	u := NewUBFT(Options{Seed: 1})
+	defer u.Stop()
+	res, lat, err := u.InvokeSyncErr(0, []byte("x"), 2*sim.Microsecond)
+	if res != nil || err != ErrTimeout || lat != LatTimeout {
+		t.Fatalf("want timeout outcome, got res=%v lat=%v err=%v", res, lat, err)
+	}
+	// The two-value InvokeSync keeps the historical lat<0 contract while
+	// exposing the distinct sentinel.
+	if res2, lat2 := u.InvokeSync(0, []byte("y"), 2*sim.Microsecond); res2 != nil || lat2 != LatTimeout {
+		t.Fatalf("InvokeSync sentinel: res=%v lat=%v", res2, lat2)
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	cases := map[string]Options{
+		"negative F":          {F: -1},
+		"negative Fm":         {Fm: -2},
+		"negative clients":    {NumClients: -1},
+		"negative batch size": {BatchSize: -8},
+		"tail beyond window":  {Window: 64, Tail: 128},
+		"negative msgcap":     {MsgCap: -1},
+		"too many replicas":   {F: 32}, // 2F+1 = 65 > 64-replica bitmask limit
+		"memnode id overflow": {Fm: 50},
+	}
+	for name, opts := range cases {
+		if err := opts.Normalize(); err == nil {
+			t.Errorf("%s: Normalize accepted %+v", name, opts)
+		}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: NewUBFT did not panic", name)
+				}
+			}()
+			NewUBFT(opts)
+		}()
+	}
+	// Defaults and an explicit valid config must pass.
+	good := Options{}
+	if err := good.Normalize(); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	tight := Options{Window: 8, Tail: 8}
+	if err := tight.Normalize(); err != nil {
+		t.Fatalf("Tail == Window rejected: %v", err)
+	}
+	// Setting only a small Window must stay valid: the defaulted Tail is
+	// capped at the window rather than tripping the Tail > Window check.
+	windowOnly := Options{Window: 8}
+	if err := windowOnly.Normalize(); err != nil {
+		t.Fatalf("Window-only config rejected: %v", err)
+	}
+	if windowOnly.Tail != 8 {
+		t.Fatalf("defaulted Tail = %d, want capped to Window 8", windowOnly.Tail)
 	}
 }
 

@@ -13,6 +13,20 @@ func (r *Replica) SlotStateCount() int { return len(r.slots) }
 // PendingProposals returns the leader's queued, not-yet-proposed requests.
 func (r *Replica) PendingProposals() int { return len(r.proposeQ) }
 
+// ProposedCount returns the size of the leader's proposed-digest dedup map
+// (pruned at stable checkpoints; bounded-memory regression tests watch it).
+func (r *Replica) ProposedCount() int { return len(r.proposed) }
+
+// SeenReqCount returns the size of the per-client highest-proposed map
+// (pruned at stable checkpoints).
+func (r *Replica) SeenReqCount() int { return len(r.seenReq) }
+
+// ReqStoreCount returns how many direct client request copies are retained.
+func (r *Replica) ReqStoreCount() int { return len(r.reqStore) }
+
+// EchoStateCount returns how many request digests have live echo tracking.
+func (r *Replica) EchoStateCount() int { return len(r.echoes) }
+
 // Groups exposes per-broadcaster CTBcast statistics.
 func (r *Replica) GroupStats() (fast, slow, summaries uint64) {
 	for _, g := range r.groups {

@@ -1,0 +1,104 @@
+package consensus_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// Bounded leader memory is uBFT's headline claim: every per-request map
+// must be pruned back at stable checkpoints. Before the fix, proposed and
+// seenReq grew by one entry per unique request forever.
+
+// TestLeaderMemoryBounded drives traffic across >= 4 checkpoint intervals
+// and asserts the leader's request-tracking maps stay bounded by the
+// window, instead of growing linearly with total requests.
+func TestLeaderMemoryBounded(t *testing.T) {
+	const window = 8
+	const intervals = 5
+	const total = window*intervals + window/2 // 44 requests, 5 checkpoints
+
+	u := cluster.NewUBFT(cluster.Options{
+		Seed:   1,
+		Window: window,
+		Tail:   window,
+		NewApp: func() app.StateMachine { return app.NewKV(0) },
+	})
+	defer u.Stop()
+
+	for i := 0; i < total; i++ {
+		key := []byte(fmt.Sprintf("key-%04d", i))
+		res, _, err := u.InvokeSyncErr(0, app.EncodeKVSet(key, []byte("v")), 50*sim.Millisecond)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if res == nil || res[0] != app.KVStored {
+			t.Fatalf("request %d: unexpected result %v", i, res)
+		}
+	}
+	u.Eng.RunFor(10 * sim.Millisecond) // let the last checkpoint settle
+
+	// Every map that gains an entry per unique request must have been
+	// pruned back to at most the open window (plus the in-flight margin of
+	// one interval).
+	bound := 2 * window
+	for i, r := range u.Replicas {
+		if r.Checkpoint().Seq < (intervals-1)*window {
+			t.Fatalf("replica %d checkpoint seq = %d: window never advanced", i, r.Checkpoint().Seq)
+		}
+		if got := r.ProposedCount(); got > bound {
+			t.Errorf("replica %d: proposed map holds %d entries after %d requests (bound %d)", i, got, total, bound)
+		}
+		if got := r.SeenReqCount(); got > bound {
+			t.Errorf("replica %d: seenReq map holds %d entries (bound %d)", i, got, bound)
+		}
+		if got := r.ReqStoreCount(); got > bound {
+			t.Errorf("replica %d: reqStore holds %d entries (bound %d)", i, got, bound)
+		}
+		if got := r.EchoStateCount(); got > bound {
+			t.Errorf("replica %d: echo state holds %d entries (bound %d)", i, got, bound)
+		}
+		// The checkpoint prune must not break decided accounting: every
+		// request decided so far is still counted (satellite: DecidedCount
+		// undercounted once pruneBelow deleted applied entries).
+		if got := r.DecidedCount(); got < total {
+			t.Errorf("replica %d: DecidedCount=%d < %d decided requests (pruned slots dropped from the count)", i, got, total)
+		}
+	}
+}
+
+// TestLeaderMapsFlatAcrossIntervals tightens the bound: the map sizes at
+// the end of interval k must not grow with k (flat, not linear).
+func TestLeaderMapsFlatAcrossIntervals(t *testing.T) {
+	const window = 8
+	u := cluster.NewUBFT(cluster.Options{
+		Seed:   7,
+		Window: window,
+		Tail:   window,
+		NewApp: func() app.StateMachine { return app.NewKV(0) },
+	})
+	defer u.Stop()
+
+	sizeAfter := make([]int, 0, 4)
+	req := 0
+	for interval := 0; interval < 4; interval++ {
+		for i := 0; i < window; i++ {
+			key := []byte(fmt.Sprintf("k-%d-%04d", interval, req))
+			req++
+			if res, _, err := u.InvokeSyncErr(0, app.EncodeKVSet(key, []byte("v")), 50*sim.Millisecond); err != nil || res == nil {
+				t.Fatalf("request %d: res=%v err=%v", req, res, err)
+			}
+		}
+		u.Eng.RunFor(5 * sim.Millisecond)
+		leader := u.Replicas[0]
+		sizeAfter = append(sizeAfter, leader.ProposedCount()+leader.SeenReqCount()+leader.ReqStoreCount())
+	}
+	for k := 1; k < len(sizeAfter); k++ {
+		if sizeAfter[k] > sizeAfter[0]+window {
+			t.Fatalf("leader map cardinality grows across checkpoint intervals: %v", sizeAfter)
+		}
+	}
+}

@@ -186,7 +186,14 @@ func (r *Replica) adoptSnapshot(seq Slot, snap []byte) {
 
 // pruneBelow discards all per-slot state covered by a stable checkpoint:
 // this is the memory bound of the protocol (finite window x finite state).
+// Besides the per-slot maps it prunes the leader-side proposal bookkeeping
+// (proposed, seenReq, echo state, executed reqStore entries), whose entries
+// would otherwise accumulate one per unique request forever — exactly the
+// unbounded growth the paper's finite-memory design rules out.
 func (r *Replica) pruneBelow(seq Slot) {
+	if seq > r.decidedFloor {
+		r.decidedFloor = seq
+	}
 	for s := range r.slots {
 		if s < seq {
 			r.slots[s].fallback.Cancel()
@@ -227,6 +234,43 @@ func (r *Replica) pruneBelow(seq Slot) {
 	for s := range r.snapshots {
 		if s+Slot(r.cfg.Window) < seq {
 			delete(r.snapshots, s)
+		}
+	}
+	// Leader proposal bookkeeping: a digest proposed below the checkpoint can
+	// never be proposed again (its slot is settled), so its dedup entry is
+	// dead weight. Ditto seenReq entries whose latest proposal is below the
+	// floor — a late duplicate would be re-proposed, but exactly-once
+	// execution (execHighest) still suppresses the double apply.
+	for dg, s := range r.proposed {
+		if s < seq {
+			delete(r.proposed, dg)
+		}
+	}
+	for c, seen := range r.seenReq {
+		if seen.slot < seq {
+			delete(r.seenReq, c)
+		}
+	}
+	// Request copies whose execution is settled are no longer needed for
+	// endorsement or re-proposal.
+	for dg, req := range r.reqStore {
+		if !req.IsNoOp() && r.executedReq(req) {
+			delete(r.reqStore, dg)
+		}
+	}
+	// Echo state for digests that were proposed, executed, or never backed by
+	// a client copy (a Byzantine client echo-spraying digests it never sends
+	// must not grow leader memory; dropping a live echo set only costs one
+	// EchoTimeout wait if the copy arrives later).
+	for dg := range r.echoes {
+		_, wasProposed := r.proposed[dg]
+		req, held := r.reqStore[dg]
+		if wasProposed || !held || r.executedReq(req) {
+			delete(r.echoes, dg)
+			if t, ok := r.echoTimers[dg]; ok {
+				t.Cancel()
+				delete(r.echoTimers, dg)
+			}
 		}
 	}
 	r.maybeSeal()

@@ -122,7 +122,8 @@ func TestFastPathFallsBackWhenFollowerCrashes(t *testing.T) {
 }
 
 func TestCheckpointAdvancesWindow(t *testing.T) {
-	u := flipCluster(cluster.Options{Window: 8, Tail: 16})
+	// Tail must not exceed Window (cluster.Options validation).
+	u := flipCluster(cluster.Options{Window: 8, Tail: 8})
 	defer u.Stop()
 	const total = 30 // crosses 3 checkpoint boundaries with window 8
 	for i := 0; i < total; i++ {

@@ -184,6 +184,11 @@ type Replica struct {
 
 	decided     map[Slot]Request
 	lastApplied Slot // next slot to apply
+	// decidedFloor is the highest stable-checkpoint sequence pruneBelow ran
+	// with: every slot below it was decided (locally or, after a state
+	// transfer, by the certified group) and may have been deleted from the
+	// decided map. DecidedCount uses it to stay accurate across pruning.
+	decidedFloor Slot
 
 	groups map[ids.ID]*ctbcast.Group
 	auxOut *tbcast.Broadcaster
@@ -210,8 +215,15 @@ type Replica struct {
 	// are copied (by value) into the Prepare before the next call.
 	freshScratch []Request
 	batchTimer   sim.Timer
-	proposed     map[[xcrypto.DigestLen]byte]bool
-	seenReq      map[ids.ID]uint64 // highest req num proposed per client
+	// proposed records the slot each request digest was proposed in, so
+	// stable checkpoints can prune entries below the window (bounded leader
+	// memory). Values are the slot of the containing Prepare.
+	proposed map[[xcrypto.DigestLen]byte]Slot
+	// seenReq holds the highest request number proposed per client together
+	// with the slot of that proposal; entries whose slot falls below a
+	// stable checkpoint are pruned (execution-level dedup via execHighest
+	// remains the exactly-once authority).
+	seenReq map[ids.ID]clientSeen
 	// Exactly-once execution bookkeeping.
 	execHighest map[ids.ID]uint64
 	lastResult  map[ids.ID][]byte
@@ -236,6 +248,14 @@ type Replica struct {
 type vcShare struct {
 	stateBytes []byte
 	sig        xcrypto.Signature
+}
+
+// clientSeen is one seenReq entry: the highest request number this replica
+// proposed for a client, and the slot that proposal went into (its prune
+// horizon).
+type clientSeen struct {
+	num  uint64
+	slot Slot
 }
 
 // Deps bundles the per-host infrastructure the replica plugs into.
@@ -275,8 +295,8 @@ func NewReplica(cfg Config, deps Deps) *Replica {
 		reqStore:      make(map[[xcrypto.DigestLen]byte]Request),
 		echoes:        make(map[[xcrypto.DigestLen]byte]map[ids.ID]bool),
 		echoTimers:    make(map[[xcrypto.DigestLen]byte]sim.Timer),
-		proposed:      make(map[[xcrypto.DigestLen]byte]bool),
-		seenReq:       make(map[ids.ID]uint64),
+		proposed:      make(map[[xcrypto.DigestLen]byte]Slot),
+		seenReq:       make(map[ids.ID]clientSeen),
 		execHighest:   make(map[ids.ID]uint64),
 		lastResult:    make(map[ids.ID][]byte),
 		promised:      make(map[voteKey]bool),
@@ -391,10 +411,21 @@ func (r *Replica) View() View { return r.view }
 // IsLeader reports whether this replica leads its current view.
 func (r *Replica) IsLeader() bool { return r.cfg.leaderOf(r.view) == r.cfg.Self }
 
-// DecidedCount returns how many slots have been decided locally.
-func (r *Replica) DecidedCount() int { return len(r.decided) + int(r.lastAppliedBelowDecided()) }
-
-func (r *Replica) lastAppliedBelowDecided() Slot { return 0 } // decided map retains applied entries until pruned
+// DecidedCount returns how many slots this replica knows to be decided:
+// the live entries of the decided map plus every slot below the stable-
+// checkpoint prune floor (an f+1-certified checkpoint at seq attests that
+// all slots below seq were decided and applied, even after pruneBelow has
+// deleted their entries — or, after a state transfer, when this replica
+// never held them at all).
+func (r *Replica) DecidedCount() int {
+	n := int(r.decidedFloor)
+	for s := range r.decided {
+		if s >= r.decidedFloor {
+			n++
+		}
+	}
+	return n
+}
 
 // LastApplied returns the next slot to execute (all below are applied).
 func (r *Replica) LastApplied() Slot { return r.lastApplied }
@@ -424,11 +455,13 @@ func (r *Replica) inWindowOf(cp *Checkpoint, s Slot) bool {
 // leads, dropping duplicates.
 func (r *Replica) enqueueProposal(req Request) {
 	dg := req.Digest()
-	if r.proposed[dg] {
+	if _, done := r.proposed[dg]; done {
 		return
 	}
-	if !req.IsNoOp() && req.Num <= r.seenReq[req.Client] && r.seenReq[req.Client] != 0 {
-		return
+	if !req.IsNoOp() {
+		if seen, ok := r.seenReq[req.Client]; ok && req.Num <= seen.num {
+			return
+		}
 	}
 	r.proposeQ = append(r.proposeQ, req)
 	if r.cfg.BatchSize > 1 {
@@ -480,12 +513,12 @@ func (r *Replica) takeProposal() *Request {
 		req := r.proposeQ[0]
 		r.proposeQ = r.proposeQ[1:]
 		dg := req.Digest()
-		if r.proposed[dg] {
+		if _, done := r.proposed[dg]; done {
 			continue
 		}
-		r.proposed[dg] = true
+		r.proposed[dg] = r.nextSlot
 		if !req.IsNoOp() {
-			r.seenReq[req.Client] = req.Num
+			r.seenReq[req.Client] = clientSeen{num: req.Num, slot: r.nextSlot}
 		}
 		fresh = append(fresh, req)
 	}

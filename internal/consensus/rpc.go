@@ -93,7 +93,7 @@ func (r *Replica) noteEcho(dg [xcrypto.DigestLen]byte, from ids.ID) {
 	if !r.IsLeader() {
 		return
 	}
-	if r.proposed[dg] {
+	if _, done := r.proposed[dg]; done {
 		return
 	}
 	if r.echoes[dg] == nil {
@@ -132,7 +132,7 @@ func (r *Replica) finishEcho(dg [xcrypto.DigestLen]byte, req Request) {
 // leader would be lost until the client retransmits.
 func (r *Replica) rebroadcastPending() {
 	for dg, req := range r.reqStore {
-		if req.IsNoOp() || r.executedReq(req) || r.proposed[dg] {
+		if _, done := r.proposed[dg]; done || req.IsNoOp() || r.executedReq(req) {
 			continue
 		}
 		if r.IsLeader() {
@@ -154,19 +154,23 @@ func (r *Replica) respond(client ids.ID, reqNum uint64, slot Slot, result []byte
 	wire.PutWriter(w)
 }
 
-// Client is a uBFT client: it fires unsigned requests at every replica and
-// accepts a result confirmed by f+1 of them.
+// Client is a uBFT client: it fires unsigned requests at every replica of
+// the target consensus group and accepts a result confirmed by f+1 of them.
+// A client may address several independent groups (the sharded deployment):
+// all groups share one request-number sequence, so each group sees a
+// strictly increasing subsequence of numbers.
 type Client struct {
-	rt       *router.Router
-	proc     *sim.Proc
-	replicas []ids.ID
-	f        int
+	rt     *router.Router
+	proc   *sim.Proc
+	groups [][]ids.ID
+	f      int
 
 	nextNum uint64
 	pending map[uint64]*pendingReq
 }
 
 type pendingReq struct {
+	group   int
 	started sim.Time
 	byRes   map[uint64]int // result checksum -> count
 	results map[uint64][]byte
@@ -174,25 +178,44 @@ type pendingReq struct {
 	fired   bool
 }
 
-// NewClient wires a client onto its host router.
+// NewClient wires a single-group client onto its host router.
 func NewClient(rt *router.Router, replicas []ids.ID, f int) *Client {
+	return NewMultiClient(rt, [][]ids.ID{replicas}, f)
+}
+
+// NewMultiClient wires a client that can invoke any of several replica
+// groups (all with the same fault threshold f) through one router. The
+// shard layer uses this to reach every consensus group from one host.
+func NewMultiClient(rt *router.Router, groups [][]ids.ID, f int) *Client {
+	if len(groups) == 0 {
+		panic("consensus: client needs at least one replica group")
+	}
 	c := &Client{
-		rt:       rt,
-		proc:     rt.Node().Proc(),
-		replicas: replicas,
-		f:        f,
-		pending:  make(map[uint64]*pendingReq),
+		rt:      rt,
+		proc:    rt.Node().Proc(),
+		groups:  groups,
+		f:       f,
+		pending: make(map[uint64]*pendingReq),
 	}
 	rt.Register(router.ChanRPC, c.onResponse)
 	return c
 }
 
-// Invoke submits payload for replicated execution; done receives the
-// f+1-confirmed result and the end-to-end latency.
+// Groups returns how many replica groups this client can address.
+func (c *Client) Groups() int { return len(c.groups) }
+
+// Invoke submits payload to group 0 for replicated execution; done receives
+// the f+1-confirmed result and the end-to-end latency.
 func (c *Client) Invoke(payload []byte, done func(result []byte, latency sim.Duration)) {
+	c.InvokeGroup(0, payload, done)
+}
+
+// InvokeGroup submits payload to the given replica group.
+func (c *Client) InvokeGroup(group int, payload []byte, done func(result []byte, latency sim.Duration)) {
 	c.nextNum++
 	num := c.nextNum
 	c.pending[num] = &pendingReq{
+		group:   group,
 		started: c.proc.Now(),
 		byRes:   make(map[uint64]int),
 		results: make(map[uint64][]byte),
@@ -203,7 +226,7 @@ func (c *Client) Invoke(payload []byte, done func(result []byte, latency sim.Dur
 	w.U8(tagRequest)
 	req.encode(w)
 	frame := w.Finish()
-	for _, rep := range c.replicas {
+	for _, rep := range c.groups[group] {
 		c.rt.Send(rep, router.ChanRPC, frame)
 	}
 	wire.PutWriter(w)
@@ -220,12 +243,12 @@ func (c *Client) onResponse(from ids.ID, payload []byte) {
 	if rd.Done() != nil {
 		return
 	}
-	if !c.isReplica(from) {
-		return
-	}
 	p := c.pending[num]
 	if p == nil || p.fired {
 		return
+	}
+	if !c.isReplicaOf(from, p.group) {
+		return // response from outside the group this request went to
 	}
 	key := xcrypto.ChecksumNoCharge(result)
 	p.byRes[key]++
@@ -237,8 +260,8 @@ func (c *Client) onResponse(from ids.ID, payload []byte) {
 	}
 }
 
-func (c *Client) isReplica(id ids.ID) bool {
-	for _, r := range c.replicas {
+func (c *Client) isReplicaOf(id ids.ID, group int) bool {
+	for _, r := range c.groups[group] {
 		if r == id {
 			return true
 		}

@@ -70,15 +70,20 @@ type Node struct {
 	// AllocatedBytes tracks total region bytes allocated on this node,
 	// feeding the paper's Table 2 (disaggregated memory consumption).
 	AllocatedBytes int
+	// ownerBytes tracks allocation per writing process, so multi-group
+	// deployments (the shard layer) can account each consensus group's
+	// share of the shared pool.
+	ownerBytes map[ids.ID]int
 }
 
 // New creates a memory node attached to rt's endpoint.
 func New(rt *router.Router) *Node {
 	n := &Node{
-		id:      rt.ID(),
-		proc:    rt.Node().Proc(),
-		rt:      rt,
-		regions: make(map[RegionID]*region),
+		id:         rt.ID(),
+		proc:       rt.Node().Proc(),
+		rt:         rt,
+		regions:    make(map[RegionID]*region),
+		ownerBytes: make(map[ids.ID]int),
 	}
 	rt.Register(router.ChanMemReq, n.onRequest)
 	return n
@@ -105,7 +110,16 @@ func (n *Node) Allocate(id RegionID, owner ids.ID, size int) {
 	}
 	n.regions[id] = &region{owner: owner, data: make([]byte, size)}
 	n.AllocatedBytes += size
+	n.ownerBytes[owner] += size
 }
+
+// RegionCount returns how many regions are allocated on this node. The
+// shard layer asserts S groups occupy exactly S disjoint spans.
+func (n *Node) RegionCount() int { return len(n.regions) }
+
+// BytesOwnedBy returns the bytes allocated to regions writable by owner,
+// i.e. one process's share of this node's disaggregated pool.
+func (n *Node) BytesOwnedBy(owner ids.ID) int { return n.ownerBytes[owner] }
 
 // snapshotAt materializes the region's contents as seen by a READ arriving
 // at time now, applying the torn-read model: during a write's settling

@@ -1,0 +1,360 @@
+// Package shard runs S independent uBFT consensus groups side by side on
+// one simulated fabric, partitioning the application key space across them
+// for horizontal throughput scaling. Each group is a complete uBFT
+// deployment — 2f+1 replicas with their own leader, window and CTBcast
+// tail — but all groups share the single 2f_m+1 memory-node pool (§1 of
+// the paper: memory nodes "can be shared among many applications"), with
+// disjoint SWMR region spans carved out via consensus.Config.RegionOffset.
+//
+// Clients are shard-aware: they hash each request's key onto a group and
+// fire it down the ordinary ChanRPC path of that group. Multi-key requests
+// whose keys land on different shards are detected and rejected —
+// cross-shard transactions are future work, not silent corruption.
+//
+// ID allocation (one namespace per fabric):
+//
+//	replica i of shard s   -> s*100 + i      (n = 2f+1 <= 64 < 100)
+//	memory node j          -> 100_000 + j    (shared pool)
+//	client c               -> 200_000 + c
+//
+// Region allocation: shard s owns region IDs
+// [s*RegionSpan, (s+1)*RegionSpan) on every memory node, where RegionSpan
+// is consensus.Config.RegionSpan() for the group configuration. Overlap is
+// impossible by construction and memnode.Allocate panics on collision.
+package shard
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/app"
+	"repro/internal/cluster"
+	"repro/internal/consensus"
+	"repro/internal/ids"
+	"repro/internal/memnode"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/xcrypto"
+)
+
+const (
+	replicaStride = 100     // replicas of shard s live at [s*100, s*100+n)
+	memNodeIDBase = 100_000 // shared memory-node pool
+	clientIDBase  = 200_000 // shard-aware clients
+	maxShards     = memNodeIDBase / replicaStride
+)
+
+// ErrCrossShard reports a multi-key request whose keys hash to different
+// shards. Cross-shard operations are unsupported (detected, not fanned
+// out): the caller must split the request per shard.
+var ErrCrossShard = errors.New("shard: request touches keys on multiple shards")
+
+// LatNotSubmitted is the sentinel latency InvokeSync reports when routing
+// failed and the request was never submitted (distinct from the cluster
+// timeout/stall sentinels, which imply the request was in flight).
+const LatNotSubmitted = sim.Duration(-3)
+
+// RouteFunc maps a request payload to the shard that owns it, or fails
+// with ErrCrossShard (multi-key fan-out) or a key-extraction error.
+type RouteFunc func(payload []byte, shards int) (int, error)
+
+// KVRoute routes Memcached-style single-key requests by key hash.
+func KVRoute(payload []byte, shards int) (int, error) {
+	key, err := app.KVRequestKey(payload)
+	if err != nil {
+		return 0, err
+	}
+	return app.ShardOfKey(key, shards), nil
+}
+
+// RKVRoute routes Redis-style requests by key hash. MGET requests are
+// routable only when every key lands on the same shard; otherwise the
+// cross-shard fan-out is detected and rejected.
+func RKVRoute(payload []byte, shards int) (int, error) {
+	keys, err := app.RKVRequestKeys(payload)
+	if err != nil {
+		return 0, err
+	}
+	if len(keys) == 0 {
+		return 0, nil // key-less (empty MGET): any shard gives the same answer
+	}
+	s := app.ShardOfKey(keys[0], shards)
+	for _, k := range keys[1:] {
+		if app.ShardOfKey(k, shards) != s {
+			return 0, ErrCrossShard
+		}
+	}
+	return s, nil
+}
+
+// Options configures a sharded deployment. Zero values take defaults.
+type Options struct {
+	Seed   int64
+	Shards int // number of consensus groups S (default 1)
+	// NumClients is the number of shard-aware client hosts (default 1).
+	// Every client can reach every shard.
+	NumClients int
+
+	// Group configures each consensus group exactly like a standalone
+	// cluster (F, Fm, Window, Tail, batching, path modes...). Group.Seed,
+	// Group.NumClients, Group.NewApp and Group.NetOptions are ignored —
+	// the deployment-level fields govern those.
+	Group cluster.Options
+
+	// NewApp builds the state machine for one replica of one shard; nil
+	// defaults to the Memcached-like KV store (the canonical partitionable
+	// application).
+	NewApp func(shard int) app.StateMachine
+
+	// Route maps request payloads to shards; nil defaults to KVRoute.
+	Route RouteFunc
+
+	// NetOptions overrides the network model (defaults to RDMA-class).
+	NetOptions *simnet.Options
+}
+
+func (o *Options) normalize() error {
+	if o.Shards == 0 {
+		o.Shards = 1
+	}
+	if o.Shards < 0 || o.Shards > maxShards {
+		return fmt.Errorf("shard: Shards=%d outside [1, %d]", o.Shards, maxShards)
+	}
+	if o.NumClients == 0 {
+		o.NumClients = 1
+	}
+	if o.NumClients < 0 {
+		return fmt.Errorf("shard: negative NumClients=%d", o.NumClients)
+	}
+	if o.NewApp == nil {
+		o.NewApp = func(int) app.StateMachine { return app.NewKV(0) }
+	}
+	if o.Route == nil {
+		o.Route = KVRoute
+	}
+	if err := o.Group.Normalize(); err != nil {
+		return err
+	}
+	// Keep the package-doc ID layout actually impossible to violate: the
+	// cluster validation caps 2F+1 at 64 (< replicaStride), but guard here
+	// too so a future stride change cannot silently reintroduce overlap.
+	if n := 2*o.Group.F + 1; n > replicaStride {
+		return fmt.Errorf("shard: %d replicas per group overflow the ID stride %d", n, replicaStride)
+	}
+	return nil
+}
+
+// Group is one consensus group of the deployment.
+type Group struct {
+	Index        int
+	ReplicaIDs   []ids.ID
+	Replicas     []*consensus.Replica
+	Apps         []app.StateMachine
+	RegionOffset memnode.RegionID
+}
+
+// Leader returns the group's current leader replica.
+func (g *Group) Leader() *consensus.Replica {
+	for _, r := range g.Replicas {
+		if r.IsLeader() {
+			return r
+		}
+	}
+	return g.Replicas[0]
+}
+
+// DecidedCount returns the slots decided by the group (max across its
+// replicas, which agree up to propagation lag).
+func (g *Group) DecidedCount() int {
+	best := 0
+	for _, r := range g.Replicas {
+		if n := r.DecidedCount(); n > best {
+			best = n
+		}
+	}
+	return best
+}
+
+// Deployment is an assembled multi-group uBFT fabric.
+type Deployment struct {
+	Eng      *sim.Engine
+	Net      *simnet.Network
+	Registry *xcrypto.Registry
+
+	Groups     []*Group
+	MemNodes   []*memnode.Node
+	MemNodeIDs []ids.ID
+	Clients    []*Client
+	ClientIDs  []ids.ID
+
+	opts Options
+}
+
+// New builds and wires an S-shard deployment on one engine. Invalid
+// options panic (assembly-time bugs, consistent with cluster.NewUBFT).
+func New(opts Options) *Deployment {
+	if err := opts.normalize(); err != nil {
+		panic(err)
+	}
+	g := opts.Group
+	n := 2*g.F + 1
+	nm := 2*g.Fm + 1
+
+	d := &Deployment{Eng: sim.NewEngine(opts.Seed), opts: opts}
+	netOpts := simnet.RDMAOptions()
+	if opts.NetOptions != nil {
+		netOpts = *opts.NetOptions
+	}
+	d.Net = simnet.New(d.Eng, netOpts)
+
+	// Identities, in deterministic order.
+	var signers []ids.ID
+	for s := 0; s < opts.Shards; s++ {
+		grp := &Group{Index: s}
+		for i := 0; i < n; i++ {
+			grp.ReplicaIDs = append(grp.ReplicaIDs, ids.ID(s*replicaStride+i))
+		}
+		signers = append(signers, grp.ReplicaIDs...)
+		d.Groups = append(d.Groups, grp)
+	}
+	for j := 0; j < nm; j++ {
+		d.MemNodeIDs = append(d.MemNodeIDs, ids.ID(memNodeIDBase+j))
+	}
+	for c := 0; c < opts.NumClients; c++ {
+		d.ClientIDs = append(d.ClientIDs, ids.ID(clientIDBase+c))
+	}
+	signers = append(signers, d.ClientIDs...)
+	d.Registry = xcrypto.NewRegistry(opts.Seed+1, signers)
+
+	// The shared memory-node pool.
+	for j, id := range d.MemNodeIDs {
+		rt := router.New(d.Net.AddNode(id, fmt.Sprintf("mem%d", j)))
+		d.MemNodes = append(d.MemNodes, memnode.New(rt))
+	}
+
+	// Consensus groups: disjoint hosts, disjoint msgring instances (each
+	// group's rings live on its own hosts), disjoint SWMR region spans on
+	// the shared memory nodes.
+	for s, grp := range d.Groups {
+		cfgFor := func(self ids.ID, a app.StateMachine) consensus.Config {
+			cfg := g.ConsensusConfig(self, grp.ReplicaIDs, d.MemNodeIDs, a)
+			cfg.RegionOffset = memnode.RegionID(s) * cfg.RegionSpan()
+			return cfg
+		}
+		sizing := cfgFor(grp.ReplicaIDs[0], opts.NewApp(s))
+		grp.RegionOffset = sizing.RegionOffset
+		consensus.AllocateCluster(sizing, d.MemNodes)
+		for i, id := range grp.ReplicaIDs {
+			rt := router.New(d.Net.AddNode(id, fmt.Sprintf("s%dr%d", s, i)))
+			a := opts.NewApp(s)
+			grp.Apps = append(grp.Apps, a)
+			grp.Replicas = append(grp.Replicas, consensus.NewReplica(cfgFor(id, a), consensus.Deps{
+				RT:       rt,
+				Registry: d.Registry,
+			}))
+		}
+	}
+
+	// Shard-aware clients: one multi-group consensus client per host plus
+	// the hash-of-key router.
+	groupIDs := make([][]ids.ID, len(d.Groups))
+	for s, grp := range d.Groups {
+		groupIDs[s] = grp.ReplicaIDs
+	}
+	for c, id := range d.ClientIDs {
+		rt := router.New(d.Net.AddNode(id, fmt.Sprintf("client%d", c)))
+		d.Clients = append(d.Clients, &Client{
+			cc:     consensus.NewMultiClient(rt, groupIDs, g.F),
+			shards: opts.Shards,
+			route:  opts.Route,
+		})
+	}
+	return d
+}
+
+// Shards returns S.
+func (d *Deployment) Shards() int { return len(d.Groups) }
+
+// Client returns client ci (panics if absent).
+func (d *Deployment) Client(ci int) *Client { return d.Clients[ci] }
+
+// Stop tears down background timers on every replica of every group.
+func (d *Deployment) Stop() {
+	for _, g := range d.Groups {
+		for _, r := range g.Replicas {
+			r.Stop()
+		}
+	}
+}
+
+// DecidedTotal sums decided slots across all groups — the numerator of the
+// horizontal-scaling metric (decided requests per virtual second).
+func (d *Deployment) DecidedTotal() int {
+	total := 0
+	for _, g := range d.Groups {
+		total += g.DecidedCount()
+	}
+	return total
+}
+
+// DisaggregatedBytesOf returns one group's share of a single memory node's
+// pool (the per-group region span accounting Table 2 generalizes to).
+func (d *Deployment) DisaggregatedBytesOf(shard int) int {
+	total := 0
+	for _, id := range d.Groups[shard].ReplicaIDs {
+		total += d.MemNodes[0].BytesOwnedBy(id)
+	}
+	return total
+}
+
+// InvokeSync routes and submits a request from client ci, runs the engine
+// until the result arrives, and returns (result, latency, shard). Failure
+// outcomes mirror cluster.InvokeSyncErr: cluster.ErrTimeout when maxWait
+// elapses, cluster.ErrStalled when the engine runs dry, or a routing error
+// (in which case nothing was submitted).
+func (d *Deployment) InvokeSync(ci int, payload []byte, maxWait sim.Duration) ([]byte, sim.Duration, error) {
+	var result []byte
+	lat := sim.Duration(-1)
+	fired := false
+	if _, err := d.Clients[ci].Invoke(payload, func(res []byte, l sim.Duration) {
+		result, lat, fired = res, l, true
+	}); err != nil {
+		return nil, LatNotSubmitted, err
+	}
+	if err := cluster.SyncWait(d.Eng, maxWait, func() bool { return fired }); err != nil {
+		return nil, cluster.FailureLatency(err), err
+	}
+	return result, lat, nil
+}
+
+// Client is a shard-aware uBFT client: it owns one host endpoint, routes
+// each request to the group owning its key, and collects f+1 matching
+// responses from that group's replicas.
+type Client struct {
+	cc     *consensus.Client
+	shards int
+	route  RouteFunc
+}
+
+// Invoke routes payload to its shard and submits it; done receives the
+// f+1-confirmed result and end-to-end latency. It returns the shard chosen.
+// On a routing error (cross-shard multi-key request, unroutable opcode)
+// nothing is submitted, done is never called, and the error is returned.
+func (c *Client) Invoke(payload []byte, done func(result []byte, latency sim.Duration)) (int, error) {
+	s, err := c.route(payload, c.shards)
+	if err != nil {
+		return -1, err
+	}
+	if s < 0 || s >= c.shards {
+		return -1, fmt.Errorf("shard: route returned shard %d of %d", s, c.shards)
+	}
+	c.cc.InvokeGroup(s, payload, done)
+	return s, nil
+}
+
+// InvokeShard bypasses routing and submits payload to an explicit shard
+// (workload generators that pre-partition their key streams).
+func (c *Client) InvokeShard(s int, payload []byte, done func(result []byte, latency sim.Duration)) {
+	c.cc.InvokeGroup(s, payload, done)
+}

@@ -1,0 +1,191 @@
+package shard_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/cluster"
+	"repro/internal/shard"
+	"repro/internal/sim"
+)
+
+// TestShardedKVEndToEnd writes and reads keys through the hash-of-key
+// router: a GET must land on the shard that holds its SET.
+func TestShardedKVEndToEnd(t *testing.T) {
+	d := shard.New(shard.Options{Seed: 1, Shards: 4})
+	defer d.Stop()
+	if d.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", d.Shards())
+	}
+
+	keys := make([][]byte, 0, 16)
+	for i := 0; i < 16; i++ {
+		keys = append(keys, []byte(fmt.Sprintf("key-%02d", i)))
+	}
+	for i, k := range keys {
+		val := []byte(fmt.Sprintf("val-%02d", i))
+		res, _, err := d.InvokeSync(0, app.EncodeKVSet(k, val), 50*sim.Millisecond)
+		if err != nil {
+			t.Fatalf("SET %q: %v", k, err)
+		}
+		if len(res) == 0 || res[0] != app.KVStored {
+			t.Fatalf("SET %q: result %v", k, res)
+		}
+	}
+	for i, k := range keys {
+		res, lat, err := d.InvokeSync(0, app.EncodeKVGet(k), 50*sim.Millisecond)
+		if err != nil {
+			t.Fatalf("GET %q: %v", k, err)
+		}
+		want := []byte(fmt.Sprintf("val-%02d", i))
+		if len(res) < 1 || res[0] != app.KVOK || !bytes.Equal(res[2:], want) {
+			t.Fatalf("GET %q: result %v (want OK %q)", k, res, want)
+		}
+		if lat <= 0 {
+			t.Fatalf("GET %q: latency %v", k, lat)
+		}
+	}
+
+	// The keys must actually be spread over several groups (xxhash over 16
+	// keys landing all on one of 4 shards would be a routing bug).
+	perShard := map[int]int{}
+	for _, k := range keys {
+		perShard[app.ShardOfKey(k, 4)]++
+	}
+	if len(perShard) < 2 {
+		t.Fatalf("all %d keys routed to one shard: %v", len(keys), perShard)
+	}
+}
+
+// TestCrossShardDetected: an RKV MGET spanning shards is rejected without
+// being submitted; one confined to a single shard goes through.
+func TestCrossShardDetected(t *testing.T) {
+	const shards = 4
+	d := shard.New(shard.Options{
+		Seed:   1,
+		Shards: shards,
+		NewApp: func(int) app.StateMachine { return app.NewRKV() },
+		Route:  shard.RKVRoute,
+	})
+	defer d.Stop()
+
+	// Find keys on two different shards and two on the same shard.
+	var a, b, same1, same2 []byte
+	for i := 0; a == nil || b == nil || same2 == nil; i++ {
+		k := []byte(fmt.Sprintf("k%04d", i))
+		switch s := app.ShardOfKey(k, shards); {
+		case a == nil:
+			a, same1 = k, k
+		case s != app.ShardOfKey(a, shards) && b == nil:
+			b = k
+		case s == app.ShardOfKey(a, shards) && same2 == nil && !bytes.Equal(k, same1):
+			same2 = k
+		}
+	}
+
+	called := false
+	if _, err := d.Client(0).Invoke(app.EncodeRMGet(a, b), func([]byte, sim.Duration) { called = true }); err != shard.ErrCrossShard {
+		t.Fatalf("cross-shard MGET: err = %v, want ErrCrossShard", err)
+	}
+	if called {
+		t.Fatal("cross-shard MGET was submitted despite the error")
+	}
+
+	if res, _, err := d.InvokeSync(0, app.EncodeRSet(same1, []byte("x")), 50*sim.Millisecond); err != nil || len(res) == 0 || res[0] != app.ROK {
+		t.Fatalf("RSet: res=%v err=%v", res, err)
+	}
+	res, _, err := d.InvokeSync(0, app.EncodeRMGet(same1, same2), 50*sim.Millisecond)
+	if err != nil {
+		t.Fatalf("same-shard MGET: %v", err)
+	}
+	if len(res) == 0 || res[0] != app.ROK {
+		t.Fatalf("same-shard MGET result: %v", res)
+	}
+}
+
+// TestMultiShardDeterminism: the same seed must produce bit-identical
+// per-shard results and virtual-time latencies across runs.
+func TestMultiShardDeterminism(t *testing.T) {
+	type outcome struct {
+		res []byte
+		lat sim.Duration
+		s   int
+	}
+	run := func() []outcome {
+		d := shard.New(shard.Options{Seed: 42, Shards: 3})
+		defer d.Stop()
+		var out []outcome
+		for i := 0; i < 12; i++ {
+			k := []byte(fmt.Sprintf("det-%02d", i))
+			s, err := d.Client(0).Invoke(app.EncodeKVSet(k, []byte("v")), func([]byte, sim.Duration) {})
+			if err != nil {
+				t.Fatalf("route %q: %v", k, err)
+			}
+			res, lat, err := d.InvokeSync(0, app.EncodeKVGet(k), 50*sim.Millisecond)
+			if err != nil {
+				t.Fatalf("GET %q: %v", k, err)
+			}
+			out = append(out, outcome{res: res, lat: lat, s: s})
+		}
+		return out
+	}
+	x, y := run(), run()
+	for i := range x {
+		if x[i].s != y[i].s || x[i].lat != y[i].lat || !bytes.Equal(x[i].res, y[i].res) {
+			t.Fatalf("run divergence at request %d: (%d,%v,%v) vs (%d,%v,%v)",
+				i, x[i].s, x[i].lat, x[i].res, y[i].s, y[i].lat, y[i].res)
+		}
+	}
+}
+
+// TestRegionAccounting: S groups must occupy exactly S disjoint spans of
+// the shared memory nodes (allocation would panic on any overlap), and the
+// per-group share must match the single-group footprint.
+func TestRegionAccounting(t *testing.T) {
+	const shards = 3
+	d := shard.New(shard.Options{Seed: 1, Shards: shards})
+	defer d.Stop()
+
+	mn := d.MemNodes[0]
+	if mn.RegionCount() == 0 {
+		t.Fatal("no regions allocated on the shared pool")
+	}
+	single := shard.New(shard.Options{Seed: 1, Shards: 1})
+	defer single.Stop()
+	perGroup := single.MemNodes[0].RegionCount()
+	if got := mn.RegionCount(); got != shards*perGroup {
+		t.Fatalf("region count = %d, want %d (S=%d x %d per group)", got, shards*perGroup, shards, perGroup)
+	}
+	base := d.DisaggregatedBytesOf(0)
+	if base == 0 {
+		t.Fatal("group 0 owns no disaggregated bytes")
+	}
+	for s := 1; s < shards; s++ {
+		if got := d.DisaggregatedBytesOf(s); got != base {
+			t.Fatalf("group %d owns %d bytes, group 0 owns %d (spans must be identical)", s, got, base)
+		}
+	}
+	if mn.AllocatedBytes != shards*base {
+		t.Fatalf("pool holds %d bytes, want %d (S x per-group span)", mn.AllocatedBytes, shards*base)
+	}
+}
+
+// TestShardOptionsValidation: broken group options must be rejected at
+// assembly time, not assembled into a silently broken deployment.
+func TestShardOptionsValidation(t *testing.T) {
+	mustPanic := func(name string, opts shard.Options) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: New did not panic", name)
+			}
+		}()
+		shard.New(opts)
+	}
+	mustPanic("negative shards", shard.Options{Shards: -1})
+	mustPanic("negative F", shard.Options{Group: cluster.Options{F: -1}})
+	mustPanic("tail > window", shard.Options{Group: cluster.Options{Window: 8, Tail: 16}})
+	mustPanic("negative batch", shard.Options{Group: cluster.Options{BatchSize: -2}})
+}

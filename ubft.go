@@ -25,6 +25,7 @@ import (
 	"repro/internal/baselines/minbft"
 	"repro/internal/cluster"
 	"repro/internal/ctbcast"
+	"repro/internal/shard"
 	"repro/internal/sim"
 )
 
@@ -64,8 +65,38 @@ const (
 	MinBFTHMAC    = minbft.HMACClients
 )
 
+// Sharded-deployment types (horizontal scaling: S consensus groups on one
+// fabric sharing the memory-node pool, key space hash-partitioned).
+type (
+	// ShardOptions configures an S-shard deployment.
+	ShardOptions = shard.Options
+	// ShardDeployment is an assembled multi-group fabric.
+	ShardDeployment = shard.Deployment
+)
+
+// InvokeSync failure outcomes (see Cluster.InvokeSyncErr).
+var (
+	ErrTimeout = cluster.ErrTimeout
+	ErrStalled = cluster.ErrStalled
+)
+
 // New assembles a uBFT cluster.
 func New(opts Options) *Cluster { return cluster.NewUBFT(opts) }
+
+// NewSharded assembles an S-shard uBFT deployment: independent consensus
+// groups with disjoint key partitions sharing one memory-node pool.
+func NewSharded(opts ShardOptions) *ShardDeployment { return shard.New(opts) }
+
+// Shard routing helpers.
+var (
+	// KVRoute routes Memcached-style single-key requests by key hash.
+	KVRoute = shard.KVRoute
+	// RKVRoute routes Redis-style requests; MGETs spanning shards fail
+	// with ErrCrossShard.
+	RKVRoute = shard.RKVRoute
+	// ErrCrossShard reports a multi-key request spanning shards.
+	ErrCrossShard = shard.ErrCrossShard
+)
 
 // NewUnreplicated assembles the unreplicated baseline.
 func NewUnreplicated(seed int64, newApp func() StateMachine) *cluster.Unrepl {
