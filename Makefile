@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bounded-mem bench-smoke bench bench-shard fuzz-smoke ci
+.PHONY: all build test vet doc-lint race bounded-mem bench-smoke bench bench-shard bench-crossshard fuzz-smoke ci
 
 all: build
 
@@ -41,9 +41,27 @@ bench:
 bench-shard:
 	$(GO) test -run '^$$' -bench BenchmarkShardScaling -benchtime 1x -benchmem -short .
 
+# One iteration of the cross-shard mix benchmark: scatter-gather MGETs and
+# 2PC multi-key writes at 0/10/50% cross-shard fractions (the 0% row is
+# bit-identical to the single-shard baseline, gated by
+# TestCrossShardZeroFractionMatchesBaseline).
+bench-crossshard:
+	$(GO) test -run '^$$' -bench BenchmarkCrossShard -benchtime 1x -benchmem -short .
+
+# Every internal package must carry a package doc comment so `go doc` is
+# useful across the whole tree (docs/ARCHITECTURE.md relies on them).
+doc-lint:
+	@fail=0; \
+	for d in $$(find internal -type d | sort); do \
+		ls $$d/*.go >/dev/null 2>&1 || continue; \
+		p=$$(basename $$d); \
+		grep -Eqs "^// Package $$p( |\$$)" $$d/*.go || { echo "doc-lint: $$d lacks a '// Package $$p ...' comment"; fail=1; }; \
+	done; \
+	exit $$fail
+
 # Fuzz the wire codec briefly (the seeds always run under `make test`).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzReader -fuzztime 10s ./internal/wire/
 	$(GO) test -run '^$$' -fuzz FuzzRoundTrip -fuzztime 10s ./internal/wire/
 
-ci: build vet test race bounded-mem bench-smoke bench-shard
+ci: build vet doc-lint test race bounded-mem bench-smoke bench-shard bench-crossshard

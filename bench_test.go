@@ -230,6 +230,30 @@ func BenchmarkShardScaling(b *testing.B) {
 	}
 }
 
+// Cross-shard mix: S=4 Redis-style groups where a configurable fraction of
+// requests span two shards — scatter-gather MGETs and 2PC multi-key writes.
+// The 0% row is bit-identical to the single-shard-routed baseline (gated by
+// TestCrossShardZeroFractionMatchesBaseline), so the other rows read as the
+// pure cost of cross-shard coordination.
+func BenchmarkCrossShard(b *testing.B) {
+	for _, frac := range []float64{0, 0.10, 0.50} {
+		frac := frac
+		b.Run(fmt.Sprintf("S4_frac%02d", int(frac*100)), func(b *testing.B) {
+			b.ReportAllocs()
+			for b.Loop() {
+				res := bench.CrossShardMix(1, 4, 4, samples(b, 200), frac)
+				if res.Completed == 0 {
+					b.Fatal("no requests completed")
+				}
+				b.ReportMetric(res.OpsPerSec/1000, "kops-virtual")
+				b.ReportMetric(float64(res.CrossOps), "cross-ops")
+				b.ReportMetric(float64(res.Aborted), "aborted")
+				b.ReportMetric(res.Rec.Percentile(50).Micros(), "p50-us")
+			}
+		})
+	}
+}
+
 // Extension (§9): leader-side batching, which the paper names as a further
 // throughput optimization but does not implement. Eight requests in flight
 // coalesce into shared consensus slots.

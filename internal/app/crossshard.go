@@ -1,0 +1,219 @@
+package app
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/wire"
+)
+
+// This file is the application side of cross-shard execution: splitting a
+// multi-key request into per-shard legs, merging the per-leg responses back
+// into the single response the caller would have seen on one shard, and the
+// benchmark workload that mixes shard-local traffic with a configurable
+// fraction of cross-shard reads and writes.
+
+// MGetScatter is the fan-out plan of a cross-shard MGET: one sub-MGET leg
+// per touched shard plus the mapping needed to merge the per-leg responses
+// back into the original key order.
+type MGetScatter struct {
+	Shards []int    // touched shards, ascending (deterministic leg order)
+	Legs   [][]byte // sub-MGET request per touched shard, parallel to Shards
+
+	legOf []int // original key index -> leg index
+	posOf []int // original key index -> position within that leg
+}
+
+// SplitRMGet decomposes an MGET request into per-shard legs. It accepts any
+// well-formed MGET (including single-shard ones, which yield one leg).
+func SplitRMGet(req []byte, shards int) (*MGetScatter, error) {
+	rd := wire.NewReader(req)
+	if op := rd.U8(); op != RMGet {
+		return nil, fmt.Errorf("app: SplitRMGet on opcode %d", op)
+	}
+	n := int(rd.Uvarint())
+	if n > rkvMGetMax {
+		return nil, ErrNoKey
+	}
+	keys := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		keys = append(keys, rd.Bytes())
+	}
+	if rd.Done() != nil {
+		return nil, ErrNoKey
+	}
+
+	perShard := make(map[int][][]byte)
+	sc := &MGetScatter{legOf: make([]int, n), posOf: make([]int, n)}
+	for i, k := range keys {
+		s := ShardOfKey(k, shards)
+		sc.legOf[i] = s // shard for now; remapped to a leg index below
+		sc.posOf[i] = len(perShard[s])
+		perShard[s] = append(perShard[s], k)
+	}
+	// Legs in ascending shard order so the fan-out is deterministic.
+	legIndex := make(map[int]int, len(perShard))
+	for s := 0; s < shards; s++ {
+		if ks, ok := perShard[s]; ok {
+			legIndex[s] = len(sc.Shards)
+			sc.Shards = append(sc.Shards, s)
+			sc.Legs = append(sc.Legs, EncodeRMGet(ks...))
+		}
+	}
+	for i := range sc.legOf {
+		sc.legOf[i] = legIndex[sc.legOf[i]]
+	}
+	return sc, nil
+}
+
+// Keys reports how many keys the original MGET carried.
+func (m *MGetScatter) Keys() int { return len(m.legOf) }
+
+// Merge reassembles the per-leg MGET responses (parallel to Legs) into the
+// response a single shard holding every key would have produced: ROK plus
+// found/value entries in the original key order. If any leg failed, the
+// first failing leg's status (in ascending shard order) is returned, so the
+// merged outcome is deterministic.
+func (m *MGetScatter) Merge(legResults [][]byte) []byte {
+	type entry struct {
+		ok  bool
+		val []byte
+	}
+	legs := make([][]entry, len(legResults))
+	for li, res := range legResults {
+		if len(res) == 0 {
+			return []byte{RErr}
+		}
+		if res[0] != ROK {
+			return []byte{res[0]}
+		}
+		rd := wire.NewReader(res)
+		rd.U8()
+		n := int(rd.Uvarint())
+		legs[li] = make([]entry, 0, n)
+		for i := 0; i < n; i++ {
+			e := entry{ok: rd.Bool()}
+			if e.ok {
+				e.val = rd.Bytes()
+			}
+			legs[li] = append(legs[li], e)
+		}
+		if rd.Done() != nil {
+			return []byte{RErr}
+		}
+	}
+	w := wire.NewWriter(64)
+	w.U8(ROK)
+	w.Uvarint(uint64(len(m.legOf)))
+	for i := range m.legOf {
+		e := legs[m.legOf[i]][m.posOf[i]]
+		w.Bool(e.ok)
+		if e.ok {
+			w.Bytes(e.val)
+		}
+	}
+	return w.Finish()
+}
+
+// MSetScatter is the participant plan of a cross-shard multi-key write: the
+// key/value pairs each touched shard must prepare, in ascending shard order.
+// Shards[0] doubles as the transaction's coordinator group (the minimum
+// touched shard — deterministic, so every run picks the same coordinator).
+type MSetScatter struct {
+	Shards []int     // touched shards, ascending
+	Pairs  [][]RPair // per-shard pairs, parallel to Shards
+}
+
+// SplitRMSet decomposes an RMSet request into per-shard participant pairs.
+func SplitRMSet(req []byte, shards int) (*MSetScatter, error) {
+	rd := wire.NewReader(req)
+	if op := rd.U8(); op != RMSet {
+		return nil, fmt.Errorf("app: SplitRMSet on opcode %d", op)
+	}
+	pairs, ok := decodePairs(rd)
+	if !ok || rd.Done() != nil || len(pairs) == 0 {
+		return nil, ErrNoKey
+	}
+	perShard := make(map[int][]RPair)
+	for _, p := range pairs {
+		s := ShardOfKey(p.Key, shards)
+		perShard[s] = append(perShard[s], p)
+	}
+	sc := &MSetScatter{}
+	for s := 0; s < shards; s++ {
+		if ps, ok := perShard[s]; ok {
+			sc.Shards = append(sc.Shards, s)
+			sc.Pairs = append(sc.Pairs, ps)
+		}
+	}
+	return sc, nil
+}
+
+// Coordinator returns the transaction's deterministic coordinator group.
+func (m *MSetScatter) Coordinator() int { return m.Shards[0] }
+
+// CrossShardRKVWorkload layers a configurable fraction of cross-shard
+// operations over the shard-local Redis-style mixture: with probability
+// Frac the next request is a two-shard MGET (scatter-gather read) or a
+// two-shard RMSet (2PC write), alternating between the two; otherwise it
+// delegates to the inner shard-targeted workload. The cross-shard draw uses
+// its own rng stream, so at Frac = 0 the request stream is bit-identical to
+// the plain sharded workload — the property the 0%-fraction benchmark
+// baseline comparison relies on.
+type CrossShardRKVWorkload struct {
+	inner  *ShardedKVWorkload
+	xrng   *rand.Rand
+	frac   float64
+	shard  int
+	shards int
+	read   bool // alternates: next cross op is an MGET (true) or MPUT
+	keyLen int
+	valLen int
+}
+
+// NewCrossShardRKVWorkload builds the mixed workload for the client driving
+// `shard`. xrng must be a stream independent of rng (a different seed), so
+// the cross-shard decisions do not perturb the shard-local stream.
+func NewCrossShardRKVWorkload(shard, shards int, frac float64, rng, xrng *rand.Rand) *CrossShardRKVWorkload {
+	return &CrossShardRKVWorkload{
+		inner:  NewShardedRKVWorkload(shard, shards, rng),
+		xrng:   xrng,
+		frac:   frac,
+		shard:  shard,
+		shards: shards,
+		read:   true,
+		keyLen: 16,
+		valLen: 32,
+	}
+}
+
+// keyOn rejection-samples a key hashing onto shard s.
+func (w *CrossShardRKVWorkload) keyOn(s int) []byte {
+	for {
+		k := make([]byte, w.keyLen)
+		w.xrng.Read(k)
+		if ShardOfKey(k, w.shards) == s {
+			return k
+		}
+	}
+}
+
+// Next returns the next request: shard-local with probability 1-Frac, a
+// two-shard MGET or RMSet otherwise.
+func (w *CrossShardRKVWorkload) Next() []byte {
+	if w.frac <= 0 || w.shards < 2 || w.xrng.Float64() >= w.frac {
+		return w.inner.Next()
+	}
+	other := (w.shard + 1 + w.xrng.Intn(w.shards-1)) % w.shards
+	a, b := w.keyOn(w.shard), w.keyOn(other)
+	isRead := w.read
+	w.read = !w.read
+	if isRead {
+		return EncodeRMGet(a, b)
+	}
+	va := make([]byte, w.valLen)
+	vb := make([]byte, w.valLen)
+	w.xrng.Read(va)
+	w.xrng.Read(vb)
+	return EncodeRMSet(RPair{Key: a, Val: va}, RPair{Key: b, Val: vb})
+}

@@ -1,0 +1,317 @@
+package app
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestRKVTransactionOps drives the 2PC participant state machine directly:
+// prepare locks and stages, conflicting writes are refused while locked,
+// commit installs and releases, abort discards and releases, and every
+// phase-2 command is idempotent.
+func TestRKVTransactionOps(t *testing.T) {
+	r := NewRKV()
+	const tx1, tx2, tx3 = uint64(101), uint64(202), uint64(303)
+
+	if res := r.Apply(EncodeRPrepare(tx1, []RPair{{Key: []byte("a"), Val: []byte("1")}, {Key: []byte("b"), Val: []byte("2")}})); res[0] != ROK {
+		t.Fatalf("prepare tx1: %v", res)
+	}
+	if r.LockedKeys() != 2 || r.StagedTxs() != 1 {
+		t.Fatalf("after prepare: %d locks, %d staged", r.LockedKeys(), r.StagedTxs())
+	}
+	// Staged writes are invisible until commit (read-committed).
+	if res := r.Apply(EncodeRGet([]byte("a"))); res[0] != RMiss {
+		t.Fatalf("GET of staged key: %v, want RMiss", res)
+	}
+	// MGET is lock-aware: a locked key answers RLocked (the cross-shard
+	// scatter-gather retries, so readers never see torn transactions).
+	if res := r.Apply(EncodeRMGet([]byte("zz"), []byte("a"))); res[0] != RLocked {
+		t.Fatalf("MGET over locked key: %v, want RLocked", res)
+	}
+	if res := r.Apply(EncodeRMGet([]byte("zz"))); res[0] != ROK {
+		t.Fatalf("MGET over unlocked keys: %v, want ROK", res)
+	}
+	// Single-key writes to locked keys are refused...
+	for _, req := range [][]byte{
+		EncodeRSet([]byte("a"), []byte("x")),
+		EncodeRDel([]byte("a")),
+		EncodeRIncr([]byte("b")),
+		EncodeRAppend([]byte("b"), []byte("x")),
+		EncodeRMSet(RPair{Key: []byte("z"), Val: []byte("x")}, RPair{Key: []byte("a"), Val: []byte("x")}),
+	} {
+		if res := r.Apply(req); res[0] != RLocked {
+			t.Fatalf("write to locked key (op %d): %v, want RLocked", req[0], res)
+		}
+	}
+	// ...and the refused RMSet wrote nothing (atomic refusal).
+	if res := r.Apply(EncodeRGet([]byte("z"))); res[0] != RMiss {
+		t.Fatalf("partial RMSet leak: %v", res)
+	}
+	// A conflicting prepare votes no and locks nothing new.
+	if res := r.Apply(EncodeRPrepare(tx2, []RPair{{Key: []byte("c"), Val: []byte("3")}, {Key: []byte("a"), Val: []byte("9")}})); res[0] != RConflict {
+		t.Fatalf("conflicting prepare: %v, want RConflict", res)
+	}
+	if r.LockedKeys() != 2 {
+		t.Fatalf("conflicting prepare leaked locks: %d", r.LockedKeys())
+	}
+	// Re-delivered prepare for the same txid re-votes yes.
+	if res := r.Apply(EncodeRPrepare(tx1, []RPair{{Key: []byte("a"), Val: []byte("1")}})); res[0] != ROK {
+		t.Fatalf("re-prepare tx1: %v", res)
+	}
+
+	if res := r.Apply(EncodeRCommit(tx1)); res[0] != ROK {
+		t.Fatalf("commit tx1: %v", res)
+	}
+	if r.LockedKeys() != 0 || r.StagedTxs() != 0 {
+		t.Fatalf("after commit: %d locks, %d staged", r.LockedKeys(), r.StagedTxs())
+	}
+	for k, want := range map[string]string{"a": "1", "b": "2"} {
+		res := r.Apply(EncodeRGet([]byte(k)))
+		if res[0] != ROK || string(res[2:]) != want {
+			t.Fatalf("GET %q after commit: %v", k, res)
+		}
+	}
+	// Commit and abort are idempotent for unknown txids.
+	if res := r.Apply(EncodeRCommit(tx1)); res[0] != ROK {
+		t.Fatalf("re-commit: %v", res)
+	}
+	if res := r.Apply(EncodeRAbort(tx2)); res[0] != ROK {
+		t.Fatalf("abort unknown: %v", res)
+	}
+
+	// Abort path: stage then abort leaves no trace (tx2 was tombstoned by
+	// the idempotent abort above, so a fresh txid stages here).
+	if res := r.Apply(EncodeRPrepare(tx3, []RPair{{Key: []byte("c"), Val: []byte("3")}})); res[0] != ROK {
+		t.Fatalf("prepare tx3: %v", res)
+	}
+	if res := r.Apply(EncodeRAbort(tx3)); res[0] != ROK {
+		t.Fatalf("abort tx3: %v", res)
+	}
+	if res := r.Apply(EncodeRGet([]byte("c"))); res[0] != RMiss {
+		t.Fatalf("aborted write visible: %v", res)
+	}
+	if res := r.Apply(EncodeRSet([]byte("c"), []byte("free"))); res[0] != ROK {
+		t.Fatalf("write after abort: %v, want ROK", res)
+	}
+	// The abort tombstone refuses a prepare ordered after its own abort —
+	// the late-prepare race that would otherwise strand the locks forever.
+	if res := r.Apply(EncodeRPrepare(tx3, []RPair{{Key: []byte("d"), Val: []byte("4")}})); res[0] != RConflict {
+		t.Fatalf("prepare after abort: %v, want RConflict (tombstoned)", res)
+	}
+	if r.LockedKeys() != 0 {
+		t.Fatalf("tombstoned prepare leaked %d locks", r.LockedKeys())
+	}
+}
+
+// TestRKVDecisionLogBounded: the coordinator decision log evicts FIFO at
+// its cap, so an arbitrarily long run cannot grow it without bound.
+func TestRKVDecisionLogBounded(t *testing.T) {
+	r := NewRKV()
+	for i := 0; i < rkvDecisionCap+10; i++ {
+		if res := r.Apply(EncodeRDecide(uint64(i), i%2 == 0)); res[0] != ROK {
+			t.Fatalf("decide %d: %v", i, res)
+		}
+	}
+	if n := len(r.decisions); n != rkvDecisionCap {
+		t.Fatalf("decision log holds %d entries, cap is %d", n, rkvDecisionCap)
+	}
+	if _, ok := r.Decision(0); ok {
+		t.Fatal("oldest decision not evicted")
+	}
+	if commit, ok := r.Decision(rkvDecisionCap + 9); !ok || commit != ((rkvDecisionCap+9)%2 == 0) {
+		t.Fatalf("newest decision wrong: commit=%v ok=%v", commit, ok)
+	}
+}
+
+// TestRKVSnapshotCarriesTxState: a replica restored mid-transaction must
+// agree on locks, staged writes and decisions, and the snapshot must be
+// deterministic.
+func TestRKVSnapshotCarriesTxState(t *testing.T) {
+	r := NewRKV()
+	r.Apply(EncodeRSet([]byte("k"), []byte("v")))
+	r.Apply(EncodeRPrepare(7, []RPair{{Key: []byte("x"), Val: []byte("1")}, {Key: []byte("y"), Val: []byte("2")}}))
+	r.Apply(EncodeRDecide(7, true))
+
+	snap := r.Snapshot()
+	if !bytes.Equal(snap, r.Snapshot()) {
+		t.Fatal("snapshot not deterministic")
+	}
+	r2 := NewRKV()
+	r2.Restore(snap)
+	if r2.LockedKeys() != 2 || r2.StagedTxs() != 1 {
+		t.Fatalf("restored: %d locks, %d staged", r2.LockedKeys(), r2.StagedTxs())
+	}
+	if commit, ok := r2.Decision(7); !ok || !commit {
+		t.Fatalf("restored decision: commit=%v ok=%v", commit, ok)
+	}
+	if res := r2.Apply(EncodeRSet([]byte("x"), []byte("nope"))); res[0] != RLocked {
+		t.Fatalf("restored lock not enforced: %v", res)
+	}
+	// Committing on the restored replica must install the staged writes.
+	if res := r2.Apply(EncodeRCommit(7)); res[0] != ROK {
+		t.Fatalf("commit on restored: %v", res)
+	}
+	if res := r2.Apply(EncodeRGet([]byte("y"))); res[0] != ROK || string(res[2:]) != "2" {
+		t.Fatalf("staged write lost across restore: %v", res)
+	}
+	if !bytes.Equal(r2.Apply(EncodeRGet([]byte("k"))), r.Apply(EncodeRGet([]byte("k")))) {
+		t.Fatal("committed data diverged across restore")
+	}
+}
+
+// TestSplitMergeRMGet: splitting an MGET across shards and merging the
+// per-leg responses must reproduce, byte for byte, what one store holding
+// every key would answer — for every key order and miss pattern tried.
+func TestSplitMergeRMGet(t *testing.T) {
+	const shards = 4
+	// One reference store with every key; per-shard stores with only the
+	// keys that hash to them.
+	ref := NewRKV()
+	parts := make([]*RKV, shards)
+	for s := range parts {
+		parts[s] = NewRKV()
+	}
+	var keys [][]byte
+	for i := 0; i < 12; i++ {
+		k := []byte(fmt.Sprintf("key-%02d", i))
+		keys = append(keys, k)
+		if i%3 == 0 {
+			continue // every third key is a miss
+		}
+		v := []byte(fmt.Sprintf("val-%02d", i))
+		ref.Apply(EncodeRSet(k, v))
+		parts[ShardOfKey(k, shards)].Apply(EncodeRSet(k, v))
+	}
+
+	req := EncodeRMGet(keys...)
+	sc, err := SplitRMGet(req, shards)
+	if err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	if sc.Keys() != len(keys) {
+		t.Fatalf("Keys() = %d, want %d", sc.Keys(), len(keys))
+	}
+	legRes := make([][]byte, len(sc.Legs))
+	for i, leg := range sc.Legs {
+		legRes[i] = parts[sc.Shards[i]].Apply(leg)
+	}
+	got := sc.Merge(legRes)
+	want := ref.Apply(req)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("merged = %x\nwant   = %x", got, want)
+	}
+
+	// A failing leg surfaces its status deterministically.
+	legRes[1] = []byte{RBadReq}
+	if res := sc.Merge(legRes); len(res) != 1 || res[0] != RBadReq {
+		t.Fatalf("failing leg merge = %v, want [RBadReq]", res)
+	}
+}
+
+// TestSplitRMSet: pairs partition by key hash, legs come out in ascending
+// shard order, and the coordinator is the minimum touched shard.
+func TestSplitRMSet(t *testing.T) {
+	const shards = 4
+	var pairs []RPair
+	for i := 0; i < 8; i++ {
+		pairs = append(pairs, RPair{Key: []byte(fmt.Sprintf("k%02d", i)), Val: []byte{byte(i)}})
+	}
+	sc, err := SplitRMSet(EncodeRMSet(pairs...), shards)
+	if err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	total := 0
+	for i, s := range sc.Shards {
+		if i > 0 && s <= sc.Shards[i-1] {
+			t.Fatalf("shards not ascending: %v", sc.Shards)
+		}
+		for _, p := range sc.Pairs[i] {
+			if ShardOfKey(p.Key, shards) != s {
+				t.Fatalf("pair %q filed under shard %d", p.Key, s)
+			}
+			total++
+		}
+	}
+	if total != len(pairs) {
+		t.Fatalf("%d pairs after split, want %d", total, len(pairs))
+	}
+	if sc.Coordinator() != sc.Shards[0] {
+		t.Fatalf("coordinator %d, want minimum shard %d", sc.Coordinator(), sc.Shards[0])
+	}
+	if _, err := SplitRMSet(EncodeRMSet(), shards); err == nil {
+		t.Fatal("empty RMSet split must fail")
+	}
+}
+
+// TestRKVRequestKeysRMSet: the router extracts every key of a multi-key
+// write, so single-shard RMSets route normally.
+func TestRKVRequestKeysRMSet(t *testing.T) {
+	req := EncodeRMSet(RPair{Key: []byte("a"), Val: []byte("1")}, RPair{Key: []byte("b"), Val: []byte("2")})
+	keys, err := RKVRequestKeys(req)
+	if err != nil {
+		t.Fatalf("RKVRequestKeys: %v", err)
+	}
+	if len(keys) != 2 || !bytes.Equal(keys[0], []byte("a")) || !bytes.Equal(keys[1], []byte("b")) {
+		t.Fatalf("keys = %q", keys)
+	}
+	// Internal 2PC opcodes are unroutable by design.
+	for _, req := range [][]byte{EncodeRPrepare(1, nil), EncodeRCommit(1), EncodeRAbort(1), EncodeRDecide(1, true)} {
+		if _, err := RKVRequestKeys(req); err == nil {
+			t.Fatalf("opcode %d routable; 2PC internals must not enter the hash router", req[0])
+		}
+	}
+}
+
+// TestCrossShardWorkloadFracZero: at Frac = 0 the mixed workload's stream
+// is bit-identical to the plain sharded workload — the benchmark baseline
+// property.
+func TestCrossShardWorkloadFracZero(t *testing.T) {
+	plain := NewShardedRKVWorkload(1, 4, rand.New(rand.NewSource(9)))
+	mixed := NewCrossShardRKVWorkload(1, 4, 0, rand.New(rand.NewSource(9)), rand.New(rand.NewSource(1000)))
+	for i := 0; i < 200; i++ {
+		a, b := plain.Next(), mixed.Next()
+		if !bytes.Equal(a, b) {
+			t.Fatalf("streams diverge at request %d", i)
+		}
+	}
+}
+
+// TestCrossShardWorkloadMix: at a positive fraction the stream contains
+// cross-shard MGETs and RMSets whose keys really span shards, and all
+// single-key requests still route to the target shard.
+func TestCrossShardWorkloadMix(t *testing.T) {
+	const shards, frac = 4, 0.3
+	w := NewCrossShardRKVWorkload(2, shards, frac, rand.New(rand.NewSource(5)), rand.New(rand.NewSource(6)))
+	var mgets, msets, local int
+	for i := 0; i < 500; i++ {
+		req := w.Next()
+		keys, err := RKVRequestKeys(req)
+		if err != nil {
+			t.Fatalf("request %d unroutable: %v", i, err)
+		}
+		switch req[0] {
+		case RMGet, RMSet:
+			if len(keys) != 2 || ShardOfKey(keys[0], shards) == ShardOfKey(keys[1], shards) {
+				t.Fatalf("cross op %d does not span shards", i)
+			}
+			if req[0] == RMGet {
+				mgets++
+			} else {
+				msets++
+			}
+		default:
+			if ShardOfKey(keys[0], shards) != 2 {
+				t.Fatalf("local request %d off-shard", i)
+			}
+			local++
+		}
+	}
+	if mgets == 0 || msets == 0 {
+		t.Fatalf("mix missing a cross op kind: %d MGETs, %d RMSets", mgets, msets)
+	}
+	if frac := float64(mgets+msets) / 500; frac < 0.15 || frac > 0.45 {
+		t.Fatalf("cross fraction %.2f far from configured 0.30", frac)
+	}
+}

@@ -76,7 +76,24 @@ func RKVRequestKeys(req []byte) ([][]byte, error) {
 			return nil, ErrNoKey
 		}
 		return keys, nil
+	case RMSet:
+		n := int(rd.Uvarint())
+		if n > rkvMGetMax {
+			return nil, ErrNoKey
+		}
+		keys := make([][]byte, 0, n)
+		for i := 0; i < n; i++ {
+			keys = append(keys, rd.BytesView())
+			rd.BytesView() // value
+		}
+		if rd.Err() != nil {
+			return nil, ErrNoKey
+		}
+		return keys, nil
 	default:
+		// RPrepare/RCommit/RAbort/RDecide are addressed to explicit groups
+		// by the 2PC coordinator and never enter the hash router, so they
+		// are unroutable here by design.
 		return nil, fmt.Errorf("%w: unknown RKV opcode %d", ErrNoKey, op)
 	}
 }
@@ -92,12 +109,21 @@ type ShardedKVWorkload struct {
 	shards  int
 	keyLen  int
 	valLen  int
+	redis   bool // encode as Redis-style RGet/RSet instead of KVGet/KVSet
 	written [][]byte
 }
 
 // NewShardedKVWorkload builds the workload targeting `shard` of `shards`.
 func NewShardedKVWorkload(shard, shards int, rng *rand.Rand) *ShardedKVWorkload {
 	return &ShardedKVWorkload{rng: rng, shard: shard, shards: shards, keyLen: 16, valLen: 32}
+}
+
+// NewShardedRKVWorkload is the same mixture encoded for the Redis-like
+// store (RGet/RSet), the single-shard substrate of the cross-shard mix.
+func NewShardedRKVWorkload(shard, shards int, rng *rand.Rand) *ShardedKVWorkload {
+	w := NewShardedKVWorkload(shard, shards, rng)
+	w.redis = true
+	return w
 }
 
 // randKey draws keys until one lands on the target shard (geometric with
@@ -121,6 +147,9 @@ func (w *ShardedKVWorkload) Next() []byte {
 		} else {
 			key = w.randKey()
 		}
+		if w.redis {
+			return EncodeRGet(key)
+		}
 		return EncodeKVGet(key)
 	}
 	key := w.randKey()
@@ -128,6 +157,9 @@ func (w *ShardedKVWorkload) Next() []byte {
 	w.rng.Read(val)
 	if len(w.written) < 4096 {
 		w.written = append(w.written, key)
+	}
+	if w.redis {
+		return EncodeRSet(key, val)
 	}
 	return EncodeKVSet(key, val)
 }

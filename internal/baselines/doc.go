@@ -1,0 +1,8 @@
+// Package baselines groups the three comparison systems of the paper's
+// evaluation (§7): an unreplicated server (the latency floor), Mu (the
+// fastest prior crash-tolerant RDMA replication), and MinBFT (signature-
+// based BFT with a trusted counter, the prior BFT state of the art). Each
+// lives in its own subpackage (unrepl, mu, minbft) and is assembled onto
+// the simulated fabric by internal/cluster, so every Figure 7–11 number
+// compares systems on identical network and CPU cost models.
+package baselines

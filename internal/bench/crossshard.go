@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"math/rand"
+
+	"repro/internal/app"
+	"repro/internal/shard"
+	"repro/internal/sim"
+)
+
+// This file drives the cross-shard experiment: S consensus groups under a
+// Redis-style workload where a configurable fraction of requests span two
+// shards — scatter-gather MGETs and 2PC multi-key writes. At fraction 0 the
+// run is bit-identical to the single-shard-routed baseline (the mixed
+// workload draws its cross-shard decisions from a separate rng stream and
+// the driver issues through the same client path), so the cost of the
+// cross-shard machinery itself is directly measurable.
+
+// CrossShardResult is one row of the cross-shard mix experiment.
+type CrossShardResult struct {
+	Shards    int
+	Frac      float64 // configured cross-shard fraction
+	Completed int     // client-confirmed requests (incl. resolved transactions)
+	CrossOps  int     // requests that executed across groups
+	Aborted   int     // transactions resolved as aborted
+	Decided   int     // slots decided across all groups
+	OpsPerSec float64 // completed requests per virtual second
+	Elapsed   sim.Duration
+	Rec       *Recorder
+}
+
+// RunCrossShardPipelined keeps `outstanding` requests in flight per client
+// (client i drives shard i, with its workload's cross-shard fraction) until
+// every client completed nPerClient requests. Cross-shard requests ride the
+// same Invoke path as shard-local ones: MGETs scatter-gather, RMSets run
+// 2PC; an aborted transaction counts as completed-but-aborted (the client
+// got a definitive outcome).
+func RunCrossShardPipelined(d *shard.Deployment, wls []Workload, outstanding, nPerClient int) CrossShardResult {
+	res := CrossShardResult{Shards: d.Shards(), Rec: NewRecorder(nPerClient * len(wls))}
+	res.Completed, res.Elapsed = runPipelined(d, wls, outstanding, nPerClient, res.Rec,
+		func(s int) {
+			if s == shard.MultiShard {
+				res.CrossOps++
+			}
+		},
+		func(result []byte) {
+			if len(result) > 0 && result[0] == app.RAborted {
+				res.Aborted++
+			}
+		})
+	res.Decided = d.DecidedTotal()
+	if res.Elapsed > 0 && res.Completed > 0 {
+		res.OpsPerSec = float64(res.Completed) / (float64(res.Elapsed) / 1e9)
+	}
+	return res
+}
+
+// newCrossShardDeployment assembles the S-shard Redis-style deployment the
+// mix experiment (and its fraction-0 baseline) runs on.
+func newCrossShardDeployment(seed int64, shards int) *shard.Deployment {
+	return shard.New(shard.Options{
+		Seed:       seed,
+		Shards:     shards,
+		NumClients: shards, // one driving client per shard
+		NewApp:     func(int) app.StateMachine { return app.NewRKV() },
+		Route:      shard.RKVRoute,
+	})
+}
+
+// CrossShardMix deploys S groups and drives them with frac of the requests
+// spanning two shards (alternating scatter-gather MGETs and 2PC writes).
+func CrossShardMix(seed int64, shards, outstanding, nPerClient int, frac float64) CrossShardResult {
+	d := newCrossShardDeployment(seed, shards)
+	defer d.Stop()
+	wls := make([]Workload, shards)
+	for s := 0; s < shards; s++ {
+		wls[s] = app.NewCrossShardRKVWorkload(s, shards, frac,
+			rand.New(rand.NewSource(seed+int64(s))),
+			rand.New(rand.NewSource(seed+1000+int64(s))))
+	}
+	res := RunCrossShardPipelined(d, wls, outstanding, nPerClient)
+	res.Frac = frac
+	return res
+}
+
+// CrossShardBaseline runs the identical deployment and per-shard workload
+// stream with no cross-shard requests through the plain sharded driver —
+// the reference the fraction-0 mix must match bit for bit.
+func CrossShardBaseline(seed int64, shards, outstanding, nPerClient int) ShardResult {
+	d := newCrossShardDeployment(seed, shards)
+	defer d.Stop()
+	wls := make([]Workload, shards)
+	for s := 0; s < shards; s++ {
+		wls[s] = app.NewShardedRKVWorkload(s, shards, rand.New(rand.NewSource(seed+int64(s))))
+	}
+	return RunShardedPipelined(d, wls, outstanding, nPerClient)
+}

@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestCrossShardZeroFractionMatchesBaseline: with a 0% cross-shard fraction
+// the mix experiment must be bit-identical to the plain single-shard-routed
+// run — same completions, same virtual elapsed time, same throughput — so
+// the cross-shard machinery provably costs nothing when unused.
+func TestCrossShardZeroFractionMatchesBaseline(t *testing.T) {
+	const (
+		seed        = 1
+		shards      = 2
+		outstanding = 4
+		n           = 60
+	)
+	mix := CrossShardMix(seed, shards, outstanding, n, 0)
+	base := CrossShardBaseline(seed, shards, outstanding, n)
+	if mix.CrossOps != 0 || mix.Aborted != 0 {
+		t.Fatalf("frac=0 run executed %d cross ops, %d aborts", mix.CrossOps, mix.Aborted)
+	}
+	if mix.Completed != base.Completed || mix.Elapsed != base.Elapsed || mix.OpsPerSec != base.OpsPerSec {
+		t.Fatalf("frac=0 mix (completed=%d elapsed=%v ops=%f) != baseline (completed=%d elapsed=%v ops=%f)",
+			mix.Completed, mix.Elapsed, mix.OpsPerSec, base.Completed, base.Elapsed, base.OpsPerSec)
+	}
+	if mix.Rec.Median() != base.Rec.Median() {
+		t.Fatalf("frac=0 median %v != baseline %v", mix.Rec.Median(), base.Rec.Median())
+	}
+}
+
+// TestCrossShardMixResolves: at a heavy cross-shard fraction every request
+// still resolves (scatter-gather reads merge, transactions commit or abort)
+// and cross-group requests really occurred.
+func TestCrossShardMixResolves(t *testing.T) {
+	const n = 40
+	res := CrossShardMix(1, 3, 4, n, 0.5)
+	if res.Completed != n*3 {
+		t.Fatalf("completed %d of %d", res.Completed, n*3)
+	}
+	if res.CrossOps == 0 {
+		t.Fatal("no cross-shard requests executed at frac=0.5")
+	}
+	if res.Aborted > res.CrossOps/2 {
+		t.Fatalf("%d of %d cross ops aborted; uncontended random keys should mostly commit", res.Aborted, res.CrossOps)
+	}
+	// Determinism: the experiment is a pure function of its seed.
+	res2 := CrossShardMix(1, 3, 4, n, 0.5)
+	if res2.Completed != res.Completed || res2.Elapsed != res.Elapsed || res2.Aborted != res.Aborted {
+		t.Fatalf("cross-shard mix not deterministic: (%d,%v,%d) vs (%d,%v,%d)",
+			res.Completed, res.Elapsed, res.Aborted, res2.Completed, res2.Elapsed, res2.Aborted)
+	}
+}

@@ -24,35 +24,39 @@ type ShardResult struct {
 	Rec       *Recorder
 }
 
-// RunShardedPipelined keeps `outstanding` requests in flight per client
-// (client i drives shard i with its own workload) until every client has
-// completed nPerShard requests, and reports aggregate throughput over
-// virtual time.
-func RunShardedPipelined(d *shard.Deployment, wls []Workload, outstanding, nPerShard int) ShardResult {
-	res := ShardResult{Shards: d.Shards(), Rec: NewRecorder(nPerShard * len(wls))}
+// runPipelined is the shared closed-loop driver: `outstanding` requests in
+// flight per client (client i drives its own workload through the routed
+// Invoke path) until every client completed nPerClient requests. The
+// optional hooks let the cross-shard experiment count routing outcomes
+// without duplicating the driver.
+func runPipelined(d *shard.Deployment, wls []Workload, outstanding, nPerClient int, rec *Recorder,
+	onIssue func(shard int), onResult func(result []byte)) (completed int, elapsed sim.Duration) {
 	eng := d.Eng
 	start := eng.Now()
 
-	total := nPerShard * len(wls)
-	completed := 0
+	total := nPerClient * len(wls)
 	for ci := range wls {
 		ci := ci
 		issued, inFlight := 0, 0
 		var fill func()
 		fill = func() {
-			for inFlight < outstanding && issued < nPerShard {
+			for inFlight < outstanding && issued < nPerClient {
 				issued++
 				inFlight++
-				// Routed Invoke: the workload's keys are shard-targeted, so
-				// the hash-of-key path sends every request to shard ci while
-				// still exercising the real client routing.
-				if _, err := d.Client(ci).Invoke(wls[ci].Next(), func(_ []byte, l sim.Duration) {
+				s, err := d.Client(ci).Invoke(wls[ci].Next(), func(result []byte, l sim.Duration) {
 					inFlight--
 					completed++
-					res.Rec.Add(l)
+					if onResult != nil {
+						onResult(result)
+					}
+					rec.Add(l)
 					fill()
-				}); err != nil {
-					panic(err) // shard-targeted workloads are always routable
+				})
+				if err != nil {
+					panic(err) // the workloads only emit executable requests
+				}
+				if onIssue != nil {
+					onIssue(s)
 				}
 			}
 		}
@@ -65,11 +69,20 @@ func RunShardedPipelined(d *shard.Deployment, wls []Workload, outstanding, nPerS
 			break
 		}
 	}
-	res.Completed = completed
+	return completed, eng.Now().Sub(start)
+}
+
+// RunShardedPipelined keeps `outstanding` requests in flight per client
+// (client i drives shard i with its own shard-targeted workload, so the
+// hash-of-key path sends every request to shard ci while still exercising
+// the real client routing) until every client has completed nPerShard
+// requests, and reports aggregate throughput over virtual time.
+func RunShardedPipelined(d *shard.Deployment, wls []Workload, outstanding, nPerShard int) ShardResult {
+	res := ShardResult{Shards: d.Shards(), Rec: NewRecorder(nPerShard * len(wls))}
+	res.Completed, res.Elapsed = runPipelined(d, wls, outstanding, nPerShard, res.Rec, nil, nil)
 	res.Decided = d.DecidedTotal()
-	res.Elapsed = eng.Now().Sub(start)
-	if res.Elapsed > 0 && completed > 0 {
-		res.OpsPerSec = float64(completed) / (float64(res.Elapsed) / 1e9)
+	if res.Elapsed > 0 && res.Completed > 0 {
+		res.OpsPerSec = float64(res.Completed) / (float64(res.Elapsed) / 1e9)
 	}
 	return res
 }

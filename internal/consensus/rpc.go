@@ -206,12 +206,15 @@ func (c *Client) Groups() int { return len(c.groups) }
 
 // Invoke submits payload to group 0 for replicated execution; done receives
 // the f+1-confirmed result and the end-to-end latency.
-func (c *Client) Invoke(payload []byte, done func(result []byte, latency sim.Duration)) {
-	c.InvokeGroup(0, payload, done)
+func (c *Client) Invoke(payload []byte, done func(result []byte, latency sim.Duration)) uint64 {
+	return c.InvokeGroup(0, payload, done)
 }
 
-// InvokeGroup submits payload to the given replica group.
-func (c *Client) InvokeGroup(group int, payload []byte, done func(result []byte, latency sim.Duration)) {
+// InvokeGroup submits payload to the given replica group. The returned
+// request number is a per-group completion handle: Cancel(num) abandons the
+// request (its done callback will never fire), which is how the cross-shard
+// coordinator withdraws prepares from a group that timed out.
+func (c *Client) InvokeGroup(group int, payload []byte, done func(result []byte, latency sim.Duration)) uint64 {
 	c.nextNum++
 	num := c.nextNum
 	c.pending[num] = &pendingReq{
@@ -230,7 +233,25 @@ func (c *Client) InvokeGroup(group int, payload []byte, done func(result []byte,
 		c.rt.Send(rep, router.ChanRPC, frame)
 	}
 	wire.PutWriter(w)
+	return num
 }
+
+// Cancel abandons a pending request: late replica responses are ignored and
+// the done callback never fires. It reports whether the request was still
+// pending. The request itself may still be (or become) decided and executed
+// by the group — Cancel gives up on observing the outcome, it cannot recall
+// the submission.
+func (c *Client) Cancel(num uint64) bool {
+	if _, ok := c.pending[num]; !ok {
+		return false
+	}
+	delete(c.pending, num)
+	return true
+}
+
+// PendingCount reports how many requests await f+1 confirmations (bounded-
+// memory diagnostics: abandoned requests must not accumulate here).
+func (c *Client) PendingCount() int { return len(c.pending) }
 
 func (c *Client) onResponse(from ids.ID, payload []byte) {
 	rd := wire.NewReader(payload)

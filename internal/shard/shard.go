@@ -8,8 +8,14 @@
 //
 // Clients are shard-aware: they hash each request's key onto a group and
 // fire it down the ordinary ChanRPC path of that group. Multi-key requests
-// whose keys land on different shards are detected and rejected —
-// cross-shard transactions are future work, not silent corruption.
+// whose keys land on different shards execute across groups: read-only
+// MGETs scatter-gather (one sub-read per touched group, merged back into
+// the original key order), and multi-key writes run as 2PC-style
+// transactions — the client prepares/locks the keys in every participant
+// group, logs the decision in a deterministic coordinator group (the
+// minimum touched shard), then commits everywhere; a participant that
+// stalls during prepare triggers abort-on-timeout so the healthy groups
+// release their locks. See txn.go for the commit protocol.
 //
 // ID allocation (one namespace per fabric):
 //
@@ -46,9 +52,15 @@ const (
 )
 
 // ErrCrossShard reports a multi-key request whose keys hash to different
-// shards. Cross-shard operations are unsupported (detected, not fanned
-// out): the caller must split the request per shard.
+// shards. RouteFuncs return it to signal that single-group routing is
+// impossible; the client then executes the request across groups when it
+// knows how (RKV MGET scatter-gather, RMSet 2PC) and surfaces the error
+// only for operations with no cross-shard execution path.
 var ErrCrossShard = errors.New("shard: request touches keys on multiple shards")
+
+// MultiShard is the shard index Invoke reports for requests that executed
+// across several groups (scatter-gather reads and 2PC writes).
+const MultiShard = -1
 
 // LatNotSubmitted is the sentinel latency InvokeSync reports when routing
 // failed and the request was never submitted (distinct from the cluster
@@ -68,9 +80,10 @@ func KVRoute(payload []byte, shards int) (int, error) {
 	return app.ShardOfKey(key, shards), nil
 }
 
-// RKVRoute routes Redis-style requests by key hash. MGET requests are
-// routable only when every key lands on the same shard; otherwise the
-// cross-shard fan-out is detected and rejected.
+// RKVRoute routes Redis-style requests by key hash. Multi-key requests
+// (MGET, RMSet) route to a single group only when every key lands on the
+// same shard; otherwise ErrCrossShard signals the client to execute them
+// across groups (scatter-gather / 2PC).
 func RKVRoute(payload []byte, shards int) (int, error) {
 	keys, err := app.RKVRequestKeys(payload)
 	if err != nil {
@@ -110,6 +123,13 @@ type Options struct {
 	// Route maps request payloads to shards; nil defaults to KVRoute.
 	Route RouteFunc
 
+	// PrepareTimeout bounds the prepare phase of a cross-shard write: if
+	// any participant group has not voted by then, the coordinator aborts
+	// the transaction so the responsive groups release their locks (a
+	// stalled group must not wedge the others). Default 2ms of virtual
+	// time (~20x a healthy cross-shard prepare).
+	PrepareTimeout sim.Duration
+
 	// NetOptions overrides the network model (defaults to RDMA-class).
 	NetOptions *simnet.Options
 }
@@ -132,6 +152,12 @@ func (o *Options) normalize() error {
 	}
 	if o.Route == nil {
 		o.Route = KVRoute
+	}
+	if o.PrepareTimeout == 0 {
+		o.PrepareTimeout = 2 * sim.Millisecond
+	}
+	if o.PrepareTimeout < 0 {
+		return fmt.Errorf("shard: negative PrepareTimeout=%d", o.PrepareTimeout)
 	}
 	if err := o.Group.Normalize(); err != nil {
 		return err
@@ -265,9 +291,12 @@ func New(opts Options) *Deployment {
 	for c, id := range d.ClientIDs {
 		rt := router.New(d.Net.AddNode(id, fmt.Sprintf("client%d", c)))
 		d.Clients = append(d.Clients, &Client{
-			cc:     consensus.NewMultiClient(rt, groupIDs, g.F),
-			shards: opts.Shards,
-			route:  opts.Route,
+			cc:          consensus.NewMultiClient(rt, groupIDs, g.F),
+			proc:        rt.Node().Proc(),
+			id:          id,
+			shards:      opts.Shards,
+			route:       opts.Route,
+			prepTimeout: opts.PrepareTimeout,
 		})
 	}
 	return d
@@ -330,19 +359,33 @@ func (d *Deployment) InvokeSync(ci int, payload []byte, maxWait sim.Duration) ([
 
 // Client is a shard-aware uBFT client: it owns one host endpoint, routes
 // each request to the group owning its key, and collects f+1 matching
-// responses from that group's replicas.
+// responses from that group's replicas. Requests spanning shards execute
+// across groups: MGETs scatter-gather, RMSets run the 2PC protocol in
+// txn.go with this client as the transaction driver.
 type Client struct {
-	cc     *consensus.Client
-	shards int
-	route  RouteFunc
+	cc          *consensus.Client
+	proc        *sim.Proc
+	id          ids.ID
+	shards      int
+	route       RouteFunc
+	prepTimeout sim.Duration
+	txSeq       uint32
 }
 
 // Invoke routes payload to its shard and submits it; done receives the
-// f+1-confirmed result and end-to-end latency. It returns the shard chosen.
-// On a routing error (cross-shard multi-key request, unroutable opcode)
-// nothing is submitted, done is never called, and the error is returned.
+// f+1-confirmed result and end-to-end latency. It returns the shard chosen,
+// or MultiShard for a request executed across groups (cross-shard MGET:
+// done receives the merged result and the max per-leg latency; cross-shard
+// RMSet: done receives the 2PC outcome — []byte{app.ROK} on commit,
+// []byte{app.RAborted} on abort — and the full transaction latency). On a
+// routing error (unroutable opcode, or a cross-shard request with no fan-
+// out path) nothing is submitted, done is never called, and the error is
+// returned.
 func (c *Client) Invoke(payload []byte, done func(result []byte, latency sim.Duration)) (int, error) {
 	s, err := c.route(payload, c.shards)
+	if errors.Is(err, ErrCrossShard) {
+		return c.invokeCross(payload, done)
+	}
 	if err != nil {
 		return -1, err
 	}
@@ -353,8 +396,84 @@ func (c *Client) Invoke(payload []byte, done func(result []byte, latency sim.Dur
 	return s, nil
 }
 
+// invokeCross dispatches a cross-shard multi-key request to its execution
+// strategy: scatter-gather for read-only MGETs, 2PC for multi-key writes.
+func (c *Client) invokeCross(payload []byte, done func(result []byte, latency sim.Duration)) (int, error) {
+	if len(payload) == 0 {
+		return -1, ErrCrossShard
+	}
+	switch payload[0] {
+	case app.RMGet:
+		if err := c.scatterMGet(payload, done); err != nil {
+			return -1, err
+		}
+		return MultiShard, nil
+	case app.RMSet:
+		if err := c.beginTx(payload, done); err != nil {
+			return -1, err
+		}
+		return MultiShard, nil
+	default:
+		return -1, ErrCrossShard
+	}
+}
+
+// Scatter-gather legs that hit a transaction-locked key retry until the
+// transaction resolves. The delay is deterministic virtual time; the cap
+// outlasts the default PrepareTimeout comfortably, so a transaction that
+// aborts on timeout frees the reader well before it gives up (after the
+// cap, the RLocked status surfaces through the merge).
+const (
+	mgetRetryDelay = 50 * sim.Microsecond
+	mgetRetryMax   = 100
+)
+
+// scatterMGet fans one sub-MGET per touched group, merges the per-leg
+// responses deterministically back into the original key order, and reports
+// the slowest leg's end-to-end latency (the client-observed critical path).
+// Legs answered RLocked — the group has those keys staged under an
+// in-flight transaction — are retried, so a reader cannot observe a
+// cross-shard write mid-commit. (A leg delayed past the whole transaction
+// on one shard while a sibling leg ran before it can still see a
+// pre/post mix; snapshot reads are the ROADMAP fix.)
+func (c *Client) scatterMGet(payload []byte, done func(result []byte, latency sim.Duration)) error {
+	sc, err := app.SplitRMGet(payload, c.shards)
+	if err != nil {
+		return err
+	}
+	start := c.proc.Now()
+	results := make([][]byte, len(sc.Legs))
+	var maxLat sim.Duration
+	remaining := len(sc.Legs)
+	var send func(i, attempt int)
+	send = func(i, attempt int) {
+		c.cc.InvokeGroup(sc.Shards[i], sc.Legs[i], func(res []byte, _ sim.Duration) {
+			if len(res) == 1 && res[0] == app.RLocked && attempt < mgetRetryMax {
+				c.proc.After(mgetRetryDelay, func() { send(i, attempt+1) })
+				return
+			}
+			results[i] = res
+			if lat := c.proc.Now().Sub(start); lat > maxLat {
+				maxLat = lat
+			}
+			remaining--
+			if remaining == 0 {
+				done(sc.Merge(results), maxLat)
+			}
+		})
+	}
+	for i := range sc.Legs {
+		send(i, 0)
+	}
+	return nil
+}
+
 // InvokeShard bypasses routing and submits payload to an explicit shard
 // (workload generators that pre-partition their key streams).
 func (c *Client) InvokeShard(s int, payload []byte, done func(result []byte, latency sim.Duration)) {
 	c.cc.InvokeGroup(s, payload, done)
 }
+
+// Pending reports how many requests await confirmation (bounded-memory
+// diagnostics: abandoned transactions must not accumulate pending state).
+func (c *Client) Pending() int { return c.cc.PendingCount() }

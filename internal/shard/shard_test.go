@@ -59,9 +59,11 @@ func TestShardedKVEndToEnd(t *testing.T) {
 	}
 }
 
-// TestCrossShardDetected: an RKV MGET spanning shards is rejected without
-// being submitted; one confined to a single shard goes through.
-func TestCrossShardDetected(t *testing.T) {
+// TestCrossShardRouting: the router still reports cross-shard fan-out via
+// ErrCrossShard (RKVRoute), the client resolves it for MGET/RMSet (no error
+// reaches the caller, shard = MultiShard), and operations with no fan-out
+// path still surface the error without being submitted.
+func TestCrossShardRouting(t *testing.T) {
 	const shards = 4
 	d := shard.New(shard.Options{
 		Seed:   1,
@@ -71,38 +73,44 @@ func TestCrossShardDetected(t *testing.T) {
 	})
 	defer d.Stop()
 
-	// Find keys on two different shards and two on the same shard.
-	var a, b, same1, same2 []byte
-	for i := 0; a == nil || b == nil || same2 == nil; i++ {
-		k := []byte(fmt.Sprintf("k%04d", i))
-		switch s := app.ShardOfKey(k, shards); {
-		case a == nil:
-			a, same1 = k, k
-		case s != app.ShardOfKey(a, shards) && b == nil:
-			b = k
-		case s == app.ShardOfKey(a, shards) && same2 == nil && !bytes.Equal(k, same1):
-			same2 = k
-		}
+	a, b := keysOnDistinctShards(shards)
+	if _, err := shard.RKVRoute(app.EncodeRMGet(a, b), shards); err != shard.ErrCrossShard {
+		t.Fatalf("RKVRoute on cross-shard MGET: err = %v, want ErrCrossShard", err)
+	}
+	s, err := d.Client(0).Invoke(app.EncodeRMGet(a, b), func([]byte, sim.Duration) {})
+	if err != nil {
+		t.Fatalf("cross-shard MGET: %v (must scatter-gather, not fail)", err)
+	}
+	if s != shard.MultiShard {
+		t.Fatalf("cross-shard MGET shard = %d, want MultiShard", s)
 	}
 
+	// A route that reports fan-out for an op the client cannot scatter
+	// (single-key SET) must still fail cleanly without submitting.
+	rejectAll := func([]byte, int) (int, error) { return 0, shard.ErrCrossShard }
+	d2 := shard.New(shard.Options{Seed: 2, Shards: shards, Route: rejectAll})
+	defer d2.Stop()
 	called := false
-	if _, err := d.Client(0).Invoke(app.EncodeRMGet(a, b), func([]byte, sim.Duration) { called = true }); err != shard.ErrCrossShard {
-		t.Fatalf("cross-shard MGET: err = %v, want ErrCrossShard", err)
+	if _, err := d2.Client(0).Invoke(app.EncodeKVSet([]byte("k"), []byte("v")), func([]byte, sim.Duration) { called = true }); err != shard.ErrCrossShard {
+		t.Fatalf("unscatterable op: err = %v, want ErrCrossShard", err)
 	}
 	if called {
-		t.Fatal("cross-shard MGET was submitted despite the error")
+		t.Fatal("unscatterable op was submitted despite the error")
 	}
+}
 
-	if res, _, err := d.InvokeSync(0, app.EncodeRSet(same1, []byte("x")), 50*sim.Millisecond); err != nil || len(res) == 0 || res[0] != app.ROK {
-		t.Fatalf("RSet: res=%v err=%v", res, err)
+// keysOnDistinctShards returns two keys hashing onto different shards.
+func keysOnDistinctShards(shards int) (a, b []byte) {
+	for i := 0; b == nil; i++ {
+		k := []byte(fmt.Sprintf("k%04d", i))
+		switch {
+		case a == nil:
+			a = k
+		case app.ShardOfKey(k, shards) != app.ShardOfKey(a, shards):
+			b = k
+		}
 	}
-	res, _, err := d.InvokeSync(0, app.EncodeRMGet(same1, same2), 50*sim.Millisecond)
-	if err != nil {
-		t.Fatalf("same-shard MGET: %v", err)
-	}
-	if len(res) == 0 || res[0] != app.ROK {
-		t.Fatalf("same-shard MGET result: %v", res)
-	}
+	return a, b
 }
 
 // TestMultiShardDeterminism: the same seed must produce bit-identical

@@ -1,0 +1,225 @@
+package shard
+
+import (
+	"repro/internal/app"
+	"repro/internal/sim"
+)
+
+// This file is the 2PC-style cross-shard commit protocol for multi-key
+// writes (RMSet requests spanning consensus groups). The shard-aware client
+// drives the transaction; every protocol step is itself a consensus-ordered
+// command inside a group, so the lock/stage/commit state machine (in
+// app.RKV) is replicated and deterministic:
+//
+//  1. Prepare: one RPrepare per participant group locks that group's keys
+//     and stages the writes; each group votes ROK (yes) or RConflict (no).
+//  2. Decide: once every participant voted yes, the decision is logged as
+//     an RDecide command in the coordinator group — deterministically the
+//     minimum touched shard — making commit durable before any group
+//     applies it (the classic 2PC commit point).
+//  3. Commit: RCommit fans out to every participant, which installs the
+//     staged writes and releases the locks. done fires after all
+//     participants acknowledged, so a subsequent read anywhere observes
+//     the whole transaction.
+//
+// Aborts are presumed (no decision record): a RConflict vote or the
+// PrepareTimeout expiring fires RAbort at every participant, with the
+// in-flight prepares cancelled, so a stalled group cannot wedge the
+// healthy ones; their locks release as soon as the abort is decided. The
+// abort is retransmitted to unacknowledging participants for a bounded
+// number of rounds (lossy networks must not strand locks), then given up
+// on — no pending state outlives the retries. A group that stalls *after*
+// voting yes blocks its commit until it recovers — inherent to 2PC, and
+// bounded here to the stalled group only.
+
+// txPhase tracks one cross-shard transaction through the protocol.
+type txPhase uint8
+
+const (
+	txVoting     txPhase = iota // prepares in flight, timeout armed
+	txCommitting                // all voted yes; decision + commits in flight
+	txDone                      // outcome delivered to the caller
+)
+
+type txState struct {
+	txid    uint64
+	sc      *app.MSetScatter
+	started sim.Time
+	done    func(result []byte, latency sim.Duration)
+
+	phase   txPhase
+	votes   int
+	pending []uint64 // per-leg consensus request numbers (0 = answered)
+	timer   sim.Timer
+}
+
+// beginTx splits the RMSet across its participant groups and starts the
+// prepare phase. The txid is globally unique and deterministic: the
+// client's host ID in the high bits, a per-client sequence in the low.
+func (c *Client) beginTx(payload []byte, done func(result []byte, latency sim.Duration)) error {
+	sc, err := app.SplitRMSet(payload, c.shards)
+	if err != nil {
+		return err
+	}
+	c.txSeq++
+	tx := &txState{
+		txid:    uint64(c.id)<<32 | uint64(c.txSeq),
+		sc:      sc,
+		started: c.proc.Now(),
+		done:    done,
+		pending: make([]uint64, len(sc.Shards)),
+	}
+	for i := range sc.Shards {
+		i := i
+		tx.pending[i] = c.cc.InvokeGroup(sc.Shards[i], app.EncodeRPrepare(tx.txid, sc.Pairs[i]),
+			func(res []byte, _ sim.Duration) { c.onVote(tx, i, res) })
+	}
+	tx.timer = c.proc.After(c.prepTimeout, func() { c.abortTx(tx) })
+	return nil
+}
+
+// onVote handles one participant's prepare vote.
+func (c *Client) onVote(tx *txState, leg int, res []byte) {
+	if tx.phase != txVoting {
+		return
+	}
+	tx.pending[leg] = 0
+	if len(res) == 0 || res[0] != app.ROK {
+		c.abortTx(tx)
+		return
+	}
+	tx.votes++
+	if tx.votes == len(tx.sc.Shards) {
+		c.decideTx(tx)
+	}
+}
+
+// decideTx logs the commit decision in the coordinator group, then fans the
+// commit out to every participant; done fires once all of them installed.
+// Both steps are retransmitted boundedly (the same loss model the abort
+// path defends against): while the decision is not yet durably logged no
+// commit has been sent anywhere, so exhausting the decide retries safely
+// falls back to abort; once the decision is logged the transaction IS
+// committed, so commit retries that still go unacknowledged give up and
+// report success — only the unreachable group's locks wait for its
+// recovery (the inherent 2PC blocking case, scoped to that group).
+func (c *Client) decideTx(tx *txState) {
+	tx.phase = txCommitting
+	tx.timer.Cancel()
+	c.sendDecide(tx)
+}
+
+// sendDecide drives the decision record at the coordinator group; on
+// acknowledgement the commit fans out, on exhaustion the transaction
+// aborts — no commit was sent anywhere yet, so aborting keeps every
+// participant consistent. (The decision may have been logged with its acks
+// lost; first-write-wins in the decision log and the advisory nature of an
+// unobserved record keep that harmless.)
+func (c *Client) sendDecide(tx *txState) {
+	c.retryFanout([]int{tx.sc.Coordinator()}, app.EncodeRDecide(tx.txid, true), func(allAcked bool) {
+		if allAcked {
+			c.sendCommits(tx)
+		} else {
+			c.abortTx(tx)
+		}
+	})
+}
+
+// sendCommits fans the commit out to every participant; done fires when
+// all acknowledged, or after the retry rounds run out (decided = committed,
+// so the outcome is ROK regardless — but see finishCommit for the caveat
+// about a participant unreachable past the whole backoff window).
+func (c *Client) sendCommits(tx *txState) {
+	c.retryFanout(tx.sc.Shards, app.EncodeRCommit(tx.txid), func(bool) { c.finishCommit(tx) })
+}
+
+// finishCommit delivers the committed outcome once. A participant that
+// stayed unreachable through every commit round keeps its locks until it
+// is told again — the client retains no transaction state, so that
+// redelivery needs the participant to consult the coordinator's decision
+// log on recovery (ROADMAP: commit-phase recovery), not just heal.
+func (c *Client) finishCommit(tx *txState) {
+	if tx.phase == txDone {
+		return
+	}
+	tx.phase = txDone
+	tx.done([]byte{app.ROK}, c.proc.Now().Sub(tx.started))
+}
+
+// retryFanout sends payload to every group once per round, retrying the
+// unacknowledged ones with exponentially backed-off rounds (retryAttempts
+// rounds starting at PrepareTimeout). Each round's outstanding completion
+// handles are cancelled before the next, so no pending state outlives the
+// retries. done fires exactly once: immediately when the last group
+// acknowledges, or at the end of the final round with allAcked=false.
+func (c *Client) retryFanout(groups []int, payload []byte, done func(allAcked bool)) {
+	acked := make([]bool, len(groups))
+	var round func(attemptsLeft int, delay sim.Duration)
+	round = func(attemptsLeft int, delay sim.Duration) {
+		nums := make([]uint64, len(groups))
+		for i, g := range groups {
+			if acked[i] {
+				continue
+			}
+			i := i
+			nums[i] = c.cc.InvokeGroup(g, payload, func([]byte, sim.Duration) {
+				acked[i] = true
+				for _, ok := range acked {
+					if !ok {
+						return
+					}
+				}
+				done(true)
+			})
+		}
+		c.proc.After(delay, func() {
+			unacked := false
+			for i, num := range nums {
+				if num != 0 && !acked[i] {
+					c.cc.Cancel(num)
+					unacked = true
+				}
+			}
+			if !unacked {
+				return // done(true) already fired (or will, from an ack in flight)
+			}
+			if attemptsLeft > 1 {
+				round(attemptsLeft-1, 2*delay)
+				return
+			}
+			done(false)
+		})
+	}
+	round(retryAttempts, c.prepTimeout)
+}
+
+// retryAttempts bounds the abort/decide/commit retransmission rounds: a
+// dropped frame (lossy network models) must not strand a participant's
+// locks, but a permanently stalled group must not keep the client retrying
+// — or holding pending-request state — forever. Rounds back off
+// exponentially from PrepareTimeout (1x, 2x, 4x, ...), so the bounded
+// attempt count rides out asynchrony periods ~2^retryAttempts longer than
+// one round-trip.
+const retryAttempts = 6
+
+// abortTx resolves the transaction as aborted: in-flight prepares are
+// abandoned, every participant gets an RAbort (releasing the locks of
+// those that prepared; idempotent no-op elsewhere), and the caller learns
+// the outcome immediately — it must not wait on a stalled group. Aborts
+// are retransmitted to unacknowledging participants for a bounded number
+// of rounds, each round's completion handles cancelled before the next so
+// no pending state outlives the retries.
+func (c *Client) abortTx(tx *txState) {
+	if tx.phase == txDone {
+		return
+	}
+	tx.phase = txDone
+	tx.timer.Cancel()
+	for _, num := range tx.pending {
+		if num != 0 {
+			c.cc.Cancel(num)
+		}
+	}
+	c.retryFanout(tx.sc.Shards, app.EncodeRAbort(tx.txid), func(bool) {})
+	tx.done([]byte{app.RAborted}, c.proc.Now().Sub(tx.started))
+}

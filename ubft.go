@@ -91,12 +91,16 @@ func NewSharded(opts ShardOptions) *ShardDeployment { return shard.New(opts) }
 var (
 	// KVRoute routes Memcached-style single-key requests by key hash.
 	KVRoute = shard.KVRoute
-	// RKVRoute routes Redis-style requests; MGETs spanning shards fail
-	// with ErrCrossShard.
+	// RKVRoute routes Redis-style requests; multi-key requests spanning
+	// shards execute across groups (MGET scatter-gather, RMSet 2PC).
 	RKVRoute = shard.RKVRoute
-	// ErrCrossShard reports a multi-key request spanning shards.
+	// ErrCrossShard reports a cross-shard request with no fan-out path.
 	ErrCrossShard = shard.ErrCrossShard
 )
+
+// MultiShard is the shard index reported for requests executed across
+// several consensus groups.
+const MultiShard = shard.MultiShard
 
 // NewUnreplicated assembles the unreplicated baseline.
 func NewUnreplicated(seed int64, newApp func() StateMachine) *cluster.Unrepl {
