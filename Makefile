@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet doc-lint race bounded-mem bench-smoke bench bench-shard bench-crossshard fuzz-smoke ci
+.PHONY: all build test vet doc-lint shard-opcode-gate race bounded-mem bench-smoke bench bench-shard bench-crossshard bench-txn fuzz-smoke ci
 
 all: build
 
@@ -22,9 +22,10 @@ race:
 	$(GO) test -race ./internal/wire/ ./internal/msgring/ ./internal/tbcast/ ./internal/ctbcast/ ./internal/shard/
 
 # The bounded-memory regression gate: leader map cardinality must stay flat
-# across checkpoint intervals (uBFT's finite-memory claim).
+# across checkpoint intervals (uBFT's finite-memory claim), and the
+# per-client exactly-once state must age out churned clients.
 bounded-mem:
-	$(GO) test -run 'TestLeaderMemoryBounded|TestLeaderMapsFlatAcrossIntervals' ./internal/consensus/
+	$(GO) test -run 'TestLeaderMemoryBounded|TestLeaderMapsFlatAcrossIntervals|TestClientExecStateAged' ./internal/consensus/
 
 # One iteration of every benchmark in short mode: catches harness rot and
 # prints allocs/op for the hot-path benchmarks on every PR.
@@ -46,7 +47,25 @@ bench-shard:
 # bit-identical to the single-shard baseline, gated by
 # TestCrossShardZeroFractionMatchesBaseline).
 bench-crossshard:
-	$(GO) test -run '^$$' -bench BenchmarkCrossShard -benchtime 1x -benchmem -short .
+	$(GO) test -run '^$$' -bench '^BenchmarkCrossShard$$' -benchtime 1x -benchmem -short .
+
+# One iteration of the capability-API transaction benchmarks: the same
+# cross-shard mix over the Memcached-style store (KVMGet/KVMSet) and the
+# symbol-sharded order matching engine (OpTops/OpPair), all driven through
+# the generic Router/Fragmenter/TxnParticipant interfaces.
+bench-txn:
+	$(GO) test -run '^$$' -bench '^BenchmarkCrossShard(KV|OrderBook)$$' -benchtime 1x -benchmem -short .
+
+# The shard layer must stay application-agnostic: its non-test sources may
+# only touch the app package through the capability interfaces and the
+# generic transaction envelope — never an app-specific opcode, status,
+# encoder or constructor (the api_redesign acceptance bar).
+shard-opcode-gate:
+	@files=$$(ls internal/shard/*.go | grep -v _test); \
+	bad=$$(grep -nE 'app\.(R[A-Z]|KV[A-Z]|Op(Buy|Sell|Cancel|OrderSym|Pair|Tops)|Encode[A-Z]|Decode[A-Z]|Pair\{|OrderLeg|New(RKV|OrderBook|Flip))' $$files | grep -vE 'app\.Encode(TxnPrepare|TxnCommit|TxnAbort|TxnDecide)' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "shard-opcode-gate: app-specific identifiers in internal/shard:"; echo "$$bad"; exit 1; \
+	fi
 
 # Every internal package must carry a package doc comment so `go doc` is
 # useful across the whole tree (docs/ARCHITECTURE.md relies on them).
@@ -64,4 +83,4 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzReader -fuzztime 10s ./internal/wire/
 	$(GO) test -run '^$$' -fuzz FuzzRoundTrip -fuzztime 10s ./internal/wire/
 
-ci: build vet doc-lint test race bounded-mem bench-smoke bench-shard bench-crossshard
+ci: build vet doc-lint shard-opcode-gate test race bounded-mem bench-smoke bench-shard bench-crossshard bench-txn

@@ -78,11 +78,12 @@ func main() {
 }
 
 func newDeployment(seed int64) *ubft.ShardDeployment {
+	// Routing and cross-shard execution derive from RKV's capability
+	// interfaces (Router/Fragmenter/TxnParticipant) — no routing glue.
 	return ubft.NewSharded(ubft.ShardOptions{
 		Seed:           seed,
 		Shards:         shards,
 		NewApp:         func(int) ubft.StateMachine { return app.NewRKV() },
-		Route:          ubft.RKVRoute,
 		PrepareTimeout: 2 * ubft.Millisecond,
 	})
 }

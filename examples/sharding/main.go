@@ -40,7 +40,6 @@ func demoCrossShard() {
 		Seed:   7,
 		Shards: shards,
 		NewApp: func(int) ubft.StateMachine { return app.NewRKV() },
-		Route:  ubft.RKVRoute,
 	})
 	defer d.Stop()
 

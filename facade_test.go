@@ -3,6 +3,7 @@ package ubft
 import (
 	"testing"
 
+	"repro/internal/app"
 	"repro/internal/cluster"
 )
 
@@ -27,6 +28,56 @@ func TestFacadeApplications(t *testing.T) {
 	var sm StateMachine = NewKV(4)
 	if sm.Snapshot() == nil {
 		t.Fatal("StateMachine interface not satisfied usefully")
+	}
+}
+
+// TestFacadeCapabilities: the shipped applications implement the layered
+// capability interfaces, Route derives shard placement from them, and the
+// deprecated RouteFunc-era helpers still answer through the new path.
+func TestFacadeCapabilities(t *testing.T) {
+	for name, sm := range map[string]StateMachine{
+		"kv": NewKV(0), "rkv": NewRKV(), "orderbook": NewOrderBook(),
+	} {
+		if _, ok := sm.(Router); !ok {
+			t.Fatalf("%s does not implement Router", name)
+		}
+		if _, ok := sm.(Fragmenter); !ok {
+			t.Fatalf("%s does not implement Fragmenter", name)
+		}
+		if _, ok := sm.(TxnParticipant); !ok {
+			t.Fatalf("%s does not implement TxnParticipant", name)
+		}
+	}
+	// Flip opts out of every capability: it cannot be sharded.
+	if _, ok := NewFlip().(Router); ok {
+		t.Fatal("Flip unexpectedly implements Router")
+	}
+
+	const shards = 4
+	key := []byte("route-probe")
+	s, err := Route(NewRKV(), app.EncodeRGet(key), shards)
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	if s2, err := RKVRoute(app.EncodeRGet(key), shards); err != nil || s2 != s {
+		t.Fatalf("deprecated RKVRoute = (%d, %v), Route = %d", s2, err, s)
+	}
+	if s2, err := KVRoute(app.EncodeKVGet(key), shards); err != nil || s2 != app.ShardOfKey(key, shards) {
+		t.Fatalf("deprecated KVRoute = (%d, %v)", s2, err)
+	}
+	// A custom application built on the exported LockTable participates in
+	// the generic 2PC envelope without any shard-layer glue.
+	installed := false
+	lt := NewLockTable(
+		func(frag []byte) ([][]byte, error) { return [][]byte{frag}, nil },
+		func(frag []byte) { installed = true },
+		func(req []byte) []byte { return req },
+	)
+	if st := lt.Prepare(1, []byte("k")); st != app.StatusOK {
+		t.Fatalf("custom Prepare: %d", st)
+	}
+	if st := lt.Commit(1); st != app.StatusOK || !installed {
+		t.Fatalf("custom Commit: status=%d installed=%v", st, installed)
 	}
 }
 

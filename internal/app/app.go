@@ -3,15 +3,36 @@
 // Flip (toy echo-reverser), a Memcached-like key-value store, a Redis-like
 // key-value store with richer operations, and a Liquibook-like financial
 // order matching engine.
+//
+// Beyond the base StateMachine contract, applications can opt into layered
+// capabilities that the shard layer consumes generically:
+//
+//   - Router exposes the keys a request touches, so a shard-aware client
+//     can hash-route any application without app-specific glue.
+//   - Fragmenter splits a multi-key request into per-shard fragments and
+//     merges per-leg read responses, enabling scatter-gather reads.
+//   - TxnParticipant provides the 2PC hooks (Prepare/Commit/Abort/Decided)
+//     that make cross-shard multi-key writes atomic; the reusable LockTable
+//     implements them for any application that can install a staged
+//     fragment.
+//   - Deferring surfaces the LockTable's per-key FIFO wait queue to the
+//     replica layer, so requests blocked on a transaction lock resume when
+//     the lock releases instead of being bounced back for a retry.
 package app
 
-import "repro/internal/sim"
+import (
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
 
 // StateMachine is the deterministic application replicated by uBFT and the
 // baselines. Implementations must be deterministic: the same request
 // sequence produces the same state and the same responses on every replica.
 type StateMachine interface {
-	// Apply executes one request and returns its response.
+	// Apply executes one request and returns its response. A nil response
+	// is reserved for Deferring applications: it means the request was
+	// parked on a transaction lock and its result will surface through
+	// TakeReleased during a later command's Apply.
 	Apply(req []byte) []byte
 	// Snapshot serializes the full application state (checkpointing).
 	Snapshot() []byte
@@ -20,4 +41,102 @@ type StateMachine interface {
 	// ExecCost returns the virtual CPU time executing req takes, so the
 	// simulation charges realistic application latency.
 	ExecCost(req []byte) sim.Duration
+}
+
+// Router is the routing capability: a state machine that can report which
+// keys a request touches, letting the shard layer derive single- versus
+// multi-shard placement generically (it replaced the per-app RouteFunc
+// glue). Keys must be a pure function of the request bytes — the shard
+// layer calls it on a prototype instance that never executes requests.
+type Router interface {
+	StateMachine
+	// Keys returns every key req touches, in request order. Requests that
+	// touch no key (empty multi-reads) return an empty slice and may be
+	// placed on any shard. Unroutable or malformed requests return an
+	// error wrapping ErrNoKey.
+	Keys(req []byte) ([][]byte, error)
+}
+
+// Fragmenter is the cross-shard execution capability: splitting a
+// multi-key request into per-shard fragments and, for reads, merging the
+// per-leg responses back into the single response one shard holding every
+// key would have produced. Like Router, all three methods must be pure
+// functions of their arguments.
+type Fragmenter interface {
+	Router
+	// ReadOnly reports whether req executes as a scatter-gather read
+	// (true) or a 2PC write transaction (false) when its keys span shards.
+	ReadOnly(req []byte) bool
+	// Fragment re-encodes req restricted to the keys at the given indices
+	// of the Keys result. The fragment must be an executable request of
+	// the same application.
+	Fragment(req []byte, keyIdx []int) ([]byte, error)
+	// Merge reassembles per-leg read responses into the whole-request
+	// response. legKeys[i] lists the original key indices leg i served
+	// (parallel to legs). If a leg failed, the first failing leg's status
+	// (in leg order) is returned so the merged outcome is deterministic.
+	Merge(req []byte, legs [][]byte, legKeys [][]int) []byte
+}
+
+// TxnParticipant is the 2PC participation capability: the four hooks the
+// shard layer drives — through the consensus-ordered generic transaction
+// commands of txn.go — to make a multi-key write atomic across groups.
+// Applications implement it by embedding a LockTable (which carries the
+// locks, staged fragments, abort tombstones and wait queue through
+// Snapshot/Restore); the hook contracts are documented on the LockTable
+// methods.
+type TxnParticipant interface {
+	StateMachine
+	// Prepare locks the fragment's keys and stages it under txid, voting
+	// StatusOK, or votes StatusConflict/StatusBadReq staging nothing.
+	Prepare(txid uint64, fragment []byte) uint8
+	// Commit installs txid's staged fragment and releases its locks.
+	Commit(txid uint64) uint8
+	// Abort discards txid's staged fragment, releases its locks and
+	// tombstones the txid against late prepares.
+	Abort(txid uint64) uint8
+	// Decided records the coordinator group's durable decision for txid.
+	Decided(txid uint64, commit bool) uint8
+}
+
+// Deferring is the wait-queue capability the replica execution layer
+// consumes: a state machine whose Apply may park a request blocked on a
+// transaction lock (returning nil) and complete it during a later
+// command's Apply, when the lock releases.
+type Deferring interface {
+	// TakeParkedTicket returns and clears the ticket assigned by the last
+	// Apply that parked its request (0 if it did not park).
+	TakeParkedTicket() uint64
+	// TakeReleased drains the results of parked requests completed by the
+	// last Apply, in execution order.
+	TakeReleased() []Release
+	// Parked reports whether ticket is still waiting in the queue, so the
+	// replica's checkpoint pruning never discards the response owed for a
+	// live parked request (which would make the client's retransmission
+	// re-execute it).
+	Parked(ticket uint64) bool
+}
+
+// Release is one parked request completed by a later command's Apply.
+type Release struct {
+	Ticket uint64
+	Result []byte
+}
+
+// Pair is one key/value pair of a multi-key write (shared by the KV and
+// RKV stores).
+type Pair struct {
+	Key, Val []byte
+}
+
+// readCount reads a multi-key element count, rejecting values beyond max
+// BEFORE the uint64 → int conversion: a malicious 10-byte varint would
+// otherwise convert negative, slip past an int-typed bound check, and
+// panic the slice allocation inside Apply on every replica.
+func readCount(rd *wire.Reader, max int) (int, bool) {
+	n := rd.Uvarint()
+	if n > uint64(max) {
+		return 0, false
+	}
+	return int(n), true
 }

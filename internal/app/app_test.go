@@ -375,14 +375,16 @@ func TestOrderBookQuickConservation(t *testing.T) {
 	}
 }
 
-// restingVolume sums the open quantity on both sides via the snapshot.
+// restingVolume sums the open quantity on both sides of every book.
 func restingVolume(ob *OrderBook) uint64 {
 	total := uint64(0)
-	for _, o := range ob.bids {
-		total += o.Qty
-	}
-	for _, o := range ob.asks {
-		total += o.Qty
+	for _, b := range ob.books {
+		for _, o := range b.bids {
+			total += o.Qty
+		}
+		for _, o := range b.asks {
+			total += o.Qty
+		}
 	}
 	return total
 }
@@ -400,7 +402,7 @@ func TestOrderBookNoCrossedBookInvariant(t *testing.T) {
 				side = OpSell
 			}
 			ob.Apply(EncodeOrder(side, 90+uint64(rng.Intn(21)), uint64(1+rng.Intn(5))))
-			if len(ob.bids) > 0 && len(ob.asks) > 0 && ob.bids[0].Price >= ob.asks[0].Price {
+			if b := ob.books[""]; b != nil && len(b.bids) > 0 && len(b.asks) > 0 && b.bids[0].Price >= b.asks[0].Price {
 				return false
 			}
 		}
@@ -408,6 +410,36 @@ func TestOrderBookNoCrossedBookInvariant(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestHugeMultiKeyCountRefused: a multi-key count encoded as a huge varint
+// (fits uint64, exceeds MaxInt64) must be refused as a bad request, not
+// converted to a negative int that panics the slice allocation inside
+// Apply on every replica — for every multi-key opcode and key extractor.
+func TestHugeMultiKeyCountRefused(t *testing.T) {
+	huge := []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01} // uvarint 2^64-1
+	cases := []struct {
+		name string
+		sm   StateMachine
+		op   uint8
+		bad  uint8
+	}{
+		{"rkv-mget", NewRKV(), RMGet, RBadReq},
+		{"rkv-mset", NewRKV(), RMSet, RBadReq},
+		{"kv-mget", NewKV(0), KVMGet, KVBadReq},
+		{"kv-mset", NewKV(0), KVMSet, KVBadReq},
+		{"ob-tops", NewOrderBook(), OpTops, StatusBadReq},
+	}
+	for _, tc := range cases {
+		req := append([]byte{tc.op}, huge...)
+		res := tc.sm.Apply(req)
+		if len(res) != 1 || res[0] != tc.bad {
+			t.Errorf("%s: Apply = %v, want [%d]", tc.name, res, tc.bad)
+		}
+		if _, err := tc.sm.(Router).Keys(req); err == nil {
+			t.Errorf("%s: huge count routable", tc.name)
+		}
 	}
 }
 

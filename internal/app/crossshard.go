@@ -1,38 +1,22 @@
 package app
 
 import (
-	"fmt"
 	"math/rand"
 
 	"repro/internal/wire"
 )
 
-// This file is the application side of cross-shard execution: splitting a
-// multi-key request into per-shard legs, merging the per-leg responses back
-// into the single response the caller would have seen on one shard, and the
-// benchmark workload that mixes shard-local traffic with a configurable
-// fraction of cross-shard reads and writes.
+// This file is the application-side support for cross-shard execution:
+// the shared merge routine behind every Fragmenter's Merge, and the
+// benchmark workloads that mix shard-local traffic with a configurable
+// fraction of cross-shard reads and writes for each transactional
+// application (RKV, KV, OrderBook).
 
-// MGetScatter is the fan-out plan of a cross-shard MGET: one sub-MGET leg
-// per touched shard plus the mapping needed to merge the per-leg responses
-// back into the original key order.
-type MGetScatter struct {
-	Shards []int    // touched shards, ascending (deterministic leg order)
-	Legs   [][]byte // sub-MGET request per touched shard, parallel to Shards
-
-	legOf []int // original key index -> leg index
-	posOf []int // original key index -> position within that leg
-}
-
-// SplitRMGet decomposes an MGET request into per-shard legs. It accepts any
-// well-formed MGET (including single-shard ones, which yield one leg).
-func SplitRMGet(req []byte, shards int) (*MGetScatter, error) {
-	rd := wire.NewReader(req)
-	if op := rd.U8(); op != RMGet {
-		return nil, fmt.Errorf("app: SplitRMGet on opcode %d", op)
-	}
-	n := int(rd.Uvarint())
-	if n > rkvMGetMax {
+// subsetKeys decodes a multi-read body (count + keys; the opcode is
+// already consumed) and selects the keys at keyIdx, bounds-checked.
+func subsetKeys(rd *wire.Reader, max int, keyIdx []int) ([][]byte, error) {
+	n, ok := readCount(rd, max)
+	if !ok {
 		return nil, ErrNoKey
 	}
 	keys := make([][]byte, 0, n)
@@ -42,71 +26,105 @@ func SplitRMGet(req []byte, shards int) (*MGetScatter, error) {
 	if rd.Done() != nil {
 		return nil, ErrNoKey
 	}
-
-	perShard := make(map[int][][]byte)
-	sc := &MGetScatter{legOf: make([]int, n), posOf: make([]int, n)}
-	for i, k := range keys {
-		s := ShardOfKey(k, shards)
-		sc.legOf[i] = s // shard for now; remapped to a leg index below
-		sc.posOf[i] = len(perShard[s])
-		perShard[s] = append(perShard[s], k)
-	}
-	// Legs in ascending shard order so the fan-out is deterministic.
-	legIndex := make(map[int]int, len(perShard))
-	for s := 0; s < shards; s++ {
-		if ks, ok := perShard[s]; ok {
-			legIndex[s] = len(sc.Shards)
-			sc.Shards = append(sc.Shards, s)
-			sc.Legs = append(sc.Legs, EncodeRMGet(ks...))
+	sub := make([][]byte, 0, len(keyIdx))
+	for _, i := range keyIdx {
+		if i < 0 || i >= len(keys) {
+			return nil, ErrNoKey
 		}
+		sub = append(sub, keys[i])
 	}
-	for i := range sc.legOf {
-		sc.legOf[i] = legIndex[sc.legOf[i]]
-	}
-	return sc, nil
+	return sub, nil
 }
 
-// Keys reports how many keys the original MGET carried.
-func (m *MGetScatter) Keys() int { return len(m.legOf) }
+// subsetPairs decodes a multi-write body and selects the pairs at keyIdx,
+// bounds-checked.
+func subsetPairs(rd *wire.Reader, max int, keyIdx []int) ([]Pair, error) {
+	pairs, ok := decodePairs(rd, max)
+	if !ok || rd.Done() != nil {
+		return nil, ErrNoKey
+	}
+	sub := make([]Pair, 0, len(keyIdx))
+	for _, i := range keyIdx {
+		if i < 0 || i >= len(pairs) {
+			return nil, ErrNoKey
+		}
+		sub = append(sub, pairs[i])
+	}
+	return sub, nil
+}
 
-// Merge reassembles the per-leg MGET responses (parallel to Legs) into the
-// response a single shard holding every key would have produced: ROK plus
-// found/value entries in the original key order. If any leg failed, the
-// first failing leg's status (in ascending shard order) is returned, so the
-// merged outcome is deterministic.
-func (m *MGetScatter) Merge(legResults [][]byte) []byte {
+// encodeKeyedReads builds the shared multi-read response shape — status
+// byte, uvarint count, then per key a Bool(found) plus an optional Bytes
+// value — that mergeKeyedReads decodes. Every transactional app's
+// multi-read answers through it, so the wire shape is defined once.
+func encodeKeyedReads(n int, entry func(i int) (ok bool, val []byte)) []byte {
+	w := wire.NewWriter(64)
+	w.U8(StatusOK)
+	w.Uvarint(uint64(n))
+	for i := 0; i < n; i++ {
+		ok, val := entry(i)
+		w.Bool(ok)
+		if ok {
+			w.Bytes(val)
+		}
+	}
+	return w.Finish()
+}
+
+// mergeKeyedReads reassembles per-leg multi-read responses into the
+// response one shard holding every key would have produced. Every
+// transactional app encodes multi-reads the same way — status byte,
+// uvarint count, then per key a Bool(found) plus an optional Bytes value —
+// so the merge is shared (it IS each app's Fragmenter.Merge). legKeys[i]
+// lists the original key indices leg i served; the total key count is
+// derived from it. If any leg failed, the first failing leg's status (in
+// leg order, which is ascending shard order) is returned, so the merged
+// outcome is deterministic.
+func mergeKeyedReads(legs [][]byte, legKeys [][]int) []byte {
+	nKeys := 0
+	for _, idx := range legKeys {
+		nKeys += len(idx)
+	}
 	type entry struct {
 		ok  bool
 		val []byte
 	}
-	legs := make([][]entry, len(legResults))
-	for li, res := range legResults {
+	merged := make([]entry, nKeys)
+	// Malformed legs merge to the generic StatusBadReq: it is the only
+	// error byte that means "failure" in every app's status namespace (an
+	// RKV-style RErr, 3, would read as KVStored to a KV client).
+	for li, res := range legs {
 		if len(res) == 0 {
-			return []byte{RErr}
+			return []byte{StatusBadReq}
 		}
-		if res[0] != ROK {
+		if res[0] != StatusOK {
 			return []byte{res[0]}
 		}
 		rd := wire.NewReader(res)
 		rd.U8()
 		n := int(rd.Uvarint())
-		legs[li] = make([]entry, 0, n)
-		for i := 0; i < n; i++ {
+		if n != len(legKeys[li]) {
+			return []byte{StatusBadReq}
+		}
+		for pos := 0; pos < n; pos++ {
 			e := entry{ok: rd.Bool()}
 			if e.ok {
 				e.val = rd.Bytes()
 			}
-			legs[li] = append(legs[li], e)
+			idx := legKeys[li][pos]
+			if idx < 0 || idx >= nKeys {
+				return []byte{StatusBadReq}
+			}
+			merged[idx] = e
 		}
 		if rd.Done() != nil {
-			return []byte{RErr}
+			return []byte{StatusBadReq}
 		}
 	}
 	w := wire.NewWriter(64)
-	w.U8(ROK)
-	w.Uvarint(uint64(len(m.legOf)))
-	for i := range m.legOf {
-		e := legs[m.legOf[i]][m.posOf[i]]
+	w.U8(StatusOK)
+	w.Uvarint(uint64(nKeys))
+	for _, e := range merged {
 		w.Bool(e.ok)
 		if e.ok {
 			w.Bytes(e.val)
@@ -114,43 +132,6 @@ func (m *MGetScatter) Merge(legResults [][]byte) []byte {
 	}
 	return w.Finish()
 }
-
-// MSetScatter is the participant plan of a cross-shard multi-key write: the
-// key/value pairs each touched shard must prepare, in ascending shard order.
-// Shards[0] doubles as the transaction's coordinator group (the minimum
-// touched shard — deterministic, so every run picks the same coordinator).
-type MSetScatter struct {
-	Shards []int     // touched shards, ascending
-	Pairs  [][]RPair // per-shard pairs, parallel to Shards
-}
-
-// SplitRMSet decomposes an RMSet request into per-shard participant pairs.
-func SplitRMSet(req []byte, shards int) (*MSetScatter, error) {
-	rd := wire.NewReader(req)
-	if op := rd.U8(); op != RMSet {
-		return nil, fmt.Errorf("app: SplitRMSet on opcode %d", op)
-	}
-	pairs, ok := decodePairs(rd)
-	if !ok || rd.Done() != nil || len(pairs) == 0 {
-		return nil, ErrNoKey
-	}
-	perShard := make(map[int][]RPair)
-	for _, p := range pairs {
-		s := ShardOfKey(p.Key, shards)
-		perShard[s] = append(perShard[s], p)
-	}
-	sc := &MSetScatter{}
-	for s := 0; s < shards; s++ {
-		if ps, ok := perShard[s]; ok {
-			sc.Shards = append(sc.Shards, s)
-			sc.Pairs = append(sc.Pairs, ps)
-		}
-	}
-	return sc, nil
-}
-
-// Coordinator returns the transaction's deterministic coordinator group.
-func (m *MSetScatter) Coordinator() int { return m.Shards[0] }
 
 // CrossShardRKVWorkload layers a configurable fraction of cross-shard
 // operations over the shard-local Redis-style mixture: with probability
@@ -189,10 +170,16 @@ func NewCrossShardRKVWorkload(shard, shards int, frac float64, rng, xrng *rand.R
 
 // keyOn rejection-samples a key hashing onto shard s.
 func (w *CrossShardRKVWorkload) keyOn(s int) []byte {
+	return randKeyOn(w.xrng, s, w.shards, w.keyLen)
+}
+
+// randKeyOn rejection-samples a random key hashing onto shard s
+// (geometric with mean `shards` draws).
+func randKeyOn(rng *rand.Rand, s, shards, keyLen int) []byte {
 	for {
-		k := make([]byte, w.keyLen)
-		w.xrng.Read(k)
-		if ShardOfKey(k, w.shards) == s {
+		k := make([]byte, keyLen)
+		rng.Read(k)
+		if ShardOfKey(k, shards) == s {
 			return k
 		}
 	}
@@ -215,5 +202,115 @@ func (w *CrossShardRKVWorkload) Next() []byte {
 	vb := make([]byte, w.valLen)
 	w.xrng.Read(va)
 	w.xrng.Read(vb)
-	return EncodeRMSet(RPair{Key: a, Val: va}, RPair{Key: b, Val: vb})
+	return EncodeRMSet(Pair{Key: a, Val: va}, Pair{Key: b, Val: vb})
+}
+
+// CrossShardKVWorkload is the Memcached-style counterpart: shard-local
+// GET/SET traffic with a Frac fraction of two-shard KVMGet reads and
+// KVMSet 2PC writes, alternating.
+type CrossShardKVWorkload struct {
+	inner  *ShardedKVWorkload
+	xrng   *rand.Rand
+	frac   float64
+	shard  int
+	shards int
+	read   bool
+	keyLen int
+	valLen int
+}
+
+// NewCrossShardKVWorkload builds the mixed Memcached-style workload for
+// the client driving `shard`.
+func NewCrossShardKVWorkload(shard, shards int, frac float64, rng, xrng *rand.Rand) *CrossShardKVWorkload {
+	return &CrossShardKVWorkload{
+		inner:  NewShardedKVWorkload(shard, shards, rng),
+		xrng:   xrng,
+		frac:   frac,
+		shard:  shard,
+		shards: shards,
+		read:   true,
+		keyLen: 16,
+		valLen: 32,
+	}
+}
+
+// Next returns the next request.
+func (w *CrossShardKVWorkload) Next() []byte {
+	if w.frac <= 0 || w.shards < 2 || w.xrng.Float64() >= w.frac {
+		return w.inner.Next()
+	}
+	other := (w.shard + 1 + w.xrng.Intn(w.shards-1)) % w.shards
+	a := randKeyOn(w.xrng, w.shard, w.shards, w.keyLen)
+	b := randKeyOn(w.xrng, other, w.shards, w.keyLen)
+	isRead := w.read
+	w.read = !w.read
+	if isRead {
+		return EncodeKVMGet(a, b)
+	}
+	va := make([]byte, w.valLen)
+	vb := make([]byte, w.valLen)
+	w.xrng.Read(va)
+	w.xrng.Read(vb)
+	return EncodeKVMSet(Pair{Key: a, Val: va}, Pair{Key: b, Val: vb})
+}
+
+// CrossShardOrderWorkload drives the sharded matching engine: shard-local
+// symbol-scoped limit orders, with a Frac fraction of cross-shard
+// operations alternating between two-symbol top-of-book reads (OpTops,
+// scatter-gathered) and atomic two-legged pair orders (OpPair, 2PC).
+type CrossShardOrderWorkload struct {
+	rng    *rand.Rand
+	xrng   *rand.Rand
+	frac   float64
+	shard  int
+	shards int
+	read   bool
+	symLen int
+}
+
+// NewCrossShardOrderWorkload builds the mixed order workload for the
+// client driving `shard`.
+func NewCrossShardOrderWorkload(shard, shards int, frac float64, rng, xrng *rand.Rand) *CrossShardOrderWorkload {
+	return &CrossShardOrderWorkload{
+		rng:    rng,
+		xrng:   xrng,
+		frac:   frac,
+		shard:  shard,
+		shards: shards,
+		read:   true,
+		symLen: 8,
+	}
+}
+
+// order draws a random side/price/qty around a stable mid so books cross
+// regularly (matching work, not just resting inserts).
+func orderParams(rng *rand.Rand) (side uint8, price, qty uint64) {
+	side = OpBuy
+	if rng.Intn(2) == 1 {
+		side = OpSell
+	}
+	return side, 95 + uint64(rng.Intn(10)), 1 + uint64(rng.Intn(9))
+}
+
+// Next returns the next request.
+func (w *CrossShardOrderWorkload) Next() []byte {
+	if w.frac > 0 && w.shards >= 2 && w.xrng.Float64() < w.frac {
+		other := (w.shard + 1 + w.xrng.Intn(w.shards-1)) % w.shards
+		a := randKeyOn(w.xrng, w.shard, w.shards, w.symLen)
+		b := randKeyOn(w.xrng, other, w.shards, w.symLen)
+		isRead := w.read
+		w.read = !w.read
+		if isRead {
+			return EncodeTops(a, b)
+		}
+		sideA, priceA, qtyA := orderParams(w.xrng)
+		sideB, priceB, qtyB := orderParams(w.xrng)
+		return EncodePairOrder(
+			OrderLeg{Sym: a, Side: sideA, Price: priceA, Qty: qtyA},
+			OrderLeg{Sym: b, Side: sideB, Price: priceB, Qty: qtyB},
+		)
+	}
+	sym := randKeyOn(w.rng, w.shard, w.shards, w.symLen)
+	side, price, qty := orderParams(w.rng)
+	return EncodeOrderSym(sym, side, price, qty)
 }

@@ -7,260 +7,462 @@ import (
 	"testing"
 )
 
-// TestRKVTransactionOps drives the 2PC participant state machine directly:
-// prepare locks and stages, conflicting writes are refused while locked,
-// commit installs and releases, abort discards and releases, and every
-// phase-2 command is idempotent.
-func TestRKVTransactionOps(t *testing.T) {
-	r := NewRKV()
-	const tx1, tx2, tx3 = uint64(101), uint64(202), uint64(303)
+// lockTabler is the embedded-LockTable surface every transactional app
+// promotes.
+type lockTabler interface {
+	LockedKeys() int
+	StagedTxs() int
+	ParkedCount() int
+	Decision(txid uint64) (bool, bool)
+	TakeReleased() []Release
+}
 
-	if res := r.Apply(EncodeRPrepare(tx1, []RPair{{Key: []byte("a"), Val: []byte("1")}, {Key: []byte("b"), Val: []byte("2")}})); res[0] != ROK {
-		t.Fatalf("prepare tx1: %v", res)
-	}
-	if r.LockedKeys() != 2 || r.StagedTxs() != 1 {
-		t.Fatalf("after prepare: %d locks, %d staged", r.LockedKeys(), r.StagedTxs())
-	}
-	// Staged writes are invisible until commit (read-committed).
-	if res := r.Apply(EncodeRGet([]byte("a"))); res[0] != RMiss {
-		t.Fatalf("GET of staged key: %v, want RMiss", res)
-	}
-	// MGET is lock-aware: a locked key answers RLocked (the cross-shard
-	// scatter-gather retries, so readers never see torn transactions).
-	if res := r.Apply(EncodeRMGet([]byte("zz"), []byte("a"))); res[0] != RLocked {
-		t.Fatalf("MGET over locked key: %v, want RLocked", res)
-	}
-	if res := r.Apply(EncodeRMGet([]byte("zz"))); res[0] != ROK {
-		t.Fatalf("MGET over unlocked keys: %v, want ROK", res)
-	}
-	// Single-key writes to locked keys are refused...
-	for _, req := range [][]byte{
-		EncodeRSet([]byte("a"), []byte("x")),
-		EncodeRDel([]byte("a")),
-		EncodeRIncr([]byte("b")),
-		EncodeRAppend([]byte("b"), []byte("x")),
-		EncodeRMSet(RPair{Key: []byte("z"), Val: []byte("x")}, RPair{Key: []byte("a"), Val: []byte("x")}),
-	} {
-		if res := r.Apply(req); res[0] != RLocked {
-			t.Fatalf("write to locked key (op %d): %v, want RLocked", req[0], res)
-		}
-	}
-	// ...and the refused RMSet wrote nothing (atomic refusal).
-	if res := r.Apply(EncodeRGet([]byte("z"))); res[0] != RMiss {
-		t.Fatalf("partial RMSet leak: %v", res)
-	}
-	// A conflicting prepare votes no and locks nothing new.
-	if res := r.Apply(EncodeRPrepare(tx2, []RPair{{Key: []byte("c"), Val: []byte("3")}, {Key: []byte("a"), Val: []byte("9")}})); res[0] != RConflict {
-		t.Fatalf("conflicting prepare: %v, want RConflict", res)
-	}
-	if r.LockedKeys() != 2 {
-		t.Fatalf("conflicting prepare leaked locks: %d", r.LockedKeys())
-	}
-	// Re-delivered prepare for the same txid re-votes yes.
-	if res := r.Apply(EncodeRPrepare(tx1, []RPair{{Key: []byte("a"), Val: []byte("1")}})); res[0] != ROK {
-		t.Fatalf("re-prepare tx1: %v", res)
-	}
+// txnApp adapts one application to the generic transaction tests: the
+// same scenarios drive RKV, KV and OrderBook through the capability
+// interfaces only.
+type txnApp struct {
+	name string
+	mk   func() StateMachine
+	// writeFrag builds a two-key write fragment over keys a and b, tagged
+	// so its effect is distinguishable.
+	writeFrag func(a, b []byte, tag byte) []byte
+	// singleWrite builds a single-key write to k.
+	singleWrite func(k []byte, tag byte) []byte
+	// multiRead builds a multi-key read over a and b.
+	multiRead func(a, b []byte) []byte
+	// visible reports whether tag's write to k took effect.
+	visible func(sm StateMachine, k []byte, tag byte) bool
+	// wrote reports whether a response acknowledges a successful single
+	// write.
+	wrote func(res []byte) bool
+}
 
-	if res := r.Apply(EncodeRCommit(tx1)); res[0] != ROK {
-		t.Fatalf("commit tx1: %v", res)
-	}
-	if r.LockedKeys() != 0 || r.StagedTxs() != 0 {
-		t.Fatalf("after commit: %d locks, %d staged", r.LockedKeys(), r.StagedTxs())
-	}
-	for k, want := range map[string]string{"a": "1", "b": "2"} {
-		res := r.Apply(EncodeRGet([]byte(k)))
-		if res[0] != ROK || string(res[2:]) != want {
-			t.Fatalf("GET %q after commit: %v", k, res)
-		}
-	}
-	// Commit and abort are idempotent for unknown txids.
-	if res := r.Apply(EncodeRCommit(tx1)); res[0] != ROK {
-		t.Fatalf("re-commit: %v", res)
-	}
-	if res := r.Apply(EncodeRAbort(tx2)); res[0] != ROK {
-		t.Fatalf("abort unknown: %v", res)
-	}
-
-	// Abort path: stage then abort leaves no trace (tx2 was tombstoned by
-	// the idempotent abort above, so a fresh txid stages here).
-	if res := r.Apply(EncodeRPrepare(tx3, []RPair{{Key: []byte("c"), Val: []byte("3")}})); res[0] != ROK {
-		t.Fatalf("prepare tx3: %v", res)
-	}
-	if res := r.Apply(EncodeRAbort(tx3)); res[0] != ROK {
-		t.Fatalf("abort tx3: %v", res)
-	}
-	if res := r.Apply(EncodeRGet([]byte("c"))); res[0] != RMiss {
-		t.Fatalf("aborted write visible: %v", res)
-	}
-	if res := r.Apply(EncodeRSet([]byte("c"), []byte("free"))); res[0] != ROK {
-		t.Fatalf("write after abort: %v, want ROK", res)
-	}
-	// The abort tombstone refuses a prepare ordered after its own abort —
-	// the late-prepare race that would otherwise strand the locks forever.
-	if res := r.Apply(EncodeRPrepare(tx3, []RPair{{Key: []byte("d"), Val: []byte("4")}})); res[0] != RConflict {
-		t.Fatalf("prepare after abort: %v, want RConflict (tombstoned)", res)
-	}
-	if r.LockedKeys() != 0 {
-		t.Fatalf("tombstoned prepare leaked %d locks", r.LockedKeys())
+func txnApps() []txnApp {
+	rkvVal := func(tag byte) []byte { return []byte{'v', tag} }
+	return []txnApp{
+		{
+			name: "rkv",
+			mk:   func() StateMachine { return NewRKV() },
+			writeFrag: func(a, b []byte, tag byte) []byte {
+				return EncodeRMSet(Pair{Key: a, Val: rkvVal(tag)}, Pair{Key: b, Val: rkvVal(tag)})
+			},
+			singleWrite: func(k []byte, tag byte) []byte { return EncodeRSet(k, rkvVal(tag)) },
+			multiRead:   func(a, b []byte) []byte { return EncodeRMGet(a, b) },
+			visible: func(sm StateMachine, k []byte, tag byte) bool {
+				res := sm.Apply(EncodeRGet(k))
+				return len(res) > 2 && res[0] == ROK && bytes.Equal(res[2:], rkvVal(tag))
+			},
+			wrote: func(res []byte) bool { return len(res) == 1 && res[0] == ROK },
+		},
+		{
+			name: "kv",
+			mk:   func() StateMachine { return NewKV(0) },
+			writeFrag: func(a, b []byte, tag byte) []byte {
+				return EncodeKVMSet(Pair{Key: a, Val: rkvVal(tag)}, Pair{Key: b, Val: rkvVal(tag)})
+			},
+			singleWrite: func(k []byte, tag byte) []byte { return EncodeKVSet(k, rkvVal(tag)) },
+			multiRead:   func(a, b []byte) []byte { return EncodeKVMGet(a, b) },
+			visible: func(sm StateMachine, k []byte, tag byte) bool {
+				res := sm.Apply(EncodeKVGet(k))
+				return len(res) > 2 && res[0] == KVOK && bytes.Equal(res[2:], rkvVal(tag))
+			},
+			wrote: func(res []byte) bool { return len(res) == 1 && res[0] == KVStored },
+		},
+		{
+			name: "orderbook",
+			mk:   func() StateMachine { return NewOrderBook() },
+			writeFrag: func(a, b []byte, tag byte) []byte {
+				return EncodePairOrder(
+					OrderLeg{Sym: a, Side: OpBuy, Price: 10 + uint64(tag), Qty: 1},
+					OrderLeg{Sym: b, Side: OpBuy, Price: 10 + uint64(tag), Qty: 1},
+				)
+			},
+			singleWrite: func(k []byte, tag byte) []byte {
+				return EncodeOrderSym(k, OpBuy, 10+uint64(tag), 1)
+			},
+			multiRead: func(a, b []byte) []byte { return EncodeTops(a, b) },
+			visible: func(sm StateMachine, k []byte, tag byte) bool {
+				// The tagged buy is visible when the symbol's best bid is
+				// at (or above, if several writes landed) the tag price.
+				// Inspect the book directly: a Tops request over a locked
+				// symbol would itself park.
+				b := sm.(*OrderBook).books[string(k)]
+				return b != nil && len(b.bids) > 0 && b.bids[0].Price >= 10+uint64(tag)
+			},
+			wrote: func(res []byte) bool { return len(res) > 0 && res[0] == 1 },
+		},
 	}
 }
 
-// TestRKVDecisionLogBounded: the coordinator decision log evicts FIFO at
-// its cap, so an arbitrarily long run cannot grow it without bound.
-func TestRKVDecisionLogBounded(t *testing.T) {
+// TestTxnParticipantGeneric drives the 2PC participant state machine of
+// every transactional app through the generic OpTxn* envelope alone:
+// prepare locks and stages, conflicts are refused, blocked requests park
+// and resume at commit, commit installs atomically, aborts tombstone, and
+// every phase-2 command is idempotent.
+func TestTxnParticipantGeneric(t *testing.T) {
+	for _, ta := range txnApps() {
+		t.Run(ta.name, func(t *testing.T) {
+			sm := ta.mk()
+			lt := sm.(lockTabler)
+			a, b, c := []byte("ka"), []byte("kb"), []byte("kc")
+
+			if res := sm.Apply(EncodeTxnPrepare(1, ta.writeFrag(a, b, '1'))); len(res) != 1 || res[0] != StatusOK {
+				t.Fatalf("prepare tx1: %v", res)
+			}
+			if lt.LockedKeys() != 2 || lt.StagedTxs() != 1 {
+				t.Fatalf("after prepare: %d locks, %d staged", lt.LockedKeys(), lt.StagedTxs())
+			}
+			// Staged writes are invisible until commit.
+			if ta.visible(sm, a, '1') {
+				t.Fatal("staged write visible before commit")
+			}
+			// A conflicting prepare votes no and locks nothing new.
+			if res := sm.Apply(EncodeTxnPrepare(2, ta.writeFrag(c, b, '2'))); res[0] != StatusConflict {
+				t.Fatalf("conflicting prepare: %v, want StatusConflict", res)
+			}
+			if lt.LockedKeys() != 2 {
+				t.Fatalf("conflicting prepare leaked locks: %d", lt.LockedKeys())
+			}
+			// Re-delivered prepare for the same txid re-votes yes.
+			if res := sm.Apply(EncodeTxnPrepare(1, ta.writeFrag(a, b, '1'))); res[0] != StatusOK {
+				t.Fatalf("re-prepare tx1: %v", res)
+			}
+
+			// A single-key write to a locked key parks (nil response, FIFO
+			// wait queue) instead of bouncing.
+			if res := sm.Apply(ta.singleWrite(a, '9')); res != nil {
+				t.Fatalf("write to locked key: %v, want parked (nil)", res)
+			}
+			d := sm.(Deferring)
+			t1 := d.TakeParkedTicket()
+			if t1 == 0 || lt.ParkedCount() != 1 {
+				t.Fatalf("park: ticket=%d parked=%d", t1, lt.ParkedCount())
+			}
+			// A multi-key read over a locked key parks too.
+			if res := sm.Apply(ta.multiRead(a, b)); res != nil {
+				t.Fatalf("read over locked key: %v, want parked (nil)", res)
+			}
+			t2 := d.TakeParkedTicket()
+			if t2 <= t1 || lt.ParkedCount() != 2 {
+				t.Fatalf("park tickets not FIFO: %d then %d (parked=%d)", t1, t2, lt.ParkedCount())
+			}
+
+			// Commit installs the staged fragment, releases the locks and
+			// drains the wait queue in ticket order.
+			if res := sm.Apply(EncodeTxnCommit(1)); res[0] != StatusOK {
+				t.Fatalf("commit tx1: %v", res)
+			}
+			if lt.LockedKeys() != 0 || lt.StagedTxs() != 0 || lt.ParkedCount() != 0 {
+				t.Fatalf("after commit: %d locks, %d staged, %d parked", lt.LockedKeys(), lt.StagedTxs(), lt.ParkedCount())
+			}
+			rel := lt.TakeReleased()
+			if len(rel) != 2 || rel[0].Ticket != t1 || rel[1].Ticket != t2 {
+				t.Fatalf("released = %+v, want tickets [%d %d]", rel, t1, t2)
+			}
+			if !ta.wrote(rel[0].Result) {
+				t.Fatalf("parked write result: %v", rel[0].Result)
+			}
+			// The committed write is visible on both keys; the parked write
+			// (ordered at release) took effect on key a.
+			if !ta.visible(sm, b, '1') {
+				t.Fatal("committed write lost on b")
+			}
+			if !ta.visible(sm, a, '9') {
+				t.Fatal("parked write did not execute at release")
+			}
+			// Commit and abort are idempotent for unknown txids.
+			if res := sm.Apply(EncodeTxnCommit(1)); res[0] != StatusOK {
+				t.Fatalf("re-commit: %v", res)
+			}
+			if res := sm.Apply(EncodeTxnAbort(3)); res[0] != StatusOK {
+				t.Fatalf("abort unknown: %v", res)
+			}
+			// The abort tombstone refuses a prepare ordered after its own
+			// abort — the late-prepare race that would otherwise strand the
+			// locks forever.
+			if res := sm.Apply(EncodeTxnPrepare(3, ta.writeFrag(a, b, '3'))); res[0] != StatusConflict {
+				t.Fatalf("prepare after abort: %v, want StatusConflict (tombstoned)", res)
+			}
+			if lt.LockedKeys() != 0 {
+				t.Fatalf("tombstoned prepare leaked %d locks", lt.LockedKeys())
+			}
+
+			// Abort path: stage then abort leaves no trace.
+			if res := sm.Apply(EncodeTxnPrepare(4, ta.writeFrag(c, b, '4'))); res[0] != StatusOK {
+				t.Fatalf("prepare tx4: %v", res)
+			}
+			if res := sm.Apply(EncodeTxnAbort(4)); res[0] != StatusOK {
+				t.Fatalf("abort tx4: %v", res)
+			}
+			if ta.visible(sm, c, '4') {
+				t.Fatal("aborted write visible")
+			}
+			// The coordinator decision record is durable and first-write-wins.
+			if res := sm.Apply(EncodeTxnDecide(7, true)); res[0] != StatusOK {
+				t.Fatalf("decide: %v", res)
+			}
+			sm.Apply(EncodeTxnDecide(7, false))
+			if commit, ok := lt.Decision(7); !ok || !commit {
+				t.Fatalf("decision record: commit=%v ok=%v (first write must win)", commit, ok)
+			}
+			// Malformed envelope commands are refused.
+			if res := sm.Apply([]byte{OpTxnPrepare, 1}); len(res) != 1 || res[0] != StatusBadReq {
+				t.Fatalf("truncated prepare: %v", res)
+			}
+		})
+	}
+}
+
+// TestLockTableSnapshotRoundTrip: in-flight transaction state — locks,
+// staged fragments, decision log AND parked wait-queue entries — must
+// survive Snapshot/Restore on every transactional app, deterministically.
+func TestLockTableSnapshotRoundTrip(t *testing.T) {
+	for _, ta := range txnApps() {
+		t.Run(ta.name, func(t *testing.T) {
+			sm := ta.mk()
+			a, b := []byte("xa"), []byte("xb")
+			if res := sm.Apply(EncodeTxnPrepare(7, ta.writeFrag(a, b, '1'))); res[0] != StatusOK {
+				t.Fatalf("prepare: %v", res)
+			}
+			if res := sm.Apply(ta.singleWrite(a, '9')); res != nil {
+				t.Fatalf("parked write: %v", res)
+			}
+			sm.(Deferring).TakeParkedTicket()
+			sm.Apply(EncodeTxnDecide(5, true))
+
+			snap := sm.Snapshot()
+			if !bytes.Equal(snap, sm.Snapshot()) {
+				t.Fatal("snapshot not deterministic")
+			}
+			sm2 := ta.mk()
+			sm2.Restore(snap)
+			lt2 := sm2.(lockTabler)
+			if lt2.LockedKeys() != 2 || lt2.StagedTxs() != 1 || lt2.ParkedCount() != 1 {
+				t.Fatalf("restored: %d locks, %d staged, %d parked", lt2.LockedKeys(), lt2.StagedTxs(), lt2.ParkedCount())
+			}
+			if commit, ok := lt2.Decision(5); !ok || !commit {
+				t.Fatalf("restored decision: commit=%v ok=%v", commit, ok)
+			}
+			if !bytes.Equal(sm2.Snapshot(), snap) {
+				t.Fatal("snapshot round trip not identical")
+			}
+			// Restored locks are enforced: another write to the same key
+			// parks on the restored instance too (FIFO after the restored
+			// entry).
+			if res := sm2.Apply(ta.singleWrite(a, '8')); res != nil {
+				t.Fatalf("restored lock not enforced: %v", res)
+			}
+			// Committing on the restored replica installs the staged
+			// fragment and drains the restored wait queue in ticket order.
+			if res := sm2.Apply(EncodeTxnCommit(7)); res[0] != StatusOK {
+				t.Fatalf("commit on restored: %v", res)
+			}
+			if !ta.visible(sm2, b, '1') {
+				t.Fatal("staged write lost across restore")
+			}
+			if !ta.visible(sm2, a, '8') {
+				t.Fatal("restored parked writes did not execute at release")
+			}
+			if rel := lt2.TakeReleased(); len(rel) != 2 {
+				t.Fatalf("released %d parked requests after restore, want 2", len(rel))
+			}
+		})
+	}
+}
+
+// TestPrepareValidatesFragments: a raw prepare (bypassing Fragment)
+// carrying a half-invalid fragment must vote StatusBadReq and stage
+// nothing — prepare-side validation must match install-side validation,
+// or a transaction could commit while installing nothing (or only one
+// leg) on a shard. Covers invalid order legs and trailing bytes on every
+// app's write fragment.
+func TestPrepareValidatesFragments(t *testing.T) {
+	pair := []Pair{{Key: []byte("a"), Val: []byte("v")}}
+	cases := []struct {
+		name string
+		sm   StateMachine
+		frag []byte
+	}{
+		{"ob-zero-qty", NewOrderBook(), EncodePairOrder(
+			OrderLeg{Sym: []byte("A"), Side: OpBuy, Price: 100, Qty: 1},
+			OrderLeg{Sym: []byte("B"), Side: OpBuy, Price: 100, Qty: 0})},
+		{"ob-bad-side", NewOrderBook(), EncodeOrderSym([]byte("A"), 9, 100, 1)},
+		{"ob-trailing", NewOrderBook(), append(EncodeOrderSym([]byte("A"), OpBuy, 100, 1), 0xFF)},
+		{"kv-trailing", NewKV(0), append(EncodeKVMSet(pair...), 0xFF)},
+		{"rkv-trailing", NewRKV(), append(EncodeRMSet(pair...), 0xFF)},
+		{"kv-wrong-op", NewKV(0), EncodeKVGet([]byte("a"))},
+		{"rkv-wrong-op", NewRKV(), EncodeRGet([]byte("a"))},
+	}
+	for _, tc := range cases {
+		lt := tc.sm.(lockTabler)
+		if res := tc.sm.Apply(EncodeTxnPrepare(1, tc.frag)); len(res) != 1 || res[0] != StatusBadReq {
+			t.Errorf("%s: prepare = %v, want StatusBadReq", tc.name, res)
+		}
+		if lt.LockedKeys() != 0 || lt.StagedTxs() != 0 {
+			t.Errorf("%s: invalid prepare staged state: %d locks, %d staged", tc.name, lt.LockedKeys(), lt.StagedTxs())
+		}
+	}
+}
+
+// TestLockTableDecisionLogBounded: the decision/tombstone log evicts FIFO
+// at its cap, so an arbitrarily long run cannot grow it without bound.
+func TestLockTableDecisionLogBounded(t *testing.T) {
 	r := NewRKV()
-	for i := 0; i < rkvDecisionCap+10; i++ {
-		if res := r.Apply(EncodeRDecide(uint64(i), i%2 == 0)); res[0] != ROK {
+	for i := 0; i < decisionCap+10; i++ {
+		if res := r.Apply(EncodeTxnDecide(uint64(i), i%2 == 0)); res[0] != StatusOK {
 			t.Fatalf("decide %d: %v", i, res)
 		}
 	}
-	if n := len(r.decisions); n != rkvDecisionCap {
-		t.Fatalf("decision log holds %d entries, cap is %d", n, rkvDecisionCap)
+	if n := len(r.LockTable.decisions); n != decisionCap {
+		t.Fatalf("decision log holds %d entries, cap is %d", n, decisionCap)
 	}
 	if _, ok := r.Decision(0); ok {
 		t.Fatal("oldest decision not evicted")
 	}
-	if commit, ok := r.Decision(rkvDecisionCap + 9); !ok || commit != ((rkvDecisionCap+9)%2 == 0) {
+	if commit, ok := r.Decision(decisionCap + 9); !ok || commit != ((decisionCap+9)%2 == 0) {
 		t.Fatalf("newest decision wrong: commit=%v ok=%v", commit, ok)
 	}
 }
 
-// TestRKVSnapshotCarriesTxState: a replica restored mid-transaction must
-// agree on locks, staged writes and decisions, and the snapshot must be
-// deterministic.
-func TestRKVSnapshotCarriesTxState(t *testing.T) {
+// TestLockTableParkedCap: a full wait queue refuses further parks (the
+// caller falls back to StatusLocked + retry) instead of growing unbounded.
+func TestLockTableParkedCap(t *testing.T) {
 	r := NewRKV()
-	r.Apply(EncodeRSet([]byte("k"), []byte("v")))
-	r.Apply(EncodeRPrepare(7, []RPair{{Key: []byte("x"), Val: []byte("1")}, {Key: []byte("y"), Val: []byte("2")}}))
-	r.Apply(EncodeRDecide(7, true))
-
-	snap := r.Snapshot()
-	if !bytes.Equal(snap, r.Snapshot()) {
-		t.Fatal("snapshot not deterministic")
+	if res := r.Apply(EncodeTxnPrepare(1, EncodeRMSet(Pair{Key: []byte("k"), Val: []byte("v")}))); res[0] != StatusOK {
+		t.Fatalf("prepare: %v", res)
 	}
-	r2 := NewRKV()
-	r2.Restore(snap)
-	if r2.LockedKeys() != 2 || r2.StagedTxs() != 1 {
-		t.Fatalf("restored: %d locks, %d staged", r2.LockedKeys(), r2.StagedTxs())
+	for i := 0; i < parkedCap; i++ {
+		if res := r.Apply(EncodeRSet([]byte("k"), []byte{byte(i)})); res != nil {
+			t.Fatalf("park %d refused early: %v", i, res)
+		}
 	}
-	if commit, ok := r2.Decision(7); !ok || !commit {
-		t.Fatalf("restored decision: commit=%v ok=%v", commit, ok)
+	if res := r.Apply(EncodeRSet([]byte("k"), []byte("over"))); len(res) != 1 || res[0] != StatusLocked {
+		t.Fatalf("park beyond cap: %v, want StatusLocked", res)
 	}
-	if res := r2.Apply(EncodeRSet([]byte("x"), []byte("nope"))); res[0] != RLocked {
-		t.Fatalf("restored lock not enforced: %v", res)
-	}
-	// Committing on the restored replica must install the staged writes.
-	if res := r2.Apply(EncodeRCommit(7)); res[0] != ROK {
-		t.Fatalf("commit on restored: %v", res)
-	}
-	if res := r2.Apply(EncodeRGet([]byte("y"))); res[0] != ROK || string(res[2:]) != "2" {
-		t.Fatalf("staged write lost across restore: %v", res)
-	}
-	if !bytes.Equal(r2.Apply(EncodeRGet([]byte("k"))), r.Apply(EncodeRGet([]byte("k")))) {
-		t.Fatal("committed data diverged across restore")
+	if r.ParkedCount() != parkedCap {
+		t.Fatalf("parked %d, want cap %d", r.ParkedCount(), parkedCap)
 	}
 }
 
-// TestSplitMergeRMGet: splitting an MGET across shards and merging the
-// per-leg responses must reproduce, byte for byte, what one store holding
-// every key would answer — for every key order and miss pattern tried.
-func TestSplitMergeRMGet(t *testing.T) {
-	const shards = 4
-	// One reference store with every key; per-shard stores with only the
-	// keys that hash to them.
-	ref := NewRKV()
-	parts := make([]*RKV, shards)
-	for s := range parts {
-		parts[s] = NewRKV()
+// fragPlan mirrors the shard layer's fan-out planning for the app-level
+// fragment/merge tests.
+func fragPlan(keys [][]byte, shards int) (legShards []int, legKeys [][]int) {
+	perShard := make(map[int][]int)
+	for i, k := range keys {
+		s := ShardOfKey(k, shards)
+		perShard[s] = append(perShard[s], i)
 	}
-	var keys [][]byte
-	for i := 0; i < 12; i++ {
-		k := []byte(fmt.Sprintf("key-%02d", i))
-		keys = append(keys, k)
-		if i%3 == 0 {
-			continue // every third key is a miss
+	for s := 0; s < shards; s++ {
+		if idx, ok := perShard[s]; ok {
+			legShards = append(legShards, s)
+			legKeys = append(legKeys, idx)
 		}
-		v := []byte(fmt.Sprintf("val-%02d", i))
-		ref.Apply(EncodeRSet(k, v))
-		parts[ShardOfKey(k, shards)].Apply(EncodeRSet(k, v))
 	}
-
-	req := EncodeRMGet(keys...)
-	sc, err := SplitRMGet(req, shards)
-	if err != nil {
-		t.Fatalf("split: %v", err)
-	}
-	if sc.Keys() != len(keys) {
-		t.Fatalf("Keys() = %d, want %d", sc.Keys(), len(keys))
-	}
-	legRes := make([][]byte, len(sc.Legs))
-	for i, leg := range sc.Legs {
-		legRes[i] = parts[sc.Shards[i]].Apply(leg)
-	}
-	got := sc.Merge(legRes)
-	want := ref.Apply(req)
-	if !bytes.Equal(got, want) {
-		t.Fatalf("merged = %x\nwant   = %x", got, want)
-	}
-
-	// A failing leg surfaces its status deterministically.
-	legRes[1] = []byte{RBadReq}
-	if res := sc.Merge(legRes); len(res) != 1 || res[0] != RBadReq {
-		t.Fatalf("failing leg merge = %v, want [RBadReq]", res)
-	}
+	return legShards, legKeys
 }
 
-// TestSplitRMSet: pairs partition by key hash, legs come out in ascending
-// shard order, and the coordinator is the minimum touched shard.
-func TestSplitRMSet(t *testing.T) {
+// TestFragmentMergeReads: fragmenting a multi-key read across shards and
+// merging the per-leg responses must reproduce, byte for byte, what one
+// instance holding every key would answer — for every app, key order and
+// miss pattern tried.
+func TestFragmentMergeReads(t *testing.T) {
 	const shards = 4
-	var pairs []RPair
-	for i := 0; i < 8; i++ {
-		pairs = append(pairs, RPair{Key: []byte(fmt.Sprintf("k%02d", i)), Val: []byte{byte(i)}})
-	}
-	sc, err := SplitRMSet(EncodeRMSet(pairs...), shards)
-	if err != nil {
-		t.Fatalf("split: %v", err)
-	}
-	total := 0
-	for i, s := range sc.Shards {
-		if i > 0 && s <= sc.Shards[i-1] {
-			t.Fatalf("shards not ascending: %v", sc.Shards)
-		}
-		for _, p := range sc.Pairs[i] {
-			if ShardOfKey(p.Key, shards) != s {
-				t.Fatalf("pair %q filed under shard %d", p.Key, s)
+	for _, ta := range txnApps() {
+		t.Run(ta.name, func(t *testing.T) {
+			ref := ta.mk()
+			parts := make([]StateMachine, shards)
+			for s := range parts {
+				parts[s] = ta.mk()
 			}
-			total++
-		}
-	}
-	if total != len(pairs) {
-		t.Fatalf("%d pairs after split, want %d", total, len(pairs))
-	}
-	if sc.Coordinator() != sc.Shards[0] {
-		t.Fatalf("coordinator %d, want minimum shard %d", sc.Coordinator(), sc.Shards[0])
-	}
-	if _, err := SplitRMSet(EncodeRMSet(), shards); err == nil {
-		t.Fatal("empty RMSet split must fail")
+			var keys [][]byte
+			var read []byte
+			for i := 0; i < 12; i++ {
+				k := []byte(fmt.Sprintf("key-%02d", i))
+				keys = append(keys, k)
+				if i%3 == 0 {
+					continue // every third key untouched (a miss / empty book)
+				}
+				w := ta.singleWrite(k, byte('0'+i%10))
+				ref.Apply(w)
+				parts[ShardOfKey(k, shards)].Apply(w)
+			}
+			switch ta.name {
+			case "rkv":
+				read = EncodeRMGet(keys...)
+			case "kv":
+				read = EncodeKVMGet(keys...)
+			default:
+				read = EncodeTops(keys...)
+			}
+
+			fr := ref.(Fragmenter)
+			if !fr.ReadOnly(read) {
+				t.Fatal("multi-read not classified ReadOnly")
+			}
+			gotKeys, err := fr.Keys(read)
+			if err != nil || len(gotKeys) != len(keys) {
+				t.Fatalf("Keys: %d keys, err=%v", len(gotKeys), err)
+			}
+			legShards, legKeys := fragPlan(keys, shards)
+			legs := make([][]byte, len(legShards))
+			for li, s := range legShards {
+				frag, err := fr.Fragment(read, legKeys[li])
+				if err != nil {
+					t.Fatalf("fragment leg %d: %v", li, err)
+				}
+				legs[li] = parts[s].Apply(frag)
+			}
+			got := fr.Merge(read, legs, legKeys)
+			want := ref.Apply(read)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("merged = %x\nwant   = %x", got, want)
+			}
+
+			// A failing leg surfaces its status deterministically.
+			legs[1] = []byte{StatusBadReq}
+			if res := fr.Merge(read, legs, legKeys); len(res) != 1 || res[0] != StatusBadReq {
+				t.Fatalf("failing leg merge = %v, want [StatusBadReq]", res)
+			}
+		})
 	}
 }
 
-// TestRKVRequestKeysRMSet: the router extracts every key of a multi-key
-// write, so single-shard RMSets route normally.
-func TestRKVRequestKeysRMSet(t *testing.T) {
-	req := EncodeRMSet(RPair{Key: []byte("a"), Val: []byte("1")}, RPair{Key: []byte("b"), Val: []byte("2")})
-	keys, err := RKVRequestKeys(req)
-	if err != nil {
-		t.Fatalf("RKVRequestKeys: %v", err)
-	}
-	if len(keys) != 2 || !bytes.Equal(keys[0], []byte("a")) || !bytes.Equal(keys[1], []byte("b")) {
-		t.Fatalf("keys = %q", keys)
-	}
-	// Internal 2PC opcodes are unroutable by design.
-	for _, req := range [][]byte{EncodeRPrepare(1, nil), EncodeRCommit(1), EncodeRAbort(1), EncodeRDecide(1, true)} {
-		if _, err := RKVRequestKeys(req); err == nil {
-			t.Fatalf("opcode %d routable; 2PC internals must not enter the hash router", req[0])
-		}
+// TestFragmentWrites: write fragments partition the keys by shard and are
+// themselves valid prepare fragments.
+func TestFragmentWrites(t *testing.T) {
+	const shards = 4
+	for _, ta := range txnApps() {
+		t.Run(ta.name, func(t *testing.T) {
+			a, b := []byte("wa"), []byte("wb")
+			req := ta.writeFrag(a, b, '5')
+			fr := ta.mk().(Fragmenter)
+			if fr.ReadOnly(req) {
+				t.Fatal("write classified ReadOnly")
+			}
+			keys, err := fr.Keys(req)
+			if err != nil || len(keys) != 2 {
+				t.Fatalf("Keys: %q err=%v", keys, err)
+			}
+			for i, k := range keys {
+				frag, err := fr.Fragment(req, []int{i})
+				if err != nil {
+					t.Fatalf("fragment %d: %v", i, err)
+				}
+				sm := ta.mk()
+				if res := sm.Apply(EncodeTxnPrepare(1, frag)); len(res) != 1 || res[0] != StatusOK {
+					t.Fatalf("fragment %d not preparable: %v", i, res)
+				}
+				if got := sm.(lockTabler).LockedKeys(); got != 1 {
+					t.Fatalf("fragment %d locked %d keys, want 1", i, got)
+				}
+				if res := sm.Apply(EncodeTxnCommit(1)); res[0] != StatusOK {
+					t.Fatalf("fragment %d commit: %v", i, res)
+				}
+				if !ta.visible(sm, k, '5') {
+					t.Fatalf("fragment %d write not installed for key %q", i, k)
+				}
+			}
+		})
 	}
 }
 
@@ -279,39 +481,80 @@ func TestCrossShardWorkloadFracZero(t *testing.T) {
 }
 
 // TestCrossShardWorkloadMix: at a positive fraction the stream contains
-// cross-shard MGETs and RMSets whose keys really span shards, and all
-// single-key requests still route to the target shard.
+// cross-shard reads and writes whose keys really span shards, and all
+// single-key requests still route to the target shard — for every
+// transactional app's workload.
 func TestCrossShardWorkloadMix(t *testing.T) {
 	const shards, frac = 4, 0.3
-	w := NewCrossShardRKVWorkload(2, shards, frac, rand.New(rand.NewSource(5)), rand.New(rand.NewSource(6)))
-	var mgets, msets, local int
-	for i := 0; i < 500; i++ {
-		req := w.Next()
-		keys, err := RKVRequestKeys(req)
-		if err != nil {
-			t.Fatalf("request %d unroutable: %v", i, err)
-		}
-		switch req[0] {
-		case RMGet, RMSet:
-			if len(keys) != 2 || ShardOfKey(keys[0], shards) == ShardOfKey(keys[1], shards) {
-				t.Fatalf("cross op %d does not span shards", i)
-			}
-			if req[0] == RMGet {
-				mgets++
-			} else {
-				msets++
-			}
-		default:
-			if ShardOfKey(keys[0], shards) != 2 {
-				t.Fatalf("local request %d off-shard", i)
-			}
-			local++
-		}
+	type wl interface{ Next() []byte }
+	cases := []struct {
+		name   string
+		mk     func() wl
+		router Router
+		isRead func(req []byte) bool
+		isWrit func(req []byte) bool
+	}{
+		{
+			name: "rkv",
+			mk: func() wl {
+				return NewCrossShardRKVWorkload(2, shards, frac, rand.New(rand.NewSource(5)), rand.New(rand.NewSource(6)))
+			},
+			router: NewRKV(),
+			isRead: func(r []byte) bool { return r[0] == RMGet },
+			isWrit: func(r []byte) bool { return r[0] == RMSet },
+		},
+		{
+			name: "kv",
+			mk: func() wl {
+				return NewCrossShardKVWorkload(2, shards, frac, rand.New(rand.NewSource(5)), rand.New(rand.NewSource(6)))
+			},
+			router: NewKV(0),
+			isRead: func(r []byte) bool { return r[0] == KVMGet },
+			isWrit: func(r []byte) bool { return r[0] == KVMSet },
+		},
+		{
+			name: "orderbook",
+			mk: func() wl {
+				return NewCrossShardOrderWorkload(2, shards, frac, rand.New(rand.NewSource(5)), rand.New(rand.NewSource(6)))
+			},
+			router: NewOrderBook(),
+			isRead: func(r []byte) bool { return r[0] == OpTops },
+			isWrit: func(r []byte) bool { return r[0] == OpPair },
+		},
 	}
-	if mgets == 0 || msets == 0 {
-		t.Fatalf("mix missing a cross op kind: %d MGETs, %d RMSets", mgets, msets)
-	}
-	if frac := float64(mgets+msets) / 500; frac < 0.15 || frac > 0.45 {
-		t.Fatalf("cross fraction %.2f far from configured 0.30", frac)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := tc.mk()
+			var reads, writes, local int
+			for i := 0; i < 500; i++ {
+				req := w.Next()
+				keys, err := tc.router.Keys(req)
+				if err != nil {
+					t.Fatalf("request %d unroutable: %v", i, err)
+				}
+				switch {
+				case tc.isRead(req) || tc.isWrit(req):
+					if len(keys) != 2 || ShardOfKey(keys[0], shards) == ShardOfKey(keys[1], shards) {
+						t.Fatalf("cross op %d does not span shards", i)
+					}
+					if tc.isRead(req) {
+						reads++
+					} else {
+						writes++
+					}
+				default:
+					if ShardOfKey(keys[0], shards) != 2 {
+						t.Fatalf("local request %d off-shard", i)
+					}
+					local++
+				}
+			}
+			if reads == 0 || writes == 0 {
+				t.Fatalf("mix missing a cross op kind: %d reads, %d writes", reads, writes)
+			}
+			if got := float64(reads+writes) / 500; got < 0.15 || got > 0.45 {
+				t.Fatalf("cross fraction %.2f far from configured 0.30", got)
+			}
+		})
 	}
 }

@@ -9,12 +9,17 @@ import (
 
 // KV is a Memcached-like in-memory key-value store (§7.1): GET/SET/DELETE
 // over byte keys and values, with an eviction bound. The paper's workload
-// uses 16 B keys and 32 B values, 30% GETs of which 80% hit.
+// uses 16 B keys and 32 B values, 30% GETs of which 80% hit. The
+// capability redesign added the multi-key MSET/MGET surface plus the full
+// shard-layer capability set (Router, Fragmenter, TxnParticipant via the
+// embedded LockTable), so a sharded Memcached deployment gets cross-shard
+// reads and atomic cross-shard writes like the Redis-style store.
 type KV struct {
 	m        map[string][]byte
 	maxItems int
 	// keys in insertion order for deterministic eviction.
 	order []string
+	*LockTable
 }
 
 // KV request opcodes.
@@ -22,21 +27,36 @@ const (
 	KVGet    uint8 = 1
 	KVSet    uint8 = 2
 	KVDelete uint8 = 3
+	// KVMSet writes several key/value pairs atomically (2PC across
+	// shards, via the generic OpTxn* envelope).
+	KVMSet uint8 = 4
+	// KVMGet reads several keys (scatter-gather across shards).
+	KVMGet uint8 = 5
 )
 
-// KV response status codes.
+// KV response status codes. KVOK and KVBadReq coincide with the generic
+// StatusOK/StatusBadReq bytes; multi-key responses use the generic
+// statuses directly. KVDeleted/KVNotFound live above the generic range —
+// a lock-refused delete (StatusLocked, 4) must never read as a
+// successful one.
 const (
 	KVOK       uint8 = 0
 	KVMiss     uint8 = 1
 	KVBadReq   uint8 = 2
 	KVStored   uint8 = 3
-	KVDeleted  uint8 = 4
-	KVNotFound uint8 = 5
+	KVDeleted  uint8 = 7
+	KVNotFound uint8 = 8
 )
+
+// kvMultiMax bounds multi-key fan-in, shared by Apply and the key
+// extractor.
+const kvMultiMax = 1024
 
 // NewKV creates a store bounded to maxItems entries (0 = unbounded).
 func NewKV(maxItems int) *KV {
-	return &KV{m: make(map[string][]byte), maxItems: maxItems}
+	kv := &KV{m: make(map[string][]byte), maxItems: maxItems}
+	kv.LockTable = NewLockTable(kv.writeFragmentKeys, kv.installFragment, kv.Apply)
+	return kv
 }
 
 // EncodeKVGet builds a GET request.
@@ -64,9 +84,31 @@ func EncodeKVDelete(key []byte) []byte {
 	return w.Finish()
 }
 
+// EncodeKVMSet builds an atomic multi-key SET request.
+func EncodeKVMSet(pairs ...Pair) []byte {
+	w := wire.NewWriter(64)
+	w.U8(KVMSet)
+	encodePairs(w, pairs)
+	return w.Finish()
+}
+
+// EncodeKVMGet builds a multi-key GET request.
+func EncodeKVMGet(keys ...[]byte) []byte {
+	w := wire.NewWriter(64)
+	w.U8(KVMGet)
+	w.Uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		w.Bytes(k)
+	}
+	return w.Finish()
+}
+
 // Apply executes one request. Responses are status-prefixed; GET responses
 // carry the value on a hit.
 func (kv *KV) Apply(req []byte) []byte {
+	if res, handled := ApplyTxn(kv, req); handled {
+		return res
+	}
 	rd := wire.NewReader(req)
 	op := rd.U8()
 	switch op {
@@ -89,21 +131,18 @@ func (kv *KV) Apply(req []byte) []byte {
 		if rd.Done() != nil {
 			return []byte{KVBadReq}
 		}
-		k := string(key)
-		if _, exists := kv.m[k]; !exists {
-			kv.order = append(kv.order, k)
-			if kv.maxItems > 0 && len(kv.order) > kv.maxItems {
-				evict := kv.order[0]
-				kv.order = kv.order[1:]
-				delete(kv.m, evict)
-			}
+		if kv.Locked(key) {
+			return kv.ParkOrRefuse([][]byte{key}, req)
 		}
-		kv.m[k] = val
+		kv.set(string(key), val)
 		return []byte{KVStored}
 	case KVDelete:
 		key := rd.Bytes()
 		if rd.Done() != nil {
 			return []byte{KVBadReq}
+		}
+		if kv.Locked(key) {
+			return kv.ParkOrRefuse([][]byte{key}, req)
 		}
 		k := string(key)
 		if _, ok := kv.m[k]; !ok {
@@ -117,22 +156,132 @@ func (kv *KV) Apply(req []byte) []byte {
 			}
 		}
 		return []byte{KVDeleted}
+	case KVMSet:
+		pairs, ok := decodePairs(rd, kvMultiMax)
+		if !ok || rd.Done() != nil {
+			return []byte{KVBadReq}
+		}
+		keys := make([][]byte, 0, len(pairs))
+		for _, p := range pairs {
+			keys = append(keys, p.Key)
+		}
+		if kv.AnyLocked(keys...) {
+			return kv.ParkOrRefuse(keys, req)
+		}
+		for _, p := range pairs {
+			kv.set(string(p.Key), p.Val)
+		}
+		// Multi-key ops speak the generic status vocabulary, so the ack is
+		// identical whether the write ran on one shard or as a cross-shard
+		// 2PC transaction (which answers StatusOK from the coordinator).
+		return []byte{StatusOK}
+	case KVMGet:
+		n, ok := readCount(rd, kvMultiMax)
+		if !ok {
+			return []byte{KVBadReq}
+		}
+		keys := make([][]byte, 0, n)
+		for i := 0; i < n; i++ {
+			keys = append(keys, rd.Bytes())
+		}
+		if rd.Done() != nil {
+			return []byte{KVBadReq}
+		}
+		// Lock-aware like the Redis-style MGET: park until an in-flight
+		// transaction over any of the keys resolves, so readers never see
+		// a cross-shard write mid-commit.
+		if kv.AnyLocked(keys...) {
+			return kv.ParkOrRefuse(keys, req)
+		}
+		return encodeKeyedReads(len(keys), func(i int) (bool, []byte) {
+			v, ok := kv.m[string(keys[i])]
+			return ok, v
+		})
 	default:
 		return []byte{KVBadReq}
+	}
+}
+
+// set installs one key/value pair with the eviction bookkeeping.
+func (kv *KV) set(k string, val []byte) {
+	if _, exists := kv.m[k]; !exists {
+		kv.order = append(kv.order, k)
+		if kv.maxItems > 0 && len(kv.order) > kv.maxItems {
+			evict := kv.order[0]
+			kv.order = kv.order[1:]
+			delete(kv.m, evict)
+		}
+	}
+	kv.m[k] = val
+}
+
+// Keys implements Router.
+func (kv *KV) Keys(req []byte) ([][]byte, error) { return KVRequestKeys(req) }
+
+// ReadOnly implements Fragmenter: multi-key GETs scatter-gather, multi-key
+// SETs run 2PC.
+func (kv *KV) ReadOnly(req []byte) bool { return len(req) > 0 && req[0] == KVMGet }
+
+// Fragment implements Fragmenter.
+func (kv *KV) Fragment(req []byte, keyIdx []int) ([]byte, error) {
+	rd := wire.NewReader(req)
+	switch op := rd.U8(); op {
+	case KVMGet:
+		sub, err := subsetKeys(rd, kvMultiMax, keyIdx)
+		if err != nil {
+			return nil, err
+		}
+		return EncodeKVMGet(sub...), nil
+	case KVMSet:
+		sub, err := subsetPairs(rd, kvMultiMax, keyIdx)
+		if err != nil {
+			return nil, err
+		}
+		return EncodeKVMSet(sub...), nil
+	default:
+		return nil, ErrNoKey
+	}
+}
+
+// Merge implements Fragmenter for scatter-gathered multi-key GETs.
+func (kv *KV) Merge(req []byte, legs [][]byte, legKeys [][]int) []byte {
+	return mergeKeyedReads(legs, legKeys)
+}
+
+// writeFragmentKeys validates a staged fragment (it must be a KVMSet) and
+// extracts its keys for the LockTable.
+func (kv *KV) writeFragmentKeys(frag []byte) ([][]byte, error) {
+	if len(frag) == 0 || frag[0] != KVMSet {
+		return nil, ErrNoKey
+	}
+	return KVRequestKeys(frag)
+}
+
+// installFragment applies a committed KVMSet fragment.
+func (kv *KV) installFragment(frag []byte) {
+	rd := wire.NewReader(frag)
+	rd.U8()
+	pairs, ok := decodePairs(rd, kvMultiMax)
+	if !ok || rd.Done() != nil {
+		return
+	}
+	for _, p := range pairs {
+		kv.set(string(p.Key), p.Val)
 	}
 }
 
 // Len returns the number of stored items.
 func (kv *KV) Len() int { return len(kv.m) }
 
-// Snapshot serializes the store deterministically (sorted keys).
+// Snapshot serializes the store deterministically (sorted keys), including
+// the embedded LockTable.
 func (kv *KV) Snapshot() []byte {
 	keys := make([]string, 0, len(kv.m))
 	for k := range kv.m {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	w := wire.NewWriter(64 * len(keys))
+	w := wire.NewWriter(64 * (len(keys) + 1))
 	w.Uvarint(uint64(len(keys)))
 	for _, k := range keys {
 		w.String(k)
@@ -143,6 +292,7 @@ func (kv *KV) Snapshot() []byte {
 	for _, k := range kv.order {
 		w.String(k)
 	}
+	kv.SnapshotTo(w)
 	return w.Finish()
 }
 
@@ -160,6 +310,7 @@ func (kv *KV) Restore(snap []byte) {
 	for i := 0; i < no; i++ {
 		kv.order = append(kv.order, rd.String())
 	}
+	kv.RestoreFrom(rd)
 }
 
 // ExecCost models the full Memcached server path (protocol parsing, hash

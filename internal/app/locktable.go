@@ -1,0 +1,377 @@
+package app
+
+import (
+	"sort"
+
+	"repro/internal/wire"
+)
+
+// LockTable is the reusable 2PC participant component, extracted from the
+// Redis-style store so every application can opt into cross-shard
+// transactions: a per-key lock table with staged write fragments, conflict
+// votes, a bounded abort/decision tombstone log, and a per-key FIFO wait
+// queue that parks requests blocked on a lock until it releases. It is
+// embedded by an application, which supplies three callbacks:
+//
+//	keysOf  — extracts (and validates) the keys of a write fragment
+//	install — applies a committed fragment to application state
+//	exec    — executes a parked request once its keys are free
+//	          (typically the application's own Apply)
+//
+// All LockTable state is deterministic and carried through
+// SnapshotTo/RestoreFrom, so a replica restored via state transfer agrees
+// on in-flight transactions and parked requests, not just committed data.
+type LockTable struct {
+	keysOf  func(fragment []byte) ([][]byte, error)
+	install func(fragment []byte)
+	exec    func(req []byte) []byte
+
+	// locks maps a key to the transaction holding it; staged holds each
+	// in-flight transaction's fragment (installed on Commit, discarded on
+	// Abort). The lock table is derivable from staged (every lock belongs
+	// to exactly one staged transaction), so it is rebuilt on restore.
+	locks  map[string]uint64
+	staged map[uint64]*stagedTxn
+
+	// Decision/tombstone log (bounded FIFO so a long run cannot grow it
+	// without bound): commit/abort decisions recorded by the coordinator
+	// group, plus abort tombstones that refuse a prepare delayed past its
+	// own abort (which would otherwise strand the keys locked forever).
+	decisions     map[uint64]bool
+	decisionOrder []uint64
+
+	// The FIFO wait queue: requests that hit a transaction-locked key are
+	// parked here (in arrival = ticket order) and executed by the Apply
+	// that releases their last blocking lock. Results accumulate in
+	// released until the replica drains them via TakeReleased.
+	parked       []parkedReq
+	nextTicket   uint64
+	parkedTicket uint64
+	released     []Release
+}
+
+// stagedTxn is one prepared (locked but not yet committed) transaction.
+type stagedTxn struct {
+	keys []string // locked keys, in fragment order
+	frag []byte   // the staged write fragment
+}
+
+// parkedReq is one wait-queue entry.
+type parkedReq struct {
+	ticket uint64
+	keys   []string // every key the request waits on
+	req    []byte   // the original request, re-executed on release
+}
+
+// decisionCap bounds the decision/tombstone log.
+const decisionCap = 4096
+
+// parkedCap bounds the wait queue; beyond it requests are refused with
+// StatusLocked and fall back to caller-side retry.
+const parkedCap = 1024
+
+// NewLockTable builds an empty lock table wired to its application.
+func NewLockTable(keysOf func([]byte) ([][]byte, error), install func([]byte), exec func([]byte) []byte) *LockTable {
+	return &LockTable{
+		keysOf:    keysOf,
+		install:   install,
+		exec:      exec,
+		locks:     make(map[string]uint64),
+		staged:    make(map[uint64]*stagedTxn),
+		decisions: make(map[uint64]bool),
+	}
+}
+
+// Prepare locks the fragment's keys and stages it (TxnParticipant hook).
+// Lock acquisition is all-or-nothing: a conflict on any key votes
+// StatusConflict and leaves nothing locked, so concurrent prepares cannot
+// deadlock on partial lock sets. Re-delivered prepares for an
+// already-staged txid vote StatusOK; a prepare for a txid already
+// tombstoned here is refused — without the abort tombstone, a prepare
+// delayed past its own abort (which no-ops on the unknown txid) would
+// strand the keys locked forever.
+func (lt *LockTable) Prepare(txid uint64, fragment []byte) uint8 {
+	if _, decided := lt.decisions[txid]; decided {
+		return StatusConflict
+	}
+	if _, dup := lt.staged[txid]; dup {
+		return StatusOK
+	}
+	keys, err := lt.keysOf(fragment)
+	if err != nil || len(keys) == 0 {
+		return StatusBadReq
+	}
+	for _, k := range keys {
+		if holder, held := lt.locks[string(k)]; held && holder != txid {
+			return StatusConflict
+		}
+	}
+	tx := &stagedTxn{keys: make([]string, 0, len(keys)), frag: fragment}
+	for _, k := range keys {
+		ks := string(k)
+		lt.locks[ks] = txid
+		tx.keys = append(tx.keys, ks)
+	}
+	lt.staged[txid] = tx
+	return StatusOK
+}
+
+// Commit installs a staged fragment, releases its locks and drains the
+// wait queue (TxnParticipant hook). Unknown txids acknowledge StatusOK so
+// commits are idempotent under retransmission.
+func (lt *LockTable) Commit(txid uint64) uint8 {
+	tx, ok := lt.staged[txid]
+	if !ok {
+		return StatusOK
+	}
+	for _, k := range tx.keys {
+		delete(lt.locks, k)
+	}
+	delete(lt.staged, txid)
+	lt.install(tx.frag)
+	lt.drain()
+	return StatusOK
+}
+
+// Abort discards a staged fragment, releases its locks and drains the
+// wait queue, idempotently (TxnParticipant hook). It always records an
+// abort tombstone so a prepare ordered after the abort is refused rather
+// than staged with no coordinator left to resolve it. (The log is
+// FIFO-capped, so a prepare delayed past decisionCap later decisions could
+// still slip through — the bounded-memory tradeoff.)
+func (lt *LockTable) Abort(txid uint64) uint8 {
+	lt.record(txid, false)
+	tx, ok := lt.staged[txid]
+	if !ok {
+		return StatusOK
+	}
+	for _, k := range tx.keys {
+		delete(lt.locks, k)
+	}
+	delete(lt.staged, txid)
+	lt.drain()
+	return StatusOK
+}
+
+// Decided records the coordinator group's durable decision for txid
+// (TxnParticipant hook).
+func (lt *LockTable) Decided(txid uint64, commit bool) uint8 {
+	lt.record(txid, commit)
+	return StatusOK
+}
+
+// record appends to the bounded decision log, first write wins: a
+// transaction's outcome is immutable once logged, so a cancelled
+// decide(commit) straggling in the pipeline behind its own abort cannot
+// flip the durable record (decision replay must never disagree with what
+// participants were told).
+func (lt *LockTable) record(txid uint64, commit bool) {
+	if _, dup := lt.decisions[txid]; dup {
+		return
+	}
+	lt.decisionOrder = append(lt.decisionOrder, txid)
+	if len(lt.decisionOrder) > decisionCap {
+		evict := lt.decisionOrder[0]
+		lt.decisionOrder = lt.decisionOrder[1:]
+		delete(lt.decisions, evict)
+	}
+	lt.decisions[txid] = commit
+}
+
+// Locked reports whether key is held by an in-flight transaction.
+func (lt *LockTable) Locked(key []byte) bool {
+	_, held := lt.locks[string(key)]
+	return held
+}
+
+// AnyLocked reports whether any of the keys is transaction-locked.
+func (lt *LockTable) AnyLocked(keys ...[]byte) bool {
+	for _, k := range keys {
+		if lt.Locked(k) {
+			return true
+		}
+	}
+	return false
+}
+
+// Park appends a request blocked on transaction locks to the FIFO wait
+// queue and returns its ticket; 0 means the queue is full and the caller
+// must refuse with StatusLocked instead. keys must be every key the
+// request will touch, so it is only released once all of them are free.
+func (lt *LockTable) Park(keys [][]byte, req []byte) uint64 {
+	if len(lt.parked) >= parkedCap {
+		return 0
+	}
+	lt.nextTicket++
+	p := parkedReq{
+		ticket: lt.nextTicket,
+		keys:   make([]string, 0, len(keys)),
+		req:    append([]byte(nil), req...),
+	}
+	for _, k := range keys {
+		p.keys = append(p.keys, string(k))
+	}
+	lt.parked = append(lt.parked, p)
+	lt.parkedTicket = p.ticket
+	return p.ticket
+}
+
+// drain executes every parked request whose keys are all free, in ticket
+// (arrival) order, buffering the results for TakeReleased. Parked
+// requests hold no locks themselves, so executing one can never re-park
+// it or block another.
+func (lt *LockTable) drain() {
+	kept := lt.parked[:0]
+	for _, p := range lt.parked {
+		blocked := false
+		for _, k := range p.keys {
+			if _, held := lt.locks[k]; held {
+				blocked = true
+				break
+			}
+		}
+		if blocked {
+			kept = append(kept, p)
+			continue
+		}
+		lt.released = append(lt.released, Release{Ticket: p.ticket, Result: lt.exec(p.req)})
+	}
+	lt.parked = kept
+}
+
+// TakeParkedTicket implements Deferring.
+func (lt *LockTable) TakeParkedTicket() uint64 {
+	t := lt.parkedTicket
+	lt.parkedTicket = 0
+	return t
+}
+
+// TakeReleased implements Deferring.
+func (lt *LockTable) TakeReleased() []Release {
+	r := lt.released
+	lt.released = nil
+	return r
+}
+
+// Parked implements Deferring. A linear scan is fine: the queue is capped
+// at parkedCap and the caller runs once per stable checkpoint.
+func (lt *LockTable) Parked(ticket uint64) bool {
+	for _, p := range lt.parked {
+		if p.ticket == ticket {
+			return true
+		}
+	}
+	return false
+}
+
+// ParkOrRefuse queues a lock-blocked request (nil response = the request
+// is deferred and answers at lock release), falling back to StatusLocked
+// when the wait queue is full — the shared overflow convention of every
+// embedding application.
+func (lt *LockTable) ParkOrRefuse(keys [][]byte, req []byte) []byte {
+	if lt.Park(keys, req) != 0 {
+		return nil
+	}
+	return []byte{StatusLocked}
+}
+
+// LockedKeys reports how many keys are currently transaction-locked
+// (test/diagnostic surface).
+func (lt *LockTable) LockedKeys() int { return len(lt.locks) }
+
+// StagedTxs reports how many transactions are prepared but undecided.
+func (lt *LockTable) StagedTxs() int { return len(lt.staged) }
+
+// ParkedCount reports how many requests wait in the FIFO queue.
+func (lt *LockTable) ParkedCount() int { return len(lt.parked) }
+
+// Decision looks up the decision/tombstone log.
+func (lt *LockTable) Decision(txid uint64) (commit, ok bool) {
+	commit, ok = lt.decisions[txid]
+	return commit, ok
+}
+
+// SnapshotTo serializes the lock table deterministically: staged
+// transactions ascending by txid, the decision log in FIFO order (the
+// eviction order is part of the state), the wait queue in ticket order,
+// and the ticket counter. The lock table itself is rebuilt on restore.
+func (lt *LockTable) SnapshotTo(w *wire.Writer) {
+	txids := make([]uint64, 0, len(lt.staged))
+	for id := range lt.staged {
+		txids = append(txids, id)
+	}
+	sort.Slice(txids, func(i, j int) bool { return txids[i] < txids[j] })
+	w.Uvarint(uint64(len(txids)))
+	for _, id := range txids {
+		tx := lt.staged[id]
+		w.U64(id)
+		w.Uvarint(uint64(len(tx.keys)))
+		for _, k := range tx.keys {
+			w.String(k)
+		}
+		w.Bytes(tx.frag)
+	}
+
+	w.Uvarint(uint64(len(lt.decisionOrder)))
+	for _, id := range lt.decisionOrder {
+		w.U64(id)
+		w.Bool(lt.decisions[id])
+	}
+
+	w.Uvarint(uint64(len(lt.parked)))
+	for _, p := range lt.parked {
+		w.U64(p.ticket)
+		w.Uvarint(uint64(len(p.keys)))
+		for _, k := range p.keys {
+			w.String(k)
+		}
+		w.Bytes(p.req)
+	}
+	w.U64(lt.nextTicket)
+}
+
+// RestoreFrom replaces the lock table from a snapshot (callbacks are
+// kept; pending release buffers are cleared — a restored replica never
+// owes responses for requests it did not execute).
+func (lt *LockTable) RestoreFrom(rd *wire.Reader) {
+	nt := int(rd.Uvarint())
+	lt.locks = make(map[string]uint64)
+	lt.staged = make(map[uint64]*stagedTxn, nt)
+	for i := 0; i < nt; i++ {
+		id := rd.U64()
+		nk := int(rd.Uvarint())
+		tx := &stagedTxn{keys: make([]string, 0, nk)}
+		for j := 0; j < nk; j++ {
+			k := rd.String()
+			tx.keys = append(tx.keys, k)
+			lt.locks[k] = id
+		}
+		tx.frag = rd.Bytes()
+		lt.staged[id] = tx
+	}
+
+	nd := int(rd.Uvarint())
+	lt.decisions = make(map[uint64]bool, nd)
+	lt.decisionOrder = make([]uint64, 0, nd)
+	for i := 0; i < nd; i++ {
+		id := rd.U64()
+		lt.decisions[id] = rd.Bool()
+		lt.decisionOrder = append(lt.decisionOrder, id)
+	}
+
+	np := int(rd.Uvarint())
+	lt.parked = make([]parkedReq, 0, np)
+	for i := 0; i < np; i++ {
+		p := parkedReq{ticket: rd.U64()}
+		nk := int(rd.Uvarint())
+		p.keys = make([]string, 0, nk)
+		for j := 0; j < nk; j++ {
+			p.keys = append(p.keys, rd.String())
+		}
+		p.req = rd.Bytes()
+		lt.parked = append(lt.parked, p)
+	}
+	lt.nextTicket = rd.U64()
+	lt.parkedTicket = 0
+	lt.released = nil
+}

@@ -8,10 +8,25 @@ import (
 )
 
 // OrderBook is a Liquibook-like financial order matching engine (§7.1):
-// a single-instrument limit order book with price-time priority matching.
-// The paper's workload sends 32 B orders, 50% BUY / 50% SELL; responses
-// carry the fills (32 B to 288 B depending on matches).
+// limit order books with price-time priority matching. The paper's
+// workload sends 32 B orders, 50% BUY / 50% SELL; responses carry the
+// fills (32 B to 288 B depending on matches).
+//
+// The capability redesign generalized it to many independent symbols (one
+// book per symbol, the symbol being the sharding key) and added the full
+// shard-layer capability set: symbol-scoped orders (OpOrderSym), atomic
+// two-legged cross-symbol pairs (OpPair — e.g. sell A / buy B as one
+// transfer, run as a 2PC transaction when the symbols live on different
+// shards), and multi-symbol top-of-book reads (OpTops, scatter-gathered
+// across shards). The legacy symbol-less opcodes operate on the default
+// "" symbol, preserving the paper-workload behavior bit for bit.
 type OrderBook struct {
+	books map[string]*book
+	*LockTable
+}
+
+// book is one symbol's limit order book.
+type book struct {
 	nextID uint64
 	bids   []restingOrder // sorted by (price desc, id asc)
 	asks   []restingOrder // sorted by (price asc, id asc)
@@ -28,7 +43,20 @@ const (
 	OpBuy    uint8 = 1
 	OpSell   uint8 = 2
 	OpCancel uint8 = 3
+	// OpOrderSym is a symbol-scoped limit order (the sharded variant of
+	// OpBuy/OpSell; the symbol is the routing key).
+	OpOrderSym uint8 = 4
+	// OpPair is an atomic two-legged order across symbols (a transfer):
+	// both legs execute, or — when the symbols span shards and the 2PC
+	// transaction aborts — neither does.
+	OpPair uint8 = 5
+	// OpTops reads the best bid/ask of several symbols (scatter-gathered
+	// across shards like a multi-key GET).
+	OpTops uint8 = 6
 )
+
+// obTopsMax bounds multi-symbol fan-in.
+const obTopsMax = 1024
 
 // Fill describes one match.
 type Fill struct {
@@ -37,7 +65,15 @@ type Fill struct {
 	Qty     uint64
 }
 
-// EncodeOrder builds a limit order request.
+// OrderLeg is one leg of a two-legged pair order.
+type OrderLeg struct {
+	Sym   []byte
+	Side  uint8 // OpBuy or OpSell
+	Price uint64
+	Qty   uint64
+}
+
+// EncodeOrder builds a limit order request on the default symbol.
 func EncodeOrder(side uint8, price, qty uint64) []byte {
 	w := wire.NewWriter(24)
 	w.U8(side)
@@ -46,7 +82,7 @@ func EncodeOrder(side uint8, price, qty uint64) []byte {
 	return w.Finish()
 }
 
-// EncodeCancel builds a cancel request.
+// EncodeCancel builds a cancel request on the default symbol.
 func EncodeCancel(orderID uint64) []byte {
 	w := wire.NewWriter(16)
 	w.U8(OpCancel)
@@ -54,18 +90,87 @@ func EncodeCancel(orderID uint64) []byte {
 	return w.Finish()
 }
 
-// NewOrderBook creates an empty book.
-func NewOrderBook() *OrderBook { return &OrderBook{} }
+// EncodeOrderSym builds a symbol-scoped limit order.
+func EncodeOrderSym(sym []byte, side uint8, price, qty uint64) []byte {
+	w := wire.NewWriter(32 + len(sym))
+	w.U8(OpOrderSym)
+	w.Bytes(sym)
+	w.U8(side)
+	w.U64(price)
+	w.U64(qty)
+	return w.Finish()
+}
 
-// BidCount and AskCount expose book depth (diagnostics and tests).
-func (ob *OrderBook) BidCount() int { return len(ob.bids) }
+// EncodePairOrder builds an atomic two-legged order.
+func EncodePairOrder(a, b OrderLeg) []byte {
+	w := wire.NewWriter(64 + len(a.Sym) + len(b.Sym))
+	w.U8(OpPair)
+	for _, leg := range []OrderLeg{a, b} {
+		w.Bytes(leg.Sym)
+		w.U8(leg.Side)
+		w.U64(leg.Price)
+		w.U64(leg.Qty)
+	}
+	return w.Finish()
+}
 
-// AskCount returns the number of resting sell orders.
-func (ob *OrderBook) AskCount() int { return len(ob.asks) }
+// EncodeTops builds a multi-symbol top-of-book read.
+func EncodeTops(syms ...[]byte) []byte {
+	w := wire.NewWriter(64)
+	w.U8(OpTops)
+	w.Uvarint(uint64(len(syms)))
+	for _, s := range syms {
+		w.Bytes(s)
+	}
+	return w.Finish()
+}
 
-// Apply executes one order. The response encodes the taker's order id, the
-// unfilled remainder (0 = fully filled or fully matched), and the fills.
+// NewOrderBook creates an empty matching engine.
+func NewOrderBook() *OrderBook {
+	ob := &OrderBook{books: make(map[string]*book)}
+	ob.LockTable = NewLockTable(ob.writeFragmentKeys, ob.installFragment, ob.Apply)
+	return ob
+}
+
+// book returns the symbol's book, creating it on first use.
+func (ob *OrderBook) book(sym string) *book {
+	b, ok := ob.books[sym]
+	if !ok {
+		b = &book{}
+		ob.books[sym] = b
+	}
+	return b
+}
+
+// BidCount exposes the default book's bid depth (diagnostics and tests).
+func (ob *OrderBook) BidCount() int { return ob.BidCountSym(nil) }
+
+// AskCount returns the default book's resting sell orders.
+func (ob *OrderBook) AskCount() int { return ob.AskCountSym(nil) }
+
+// BidCountSym exposes one symbol's bid depth.
+func (ob *OrderBook) BidCountSym(sym []byte) int {
+	if b, ok := ob.books[string(sym)]; ok {
+		return len(b.bids)
+	}
+	return 0
+}
+
+// AskCountSym exposes one symbol's ask depth.
+func (ob *OrderBook) AskCountSym(sym []byte) int {
+	if b, ok := ob.books[string(sym)]; ok {
+		return len(b.asks)
+	}
+	return 0
+}
+
+// Apply executes one order. Order responses encode the taker's order id,
+// the unfilled remainder (0 = fully filled or fully matched), and the
+// fills.
 func (ob *OrderBook) Apply(req []byte) []byte {
+	if res, handled := ApplyTxn(ob, req); handled {
+		return res
+	}
 	rd := wire.NewReader(req)
 	op := rd.U8()
 	switch op {
@@ -75,36 +180,157 @@ func (ob *OrderBook) Apply(req []byte) []byte {
 		if rd.Done() != nil || qty == 0 {
 			return encodeOrderResp(0, 0, nil, false)
 		}
-		ob.nextID++
-		id := ob.nextID
-		var fills []Fill
-		if op == OpBuy {
-			fills, qty = ob.match(&ob.asks, price, qty, false)
-			if qty > 0 {
-				ob.rest(&ob.bids, restingOrder{ID: id, Price: price, Qty: qty}, true)
-			}
-		} else {
-			fills, qty = ob.match(&ob.bids, price, qty, true)
-			if qty > 0 {
-				ob.rest(&ob.asks, restingOrder{ID: id, Price: price, Qty: qty}, false)
-			}
+		if ob.Locked(nil) {
+			return ob.ParkOrRefuse([][]byte{nil}, req)
 		}
-		return encodeOrderResp(id, qty, fills, true)
+		id, remaining, fills := ob.book("").place(op, price, qty)
+		return encodeOrderResp(id, remaining, fills, true)
 	case OpCancel:
 		id := rd.U64()
 		if rd.Done() != nil {
 			return encodeOrderResp(0, 0, nil, false)
 		}
-		ok := cancelFrom(&ob.bids, id) || cancelFrom(&ob.asks, id)
+		if ob.Locked(nil) {
+			return ob.ParkOrRefuse([][]byte{nil}, req)
+		}
+		b := ob.book("")
+		ok := cancelFrom(&b.bids, id) || cancelFrom(&b.asks, id)
 		return encodeOrderResp(id, 0, nil, ok)
+	case OpOrderSym:
+		sym := rd.Bytes()
+		side := rd.U8()
+		price := rd.U64()
+		qty := rd.U64()
+		if rd.Done() != nil || qty == 0 || (side != OpBuy && side != OpSell) {
+			return encodeOrderResp(0, 0, nil, false)
+		}
+		if ob.Locked(sym) {
+			return ob.ParkOrRefuse([][]byte{sym}, req)
+		}
+		id, remaining, fills := ob.book(string(sym)).place(side, price, qty)
+		return encodeOrderResp(id, remaining, fills, true)
+	case OpPair:
+		legs, err := decodePairLegs(rd)
+		if err != nil {
+			return []byte{StatusBadReq}
+		}
+		if ob.AnyLocked(legs[0].Sym, legs[1].Sym) {
+			return ob.ParkOrRefuse([][]byte{legs[0].Sym, legs[1].Sym}, req)
+		}
+		w := wire.NewWriter(128)
+		w.U8(StatusOK)
+		for _, leg := range legs {
+			id, remaining, fills := ob.book(string(leg.Sym)).place(leg.Side, leg.Price, leg.Qty)
+			w.Bytes(encodeOrderResp(id, remaining, fills, true))
+		}
+		return w.Finish()
+	case OpTops:
+		n, ok := readCount(rd, obTopsMax)
+		if !ok {
+			return []byte{StatusBadReq}
+		}
+		syms := make([][]byte, 0, n)
+		for i := 0; i < n; i++ {
+			syms = append(syms, rd.Bytes())
+		}
+		if rd.Done() != nil {
+			return []byte{StatusBadReq}
+		}
+		// Lock-aware like the KV multi-reads: park while any symbol is
+		// held by an in-flight pair transaction, so a top-of-book read
+		// never observes a transfer mid-commit.
+		if ob.AnyLocked(syms...) {
+			return ob.ParkOrRefuse(syms, req)
+		}
+		return encodeKeyedReads(len(syms), func(i int) (bool, []byte) {
+			return true, ob.topsEntry(syms[i])
+		})
 	default:
 		return encodeOrderResp(0, 0, nil, false)
 	}
 }
 
+// topsEntry encodes one symbol's best bid/ask blob: Bool(hasBid) +
+// price/qty, Bool(hasAsk) + price/qty.
+func (ob *OrderBook) topsEntry(sym []byte) []byte {
+	w := wire.NewWriter(40)
+	b := ob.books[string(sym)]
+	for _, side := range [][]restingOrder{bidsOf(b), asksOf(b)} {
+		if len(side) > 0 {
+			w.Bool(true)
+			w.U64(side[0].Price)
+			w.U64(side[0].Qty)
+		} else {
+			w.Bool(false)
+		}
+	}
+	return w.Finish()
+}
+
+func bidsOf(b *book) []restingOrder {
+	if b == nil {
+		return nil
+	}
+	return b.bids
+}
+
+func asksOf(b *book) []restingOrder {
+	if b == nil {
+		return nil
+	}
+	return b.asks
+}
+
+// DecodeTopsEntry parses one symbol's top-of-book blob (helper for
+// clients and tests).
+func DecodeTopsEntry(blob []byte) (bidPrice, bidQty, askPrice, askQty uint64, hasBid, hasAsk bool, err error) {
+	rd := wire.NewReader(blob)
+	if hasBid = rd.Bool(); hasBid {
+		bidPrice, bidQty = rd.U64(), rd.U64()
+	}
+	if hasAsk = rd.Bool(); hasAsk {
+		askPrice, askQty = rd.U64(), rd.U64()
+	}
+	return bidPrice, bidQty, askPrice, askQty, hasBid, hasAsk, rd.Done()
+}
+
+// decodePairLegs reads the two legs of an OpPair request (the opcode is
+// already consumed).
+func decodePairLegs(rd *wire.Reader) ([2]OrderLeg, error) {
+	var legs [2]OrderLeg
+	for i := range legs {
+		legs[i] = OrderLeg{Sym: rd.Bytes(), Side: rd.U8(), Price: rd.U64(), Qty: rd.U64()}
+		if legs[i].Side != OpBuy && legs[i].Side != OpSell || legs[i].Qty == 0 {
+			return legs, ErrNoKey
+		}
+	}
+	if rd.Done() != nil {
+		return legs, ErrNoKey
+	}
+	return legs, nil
+}
+
+// place matches one order against the book and rests any remainder.
+func (b *book) place(side uint8, price, qty uint64) (id, remaining uint64, fills []Fill) {
+	b.nextID++
+	id = b.nextID
+	if side == OpBuy {
+		fills, qty = b.match(&b.asks, price, qty, false)
+		if qty > 0 {
+			b.rest(&b.bids, restingOrder{ID: id, Price: price, Qty: qty}, true)
+		}
+	} else {
+		fills, qty = b.match(&b.bids, price, qty, true)
+		if qty > 0 {
+			b.rest(&b.asks, restingOrder{ID: id, Price: price, Qty: qty}, false)
+		}
+	}
+	return id, qty, fills
+}
+
 // match crosses the taker against the far side of the book. descending
 // selects bid-side ordering. Returns the fills and the unfilled remainder.
-func (ob *OrderBook) match(side *[]restingOrder, price, qty uint64, descending bool) ([]Fill, uint64) {
+func (b *book) match(side *[]restingOrder, price, qty uint64, descending bool) ([]Fill, uint64) {
 	var fills []Fill
 	for qty > 0 && len(*side) > 0 {
 		top := &(*side)[0]
@@ -130,7 +356,7 @@ func (ob *OrderBook) match(side *[]restingOrder, price, qty uint64, descending b
 }
 
 // rest inserts a residual order preserving price-time priority.
-func (ob *OrderBook) rest(side *[]restingOrder, o restingOrder, descending bool) {
+func (b *book) rest(side *[]restingOrder, o restingOrder, descending bool) {
 	idx := sort.Search(len(*side), func(i int) bool {
 		if (*side)[i].Price == o.Price {
 			return (*side)[i].ID > o.ID
@@ -182,35 +408,192 @@ func DecodeOrderResp(b []byte) (ok bool, id, remaining uint64, fills []Fill, err
 	return ok, id, remaining, fills, rd.Done()
 }
 
-// Snapshot serializes the book deterministically.
-func (ob *OrderBook) Snapshot() []byte {
-	w := wire.NewWriter(64 + 24*(len(ob.bids)+len(ob.asks)))
-	w.U64(ob.nextID)
-	for _, side := range [][]restingOrder{ob.bids, ob.asks} {
-		w.Uvarint(uint64(len(side)))
-		for _, o := range side {
-			w.U64(o.ID)
-			w.U64(o.Price)
-			w.U64(o.Qty)
+// Keys implements Router: the symbol is the routing key (legacy
+// symbol-less orders live on the default "" symbol).
+func (ob *OrderBook) Keys(req []byte) ([][]byte, error) {
+	rd := wire.NewReader(req)
+	switch op := rd.U8(); op {
+	case OpBuy, OpSell, OpCancel:
+		if rd.Err() != nil {
+			return nil, ErrNoKey
+		}
+		return [][]byte{nil}, nil
+	case OpOrderSym:
+		sym := rd.BytesView()
+		if rd.Err() != nil {
+			return nil, ErrNoKey
+		}
+		return [][]byte{sym}, nil
+	case OpPair:
+		a := rd.BytesView()
+		rd.U8()
+		rd.U64()
+		rd.U64()
+		b := rd.BytesView()
+		if rd.Err() != nil {
+			return nil, ErrNoKey
+		}
+		return [][]byte{a, b}, nil
+	case OpTops:
+		n, ok := readCount(rd, obTopsMax)
+		if !ok {
+			return nil, ErrNoKey
+		}
+		syms := make([][]byte, 0, n)
+		for i := 0; i < n; i++ {
+			syms = append(syms, rd.BytesView())
+		}
+		if rd.Err() != nil {
+			return nil, ErrNoKey
+		}
+		return syms, nil
+	default:
+		return nil, ErrNoKey
+	}
+}
+
+// ReadOnly implements Fragmenter: top-of-book reads scatter-gather, pair
+// orders run 2PC.
+func (ob *OrderBook) ReadOnly(req []byte) bool { return len(req) > 0 && req[0] == OpTops }
+
+// Fragment implements Fragmenter.
+func (ob *OrderBook) Fragment(req []byte, keyIdx []int) ([]byte, error) {
+	rd := wire.NewReader(req)
+	switch op := rd.U8(); op {
+	case OpPair:
+		legs, err := decodePairLegs(rd)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case len(keyIdx) == 2 && keyIdx[0] == 0 && keyIdx[1] == 1:
+			return req, nil
+		case len(keyIdx) == 1 && (keyIdx[0] == 0 || keyIdx[0] == 1):
+			leg := legs[keyIdx[0]]
+			return EncodeOrderSym(leg.Sym, leg.Side, leg.Price, leg.Qty), nil
+		default:
+			return nil, ErrNoKey
+		}
+	case OpTops:
+		sub, err := subsetKeys(rd, obTopsMax, keyIdx)
+		if err != nil {
+			return nil, err
+		}
+		return EncodeTops(sub...), nil
+	default:
+		return nil, ErrNoKey
+	}
+}
+
+// Merge implements Fragmenter for scatter-gathered top-of-book reads (the
+// response layout matches the generic keyed-read shape).
+func (ob *OrderBook) Merge(req []byte, legs [][]byte, legKeys [][]int) []byte {
+	return mergeKeyedReads(legs, legKeys)
+}
+
+// writeFragmentKeys validates a staged fragment (a pair order or one of
+// its single legs) and extracts the symbols the LockTable locks. It
+// enforces the full install-side validation (sides, quantities, trailing
+// bytes), not just symbol extraction: a fragment that Prepare votes yes
+// on MUST be installable, or a raw prepare carrying a half-invalid pair
+// could commit while installing only one leg.
+func (ob *OrderBook) writeFragmentKeys(frag []byte) ([][]byte, error) {
+	rd := wire.NewReader(frag)
+	switch op := rd.U8(); op {
+	case OpOrderSym:
+		sym := rd.Bytes()
+		side := rd.U8()
+		rd.U64() // price
+		qty := rd.U64()
+		if rd.Done() != nil || qty == 0 || (side != OpBuy && side != OpSell) {
+			return nil, ErrNoKey
+		}
+		return [][]byte{sym}, nil
+	case OpPair:
+		legs, err := decodePairLegs(rd)
+		if err != nil {
+			return nil, err
+		}
+		return [][]byte{legs[0].Sym, legs[1].Sym}, nil
+	default:
+		return nil, ErrNoKey
+	}
+}
+
+// installFragment executes a committed pair fragment's legs (fills are
+// reflected in book state; the transaction outcome byte is the client's
+// response).
+func (ob *OrderBook) installFragment(frag []byte) {
+	rd := wire.NewReader(frag)
+	switch op := rd.U8(); op {
+	case OpOrderSym:
+		sym := rd.Bytes()
+		side := rd.U8()
+		price := rd.U64()
+		qty := rd.U64()
+		if rd.Done() != nil || qty == 0 {
+			return
+		}
+		ob.book(string(sym)).place(side, price, qty)
+	case OpPair:
+		legs, err := decodePairLegs(rd)
+		if err != nil {
+			return
+		}
+		for _, leg := range legs {
+			ob.book(string(leg.Sym)).place(leg.Side, leg.Price, leg.Qty)
 		}
 	}
+}
+
+// Snapshot serializes the books deterministically (sorted symbols),
+// including the embedded LockTable.
+func (ob *OrderBook) Snapshot() []byte {
+	syms := make([]string, 0, len(ob.books))
+	for s := range ob.books {
+		syms = append(syms, s)
+	}
+	sort.Strings(syms)
+	w := wire.NewWriter(128)
+	w.Uvarint(uint64(len(syms)))
+	for _, s := range syms {
+		b := ob.books[s]
+		w.String(s)
+		w.U64(b.nextID)
+		for _, side := range [][]restingOrder{b.bids, b.asks} {
+			w.Uvarint(uint64(len(side)))
+			for _, o := range side {
+				w.U64(o.ID)
+				w.U64(o.Price)
+				w.U64(o.Qty)
+			}
+		}
+	}
+	ob.SnapshotTo(w)
 	return w.Finish()
 }
 
-// Restore replaces the book from a snapshot.
+// Restore replaces the books from a snapshot.
 func (ob *OrderBook) Restore(snap []byte) {
 	rd := wire.NewReader(snap)
-	ob.nextID = rd.U64()
-	read := func() []restingOrder {
-		n := int(rd.Uvarint())
-		out := make([]restingOrder, 0, n)
-		for i := 0; i < n; i++ {
-			out = append(out, restingOrder{ID: rd.U64(), Price: rd.U64(), Qty: rd.U64()})
+	n := int(rd.Uvarint())
+	ob.books = make(map[string]*book, n)
+	for i := 0; i < n; i++ {
+		s := rd.String()
+		b := &book{nextID: rd.U64()}
+		read := func() []restingOrder {
+			nn := int(rd.Uvarint())
+			out := make([]restingOrder, 0, nn)
+			for j := 0; j < nn; j++ {
+				out = append(out, restingOrder{ID: rd.U64(), Price: rd.U64(), Qty: rd.U64()})
+			}
+			return out
 		}
-		return out
+		b.bids = read()
+		b.asks = read()
+		ob.books[s] = b
 	}
-	ob.bids = read()
-	ob.asks = read()
+	ob.RestoreFrom(rd)
 }
 
 // ExecCost models Liquibook-class matching (~3 us per order including the

@@ -10,32 +10,15 @@ import (
 
 // RKV is a Redis-like store (§7.1): on top of GET/SET/DEL it supports
 // INCR, APPEND, EXISTS and MGET, mirroring the richer command surface (and
-// slightly higher per-request cost) of Redis compared to Memcached. It is
-// also the transactional participant of the cross-shard commit protocol:
-// RPrepare/RCommit/RAbort maintain a per-key lock table with staged writes
-// so a 2PC coordinator can make a multi-key write atomic across several
-// consensus groups, and RDecide records the coordinator group's durable
-// commit/abort decision.
+// slightly higher per-request cost) of Redis compared to Memcached. It
+// implements every shard-layer capability: Router (key extraction),
+// Fragmenter (MGET scatter-gather and RMSet splitting) and TxnParticipant
+// (cross-shard 2PC through the embedded LockTable, which carries locks,
+// staged fragments, tombstones and the wait queue through
+// Snapshot/Restore).
 type RKV struct {
 	m map[string][]byte
-
-	// Cross-shard transaction state. locks maps a key to the transaction
-	// holding it; staged holds each in-flight transaction's pending writes
-	// (applied on RCommit, discarded on RAbort). Single-key writes to a
-	// locked key are refused with RLocked until the lock is released.
-	locks  map[string]uint64
-	staged map[uint64]*rkvTx
-
-	// Coordinator-side decision log (RDecide), bounded FIFO so a long run
-	// cannot grow it without bound.
-	decisions     map[uint64]bool
-	decisionOrder []uint64
-}
-
-// rkvTx is one prepared (locked but not yet committed) transaction.
-type rkvTx struct {
-	keys []string // locked keys, in prepare order
-	vals [][]byte // staged values, parallel to keys
+	*LockTable
 }
 
 // RKV opcodes.
@@ -48,62 +31,44 @@ const (
 	RExists uint8 = 6
 	RMGet   uint8 = 7
 	// RMSet writes several key/value pairs atomically. On one shard it is
-	// a plain multi-key SET; across shards the client runs it as a 2PC
-	// transaction through RPrepare/RCommit/RAbort.
+	// a plain multi-key SET; across shards the shard layer runs it as a
+	// 2PC transaction through the generic OpTxn* envelope (txn.go), with
+	// RMSet fragments staged in each participant's LockTable.
 	RMSet uint8 = 8
-	// RPrepare locks a transaction's keys and stages its writes (2PC
-	// phase 1). Votes ROK (yes) or RConflict (a key is held by another
-	// transaction).
-	RPrepare uint8 = 9
-	// RCommit applies a prepared transaction's staged writes and releases
-	// its locks (2PC phase 2, commit).
-	RCommit uint8 = 10
-	// RAbort discards a prepared transaction's staged writes and releases
-	// its locks (2PC phase 2, abort).
-	RAbort uint8 = 11
-	// RDecide records the coordinator group's durable commit/abort decision
-	// for a transaction (the 2PC decision record).
-	RDecide uint8 = 12
 )
 
-// RKV status codes.
+// RKV status codes. The transaction-related statuses are the generic
+// shard-layer ones (same byte values as before the capability redesign).
 const (
-	ROK     uint8 = 0
+	ROK           = StatusOK
 	RMiss   uint8 = 1
-	RBadReq uint8 = 2
+	RBadReq       = StatusBadReq
 	RErr    uint8 = 3
-	// RLocked refuses a write to a key held by an in-flight cross-shard
-	// transaction; the caller retries after the transaction resolves.
-	RLocked uint8 = 4
-	// RConflict is a prepare vote of "no": some key is already locked by a
-	// different transaction.
-	RConflict uint8 = 5
-	// RAborted reports a cross-shard transaction that was aborted (vote of
-	// no from a participant, or prepare timeout).
-	RAborted uint8 = 6
+	// RLocked refuses a request touching a key held by an in-flight
+	// cross-shard transaction when the wait queue is full; normally such
+	// requests park and resume when the transaction resolves.
+	RLocked = StatusLocked
+	// RConflict is a prepare vote of "no".
+	RConflict = StatusConflict
+	// RAborted reports an aborted cross-shard transaction.
+	RAborted = StatusAborted
 )
 
 // rkvMGetMax bounds MGET (and multi-key write) fan-in, shared by Apply and
-// the shard router so routing never admits a request the state machine will
-// refuse.
+// the key extractor so routing never admits a request the state machine
+// will refuse.
 const rkvMGetMax = 1024
 
-// rkvDecisionCap bounds the coordinator-side decision log.
-const rkvDecisionCap = 4096
-
 // RPair is one key/value pair of a multi-key write.
-type RPair struct {
-	Key, Val []byte
-}
+//
+// Deprecated: use the shared Pair type; RPair is a compatibility alias.
+type RPair = Pair
 
 // NewRKV creates an empty store.
 func NewRKV() *RKV {
-	return &RKV{
-		m:         make(map[string][]byte),
-		locks:     make(map[string]uint64),
-		staged:    make(map[uint64]*rkvTx),
-		decisions: make(map[uint64]bool),
-	}
+	r := &RKV{m: make(map[string][]byte)}
+	r.LockTable = NewLockTable(r.writeFragmentKeys, r.installFragment, r.Apply)
+	return r
 }
 
 // EncodeRGet builds a GET request.
@@ -155,46 +120,14 @@ func EncodeRMGet(keys ...[]byte) []byte {
 }
 
 // EncodeRMSet builds an atomic multi-key SET (MPUT) request.
-func EncodeRMSet(pairs ...RPair) []byte {
+func EncodeRMSet(pairs ...Pair) []byte {
 	w := wire.NewWriter(64)
 	w.U8(RMSet)
 	encodePairs(w, pairs)
 	return w.Finish()
 }
 
-// EncodeRPrepare builds a 2PC prepare for one participant shard: lock the
-// pairs' keys under txid and stage the writes.
-func EncodeRPrepare(txid uint64, pairs []RPair) []byte {
-	w := wire.NewWriter(64)
-	w.U8(RPrepare)
-	w.U64(txid)
-	encodePairs(w, pairs)
-	return w.Finish()
-}
-
-// EncodeRCommit builds a 2PC commit for txid.
-func EncodeRCommit(txid uint64) []byte { return encodeTxOp(RCommit, txid) }
-
-// EncodeRAbort builds a 2PC abort for txid.
-func EncodeRAbort(txid uint64) []byte { return encodeTxOp(RAbort, txid) }
-
-// EncodeRDecide builds the coordinator group's decision record for txid.
-func EncodeRDecide(txid uint64, commit bool) []byte {
-	w := wire.NewWriter(16)
-	w.U8(RDecide)
-	w.U64(txid)
-	w.Bool(commit)
-	return w.Finish()
-}
-
-func encodeTxOp(op uint8, txid uint64) []byte {
-	w := wire.NewWriter(16)
-	w.U8(op)
-	w.U64(txid)
-	return w.Finish()
-}
-
-func encodePairs(w *wire.Writer, pairs []RPair) {
+func encodePairs(w *wire.Writer, pairs []Pair) {
 	w.Uvarint(uint64(len(pairs)))
 	for _, p := range pairs {
 		w.Bytes(p.Key)
@@ -204,20 +137,23 @@ func encodePairs(w *wire.Writer, pairs []RPair) {
 
 // decodePairs reads a pair list; ok is false when the declared count
 // exceeds the fan-in bound (decode errors surface via the reader).
-func decodePairs(rd *wire.Reader) (pairs []RPair, ok bool) {
-	n := int(rd.Uvarint())
-	if n > rkvMGetMax {
+func decodePairs(rd *wire.Reader, max int) (pairs []Pair, ok bool) {
+	n, ok := readCount(rd, max)
+	if !ok {
 		return nil, false
 	}
-	pairs = make([]RPair, 0, n)
+	pairs = make([]Pair, 0, n)
 	for i := 0; i < n; i++ {
-		pairs = append(pairs, RPair{Key: rd.Bytes(), Val: rd.Bytes()})
+		pairs = append(pairs, Pair{Key: rd.Bytes(), Val: rd.Bytes()})
 	}
 	return pairs, true
 }
 
 // Apply executes one command.
 func (r *RKV) Apply(req []byte) []byte {
+	if res, handled := ApplyTxn(r, req); handled {
+		return res
+	}
 	rd := wire.NewReader(req)
 	op := rd.U8()
 	switch op {
@@ -239,8 +175,8 @@ func (r *RKV) Apply(req []byte) []byte {
 		if rd.Done() != nil {
 			return []byte{RBadReq}
 		}
-		if _, held := r.locks[string(key)]; held {
-			return []byte{RLocked}
+		if r.Locked(key) {
+			return r.ParkOrRefuse([][]byte{key}, req)
 		}
 		r.m[string(key)] = val
 		return []byte{ROK}
@@ -249,8 +185,8 @@ func (r *RKV) Apply(req []byte) []byte {
 		if rd.Done() != nil {
 			return []byte{RBadReq}
 		}
-		if _, held := r.locks[string(key)]; held {
-			return []byte{RLocked}
+		if r.Locked(key) {
+			return r.ParkOrRefuse([][]byte{key}, req)
 		}
 		if _, ok := r.m[string(key)]; !ok {
 			return []byte{RMiss}
@@ -262,8 +198,8 @@ func (r *RKV) Apply(req []byte) []byte {
 		if rd.Done() != nil {
 			return []byte{RBadReq}
 		}
-		if _, held := r.locks[string(key)]; held {
-			return []byte{RLocked}
+		if r.Locked(key) {
+			return r.ParkOrRefuse([][]byte{key}, req)
 		}
 		cur := int64(0)
 		if v, ok := r.m[string(key)]; ok {
@@ -285,8 +221,8 @@ func (r *RKV) Apply(req []byte) []byte {
 			return []byte{RBadReq}
 		}
 		k := string(key)
-		if _, held := r.locks[k]; held {
-			return []byte{RLocked}
+		if r.Locked(key) {
+			return r.ParkOrRefuse([][]byte{key}, req)
 		}
 		r.m[k] = append(r.m[k], val...)
 		w := wire.NewWriter(16)
@@ -304,8 +240,8 @@ func (r *RKV) Apply(req []byte) []byte {
 		w.Bool(ok)
 		return w.Finish()
 	case RMGet:
-		n := int(rd.Uvarint())
-		if n > rkvMGetMax {
+		n, ok := readCount(rd, rkvMGetMax)
+		if !ok {
 			return []byte{RBadReq}
 		}
 		keys := make([][]byte, 0, n)
@@ -315,219 +251,119 @@ func (r *RKV) Apply(req []byte) []byte {
 		if rd.Done() != nil {
 			return []byte{RBadReq}
 		}
-		// Lock-aware: a key held by an in-flight transaction answers
-		// RLocked instead of a possibly-torn value, and the cross-shard
-		// scatter-gather retries the leg. A reader therefore cannot
-		// observe a multi-key write mid-commit (commit releases each
-		// group's locks in the same command that installs its writes);
-		// the residual anomaly is a leg delayed past the *entire*
-		// transaction on one shard while another leg ran before it —
-		// closing that needs snapshot reads (see ROADMAP). Single-key
-		// RGet stays read-committed.
-		for _, k := range keys {
-			if _, held := r.locks[string(k)]; held {
-				return []byte{RLocked}
-			}
+		// Lock-aware: an MGET over a key held by an in-flight transaction
+		// parks until the transaction resolves, so a reader cannot observe
+		// a multi-key write mid-commit (commit releases each group's locks
+		// in the same command that installs its writes); the residual
+		// anomaly is a leg delayed past the *entire* transaction on one
+		// shard while another leg ran before it — closing that needs
+		// snapshot reads (see ROADMAP). Single-key RGet stays
+		// read-committed.
+		if r.AnyLocked(keys...) {
+			return r.ParkOrRefuse(keys, req)
 		}
-		w := wire.NewWriter(64)
-		w.U8(ROK)
-		w.Uvarint(uint64(len(keys)))
-		for _, k := range keys {
-			v, ok := r.m[string(k)]
-			w.Bool(ok)
-			if ok {
-				w.Bytes(v)
-			}
-		}
-		return w.Finish()
+		return encodeKeyedReads(len(keys), func(i int) (bool, []byte) {
+			v, ok := r.m[string(keys[i])]
+			return ok, v
+		})
 	case RMSet:
-		pairs, ok := decodePairs(rd)
+		pairs, ok := decodePairs(rd, rkvMGetMax)
 		if !ok || rd.Done() != nil {
 			return []byte{RBadReq}
 		}
-		// Atomic: refuse the whole write if any key is transaction-locked.
+		// Atomic: the whole write parks if any key is transaction-locked.
+		keys := make([][]byte, 0, len(pairs))
 		for _, p := range pairs {
-			if _, held := r.locks[string(p.Key)]; held {
-				return []byte{RLocked}
-			}
+			keys = append(keys, p.Key)
+		}
+		if r.AnyLocked(keys...) {
+			return r.ParkOrRefuse(keys, req)
 		}
 		for _, p := range pairs {
 			r.m[string(p.Key)] = p.Val
 		}
-		return []byte{ROK}
-	case RPrepare:
-		txid := rd.U64()
-		pairs, ok := decodePairs(rd)
-		if !ok || rd.Done() != nil {
-			return []byte{RBadReq}
-		}
-		return r.applyPrepare(txid, pairs)
-	case RCommit:
-		txid := rd.U64()
-		if rd.Done() != nil {
-			return []byte{RBadReq}
-		}
-		return r.applyCommit(txid)
-	case RAbort:
-		txid := rd.U64()
-		if rd.Done() != nil {
-			return []byte{RBadReq}
-		}
-		return r.applyAbort(txid)
-	case RDecide:
-		txid := rd.U64()
-		commit := rd.Bool()
-		if rd.Done() != nil {
-			return []byte{RBadReq}
-		}
-		r.recordDecision(txid, commit)
 		return []byte{ROK}
 	default:
 		return []byte{RBadReq}
 	}
 }
 
-// applyPrepare locks the transaction's keys and stages its writes. Lock
-// acquisition is all-or-nothing: a conflict on any key votes RConflict and
-// leaves nothing locked, so concurrent prepares cannot deadlock on partial
-// lock sets. Re-delivered prepares for an already-staged txid vote ROK; a
-// prepare for a transaction already decided here is refused — without the
-// abort tombstone, a prepare delayed past its own abort (which no-ops on
-// the unknown txid) would strand the keys locked forever.
-func (r *RKV) applyPrepare(txid uint64, pairs []RPair) []byte {
-	if _, decided := r.decisions[txid]; decided {
-		return []byte{RConflict}
-	}
-	if _, dup := r.staged[txid]; dup {
-		return []byte{ROK}
-	}
-	for _, p := range pairs {
-		if holder, held := r.locks[string(p.Key)]; held && holder != txid {
-			return []byte{RConflict}
+// Keys implements Router: every key a request touches, letting the shard
+// layer hash-route single-key requests and detect multi-shard fan-out.
+func (r *RKV) Keys(req []byte) ([][]byte, error) { return RKVRequestKeys(req) }
+
+// ReadOnly implements Fragmenter: MGETs scatter-gather, RMSets run 2PC.
+func (r *RKV) ReadOnly(req []byte) bool { return len(req) > 0 && req[0] == RMGet }
+
+// Fragment implements Fragmenter: re-encode the request restricted to the
+// keys at the given indices.
+func (r *RKV) Fragment(req []byte, keyIdx []int) ([]byte, error) {
+	rd := wire.NewReader(req)
+	switch op := rd.U8(); op {
+	case RMGet:
+		sub, err := subsetKeys(rd, rkvMGetMax, keyIdx)
+		if err != nil {
+			return nil, err
 		}
+		return EncodeRMGet(sub...), nil
+	case RMSet:
+		sub, err := subsetPairs(rd, rkvMGetMax, keyIdx)
+		if err != nil {
+			return nil, err
+		}
+		return EncodeRMSet(sub...), nil
+	default:
+		return nil, ErrNoKey
 	}
-	tx := &rkvTx{keys: make([]string, 0, len(pairs)), vals: make([][]byte, 0, len(pairs))}
-	for _, p := range pairs {
-		k := string(p.Key)
-		r.locks[k] = txid
-		tx.keys = append(tx.keys, k)
-		tx.vals = append(tx.vals, p.Val)
-	}
-	r.staged[txid] = tx
-	return []byte{ROK}
 }
 
-// applyCommit installs a prepared transaction's staged writes and releases
-// its locks. Unknown txids acknowledge ROK so commits are idempotent under
-// client retransmission.
-func (r *RKV) applyCommit(txid uint64) []byte {
-	tx, ok := r.staged[txid]
-	if !ok {
-		return []byte{ROK}
-	}
-	for i, k := range tx.keys {
-		r.m[k] = tx.vals[i]
-		delete(r.locks, k)
-	}
-	delete(r.staged, txid)
-	return []byte{ROK}
+// Merge implements Fragmenter for scatter-gathered MGETs.
+func (r *RKV) Merge(req []byte, legs [][]byte, legKeys [][]int) []byte {
+	return mergeKeyedReads(legs, legKeys)
 }
 
-// applyAbort discards a prepared transaction and releases its locks,
-// idempotently. It always leaves an abort tombstone in the decision log so
-// a prepare for this transaction ordered *after* the abort is refused
-// rather than staged with no coordinator left to resolve it. (The log is
-// FIFO-capped, so a prepare delayed past rkvDecisionCap later decisions
-// could still slip through — the bounded-memory tradeoff.)
-func (r *RKV) applyAbort(txid uint64) []byte {
-	r.recordDecision(txid, false)
-	tx, ok := r.staged[txid]
-	if !ok {
-		return []byte{ROK}
+// writeFragmentKeys validates a staged fragment (it must be an RMSet) and
+// extracts the keys the LockTable locks for it.
+func (r *RKV) writeFragmentKeys(frag []byte) ([][]byte, error) {
+	if len(frag) == 0 || frag[0] != RMSet {
+		return nil, ErrNoKey
 	}
-	for _, k := range tx.keys {
-		delete(r.locks, k)
-	}
-	delete(r.staged, txid)
-	return []byte{ROK}
+	return RKVRequestKeys(frag)
 }
 
-// recordDecision appends to the bounded decision log, first write wins: a
-// transaction's outcome is immutable once logged, so a cancelled
-// RDecide(commit) straggling in the pipeline behind its own abort cannot
-// flip the durable record (decision replay must never disagree with what
-// participants were told).
-func (r *RKV) recordDecision(txid uint64, commit bool) {
-	if _, dup := r.decisions[txid]; dup {
+// installFragment applies a committed RMSet fragment (locks were released
+// by the LockTable in the same command, so the install is unconditional).
+func (r *RKV) installFragment(frag []byte) {
+	rd := wire.NewReader(frag)
+	rd.U8()
+	pairs, ok := decodePairs(rd, rkvMGetMax)
+	if !ok || rd.Done() != nil {
 		return
 	}
-	r.decisionOrder = append(r.decisionOrder, txid)
-	if len(r.decisionOrder) > rkvDecisionCap {
-		evict := r.decisionOrder[0]
-		r.decisionOrder = r.decisionOrder[1:]
-		delete(r.decisions, evict)
+	for _, p := range pairs {
+		r.m[string(p.Key)] = p.Val
 	}
-	r.decisions[txid] = commit
-}
-
-// LockedKeys reports how many keys are currently transaction-locked
-// (test/diagnostic surface for the 2PC lock table).
-func (r *RKV) LockedKeys() int { return len(r.locks) }
-
-// StagedTxs reports how many transactions are prepared but undecided.
-func (r *RKV) StagedTxs() int { return len(r.staged) }
-
-// Decision looks up the coordinator decision log.
-func (r *RKV) Decision(txid uint64) (commit, ok bool) {
-	commit, ok = r.decisions[txid]
-	return commit, ok
 }
 
 // Len returns the number of keys.
 func (r *RKV) Len() int { return len(r.m) }
 
-// Snapshot serializes the store deterministically, including the 2PC lock
-// table, staged transactions and the decision log (a replica restored via
-// state transfer must agree on in-flight transactions, not just committed
-// data).
+// Snapshot serializes the store deterministically, including the embedded
+// LockTable (a replica restored via state transfer must agree on in-flight
+// transactions and parked requests, not just committed data).
 func (r *RKV) Snapshot() []byte {
 	keys := make([]string, 0, len(r.m))
 	for k := range r.m {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	w := wire.NewWriter(64 * len(keys))
+	w := wire.NewWriter(64 * (len(keys) + 1))
 	w.Uvarint(uint64(len(keys)))
 	for _, k := range keys {
 		w.String(k)
 		w.Bytes(r.m[k])
 	}
-
-	// Staged transactions, ascending txid. The lock table is derivable from
-	// them (every lock belongs to exactly one staged transaction), so it is
-	// rebuilt on Restore rather than serialized twice.
-	txids := make([]uint64, 0, len(r.staged))
-	for id := range r.staged {
-		txids = append(txids, id)
-	}
-	sort.Slice(txids, func(i, j int) bool { return txids[i] < txids[j] })
-	w.Uvarint(uint64(len(txids)))
-	for _, id := range txids {
-		tx := r.staged[id]
-		w.U64(id)
-		w.Uvarint(uint64(len(tx.keys)))
-		for i, k := range tx.keys {
-			w.String(k)
-			w.Bytes(tx.vals[i])
-		}
-	}
-
-	// Decision log in FIFO order (the eviction order is part of the state).
-	w.Uvarint(uint64(len(r.decisionOrder)))
-	for _, id := range r.decisionOrder {
-		w.U64(id)
-		w.Bool(r.decisions[id])
-	}
+	r.SnapshotTo(w)
 	return w.Finish()
 }
 
@@ -540,31 +376,7 @@ func (r *RKV) Restore(snap []byte) {
 		k := rd.String()
 		r.m[k] = rd.Bytes()
 	}
-
-	nt := int(rd.Uvarint())
-	r.locks = make(map[string]uint64)
-	r.staged = make(map[uint64]*rkvTx, nt)
-	for i := 0; i < nt; i++ {
-		id := rd.U64()
-		nk := int(rd.Uvarint())
-		tx := &rkvTx{keys: make([]string, 0, nk), vals: make([][]byte, 0, nk)}
-		for j := 0; j < nk; j++ {
-			k := rd.String()
-			tx.keys = append(tx.keys, k)
-			tx.vals = append(tx.vals, rd.Bytes())
-			r.locks[k] = id
-		}
-		r.staged[id] = tx
-	}
-
-	nd := int(rd.Uvarint())
-	r.decisions = make(map[uint64]bool, nd)
-	r.decisionOrder = make([]uint64, 0, nd)
-	for i := 0; i < nd; i++ {
-		id := rd.U64()
-		r.decisions[id] = rd.Bool()
-		r.decisionOrder = append(r.decisionOrder, id)
-	}
+	r.RestoreFrom(rd)
 }
 
 // ExecCost models the Redis server path (single-threaded event loop,

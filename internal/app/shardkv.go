@@ -10,7 +10,8 @@ import (
 )
 
 // This file is the application side of the sharded deployment: key
-// extraction so a shard-aware client can hash-route requests, and a
+// extraction (the package-level functions behind the KV stores' Router
+// capability) so a shard-aware client can hash-route requests, and a
 // deterministic sharded KV workload whose keys all land on one target
 // partition (used by the horizontal-scaling benchmark and the multi-shard
 // determinism tests).
@@ -29,8 +30,7 @@ func ShardOfKey(key []byte, shards int) int {
 	return int(xcrypto.ChecksumNoCharge(key) % uint64(shards))
 }
 
-// KVRequestKey extracts the key of a Memcached-style KV request. Every KV
-// opcode (GET/SET/DELETE) touches exactly one key.
+// KVRequestKey extracts the key of a single-key Memcached-style request.
 func KVRequestKey(req []byte) ([]byte, error) {
 	rd := wire.NewReader(req)
 	op := rd.U8()
@@ -46,9 +46,34 @@ func KVRequestKey(req []byte) ([]byte, error) {
 	}
 }
 
-// RKVRequestKeys extracts every key a Redis-style request touches. Single-
-// key opcodes return one key; MGET returns all of its keys, letting the
-// shard router detect (and reject) cross-shard fan-out.
+// KVRequestKeys extracts every key a Memcached-style request touches
+// (KV's Router capability). Single-key opcodes return one key; the
+// multi-key MSET/MGET return all of theirs, letting the shard layer detect
+// cross-shard fan-out.
+func KVRequestKeys(req []byte) ([][]byte, error) {
+	rd := wire.NewReader(req)
+	op := rd.U8()
+	switch op {
+	case KVGet, KVSet, KVDelete:
+		key := rd.BytesView()
+		if rd.Err() != nil {
+			return nil, ErrNoKey
+		}
+		return [][]byte{key}, nil
+	case KVMGet:
+		return multiKeys(rd, kvMultiMax, false)
+	case KVMSet:
+		return multiKeys(rd, kvMultiMax, true)
+	default:
+		// The generic OpTxn* envelope is addressed to explicit groups by
+		// the 2PC coordinator and never enters the hash router, so it is
+		// unroutable here by design.
+		return nil, fmt.Errorf("%w: unknown KV opcode %d", ErrNoKey, op)
+	}
+}
+
+// RKVRequestKeys extracts every key a Redis-style request touches (RKV's
+// Router capability).
 func RKVRequestKeys(req []byte) ([][]byte, error) {
 	rd := wire.NewReader(req)
 	op := rd.U8()
@@ -60,42 +85,42 @@ func RKVRequestKeys(req []byte) ([][]byte, error) {
 		}
 		return [][]byte{key}, nil
 	case RMGet:
-		n := int(rd.Uvarint())
-		if n > rkvMGetMax {
-			// Same bound RKV.Apply enforces: don't route (and burn a
-			// consensus slot on) a request the state machine will refuse.
-			// An empty MGET is valid and key-less: it returns no keys and
-			// the router may place it on any shard.
-			return nil, ErrNoKey
-		}
-		keys := make([][]byte, 0, n)
-		for i := 0; i < n; i++ {
-			keys = append(keys, rd.BytesView())
-		}
-		if rd.Err() != nil {
-			return nil, ErrNoKey
-		}
-		return keys, nil
+		// Same bound RKV.Apply enforces: don't route (and burn a consensus
+		// slot on) a request the state machine will refuse. An empty MGET
+		// is valid and key-less: it returns no keys and the router may
+		// place it on any shard.
+		return multiKeys(rd, rkvMGetMax, false)
 	case RMSet:
-		n := int(rd.Uvarint())
-		if n > rkvMGetMax {
-			return nil, ErrNoKey
-		}
-		keys := make([][]byte, 0, n)
-		for i := 0; i < n; i++ {
-			keys = append(keys, rd.BytesView())
-			rd.BytesView() // value
-		}
-		if rd.Err() != nil {
-			return nil, ErrNoKey
-		}
-		return keys, nil
+		return multiKeys(rd, rkvMGetMax, true)
 	default:
-		// RPrepare/RCommit/RAbort/RDecide are addressed to explicit groups
-		// by the 2PC coordinator and never enter the hash router, so they
-		// are unroutable here by design.
+		// The generic OpTxn* envelope never enters the hash router.
 		return nil, fmt.Errorf("%w: unknown RKV opcode %d", ErrNoKey, op)
 	}
+}
+
+// multiKeys reads the keys of a multi-key request body (the opcode is
+// already consumed); withVals skips the interleaved values of a write.
+// The request must be fully consumed: these functions back the
+// writeFragmentKeys validation of the KV stores, and a fragment Prepare
+// votes yes on MUST be installable — trailing bytes that install would
+// refuse have to be refused here too, or a half-valid prepare could
+// commit a transaction that installs nothing on one shard.
+func multiKeys(rd *wire.Reader, max int, withVals bool) ([][]byte, error) {
+	n, ok := readCount(rd, max)
+	if !ok {
+		return nil, ErrNoKey
+	}
+	keys := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		keys = append(keys, rd.BytesView())
+		if withVals {
+			rd.BytesView() // value
+		}
+	}
+	if rd.Done() != nil {
+		return nil, ErrNoKey
+	}
+	return keys, nil
 }
 
 // ShardedKVWorkload produces the paper's Memcached request mixture (30%

@@ -50,6 +50,36 @@ func TestRKVRequestKeys(t *testing.T) {
 	if err != nil || len(keys) != 0 {
 		t.Fatalf("empty MGET: keys=%q err=%v", keys, err)
 	}
+	// RMSet keys are extracted (values skipped), so single-shard RMSets
+	// route normally.
+	keys, err = RKVRequestKeys(EncodeRMSet(Pair{Key: []byte("a"), Val: []byte("1")}, Pair{Key: []byte("b"), Val: []byte("2")}))
+	if err != nil || len(keys) != 2 || !bytes.Equal(keys[0], []byte("a")) || !bytes.Equal(keys[1], []byte("b")) {
+		t.Fatalf("RMSet keys=%q err=%v", keys, err)
+	}
+	// The generic transaction envelope is unroutable by design: its
+	// commands are addressed to explicit groups by the 2PC coordinator and
+	// must never enter the hash router.
+	for _, req := range [][]byte{EncodeTxnPrepare(1, nil), EncodeTxnCommit(1), EncodeTxnAbort(1), EncodeTxnDecide(1, true)} {
+		for _, router := range []Router{NewRKV(), NewKV(0), NewOrderBook()} {
+			if _, err := router.Keys(req); err == nil {
+				t.Fatalf("opcode %d routable; 2PC internals must not enter the hash router", req[0])
+			}
+		}
+	}
+}
+
+func TestKVRequestKeysMulti(t *testing.T) {
+	keys, err := KVRequestKeys(EncodeKVMGet([]byte("a"), []byte("b")))
+	if err != nil || len(keys) != 2 || !bytes.Equal(keys[1], []byte("b")) {
+		t.Fatalf("KVMGet keys=%q err=%v", keys, err)
+	}
+	keys, err = KVRequestKeys(EncodeKVMSet(Pair{Key: []byte("x"), Val: []byte("1")}, Pair{Key: []byte("y"), Val: []byte("2")}))
+	if err != nil || len(keys) != 2 || !bytes.Equal(keys[0], []byte("x")) {
+		t.Fatalf("KVMSet keys=%q err=%v", keys, err)
+	}
+	if _, err := KVRequestKeys([]byte{KVMGet, 0xFF}); err == nil {
+		t.Fatal("truncated KVMGet accepted")
+	}
 }
 
 func TestShardOfKeyStableAndSpread(t *testing.T) {

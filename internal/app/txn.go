@@ -1,0 +1,122 @@
+package app
+
+import "repro/internal/wire"
+
+// This file is the generic cross-shard transaction protocol surface: the
+// reserved opcode envelope the shard layer's 2PC coordinator encodes its
+// consensus-ordered commands in, the shared status bytes every
+// transactional application answers with, and ApplyTxn, the dispatcher
+// that routes envelope commands to an application's TxnParticipant hooks.
+// Because the envelope is application-agnostic, the shard layer never
+// needs to know a single app-specific opcode.
+
+// Generic status codes shared by the transactional applications and the
+// shard layer. The values deliberately coincide with the Redis-style
+// store's historical status bytes, so RKV's wire format (and the recorded
+// cross-shard benchmarks) are unchanged.
+const (
+	// StatusOK acknowledges a command (and is a prepare vote of "yes").
+	StatusOK uint8 = 0
+	// StatusBadReq refuses a malformed command.
+	StatusBadReq uint8 = 2
+	// StatusLocked refuses a request touching a key held by an in-flight
+	// transaction when the wait queue cannot park it; the caller retries
+	// after the transaction resolves.
+	StatusLocked uint8 = 4
+	// StatusConflict is a prepare vote of "no": some key is already locked
+	// by a different transaction, or the txid is tombstoned.
+	StatusConflict uint8 = 5
+	// StatusAborted reports a cross-shard transaction that resolved as
+	// aborted (a "no" vote from a participant, or prepare timeout).
+	StatusAborted uint8 = 6
+)
+
+// The generic transaction envelope occupies a reserved opcode range:
+// applications implementing TxnParticipant must not claim opcodes at or
+// above TxnOpBase for their own requests.
+const (
+	// TxnOpBase is the first reserved opcode.
+	TxnOpBase uint8 = 0xF0
+	// OpTxnPrepare locks a fragment's keys and stages it (2PC phase 1).
+	OpTxnPrepare uint8 = 0xF0
+	// OpTxnCommit installs a staged fragment and releases its locks.
+	OpTxnCommit uint8 = 0xF1
+	// OpTxnAbort discards a staged fragment and releases its locks.
+	OpTxnAbort uint8 = 0xF2
+	// OpTxnDecide records the coordinator group's durable decision.
+	OpTxnDecide uint8 = 0xF3
+)
+
+// EncodeTxnPrepare builds a 2PC prepare carrying one participant shard's
+// fragment of the original multi-key write.
+func EncodeTxnPrepare(txid uint64, fragment []byte) []byte {
+	w := wire.NewWriter(24 + len(fragment))
+	w.U8(OpTxnPrepare)
+	w.U64(txid)
+	w.Bytes(fragment)
+	return w.Finish()
+}
+
+// EncodeTxnCommit builds a 2PC commit for txid.
+func EncodeTxnCommit(txid uint64) []byte { return encodeTxnOp(OpTxnCommit, txid) }
+
+// EncodeTxnAbort builds a 2PC abort for txid.
+func EncodeTxnAbort(txid uint64) []byte { return encodeTxnOp(OpTxnAbort, txid) }
+
+// EncodeTxnDecide builds the coordinator group's decision record for txid.
+func EncodeTxnDecide(txid uint64, commit bool) []byte {
+	w := wire.NewWriter(16)
+	w.U8(OpTxnDecide)
+	w.U64(txid)
+	w.Bool(commit)
+	return w.Finish()
+}
+
+func encodeTxnOp(op uint8, txid uint64) []byte {
+	w := wire.NewWriter(16)
+	w.U8(op)
+	w.U64(txid)
+	return w.Finish()
+}
+
+// ApplyTxn dispatches a generic transaction command to the participant's
+// hooks, returning (response, true); any request below the reserved range
+// returns (nil, false). Transactional applications call it at the top of
+// Apply, so every 2PC step is an ordinary consensus-ordered command.
+func ApplyTxn(p TxnParticipant, req []byte) ([]byte, bool) {
+	if len(req) == 0 || req[0] < TxnOpBase {
+		return nil, false
+	}
+	rd := wire.NewReader(req)
+	op := rd.U8()
+	switch op {
+	case OpTxnPrepare:
+		txid := rd.U64()
+		frag := rd.Bytes()
+		if rd.Done() != nil {
+			return []byte{StatusBadReq}, true
+		}
+		return []byte{p.Prepare(txid, frag)}, true
+	case OpTxnCommit:
+		txid := rd.U64()
+		if rd.Done() != nil {
+			return []byte{StatusBadReq}, true
+		}
+		return []byte{p.Commit(txid)}, true
+	case OpTxnAbort:
+		txid := rd.U64()
+		if rd.Done() != nil {
+			return []byte{StatusBadReq}, true
+		}
+		return []byte{p.Abort(txid)}, true
+	case OpTxnDecide:
+		txid := rd.U64()
+		commit := rd.Bool()
+		if rd.Done() != nil {
+			return []byte{StatusBadReq}, true
+		}
+		return []byte{p.Decided(txid, commit)}, true
+	default:
+		return []byte{StatusBadReq}, true
+	}
+}

@@ -8,13 +8,17 @@ import (
 	"repro/internal/sim"
 )
 
-// This file drives the cross-shard experiment: S consensus groups under a
-// Redis-style workload where a configurable fraction of requests span two
-// shards — scatter-gather MGETs and 2PC multi-key writes. At fraction 0 the
-// run is bit-identical to the single-shard-routed baseline (the mixed
-// workload draws its cross-shard decisions from a separate rng stream and
-// the driver issues through the same client path), so the cost of the
-// cross-shard machinery itself is directly measurable.
+// This file drives the cross-shard experiments: S consensus groups under a
+// workload where a configurable fraction of requests span two shards —
+// scatter-gather reads and 2PC multi-key writes. Since the capability
+// redesign the same experiment runs over every transactional application:
+// the Redis-style store (MGET/RMSet), the Memcached-style store
+// (KVMGet/KVMSet) and the order matching engine (OpTops/OpPair). At
+// fraction 0 the Redis-style run is bit-identical to the
+// single-shard-routed baseline (the mixed workload draws its cross-shard
+// decisions from a separate rng stream and the driver issues through the
+// same client path), so the cost of the cross-shard machinery itself is
+// directly measurable.
 
 // CrossShardResult is one row of the cross-shard mix experiment.
 type CrossShardResult struct {
@@ -32,7 +36,7 @@ type CrossShardResult struct {
 // RunCrossShardPipelined keeps `outstanding` requests in flight per client
 // (client i drives shard i, with its workload's cross-shard fraction) until
 // every client completed nPerClient requests. Cross-shard requests ride the
-// same Invoke path as shard-local ones: MGETs scatter-gather, RMSets run
+// same Invoke path as shard-local ones: reads scatter-gather, writes run
 // 2PC; an aborted transaction counts as completed-but-aborted (the client
 // got a definitive outcome).
 func RunCrossShardPipelined(d *shard.Deployment, wls []Workload, outstanding, nPerClient int) CrossShardResult {
@@ -44,7 +48,7 @@ func RunCrossShardPipelined(d *shard.Deployment, wls []Workload, outstanding, nP
 			}
 		},
 		func(result []byte) {
-			if len(result) > 0 && result[0] == app.RAborted {
+			if len(result) == 1 && result[0] == app.StatusAborted {
 				res.Aborted++
 			}
 		})
@@ -55,22 +59,23 @@ func RunCrossShardPipelined(d *shard.Deployment, wls []Workload, outstanding, nP
 	return res
 }
 
-// newCrossShardDeployment assembles the S-shard Redis-style deployment the
-// mix experiment (and its fraction-0 baseline) runs on.
-func newCrossShardDeployment(seed int64, shards int) *shard.Deployment {
+// newCrossShardDeployment assembles an S-shard deployment of the given
+// application (one driving client per shard; routing derives from the
+// app's capability interfaces).
+func newCrossShardDeployment(seed int64, shards int, newApp func(int) app.StateMachine) *shard.Deployment {
 	return shard.New(shard.Options{
 		Seed:       seed,
 		Shards:     shards,
-		NumClients: shards, // one driving client per shard
-		NewApp:     func(int) app.StateMachine { return app.NewRKV() },
-		Route:      shard.RKVRoute,
+		NumClients: shards,
+		NewApp:     newApp,
 	})
 }
 
-// CrossShardMix deploys S groups and drives them with frac of the requests
-// spanning two shards (alternating scatter-gather MGETs and 2PC writes).
+// CrossShardMix deploys S Redis-style groups and drives them with frac of
+// the requests spanning two shards (alternating scatter-gather MGETs and
+// 2PC writes).
 func CrossShardMix(seed int64, shards, outstanding, nPerClient int, frac float64) CrossShardResult {
-	d := newCrossShardDeployment(seed, shards)
+	d := newCrossShardDeployment(seed, shards, func(int) app.StateMachine { return app.NewRKV() })
 	defer d.Stop()
 	wls := make([]Workload, shards)
 	for s := 0; s < shards; s++ {
@@ -87,11 +92,45 @@ func CrossShardMix(seed int64, shards, outstanding, nPerClient int, frac float64
 // stream with no cross-shard requests through the plain sharded driver —
 // the reference the fraction-0 mix must match bit for bit.
 func CrossShardBaseline(seed int64, shards, outstanding, nPerClient int) ShardResult {
-	d := newCrossShardDeployment(seed, shards)
+	d := newCrossShardDeployment(seed, shards, func(int) app.StateMachine { return app.NewRKV() })
 	defer d.Stop()
 	wls := make([]Workload, shards)
 	for s := 0; s < shards; s++ {
 		wls[s] = app.NewShardedRKVWorkload(s, shards, rand.New(rand.NewSource(seed+int64(s))))
 	}
 	return RunShardedPipelined(d, wls, outstanding, nPerClient)
+}
+
+// CrossShardKVMix is the Memcached-style variant of CrossShardMix: the
+// multi-key KVMGet/KVMSet surface over the paper's GET/SET mixture.
+func CrossShardKVMix(seed int64, shards, outstanding, nPerClient int, frac float64) CrossShardResult {
+	d := newCrossShardDeployment(seed, shards, func(int) app.StateMachine { return app.NewKV(0) })
+	defer d.Stop()
+	wls := make([]Workload, shards)
+	for s := 0; s < shards; s++ {
+		wls[s] = app.NewCrossShardKVWorkload(s, shards, frac,
+			rand.New(rand.NewSource(seed+int64(s))),
+			rand.New(rand.NewSource(seed+1000+int64(s))))
+	}
+	res := RunCrossShardPipelined(d, wls, outstanding, nPerClient)
+	res.Frac = frac
+	return res
+}
+
+// CrossShardOrderMix drives the sharded matching engine: symbol-scoped
+// limit orders shard-locally, with frac of requests spanning two shards
+// (alternating two-symbol top-of-book reads and atomic two-legged pair
+// orders).
+func CrossShardOrderMix(seed int64, shards, outstanding, nPerClient int, frac float64) CrossShardResult {
+	d := newCrossShardDeployment(seed, shards, func(int) app.StateMachine { return app.NewOrderBook() })
+	defer d.Stop()
+	wls := make([]Workload, shards)
+	for s := 0; s < shards; s++ {
+		wls[s] = app.NewCrossShardOrderWorkload(s, shards, frac,
+			rand.New(rand.NewSource(seed+int64(s))),
+			rand.New(rand.NewSource(seed+1000+int64(s))))
+	}
+	res := RunCrossShardPipelined(d, wls, outstanding, nPerClient)
+	res.Frac = frac
+	return res
 }

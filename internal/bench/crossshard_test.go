@@ -31,23 +31,36 @@ func TestCrossShardZeroFractionMatchesBaseline(t *testing.T) {
 
 // TestCrossShardMixResolves: at a heavy cross-shard fraction every request
 // still resolves (scatter-gather reads merge, transactions commit or abort)
-// and cross-group requests really occurred.
+// and cross-group requests really occurred — for each transactional app's
+// mix experiment.
 func TestCrossShardMixResolves(t *testing.T) {
 	const n = 40
-	res := CrossShardMix(1, 3, 4, n, 0.5)
-	if res.Completed != n*3 {
-		t.Fatalf("completed %d of %d", res.Completed, n*3)
+	mixes := []struct {
+		name string
+		run  func() CrossShardResult
+	}{
+		{"rkv", func() CrossShardResult { return CrossShardMix(1, 3, 4, n, 0.5) }},
+		{"kv", func() CrossShardResult { return CrossShardKVMix(1, 3, 4, n, 0.5) }},
+		{"orderbook", func() CrossShardResult { return CrossShardOrderMix(1, 3, 4, n, 0.5) }},
 	}
-	if res.CrossOps == 0 {
-		t.Fatal("no cross-shard requests executed at frac=0.5")
-	}
-	if res.Aborted > res.CrossOps/2 {
-		t.Fatalf("%d of %d cross ops aborted; uncontended random keys should mostly commit", res.Aborted, res.CrossOps)
-	}
-	// Determinism: the experiment is a pure function of its seed.
-	res2 := CrossShardMix(1, 3, 4, n, 0.5)
-	if res2.Completed != res.Completed || res2.Elapsed != res.Elapsed || res2.Aborted != res.Aborted {
-		t.Fatalf("cross-shard mix not deterministic: (%d,%v,%d) vs (%d,%v,%d)",
-			res.Completed, res.Elapsed, res.Aborted, res2.Completed, res2.Elapsed, res2.Aborted)
+	for _, m := range mixes {
+		t.Run(m.name, func(t *testing.T) {
+			res := m.run()
+			if res.Completed != n*3 {
+				t.Fatalf("completed %d of %d", res.Completed, n*3)
+			}
+			if res.CrossOps == 0 {
+				t.Fatal("no cross-shard requests executed at frac=0.5")
+			}
+			if res.Aborted > res.CrossOps/2 {
+				t.Fatalf("%d of %d cross ops aborted; uncontended random keys should mostly commit", res.Aborted, res.CrossOps)
+			}
+			// Determinism: the experiment is a pure function of its seed.
+			res2 := m.run()
+			if res2.Completed != res.Completed || res2.Elapsed != res.Elapsed || res2.Aborted != res.Aborted {
+				t.Fatalf("cross-shard mix not deterministic: (%d,%v,%d) vs (%d,%v,%d)",
+					res.Completed, res.Elapsed, res.Aborted, res2.Completed, res2.Elapsed, res2.Aborted)
+			}
+		})
 	}
 }

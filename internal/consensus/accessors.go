@@ -24,6 +24,13 @@ func (r *Replica) SeenReqCount() int { return len(r.seenReq) }
 // ReqStoreCount returns how many direct client request copies are retained.
 func (r *Replica) ReqStoreCount() int { return len(r.reqStore) }
 
+// ExecStateCount returns the size of the per-client exactly-once map
+// (aged at stable checkpoints; the client-churn regression tests watch it).
+func (r *Replica) ExecStateCount() int { return len(r.exec) }
+
+// DeferredCount returns how many wait-queue responses are still owed.
+func (r *Replica) DeferredCount() int { return len(r.deferredResp) }
+
 // EchoStateCount returns how many request digests have live echo tracking.
 func (r *Replica) EchoStateCount() int { return len(r.echoes) }
 

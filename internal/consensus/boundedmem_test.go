@@ -70,6 +70,57 @@ func TestLeaderMemoryBounded(t *testing.T) {
 	}
 }
 
+// TestClientExecStateAged: the per-client exactly-once maps (execHighest +
+// lastResult, now one aged exec map) must not hold one entry per client
+// ever seen. Clients churn in waves — each wave stops sending and a new
+// one starts — and after several checkpoint intervals the maps must only
+// retain recently active clients, while still serving every live request
+// exactly once.
+func TestClientExecStateAged(t *testing.T) {
+	const (
+		window = 8
+		waves  = 4
+		perWav = 6          // clients per wave
+		reqs   = 3 * window // requests per wave: 3 checkpoint intervals
+	)
+	u := cluster.NewUBFT(cluster.Options{
+		Seed:       3,
+		Window:     window,
+		Tail:       window,
+		NumClients: waves * perWav,
+		NewApp:     func() app.StateMachine { return app.NewKV(0) },
+	})
+	defer u.Stop()
+
+	req := 0
+	for wave := 0; wave < waves; wave++ {
+		for i := 0; i < reqs; i++ {
+			ci := wave*perWav + i%perWav
+			key := []byte(fmt.Sprintf("w%d-%04d", wave, req))
+			req++
+			res, _, err := u.InvokeSyncErr(ci, app.EncodeKVSet(key, []byte("v")), 50*sim.Millisecond)
+			if err != nil || res == nil || res[0] != app.KVStored {
+				t.Fatalf("wave %d request %d: res=%v err=%v", wave, i, res, err)
+			}
+		}
+	}
+	u.Eng.RunFor(10 * sim.Millisecond) // let the last checkpoint settle
+
+	// Only the last wave (plus at most one aging window of grace) may
+	// still be tracked; without aging the maps would hold all
+	// waves*perWav clients.
+	total := waves * perWav
+	bound := 2 * perWav
+	for i, r := range u.Replicas {
+		if got := r.ExecStateCount(); got > bound {
+			t.Errorf("replica %d: exec state holds %d clients after churn of %d (bound %d)", i, got, total, bound)
+		}
+		if got := r.DeferredCount(); got != 0 {
+			t.Errorf("replica %d: %d deferred responses with no wait-queue traffic", i, got)
+		}
+	}
+}
+
 // TestLeaderMapsFlatAcrossIntervals tightens the bound: the map sizes at
 // the end of interval k must not grow with k (flat, not linear).
 func TestLeaderMapsFlatAcrossIntervals(t *testing.T) {

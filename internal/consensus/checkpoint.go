@@ -1,6 +1,7 @@
 package consensus
 
 import (
+	"repro/internal/app"
 	"repro/internal/ids"
 	"repro/internal/latmodel"
 	"repro/internal/router"
@@ -249,6 +250,45 @@ func (r *Replica) pruneBelow(seq Slot) {
 	for c, seen := range r.seenReq {
 		if seen.slot < seq {
 			delete(r.seenReq, c)
+		}
+	}
+	// Per-client exactly-once state ages out once the client has been idle
+	// for a full window beyond the stable checkpoint: with client churn in
+	// the millions the map would otherwise hold one entry per client ever
+	// seen. The one-window grace keeps dedup authoritative across every
+	// in-window re-proposal (view changes, retransmissions); only a
+	// duplicate delayed past two whole checkpoint intervals could slip
+	// through, far beyond any retransmission horizon here. Deferred
+	// response targets whose request is STILL PARKED are exempt from the
+	// horizon regardless of age — the parked client was never answered, so
+	// it is exactly the one guaranteed to retransmit, and dropping its
+	// entry would re-execute a non-idempotent request at release. Stale
+	// targets (ticket no longer parked: superseded by a state transfer
+	// that replaced the app's queue) age out normally, and so do their
+	// pending exec entries; live deferred targets keep their exec entries
+	// alive too.
+	deferring, _ := r.cfg.App.(app.Deferring)
+	for tk, tgt := range r.deferredResp {
+		if tgt.slot+Slot(r.cfg.Window) < seq && (deferring == nil || !deferring.Parked(tk)) {
+			delete(r.deferredResp, tk)
+		}
+	}
+	// A pipelined client may have several requests parked at once; the
+	// pending exec entry tracks its HIGHEST num, so keep the max live
+	// deferred num per client (older parked requests answer through their
+	// own deferredResp entry regardless of the exec cache).
+	liveDeferred := make(map[ids.ID]uint64, len(r.deferredResp))
+	for _, tgt := range r.deferredResp {
+		if n, ok := liveDeferred[tgt.client]; !ok || tgt.num > n {
+			liveDeferred[tgt.client] = tgt.num
+		}
+	}
+	for c, e := range r.exec {
+		if e.slot+Slot(r.cfg.Window) < seq {
+			if n, ok := liveDeferred[c]; ok && e.pending && e.num == n {
+				continue
+			}
+			delete(r.exec, c)
 		}
 	}
 	// Request copies whose execution is settled are no longer needed for

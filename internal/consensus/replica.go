@@ -221,12 +221,22 @@ type Replica struct {
 	proposed map[[xcrypto.DigestLen]byte]Slot
 	// seenReq holds the highest request number proposed per client together
 	// with the slot of that proposal; entries whose slot falls below a
-	// stable checkpoint are pruned (execution-level dedup via execHighest
-	// remains the exactly-once authority).
+	// stable checkpoint are pruned (execution-level dedup via exec remains
+	// the exactly-once authority while the client is live).
 	seenReq map[ids.ID]clientSeen
-	// Exactly-once execution bookkeeping.
-	execHighest map[ids.ID]uint64
-	lastResult  map[ids.ID][]byte
+	// Exactly-once execution bookkeeping: per client, the highest executed
+	// request number, its cached result, and the slot it executed in.
+	// Entries age out at stable checkpoints once the client has been idle
+	// for a full window past the checkpoint (same pruning discipline as
+	// the proposal maps), so client churn cannot grow the map forever; the
+	// tradeoff is that a duplicate delayed past two whole checkpoint
+	// intervals would re-execute — orders of magnitude beyond any client
+	// retransmission horizon in this system.
+	exec map[ids.ID]execEntry
+	// deferredResp maps a wait-queue ticket (a request parked on a
+	// transaction lock by a Deferring application) to the client owed the
+	// response when the lock releases. Pruned on the same horizon as exec.
+	deferredResp map[uint64]deferredTarget
 
 	// View change state.
 	sealTarget    View // view being sealed into (0 = not sealing)
@@ -256,6 +266,23 @@ type vcShare struct {
 type clientSeen struct {
 	num  uint64
 	slot Slot
+}
+
+// execEntry is one client's exactly-once execution record.
+type execEntry struct {
+	num  uint64
+	res  []byte
+	slot Slot // slot of the last executed request (aging horizon)
+	// pending marks a request parked in the application's wait queue: it
+	// is executed (dedup holds) but its result arrives at lock release.
+	pending bool
+}
+
+// deferredTarget is the response owed for one parked request.
+type deferredTarget struct {
+	client ids.ID
+	num    uint64
+	slot   Slot // slot the request parked in (aging horizon)
 }
 
 // Deps bundles the per-host infrastructure the replica plugs into.
@@ -297,8 +324,8 @@ func NewReplica(cfg Config, deps Deps) *Replica {
 		echoTimers:    make(map[[xcrypto.DigestLen]byte]sim.Timer),
 		proposed:      make(map[[xcrypto.DigestLen]byte]Slot),
 		seenReq:       make(map[ids.ID]clientSeen),
-		execHighest:   make(map[ids.ID]uint64),
-		lastResult:    make(map[ids.ID][]byte),
+		exec:          make(map[ids.ID]execEntry),
+		deferredResp:  make(map[uint64]deferredTarget),
 		promised:      make(map[voteKey]bool),
 		pendingNV:     make(map[View][]ReplicaCert),
 		vcShares:      make(map[View]map[ids.ID]map[ids.ID]vcShare),
@@ -957,21 +984,68 @@ func (r *Replica) applyOne(req Request, s Slot) {
 	if req.IsNoOp() || req.IsBatch() {
 		return
 	}
-	var result []byte
-	if r.seenExec(req.Client, req.Num) {
+	if e, dup := r.exec[req.Client]; dup && e.num >= req.Num {
 		// A re-proposed duplicate: respond with the cached result instead
-		// of applying twice (exactly-once execution).
-		result = r.lastResult[req.Client]
-	} else {
-		r.proc.Charge(r.cfg.App.ExecCost(req.Payload) + latmodel.AppExecBase)
-		result = r.cfg.App.Apply(req.Payload)
-		r.Executed++
-		r.execHighest[req.Client] = req.Num
-		r.lastResult[req.Client] = result
-		delete(r.reqStore, req.Digest())
+		// of applying twice (exactly-once execution). Only the client's
+		// most recent request has a cached result — a duplicate of an
+		// older request was answered when it first executed, and a parked
+		// request's result does not exist yet (it arrives at lock
+		// release) — so anything else re-delivers nothing rather than the
+		// wrong cached bytes.
+		if e.num == req.Num && !e.pending {
+			r.deliver(req.Client, req.Num, s, e.res)
+		}
+		return
 	}
-	r.respond(req.Client, req.Num, s, result)
+	r.proc.Charge(r.cfg.App.ExecCost(req.Payload) + latmodel.AppExecBase)
+	result := r.cfg.App.Apply(req.Payload)
+	r.Executed++
+	delete(r.reqStore, req.Digest())
+	if result == nil {
+		// A Deferring application may have parked the request on a
+		// transaction lock: record who is owed the response and deliver
+		// it when the lock releases (drainReleased).
+		if d, ok := r.cfg.App.(app.Deferring); ok {
+			if tk := d.TakeParkedTicket(); tk != 0 {
+				r.exec[req.Client] = execEntry{num: req.Num, slot: s, pending: true}
+				r.deferredResp[tk] = deferredTarget{client: req.Client, num: req.Num, slot: s}
+				return
+			}
+		}
+	}
+	r.exec[req.Client] = execEntry{num: req.Num, res: result, slot: s}
+	r.deliver(req.Client, req.Num, s, result)
+	r.drainReleased(s)
+}
+
+// deliver sends one execution result to its client (direct response plus
+// the optional Responder hook).
+func (r *Replica) deliver(client ids.ID, num uint64, s Slot, result []byte) {
+	r.respond(client, num, s, result)
 	if r.cfg.Responder != nil {
-		r.cfg.Responder(req.Client, req.Num, s, result)
+		r.cfg.Responder(client, num, s, result)
+	}
+}
+
+// drainReleased delivers the results of wait-queue requests the app
+// completed during the last Apply (a commit/abort released their lock). A
+// ticket without a deferred target belongs to a request parked before a
+// state transfer — this replica never saw it, and the f+1 replicas that
+// did will respond.
+func (r *Replica) drainReleased(s Slot) {
+	d, ok := r.cfg.App.(app.Deferring)
+	if !ok {
+		return
+	}
+	for _, rel := range d.TakeReleased() {
+		tgt, known := r.deferredResp[rel.Ticket]
+		if !known {
+			continue
+		}
+		delete(r.deferredResp, rel.Ticket)
+		if e, ok := r.exec[tgt.client]; ok && e.num == tgt.num {
+			r.exec[tgt.client] = execEntry{num: tgt.num, res: rel.Result, slot: s}
+		}
+		r.deliver(tgt.client, tgt.num, s, rel.Result)
 	}
 }

@@ -37,9 +37,15 @@ func (r *Replica) onRPC(from ids.ID, payload []byte) {
 	if req.Client != from {
 		return // authenticated links: a client cannot impersonate another
 	}
-	if r.seenExec(req.Client, req.Num) {
+	if e, ok := r.exec[req.Client]; ok && e.num >= req.Num {
 		// Retransmission of an executed request: re-send the cached result.
-		r.respond(req.Client, req.Num, 0, r.lastResult[req.Client])
+		// Only the most recent request's result is cached; a parked
+		// request's response arrives when the blocking transaction
+		// resolves, and older requests were answered at execution — never
+		// re-send another request's bytes for them.
+		if e.num == req.Num && !e.pending {
+			r.respond(req.Client, req.Num, 0, e.res)
+		}
 		return
 	}
 	dg := req.Digest()

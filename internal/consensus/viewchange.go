@@ -97,8 +97,8 @@ func (r *Replica) executedReq(req Request) bool {
 }
 
 func (r *Replica) seenExec(client ids.ID, num uint64) bool {
-	n, ok := r.execHighest[client]
-	return ok && n >= num
+	e, ok := r.exec[client]
+	return ok && e.num >= num
 }
 
 func (r *Replica) hasPrepare(s Slot) bool {

@@ -6,11 +6,21 @@
 // the paper: memory nodes "can be shared among many applications"), with
 // disjoint SWMR region spans carved out via consensus.Config.RegionOffset.
 //
-// Clients are shard-aware: they hash each request's key onto a group and
+// The shard layer is application-agnostic: it consumes only the capability
+// interfaces of internal/app. Routing derives from app.Router (the keys a
+// request touches, hashed onto groups), cross-shard execution from
+// app.Fragmenter (per-shard fragments, merged leg responses), and atomic
+// cross-shard writes from app.TxnParticipant driven through the generic
+// OpTxn* envelope — no app-specific opcode appears anywhere in this
+// package (a CI grep gate enforces it). Any state machine implementing the
+// capabilities gets sharding, scatter-gather reads and 2PC transactions
+// for free.
+//
+// Clients are shard-aware: they hash each request's keys onto a group and
 // fire it down the ordinary ChanRPC path of that group. Multi-key requests
 // whose keys land on different shards execute across groups: read-only
-// MGETs scatter-gather (one sub-read per touched group, merged back into
-// the original key order), and multi-key writes run as 2PC-style
+// fan-outs scatter-gather (one fragment per touched group, merged back
+// into the original key order), and multi-key writes run as 2PC-style
 // transactions — the client prepares/locks the keys in every participant
 // group, logs the decision in a deterministic coordinator group (the
 // minimum touched shard), then commits everywhere; a participant that
@@ -52,11 +62,14 @@ const (
 )
 
 // ErrCrossShard reports a multi-key request whose keys hash to different
-// shards. RouteFuncs return it to signal that single-group routing is
-// impossible; the client then executes the request across groups when it
-// knows how (RKV MGET scatter-gather, RMSet 2PC) and surfaces the error
-// only for operations with no cross-shard execution path.
+// shards but which has no cross-shard execution path: the application does
+// not implement app.Fragmenter, or the request is a write and the
+// application does not implement app.TxnParticipant.
 var ErrCrossShard = errors.New("shard: request touches keys on multiple shards")
+
+// ErrNoRouter reports an Invoke on a multi-shard deployment whose
+// application does not implement app.Router.
+var ErrNoRouter = errors.New("shard: application does not implement app.Router")
 
 // MultiShard is the shard index Invoke reports for requests that executed
 // across several groups (scatter-gather reads and 2PC writes).
@@ -67,30 +80,25 @@ const MultiShard = -1
 // timeout/stall sentinels, which imply the request was in flight).
 const LatNotSubmitted = sim.Duration(-3)
 
-// RouteFunc maps a request payload to the shard that owns it, or fails
-// with ErrCrossShard (multi-key fan-out) or a key-extraction error.
-type RouteFunc func(payload []byte, shards int) (int, error)
-
-// KVRoute routes Memcached-style single-key requests by key hash.
-func KVRoute(payload []byte, shards int) (int, error) {
-	key, err := app.KVRequestKey(payload)
-	if err != nil {
-		return 0, err
+// Route maps a request payload to the shard that owns it using the
+// application's Router capability, or fails with ErrCrossShard (multi-key
+// fan-out), ErrNoRouter, or a key-extraction error. It is the generic
+// replacement for the per-app RouteFunc glue (and backs the ubft.Route
+// facade helper).
+func Route(a app.StateMachine, payload []byte, shards int) (int, error) {
+	r, ok := a.(app.Router)
+	if !ok {
+		if shards <= 1 {
+			return 0, nil
+		}
+		return 0, ErrNoRouter
 	}
-	return app.ShardOfKey(key, shards), nil
-}
-
-// RKVRoute routes Redis-style requests by key hash. Multi-key requests
-// (MGET, RMSet) route to a single group only when every key lands on the
-// same shard; otherwise ErrCrossShard signals the client to execute them
-// across groups (scatter-gather / 2PC).
-func RKVRoute(payload []byte, shards int) (int, error) {
-	keys, err := app.RKVRequestKeys(payload)
+	keys, err := r.Keys(payload)
 	if err != nil {
 		return 0, err
 	}
 	if len(keys) == 0 {
-		return 0, nil // key-less (empty MGET): any shard gives the same answer
+		return 0, nil // key-less: any shard gives the same answer
 	}
 	s := app.ShardOfKey(keys[0], shards)
 	for _, k := range keys[1:] {
@@ -117,11 +125,11 @@ type Options struct {
 
 	// NewApp builds the state machine for one replica of one shard; nil
 	// defaults to the Memcached-like KV store (the canonical partitionable
-	// application).
+	// application). Routing and cross-shard execution derive from the
+	// capability interfaces (app.Router, app.Fragmenter,
+	// app.TxnParticipant) of a prototype instance, whose capability
+	// methods must be pure functions of the request bytes.
 	NewApp func(shard int) app.StateMachine
-
-	// Route maps request payloads to shards; nil defaults to KVRoute.
-	Route RouteFunc
 
 	// PrepareTimeout bounds the prepare phase of a cross-shard write: if
 	// any participant group has not voted by then, the coordinator aborts
@@ -149,9 +157,6 @@ func (o *Options) normalize() error {
 	}
 	if o.NewApp == nil {
 		o.NewApp = func(int) app.StateMachine { return app.NewKV(0) }
-	}
-	if o.Route == nil {
-		o.Route = KVRoute
 	}
 	if o.PrepareTimeout == 0 {
 		o.PrepareTimeout = 2 * sim.Millisecond
@@ -218,7 +223,9 @@ type Deployment struct {
 }
 
 // New builds and wires an S-shard deployment on one engine. Invalid
-// options panic (assembly-time bugs, consistent with cluster.NewUBFT).
+// options panic (assembly-time bugs, consistent with cluster.NewUBFT),
+// including a multi-shard deployment whose application lacks the Router
+// capability — it could never route a single request.
 func New(opts Options) *Deployment {
 	if err := opts.normalize(); err != nil {
 		panic(err)
@@ -226,6 +233,16 @@ func New(opts Options) *Deployment {
 	g := opts.Group
 	n := 2*g.F + 1
 	nm := 2*g.Fm + 1
+
+	// The routing prototype: capability discovery happens once, at
+	// assembly time.
+	proto := opts.NewApp(0)
+	appRouter, _ := proto.(app.Router)
+	appFrag, _ := proto.(app.Fragmenter)
+	_, canTxn := proto.(app.TxnParticipant)
+	if appRouter == nil && opts.Shards > 1 {
+		panic(fmt.Sprintf("shard: %d shards but the application does not implement app.Router", opts.Shards))
+	}
 
 	d := &Deployment{Eng: sim.NewEngine(opts.Seed), opts: opts}
 	netOpts := simnet.RDMAOptions()
@@ -283,7 +300,7 @@ func New(opts Options) *Deployment {
 	}
 
 	// Shard-aware clients: one multi-group consensus client per host plus
-	// the hash-of-key router.
+	// the capability-driven router.
 	groupIDs := make([][]ids.ID, len(d.Groups))
 	for s, grp := range d.Groups {
 		groupIDs[s] = grp.ReplicaIDs
@@ -295,7 +312,9 @@ func New(opts Options) *Deployment {
 			proc:        rt.Node().Proc(),
 			id:          id,
 			shards:      opts.Shards,
-			route:       opts.Route,
+			router:      appRouter,
+			frag:        appFrag,
+			canTxn:      canTxn,
 			prepTimeout: opts.PrepareTimeout,
 		})
 	}
@@ -358,98 +377,159 @@ func (d *Deployment) InvokeSync(ci int, payload []byte, maxWait sim.Duration) ([
 }
 
 // Client is a shard-aware uBFT client: it owns one host endpoint, routes
-// each request to the group owning its key, and collects f+1 matching
+// each request to the group owning its keys, and collects f+1 matching
 // responses from that group's replicas. Requests spanning shards execute
-// across groups: MGETs scatter-gather, RMSets run the 2PC protocol in
-// txn.go with this client as the transaction driver.
+// across groups via the application's capabilities: read-only requests
+// scatter-gather (Fragmenter), multi-key writes run the 2PC protocol in
+// txn.go (TxnParticipant) with this client as the transaction driver.
 type Client struct {
 	cc          *consensus.Client
 	proc        *sim.Proc
 	id          ids.ID
 	shards      int
-	route       RouteFunc
+	router      app.Router
+	frag        app.Fragmenter
+	canTxn      bool
 	prepTimeout sim.Duration
 	txSeq       uint32
 }
 
-// Invoke routes payload to its shard and submits it; done receives the
-// f+1-confirmed result and end-to-end latency. It returns the shard chosen,
-// or MultiShard for a request executed across groups (cross-shard MGET:
-// done receives the merged result and the max per-leg latency; cross-shard
-// RMSet: done receives the 2PC outcome — []byte{app.ROK} on commit,
-// []byte{app.RAborted} on abort — and the full transaction latency). On a
-// routing error (unroutable opcode, or a cross-shard request with no fan-
-// out path) nothing is submitted, done is never called, and the error is
-// returned.
-func (c *Client) Invoke(payload []byte, done func(result []byte, latency sim.Duration)) (int, error) {
-	s, err := c.route(payload, c.shards)
-	if errors.Is(err, ErrCrossShard) {
-		return c.invokeCross(payload, done)
+// splitPlan is the fan-out plan of one cross-shard request: the touched
+// shards in ascending order and, per shard, the original key indices it
+// owns. shards[0] doubles as the deterministic 2PC coordinator group.
+type splitPlan struct {
+	shards  []int
+	legKeys [][]int
+}
+
+// plan routes payload: (shard, nil) for a single-group request, or the
+// fan-out plan when its keys span groups.
+func (c *Client) plan(payload []byte) (int, *splitPlan, error) {
+	if c.router == nil {
+		return 0, nil, nil // single-shard deployment, routing is trivial
 	}
+	keys, err := c.router.Keys(payload)
+	if err != nil {
+		return -1, nil, err
+	}
+	if len(keys) == 0 {
+		return 0, nil, nil // key-less: any shard gives the same answer
+	}
+	if len(keys) == 1 {
+		return app.ShardOfKey(keys[0], c.shards), nil, nil
+	}
+	// Hash each key exactly once: the computed shard indices are reused
+	// for both the single-shard fast path check and the fan-out plan.
+	shardOf := make([]int, len(keys))
+	multi := false
+	for i, k := range keys {
+		shardOf[i] = app.ShardOfKey(k, c.shards)
+		if shardOf[i] != shardOf[0] {
+			multi = true
+		}
+	}
+	if !multi {
+		return shardOf[0], nil, nil
+	}
+	perShard := make(map[int][]int)
+	for i, s := range shardOf {
+		perShard[s] = append(perShard[s], i)
+	}
+	plan := &splitPlan{}
+	for s := 0; s < c.shards; s++ {
+		if idx, ok := perShard[s]; ok {
+			plan.shards = append(plan.shards, s)
+			plan.legKeys = append(plan.legKeys, idx)
+		}
+	}
+	return MultiShard, plan, nil
+}
+
+// fragments builds the per-shard request fragments of a plan.
+func (c *Client) fragments(payload []byte, plan *splitPlan) ([][]byte, error) {
+	frags := make([][]byte, len(plan.shards))
+	for i, idx := range plan.legKeys {
+		f, err := c.frag.Fragment(payload, idx)
+		if err != nil {
+			return nil, err
+		}
+		frags[i] = f
+	}
+	return frags, nil
+}
+
+// Invoke routes payload to the group owning its keys and submits it; done
+// receives the f+1-confirmed result and end-to-end latency. It returns the
+// shard chosen, or MultiShard for a request executed across groups
+// (scatter-gather read: done receives the merged result and the max
+// per-leg latency; 2PC write: done receives the transaction outcome —
+// []byte{app.StatusOK} on commit, []byte{app.StatusAborted} on abort — and
+// the full transaction latency). On a routing error (unroutable request,
+// or a cross-shard request the application's capabilities cannot execute)
+// nothing is submitted, done is never called, and the error is returned.
+func (c *Client) Invoke(payload []byte, done func(result []byte, latency sim.Duration)) (int, error) {
+	s, plan, err := c.plan(payload)
 	if err != nil {
 		return -1, err
 	}
-	if s < 0 || s >= c.shards {
-		return -1, fmt.Errorf("shard: route returned shard %d of %d", s, c.shards)
+	if plan == nil {
+		if s < 0 || s >= c.shards {
+			return -1, fmt.Errorf("shard: routed to shard %d of %d", s, c.shards)
+		}
+		c.cc.InvokeGroup(s, payload, done)
+		return s, nil
 	}
-	c.cc.InvokeGroup(s, payload, done)
-	return s, nil
-}
-
-// invokeCross dispatches a cross-shard multi-key request to its execution
-// strategy: scatter-gather for read-only MGETs, 2PC for multi-key writes.
-func (c *Client) invokeCross(payload []byte, done func(result []byte, latency sim.Duration)) (int, error) {
-	if len(payload) == 0 {
+	if c.frag == nil {
 		return -1, ErrCrossShard
 	}
-	switch payload[0] {
-	case app.RMGet:
-		if err := c.scatterMGet(payload, done); err != nil {
+	if c.frag.ReadOnly(payload) {
+		if err := c.scatterRead(payload, plan, done); err != nil {
 			return -1, err
 		}
 		return MultiShard, nil
-	case app.RMSet:
-		if err := c.beginTx(payload, done); err != nil {
-			return -1, err
-		}
-		return MultiShard, nil
-	default:
+	}
+	if !c.canTxn {
 		return -1, ErrCrossShard
 	}
+	if err := c.beginTx(payload, plan, done); err != nil {
+		return -1, err
+	}
+	return MultiShard, nil
 }
 
-// Scatter-gather legs that hit a transaction-locked key retry until the
-// transaction resolves. The delay is deterministic virtual time; the cap
-// outlasts the default PrepareTimeout comfortably, so a transaction that
-// aborts on timeout frees the reader well before it gives up (after the
-// cap, the RLocked status surfaces through the merge).
+// Scatter-gather legs answered StatusLocked — the group's wait queue was
+// full, so the leg could not park on the in-flight transaction — retry
+// until the transaction resolves. The delay is deterministic virtual time;
+// the cap outlasts the default PrepareTimeout comfortably, so a
+// transaction that aborts on timeout frees the reader well before it gives
+// up (after the cap, the StatusLocked surfaces through the merge).
 const (
-	mgetRetryDelay = 50 * sim.Microsecond
-	mgetRetryMax   = 100
+	lockedRetryDelay = 50 * sim.Microsecond
+	lockedRetryMax   = 100
 )
 
-// scatterMGet fans one sub-MGET per touched group, merges the per-leg
-// responses deterministically back into the original key order, and reports
-// the slowest leg's end-to-end latency (the client-observed critical path).
-// Legs answered RLocked — the group has those keys staged under an
-// in-flight transaction — are retried, so a reader cannot observe a
-// cross-shard write mid-commit. (A leg delayed past the whole transaction
-// on one shard while a sibling leg ran before it can still see a
-// pre/post mix; snapshot reads are the ROADMAP fix.)
-func (c *Client) scatterMGet(payload []byte, done func(result []byte, latency sim.Duration)) error {
-	sc, err := app.SplitRMGet(payload, c.shards)
+// scatterRead fans one fragment per touched group, merges the per-leg
+// responses deterministically back into the original key order, and
+// reports the slowest leg's end-to-end latency (the client-observed
+// critical path). Legs over transaction-locked keys normally park in the
+// group's wait queue and answer when the transaction resolves, so a reader
+// cannot observe a cross-shard write mid-commit. (A leg delayed past the
+// whole transaction on one shard while a sibling leg ran before it can
+// still see a pre/post mix; snapshot reads are the ROADMAP fix.)
+func (c *Client) scatterRead(payload []byte, plan *splitPlan, done func(result []byte, latency sim.Duration)) error {
+	legs, err := c.fragments(payload, plan)
 	if err != nil {
 		return err
 	}
 	start := c.proc.Now()
-	results := make([][]byte, len(sc.Legs))
+	results := make([][]byte, len(legs))
 	var maxLat sim.Duration
-	remaining := len(sc.Legs)
+	remaining := len(legs)
 	var send func(i, attempt int)
 	send = func(i, attempt int) {
-		c.cc.InvokeGroup(sc.Shards[i], sc.Legs[i], func(res []byte, _ sim.Duration) {
-			if len(res) == 1 && res[0] == app.RLocked && attempt < mgetRetryMax {
-				c.proc.After(mgetRetryDelay, func() { send(i, attempt+1) })
+		c.cc.InvokeGroup(plan.shards[i], legs[i], func(res []byte, _ sim.Duration) {
+			if len(res) == 1 && res[0] == app.StatusLocked && attempt < lockedRetryMax {
+				c.proc.After(lockedRetryDelay, func() { send(i, attempt+1) })
 				return
 			}
 			results[i] = res
@@ -458,11 +538,11 @@ func (c *Client) scatterMGet(payload []byte, done func(result []byte, latency si
 			}
 			remaining--
 			if remaining == 0 {
-				done(sc.Merge(results), maxLat)
+				done(c.frag.Merge(payload, results, plan.legKeys), maxLat)
 			}
 		})
 	}
-	for i := range sc.Legs {
+	for i := range legs {
 		send(i, 0)
 	}
 	return nil

@@ -59,23 +59,43 @@ func TestShardedKVEndToEnd(t *testing.T) {
 	}
 }
 
-// TestCrossShardRouting: the router still reports cross-shard fan-out via
-// ErrCrossShard (RKVRoute), the client resolves it for MGET/RMSet (no error
-// reaches the caller, shard = MultiShard), and operations with no fan-out
-// path still surface the error without being submitted.
+// routerOnly is a minimal custom application implementing Router but not
+// Fragmenter/TxnParticipant: the shard layer must route its single-key
+// requests and refuse its cross-shard ones with ErrCrossShard (no fan-out
+// path), proving the capability interfaces are the entire contract.
+type routerOnly struct {
+	app.StateMachine
+}
+
+// Keys treats the whole payload as a list of single-byte keys.
+func (routerOnly) Keys(req []byte) ([][]byte, error) {
+	keys := make([][]byte, 0, len(req))
+	for i := range req {
+		keys = append(keys, req[i:i+1])
+	}
+	return keys, nil
+}
+
+// TestCrossShardRouting: routing derives from the application's Router
+// capability — shard.Route reports cross-shard fan-out via ErrCrossShard,
+// the client resolves it for Fragmenter apps (no error reaches the caller,
+// shard = MultiShard), and requests with no fan-out path surface the error
+// without being submitted.
 func TestCrossShardRouting(t *testing.T) {
 	const shards = 4
 	d := shard.New(shard.Options{
 		Seed:   1,
 		Shards: shards,
 		NewApp: func(int) app.StateMachine { return app.NewRKV() },
-		Route:  shard.RKVRoute,
 	})
 	defer d.Stop()
 
 	a, b := keysOnDistinctShards(shards)
-	if _, err := shard.RKVRoute(app.EncodeRMGet(a, b), shards); err != shard.ErrCrossShard {
-		t.Fatalf("RKVRoute on cross-shard MGET: err = %v, want ErrCrossShard", err)
+	if _, err := shard.Route(app.NewRKV(), app.EncodeRMGet(a, b), shards); err != shard.ErrCrossShard {
+		t.Fatalf("Route on cross-shard MGET: err = %v, want ErrCrossShard", err)
+	}
+	if s, err := shard.Route(app.NewRKV(), app.EncodeRGet(a), shards); err != nil || s != app.ShardOfKey(a, shards) {
+		t.Fatalf("Route on single-key GET: s=%d err=%v", s, err)
 	}
 	s, err := d.Client(0).Invoke(app.EncodeRMGet(a, b), func([]byte, sim.Duration) {})
 	if err != nil {
@@ -85,17 +105,28 @@ func TestCrossShardRouting(t *testing.T) {
 		t.Fatalf("cross-shard MGET shard = %d, want MultiShard", s)
 	}
 
-	// A route that reports fan-out for an op the client cannot scatter
-	// (single-key SET) must still fail cleanly without submitting.
-	rejectAll := func([]byte, int) (int, error) { return 0, shard.ErrCrossShard }
-	d2 := shard.New(shard.Options{Seed: 2, Shards: shards, Route: rejectAll})
+	// An app with Router but no Fragmenter: cross-shard requests must fail
+	// cleanly without submitting.
+	d2 := shard.New(shard.Options{Seed: 2, Shards: shards,
+		NewApp: func(int) app.StateMachine { return routerOnly{app.NewFlip()} }})
 	defer d2.Stop()
+	var cross []byte
+	for i := 0; cross == nil; i++ {
+		k := []byte{byte(i)}
+		if app.ShardOfKey(k, shards) != app.ShardOfKey([]byte{0}, shards) {
+			cross = []byte{0, byte(i)} // two keys on different shards
+		}
+	}
 	called := false
-	if _, err := d2.Client(0).Invoke(app.EncodeKVSet([]byte("k"), []byte("v")), func([]byte, sim.Duration) { called = true }); err != shard.ErrCrossShard {
+	if _, err := d2.Client(0).Invoke(cross, func([]byte, sim.Duration) { called = true }); err != shard.ErrCrossShard {
 		t.Fatalf("unscatterable op: err = %v, want ErrCrossShard", err)
 	}
 	if called {
 		t.Fatal("unscatterable op was submitted despite the error")
+	}
+	// Its single-key requests still route normally.
+	if s, err := d2.Client(0).Invoke([]byte{7}, func([]byte, sim.Duration) {}); err != nil || s != app.ShardOfKey([]byte{7}, shards) {
+		t.Fatalf("routerOnly single-key: s=%d err=%v", s, err)
 	}
 }
 

@@ -6,24 +6,27 @@ import (
 )
 
 // This file is the 2PC-style cross-shard commit protocol for multi-key
-// writes (RMSet requests spanning consensus groups). The shard-aware client
-// drives the transaction; every protocol step is itself a consensus-ordered
-// command inside a group, so the lock/stage/commit state machine (in
-// app.RKV) is replicated and deterministic:
+// writes spanning consensus groups. The shard-aware client drives the
+// transaction generically: every protocol step is a command of the
+// reserved OpTxn* envelope (internal/app/txn.go), itself consensus-ordered
+// inside a group, so the lock/stage/commit state machine (the
+// application's TxnParticipant hooks, backed by app.LockTable) is
+// replicated and deterministic:
 //
-//  1. Prepare: one RPrepare per participant group locks that group's keys
-//     and stages the writes; each group votes ROK (yes) or RConflict (no).
+//  1. Prepare: one OpTxnPrepare per participant group carries that group's
+//     fragment of the write; the participant locks the fragment's keys and
+//     stages it, voting StatusOK (yes) or StatusConflict (no).
 //  2. Decide: once every participant voted yes, the decision is logged as
-//     an RDecide command in the coordinator group — deterministically the
-//     minimum touched shard — making commit durable before any group
+//     an OpTxnDecide command in the coordinator group — deterministically
+//     the minimum touched shard — making commit durable before any group
 //     applies it (the classic 2PC commit point).
-//  3. Commit: RCommit fans out to every participant, which installs the
-//     staged writes and releases the locks. done fires after all
+//  3. Commit: OpTxnCommit fans out to every participant, which installs
+//     the staged fragment and releases the locks. done fires after all
 //     participants acknowledged, so a subsequent read anywhere observes
 //     the whole transaction.
 //
-// Aborts are presumed (no decision record): a RConflict vote or the
-// PrepareTimeout expiring fires RAbort at every participant, with the
+// Aborts are presumed (no decision record): a StatusConflict vote or the
+// PrepareTimeout expiring fires OpTxnAbort at every participant, with the
 // in-flight prepares cancelled, so a stalled group cannot wedge the
 // healthy ones; their locks release as soon as the abort is decided. The
 // abort is retransmitted to unacknowledging participants for a bounded
@@ -43,7 +46,7 @@ const (
 
 type txState struct {
 	txid    uint64
-	sc      *app.MSetScatter
+	shards  []int
 	started sim.Time
 	done    func(result []byte, latency sim.Duration)
 
@@ -53,25 +56,26 @@ type txState struct {
 	timer   sim.Timer
 }
 
-// beginTx splits the RMSet across its participant groups and starts the
-// prepare phase. The txid is globally unique and deterministic: the
-// client's host ID in the high bits, a per-client sequence in the low.
-func (c *Client) beginTx(payload []byte, done func(result []byte, latency sim.Duration)) error {
-	sc, err := app.SplitRMSet(payload, c.shards)
+// beginTx splits the write across its participant groups (one fragment per
+// touched shard) and starts the prepare phase. The txid is globally unique
+// and deterministic: the client's host ID in the high bits, a per-client
+// sequence in the low.
+func (c *Client) beginTx(payload []byte, plan *splitPlan, done func(result []byte, latency sim.Duration)) error {
+	frags, err := c.fragments(payload, plan)
 	if err != nil {
 		return err
 	}
 	c.txSeq++
 	tx := &txState{
 		txid:    uint64(c.id)<<32 | uint64(c.txSeq),
-		sc:      sc,
+		shards:  plan.shards,
 		started: c.proc.Now(),
 		done:    done,
-		pending: make([]uint64, len(sc.Shards)),
+		pending: make([]uint64, len(plan.shards)),
 	}
-	for i := range sc.Shards {
+	for i := range plan.shards {
 		i := i
-		tx.pending[i] = c.cc.InvokeGroup(sc.Shards[i], app.EncodeRPrepare(tx.txid, sc.Pairs[i]),
+		tx.pending[i] = c.cc.InvokeGroup(plan.shards[i], app.EncodeTxnPrepare(tx.txid, frags[i]),
 			func(res []byte, _ sim.Duration) { c.onVote(tx, i, res) })
 	}
 	tx.timer = c.proc.After(c.prepTimeout, func() { c.abortTx(tx) })
@@ -84,12 +88,12 @@ func (c *Client) onVote(tx *txState, leg int, res []byte) {
 		return
 	}
 	tx.pending[leg] = 0
-	if len(res) == 0 || res[0] != app.ROK {
+	if len(res) == 0 || res[0] != app.StatusOK {
 		c.abortTx(tx)
 		return
 	}
 	tx.votes++
-	if tx.votes == len(tx.sc.Shards) {
+	if tx.votes == len(tx.shards) {
 		c.decideTx(tx)
 	}
 }
@@ -109,14 +113,14 @@ func (c *Client) decideTx(tx *txState) {
 	c.sendDecide(tx)
 }
 
-// sendDecide drives the decision record at the coordinator group; on
-// acknowledgement the commit fans out, on exhaustion the transaction
-// aborts — no commit was sent anywhere yet, so aborting keeps every
-// participant consistent. (The decision may have been logged with its acks
-// lost; first-write-wins in the decision log and the advisory nature of an
-// unobserved record keep that harmless.)
+// sendDecide drives the decision record at the coordinator group (the
+// minimum touched shard); on acknowledgement the commit fans out, on
+// exhaustion the transaction aborts — no commit was sent anywhere yet, so
+// aborting keeps every participant consistent. (The decision may have been
+// logged with its acks lost; first-write-wins in the decision log and the
+// advisory nature of an unobserved record keep that harmless.)
 func (c *Client) sendDecide(tx *txState) {
-	c.retryFanout([]int{tx.sc.Coordinator()}, app.EncodeRDecide(tx.txid, true), func(allAcked bool) {
+	c.retryFanout([]int{tx.shards[0]}, app.EncodeTxnDecide(tx.txid, true), func(allAcked bool) {
 		if allAcked {
 			c.sendCommits(tx)
 		} else {
@@ -127,10 +131,10 @@ func (c *Client) sendDecide(tx *txState) {
 
 // sendCommits fans the commit out to every participant; done fires when
 // all acknowledged, or after the retry rounds run out (decided = committed,
-// so the outcome is ROK regardless — but see finishCommit for the caveat
-// about a participant unreachable past the whole backoff window).
+// so the outcome is StatusOK regardless — but see finishCommit for the
+// caveat about a participant unreachable past the whole backoff window).
 func (c *Client) sendCommits(tx *txState) {
-	c.retryFanout(tx.sc.Shards, app.EncodeRCommit(tx.txid), func(bool) { c.finishCommit(tx) })
+	c.retryFanout(tx.shards, app.EncodeTxnCommit(tx.txid), func(bool) { c.finishCommit(tx) })
 }
 
 // finishCommit delivers the committed outcome once. A participant that
@@ -143,7 +147,7 @@ func (c *Client) finishCommit(tx *txState) {
 		return
 	}
 	tx.phase = txDone
-	tx.done([]byte{app.ROK}, c.proc.Now().Sub(tx.started))
+	tx.done([]byte{app.StatusOK}, c.proc.Now().Sub(tx.started))
 }
 
 // retryFanout sends payload to every group once per round, retrying the
@@ -203,7 +207,7 @@ func (c *Client) retryFanout(groups []int, payload []byte, done func(allAcked bo
 const retryAttempts = 6
 
 // abortTx resolves the transaction as aborted: in-flight prepares are
-// abandoned, every participant gets an RAbort (releasing the locks of
+// abandoned, every participant gets an OpTxnAbort (releasing the locks of
 // those that prepared; idempotent no-op elsewhere), and the caller learns
 // the outcome immediately — it must not wait on a stalled group. Aborts
 // are retransmitted to unacknowledging participants for a bounded number
@@ -220,6 +224,6 @@ func (c *Client) abortTx(tx *txState) {
 			c.cc.Cancel(num)
 		}
 	}
-	c.retryFanout(tx.sc.Shards, app.EncodeRAbort(tx.txid), func(bool) {})
-	tx.done([]byte{app.RAborted}, c.proc.Now().Sub(tx.started))
+	c.retryFanout(tx.shards, app.EncodeTxnAbort(tx.txid), func(bool) {})
+	tx.done([]byte{app.StatusAborted}, c.proc.Now().Sub(tx.started))
 }

@@ -7,7 +7,9 @@
 //     2f_m+1 memory nodes, clients) on the deterministic simulated fabric.
 //   - State machines: Flip, the Memcached-like KV, the Redis-like RKV and
 //     the Liquibook-like OrderBook, plus the StateMachine interface for
-//     custom applications.
+//     custom applications and the capability interfaces (Router,
+//     Fragmenter, TxnParticipant, LockTable) that give any application
+//     sharding and cross-shard transactions.
 //   - Baselines: Unreplicated, Mu and MinBFT deployments for comparison.
 //
 // Quickstart:
@@ -87,15 +89,58 @@ func New(opts Options) *Cluster { return cluster.NewUBFT(opts) }
 // groups with disjoint key partitions sharing one memory-node pool.
 func NewSharded(opts ShardOptions) *ShardDeployment { return shard.New(opts) }
 
+// Application capability interfaces (layered on StateMachine). A state
+// machine implementing Router can be sharded; adding Fragmenter enables
+// scatter-gather reads across shards; adding TxnParticipant (typically by
+// embedding a LockTable) enables atomic cross-shard multi-key writes.
+type (
+	// Router exposes the keys a request touches (generic hash routing).
+	Router = app.Router
+	// Fragmenter splits multi-key requests into per-shard fragments and
+	// merges per-leg read responses.
+	Fragmenter = app.Fragmenter
+	// TxnParticipant provides the 2PC hooks for cross-shard writes.
+	TxnParticipant = app.TxnParticipant
+	// LockTable is the reusable 2PC participant component (locks, staged
+	// fragments, tombstones, FIFO wait queue) custom applications embed.
+	LockTable = app.LockTable
+)
+
+// NewLockTable builds a LockTable for a custom application; see
+// app.NewLockTable for the callback contracts.
+func NewLockTable(keysOf func([]byte) ([][]byte, error), install func([]byte), exec func([]byte) []byte) *LockTable {
+	return app.NewLockTable(keysOf, install, exec)
+}
+
+// Route maps a request to the shard owning its keys via the application's
+// Router capability. It fails with ErrCrossShard when the keys span shards
+// (the shard-aware client executes such requests across groups when the
+// application also implements Fragmenter/TxnParticipant).
+func Route(a StateMachine, payload []byte, shards int) (int, error) {
+	return shard.Route(a, payload, shards)
+}
+
 // Shard routing helpers.
 var (
-	// KVRoute routes Memcached-style single-key requests by key hash.
-	KVRoute = shard.KVRoute
+	// KVRoute routes Memcached-style requests by key hash.
+	//
+	// Deprecated: use Route with the application instance; routing now
+	// derives from the app's Router capability.
+	KVRoute = func(payload []byte, shards int) (int, error) { return shard.Route(kvProto, payload, shards) }
 	// RKVRoute routes Redis-style requests; multi-key requests spanning
 	// shards execute across groups (MGET scatter-gather, RMSet 2PC).
-	RKVRoute = shard.RKVRoute
+	//
+	// Deprecated: use Route with the application instance.
+	RKVRoute = func(payload []byte, shards int) (int, error) { return shard.Route(rkvProto, payload, shards) }
 	// ErrCrossShard reports a cross-shard request with no fan-out path.
 	ErrCrossShard = shard.ErrCrossShard
+)
+
+// Routing prototypes behind the deprecated helpers (capability methods are
+// pure functions of the request bytes, so sharing instances is safe).
+var (
+	kvProto  = app.NewKV(0)
+	rkvProto = app.NewRKV()
 )
 
 // MultiShard is the shard index reported for requests executed across
