@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet doc-lint shard-opcode-gate race bounded-mem bench-smoke bench bench-shard bench-crossshard bench-txn fuzz-smoke ci
+.PHONY: all build test vet doc-lint shard-opcode-gate race bounded-mem bench-smoke bench bench-shard bench-crossshard bench-txn bench-read fuzz-smoke ci
 
 all: build
 
@@ -56,13 +56,21 @@ bench-crossshard:
 bench-txn:
 	$(GO) test -run '^$$' -bench '^BenchmarkCrossShard(KV|OrderBook)$$' -benchtime 1x -benchmem -short .
 
+# One iteration of the read fast path benchmark: the read-dominant mix at
+# 50/90/99% reads with unordered f+1 quorum reads off and on (the off rows
+# are bit-identical to the plain driver, gated by
+# TestReadMixFastOffMatchesPlainDriver; the >= 2x order-book speedup at 90%
+# reads is gated by TestReadMixFastSpeedup).
+bench-read:
+	$(GO) test -run '^$$' -bench '^BenchmarkReadMix$$' -benchtime 1x -benchmem -short .
+
 # The shard layer must stay application-agnostic: its non-test sources may
 # only touch the app package through the capability interfaces and the
 # generic transaction envelope — never an app-specific opcode, status,
 # encoder or constructor (the api_redesign acceptance bar).
 shard-opcode-gate:
 	@files=$$(ls internal/shard/*.go | grep -v _test); \
-	bad=$$(grep -nE 'app\.(R[A-Z]|KV[A-Z]|Op(Buy|Sell|Cancel|OrderSym|Pair|Tops)|Encode[A-Z]|Decode[A-Z]|Pair\{|OrderLeg|New(RKV|OrderBook|Flip))' $$files | grep -vE 'app\.Encode(TxnPrepare|TxnCommit|TxnAbort|TxnDecide)' || true); \
+	bad=$$(grep -nE 'app\.(R[A-Z]|KV[A-Z]|Op(Buy|Sell|Cancel|OrderSym|Pair|Tops)|Encode[A-Z]|Decode[A-Z]|Pair\{|OrderLeg|New(RKV|OrderBook|Flip))' $$files | grep -vE 'app\.(Encode|Decode)Txn(Prepare|Commit|Abort|Decide|Receipts)' || true); \
 	if [ -n "$$bad" ]; then \
 		echo "shard-opcode-gate: app-specific identifiers in internal/shard:"; echo "$$bad"; exit 1; \
 	fi
@@ -83,4 +91,4 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzReader -fuzztime 10s ./internal/wire/
 	$(GO) test -run '^$$' -fuzz FuzzRoundTrip -fuzztime 10s ./internal/wire/
 
-ci: build vet doc-lint shard-opcode-gate test race bounded-mem bench-smoke bench-shard bench-crossshard bench-txn
+ci: build vet doc-lint shard-opcode-gate test race bounded-mem bench-smoke bench-shard bench-crossshard bench-txn bench-read

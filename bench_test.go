@@ -299,6 +299,49 @@ func BenchmarkCrossShardOrderBook(b *testing.B) {
 	}
 }
 
+// Read fast path: the read-dominant serving mix at 50/90/99% reads with
+// unordered f+1 quorum reads off and on. With FastReads=false every read
+// pays the full ordering pipeline (the seed behavior, bit-identical —
+// gated by TestReadMixFastOffMatchesPlainDriver); with FastReads=true
+// reads cost one round trip + f+1 matching digests and only writes consume
+// consensus slots. The order-book rows are the headline (>= 2x ops at 90%
+// reads, gated by TestReadMixFastSpeedup); the Memcached rows show the
+// exec-bound regime, where every replica still pays the ~15us server path
+// per read and the win is correspondingly smaller.
+func BenchmarkReadMix(b *testing.B) {
+	apps := []struct {
+		name string
+		run  func(seed int64, shards, outstanding, n int, frac float64, fast bool) bench.ReadMixResult
+	}{
+		{"KV", bench.ReadMix},
+		{"OrderBook", bench.ReadMixOrder},
+	}
+	for _, a := range apps {
+		for _, frac := range []float64{0.50, 0.90, 0.99} {
+			for _, fast := range []bool{false, true} {
+				a, frac, fast := a, frac, fast
+				mode := "ordered"
+				if fast {
+					mode = "fast"
+				}
+				b.Run(fmt.Sprintf("%s_read%02d_%s", a.name, int(frac*100), mode), func(b *testing.B) {
+					b.ReportAllocs()
+					for b.Loop() {
+						res := a.run(1, 2, 4, samples(b, 200), frac, fast)
+						if res.Completed == 0 {
+							b.Fatal("no requests completed")
+						}
+						b.ReportMetric(res.OpsPerSec/1000, "kops-virtual")
+						b.ReportMetric(res.ReadRec.Percentile(50).Micros(), "read-p50-us")
+						b.ReportMetric(res.WriteRec.Percentile(50).Micros(), "write-p50-us")
+						b.ReportMetric(float64(res.Fallbacks), "fallbacks")
+					}
+				})
+			}
+		}
+	}
+}
+
 // Extension (§9): leader-side batching, which the paper names as a further
 // throughput optimization but does not implement. Eight requests in flight
 // coalesce into shared consensus slots.

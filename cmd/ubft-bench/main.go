@@ -8,6 +8,7 @@
 //	ubft-bench -fig 11         # CTBcast tail vs tail latency
 //	ubft-bench -table 2        # memory consumption
 //	ubft-bench -throughput     # §9 throughput discussion
+//	ubft-bench -readmix        # read fast path: unordered quorum reads
 //	ubft-bench -all            # everything (EXPERIMENTS.md source)
 //
 // -samples scales measurement counts (the paper uses >= 10,000); -seed
@@ -26,6 +27,7 @@ func main() {
 	fig := flag.Int("fig", 0, "figure to regenerate (7, 8, 9, 10, 11)")
 	table := flag.Int("table", 0, "table to regenerate (2)")
 	throughput := flag.Bool("throughput", false, "run the §9 throughput experiment")
+	readmix := flag.Bool("readmix", false, "run the read fast path experiment (50/90/99% reads, fast reads off/on)")
 	all := flag.Bool("all", false, "run every experiment")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	samples := flag.Int("samples", 0, "samples per configuration (0 = defaults)")
@@ -70,6 +72,11 @@ func main() {
 	}
 	if *all || *throughput {
 		bench.PrintThroughput(w, bench.Throughput(*seed, *samples))
+		fmt.Fprintln(w)
+		ran = true
+	}
+	if *all || *readmix {
+		bench.PrintReadMix(w, bench.ReadMixTable(*seed, *samples))
 		fmt.Fprintln(w)
 		ran = true
 	}

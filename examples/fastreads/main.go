@@ -1,0 +1,59 @@
+// fastreads demonstrates the unordered read fast path: read-only requests
+// skip the ordering pipeline entirely — one round trip to all 2f+1
+// replicas, accepted on f+1 matching result digests at a compatible state
+// version — while every failure mode (digest mismatch, stale replicas,
+// transaction-locked keys, timeouts) falls back to the always-correct
+// ordered path. On a read-dominant serving workload this roughly halves
+// read latency and more than doubles throughput at 90% reads.
+//
+//	go run ./examples/fastreads
+package main
+
+import (
+	"fmt"
+
+	ubft "repro"
+	"repro/internal/app"
+	"repro/internal/bench"
+)
+
+func main() {
+	fmt.Println("== uBFT read fast path: one key, fast vs ordered ==")
+	demoLatency()
+
+	fmt.Println("\n== Read-dominant mix (order book, S=2, 4 in flight/client) ==")
+	fmt.Printf("%-7s %-6s %14s %12s %12s %10s\n", "read%", "fast", "kops/s (virt)", "read p50", "write p50", "fallbacks")
+	for _, frac := range []float64{0.50, 0.90, 0.99} {
+		for _, fast := range []bool{false, true} {
+			res := bench.ReadMixOrder(1, 2, 4, 300, frac, fast)
+			fmt.Printf("%-7.0f %-6v %14.1f %12v %12v %10d\n",
+				frac*100, fast, res.OpsPerSec/1000,
+				res.ReadRec.Percentile(50), res.WriteRec.Percentile(50), res.Fallbacks)
+		}
+	}
+}
+
+func demoLatency() {
+	for _, fast := range []bool{false, true} {
+		d := ubft.NewSharded(ubft.ShardOptions{
+			Seed:      7,
+			NewApp:    func(int) ubft.StateMachine { return app.NewKV(0) },
+			FastReads: fast,
+		})
+		key := []byte("greeting")
+		if res, _, err := d.InvokeSync(0, app.EncodeKVSet(key, []byte("hello")), 50*ubft.Millisecond); err != nil || res[0] != app.KVStored {
+			panic(fmt.Sprintf("seed write: %v %v", res, err))
+		}
+		res, lat, err := d.InvokeSync(0, app.EncodeKVMGet(key), 50*ubft.Millisecond)
+		if err != nil {
+			panic(err)
+		}
+		mode := "ordered (full consensus)"
+		if fast {
+			mode = "fast (f+1 quorum)     "
+		}
+		fastN, fallbacks := d.Client(0).ReadStats()
+		fmt.Printf("  %s  read=%x  latency=%v  fast=%d fallbacks=%d\n", mode, res, lat, fastN, fallbacks)
+		d.Stop()
+	}
+}

@@ -70,14 +70,14 @@ func TestFacadeCapabilities(t *testing.T) {
 	installed := false
 	lt := NewLockTable(
 		func(frag []byte) ([][]byte, error) { return [][]byte{frag}, nil },
-		func(frag []byte) { installed = true },
+		func(frag []byte) []byte { installed = true; return []byte("receipt") },
 		func(req []byte) []byte { return req },
 	)
 	if st := lt.Prepare(1, []byte("k")); st != app.StatusOK {
 		t.Fatalf("custom Prepare: %d", st)
 	}
-	if st := lt.Commit(1); st != app.StatusOK || !installed {
-		t.Fatalf("custom Commit: status=%d installed=%v", st, installed)
+	if st, receipt := lt.Commit(1); st != app.StatusOK || !installed || string(receipt) != "receipt" {
+		t.Fatalf("custom Commit: status=%d installed=%v receipt=%q", st, installed, receipt)
 	}
 }
 

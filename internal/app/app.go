@@ -18,11 +18,15 @@
 //   - Deferring surfaces the LockTable's per-key FIFO wait queue to the
 //     replica layer, so requests blocked on a transaction lock resume when
 //     the lock releases instead of being bounced back for a retry.
+//   - ReadExecutor executes read-only requests against current state with
+//     no side effects, enabling the unordered read fast path (f+1 quorum
+//     reads that skip consensus entirely).
 package app
 
 import (
 	"repro/internal/sim"
 	"repro/internal/wire"
+	"repro/internal/xcrypto"
 )
 
 // StateMachine is the deterministic application replicated by uBFT and the
@@ -90,8 +94,12 @@ type TxnParticipant interface {
 	// Prepare locks the fragment's keys and stages it under txid, voting
 	// StatusOK, or votes StatusConflict/StatusBadReq staging nothing.
 	Prepare(txid uint64, fragment []byte) uint8
-	// Commit installs txid's staged fragment and releases its locks.
-	Commit(txid uint64) uint8
+	// Commit installs txid's staged fragment and releases its locks. The
+	// optional receipt (nil for most stores) carries per-fragment results
+	// — e.g. the fills of an order-book transfer leg — back to the
+	// transaction driver, which assembles the per-leg receipts into the
+	// client's transaction response.
+	Commit(txid uint64) (status uint8, receipt []byte)
 	// Abort discards txid's staged fragment, releases its locks and
 	// tombstones the txid against late prepares.
 	Abort(txid uint64) uint8
@@ -117,11 +125,40 @@ type Deferring interface {
 	Parked(ticket uint64) bool
 }
 
-// Release is one parked request completed by a later command's Apply.
+// Release is one parked request completed by a later command's Apply. Req
+// carries the original request bytes so the replica layer can charge its
+// ExecCost at release (a parked request must not execute "free" inside the
+// releasing commit/abort's Apply).
 type Release struct {
 	Ticket uint64
 	Result []byte
+	Req    []byte
 }
+
+// ReadExecutor is the unordered-read capability behind the read fast path:
+// executing a read-only request against the replica's current state with no
+// side effects whatsoever — no parking, no wait-queue mutation, no state
+// change. Where the ordered Apply would park a request on a transaction
+// lock, ApplyRead answers a bare StatusLocked instead: the unordered path
+// cannot park (parking is tied to ordered execution), so the caller falls
+// back to the ordered path, which does.
+//
+// ApplyRead must be a pure function of the request bytes and the current
+// state: for the same state every replica must produce byte-identical
+// results, or the f+1 matching-digest quorum of the fast path can never
+// form.
+type ReadExecutor interface {
+	StateMachine
+	// ApplyRead executes req read-only; ok=false when req is not a request
+	// this store can answer off the ordered path (writes, unknown opcodes).
+	ApplyRead(req []byte) (res []byte, ok bool)
+}
+
+// ReadDigest fingerprints a read reply for the f+1 matching rule of the
+// unordered read fast path — the same checksum family the ordered client
+// response path matches on, charged nowhere (reads must not pay protocol
+// digest costs).
+func ReadDigest(result []byte) uint64 { return xcrypto.ChecksumNoCharge(result) }
 
 // Pair is one key/value pair of a multi-key write (shared by the KV and
 // RKV stores).

@@ -113,18 +113,11 @@ func (kv *KV) Apply(req []byte) []byte {
 	op := rd.U8()
 	switch op {
 	case KVGet:
-		key := rd.Bytes()
-		if rd.Done() != nil {
-			return []byte{KVBadReq}
-		}
-		v, ok := kv.m[string(key)]
-		if !ok {
-			return []byte{KVMiss}
-		}
-		w := wire.NewWriter(4 + len(v))
-		w.U8(KVOK)
-		w.Bytes(v)
-		return w.Finish()
+		// The read branches delegate to the unordered read executor: the
+		// ordered and fast paths must answer byte-identically at the same
+		// state, so there is exactly one implementation.
+		res, _ := kv.ApplyRead(req)
+		return res
 	case KVSet:
 		key := rd.Bytes()
 		val := rd.Bytes()
@@ -176,27 +169,19 @@ func (kv *KV) Apply(req []byte) []byte {
 		// 2PC transaction (which answers StatusOK from the coordinator).
 		return []byte{StatusOK}
 	case KVMGet:
-		n, ok := readCount(rd, kvMultiMax)
-		if !ok {
-			return []byte{KVBadReq}
-		}
-		keys := make([][]byte, 0, n)
-		for i := 0; i < n; i++ {
-			keys = append(keys, rd.Bytes())
-		}
-		if rd.Done() != nil {
-			return []byte{KVBadReq}
-		}
-		// Lock-aware like the Redis-style MGET: park until an in-flight
-		// transaction over any of the keys resolves, so readers never see
-		// a cross-shard write mid-commit.
-		if kv.AnyLocked(keys...) {
+		// Same delegation; where the unordered executor answers a bare
+		// StatusLocked (a transaction holds a key), the ordered path parks
+		// in the wait queue instead — readers never see a cross-shard
+		// write mid-commit.
+		res, _ := kv.ApplyRead(req)
+		if len(res) == 1 && res[0] == StatusLocked {
+			keys, err := KVRequestKeys(req)
+			if err != nil {
+				return []byte{KVBadReq}
+			}
 			return kv.ParkOrRefuse(keys, req)
 		}
-		return encodeKeyedReads(len(keys), func(i int) (bool, []byte) {
-			v, ok := kv.m[string(keys[i])]
-			return ok, v
-		})
+		return res
 	default:
 		return []byte{KVBadReq}
 	}
@@ -213,6 +198,56 @@ func (kv *KV) set(k string, val []byte) {
 		}
 	}
 	kv.m[k] = val
+}
+
+// ApplyRead implements ReadExecutor: GETs and multi-key GETs execute
+// against current state with no side effects, byte-identical to what the
+// ordered Apply would produce at the same state. Where the ordered
+// multi-read would park on a transaction lock, ApplyRead answers a bare
+// StatusLocked — the unordered path cannot park, so the caller falls back
+// to the ordered path (which does). Single-key GETs stay read-committed,
+// exactly like the ordered path.
+func (kv *KV) ApplyRead(req []byte) ([]byte, bool) {
+	if len(req) == 0 {
+		return nil, false
+	}
+	rd := wire.NewReader(req)
+	switch rd.U8() {
+	case KVGet:
+		key := rd.BytesView()
+		if rd.Done() != nil {
+			return []byte{KVBadReq}, true
+		}
+		v, ok := kv.m[string(key)]
+		if !ok {
+			return []byte{KVMiss}, true
+		}
+		w := wire.NewWriter(4 + len(v))
+		w.U8(KVOK)
+		w.Bytes(v)
+		return w.Finish(), true
+	case KVMGet:
+		n, ok := readCount(rd, kvMultiMax)
+		if !ok {
+			return []byte{KVBadReq}, true
+		}
+		keys := make([][]byte, 0, n)
+		for i := 0; i < n; i++ {
+			keys = append(keys, rd.BytesView())
+		}
+		if rd.Done() != nil {
+			return []byte{KVBadReq}, true
+		}
+		if kv.AnyLocked(keys...) {
+			return []byte{StatusLocked}, true
+		}
+		return encodeKeyedReads(len(keys), func(i int) (bool, []byte) {
+			v, ok := kv.m[string(keys[i])]
+			return ok, v
+		}), true
+	default:
+		return nil, false
+	}
 }
 
 // Keys implements Router.
@@ -257,17 +292,19 @@ func (kv *KV) writeFragmentKeys(frag []byte) ([][]byte, error) {
 	return KVRequestKeys(frag)
 }
 
-// installFragment applies a committed KVMSet fragment.
-func (kv *KV) installFragment(frag []byte) {
+// installFragment applies a committed KVMSet fragment (no commit receipt:
+// a multi-key SET has no per-leg result beyond the acknowledgement).
+func (kv *KV) installFragment(frag []byte) []byte {
 	rd := wire.NewReader(frag)
 	rd.U8()
 	pairs, ok := decodePairs(rd, kvMultiMax)
 	if !ok || rd.Done() != nil {
-		return
+		return nil
 	}
 	for _, p := range pairs {
 		kv.set(string(p.Key), p.Val)
 	}
+	return nil
 }
 
 // Len returns the number of stored items.

@@ -14,7 +14,9 @@ import (
 // embedded by an application, which supplies three callbacks:
 //
 //	keysOf  — extracts (and validates) the keys of a write fragment
-//	install — applies a committed fragment to application state
+//	install — applies a committed fragment to application state and may
+//	          return a commit receipt (e.g. the fills of an order-book
+//	          transfer leg) that travels back in the commit response
 //	exec    — executes a parked request once its keys are free
 //	          (typically the application's own Apply)
 //
@@ -23,7 +25,7 @@ import (
 // on in-flight transactions and parked requests, not just committed data.
 type LockTable struct {
 	keysOf  func(fragment []byte) ([][]byte, error)
-	install func(fragment []byte)
+	install func(fragment []byte) []byte
 	exec    func(req []byte) []byte
 
 	// locks maps a key to the transaction holding it; staged holds each
@@ -40,11 +42,21 @@ type LockTable struct {
 	decisions     map[uint64]bool
 	decisionOrder []uint64
 
+	// Committed-receipt cache (bounded FIFO, non-empty receipts only): a
+	// commit retransmitted after it applied re-answers with the same
+	// receipt, so a lost first ack cannot downgrade the transaction
+	// driver's response from per-leg results to a bare StatusOK.
+	receipts     map[uint64][]byte
+	receiptOrder []uint64
+
 	// The FIFO wait queue: requests that hit a transaction-locked key are
 	// parked here (in arrival = ticket order) and executed by the Apply
 	// that releases their last blocking lock. Results accumulate in
-	// released until the replica drains them via TakeReleased.
+	// released until the replica drains them via TakeReleased. waiting is
+	// the incremental per-key waiter count behind Prepare's fairness check
+	// (maintained by Park / drain / RestoreFrom).
 	parked       []parkedReq
+	waiting      map[string]int
 	nextTicket   uint64
 	parkedTicket uint64
 	released     []Release
@@ -71,7 +83,7 @@ const decisionCap = 4096
 const parkedCap = 1024
 
 // NewLockTable builds an empty lock table wired to its application.
-func NewLockTable(keysOf func([]byte) ([][]byte, error), install func([]byte), exec func([]byte) []byte) *LockTable {
+func NewLockTable(keysOf func([]byte) ([][]byte, error), install func([]byte) []byte, exec func([]byte) []byte) *LockTable {
 	return &LockTable{
 		keysOf:    keysOf,
 		install:   install,
@@ -79,6 +91,8 @@ func NewLockTable(keysOf func([]byte) ([][]byte, error), install func([]byte), e
 		locks:     make(map[string]uint64),
 		staged:    make(map[uint64]*stagedTxn),
 		decisions: make(map[uint64]bool),
+		receipts:  make(map[uint64][]byte),
+		waiting:   make(map[string]int),
 	}
 }
 
@@ -90,6 +104,14 @@ func NewLockTable(keysOf func([]byte) ([][]byte, error), install func([]byte), e
 // tombstoned here is refused — without the abort tombstone, a prepare
 // delayed past its own abort (which no-ops on the unknown txid) would
 // strand the keys locked forever.
+//
+// Fairness: a prepare also queues behind parked requests — a key some
+// request is already waiting on votes StatusConflict exactly like a held
+// lock. A prepare cannot park (the 2PC coordinator is waiting on its
+// vote), but without this rule a stream of back-to-back transactions could
+// re-lock a key in the instant between one transaction's release and the
+// wait queue's drain ever seeing all of a multi-key waiter's keys free,
+// starving the parked request indefinitely.
 func (lt *LockTable) Prepare(txid uint64, fragment []byte) uint8 {
 	if _, decided := lt.decisions[txid]; decided {
 		return StatusConflict
@@ -106,6 +128,13 @@ func (lt *LockTable) Prepare(txid uint64, fragment []byte) uint8 {
 			return StatusConflict
 		}
 	}
+	if len(lt.parked) > 0 {
+		for _, k := range keys {
+			if lt.waiting[string(k)] > 0 {
+				return StatusConflict
+			}
+		}
+	}
 	tx := &stagedTxn{keys: make([]string, 0, len(keys)), frag: fragment}
 	for _, k := range keys {
 		ks := string(k)
@@ -117,20 +146,43 @@ func (lt *LockTable) Prepare(txid uint64, fragment []byte) uint8 {
 }
 
 // Commit installs a staged fragment, releases its locks and drains the
-// wait queue (TxnParticipant hook). Unknown txids acknowledge StatusOK so
-// commits are idempotent under retransmission.
-func (lt *LockTable) Commit(txid uint64) uint8 {
+// wait queue (TxnParticipant hook). The receipt is whatever install
+// returned for the fragment (nil for the KV stores; the leg fills for the
+// order book) and travels back in the commit response so the transaction
+// driver can surface per-leg results. Unknown txids acknowledge StatusOK
+// with no receipt so commits are idempotent under retransmission.
+func (lt *LockTable) Commit(txid uint64) (uint8, []byte) {
 	tx, ok := lt.staged[txid]
 	if !ok {
-		return StatusOK
+		// Re-delivered commit: re-answer with the cached receipt (if the
+		// first commit produced one) so a lost first ack cannot strip the
+		// per-leg results from the transaction response.
+		return StatusOK, lt.receipts[txid]
 	}
 	for _, k := range tx.keys {
 		delete(lt.locks, k)
 	}
 	delete(lt.staged, txid)
-	lt.install(tx.frag)
+	receipt := lt.install(tx.frag)
+	if len(receipt) > 0 {
+		lt.rememberReceipt(txid, receipt)
+	}
 	lt.drain()
-	return StatusOK
+	return StatusOK, receipt
+}
+
+// rememberReceipt caches a commit receipt in the bounded FIFO.
+func (lt *LockTable) rememberReceipt(txid uint64, receipt []byte) {
+	if _, dup := lt.receipts[txid]; dup {
+		return
+	}
+	lt.receiptOrder = append(lt.receiptOrder, txid)
+	if len(lt.receiptOrder) > decisionCap {
+		evict := lt.receiptOrder[0]
+		lt.receiptOrder = lt.receiptOrder[1:]
+		delete(lt.receipts, evict)
+	}
+	lt.receipts[txid] = receipt
 }
 
 // Abort discards a staged fragment, releases its locks and drains the
@@ -209,7 +261,9 @@ func (lt *LockTable) Park(keys [][]byte, req []byte) uint64 {
 		req:    append([]byte(nil), req...),
 	}
 	for _, k := range keys {
-		p.keys = append(p.keys, string(k))
+		ks := string(k)
+		p.keys = append(p.keys, ks)
+		lt.waiting[ks]++
 	}
 	lt.parked = append(lt.parked, p)
 	lt.parkedTicket = p.ticket
@@ -234,7 +288,12 @@ func (lt *LockTable) drain() {
 			kept = append(kept, p)
 			continue
 		}
-		lt.released = append(lt.released, Release{Ticket: p.ticket, Result: lt.exec(p.req)})
+		for _, k := range p.keys {
+			if lt.waiting[k]--; lt.waiting[k] <= 0 {
+				delete(lt.waiting, k)
+			}
+		}
+		lt.released = append(lt.released, Release{Ticket: p.ticket, Result: lt.exec(p.req), Req: p.req})
 	}
 	lt.parked = kept
 }
@@ -328,6 +387,13 @@ func (lt *LockTable) SnapshotTo(w *wire.Writer) {
 		w.Bytes(p.req)
 	}
 	w.U64(lt.nextTicket)
+
+	// The commit-receipt cache in FIFO order (eviction order is state).
+	w.Uvarint(uint64(len(lt.receiptOrder)))
+	for _, id := range lt.receiptOrder {
+		w.U64(id)
+		w.Bytes(lt.receipts[id])
+	}
 }
 
 // RestoreFrom replaces the lock table from a snapshot (callbacks are
@@ -361,12 +427,15 @@ func (lt *LockTable) RestoreFrom(rd *wire.Reader) {
 
 	np := int(rd.Uvarint())
 	lt.parked = make([]parkedReq, 0, np)
+	lt.waiting = make(map[string]int)
 	for i := 0; i < np; i++ {
 		p := parkedReq{ticket: rd.U64()}
 		nk := int(rd.Uvarint())
 		p.keys = make([]string, 0, nk)
 		for j := 0; j < nk; j++ {
-			p.keys = append(p.keys, rd.String())
+			k := rd.String()
+			p.keys = append(p.keys, k)
+			lt.waiting[k]++
 		}
 		p.req = rd.Bytes()
 		lt.parked = append(lt.parked, p)
@@ -374,4 +443,13 @@ func (lt *LockTable) RestoreFrom(rd *wire.Reader) {
 	lt.nextTicket = rd.U64()
 	lt.parkedTicket = 0
 	lt.released = nil
+
+	nr := int(rd.Uvarint())
+	lt.receipts = make(map[uint64][]byte, nr)
+	lt.receiptOrder = make([]uint64, 0, nr)
+	for i := 0; i < nr; i++ {
+		id := rd.U64()
+		lt.receipts[id] = rd.Bytes()
+		lt.receiptOrder = append(lt.receiptOrder, id)
+	}
 }

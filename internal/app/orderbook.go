@@ -225,26 +225,20 @@ func (ob *OrderBook) Apply(req []byte) []byte {
 		}
 		return w.Finish()
 	case OpTops:
-		n, ok := readCount(rd, obTopsMax)
-		if !ok {
-			return []byte{StatusBadReq}
-		}
-		syms := make([][]byte, 0, n)
-		for i := 0; i < n; i++ {
-			syms = append(syms, rd.Bytes())
-		}
-		if rd.Done() != nil {
-			return []byte{StatusBadReq}
-		}
-		// Lock-aware like the KV multi-reads: park while any symbol is
-		// held by an in-flight pair transaction, so a top-of-book read
-		// never observes a transfer mid-commit.
-		if ob.AnyLocked(syms...) {
+		// Delegate to the unordered read executor (one implementation,
+		// byte-identical across the ordered and fast paths); where it
+		// answers a bare StatusLocked — a symbol held by an in-flight pair
+		// transaction — the ordered read parks instead, so a top-of-book
+		// read never observes a transfer mid-commit.
+		res, _ := ob.ApplyRead(req)
+		if len(res) == 1 && res[0] == StatusLocked {
+			syms, err := ob.Keys(req)
+			if err != nil {
+				return []byte{StatusBadReq}
+			}
 			return ob.ParkOrRefuse(syms, req)
 		}
-		return encodeKeyedReads(len(syms), func(i int) (bool, []byte) {
-			return true, ob.topsEntry(syms[i])
-		})
+		return res
 	default:
 		return encodeOrderResp(0, 0, nil, false)
 	}
@@ -452,6 +446,36 @@ func (ob *OrderBook) Keys(req []byte) ([][]byte, error) {
 	}
 }
 
+// ApplyRead implements ReadExecutor: multi-symbol top-of-book reads
+// execute against current book state with no side effects, byte-identical
+// to the ordered Apply at the same state. A symbol held by an in-flight
+// pair transaction answers a bare StatusLocked instead of parking (the
+// caller falls back to the ordered path, which does).
+func (ob *OrderBook) ApplyRead(req []byte) ([]byte, bool) {
+	if len(req) == 0 || req[0] != OpTops {
+		return nil, false
+	}
+	rd := wire.NewReader(req)
+	rd.U8()
+	n, ok := readCount(rd, obTopsMax)
+	if !ok {
+		return []byte{StatusBadReq}, true
+	}
+	syms := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		syms = append(syms, rd.BytesView())
+	}
+	if rd.Done() != nil {
+		return []byte{StatusBadReq}, true
+	}
+	if ob.AnyLocked(syms...) {
+		return []byte{StatusLocked}, true
+	}
+	return encodeKeyedReads(len(syms), func(i int) (bool, []byte) {
+		return true, ob.topsEntry(syms[i])
+	}), true
+}
+
 // ReadOnly implements Fragmenter: top-of-book reads scatter-gather, pair
 // orders run 2PC.
 func (ob *OrderBook) ReadOnly(req []byte) bool { return len(req) > 0 && req[0] == OpTops }
@@ -520,10 +544,12 @@ func (ob *OrderBook) writeFragmentKeys(frag []byte) ([][]byte, error) {
 	}
 }
 
-// installFragment executes a committed pair fragment's legs (fills are
-// reflected in book state; the transaction outcome byte is the client's
-// response).
-func (ob *OrderBook) installFragment(frag []byte) {
+// installFragment executes a committed pair fragment's legs and returns
+// the commit receipt: exactly the order response(s) the same fragment
+// would have produced executing locally (taker id, remainder, fills), so
+// the transaction driver can surface per-leg fill summaries in the
+// cross-shard transaction response instead of a bare commit/abort byte.
+func (ob *OrderBook) installFragment(frag []byte) []byte {
 	rd := wire.NewReader(frag)
 	switch op := rd.U8(); op {
 	case OpOrderSym:
@@ -532,18 +558,24 @@ func (ob *OrderBook) installFragment(frag []byte) {
 		price := rd.U64()
 		qty := rd.U64()
 		if rd.Done() != nil || qty == 0 {
-			return
+			return nil
 		}
-		ob.book(string(sym)).place(side, price, qty)
+		id, remaining, fills := ob.book(string(sym)).place(side, price, qty)
+		return encodeOrderResp(id, remaining, fills, true)
 	case OpPair:
 		legs, err := decodePairLegs(rd)
 		if err != nil {
-			return
+			return nil
 		}
+		w := wire.NewWriter(128)
+		w.U8(StatusOK)
 		for _, leg := range legs {
-			ob.book(string(leg.Sym)).place(leg.Side, leg.Price, leg.Qty)
+			id, remaining, fills := ob.book(string(leg.Sym)).place(leg.Side, leg.Price, leg.Qty)
+			w.Bytes(encodeOrderResp(id, remaining, fills, true))
 		}
+		return w.Finish()
 	}
+	return nil
 }
 
 // Snapshot serializes the books deterministically (sorted symbols),

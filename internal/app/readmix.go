@@ -1,0 +1,88 @@
+package app
+
+import "math/rand"
+
+// This file holds the read-dominant serving workloads behind the read
+// fast path experiment (bench.ReadMix): a configurable read fraction over
+// the multi-key read surface — the one Fragmenter.ReadOnly classifies, so
+// the shard layer's FastReads switch routes exactly these requests through
+// the unordered quorum path — with shard-local writes in between. Keys
+// rejection-sample onto the driving client's shard so every request stays
+// single-group (the cross-shard scatter path has its own experiment).
+
+// ReadMixKVWorkload emits KVMGet reads (one or two previously written
+// keys) with probability readFrac and KVSet writes otherwise.
+type ReadMixKVWorkload struct {
+	rng      *rand.Rand
+	shard    int
+	shards   int
+	readFrac float64
+	keyLen   int
+	valLen   int
+	written  [][]byte
+}
+
+// NewReadMixKVWorkload builds the Memcached-style read mix targeting
+// `shard` of `shards`.
+func NewReadMixKVWorkload(shard, shards int, readFrac float64, rng *rand.Rand) *ReadMixKVWorkload {
+	return &ReadMixKVWorkload{rng: rng, shard: shard, shards: shards, readFrac: readFrac, keyLen: 16, valLen: 32}
+}
+
+// Next returns the next request. Until the first write lands in the pool
+// the stream is all writes, so reads always target plausible keys.
+func (w *ReadMixKVWorkload) Next() []byte {
+	if len(w.written) > 0 && w.rng.Float64() < w.readFrac {
+		k1 := w.written[w.rng.Intn(len(w.written))]
+		if w.rng.Intn(2) == 0 {
+			return EncodeKVMGet(k1)
+		}
+		k2 := w.written[w.rng.Intn(len(w.written))]
+		return EncodeKVMGet(k1, k2)
+	}
+	key := randKeyOn(w.rng, w.shard, w.shards, w.keyLen)
+	val := make([]byte, w.valLen)
+	w.rng.Read(val)
+	if len(w.written) < 4096 {
+		w.written = append(w.written, key)
+	}
+	return EncodeKVSet(key, val)
+}
+
+// ReadMixOrderWorkload is the matching-engine read mix: OpTops top-of-book
+// reads with probability readFrac, symbol-scoped limit orders otherwise.
+// Symbols come from a small per-shard pool so the books build real depth.
+type ReadMixOrderWorkload struct {
+	rng      *rand.Rand
+	shard    int
+	shards   int
+	readFrac float64
+	symLen   int
+	syms     [][]byte
+}
+
+// readMixSymPool bounds the symbol pool (enough symbols to spread load,
+// few enough that each book sees matching traffic).
+const readMixSymPool = 32
+
+// NewReadMixOrderWorkload builds the order-book read mix targeting
+// `shard` of `shards`.
+func NewReadMixOrderWorkload(shard, shards int, readFrac float64, rng *rand.Rand) *ReadMixOrderWorkload {
+	return &ReadMixOrderWorkload{rng: rng, shard: shard, shards: shards, readFrac: readFrac, symLen: 8}
+}
+
+// Next returns the next request. Until the first order rests the stream
+// is all writes, so top-of-book reads always target live books.
+func (w *ReadMixOrderWorkload) Next() []byte {
+	if len(w.syms) > 0 && w.rng.Float64() < w.readFrac {
+		return EncodeTops(w.syms[w.rng.Intn(len(w.syms))])
+	}
+	var sym []byte
+	if len(w.syms) < readMixSymPool {
+		sym = randKeyOn(w.rng, w.shard, w.shards, w.symLen)
+		w.syms = append(w.syms, sym)
+	} else {
+		sym = w.syms[w.rng.Intn(len(w.syms))]
+	}
+	side, price, qty := orderParams(w.rng)
+	return EncodeOrderSym(sym, side, price, qty)
+}

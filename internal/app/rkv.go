@@ -158,18 +158,11 @@ func (r *RKV) Apply(req []byte) []byte {
 	op := rd.U8()
 	switch op {
 	case RGet:
-		key := rd.Bytes()
-		if rd.Done() != nil {
-			return []byte{RBadReq}
-		}
-		v, ok := r.m[string(key)]
-		if !ok {
-			return []byte{RMiss}
-		}
-		w := wire.NewWriter(4 + len(v))
-		w.U8(ROK)
-		w.Bytes(v)
-		return w.Finish()
+		// The read branches delegate to the unordered read executor: the
+		// ordered and fast paths must answer byte-identically at the same
+		// state, so there is exactly one implementation.
+		res, _ := r.ApplyRead(req)
+		return res
 	case RSet:
 		key, val := rd.Bytes(), rd.Bytes()
 		if rd.Done() != nil {
@@ -230,42 +223,27 @@ func (r *RKV) Apply(req []byte) []byte {
 		w.Uvarint(uint64(len(r.m[k])))
 		return w.Finish()
 	case RExists:
-		key := rd.Bytes()
-		if rd.Done() != nil {
-			return []byte{RBadReq}
-		}
-		_, ok := r.m[string(key)]
-		w := wire.NewWriter(4)
-		w.U8(ROK)
-		w.Bool(ok)
-		return w.Finish()
+		res, _ := r.ApplyRead(req)
+		return res
 	case RMGet:
-		n, ok := readCount(rd, rkvMGetMax)
-		if !ok {
-			return []byte{RBadReq}
-		}
-		keys := make([][]byte, 0, n)
-		for i := 0; i < n; i++ {
-			keys = append(keys, rd.Bytes())
-		}
-		if rd.Done() != nil {
-			return []byte{RBadReq}
-		}
-		// Lock-aware: an MGET over a key held by an in-flight transaction
-		// parks until the transaction resolves, so a reader cannot observe
-		// a multi-key write mid-commit (commit releases each group's locks
-		// in the same command that installs its writes); the residual
-		// anomaly is a leg delayed past the *entire* transaction on one
-		// shard while another leg ran before it — closing that needs
-		// snapshot reads (see ROADMAP). Single-key RGet stays
-		// read-committed.
-		if r.AnyLocked(keys...) {
+		// Same delegation; where the unordered executor answers a bare
+		// StatusLocked, the ordered MGET parks until the transaction
+		// resolves, so a reader cannot observe a multi-key write
+		// mid-commit (commit releases each group's locks in the same
+		// command that installs its writes). On the ordered path a leg
+		// delayed past the *entire* transaction on one shard while
+		// another leg ran before it can still see a pre/post mix; the
+		// fast-read path's snapshot-slot negotiation closes that.
+		// Single-key RGet stays read-committed.
+		res, _ := r.ApplyRead(req)
+		if len(res) == 1 && res[0] == StatusLocked {
+			keys, err := RKVRequestKeys(req)
+			if err != nil {
+				return []byte{RBadReq}
+			}
 			return r.ParkOrRefuse(keys, req)
 		}
-		return encodeKeyedReads(len(keys), func(i int) (bool, []byte) {
-			v, ok := r.m[string(keys[i])]
-			return ok, v
-		})
+		return res
 	case RMSet:
 		pairs, ok := decodePairs(rd, rkvMGetMax)
 		if !ok || rd.Done() != nil {
@@ -285,6 +263,65 @@ func (r *RKV) Apply(req []byte) []byte {
 		return []byte{ROK}
 	default:
 		return []byte{RBadReq}
+	}
+}
+
+// ApplyRead implements ReadExecutor: GET, EXISTS and MGET execute against
+// current state with no side effects, byte-identical to the ordered Apply
+// at the same state. An MGET over a transaction-locked key answers a bare
+// StatusLocked instead of parking (the unordered path cannot park; the
+// caller falls back to the ordered path, which does). Single-key GETs stay
+// read-committed like the ordered path.
+func (r *RKV) ApplyRead(req []byte) ([]byte, bool) {
+	if len(req) == 0 {
+		return nil, false
+	}
+	rd := wire.NewReader(req)
+	switch rd.U8() {
+	case RGet:
+		key := rd.BytesView()
+		if rd.Done() != nil {
+			return []byte{RBadReq}, true
+		}
+		v, ok := r.m[string(key)]
+		if !ok {
+			return []byte{RMiss}, true
+		}
+		w := wire.NewWriter(4 + len(v))
+		w.U8(ROK)
+		w.Bytes(v)
+		return w.Finish(), true
+	case RExists:
+		key := rd.BytesView()
+		if rd.Done() != nil {
+			return []byte{RBadReq}, true
+		}
+		_, ok := r.m[string(key)]
+		w := wire.NewWriter(4)
+		w.U8(ROK)
+		w.Bool(ok)
+		return w.Finish(), true
+	case RMGet:
+		n, ok := readCount(rd, rkvMGetMax)
+		if !ok {
+			return []byte{RBadReq}, true
+		}
+		keys := make([][]byte, 0, n)
+		for i := 0; i < n; i++ {
+			keys = append(keys, rd.BytesView())
+		}
+		if rd.Done() != nil {
+			return []byte{RBadReq}, true
+		}
+		if r.AnyLocked(keys...) {
+			return []byte{StatusLocked}, true
+		}
+		return encodeKeyedReads(len(keys), func(i int) (bool, []byte) {
+			v, ok := r.m[string(keys[i])]
+			return ok, v
+		}), true
+	default:
+		return nil, false
 	}
 }
 
@@ -332,17 +369,19 @@ func (r *RKV) writeFragmentKeys(frag []byte) ([][]byte, error) {
 }
 
 // installFragment applies a committed RMSet fragment (locks were released
-// by the LockTable in the same command, so the install is unconditional).
-func (r *RKV) installFragment(frag []byte) {
+// by the LockTable in the same command, so the install is unconditional;
+// no commit receipt — a multi-key SET has no per-leg result).
+func (r *RKV) installFragment(frag []byte) []byte {
 	rd := wire.NewReader(frag)
 	rd.U8()
 	pairs, ok := decodePairs(rd, rkvMGetMax)
 	if !ok || rd.Done() != nil {
-		return
+		return nil
 	}
 	for _, p := range pairs {
 		r.m[string(p.Key)] = p.Val
 	}
+	return nil
 }
 
 // Len returns the number of keys.

@@ -79,6 +79,52 @@ func encodeTxnOp(op uint8, txid uint64) []byte {
 	return w.Finish()
 }
 
+// txnReceiptsMax bounds the per-leg receipt count of a transaction
+// response (a transaction touches at most one fragment per shard).
+const txnReceiptsMax = 4096
+
+// EncodeTxnReceipts builds the committed-transaction response that carries
+// per-leg commit receipts, in ascending shard order: a StatusOK byte, the
+// leg count, then each leg's receipt. Applications whose Commit returns no
+// receipts keep the historical one-byte []byte{StatusOK} response instead
+// — DecodeTxnReceipts tells the two apart.
+func EncodeTxnReceipts(receipts [][]byte) []byte {
+	size := 8
+	for _, r := range receipts {
+		size += len(r) + 4
+	}
+	w := wire.NewWriter(size)
+	w.U8(StatusOK)
+	w.Uvarint(uint64(len(receipts)))
+	for _, r := range receipts {
+		w.Bytes(r)
+	}
+	return w.Finish()
+}
+
+// DecodeTxnReceipts parses a committed-transaction response into its
+// per-leg commit receipts. ok=false for the receipt-less one-byte StatusOK
+// acknowledgement (or anything else that is not a receipts envelope).
+func DecodeTxnReceipts(res []byte) ([][]byte, bool) {
+	if len(res) < 2 || res[0] != StatusOK {
+		return nil, false
+	}
+	rd := wire.NewReader(res)
+	rd.U8()
+	n, ok := readCount(rd, txnReceiptsMax)
+	if !ok {
+		return nil, false
+	}
+	out := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, rd.Bytes())
+	}
+	if rd.Done() != nil {
+		return nil, false
+	}
+	return out, true
+}
+
 // ApplyTxn dispatches a generic transaction command to the participant's
 // hooks, returning (response, true); any request below the reserved range
 // returns (nil, false). Transactional applications call it at the top of
@@ -102,7 +148,13 @@ func ApplyTxn(p TxnParticipant, req []byte) ([]byte, bool) {
 		if rd.Done() != nil {
 			return []byte{StatusBadReq}, true
 		}
-		return []byte{p.Commit(txid)}, true
+		st, receipt := p.Commit(txid)
+		if len(receipt) == 0 {
+			return []byte{st}, true
+		}
+		out := make([]byte, 0, 1+len(receipt))
+		out = append(out, st)
+		return append(out, receipt...), true
 	case OpTxnAbort:
 		txid := rd.U64()
 		if rd.Done() != nil {

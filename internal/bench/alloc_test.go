@@ -10,6 +10,8 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/app"
+	"repro/internal/shard"
 	"repro/internal/sim"
 	"repro/internal/wire"
 )
@@ -52,6 +54,50 @@ func TestFastPathAllocBudget(t *testing.T) {
 	t.Logf("fast path: %.1f allocs/request (budget %d)", avg, budget)
 	if avg > budget {
 		t.Errorf("fast path allocates %.1f/request, budget is %d", avg, budget)
+	}
+}
+
+// TestFastReadAllocBudget asserts the unordered read fast path allocates
+// strictly less than the ordered request budget — a read that skips the
+// whole ordering pipeline must not cost more heap than one that runs it.
+// Measured at ~23 allocs/read when this budget was set (vs ~139 for an
+// ordered write on the same deployment and ~119 on the single-cluster fast
+// path); the ceiling leaves ~1.6x headroom while staying far under the
+// 180-alloc ordered budget above.
+func TestFastReadAllocBudget(t *testing.T) {
+	const budget = 45
+
+	d := shard.New(shard.Options{
+		Seed:      1,
+		NewApp:    func(int) app.StateMachine { return app.NewKV(0) },
+		FastReads: true,
+	})
+	defer d.Stop()
+	drive := func(payload []byte) {
+		fired := false
+		if _, err := d.Client(0).Invoke(payload, func([]byte, sim.Duration) { fired = true }); err != nil {
+			t.Fatal(err)
+		}
+		for !fired {
+			if !d.Eng.Step() {
+				t.Fatal("engine ran dry")
+			}
+		}
+	}
+	key := []byte("alloc-probe-key!")
+	drive(app.EncodeKVSet(key, []byte("value")))
+	read := app.EncodeKVMGet(key)
+	// Warm up: pools, response maps, replica read path.
+	for i := 0; i < 300; i++ {
+		drive(read)
+	}
+	avg := testing.AllocsPerRun(200, func() { drive(read) })
+	t.Logf("fast read: %.1f allocs/request (budget %d)", avg, budget)
+	if avg > budget {
+		t.Errorf("fast read allocates %.1f/request, budget is %d", avg, budget)
+	}
+	if fast, fb := d.Client(0).ReadStats(); fast == 0 || fb != 0 {
+		t.Fatalf("reads did not stay on the fast path: fast=%d fallbacks=%d", fast, fb)
 	}
 }
 

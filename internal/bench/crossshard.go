@@ -47,7 +47,7 @@ func RunCrossShardPipelined(d *shard.Deployment, wls []Workload, outstanding, nP
 				res.CrossOps++
 			}
 		},
-		func(result []byte) {
+		func(_, result []byte, _ sim.Duration) {
 			if len(result) == 1 && result[0] == app.StatusAborted {
 				res.Aborted++
 			}

@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/app"
+	"repro/internal/shard"
+	"repro/internal/sim"
+)
+
+// This file drives the read fast path experiment: a read-dominant serving
+// workload (the ROADMAP's "millions of users" north star is read-mostly)
+// at configurable read fractions, with the unordered f+1 quorum read path
+// switched on or off. With FastReads=false every read pays the full
+// ordering pipeline — leader proposal, CTBcast, certification, execution
+// slot — exactly like the seed; with FastReads=true reads cost one round
+// trip plus f+1 matching digests, and only the write minority consumes
+// consensus slots. The driver mirrors runPipelined exactly (same issue
+// order, same closed loop), so the FastReads=false run is bit-identical to
+// the plain sharded driver — gated by TestReadMixFastOffMatchesPlainDriver.
+
+// ReadMixResult is one row of the read-mix experiment.
+type ReadMixResult struct {
+	Shards    int
+	ReadFrac  float64 // configured read fraction
+	FastReads bool
+	Completed int
+	Reads     int    // requests classified read-only (Fragmenter.ReadOnly)
+	FastOK    uint64 // reads answered by an unordered f+1 quorum
+	Fallbacks uint64 // reads that fell back to the ordered path
+	Decided   int    // slots decided across all groups (writes + fallbacks)
+	OpsPerSec float64
+	Elapsed   sim.Duration
+	Rec       *Recorder // all requests
+	ReadRec   *Recorder // read latencies
+	WriteRec  *Recorder // write latencies
+}
+
+// runReadMix drives the experiment through the shared runPipelined core
+// (identical issue order and completion plumbing — the foundation of the
+// FastReads=false bit-identity gate), splitting latencies per request
+// class via the application's read classifier.
+func runReadMix(d *shard.Deployment, wls []Workload, readOnly func([]byte) bool, outstanding, nPerClient int) ReadMixResult {
+	res := ReadMixResult{
+		Shards:   d.Shards(),
+		Rec:      NewRecorder(nPerClient * len(wls)),
+		ReadRec:  NewRecorder(nPerClient * len(wls)),
+		WriteRec: NewRecorder(nPerClient * len(wls)),
+	}
+	res.Completed, res.Elapsed = runPipelined(d, wls, outstanding, nPerClient, res.Rec, nil,
+		func(req, _ []byte, l sim.Duration) {
+			if readOnly(req) {
+				res.Reads++
+				res.ReadRec.Add(l)
+			} else {
+				res.WriteRec.Add(l)
+			}
+		})
+	res.Decided = d.DecidedTotal()
+	for _, c := range d.Clients {
+		fast, fb := c.ReadStats()
+		res.FastOK += fast
+		res.Fallbacks += fb
+	}
+	if res.Elapsed > 0 && res.Completed > 0 {
+		res.OpsPerSec = float64(res.Completed) / (float64(res.Elapsed) / 1e9)
+	}
+	return res
+}
+
+// readMixDeployment assembles the S-shard deployment of the experiment.
+func readMixDeployment(seed int64, shards int, fast bool, newApp func(int) app.StateMachine) *shard.Deployment {
+	return shard.New(shard.Options{
+		Seed:       seed,
+		Shards:     shards,
+		NumClients: shards,
+		NewApp:     newApp,
+		FastReads:  fast,
+	})
+}
+
+// readOnlyOf returns the read classifier of an application prototype.
+func readOnlyOf(proto app.StateMachine) func([]byte) bool {
+	frag := proto.(app.Fragmenter)
+	return frag.ReadOnly
+}
+
+// ReadMix runs the Memcached-style read mix: KVMGet reads over previously
+// written keys at the given fraction, KVSet writes otherwise.
+func ReadMix(seed int64, shards, outstanding, nPerClient int, readFrac float64, fast bool) ReadMixResult {
+	d := readMixDeployment(seed, shards, fast, func(int) app.StateMachine { return app.NewKV(0) })
+	defer d.Stop()
+	wls := make([]Workload, shards)
+	for s := 0; s < shards; s++ {
+		wls[s] = app.NewReadMixKVWorkload(s, shards, readFrac, rand.New(rand.NewSource(seed+int64(s))))
+	}
+	res := runReadMix(d, wls, readOnlyOf(app.NewKV(0)), outstanding, nPerClient)
+	res.ReadFrac, res.FastReads = readFrac, fast
+	return res
+}
+
+// ReadMixOrder runs the matching-engine read mix: OpTops top-of-book
+// reads at the given fraction, symbol-scoped limit orders otherwise. The
+// order book's cheap execution (~3us vs the KV stores' ~15us server path)
+// makes it the headline case: ordered throughput is consensus-bound, so
+// skipping consensus for the read majority buys the largest factor.
+func ReadMixOrder(seed int64, shards, outstanding, nPerClient int, readFrac float64, fast bool) ReadMixResult {
+	d := readMixDeployment(seed, shards, fast, func(int) app.StateMachine { return app.NewOrderBook() })
+	defer d.Stop()
+	wls := make([]Workload, shards)
+	for s := 0; s < shards; s++ {
+		wls[s] = app.NewReadMixOrderWorkload(s, shards, readFrac, rand.New(rand.NewSource(seed+int64(s))))
+	}
+	res := runReadMix(d, wls, readOnlyOf(app.NewOrderBook()), outstanding, nPerClient)
+	res.ReadFrac, res.FastReads = readFrac, fast
+	return res
+}
+
+// ReadMixTable runs the full experiment grid (both apps, 50/90/99% reads,
+// fast reads off and on) for the CLI.
+func ReadMixTable(seed int64, samples int) []ReadMixResult {
+	if samples == 0 {
+		samples = 200
+	}
+	var rows []ReadMixResult
+	for _, frac := range []float64{0.50, 0.90, 0.99} {
+		for _, fast := range []bool{false, true} {
+			rows = append(rows, ReadMix(seed, 2, 4, samples, frac, fast))
+		}
+	}
+	for _, frac := range []float64{0.50, 0.90, 0.99} {
+		for _, fast := range []bool{false, true} {
+			rows = append(rows, ReadMixOrder(seed, 2, 4, samples, frac, fast))
+		}
+	}
+	return rows
+}
+
+// PrintReadMix renders the experiment table.
+func PrintReadMix(w io.Writer, rows []ReadMixResult) {
+	fmt.Fprintln(w, "Read fast path: unordered f+1 quorum reads vs the full ordering pipeline")
+	fmt.Fprintln(w, "app        read%  fast  kops/vs   read-p50   write-p50  fast-ok  fallback")
+	name := "kv"
+	for i, r := range rows {
+		if i == len(rows)/2 {
+			name = "orderbook"
+		}
+		fmt.Fprintf(w, "%-9s  %4.0f%%  %-5v %8.1f  %8.1fus %8.1fus  %7d  %8d\n",
+			name, r.ReadFrac*100, r.FastReads, r.OpsPerSec/1000,
+			r.ReadRec.Percentile(50).Micros(), r.WriteRec.Percentile(50).Micros(),
+			r.FastOK, r.Fallbacks)
+	}
+}

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/shard"
+)
+
+// TestReadMixFastOffMatchesPlainDriver: with FastReads=false the read-mix
+// experiment must be bit-identical to the same deployment and workload
+// stream driven through the plain sharded driver — same completions, same
+// virtual elapsed time, same latencies — so the fast-read machinery
+// provably costs nothing when switched off (the default).
+func TestReadMixFastOffMatchesPlainDriver(t *testing.T) {
+	const (
+		seed        = 1
+		shards      = 2
+		outstanding = 4
+		n           = 60
+		frac        = 0.9
+	)
+	mix := ReadMix(seed, shards, outstanding, n, frac, false)
+
+	d := shard.New(shard.Options{
+		Seed:       seed,
+		Shards:     shards,
+		NumClients: shards,
+		NewApp:     func(int) app.StateMachine { return app.NewKV(0) },
+	})
+	defer d.Stop()
+	wls := make([]Workload, shards)
+	for s := 0; s < shards; s++ {
+		wls[s] = app.NewReadMixKVWorkload(s, shards, frac, rand.New(rand.NewSource(seed+int64(s))))
+	}
+	base := RunShardedPipelined(d, wls, outstanding, n)
+
+	if mix.FastOK != 0 || mix.Fallbacks != 0 {
+		t.Fatalf("FastReads=false run used the fast path: %d accepts, %d fallbacks", mix.FastOK, mix.Fallbacks)
+	}
+	if mix.Completed != base.Completed || mix.Elapsed != base.Elapsed || mix.OpsPerSec != base.OpsPerSec {
+		t.Fatalf("fast-off mix (completed=%d elapsed=%v ops=%f) != plain driver (completed=%d elapsed=%v ops=%f)",
+			mix.Completed, mix.Elapsed, mix.OpsPerSec, base.Completed, base.Elapsed, base.OpsPerSec)
+	}
+	if mix.Rec.Median() != base.Rec.Median() {
+		t.Fatalf("fast-off median %v != plain driver %v", mix.Rec.Median(), base.Rec.Median())
+	}
+}
+
+// TestReadMixFastSpeedup is the acceptance gate of the read fast path: at
+// 90% reads the order-book mix must complete at least 2x the ops/virtual-
+// second of the identical configuration with fast reads off, with the
+// fast-read p50 below the ordered-write p50 — and the whole experiment
+// must be deterministic per seed (same results, same fallbacks, same
+// virtual elapsed time across runs).
+func TestReadMixFastSpeedup(t *testing.T) {
+	const (
+		seed        = 1
+		shards      = 2
+		outstanding = 4
+		n           = 150
+		frac        = 0.9
+	)
+	slow := ReadMixOrder(seed, shards, outstanding, n, frac, false)
+	fast := ReadMixOrder(seed, shards, outstanding, n, frac, true)
+	if slow.Completed != shards*n || fast.Completed != shards*n {
+		t.Fatalf("completed %d / %d of %d", slow.Completed, fast.Completed, shards*n)
+	}
+	if fast.FastOK == 0 {
+		t.Fatal("fast run answered no reads through the unordered quorum")
+	}
+	if speedup := fast.OpsPerSec / slow.OpsPerSec; speedup < 2.0 {
+		t.Fatalf("fast reads %.1f kops vs ordered %.1f kops: %.2fx, want >= 2x",
+			fast.OpsPerSec/1000, slow.OpsPerSec/1000, speedup)
+	}
+	if rp, wp := fast.ReadRec.Percentile(50), fast.WriteRec.Percentile(50); rp >= wp {
+		t.Fatalf("fast-read p50 %v not below ordered-write p50 %v", rp, wp)
+	}
+	if rp, op := fast.ReadRec.Percentile(50), slow.WriteRec.Percentile(50); rp >= op {
+		t.Fatalf("fast-read p50 %v not below the ordered baseline's write p50 %v", rp, op)
+	}
+
+	again := ReadMixOrder(seed, shards, outstanding, n, frac, true)
+	if again.Elapsed != fast.Elapsed || again.FastOK != fast.FastOK || again.Fallbacks != fast.Fallbacks ||
+		again.ReadRec.Median() != fast.ReadRec.Median() {
+		t.Fatalf("fast read mix not deterministic: (%v,%d,%d,%v) vs (%v,%d,%d,%v)",
+			fast.Elapsed, fast.FastOK, fast.Fallbacks, fast.ReadRec.Median(),
+			again.Elapsed, again.FastOK, again.Fallbacks, again.ReadRec.Median())
+	}
+}

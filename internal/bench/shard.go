@@ -27,10 +27,11 @@ type ShardResult struct {
 // runPipelined is the shared closed-loop driver: `outstanding` requests in
 // flight per client (client i drives its own workload through the routed
 // Invoke path) until every client completed nPerClient requests. The
-// optional hooks let the cross-shard experiment count routing outcomes
-// without duplicating the driver.
+// optional hooks let the cross-shard and read-mix experiments count
+// routing outcomes and split latencies per request class without
+// duplicating the driver.
 func runPipelined(d *shard.Deployment, wls []Workload, outstanding, nPerClient int, rec *Recorder,
-	onIssue func(shard int), onResult func(result []byte)) (completed int, elapsed sim.Duration) {
+	onIssue func(shard int), onResult func(req, result []byte, lat sim.Duration)) (completed int, elapsed sim.Duration) {
 	eng := d.Eng
 	start := eng.Now()
 
@@ -43,11 +44,12 @@ func runPipelined(d *shard.Deployment, wls []Workload, outstanding, nPerClient i
 			for inFlight < outstanding && issued < nPerClient {
 				issued++
 				inFlight++
-				s, err := d.Client(ci).Invoke(wls[ci].Next(), func(result []byte, l sim.Duration) {
+				req := wls[ci].Next()
+				s, err := d.Client(ci).Invoke(req, func(result []byte, l sim.Duration) {
 					inFlight--
 					completed++
 					if onResult != nil {
-						onResult(result)
+						onResult(req, result, l)
 					}
 					rec.Add(l)
 					fill()

@@ -253,6 +253,13 @@ type Replica struct {
 	SlowDecides uint64
 	ViewChanges uint64
 	Executed    uint64
+	// ReadsServed counts unordered fast-path reads executed tentatively
+	// against last-applied state.
+	ReadsServed uint64
+	// DeferredCharged accumulates the ExecCost charged for parked requests
+	// when they execute at lock release (the proc-model honesty fix: parked
+	// requests must not run "free" inside the releasing command's Apply).
+	DeferredCharged sim.Duration
 }
 
 type vcShare struct {
@@ -1038,6 +1045,14 @@ func (r *Replica) drainReleased(s Slot) {
 		return
 	}
 	for _, rel := range d.TakeReleased() {
+		// The parked request executed inside the releasing command's Apply;
+		// charge its ExecCost now so the proc model stays honest (it used
+		// to run "free"). The charge lands after the releasing command's
+		// own response but before the parked responses below, so a released
+		// request's latency includes its own execution.
+		cost := r.cfg.App.ExecCost(rel.Req) + latmodel.AppExecBase
+		r.proc.Charge(cost)
+		r.DeferredCharged += cost
 		tgt, known := r.deferredResp[rel.Ticket]
 		if !known {
 			continue

@@ -1,6 +1,9 @@
 package consensus
 
 import (
+	"math/bits"
+
+	"repro/internal/app"
 	"repro/internal/ids"
 	"repro/internal/latmodel"
 	"repro/internal/router"
@@ -14,11 +17,22 @@ import (
 // the fast path); followers echo each request to the leader so the leader
 // knows everyone holds it before proposing; replicas respond after
 // execution and the client accepts a result once f+1 replicas agree.
+//
+// It also implements the unordered read fast path (the classic PBFT-style
+// read-only optimization): a read-only request goes to all 2f+1 replicas
+// of a group, each executes it tentatively against its last-applied state
+// — off the ordering path, but still charging ExecCost so the proc model
+// stays honest — and replies with the result plus the state version it was
+// read at. The client accepts once f+1 replies carry matching digests at a
+// compatible (monotonic per client per group) version, and falls back to
+// the ordered path on mismatch, timeout, refusal, or a locked key.
 
 const (
-	tagEcho     uint8 = 23
-	tagRequest  uint8 = 30
-	tagResponse uint8 = 31
+	tagEcho         uint8 = 23
+	tagRequest      uint8 = 30
+	tagResponse     uint8 = 31
+	tagReadRequest  uint8 = 32
+	tagReadResponse uint8 = 33
 )
 
 // onRPC handles client traffic arriving at a replica.
@@ -27,9 +41,16 @@ func (r *Replica) onRPC(from ids.ID, payload []byte) {
 		return
 	}
 	rd := wire.NewReader(payload)
-	if rd.U8() != tagRequest {
-		return
+	switch rd.U8() {
+	case tagRequest:
+		r.onClientRequest(from, rd)
+	case tagReadRequest:
+		r.onReadRequest(from, rd)
 	}
+}
+
+// onClientRequest handles an ordered (write-path) client request.
+func (r *Replica) onClientRequest(from ids.ID, rd *wire.Reader) {
 	req := decodeRequest(rd)
 	if rd.Done() != nil || req.IsNoOp() {
 		return
@@ -44,7 +65,10 @@ func (r *Replica) onRPC(from ids.ID, payload []byte) {
 		// resolves, and older requests were answered at execution — never
 		// re-send another request's bytes for them.
 		if e.num == req.Num && !e.pending {
-			r.respond(req.Client, req.Num, 0, e.res)
+			// Re-send with the original execution slot: the client's f+1
+			// match covers (result, slot), so a retransmission must land
+			// in the same class as the first-execution responses.
+			r.respond(req.Client, req.Num, e.slot, e.res)
 		}
 		return
 	}
@@ -70,6 +94,39 @@ func (r *Replica) onRPC(from ids.ID, payload []byte) {
 		r.sendEcho(dg)
 	}
 	r.armProgressTimer()
+}
+
+// onReadRequest serves the unordered read fast path: execute the read
+// tentatively against this replica's last-applied state and reply with the
+// result and the state version (LastApplied) it was read at. The read
+// never touches the ordering pipeline — no digest, no echo, no slot — but
+// its execution is charged like any ordered execution. Requests the
+// application cannot answer read-only (no ReadExecutor capability, or a
+// write opcode) are refused explicitly so the client falls back without
+// waiting out its timeout.
+func (r *Replica) onReadRequest(from ids.ID, rd *wire.Reader) {
+	num := rd.U64()
+	payload := rd.BytesView()
+	if rd.Done() != nil {
+		return
+	}
+	var result []byte
+	served := false
+	if re, ok := r.cfg.App.(app.ReadExecutor); ok {
+		if res, readable := re.ApplyRead(payload); readable {
+			r.proc.Charge(r.cfg.App.ExecCost(payload) + latmodel.AppExecBase)
+			result, served = res, true
+			r.ReadsServed++
+		}
+	}
+	w := wire.GetWriter(32 + len(result))
+	w.U8(tagReadResponse)
+	w.U64(num)
+	w.U64(uint64(r.lastApplied))
+	w.Bool(served)
+	w.Bytes(result)
+	r.rt.Send(from, router.ChanRPC, w.Finish())
+	wire.PutWriter(w)
 }
 
 // sendEcho sends one digest echo to the leader through a pooled buffer
@@ -173,16 +230,90 @@ type Client struct {
 
 	nextNum uint64
 	pending map[uint64]*pendingReq
+
+	// Read fast path state: in-flight unordered reads, the per-group
+	// monotonic read floor (the lowest state version a fast read may be
+	// answered at — ratcheted by every accepted read AND every ordered
+	// response, which is what gives one client monotonic reads and
+	// read-your-writes across the two paths), and the quorum timeout.
+	pendingReads map[uint64]*pendingRead
+	readFloor    []Slot
+	readTimeout  sim.Duration
+
+	// Read fast path stats.
+	FastReads     uint64 // reads answered by an f+1 unordered quorum
+	ReadFallbacks uint64 // reads that fell back to the ordered path
+}
+
+// resTally accumulates one result class of a pending request: the vote
+// count, the result bytes, and the LOWEST slot/version the class reported.
+//
+// On the ordered path the class key covers (result, slot) together —
+// correct replicas are deterministic state machines that execute a request
+// at one agreed slot, so they all land in one class, while a replica lying
+// about either the result or the slot forms its own class that can never
+// reach f+1 without f+1 colluders. The winning class's slot is therefore
+// quorum-vouched in full: it can neither be inflated (which would poison
+// the read floor and permanently deny the fast-read path) nor deflated
+// (which would quietly weaken read-your-writes).
+//
+// On the read path versions stay OUTSIDE the class key — the whole point
+// is accepting the same value read at different versions — and the floor
+// ratchets from the class minimum, which is bounded below by the read's
+// own floor (stale replies are never counted), so a lone Byzantine replica
+// can at worst keep the floor where it already was.
+type resTally struct {
+	count   int
+	result  []byte
+	minSlot Slot
+}
+
+func (t *resTally) add(result []byte, slot Slot) {
+	t.count++
+	t.result = result
+	if t.count == 1 || slot < t.minSlot {
+		t.minSlot = slot
+	}
 }
 
 type pendingReq struct {
 	group   int
 	started sim.Time
-	byRes   map[uint64]int // result checksum -> count
-	results map[uint64][]byte
+	replied uint64              // bitmask of replica indices already counted
+	byRes   map[uint64]resTally // result checksum -> class tally
 	done    func(result []byte, latency sim.Duration)
 	fired   bool
 }
+
+// pendingRead tracks one in-flight unordered read.
+type pendingRead struct {
+	group   int
+	payload []byte
+	minSlot Slot
+	started sim.Time
+	replied uint64 // bitmask of replica indices already counted
+	// byRes tallies fresh (version >= minSlot) replies per result digest;
+	// the class minimum version is the quorum-vouched ratchet (see
+	// resTally), bounded below by the floor since stale replies are never
+	// counted at all.
+	byRes map[uint64]resTally
+	// frontier is the highest version ANY reply carried — advisory input
+	// to the scatter-gather snapshot negotiation only (a forged frontier
+	// costs at most snapRetryMax futile retries before the ordered
+	// fallback); it never ratchets the persistent floor.
+	frontier Slot
+	refused  int
+	fellBack bool
+	ordNum   uint64 // the ordered request number after fallback
+	timer    sim.Timer
+	done     func(result []byte, slot, frontier Slot, fellBack bool, latency sim.Duration)
+}
+
+// defaultReadTimeout bounds how long a fast read waits for its f+1 quorum
+// before falling back to the ordered path. Generous against queueing at
+// saturation (a fast read round trip is tens of microseconds), small
+// against the fallback's own consensus latency.
+const defaultReadTimeout = 500 * sim.Microsecond
 
 // NewClient wires a single-group client onto its host router.
 func NewClient(rt *router.Router, replicas []ids.ID, f int) *Client {
@@ -197,14 +328,25 @@ func NewMultiClient(rt *router.Router, groups [][]ids.ID, f int) *Client {
 		panic("consensus: client needs at least one replica group")
 	}
 	c := &Client{
-		rt:      rt,
-		proc:    rt.Node().Proc(),
-		groups:  groups,
-		f:       f,
-		pending: make(map[uint64]*pendingReq),
+		rt:           rt,
+		proc:         rt.Node().Proc(),
+		groups:       groups,
+		f:            f,
+		pending:      make(map[uint64]*pendingReq),
+		pendingReads: make(map[uint64]*pendingRead),
+		readFloor:    make([]Slot, len(groups)),
+		readTimeout:  defaultReadTimeout,
 	}
-	rt.Register(router.ChanRPC, c.onResponse)
+	rt.Register(router.ChanRPC, c.onRPC)
 	return c
+}
+
+// SetReadTimeout overrides how long a fast read waits for its f+1 quorum
+// before falling back to the ordered path (default 500us of virtual time).
+func (c *Client) SetReadTimeout(d sim.Duration) {
+	if d > 0 {
+		c.readTimeout = d
+	}
 }
 
 // Groups returns how many replica groups this client can address.
@@ -226,8 +368,7 @@ func (c *Client) InvokeGroup(group int, payload []byte, done func(result []byte,
 	c.pending[num] = &pendingReq{
 		group:   group,
 		started: c.proc.Now(),
-		byRes:   make(map[uint64]int),
-		results: make(map[uint64][]byte),
+		byRes:   make(map[uint64]resTally),
 		done:    done,
 	}
 	req := Request{Client: c.rt.ID(), Num: num, Payload: payload}
@@ -246,8 +387,17 @@ func (c *Client) InvokeGroup(group int, payload []byte, done func(result []byte,
 // the done callback never fires. It reports whether the request was still
 // pending. The request itself may still be (or become) decided and executed
 // by the group — Cancel gives up on observing the outcome, it cannot recall
-// the submission.
+// the submission. Cancelling a fast read also abandons its ordered
+// fallback, if one is in flight.
 func (c *Client) Cancel(num uint64) bool {
+	if p, ok := c.pendingReads[num]; ok {
+		delete(c.pendingReads, num)
+		p.timer.Cancel()
+		if p.fellBack {
+			delete(c.pending, p.ordNum)
+		}
+		return true
+	}
 	if _, ok := c.pending[num]; !ok {
 		return false
 	}
@@ -255,17 +405,25 @@ func (c *Client) Cancel(num uint64) bool {
 	return true
 }
 
-// PendingCount reports how many requests await f+1 confirmations (bounded-
-// memory diagnostics: abandoned requests must not accumulate here).
-func (c *Client) PendingCount() int { return len(c.pending) }
+// PendingCount reports how many requests await confirmation, ordered and
+// fast-read alike (bounded-memory diagnostics: abandoned requests must not
+// accumulate here). A read in its fallback phase counts twice — once for
+// the read handle, once for the inner ordered request — until it resolves.
+func (c *Client) PendingCount() int { return len(c.pending) + len(c.pendingReads) }
 
-func (c *Client) onResponse(from ids.ID, payload []byte) {
+func (c *Client) onRPC(from ids.ID, payload []byte) {
 	rd := wire.NewReader(payload)
-	if rd.U8() != tagResponse {
-		return
+	switch rd.U8() {
+	case tagResponse:
+		c.onResponse(from, rd)
+	case tagReadResponse:
+		c.onReadResponse(from, rd)
 	}
+}
+
+func (c *Client) onResponse(from ids.ID, rd *wire.Reader) {
 	num := rd.U64()
-	rd.U64() // slot (informational)
+	slot := Slot(rd.U64())
 	result := rd.Bytes()
 	if rd.Done() != nil {
 		return
@@ -274,24 +432,198 @@ func (c *Client) onResponse(from ids.ID, payload []byte) {
 	if p == nil || p.fired {
 		return
 	}
-	if !c.isReplicaOf(from, p.group) {
+	idx := c.replicaIndex(from, p.group)
+	if idx < 0 {
 		return // response from outside the group this request went to
 	}
-	key := xcrypto.ChecksumNoCharge(result)
-	p.byRes[key]++
-	p.results[key] = result
-	if p.byRes[key] >= c.f+1 {
+	bit := uint64(1) << uint(idx)
+	if p.replied&bit != 0 {
+		return // one response per replica counts toward the quorum
+	}
+	p.replied |= bit
+	// The class key mixes the slot into the result checksum so the f+1
+	// match covers both (see resTally).
+	key := xcrypto.ChecksumNoCharge(result) + uint64(slot)*0x9E3779B97F4A7C15
+	t := p.byRes[key]
+	t.add(result, slot)
+	p.byRes[key] = t
+	if t.count >= c.f+1 {
 		p.fired = true
 		delete(c.pending, num)
+		// The request executed at the slot the winning class vouches for
+		// (its minimum — see resTally), so the group's state now includes
+		// it: ratchet the read floor so a later fast read by this client
+		// can never observe a version that predates this response
+		// (read-your-writes and monotonic reads across both paths).
+		c.noteVersion(p.group, t.minSlot+1)
 		p.done(result, c.proc.Now().Sub(p.started))
 	}
 }
 
-func (c *Client) isReplicaOf(id ids.ID, group int) bool {
-	for _, r := range c.groups[group] {
+func (c *Client) replicaIndex(id ids.ID, group int) int {
+	for i, r := range c.groups[group] {
 		if r == id {
-			return true
+			return i
 		}
 	}
-	return false
+	return -1
+}
+
+// noteVersion ratchets the per-group monotonic read floor.
+func (c *Client) noteVersion(group int, v Slot) {
+	if v > c.readFloor[group] {
+		c.readFloor[group] = v
+	}
+}
+
+// ---------------------------------------------------------------------
+// Unordered read fast path (client side).
+// ---------------------------------------------------------------------
+
+// InvokeRead submits a read-only request to group 0's unordered fast path:
+// one round trip to all 2f+1 replicas, accepted on f+1 matching result
+// digests at a compatible state version, with a transparent fallback to
+// the ordered Invoke path on mismatch, timeout, refusal or a
+// transaction-locked key. done always fires exactly once with the final
+// result and the end-to-end latency (fallback included).
+func (c *Client) InvokeRead(payload []byte, done func(result []byte, latency sim.Duration)) uint64 {
+	return c.InvokeGroupRead(0, payload, done)
+}
+
+// InvokeGroupRead is InvokeRead addressed at one replica group.
+func (c *Client) InvokeGroupRead(group int, payload []byte, done func(result []byte, latency sim.Duration)) uint64 {
+	return c.InvokeGroupReadAt(group, payload, 0, func(res []byte, _, _ Slot, _ bool, lat sim.Duration) {
+		done(res, lat)
+	})
+}
+
+// InvokeGroupReadAt is the slot-aware fast read the shard layer's
+// snapshot-consistent scatter-gather builds on: only replies at state
+// version >= minSlot (and >= this client's monotonic floor for the group)
+// count toward the quorum, and done additionally receives the version the
+// accepted result was read at, the group frontier — the highest version
+// ANY reply revealed, which the caller uses as the group's snapshot slot
+// when negotiating a consistent multi-group read — and whether the read
+// resolved through the ordered fallback, the signal the scatter layer's
+// revalidation round keys on. EVERY fallback reports true: a fallback
+// from plain loss or timeout may still have parked server-side behind a
+// transaction (the client cannot tell a parked ordered read from a slow
+// one without a wire marker — a ROADMAP optimization), and a sibling leg
+// may predate that transaction, so all fallbacks must be treated as
+// potentially lock-crossing.
+func (c *Client) InvokeGroupReadAt(group int, payload []byte, minSlot Slot, done func(result []byte, slot, frontier Slot, fellBack bool, latency sim.Duration)) uint64 {
+	c.nextNum++
+	num := c.nextNum
+	if f := c.readFloor[group]; f > minSlot {
+		minSlot = f
+	}
+	p := &pendingRead{
+		group:   group,
+		payload: payload,
+		minSlot: minSlot,
+		started: c.proc.Now(),
+		byRes:   make(map[uint64]resTally),
+		done:    done,
+	}
+	c.pendingReads[num] = p
+	w := wire.GetWriter(32 + len(payload))
+	w.U8(tagReadRequest)
+	w.U64(num)
+	w.Bytes(payload)
+	frame := w.Finish()
+	for _, rep := range c.groups[group] {
+		c.rt.Send(rep, router.ChanRPC, frame)
+	}
+	wire.PutWriter(w)
+	p.timer = c.proc.After(c.readTimeout, func() { c.readFallback(num, p) })
+	return num
+}
+
+// onReadResponse collects one replica's fast-read reply. Acceptance needs
+// f+1 replies carrying the same result digest at versions >= the read's
+// floor; a full round without acceptance (digest mismatch, stale replicas,
+// f+1 refusals) or an accepted-but-locked result falls back to the ordered
+// path.
+func (c *Client) onReadResponse(from ids.ID, rd *wire.Reader) {
+	num := rd.U64()
+	version := Slot(rd.U64())
+	served := rd.Bool()
+	result := rd.Bytes()
+	if rd.Done() != nil {
+		return
+	}
+	p := c.pendingReads[num]
+	if p == nil || p.fellBack {
+		return
+	}
+	idx := c.replicaIndex(from, p.group)
+	if idx < 0 {
+		return
+	}
+	bit := uint64(1) << uint(idx)
+	if p.replied&bit != 0 {
+		return // one reply per replica counts
+	}
+	p.replied |= bit
+	if version > p.frontier {
+		p.frontier = version
+	}
+	if !served {
+		p.refused++
+		if p.refused >= c.f+1 {
+			// At least one correct replica refuses, and refusal is a
+			// deterministic property of the request: no quorum will form.
+			c.readFallback(num, p)
+			return
+		}
+	} else if version >= p.minSlot {
+		key := app.ReadDigest(result)
+		t := p.byRes[key]
+		t.add(result, version)
+		p.byRes[key] = t
+		if t.count >= c.f+1 {
+			if len(t.result) == 1 && t.result[0] == app.StatusLocked {
+				// A transaction holds the keys: always fall back — the
+				// ordered path parks behind the lock and answers when the
+				// transaction resolves (the wait-queue semantics readers
+				// rely on for isolation).
+				c.readFallback(num, p)
+				return
+			}
+			p.timer.Cancel()
+			delete(c.pendingReads, num)
+			c.FastReads++
+			c.noteVersion(p.group, t.minSlot)
+			p.done(t.result, t.minSlot, p.frontier, false, c.proc.Now().Sub(p.started))
+			return
+		}
+	}
+	if bits.OnesCount64(p.replied) == len(c.groups[p.group]) {
+		// Every replica replied and no compatible quorum formed.
+		c.readFallback(num, p)
+	}
+}
+
+// readFallback re-submits a fast read through the ordered path. The
+// ordered result is always correct (it is the exact path a deployment
+// without fast reads runs), so this is the safety net every fast-read
+// failure mode lands on.
+func (c *Client) readFallback(num uint64, p *pendingRead) {
+	if p.fellBack || c.pendingReads[num] != p {
+		return
+	}
+	p.fellBack = true
+	p.timer.Cancel()
+	c.ReadFallbacks++
+	p.ordNum = c.InvokeGroup(p.group, p.payload, func(result []byte, _ sim.Duration) {
+		delete(c.pendingReads, num)
+		// The ordered execution ratcheted the floor already; report it as
+		// both slot and frontier so a scatter-gather caller never retries
+		// an ordered leg.
+		v := c.readFloor[p.group]
+		if p.frontier > v {
+			v = p.frontier
+		}
+		p.done(result, v, v, true, c.proc.Now().Sub(p.started))
+	})
 }

@@ -39,6 +39,10 @@ type shardApp struct {
 	readVals func(t *testing.T, res []byte) (string, string)
 	// wrote reports a successful single-key write acknowledgement.
 	wrote func(res []byte) bool
+	// checkCommit validates a committed cross-shard transaction response:
+	// the KV stores answer the bare one-byte StatusOK, the order book a
+	// receipts envelope carrying each leg's fill summary.
+	checkCommit func(t *testing.T, res []byte)
 	// conflictOffset is how long after the first client's transaction the
 	// second client must fire to land inside the first's prepare window
 	// (app execution cost shifts the window; the cheap order book resolves
@@ -115,6 +119,37 @@ func obReadVals(t *testing.T, res []byte) (string, string) {
 	return out[0], out[1]
 }
 
+// plainCommitOK asserts the receipt-less one-byte commit acknowledgement.
+func plainCommitOK(t *testing.T, res []byte) {
+	t.Helper()
+	if len(res) != 1 || res[0] != app.StatusOK {
+		t.Fatalf("2PC result = %v, want the one-byte StatusOK", res)
+	}
+}
+
+// obCommitReceipts asserts the order book's committed pair transfer
+// reports a per-leg fill summary (a decodable order response per leg), not
+// just the commit byte.
+func obCommitReceipts(t *testing.T, res []byte) {
+	t.Helper()
+	if len(res) == 0 || res[0] != app.StatusOK {
+		t.Fatalf("2PC result = %v, want StatusOK envelope", res)
+	}
+	receipts, ok := app.DecodeTxnReceipts(res)
+	if !ok {
+		t.Fatalf("commit response %v is not a receipts envelope", res)
+	}
+	if len(receipts) != 2 {
+		t.Fatalf("pair transfer returned %d leg receipts, want 2", len(receipts))
+	}
+	for i, r := range receipts {
+		legOK, id, _, _, err := app.DecodeOrderResp(r)
+		if err != nil || !legOK || id == 0 {
+			t.Fatalf("leg %d receipt %v: ok=%v id=%d err=%v", i, r, legOK, id, err)
+		}
+	}
+}
+
 func shardApps() []shardApp {
 	return []shardApp{
 		{
@@ -127,6 +162,7 @@ func shardApps() []shardApp {
 			read:           func(a, b []byte) []byte { return app.EncodeRMGet(a, b) },
 			readVals:       kvReadVals,
 			wrote:          func(res []byte) bool { return len(res) == 1 && res[0] == app.ROK },
+			checkCommit:    plainCommitOK,
 			conflictOffset: 50 * sim.Microsecond,
 		},
 		{
@@ -139,6 +175,7 @@ func shardApps() []shardApp {
 			read:           func(a, b []byte) []byte { return app.EncodeKVMGet(a, b) },
 			readVals:       kvReadVals,
 			wrote:          func(res []byte) bool { return len(res) == 1 && res[0] == app.KVStored },
+			checkCommit:    plainCommitOK,
 			conflictOffset: 50 * sim.Microsecond,
 		},
 		{
@@ -156,6 +193,7 @@ func shardApps() []shardApp {
 			read:           func(a, b []byte) []byte { return app.EncodeTops(a, b) },
 			readVals:       obReadVals,
 			wrote:          func(res []byte) bool { return len(res) > 0 && res[0] == 1 },
+			checkCommit:    obCommitReceipts,
 			conflictOffset: 5 * sim.Microsecond,
 		},
 	}
@@ -259,9 +297,7 @@ func TestCrossShardCommitAtomic(t *testing.T) {
 			if !fired {
 				t.Fatal("2PC write never completed")
 			}
-			if len(result) != 1 || result[0] != app.StatusOK {
-				t.Fatalf("2PC result = %v, want StatusOK", result)
-			}
+			sa.checkCommit(t, result)
 
 			res, _, err := d.InvokeSync(0, sa.read(k1, k2), 50*sim.Millisecond)
 			if err != nil {

@@ -138,6 +138,22 @@ type Options struct {
 	// time (~20x a healthy cross-shard prepare).
 	PrepareTimeout sim.Duration
 
+	// FastReads routes read-only requests (classified by the application's
+	// Fragmenter.ReadOnly capability) through the unordered read fast path:
+	// one round trip to all 2f+1 replicas of the owning group, accepted on
+	// f+1 matching result digests at a compatible state version, with the
+	// ordered path as the always-correct fallback (mismatch, timeout,
+	// locked keys). Scatter-gather multi-reads additionally negotiate a
+	// snapshot slot per group and retry stale legs. Default off: the
+	// ordered path stays bit-identical to a deployment without the feature.
+	// Requires the application to implement app.ReadExecutor (silently
+	// ignored otherwise).
+	FastReads bool
+
+	// ReadTimeout bounds how long a fast read waits for its quorum before
+	// falling back to the ordered path (default 500us of virtual time).
+	ReadTimeout sim.Duration
+
 	// NetOptions overrides the network model (defaults to RDMA-class).
 	NetOptions *simnet.Options
 }
@@ -163,6 +179,9 @@ func (o *Options) normalize() error {
 	}
 	if o.PrepareTimeout < 0 {
 		return fmt.Errorf("shard: negative PrepareTimeout=%d", o.PrepareTimeout)
+	}
+	if o.ReadTimeout < 0 {
+		return fmt.Errorf("shard: negative ReadTimeout=%d", o.ReadTimeout)
 	}
 	if err := o.Group.Normalize(); err != nil {
 		return err
@@ -240,6 +259,7 @@ func New(opts Options) *Deployment {
 	appRouter, _ := proto.(app.Router)
 	appFrag, _ := proto.(app.Fragmenter)
 	_, canTxn := proto.(app.TxnParticipant)
+	_, canRead := proto.(app.ReadExecutor)
 	if appRouter == nil && opts.Shards > 1 {
 		panic(fmt.Sprintf("shard: %d shards but the application does not implement app.Router", opts.Shards))
 	}
@@ -307,14 +327,19 @@ func New(opts Options) *Deployment {
 	}
 	for c, id := range d.ClientIDs {
 		rt := router.New(d.Net.AddNode(id, fmt.Sprintf("client%d", c)))
+		cc := consensus.NewMultiClient(rt, groupIDs, g.F)
+		if opts.ReadTimeout > 0 {
+			cc.SetReadTimeout(opts.ReadTimeout)
+		}
 		d.Clients = append(d.Clients, &Client{
-			cc:          consensus.NewMultiClient(rt, groupIDs, g.F),
+			cc:          cc,
 			proc:        rt.Node().Proc(),
 			id:          id,
 			shards:      opts.Shards,
 			router:      appRouter,
 			frag:        appFrag,
 			canTxn:      canTxn,
+			fastReads:   opts.FastReads && canRead && appFrag != nil,
 			prepTimeout: opts.PrepareTimeout,
 		})
 	}
@@ -390,6 +415,7 @@ type Client struct {
 	router      app.Router
 	frag        app.Fragmenter
 	canTxn      bool
+	fastReads   bool
 	prepTimeout sim.Duration
 	txSeq       uint32
 }
@@ -476,7 +502,11 @@ func (c *Client) Invoke(payload []byte, done func(result []byte, latency sim.Dur
 		if s < 0 || s >= c.shards {
 			return -1, fmt.Errorf("shard: routed to shard %d of %d", s, c.shards)
 		}
-		c.cc.InvokeGroup(s, payload, done)
+		if c.fastReads && c.frag.ReadOnly(payload) {
+			c.cc.InvokeGroupRead(s, payload, done)
+		} else {
+			c.cc.InvokeGroup(s, payload, done)
+		}
 		return s, nil
 	}
 	if c.frag == nil {
@@ -513,13 +543,18 @@ const (
 // reports the slowest leg's end-to-end latency (the client-observed
 // critical path). Legs over transaction-locked keys normally park in the
 // group's wait queue and answer when the transaction resolves, so a reader
-// cannot observe a cross-shard write mid-commit. (A leg delayed past the
-// whole transaction on one shard while a sibling leg ran before it can
-// still see a pre/post mix; snapshot reads are the ROADMAP fix.)
+// cannot observe a cross-shard write mid-commit. (On the ordered path a
+// leg delayed past the whole transaction on one shard while a sibling leg
+// ran before it can still see a pre/post mix; the fast-read path closes
+// that with its snapshot-slot negotiation, see scatterReadFast.)
 func (c *Client) scatterRead(payload []byte, plan *splitPlan, done func(result []byte, latency sim.Duration)) error {
 	legs, err := c.fragments(payload, plan)
 	if err != nil {
 		return err
+	}
+	if c.fastReads {
+		c.scatterReadFast(payload, legs, plan, done)
+		return nil
 	}
 	start := c.proc.Now()
 	results := make([][]byte, len(legs))
@@ -548,6 +583,133 @@ func (c *Client) scatterRead(payload []byte, plan *splitPlan, done func(result [
 	return nil
 }
 
+// snapRetryMax bounds the snapshot-slot retry rounds of a fast scatter
+// read: each round re-reads only the legs that answered below their
+// group's then-known frontier, so two rounds already cover the
+// slow-replica-quorum case; a frontier that keeps advancing under
+// write load is chased no further (the merge is then exactly as
+// consistent as the ordered path's, never worse).
+const snapRetryMax = 2
+
+// scatterReadFast is the snapshot-consistent fast scatter-gather: every
+// leg is an unordered quorum read, and after each full round the client
+// picks a snapshot slot per group — the highest state version any of that
+// group's replies revealed (the frontier) — and retries the legs whose
+// accepted version lies below it, requiring the retry's quorum at or above
+// the snapshot. A leg whose quorum was answered by lagging replicas is
+// therefore re-read at the freshest state its group was known to have
+// reached during the round.
+//
+// On top of the per-group snapshots sits one revalidation round: if any
+// leg resolved through the ordered fallback — which may have parked
+// across an in-flight transaction, and a fallback from plain loss can
+// park just as invisibly as one that observed StatusLocked, so every
+// fallback counts — every other leg is re-read once through the ORDERED
+// path. The ordered re-read is what makes the
+// guarantee provable: it is proposed after the parked leg resumed, i.e.
+// after that transaction's commit was observed, and every transaction
+// step is itself an earlier consensus-ordered command, so by in-order
+// execution the re-read runs after the transaction's prepare on its group
+// and observes it either committed or locked-then-parked — never the
+// pre-transaction state a first-round fast leg may have seen (a fast
+// re-read could be answered by the same stale f+1 quorum again). This
+// makes the fast scatter exactly as isolated as the ordered path's parked
+// legs; the residual anomaly on BOTH paths is a leg that arrives only
+// after a transaction fully committed on its group (never touching a
+// lock) while a sibling read pre-transaction state — closing that needs
+// per-key versions (ROADMAP).
+//
+// Locked legs fall back to the ordered path inside the consensus client
+// and park behind the transaction as usual; a StatusLocked that still
+// surfaces (wait-queue overflow) takes the same bounded retry as the
+// ordered scatter path.
+func (c *Client) scatterReadFast(payload []byte, legs [][]byte, plan *splitPlan, done func(result []byte, latency sim.Duration)) {
+	start := c.proc.Now()
+	n := len(legs)
+	results := make([][]byte, n)
+	slots := make([]consensus.Slot, n)
+	fronts := make([]consensus.Slot, n)
+	retries := make([]int, n)
+	fell := make([]bool, n)
+	revalidated := false
+	remaining := n
+	var finish func()
+	var send func(i int, minSlot consensus.Slot, attempt int)
+	send = func(i int, minSlot consensus.Slot, attempt int) {
+		c.cc.InvokeGroupReadAt(plan.shards[i], legs[i], minSlot, func(res []byte, slot, frontier consensus.Slot, fellBack bool, _ sim.Duration) {
+			if len(res) == 1 && res[0] == app.StatusLocked && attempt < lockedRetryMax {
+				c.proc.After(lockedRetryDelay, func() { send(i, minSlot, attempt+1) })
+				return
+			}
+			results[i], slots[i], fronts[i] = res, slot, frontier
+			fell[i] = fell[i] || fellBack
+			remaining--
+			if remaining == 0 {
+				finish()
+			}
+		})
+	}
+	// sendOrdered drives one revalidation leg through the ordered path
+	// (same locked-overflow retry as the ordered scatter).
+	var sendOrdered func(i, attempt int)
+	sendOrdered = func(i, attempt int) {
+		c.cc.InvokeGroup(plan.shards[i], legs[i], func(res []byte, _ sim.Duration) {
+			if len(res) == 1 && res[0] == app.StatusLocked && attempt < lockedRetryMax {
+				c.proc.After(lockedRetryDelay, func() { sendOrdered(i, attempt+1) })
+				return
+			}
+			results[i] = res
+			fronts[i] = slots[i] // ordered legs are final: no stale retry
+			remaining--
+			if remaining == 0 {
+				finish()
+			}
+		})
+	}
+	finish = func() {
+		var stale []int
+		for i := range legs {
+			if slots[i] < fronts[i] && retries[i] < snapRetryMax {
+				stale = append(stale, i)
+			}
+		}
+		if len(stale) > 0 {
+			remaining = len(stale)
+			for _, i := range stale {
+				retries[i]++
+				send(i, fronts[i], 0)
+			}
+			return
+		}
+		if !revalidated {
+			revalidated = true
+			anyFell := false
+			for i := range legs {
+				anyFell = anyFell || fell[i]
+			}
+			if anyFell && n > 1 {
+				var redo []int
+				for i := range legs {
+					if !fell[i] {
+						redo = append(redo, i)
+					}
+				}
+				if len(redo) > 0 {
+					remaining = len(redo)
+					for _, i := range redo {
+						sendOrdered(i, 0)
+					}
+					return
+				}
+			}
+		}
+		done(c.frag.Merge(payload, results, plan.legKeys), c.proc.Now().Sub(start))
+	}
+	for i := range legs {
+		send(i, 0, 0)
+	}
+}
+
 // InvokeShard bypasses routing and submits payload to an explicit shard
 // (workload generators that pre-partition their key streams).
 func (c *Client) InvokeShard(s int, payload []byte, done func(result []byte, latency sim.Duration)) {
@@ -557,3 +719,9 @@ func (c *Client) InvokeShard(s int, payload []byte, done func(result []byte, lat
 // Pending reports how many requests await confirmation (bounded-memory
 // diagnostics: abandoned transactions must not accumulate pending state).
 func (c *Client) Pending() int { return c.cc.PendingCount() }
+
+// ReadStats reports how many reads the unordered fast path answered and
+// how many fell back to the ordered path (benchmark and test surface).
+func (c *Client) ReadStats() (fast, fallbacks uint64) {
+	return c.cc.FastReads, c.cc.ReadFallbacks
+}

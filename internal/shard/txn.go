@@ -120,7 +120,7 @@ func (c *Client) decideTx(tx *txState) {
 // logged with its acks lost; first-write-wins in the decision log and the
 // advisory nature of an unobserved record keep that harmless.)
 func (c *Client) sendDecide(tx *txState) {
-	c.retryFanout([]int{tx.shards[0]}, app.EncodeTxnDecide(tx.txid, true), func(allAcked bool) {
+	c.retryFanout([]int{tx.shards[0]}, app.EncodeTxnDecide(tx.txid, true), func(allAcked bool, _ [][]byte) {
 		if allAcked {
 			c.sendCommits(tx)
 		} else {
@@ -134,30 +134,52 @@ func (c *Client) sendDecide(tx *txState) {
 // so the outcome is StatusOK regardless — but see finishCommit for the
 // caveat about a participant unreachable past the whole backoff window).
 func (c *Client) sendCommits(tx *txState) {
-	c.retryFanout(tx.shards, app.EncodeTxnCommit(tx.txid), func(bool) { c.finishCommit(tx) })
+	c.retryFanout(tx.shards, app.EncodeTxnCommit(tx.txid), func(_ bool, resps [][]byte) {
+		c.finishCommit(tx, resps)
+	})
 }
 
-// finishCommit delivers the committed outcome once. A participant that
+// finishCommit delivers the committed outcome once. When every participant
+// acknowledged with a commit receipt (the application's Commit returned
+// per-fragment results — the order book reports each leg's fills), the
+// response is the receipts envelope in ascending shard order; receipt-less
+// applications keep the historical one-byte StatusOK. A participant that
 // stayed unreachable through every commit round keeps its locks until it
 // is told again — the client retains no transaction state, so that
 // redelivery needs the participant to consult the coordinator's decision
 // log on recovery (ROADMAP: commit-phase recovery), not just heal.
-func (c *Client) finishCommit(tx *txState) {
+func (c *Client) finishCommit(tx *txState, resps [][]byte) {
 	if tx.phase == txDone {
 		return
 	}
 	tx.phase = txDone
-	tx.done([]byte{app.StatusOK}, c.proc.Now().Sub(tx.started))
+	result := []byte{app.StatusOK}
+	receipts := make([][]byte, len(resps))
+	haveAll := len(resps) > 0
+	for i, res := range resps {
+		if len(res) < 2 || res[0] != app.StatusOK {
+			haveAll = false // unacked leg or receipt-less app
+			break
+		}
+		receipts[i] = res[1:]
+	}
+	if haveAll {
+		result = app.EncodeTxnReceipts(receipts)
+	}
+	tx.done(result, c.proc.Now().Sub(tx.started))
 }
 
 // retryFanout sends payload to every group once per round, retrying the
 // unacknowledged ones with exponentially backed-off rounds (retryAttempts
 // rounds starting at PrepareTimeout). Each round's outstanding completion
 // handles are cancelled before the next, so no pending state outlives the
-// retries. done fires exactly once: immediately when the last group
-// acknowledges, or at the end of the final round with allAcked=false.
-func (c *Client) retryFanout(groups []int, payload []byte, done func(allAcked bool)) {
+// retries. done fires exactly once — immediately when the last group
+// acknowledges, or at the end of the final round with allAcked=false — and
+// receives each group's acknowledgement body (nil for a group that never
+// acknowledged), which is how commit receipts travel back to the driver.
+func (c *Client) retryFanout(groups []int, payload []byte, done func(allAcked bool, resps [][]byte)) {
 	acked := make([]bool, len(groups))
+	resps := make([][]byte, len(groups))
 	var round func(attemptsLeft int, delay sim.Duration)
 	round = func(attemptsLeft int, delay sim.Duration) {
 		nums := make([]uint64, len(groups))
@@ -166,14 +188,15 @@ func (c *Client) retryFanout(groups []int, payload []byte, done func(allAcked bo
 				continue
 			}
 			i := i
-			nums[i] = c.cc.InvokeGroup(g, payload, func([]byte, sim.Duration) {
+			nums[i] = c.cc.InvokeGroup(g, payload, func(res []byte, _ sim.Duration) {
 				acked[i] = true
+				resps[i] = res
 				for _, ok := range acked {
 					if !ok {
 						return
 					}
 				}
-				done(true)
+				done(true, resps)
 			})
 		}
 		c.proc.After(delay, func() {
@@ -191,7 +214,7 @@ func (c *Client) retryFanout(groups []int, payload []byte, done func(allAcked bo
 				round(attemptsLeft-1, 2*delay)
 				return
 			}
-			done(false)
+			done(false, resps)
 		})
 	}
 	round(retryAttempts, c.prepTimeout)
@@ -224,6 +247,6 @@ func (c *Client) abortTx(tx *txState) {
 			c.cc.Cancel(num)
 		}
 	}
-	c.retryFanout(tx.shards, app.EncodeTxnAbort(tx.txid), func(bool) {})
+	c.retryFanout(tx.shards, app.EncodeTxnAbort(tx.txid), func(bool, [][]byte) {})
 	tx.done([]byte{app.StatusAborted}, c.proc.Now().Sub(tx.started))
 }

@@ -107,8 +107,9 @@ type (
 )
 
 // NewLockTable builds a LockTable for a custom application; see
-// app.NewLockTable for the callback contracts.
-func NewLockTable(keysOf func([]byte) ([][]byte, error), install func([]byte), exec func([]byte) []byte) *LockTable {
+// app.NewLockTable for the callback contracts (install may return a commit
+// receipt that travels back in the cross-shard transaction response).
+func NewLockTable(keysOf func([]byte) ([][]byte, error), install func([]byte) []byte, exec func([]byte) []byte) *LockTable {
 	return app.NewLockTable(keysOf, install, exec)
 }
 
