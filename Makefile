@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet doc-lint shard-opcode-gate race bounded-mem bench-smoke bench bench-shard bench-crossshard bench-txn bench-read fuzz-smoke ci
+.PHONY: all build test vet doc-lint shard-opcode-gate race bounded-mem bench-smoke bench bench-shard bench-crossshard bench-txn bench-read bench-wallclock pgo fuzz-smoke ci
 
 all: build
 
@@ -19,7 +19,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/wire/ ./internal/msgring/ ./internal/tbcast/ ./internal/ctbcast/ ./internal/shard/
+	$(GO) test -race ./internal/wire/ ./internal/msgring/ ./internal/tbcast/ ./internal/ctbcast/ ./internal/shard/ ./internal/transport/ ./internal/nettrans/
 
 # The bounded-memory regression gate: leader map cardinality must stay flat
 # across checkpoint intervals (uBFT's finite-memory claim), and the
@@ -86,9 +86,36 @@ doc-lint:
 	done; \
 	exit $$fail
 
+# A short real-socket wall-clock run: the node fleet (3 replicas + 2 memory
+# nodes) as OS processes on loopback, clients in-process, measured with the
+# wall clock — real p50/p99 latency and kops/s, written to
+# BENCH_wallclock.json. The CI smoke for the nettrans transport, the local
+# launcher and the closed-loop bench driver.
+bench-wallclock:
+	@mkdir -p bin
+	$(GO) build -o bin/ubft-bench ./cmd/ubft-bench
+	./bin/ubft-bench -transport=net -warmup 300ms -duration 1s -depth 4 -json BENCH_wallclock.json
+
+# Profile-guided optimization round trip: run the wall-clock bench with CPU
+# profiling on every node process and the client, merge the profiles into
+# cmd/ubft-bench/default.pgo (go build picks that file up automatically),
+# rebuild, and re-run reporting the PGO-on vs PGO-off delta
+# (BENCH_wallclock_pgo.json, kops/p50 deltas vs BENCH_wallclock_nopgo.json).
+pgo:
+	@mkdir -p bin
+	rm -f cmd/ubft-bench/default.pgo
+	rm -rf bin/pgo-profiles && mkdir -p bin/pgo-profiles
+	$(GO) build -o bin/ubft-bench ./cmd/ubft-bench
+	./bin/ubft-bench -transport=net -warmup 500ms -duration 3s -depth 4 \
+		-profile-dir bin/pgo-profiles -json BENCH_wallclock_nopgo.json
+	$(GO) tool pprof -proto bin/pgo-profiles/*.pprof > cmd/ubft-bench/default.pgo
+	$(GO) build -o bin/ubft-bench ./cmd/ubft-bench
+	./bin/ubft-bench -transport=net -warmup 500ms -duration 3s -depth 4 \
+		-compare BENCH_wallclock_nopgo.json -json BENCH_wallclock_pgo.json
+
 # Fuzz the wire codec briefly (the seeds always run under `make test`).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzReader -fuzztime 10s ./internal/wire/
 	$(GO) test -run '^$$' -fuzz FuzzRoundTrip -fuzztime 10s ./internal/wire/
 
-ci: build vet doc-lint shard-opcode-gate test race bounded-mem bench-smoke bench-shard bench-crossshard bench-txn bench-read
+ci: build vet doc-lint shard-opcode-gate test race bounded-mem bench-smoke bench-shard bench-crossshard bench-txn bench-read bench-wallclock pgo

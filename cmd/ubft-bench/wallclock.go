@@ -1,0 +1,102 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/wallclock"
+)
+
+// runNodeMode is the re-exec entry: `ubft-bench -node -role ... -peers ...`
+// acts as one cluster member process, exactly like cmd/ubft-node. The
+// launcher spawns this binary (its own executable) so the wall-clock bench
+// needs no second binary on disk — and the PGO profile covers node and
+// client code in one build.
+func runNodeMode(args []string) {
+	var cfg wallclock.NodeConfig
+	fs := flag.NewFlagSet("ubft-bench -node", flag.ExitOnError)
+	cfg.RegisterFlags(fs)
+	fs.Parse(args)
+	if err := wallclock.RunNode(cfg, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "ubft-bench node:", err)
+		os.Exit(1)
+	}
+}
+
+// wallclockFlags is the -transport=net flag surface of the main mode.
+type wallclockFlags struct {
+	cfg        wallclock.NodeConfig
+	depth      int
+	warmup     time.Duration
+	measure    time.Duration
+	jsonPath   string
+	compare    string
+	profileDir string
+}
+
+// runWallclock launches the node fleet (re-exec of this binary), drives
+// the closed-loop workload from in-process clients, prints the wall-clock
+// numbers, and optionally writes BENCH_<name>.json with a delta against a
+// -compare baseline.
+func runWallclock(f wallclockFlags) error {
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	if f.profileDir != "" {
+		if err := os.MkdirAll(f.profileDir, 0o755); err != nil {
+			return err
+		}
+	}
+	lc, err := wallclock.LaunchLocal([]string{exe, "-node"}, f.cfg, f.profileDir)
+	if err != nil {
+		return err
+	}
+	defer lc.Stop()
+
+	opts := wallclock.BenchOptions{
+		Cfg:        f.cfg,
+		ClientAddr: lc.ClientAddr,
+		Peers:      lc.PeersArg,
+		Depth:      f.depth,
+		Warmup:     f.warmup,
+		Measure:    f.measure,
+	}
+	if f.profileDir != "" {
+		opts.CPUProfile = f.profileDir + "/client.pprof"
+	}
+	res, err := wallclock.RunBench(opts)
+	if err != nil {
+		return err
+	}
+
+	if f.compare != "" {
+		base, err := wallclock.LoadResult(f.compare)
+		if err != nil {
+			return err
+		}
+		res.Compare(base)
+	}
+
+	pgo := "off"
+	if res.PGO {
+		pgo = "on"
+	}
+	fmt.Printf("wall-clock %s over %s: %d replicas, %d memory nodes, %d clients x depth %d (pgo %s)\n",
+		res.Workload, res.Transport, res.Replicas, res.MemNodes, res.Clients, res.Depth, pgo)
+	fmt.Printf("  %d ops in %.2fs: %.1f kops/s, p50 %.0fus, p99 %.0fus, %.1f allocs/op (client)\n",
+		res.Ops, res.ElapsedS, res.Kops, res.P50us, res.P99us, res.AllocsOp)
+	if f.compare != "" {
+		fmt.Printf("  vs %s: kops %+.1f%%, p50 %+.1f%% (positive = this run faster)\n",
+			f.compare, res.KopsDeltaPct, res.P50DeltaPct)
+	}
+	if f.jsonPath != "" {
+		if err := res.WriteJSON(f.jsonPath); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n", f.jsonPath)
+	}
+	return nil
+}

@@ -1,0 +1,40 @@
+// Command ubft-node runs one member of a uBFT deployment as its own OS
+// process over the real-socket transport: a replica, a memory node or a
+// client host. Every process of a deployment must be started with the same
+// shape flags (-f, -fm, -memnodes, -clients, -seed, -window, -tail,
+// -batch, -app) and the same static -peers table; identities, keys and
+// consensus configuration are derived deterministically from them, so no
+// coordination service is involved.
+//
+// A 3-replica (f=1), 2-memory-node deployment on one machine:
+//
+//	PEERS='0=127.0.0.1:4000,1=127.0.0.1:4001,2=127.0.0.1:4002,100=127.0.0.1:4100,101=127.0.0.1:4101,200=127.0.0.1:4200'
+//	ubft-node -role replica -index 0 -listen 127.0.0.1:4000 -memnodes 2 -peers "$PEERS" &
+//	ubft-node -role replica -index 1 -listen 127.0.0.1:4001 -memnodes 2 -peers "$PEERS" &
+//	ubft-node -role replica -index 2 -listen 127.0.0.1:4002 -memnodes 2 -peers "$PEERS" &
+//	ubft-node -role memnode -index 0 -listen 127.0.0.1:4100 -memnodes 2 -peers "$PEERS" &
+//	ubft-node -role memnode -index 1 -listen 127.0.0.1:4101 -memnodes 2 -peers "$PEERS" &
+//
+// The node exits on SIGINT/SIGTERM or when stdin reaches EOF (so a fleet
+// spawned by a launcher dies with it). `ubft-bench -transport=net` does
+// all of the above automatically.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/wallclock"
+)
+
+func main() {
+	var cfg wallclock.NodeConfig
+	fs := flag.NewFlagSet("ubft-node", flag.ExitOnError)
+	cfg.RegisterFlags(fs)
+	fs.Parse(os.Args[1:])
+	if err := wallclock.RunNode(cfg, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "ubft-node:", err)
+		os.Exit(1)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/router"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/transport"
 	"repro/internal/xcrypto"
 )
 
@@ -32,6 +33,12 @@ type Options struct {
 	F          int // replica fault threshold (default 1 -> 3 replicas)
 	Fm         int // memory-node fault threshold (default 1 -> 3 memory nodes)
 	NumClients int // default 1
+
+	// MemNodes sets the memory-node pool size; 0 takes the paper's 2Fm+1.
+	// Any pool in [Fm+1, 2Fm+1] preserves write/read quorum intersection
+	// (quorums are Fm+1 of the pool), so lean wall-clock deployments can
+	// run e.g. 2 memory nodes at Fm=1.
+	MemNodes int
 
 	Window int // consensus window (paper default 256)
 	Tail   int // CTBcast tail t (paper default 128)
@@ -52,7 +59,16 @@ type Options struct {
 	NewApp func() app.StateMachine
 
 	// NetOptions overrides the network model (defaults to RDMA-class).
+	// Ignored when Fabric is set.
 	NetOptions *simnet.Options
+
+	// Fabric injects the transport backend the cluster's endpoints are
+	// created on. Nil defaults to a fresh deterministic simnet fabric
+	// derived from Seed/NetOptions (the historical behaviour, bit-identical
+	// per seed). A real-socket deployment injects a nettrans-backed fabric;
+	// a Fabric whose Engine() is nil is rejected by Normalize with a clear
+	// error — it can never schedule a single event.
+	Fabric transport.Fabric
 }
 
 func (o *Options) fill() {
@@ -104,6 +120,10 @@ func (o *Options) validate() error {
 		return fmt.Errorf("cluster: Fm=%d needs %d memory nodes, colliding with the client ID base", o.Fm, 2*o.Fm+1)
 	case o.NumClients < 0:
 		return fmt.Errorf("cluster: negative NumClients=%d", o.NumClients)
+	case o.MemNodes != 0 && (o.MemNodes < o.Fm+1 || o.MemNodes > 2*o.Fm+1):
+		// Quorums are Fm+1 of the pool: fewer than Fm+1 nodes can never
+		// form one, more than 2Fm+1 breaks write/read quorum intersection.
+		return fmt.Errorf("cluster: MemNodes=%d outside [Fm+1=%d, 2Fm+1=%d]", o.MemNodes, o.Fm+1, 2*o.Fm+1)
 	case o.BatchSize < 0:
 		return fmt.Errorf("cluster: negative BatchSize=%d", o.BatchSize)
 	case o.MsgCap < 0:
@@ -116,6 +136,12 @@ func (o *Options) validate() error {
 		// than the window can never fill, and the summary sizing assumes
 		// Tail <= Window.
 		return fmt.Errorf("cluster: Tail=%d exceeds Window=%d", o.Tail, o.Window)
+	case o.Fabric != nil && o.Fabric.Engine() == nil:
+		// An injected transport without an engine can never run an event:
+		// fail assembly with a diagnosis instead of a nil-deref panic deep
+		// in the wiring (real-transport callers must inject an engine-backed
+		// fabric such as a nettrans host's).
+		return fmt.Errorf("cluster: injected transport fabric has no engine (real-transport deployments must pass an engine-backed fabric, e.g. nettrans)")
 	}
 	return nil
 }
@@ -158,7 +184,7 @@ func (o *Options) ConsensusConfig(self ids.ID, replicas, memNodes []ids.ID, a ap
 // UBFT is an assembled cluster.
 type UBFT struct {
 	Eng      *sim.Engine
-	Net      *simnet.Network
+	Net      *simnet.Network // nil when a non-simnet fabric was injected
 	Registry *xcrypto.Registry
 	Replicas []*consensus.Replica
 	Apps     []app.StateMachine
@@ -170,40 +196,86 @@ type UBFT struct {
 	ClientIDs  []ids.ID
 }
 
+// IDLayout returns the deterministic identity assignment of a cluster with
+// the given thresholds: replicas at 0.., memory nodes at 100.., clients at
+// 200... Every deployment surface (NewUBFT, NewMember, the wall-clock
+// launcher) derives its peer tables from this single function. memNodes
+// overrides the memory-node pool size when positive (any size in
+// [Fm+1, 2Fm+1] keeps SWMR quorum intersection); 0 takes the paper's
+// 2Fm+1.
+func IDLayout(f, fm, memNodes, clients int) (replicaIDs, memNodeIDs, clientIDs []ids.ID) {
+	if memNodes <= 0 {
+		memNodes = 2*fm + 1
+	}
+	for i := 0; i < 2*f+1; i++ {
+		replicaIDs = append(replicaIDs, ids.ID(i))
+	}
+	for i := 0; i < memNodes; i++ {
+		memNodeIDs = append(memNodeIDs, ids.ID(memNodeIDBase+i))
+	}
+	for i := 0; i < clients; i++ {
+		clientIDs = append(clientIDs, ids.ID(clientIDBase+i))
+	}
+	return replicaIDs, memNodeIDs, clientIDs
+}
+
 // NewUBFT builds and wires a cluster. The engine starts at virtual time 0;
 // call Run* on u.Eng to execute. Invalid options (negative thresholds,
 // Tail > Window) panic: they are assembly-time bugs, not runtime faults.
+// Build is the error-returning variant.
 func NewUBFT(opts Options) *UBFT {
-	if err := opts.Normalize(); err != nil {
+	u, err := Build(opts)
+	if err != nil {
 		panic(err)
 	}
-	u := &UBFT{Eng: sim.NewEngine(opts.Seed)}
-	netOpts := simnet.RDMAOptions()
-	if opts.NetOptions != nil {
-		netOpts = *opts.NetOptions
-	}
-	u.Net = simnet.New(u.Eng, netOpts)
+	return u
+}
 
-	n := 2*opts.F + 1
-	nm := 2*opts.Fm + 1
-	for i := 0; i < n; i++ {
-		u.ReplicaIDs = append(u.ReplicaIDs, ids.ID(i))
+// Build builds and wires a cluster, reporting invalid options (including a
+// fabric without an engine) as an error instead of a panic. With a nil
+// opts.Fabric it assembles the deterministic simulated fabric exactly as
+// every release before transport injection did — bit-identical per seed.
+func Build(opts Options) (*UBFT, error) {
+	if err := opts.Normalize(); err != nil {
+		return nil, err
 	}
-	for i := 0; i < nm; i++ {
-		u.MemNodeIDs = append(u.MemNodeIDs, ids.ID(memNodeIDBase+i))
+	fab := opts.Fabric
+	u := &UBFT{}
+	if fab == nil {
+		u.Eng = sim.NewEngine(opts.Seed)
+		netOpts := simnet.RDMAOptions()
+		if opts.NetOptions != nil {
+			netOpts = *opts.NetOptions
+		}
+		u.Net = simnet.New(u.Eng, netOpts)
+		fab = simnet.AsFabric(u.Net)
+	} else {
+		u.Eng = fab.Engine()
+		if sf, ok := fab.(simnet.Fabric); ok {
+			u.Net = sf.Network()
+		}
 	}
-	for i := 0; i < opts.NumClients; i++ {
-		u.ClientIDs = append(u.ClientIDs, ids.ID(clientIDBase+i))
-	}
+
+	u.ReplicaIDs, u.MemNodeIDs, u.ClientIDs = IDLayout(opts.F, opts.Fm, opts.MemNodes, opts.NumClients)
 
 	// Keys for replicas and clients (memory nodes do not sign).
-	all := append(append([]ids.ID{}, u.ReplicaIDs...), u.ClientIDs...)
-	u.Registry = xcrypto.NewRegistry(opts.Seed+1, all)
+	u.Registry = SignerRegistry(opts.Seed, u.ReplicaIDs, u.ClientIDs)
+
+	endpoint := func(id ids.ID, name string) (transport.Endpoint, error) {
+		ep, err := fab.NewEndpoint(id, name)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: wiring %s: %w", name, err)
+		}
+		return ep, nil
+	}
 
 	// Memory nodes.
 	for i, id := range u.MemNodeIDs {
-		rt := router.New(u.Net.AddNode(id, fmt.Sprintf("mem%d", i)))
-		u.MemNodes = append(u.MemNodes, memnode.New(rt))
+		ep, err := endpoint(id, fmt.Sprintf("mem%d", i))
+		if err != nil {
+			return nil, err
+		}
+		u.MemNodes = append(u.MemNodes, memnode.New(router.New(ep)))
 	}
 
 	cfgFor := func(self ids.ID, a app.StateMachine) consensus.Config {
@@ -212,20 +284,36 @@ func NewUBFT(opts Options) *UBFT {
 	consensus.AllocateCluster(cfgFor(u.ReplicaIDs[0], opts.NewApp()), u.MemNodes)
 
 	for i, id := range u.ReplicaIDs {
-		rt := router.New(u.Net.AddNode(id, fmt.Sprintf("replica%d", i)))
+		ep, err := endpoint(id, fmt.Sprintf("replica%d", i))
+		if err != nil {
+			return nil, err
+		}
 		a := opts.NewApp()
 		u.Apps = append(u.Apps, a)
 		u.Replicas = append(u.Replicas, consensus.NewReplica(cfgFor(id, a), consensus.Deps{
-			RT:       rt,
+			RT:       router.New(ep),
 			Registry: u.Registry,
 		}))
 	}
 
 	for i, id := range u.ClientIDs {
-		rt := router.New(u.Net.AddNode(id, fmt.Sprintf("client%d", i)))
-		u.Clients = append(u.Clients, consensus.NewClient(rt, u.ReplicaIDs, opts.F))
+		ep, err := endpoint(id, fmt.Sprintf("client%d", i))
+		if err != nil {
+			return nil, err
+		}
+		u.Clients = append(u.Clients, consensus.NewClient(router.New(ep), u.ReplicaIDs, opts.F))
 	}
-	return u
+	return u, nil
+}
+
+// SignerRegistry builds the deterministic key registry every process of a
+// deployment derives independently from the shared seed: replicas and
+// clients sign, memory nodes do not. Multi-process deployments (cmd/
+// ubft-node) call this with identical id lists on every host, which is
+// what makes their registries agree without a key-distribution service.
+func SignerRegistry(seed int64, replicaIDs, clientIDs []ids.ID) *xcrypto.Registry {
+	all := append(append([]ids.ID{}, replicaIDs...), clientIDs...)
+	return xcrypto.NewRegistry(seed+1, all)
 }
 
 // Client returns client i (panics if absent).

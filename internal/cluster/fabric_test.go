@@ -1,0 +1,52 @@
+package cluster_test
+
+// Error-path coverage for explicit transport-fabric injection: assembly
+// must fail with a clear diagnosis — never a nil-deref panic deep in the
+// wiring — when the fabric is missing or engine-less.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/ids"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// engineless implements transport.Fabric with a nil engine — the broken
+// injection Normalize must reject.
+type engineless struct{}
+
+func (engineless) Engine() *sim.Engine { return nil }
+func (engineless) NewEndpoint(ids.ID, string) (transport.Endpoint, error) {
+	return nil, errors.New("engineless: no endpoints")
+}
+
+func TestNormalizeRejectsEnginelessFabric(t *testing.T) {
+	opts := cluster.Options{Fabric: engineless{}}
+	err := opts.Normalize()
+	if err == nil {
+		t.Fatal("Normalize accepted a fabric with no engine")
+	}
+	if !strings.Contains(err.Error(), "engine") {
+		t.Fatalf("error %q does not diagnose the missing engine", err)
+	}
+}
+
+func TestBuildRejectsEnginelessFabric(t *testing.T) {
+	if _, err := cluster.Build(cluster.Options{Fabric: engineless{}}); err == nil {
+		t.Fatal("Build accepted a fabric with no engine")
+	}
+}
+
+func TestNewMemberRequiresFabric(t *testing.T) {
+	_, err := cluster.NewMember(cluster.Options{}, nil, cluster.MemberSpec{Role: cluster.RoleReplica})
+	if !errors.Is(err, cluster.ErrNoFabric) {
+		t.Fatalf("NewMember(nil fabric) = %v, want ErrNoFabric", err)
+	}
+	if _, err := cluster.NewMember(cluster.Options{}, engineless{}, cluster.MemberSpec{Role: cluster.RoleReplica}); err == nil {
+		t.Fatal("NewMember accepted a fabric with no engine")
+	}
+}

@@ -1,0 +1,149 @@
+package cluster
+
+// This file assembles single cluster members: one node of a uBFT cluster,
+// for deployments where every node is its own OS process on a real
+// transport (cmd/ubft-node). NewUBFT builds all 2f+1+2fm+1+c nodes on one
+// fabric; NewMember builds exactly one, against an injected fabric, and
+// derives everything that must agree across processes (identity layout,
+// key registry, consensus configuration) deterministically from the shared
+// Options so no coordination service is needed.
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/app"
+	"repro/internal/consensus"
+	"repro/internal/ids"
+	"repro/internal/memnode"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// Role selects which kind of cluster node a Member is.
+type Role string
+
+// The three node roles of a uBFT deployment.
+const (
+	RoleReplica Role = "replica"
+	RoleMemNode Role = "memnode"
+	RoleClient  Role = "client"
+)
+
+// ParseRole validates a role string (the cmd/ubft-node flag surface).
+func ParseRole(s string) (Role, error) {
+	switch Role(s) {
+	case RoleReplica, RoleMemNode, RoleClient:
+		return Role(s), nil
+	default:
+		return "", fmt.Errorf("cluster: unknown role %q (want replica, memnode or client)", s)
+	}
+}
+
+// ErrNoFabric reports a Member construction without an injected transport.
+var ErrNoFabric = errors.New("cluster: member construction needs an injected transport fabric (nil given)")
+
+// MemberSpec identifies which node of which deployment to assemble. The
+// deployment-wide shape (F, Fm, MemNodes, NumClients, Seed, ...) lives in
+// Options and must be identical across every member's process.
+type MemberSpec struct {
+	Role  Role
+	Index int // replica i, memory node j, or client c (not the wire ID)
+}
+
+// Member is one assembled node. Exactly one of Replica/MemNode/Client is
+// non-nil, per Role.
+type Member struct {
+	Spec MemberSpec
+	ID   ids.ID
+	Eng  *sim.Engine
+
+	Replica *consensus.Replica
+	App     app.StateMachine
+	MemNode *memnode.Node
+	Client  *consensus.Client
+
+	ReplicaIDs []ids.ID
+	MemNodeIDs []ids.ID
+	ClientIDs  []ids.ID
+}
+
+// NewMember assembles one node of the deployment described by opts on the
+// injected fabric. Unlike NewUBFT it never panics: a nil fabric, a fabric
+// without an engine, or an out-of-range index all fail with a clear error
+// (these are operator inputs in a multi-process deployment, not
+// assembly-time bugs in a test).
+func NewMember(opts Options, fab transport.Fabric, spec MemberSpec) (*Member, error) {
+	if fab == nil {
+		return nil, ErrNoFabric
+	}
+	opts.Fabric = fab // validated (engine presence) by Normalize
+	if err := opts.Normalize(); err != nil {
+		return nil, err
+	}
+	m := &Member{Spec: spec, Eng: fab.Engine()}
+	m.ReplicaIDs, m.MemNodeIDs, m.ClientIDs = IDLayout(opts.F, opts.Fm, opts.MemNodes, opts.NumClients)
+
+	idOf := func(pool []ids.ID, what string) (ids.ID, error) {
+		if spec.Index < 0 || spec.Index >= len(pool) {
+			return ids.None, fmt.Errorf("cluster: %s index %d outside [0, %d)", what, spec.Index, len(pool))
+		}
+		return pool[spec.Index], nil
+	}
+
+	reg := SignerRegistry(opts.Seed, m.ReplicaIDs, m.ClientIDs)
+	cfgFor := func(self ids.ID, a app.StateMachine) consensus.Config {
+		return opts.ConsensusConfig(self, m.ReplicaIDs, m.MemNodeIDs, a)
+	}
+
+	var err error
+	switch spec.Role {
+	case RoleReplica:
+		if m.ID, err = idOf(m.ReplicaIDs, "replica"); err != nil {
+			return nil, err
+		}
+		ep, eerr := fab.NewEndpoint(m.ID, fmt.Sprintf("replica%d", spec.Index))
+		if eerr != nil {
+			return nil, fmt.Errorf("cluster: wiring replica%d: %w", spec.Index, eerr)
+		}
+		m.App = opts.NewApp()
+		m.Replica = consensus.NewReplica(cfgFor(m.ID, m.App), consensus.Deps{
+			RT:       router.New(ep),
+			Registry: reg,
+		})
+	case RoleMemNode:
+		if m.ID, err = idOf(m.MemNodeIDs, "memnode"); err != nil {
+			return nil, err
+		}
+		ep, eerr := fab.NewEndpoint(m.ID, fmt.Sprintf("mem%d", spec.Index))
+		if eerr != nil {
+			return nil, fmt.Errorf("cluster: wiring mem%d: %w", spec.Index, eerr)
+		}
+		m.MemNode = memnode.New(router.New(ep))
+		// Allocate this node's share of every replica's SWMR regions: the
+		// management plane runs before the protocol (§2.3), and in a
+		// multi-process deployment each memory node allocates locally.
+		consensus.AllocateCluster(cfgFor(m.ReplicaIDs[0], opts.NewApp()), []*memnode.Node{m.MemNode})
+	case RoleClient:
+		if m.ID, err = idOf(m.ClientIDs, "client"); err != nil {
+			return nil, err
+		}
+		ep, eerr := fab.NewEndpoint(m.ID, fmt.Sprintf("client%d", spec.Index))
+		if eerr != nil {
+			return nil, fmt.Errorf("cluster: wiring client%d: %w", spec.Index, eerr)
+		}
+		m.Client = consensus.NewClient(router.New(ep), m.ReplicaIDs, opts.F)
+	default:
+		return nil, fmt.Errorf("cluster: unknown member role %q", spec.Role)
+	}
+	return m, nil
+}
+
+// Stop tears down background timers (replicas only; other roles are
+// passive).
+func (m *Member) Stop() {
+	if m.Replica != nil {
+		m.Replica.Stop()
+	}
+}

@@ -34,6 +34,19 @@ func (r *Replica) DeferredCount() int { return len(r.deferredResp) }
 // EchoStateCount returns how many request digests have live echo tracking.
 func (r *Replica) EchoStateCount() int { return len(r.echoes) }
 
+// Progress summarizes the replica's pipeline position for stall
+// diagnostics: the next slot this replica would propose into, the highest
+// slot executed, the stable checkpoint floor, and how many PREPAREs are
+// parked waiting for their client request copy.
+func (r *Replica) Progress() (nextSlot, lastExec, chkptSeq Slot, waiting int) {
+	for _, ss := range r.slots {
+		if ss.waitingReq != nil {
+			waiting++
+		}
+	}
+	return r.nextSlot, r.lastApplied, r.chkpt.Seq, waiting
+}
+
 // Groups exposes per-broadcaster CTBcast statistics.
 func (r *Replica) GroupStats() (fast, slow, summaries uint64) {
 	for _, g := range r.groups {
@@ -70,3 +83,12 @@ func (r *Replica) LocalBytes() int {
 	total += r.cfg.Window * r.cfg.MsgCap * r.cfg.n()
 	return total
 }
+
+// LateProposals counts requests proposed below their client's highest
+// already-proposed number — the EchoTimeout path completing after its
+// successors (diagnostics for pipelined clients; see enqueueProposal).
+func (r *Replica) LateProposals() uint64 { return r.lateProposals }
+
+// DroppedExecOld counts direct client requests discarded by the
+// exactly-once execution dedup without a cached-result resend.
+func (r *Replica) DroppedExecOld() uint64 { return r.droppedExecOld }

@@ -292,25 +292,46 @@ func (r *Replica) pruneBelow(seq Slot) {
 		}
 	}
 	// Request copies whose execution is settled are no longer needed for
-	// endorsement or re-proposal.
+	// endorsement or re-proposal. executedReq is a MONOTONE test (highest
+	// executed num per client), so a pipelined request that is still headed
+	// for proposal while higher numbers from its client already executed
+	// would be mislabeled as settled — its live echo tracking marks it, so
+	// skip those (their copy is what the pending EchoTimeout proposes from).
 	for dg, req := range r.reqStore {
-		if !req.IsNoOp() && r.executedReq(req) {
-			delete(r.reqStore, dg)
+		if req.IsNoOp() || !r.executedReq(req) {
+			continue
 		}
+		if _, inFlight := r.echoes[dg]; inFlight {
+			continue
+		}
+		delete(r.reqStore, dg)
 	}
-	// Echo state for digests that were proposed, executed, or never backed by
-	// a client copy (a Byzantine client echo-spraying digests it never sends
-	// must not grow leader memory; dropping a live echo set only costs one
-	// EchoTimeout wait if the copy arrives later).
+	// Echo state: tracking for digests that were proposed is settled
+	// (finishEcho normally clears it; this catches view-change leftovers).
+	// A set with no backing client copy is either a Byzantine client
+	// echo-spraying digests it never sends — which must not grow leader
+	// memory — or a real request whose echoes outran its direct copy. The
+	// two are indistinguishable now, so give unbacked sets one full
+	// checkpoint window of grace before pruning: a real copy arrives well
+	// within it (keeping the request off the slow EchoTimeout path, which
+	// proposes out of client order), while garbage still dies at the next
+	// stable checkpoint. Backed, unproposed sets are live: their request
+	// is completing or waiting on its armed EchoTimeout.
 	for dg := range r.echoes {
-		_, wasProposed := r.proposed[dg]
-		req, held := r.reqStore[dg]
-		if wasProposed || !held || r.executedReq(req) {
-			delete(r.echoes, dg)
-			if t, ok := r.echoTimers[dg]; ok {
-				t.Cancel()
-				delete(r.echoTimers, dg)
+		if _, wasProposed := r.proposed[dg]; !wasProposed {
+			if _, held := r.reqStore[dg]; held {
+				continue
 			}
+			if !r.echoGrace[dg] {
+				r.echoGrace[dg] = true
+				continue
+			}
+		}
+		delete(r.echoes, dg)
+		delete(r.echoGrace, dg)
+		if t, ok := r.echoTimers[dg]; ok {
+			t.Cancel()
+			delete(r.echoTimers, dg)
 		}
 	}
 	r.maybeSeal()

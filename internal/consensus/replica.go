@@ -210,7 +210,12 @@ type Replica struct {
 	reqStore   map[[xcrypto.DigestLen]byte]Request // requests received directly from clients
 	echoes     map[[xcrypto.DigestLen]byte]map[ids.ID]bool
 	echoTimers map[[xcrypto.DigestLen]byte]sim.Timer
-	proposeQ   []Request
+	// echoGrace marks echo sets that survived one stable checkpoint without
+	// a backing client copy: they get a one-window grace before pruning, so
+	// a request whose echoes outran its direct copy is not forced onto the
+	// EchoTimeout path (see pruneBelow). Entries die with their echo set.
+	echoGrace map[[xcrypto.DigestLen]byte]bool
+	proposeQ  []Request
 	// freshScratch is takeProposal's reusable staging slice; its contents
 	// are copied (by value) into the Prepare before the next call.
 	freshScratch []Request
@@ -260,6 +265,12 @@ type Replica struct {
 	// when they execute at lock release (the proc-model honesty fix: parked
 	// requests must not run "free" inside the releasing command's Apply).
 	DeferredCharged sim.Duration
+	// lateProposals counts requests proposed BELOW the client's highest
+	// already-proposed number (the EchoTimeout path completing after its
+	// successors); droppedExecOld counts direct requests discarded by the
+	// arrival-side execution dedup. Diagnostics; see accessors.
+	lateProposals  uint64
+	droppedExecOld uint64
 }
 
 type vcShare struct {
@@ -329,6 +340,7 @@ func NewReplica(cfg Config, deps Deps) *Replica {
 		reqStore:      make(map[[xcrypto.DigestLen]byte]Request),
 		echoes:        make(map[[xcrypto.DigestLen]byte]map[ids.ID]bool),
 		echoTimers:    make(map[[xcrypto.DigestLen]byte]sim.Timer),
+		echoGrace:     make(map[[xcrypto.DigestLen]byte]bool),
 		proposed:      make(map[[xcrypto.DigestLen]byte]Slot),
 		seenReq:       make(map[ids.ID]clientSeen),
 		exec:          make(map[ids.ID]execEntry),
@@ -493,8 +505,18 @@ func (r *Replica) enqueueProposal(req Request) {
 		return
 	}
 	if !req.IsNoOp() {
+		// A number at or below the client's highest proposed one is NOT
+		// grounds for rejection: per-link FIFO makes echo completion
+		// order-preserving, so the only way to get here out of order is a
+		// request that lost its echo set (checkpoint prune, dropped echo)
+		// and completed via EchoTimeout after its successors proposed. It
+		// is a fresh request — true retransmissions were already stopped
+		// by the exec table and reqStore dup check at arrival, and the
+		// digest dedup above catches in-window re-proposals — so dropping
+		// it here would wedge its client forever (clients do not
+		// retransmit). Propose it and count the inversion.
 		if seen, ok := r.seenReq[req.Client]; ok && req.Num <= seen.num {
-			return
+			r.lateProposals++
 		}
 	}
 	r.proposeQ = append(r.proposeQ, req)
@@ -552,7 +574,11 @@ func (r *Replica) takeProposal() *Request {
 		}
 		r.proposed[dg] = r.nextSlot
 		if !req.IsNoOp() {
-			r.seenReq[req.Client] = clientSeen{num: req.Num, slot: r.nextSlot}
+			// Only raise: a late (out-of-order) proposal must not regress
+			// the client's highest-proposed tracking.
+			if seen, ok := r.seenReq[req.Client]; !ok || req.Num > seen.num {
+				r.seenReq[req.Client] = clientSeen{num: req.Num, slot: r.nextSlot}
+			}
 		}
 		fresh = append(fresh, req)
 	}
@@ -991,19 +1017,24 @@ func (r *Replica) applyOne(req Request, s Slot) {
 	if req.IsNoOp() || req.IsBatch() {
 		return
 	}
-	if e, dup := r.exec[req.Client]; dup && e.num >= req.Num {
+	e, dup := r.exec[req.Client]
+	if dup && e.num == req.Num {
 		// A re-proposed duplicate: respond with the cached result instead
-		// of applying twice (exactly-once execution). Only the client's
-		// most recent request has a cached result — a duplicate of an
-		// older request was answered when it first executed, and a parked
-		// request's result does not exist yet (it arrives at lock
-		// release) — so anything else re-delivers nothing rather than the
-		// wrong cached bytes.
-		if e.num == req.Num && !e.pending {
+		// of applying twice (exactly-once execution). A parked request's
+		// result does not exist yet (it arrives at lock release), so for
+		// those re-deliver nothing rather than the wrong cached bytes.
+		if !e.pending {
 			r.deliver(req.Client, req.Num, s, e.res)
 		}
 		return
 	}
+	// e.num > req.Num is NOT a duplicate: a pipelined request that lost
+	// its echo round proposes via EchoTimeout and reaches execution after
+	// its successors. Anything that got this far was never executed — the
+	// arrival-side dedup (exec table, reqStore) stops true retransmissions
+	// before they can be proposed again — so apply it; returning early
+	// would swallow the request and wedge its client. The exec cache only
+	// ever raises its num (it is the retransmission-dedup horizon).
 	r.proc.Charge(r.cfg.App.ExecCost(req.Payload) + latmodel.AppExecBase)
 	result := r.cfg.App.Apply(req.Payload)
 	r.Executed++
@@ -1014,13 +1045,17 @@ func (r *Replica) applyOne(req Request, s Slot) {
 		// it when the lock releases (drainReleased).
 		if d, ok := r.cfg.App.(app.Deferring); ok {
 			if tk := d.TakeParkedTicket(); tk != 0 {
-				r.exec[req.Client] = execEntry{num: req.Num, slot: s, pending: true}
+				if !dup || req.Num > e.num {
+					r.exec[req.Client] = execEntry{num: req.Num, slot: s, pending: true}
+				}
 				r.deferredResp[tk] = deferredTarget{client: req.Client, num: req.Num, slot: s}
 				return
 			}
 		}
 	}
-	r.exec[req.Client] = execEntry{num: req.Num, res: result, slot: s}
+	if !dup || req.Num > e.num {
+		r.exec[req.Client] = execEntry{num: req.Num, res: result, slot: s}
+	}
 	r.deliver(req.Client, req.Num, s, result)
 	r.drainReleased(s)
 }

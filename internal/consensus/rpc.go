@@ -69,6 +69,8 @@ func (r *Replica) onClientRequest(from ids.ID, rd *wire.Reader) {
 			// match covers (result, slot), so a retransmission must land
 			// in the same class as the first-execution responses.
 			r.respond(req.Client, req.Num, e.slot, e.res)
+		} else {
+			r.droppedExecOld++
 		}
 		return
 	}
@@ -186,6 +188,7 @@ func (r *Replica) finishEcho(dg [xcrypto.DigestLen]byte, req Request) {
 		delete(r.echoTimers, dg)
 	}
 	delete(r.echoes, dg)
+	delete(r.echoGrace, dg)
 	r.enqueueProposal(req)
 }
 

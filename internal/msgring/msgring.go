@@ -212,6 +212,14 @@ func (s *Sender) encodeFrame(w *wire.Writer, idx uint64, slot int, chk uint64, d
 
 // sendFrame posts one prebuilt frame and schedules the WRITE completion.
 func (s *Sender) sendFrame(slot int, frame []byte, dataLen int) {
+	if s.proc.Engine().Realtime() {
+		// Over a real transport there is no asynchronous RDMA WRITE to
+		// await: the socket backend's own write queue is the in-flight
+		// state, so the slot completes synchronously and staging is never
+		// engaged (queueing and tail-drop happen in the transport).
+		s.rt.Send(s.to, router.ChanRing, frame)
+		return
+	}
 	s.inFlight[slot] = true
 	s.rt.Send(s.to, router.ChanRing, frame)
 	// The NIC reports WRITE completion after roughly one round trip.

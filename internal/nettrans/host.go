@@ -1,0 +1,185 @@
+// Package nettrans is the real-socket transport backend: it implements the
+// transport.Endpoint/Fabric contract over TCP so a uBFT deployment runs as
+// actual OS processes exchanging real frames in wall-clock time, while the
+// deterministic simnet backend remains the reproducibility/CI harness
+// behind the same interface.
+//
+// Architecture per process:
+//
+//	Host — a wall-clock event loop driving one sim.Engine in realtime
+//	       mode. All protocol handlers and timers of the process's nodes
+//	       run on this single goroutine, preserving the engine's
+//	       single-threaded execution model; socket goroutines only ever
+//	       touch channels and per-link queues.
+//	Net  — one fabric attachment: a TCP listener plus a static peer
+//	       table (id -> address). A Net can host several local nodes
+//	       (e.g. the bench process hosts all its clients on one).
+//	peerLink — the writing side of one directed link to a remote node:
+//	       a bounded ring of encoded frames with tail-drop semantics
+//	       (overload overwrites the oldest frame, mirroring the message
+//	       ring's slot-overwrite model), one writer goroutine with
+//	       exponential-backoff dialing and write-stall detection.
+//
+// Delivery contract (see package transport): FIFO per directed link with
+// gaps, no duplicates (a per-link sequence number suppresses replays and
+// late frames racing a reconnect), authenticated sender identity under the
+// closed-deployment trust model — the peer table is static, every frame
+// names its sender, and a receiver drops frames claiming one of its own
+// identities. Byzantine-grade link authentication (per-frame MACs or TLS)
+// is a deployment concern the paper assumes of its fabric (§2.4) and is
+// intentionally out of scope here.
+package nettrans
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// inFrame is one message handed from a socket reader (or a local loopback
+// send) to the host loop for dispatch.
+type inFrame struct {
+	net     *Net
+	from    int64
+	to      int64
+	seq     uint64
+	payload []byte
+}
+
+// Host drives one realtime engine: a wall-clock event loop that executes
+// protocol handlers, fires timers at their wall due time, and dispatches
+// inbound frames. Create the process's nodes, then call Run (or Start) to
+// serve.
+type Host struct {
+	eng   *sim.Engine
+	start time.Time
+
+	inbox chan inFrame
+	do    chan func()
+	stop  chan struct{}
+	done  chan struct{}
+	once  sync.Once
+}
+
+// TimerScale is the delay stretch applied to every protocol timer on a
+// realtime host (sim.Engine.SetTimeScale). The protocol's timeouts — echo
+// fallback, tail-broadcast retransmit, view change — are tuned for the
+// ~2-5us round trips of the RDMA fabric the simulation models; kernel TCP
+// over loopback measures ~100x that, and running e.g. the 200us retransmit
+// timer at RDMA tuning there refires before any reply can arrive, turning
+// every in-flight message into a retransmit storm.
+const TimerScale = 100
+
+// NewHost creates a realtime host. seed feeds the engine's deterministic
+// random source (workload generators); timing is wall-clock and therefore
+// not reproducible.
+func NewHost(seed int64) *Host {
+	eng := sim.NewEngine(seed)
+	eng.SetRealtime(true)
+	eng.SetTimeScale(TimerScale)
+	return &Host{
+		eng:   eng,
+		start: time.Now(),
+		inbox: make(chan inFrame, 4096),
+		do:    make(chan func(), 256),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+}
+
+// Engine returns the host's engine. Only the host loop goroutine may touch
+// it once Run has started.
+func (h *Host) Engine() *sim.Engine { return h.eng }
+
+// NewProc creates a process on the host's engine (endpoint construction).
+func (h *Host) NewProc(name string) *sim.Proc { return sim.NewProc(h.eng, name) }
+
+// wallNow maps the wall clock onto the engine's time axis (nanoseconds
+// since host creation).
+func (h *Host) wallNow() sim.Time { return sim.Time(time.Since(h.start)) }
+
+// Do runs fn on the host loop goroutine (thread-safe external injection:
+// the bench driver submits client invocations through it). It blocks only
+// when the loop's backlog channel is full.
+func (h *Host) Do(fn func()) {
+	select {
+	case h.do <- fn:
+	case <-h.stop:
+	}
+}
+
+// Start launches the host loop on its own goroutine.
+func (h *Host) Start() { go h.Run() }
+
+// Stop terminates the loop and waits for it to exit. Idempotent.
+func (h *Host) Stop() {
+	h.once.Do(func() { close(h.stop) })
+	<-h.done
+}
+
+// Run executes the host loop until Stop: execute engine events whose wall
+// due time has arrived, dispatch inbound frames and injected functions,
+// and sleep exactly until the next timer otherwise.
+func (h *Host) Run() {
+	defer close(h.done)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		now := h.wallNow()
+		h.eng.AdvanceTo(now)
+		// Run every event that is due on the wall clock.
+		for {
+			t, ok := h.eng.NextEventTime()
+			if !ok || t > now {
+				break
+			}
+			h.eng.Step()
+		}
+		// Drain pending input without sleeping (bounded per round so a
+		// frame flood cannot starve due timers).
+		progressed := false
+	drain:
+		for i := 0; i < 256; i++ {
+			select {
+			case f := <-h.inbox:
+				f.net.dispatch(f)
+				progressed = true
+			case fn := <-h.do:
+				fn()
+				progressed = true
+			case <-h.stop:
+				return
+			default:
+				break drain
+			}
+		}
+		if progressed {
+			continue
+		}
+		// Idle: sleep until the next timer or the next external input.
+		var sleepC <-chan time.Time
+		if t, ok := h.eng.NextEventTime(); ok {
+			d := time.Duration(t - h.wallNow())
+			if d <= 0 {
+				continue
+			}
+			timer.Reset(d)
+			sleepC = timer.C
+		}
+		select {
+		case f := <-h.inbox:
+			f.net.dispatch(f)
+		case fn := <-h.do:
+			fn()
+		case <-sleepC:
+		case <-h.stop:
+			return
+		}
+		if sleepC != nil {
+			timer.Stop()
+		}
+	}
+}

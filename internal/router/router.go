@@ -10,7 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/ids"
-	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 // Channel tags. Kept in one place so the wire format is self-describing.
@@ -29,21 +29,22 @@ const (
 // Handler consumes a demultiplexed message.
 type Handler func(from ids.ID, payload []byte)
 
-// Router wraps one simnet node and dispatches by channel tag.
+// Router wraps one transport endpoint (a simnet node or a nettrans socket
+// endpoint) and dispatches by channel tag.
 type Router struct {
-	node     *simnet.Node
+	node     transport.Endpoint
 	handlers [256]Handler
 }
 
-// New installs a router as the node's message handler.
-func New(node *simnet.Node) *Router {
+// New installs a router as the endpoint's message handler.
+func New(node transport.Endpoint) *Router {
 	r := &Router{node: node}
 	node.SetHandler(r.dispatch)
 	return r
 }
 
 // Node returns the underlying network endpoint.
-func (r *Router) Node() *simnet.Node { return r.node }
+func (r *Router) Node() transport.Endpoint { return r.node }
 
 // ID returns the host's identity.
 func (r *Router) ID() ids.ID { return r.node.ID() }

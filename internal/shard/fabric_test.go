@@ -1,0 +1,35 @@
+package shard_test
+
+// Error-path coverage for fabric injection at the shard layer: Build must
+// reject an engine-less Group.Fabric with a clear error (the cluster-level
+// validation reached through normalize), not panic mid-assembly.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/shard"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+type engineless struct{}
+
+func (engineless) Engine() *sim.Engine { return nil }
+func (engineless) NewEndpoint(ids.ID, string) (transport.Endpoint, error) {
+	return nil, errors.New("engineless: no endpoints")
+}
+
+func TestBuildRejectsEnginelessFabric(t *testing.T) {
+	var opts shard.Options
+	opts.Group.Fabric = engineless{}
+	_, err := shard.Build(opts)
+	if err == nil {
+		t.Fatal("Build accepted a Group.Fabric with no engine")
+	}
+	if !strings.Contains(err.Error(), "engine") {
+		t.Fatalf("error %q does not diagnose the missing engine", err)
+	}
+}

@@ -51,6 +51,7 @@ import (
 	"repro/internal/router"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/transport"
 	"repro/internal/xcrypto"
 )
 
@@ -120,7 +121,10 @@ type Options struct {
 	// Group configures each consensus group exactly like a standalone
 	// cluster (F, Fm, Window, Tail, batching, path modes...). Group.Seed,
 	// Group.NumClients, Group.NewApp and Group.NetOptions are ignored —
-	// the deployment-level fields govern those.
+	// the deployment-level fields govern those. Group.Fabric injects the
+	// transport backend for every endpoint of the deployment (nil takes
+	// the deterministic simulated fabric); a fabric without an engine is
+	// rejected with a clear error.
 	Group cluster.Options
 
 	// NewApp builds the state machine for one replica of one shard; nil
@@ -229,7 +233,7 @@ func (g *Group) DecidedCount() int {
 // Deployment is an assembled multi-group uBFT fabric.
 type Deployment struct {
 	Eng      *sim.Engine
-	Net      *simnet.Network
+	Net      *simnet.Network // nil when a non-simnet Group.Fabric was injected
 	Registry *xcrypto.Registry
 
 	Groups     []*Group
@@ -246,8 +250,22 @@ type Deployment struct {
 // including a multi-shard deployment whose application lacks the Router
 // capability — it could never route a single request.
 func New(opts Options) *Deployment {
-	if err := opts.normalize(); err != nil {
+	d, err := Build(opts)
+	if err != nil {
 		panic(err)
+	}
+	return d
+}
+
+// Build is New with errors instead of panics: invalid options — including
+// an injected Group.Fabric whose Engine() is nil, which could never
+// schedule an event — fail with a clear diagnosis. With a nil Group.Fabric
+// it assembles the deterministic simulated fabric exactly as before,
+// bit-identical per seed; a real-transport deployment injects e.g. a
+// nettrans fabric and gets Net == nil.
+func Build(opts Options) (*Deployment, error) {
+	if err := opts.normalize(); err != nil {
+		return nil, err
 	}
 	g := opts.Group
 	n := 2*g.F + 1
@@ -261,15 +279,32 @@ func New(opts Options) *Deployment {
 	_, canTxn := proto.(app.TxnParticipant)
 	_, canRead := proto.(app.ReadExecutor)
 	if appRouter == nil && opts.Shards > 1 {
-		panic(fmt.Sprintf("shard: %d shards but the application does not implement app.Router", opts.Shards))
+		return nil, fmt.Errorf("shard: %d shards but the application does not implement app.Router", opts.Shards)
 	}
 
-	d := &Deployment{Eng: sim.NewEngine(opts.Seed), opts: opts}
-	netOpts := simnet.RDMAOptions()
-	if opts.NetOptions != nil {
-		netOpts = *opts.NetOptions
+	d := &Deployment{opts: opts}
+	fab := opts.Group.Fabric
+	if fab == nil {
+		d.Eng = sim.NewEngine(opts.Seed)
+		netOpts := simnet.RDMAOptions()
+		if opts.NetOptions != nil {
+			netOpts = *opts.NetOptions
+		}
+		d.Net = simnet.New(d.Eng, netOpts)
+		fab = simnet.AsFabric(d.Net)
+	} else {
+		d.Eng = fab.Engine()
+		if sf, ok := fab.(simnet.Fabric); ok {
+			d.Net = sf.Network()
+		}
 	}
-	d.Net = simnet.New(d.Eng, netOpts)
+	endpoint := func(id ids.ID, name string) (transport.Endpoint, error) {
+		ep, err := fab.NewEndpoint(id, name)
+		if err != nil {
+			return nil, fmt.Errorf("shard: wiring %s: %w", name, err)
+		}
+		return ep, nil
+	}
 
 	// Identities, in deterministic order.
 	var signers []ids.ID
@@ -292,8 +327,11 @@ func New(opts Options) *Deployment {
 
 	// The shared memory-node pool.
 	for j, id := range d.MemNodeIDs {
-		rt := router.New(d.Net.AddNode(id, fmt.Sprintf("mem%d", j)))
-		d.MemNodes = append(d.MemNodes, memnode.New(rt))
+		ep, err := endpoint(id, fmt.Sprintf("mem%d", j))
+		if err != nil {
+			return nil, err
+		}
+		d.MemNodes = append(d.MemNodes, memnode.New(router.New(ep)))
 	}
 
 	// Consensus groups: disjoint hosts, disjoint msgring instances (each
@@ -309,7 +347,11 @@ func New(opts Options) *Deployment {
 		grp.RegionOffset = sizing.RegionOffset
 		consensus.AllocateCluster(sizing, d.MemNodes)
 		for i, id := range grp.ReplicaIDs {
-			rt := router.New(d.Net.AddNode(id, fmt.Sprintf("s%dr%d", s, i)))
+			ep, err := endpoint(id, fmt.Sprintf("s%dr%d", s, i))
+			if err != nil {
+				return nil, err
+			}
+			rt := router.New(ep)
 			a := opts.NewApp(s)
 			grp.Apps = append(grp.Apps, a)
 			grp.Replicas = append(grp.Replicas, consensus.NewReplica(cfgFor(id, a), consensus.Deps{
@@ -326,7 +368,11 @@ func New(opts Options) *Deployment {
 		groupIDs[s] = grp.ReplicaIDs
 	}
 	for c, id := range d.ClientIDs {
-		rt := router.New(d.Net.AddNode(id, fmt.Sprintf("client%d", c)))
+		ep, err := endpoint(id, fmt.Sprintf("client%d", c))
+		if err != nil {
+			return nil, err
+		}
+		rt := router.New(ep)
 		cc := consensus.NewMultiClient(rt, groupIDs, g.F)
 		if opts.ReadTimeout > 0 {
 			cc.SetReadTimeout(opts.ReadTimeout)
@@ -343,7 +389,7 @@ func New(opts Options) *Deployment {
 			prepTimeout: opts.PrepareTimeout,
 		})
 	}
-	return d
+	return d, nil
 }
 
 // Shards returns S.

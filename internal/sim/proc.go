@@ -84,6 +84,9 @@ func (p *Proc) Exec(cost Duration, fn func()) Timer {
 	if cost < 0 {
 		panic(fmt.Sprintf("sim: negative exec cost %d on %s", cost, p.name))
 	}
+	if p.eng.realtime {
+		cost = 0 // the CPU work is real; don't add its model on top
+	}
 	start := p.free()
 	end := start.Add(cost)
 	p.busyUntil = end
@@ -99,6 +102,9 @@ func (p *Proc) Charge(cost Duration) {
 	if cost < 0 {
 		panic(fmt.Sprintf("sim: negative charge %d on %s", cost, p.name))
 	}
+	if p.eng.realtime {
+		return // the CPU work is real; don't add its model on top
+	}
 	p.busyUntil = p.free().Add(cost)
 }
 
@@ -108,7 +114,7 @@ func (p *Proc) After(d Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
-	ev := p.eng.schedule(p.eng.now.Add(d), p, fn)
+	ev := p.eng.schedule(p.eng.now.Add(p.eng.scaleDelay(d)), p, fn)
 	return Timer{ev: ev, gen: ev.gen}
 }
 
@@ -118,7 +124,7 @@ func (p *Proc) PostAfter(d Duration, fn func()) {
 	if d < 0 {
 		d = 0
 	}
-	p.eng.schedule(p.eng.now.Add(d), p, fn)
+	p.eng.schedule(p.eng.now.Add(p.eng.scaleDelay(d)), p, fn)
 }
 
 // BusyUntil exposes the busy horizon (used by tests and the latency

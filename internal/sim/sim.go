@@ -139,6 +139,21 @@ type Engine struct {
 	rng      *rand.Rand
 	executed uint64
 	stopped  bool
+
+	// realtime marks an engine driven against the wall clock (a nettrans
+	// host loop) rather than by discrete-event virtual time. In realtime
+	// mode CPU cost models are disabled — the CPU work is real, charging
+	// its modeled virtual cost on top would double-count it — and the
+	// clock may be advanced externally between events (AdvanceTo).
+	realtime bool
+	// timeScale stretches every delay-based timer (After/PostAfter) by a
+	// constant factor. The protocol's timeouts are tuned for the
+	// microsecond-scale RDMA fabric the simulation models; a wall-clock
+	// deployment over kernel TCP has ~100x the round-trip time, and
+	// running e.g. the 200us tail-broadcast retransmit timer at RDMA
+	// tuning there turns every in-flight message into a retransmit storm.
+	// 0 or 1 means unscaled (the deterministic simulation never scales).
+	timeScale int64
 }
 
 // NewEngine returns an engine whose randomness is derived from seed.
@@ -150,6 +165,54 @@ func NewEngine(seed int64) *Engine {
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
+
+// SetRealtime switches the engine into wall-clock mode: cost models become
+// no-ops and the clock may be advanced externally. The deterministic
+// simulation path never calls this.
+func (e *Engine) SetRealtime(on bool) { e.realtime = on }
+
+// Realtime reports whether the engine runs in wall-clock mode.
+func (e *Engine) Realtime() bool { return e.realtime }
+
+// SetTimeScale stretches every subsequent delay-based timer by factor k
+// (see the timeScale field). Realtime hosts set this once at startup.
+func (e *Engine) SetTimeScale(k int64) { e.timeScale = k }
+
+// TimeScale returns the configured timer stretch factor (0 = unscaled).
+func (e *Engine) TimeScale() int64 { return e.timeScale }
+
+// scaleDelay applies the realtime timer stretch to a relative delay.
+func (e *Engine) scaleDelay(d Duration) Duration {
+	if e.timeScale > 1 {
+		return d * Duration(e.timeScale)
+	}
+	return d
+}
+
+// AdvanceTo moves the clock forward to t without executing anything, so
+// timers scheduled relative to Now() by the next handler are anchored at
+// the wall clock rather than at the last executed event. Moving backward
+// is a no-op. Only the realtime host loop uses this.
+func (e *Engine) AdvanceTo(t Time) {
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// NextEventTime reports the timestamp of the earliest runnable event,
+// discarding cancelled ones along the way. ok is false when the queue is
+// empty. The realtime host loop uses it to bound its sleep.
+func (e *Engine) NextEventTime() (t Time, ok bool) {
+	for len(e.events) > 0 {
+		next := e.events[0]
+		if next.cancelled {
+			e.recycle(heap.Pop(&e.events).(*event))
+			continue
+		}
+		return next.at, true
+	}
+	return 0, false
+}
 
 // Rand returns the engine's deterministic random source. All simulated
 // nondeterminism (jitter, drops, workload choices) must come from here.
@@ -221,7 +284,7 @@ func (e *Engine) After(d Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
-	return e.At(e.now.Add(d), fn)
+	return e.At(e.now.Add(e.scaleDelay(d)), fn)
 }
 
 // Stop makes Run/RunUntil return after the current event completes.
@@ -254,7 +317,13 @@ func (e *Engine) Step() bool {
 			heap.Push(&e.events, ev)
 			continue
 		}
-		e.now = ev.at
+		// In pure virtual time events pop in nondecreasing order so this
+		// assignment only ever moves the clock forward; the guard matters
+		// in realtime mode, where AdvanceTo may have pushed the clock past
+		// an event that was waiting for its wall-clock due time.
+		if ev.at > e.now {
+			e.now = ev.at
+		}
 		ev.fired = true
 		e.executed++
 		crashed := ev.proc != nil && ev.proc.crashed

@@ -18,11 +18,13 @@ import (
 	"repro/internal/ids"
 	"repro/internal/latmodel"
 	"repro/internal/sim"
+	"repro/internal/transport"
 )
 
 // Handler consumes a message delivered to a node. from is the authenticated
-// sender identity (links are authenticated, so it cannot be spoofed).
-type Handler func(from ids.ID, payload []byte)
+// sender identity (links are authenticated, so it cannot be spoofed). It is
+// the transport-contract handler type: *Node satisfies transport.Endpoint.
+type Handler = transport.Handler
 
 // Options configures a network's timing behaviour.
 type Options struct {
@@ -133,6 +135,38 @@ func (n *Network) AttachNode(id ids.ID, proc *sim.Proc) *Node {
 
 // Node looks up a registered node (nil if absent).
 func (n *Network) Node(id ids.ID) *Node { return n.nodes[id] }
+
+// Fabric adapts the network to the transport.Fabric contract so the
+// deployment layers (cluster, shard) can assemble clusters without naming
+// the simulated backend. AsFabric is the constructor.
+type Fabric struct{ net *Network }
+
+// AsFabric wraps the network as a transport.Fabric.
+func AsFabric(n *Network) Fabric { return Fabric{net: n} }
+
+// Engine returns the engine the fabric's endpoints run on.
+func (f Fabric) Engine() *sim.Engine {
+	if f.net == nil {
+		return nil
+	}
+	return f.net.eng
+}
+
+// Network returns the wrapped simulated network (deployment layers keep it
+// accessible for partition/GST fault injection in tests).
+func (f Fabric) Network() *Network { return f.net }
+
+// NewEndpoint registers a node, satisfying transport.Fabric. Unlike
+// AddNode it reports a duplicate id as an error rather than a panic.
+func (f Fabric) NewEndpoint(id ids.ID, name string) (transport.Endpoint, error) {
+	if f.net == nil {
+		return nil, fmt.Errorf("simnet: fabric has no network")
+	}
+	if _, dup := f.net.nodes[id]; dup {
+		return nil, fmt.Errorf("simnet: duplicate node %v", id)
+	}
+	return f.net.AddNode(id, name), nil
+}
 
 func pairKey(a, b ids.ID) [2]ids.ID {
 	if a > b {

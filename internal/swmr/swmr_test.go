@@ -295,12 +295,16 @@ func TestStoreRequiresQuorumConfig(t *testing.T) {
 	eng := sim.NewEngine(1)
 	net := simnet.New(eng, simnet.RDMAOptions())
 	rt := router.New(net.AddNode(0, "h"))
+	// Any pool in [fm+1, 2fm+1] preserves quorum intersection; 2 nodes at
+	// fm=1 is the lean wall-clock deployment and must be accepted.
+	NewStore(rt, rt.Node().Proc(), []ids.ID{1, 2}, 1)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("bad memnode count did not panic")
 		}
 	}()
-	NewStore(rt, rt.Node().Proc(), []ids.ID{1, 2}, 1)
+	// fm+1 = 2 is the floor: a single node cannot form intersecting quorums.
+	NewStore(rt, rt.Node().Proc(), []ids.ID{1}, 1)
 }
 
 func TestRegionSizes(t *testing.T) {

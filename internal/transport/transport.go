@@ -1,0 +1,68 @@
+// Package transport defines the authenticated point-to-point link contract
+// every fabric backend of the reproduction satisfies. The paper assumes
+// links that are authenticated and tamper-proof (§2.4); this package pins
+// that assumption down as a Go interface so the layers above it (router,
+// msgring, consensus, shard) are fabric-agnostic:
+//
+//   - internal/simnet implements it on the deterministic discrete-event
+//     engine in virtual time — the reproducibility/CI harness.
+//   - internal/nettrans implements it over real TCP sockets in wall-clock
+//     time — the "system that serves traffic" backend.
+//
+// The contract is deliberately minimal: Send(to, payload) is asynchronous,
+// unacknowledged and may drop under overload or partition (tail semantics:
+// the newest traffic wins, exactly like the message-ring overwrite model);
+// delivery invokes the endpoint's handler with the authenticated sender
+// identity, in FIFO order per directed link, without duplicates. Every
+// retransmission/recovery mechanism above (tbcast, CTBcast, 2PC fan-outs)
+// is built on precisely these semantics, which is why one interface can
+// carry both a lossy simulated fabric and a reconnecting socket backend.
+package transport
+
+import (
+	"repro/internal/ids"
+	"repro/internal/sim"
+)
+
+// Handler consumes a message delivered to an endpoint. from is the
+// authenticated sender identity: a backend must guarantee it cannot be
+// spoofed by another node of the deployment (simnet by construction,
+// nettrans by its closed static peer table — see that package's trust
+// model notes).
+type Handler func(from ids.ID, payload []byte)
+
+// Endpoint is one node's attachment to the fabric. Implementations must
+// deliver messages on the engine goroutine of the endpoint's process, so
+// protocol handlers never race with each other.
+//
+// The payload slice passed to Send is delivered (or copied) as-is: senders
+// must not mutate a buffer after sending it. Delivered payloads are
+// private to the receiver: the backend never recycles or rewrites them.
+type Endpoint interface {
+	// ID returns the node's identity.
+	ID() ids.ID
+	// Proc returns the simulated/real process the endpoint's handler runs
+	// on (its engine drives timers for the protocol layers above).
+	Proc() *sim.Proc
+	// SetHandler installs the message handler. Messages delivered before
+	// SetHandler are dropped.
+	SetHandler(h Handler)
+	// Send transmits payload to the node identified by to. It never
+	// blocks: under overload or partition the backend drops (oldest
+	// first) rather than stall the caller.
+	Send(to ids.ID, payload []byte)
+}
+
+// Fabric creates endpoints bound to one engine. Deployment layers
+// (cluster, shard) consume this to stay backend-agnostic: the default is
+// the deterministic simnet fabric, and a real-socket deployment injects a
+// nettrans-backed fabric instead.
+type Fabric interface {
+	// Engine returns the engine all of the fabric's endpoints run on.
+	// A Fabric with a nil engine is unusable; deployment layers reject it
+	// at Normalize/validate time with a clear error.
+	Engine() *sim.Engine
+	// NewEndpoint creates the endpoint for node id. name is a diagnostic
+	// label for the node's process. Creating the same id twice errors.
+	NewEndpoint(id ids.ID, name string) (Endpoint, error)
+}

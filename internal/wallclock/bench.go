@@ -1,0 +1,338 @@
+package wallclock
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"runtime/pprof"
+	"sort"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/cluster"
+	"repro/internal/nettrans"
+	"repro/internal/sim"
+)
+
+// BenchOptions configures one wall-clock benchmark run. The deployment
+// shape (Cfg) must match the flags the node fleet was launched with.
+type BenchOptions struct {
+	Cfg        NodeConfig
+	ClientAddr string // the pre-allocated client listen address
+	Peers      string // the full -peers table
+
+	Depth   int           // outstanding requests per client (closed loop)
+	Warmup  time.Duration // discarded lead-in (connection dialing, JIT-ish effects)
+	Measure time.Duration // measured window
+
+	CPUProfile string // client-process profile (PGO collection)
+}
+
+// BenchResult is the measured outcome, JSON-shaped for BENCH_*.json.
+type BenchResult struct {
+	Name      string  `json:"name"`
+	Workload  string  `json:"workload"`
+	Transport string  `json:"transport"`
+	Replicas  int     `json:"replicas"`
+	MemNodes  int     `json:"mem_nodes"`
+	Clients   int     `json:"clients"`
+	Depth     int     `json:"depth"`
+	Ops       int     `json:"ops"`
+	ElapsedS  float64 `json:"elapsed_s"`
+	Kops      float64 `json:"kops_per_s"`
+	P50us     float64 `json:"p50_us"`
+	P99us     float64 `json:"p99_us"`
+	AllocsOp  float64 `json:"allocs_per_op"`
+	PGO       bool    `json:"pgo"`
+
+	// Delta vs a -compare baseline (percent; positive = this run faster).
+	BaselineKops  float64 `json:"baseline_kops_per_s,omitempty"`
+	KopsDeltaPct  float64 `json:"kops_delta_pct,omitempty"`
+	P50DeltaPct   float64 `json:"p50_delta_pct,omitempty"`
+	BaselineP50us float64 `json:"baseline_p50_us,omitempty"`
+}
+
+// PGOEnabled reports whether this binary was compiled with a PGO profile
+// (the -pgo build setting), so a BENCH json self-describes which side of
+// the PGO comparison it is.
+func PGOEnabled() bool {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return false
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "-pgo" && s.Value != "" && s.Value != "off" {
+			return true
+		}
+	}
+	return false
+}
+
+// workloadFor returns a per-invocation request generator for the app, and
+// the workload's name. The kv workload is a 50/50 set/get mix over a small
+// hot key set (the paper's Memcached-style service); flip is the minimal
+// 1-byte request the latency figures use.
+func workloadFor(appName string) (name string, gen func(i int) []byte, err error) {
+	switch appName {
+	case "", "kv":
+		keys := make([][]byte, 64)
+		vals := make([][]byte, 64)
+		for i := range keys {
+			keys[i] = []byte(fmt.Sprintf("key-%02d", i))
+			vals[i] = make([]byte, 64)
+			binary.LittleEndian.PutUint64(vals[i], uint64(i))
+		}
+		return "kv-rw50", func(i int) []byte {
+			k := keys[i%len(keys)]
+			if i%2 == 0 {
+				return app.EncodeKVSet(k, vals[i%len(vals)])
+			}
+			return app.EncodeKVGet(k)
+		}, nil
+	case "flip":
+		return "flip", func(i int) []byte { return []byte{byte(i)} }, nil
+	default:
+		return "", nil, fmt.Errorf("wallclock: no bench workload for app %q (use kv or flip)", appName)
+	}
+}
+
+// RunBench hosts the deployment's clients in this process, joins the node
+// fleet over the socket transport, and drives a closed-loop workload:
+// Depth outstanding requests per client, resubmitted on completion. All
+// driver state lives on the host loop — no locks, exactly like the nodes'
+// own handlers.
+func RunBench(o BenchOptions) (*BenchResult, error) {
+	if o.Depth <= 0 {
+		o.Depth = 1
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = time.Second
+	}
+	if o.Measure <= 0 {
+		o.Measure = 3 * time.Second
+	}
+	wlName, gen, err := workloadFor(o.Cfg.App)
+	if err != nil {
+		return nil, err
+	}
+	opts, err := o.Cfg.Options()
+	if err != nil {
+		return nil, err
+	}
+	if err := opts.Normalize(); err != nil {
+		return nil, err
+	}
+	table, err := ParsePeers(o.Peers)
+	if err != nil {
+		return nil, err
+	}
+
+	h := nettrans.NewHost(o.Cfg.Seed + 1)
+	nt, err := nettrans.Listen(h, nettrans.Options{
+		ListenAddr: o.ClientAddr,
+		Resolve:    nettrans.NewAddrTable(table).Resolve,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer nt.Close()
+
+	members := make([]*cluster.Member, opts.NumClients)
+	for ci := range members {
+		m, err := cluster.NewMember(opts, nt, cluster.MemberSpec{Role: cluster.RoleClient, Index: ci})
+		if err != nil {
+			return nil, err
+		}
+		members[ci] = m
+	}
+
+	if o.CPUProfile != "" {
+		f, err := os.Create(o.CPUProfile)
+		if err != nil {
+			return nil, err
+		}
+		if err := startProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		defer stopProfile(f)
+	}
+
+	h.Start()
+	defer h.Stop()
+
+	// Closed-loop driver state; host-loop goroutine only.
+	const (
+		phaseWarmup = iota
+		phaseMeasure
+		phaseDrain
+	)
+	var (
+		phase        = phaseWarmup
+		lats         []time.Duration
+		ops, errs    int
+		outstanding  = 0
+		seq          = 0
+		m0, m1       runtime.MemStats
+		measureStart time.Time
+		measureEnd   time.Time
+	)
+	doneC := make(chan struct{})
+
+	var submit func(ci int)
+	submit = func(ci int) {
+		i := seq
+		seq++
+		start := time.Now()
+		outstanding++
+		members[ci].Client.Invoke(gen(i), func(res []byte, _ sim.Duration) {
+			outstanding--
+			if phase == phaseMeasure {
+				lats = append(lats, time.Since(start))
+				ops++
+				if len(res) == 0 {
+					errs++
+				}
+			}
+			if phase != phaseDrain {
+				submit(ci)
+			} else if outstanding == 0 {
+				close(doneC)
+			}
+		})
+	}
+
+	h.Do(func() {
+		for ci := range members {
+			for d := 0; d < o.Depth; d++ {
+				submit(ci)
+			}
+		}
+	})
+	warmT := time.AfterFunc(o.Warmup, func() {
+		h.Do(func() {
+			runtime.ReadMemStats(&m0)
+			measureStart = time.Now()
+			phase = phaseMeasure
+		})
+	})
+	defer warmT.Stop()
+	stopT := time.AfterFunc(o.Warmup+o.Measure, func() {
+		h.Do(func() {
+			runtime.ReadMemStats(&m1)
+			measureEnd = time.Now()
+			phase = phaseDrain
+			if outstanding == 0 {
+				close(doneC)
+			}
+		})
+	})
+	defer stopT.Stop()
+
+	select {
+	case <-doneC:
+	case <-time.After(o.Warmup + o.Measure + 30*time.Second):
+		if os.Getenv("WALLCLOCK_DEBUG") != "" {
+			h.Do(func() {
+				fmt.Fprintf(os.Stderr, "DEBUG wedge: outstanding=%d stats=%+v\n", outstanding, nt.Stats())
+				for ci, m := range members {
+					fmt.Fprintf(os.Stderr, "DEBUG wedge: client %d pending=%d\n", ci, m.Client.PendingCount())
+				}
+			})
+			time.Sleep(time.Second)
+		}
+		return nil, fmt.Errorf("wallclock: bench did not drain %s after the measure window (cluster wedged?)", "30s")
+	}
+
+	// Collect results off the host loop only after the drain barrier.
+	res := &BenchResult{
+		Name:      "wallclock",
+		Workload:  wlName,
+		Transport: "net",
+		Replicas:  2*opts.F + 1,
+		MemNodes:  len(members[0].MemNodeIDs),
+		Clients:   opts.NumClients,
+		Depth:     o.Depth,
+		Ops:       ops,
+		PGO:       PGOEnabled(),
+	}
+	if ops == 0 {
+		return nil, fmt.Errorf("wallclock: zero completed operations in the measure window")
+	}
+	if errs > 0 {
+		return nil, fmt.Errorf("wallclock: %d/%d operations failed (empty responses)", errs, ops)
+	}
+	elapsed := measureEnd.Sub(measureStart)
+	res.ElapsedS = elapsed.Seconds()
+	res.Kops = float64(ops) / elapsed.Seconds() / 1e3
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	res.P50us = float64(lats[len(lats)/2]) / 1e3
+	res.P99us = float64(lats[len(lats)*99/100]) / 1e3
+	res.AllocsOp = float64(m1.Mallocs-m0.Mallocs) / float64(ops)
+	if os.Getenv("WALLCLOCK_DEBUG") != "" {
+		st := nt.Stats()
+		fmt.Fprintf(os.Stderr, "DEBUG client net stats: %+v\n", st)
+		fmt.Fprintf(os.Stderr, "DEBUG p90 %v p95 %v p99 %v p99.9 %v max %v\n",
+			lats[len(lats)*90/100], lats[len(lats)*95/100], lats[len(lats)*99/100], lats[len(lats)*999/1000], lats[len(lats)-1])
+		hist := map[time.Duration]int{}
+		for _, l := range lats {
+			hist[l.Truncate(5*time.Millisecond)]++
+		}
+		for b := time.Duration(0); b < 200*time.Millisecond; b += 5 * time.Millisecond {
+			if hist[b] > 0 {
+				fmt.Fprintf(os.Stderr, "DEBUG   %8v: %d\n", b, hist[b])
+			}
+		}
+	}
+	for _, m := range members {
+		h.Do(m.Stop)
+	}
+	return res, nil
+}
+
+// Compare fills the delta fields from a baseline run (the PGO-off side of
+// the comparison). Positive deltas mean this run improved.
+func (r *BenchResult) Compare(baseline *BenchResult) {
+	r.BaselineKops = baseline.Kops
+	r.BaselineP50us = baseline.P50us
+	if baseline.Kops > 0 {
+		r.KopsDeltaPct = (r.Kops - baseline.Kops) / baseline.Kops * 100
+	}
+	if baseline.P50us > 0 {
+		// Latency: positive = faster (lower p50).
+		r.P50DeltaPct = (baseline.P50us - r.P50us) / baseline.P50us * 100
+	}
+}
+
+// WriteJSON writes the result as BENCH_<name>.json next to path's dir
+// conventions (path is used verbatim).
+func (r *BenchResult) WriteJSON(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+func startProfile(f *os.File) error { return pprof.StartCPUProfile(f) }
+
+func stopProfile(f *os.File) {
+	pprof.StopCPUProfile()
+	f.Close()
+}
+
+// LoadResult reads a previously written BENCH_*.json (the -compare flag).
+func LoadResult(path string) (*BenchResult, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r BenchResult
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("wallclock: parsing %s: %w", path, err)
+	}
+	return &r, nil
+}

@@ -1,0 +1,196 @@
+package wallclock
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/ids"
+)
+
+// readyTimeout bounds how long LaunchLocal waits for every spawned node's
+// listener to accept.
+const readyTimeout = 15 * time.Second
+
+// LocalCluster is a fleet of node processes launched on this machine plus
+// the address plan the parent's in-process clients join with.
+type LocalCluster struct {
+	Table      map[ids.ID]string // the full peer table, clients included
+	PeersArg   string            // Table in -peers syntax
+	ClientAddr string            // the parent process's client listen address
+
+	ReplicaIDs []ids.ID
+	MemNodeIDs []ids.ID
+	ClientIDs  []ids.ID
+
+	procs []*exec.Cmd
+	pipes []*os.File // stdin write ends; closing them makes orphans exit
+}
+
+// allocPort reserves a free loopback TCP port by binding :0 and closing
+// the listener. The tiny reuse race is acceptable for a local harness.
+func allocPort() (string, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr, nil
+}
+
+// LaunchLocal spawns one OS process per replica and memory node of the
+// deployment base describes, using exe as the command prefix (argv[0] plus
+// any mode flags — cmd/ubft-bench re-execs itself with a node-mode flag,
+// or point it at a built cmd/ubft-node). Clients are NOT spawned: the
+// caller hosts them in-process at ClientAddr (closed-loop benchmarking
+// needs them under its own control). profileDir, when non-empty, makes
+// every node write a CPU profile into it (PGO collection).
+func LaunchLocal(exe []string, base NodeConfig, profileDir string) (*LocalCluster, error) {
+	if len(exe) == 0 {
+		return nil, fmt.Errorf("wallclock: empty launch command")
+	}
+	opts, err := base.Options()
+	if err != nil {
+		return nil, err
+	}
+	if err := opts.Normalize(); err != nil {
+		return nil, err
+	}
+
+	lc := &LocalCluster{Table: make(map[ids.ID]string)}
+	lc.ReplicaIDs, lc.MemNodeIDs, lc.ClientIDs = cluster.IDLayout(opts.F, opts.Fm, opts.MemNodes, opts.NumClients)
+
+	// Address plan: one port per spawned node, one shared port for every
+	// parent-hosted client (they share one listener; frames route by id).
+	for _, id := range append(append([]ids.ID{}, lc.ReplicaIDs...), lc.MemNodeIDs...) {
+		addr, err := allocPort()
+		if err != nil {
+			return nil, err
+		}
+		lc.Table[id] = addr
+	}
+	clientAddr, err := allocPort()
+	if err != nil {
+		return nil, err
+	}
+	lc.ClientAddr = clientAddr
+	for _, id := range lc.ClientIDs {
+		lc.Table[id] = clientAddr
+	}
+	lc.PeersArg = FormatPeers(lc.Table)
+
+	spawn := func(role cluster.Role, index int, id ids.ID) error {
+		cfg := base
+		cfg.Role = string(role)
+		cfg.Index = index
+		cfg.Listen = lc.Table[id]
+		cfg.Peers = lc.PeersArg
+		if profileDir != "" {
+			cfg.CPUProfile = fmt.Sprintf("%s/node-%d.pprof", profileDir, int(id))
+		}
+		cmd := exec.Command(exe[0], append(append([]string{}, exe[1:]...), cfg.Args()...)...)
+		pr, pw, err := os.Pipe()
+		if err != nil {
+			return err
+		}
+		cmd.Stdin = pr
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			pr.Close()
+			pw.Close()
+			return fmt.Errorf("wallclock: spawning %s%d: %w", role, index, err)
+		}
+		pr.Close()
+		lc.procs = append(lc.procs, cmd)
+		lc.pipes = append(lc.pipes, pw)
+		return nil
+	}
+
+	for i, id := range lc.ReplicaIDs {
+		if err := spawn(cluster.RoleReplica, i, id); err != nil {
+			lc.Stop()
+			return nil, err
+		}
+	}
+	for j, id := range lc.MemNodeIDs {
+		if err := spawn(cluster.RoleMemNode, j, id); err != nil {
+			lc.Stop()
+			return nil, err
+		}
+	}
+
+	if err := lc.waitReady(); err != nil {
+		lc.Stop()
+		return nil, err
+	}
+	return lc, nil
+}
+
+// waitReady dials every spawned node's listener until it accepts.
+func (lc *LocalCluster) waitReady() error {
+	deadline := time.Now().Add(readyTimeout)
+	for _, id := range append(append([]ids.ID{}, lc.ReplicaIDs...), lc.MemNodeIDs...) {
+		addr := lc.Table[id]
+		for {
+			c, err := net.DialTimeout("tcp", addr, time.Second)
+			if err == nil {
+				// Guard against TCP self-connect: probing a loopback
+				// ephemeral port before its node binds can connect to
+				// itself, which would both report false readiness and hold
+				// the port against the node. Close releases it; retry.
+				ready := c.LocalAddr().String() != c.RemoteAddr().String()
+				c.Close()
+				if ready {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("wallclock: node %d (%s) not accepting within %v", int(id), addr, readyTimeout)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// Stop tears the fleet down: close the stdin pipes (the nodes' exit
+// signal, which also flushes their CPU profiles), give them a grace
+// period, then SIGTERM and finally kill stragglers.
+func (lc *LocalCluster) Stop() {
+	for _, pw := range lc.pipes {
+		pw.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		for _, p := range lc.procs {
+			p.Wait()
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+		return
+	case <-time.After(3 * time.Second):
+	}
+	for _, p := range lc.procs {
+		if p.Process != nil {
+			p.Process.Signal(syscall.SIGTERM)
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		for _, p := range lc.procs {
+			if p.Process != nil {
+				p.Process.Kill()
+			}
+		}
+		<-done
+	}
+}

@@ -1,0 +1,272 @@
+// Package wallclock is the real-time deployment harness: it runs the same
+// consensus stack the deterministic simulation exercises as actual OS
+// processes over the nettrans socket transport, measured with the wall
+// clock instead of the virtual one.
+//
+// Three layers:
+//
+//   - NodeConfig/RunNode — one cluster member (replica, memory node or
+//     client) as one process: the engine room of cmd/ubft-node and of the
+//     node-mode re-exec of cmd/ubft-bench.
+//   - LaunchLocal — a local multi-process launcher: allocates ports, spawns
+//     one process per replica and memory node, waits for their listeners,
+//     and tears the fleet down (SIGTERM, then kill).
+//   - RunBench — the wall-clock benchmark driver: hosts the clients
+//     in-process, runs a closed-loop workload at a configurable depth, and
+//     reports real p50/p99 latency, kops/s and allocs/op, optionally as a
+//     BENCH_*.json with a PGO-vs-baseline delta.
+//
+// Everything that must agree across processes (identity layout, key
+// registry, consensus configuration) is derived deterministically from the
+// shared flag set by cluster.NewMember — no coordination service.
+package wallclock
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime/pprof"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/cluster"
+	"repro/internal/ids"
+	"repro/internal/nettrans"
+	"repro/internal/sim"
+)
+
+// NodeConfig is the full flag surface one node process needs. The same
+// struct serves cmd/ubft-node, the launcher (which serializes it back to
+// argv) and the bench driver (which reuses the deployment shape for its
+// in-process clients).
+type NodeConfig struct {
+	Role   string // replica | memnode | client
+	Index  int    // index within the role's pool
+	Listen string
+	Peers  string // static peer table: "id=host:port,id=host:port,..."
+
+	App      string // kv | flip | rkv | orderbook
+	Seed     int64
+	F, Fm    int
+	MemNodes int // memory-node pool size (0 = 2Fm+1)
+	Clients  int
+	Window   int
+	Tail     int
+	Batch    int
+
+	CPUProfile string // write a CPU profile here (PGO collection)
+}
+
+// RegisterFlags binds the node flag surface onto fs.
+func (c *NodeConfig) RegisterFlags(fs *flag.FlagSet) {
+	fs.StringVar(&c.Role, "role", "replica", "node role: replica, memnode or client")
+	fs.IntVar(&c.Index, "index", 0, "index within the role's pool")
+	fs.StringVar(&c.Listen, "listen", "127.0.0.1:0", "TCP listen address")
+	fs.StringVar(&c.Peers, "peers", "", "static peer table: id=host:port,...")
+	fs.StringVar(&c.App, "app", "kv", "application: kv, flip, rkv or orderbook")
+	fs.Int64Var(&c.Seed, "seed", 1, "deployment seed (keys, workload rng; must match across processes)")
+	fs.IntVar(&c.F, "f", 1, "replica fault threshold f (2f+1 replicas)")
+	fs.IntVar(&c.Fm, "fm", 1, "memory-node fault threshold f_m")
+	fs.IntVar(&c.MemNodes, "memnodes", 0, "memory-node pool size (0 = 2fm+1; any size in [fm+1, 2fm+1] is legal)")
+	fs.IntVar(&c.Clients, "clients", 1, "number of client identities")
+	fs.IntVar(&c.Window, "window", 0, "consensus window (0 = paper default)")
+	fs.IntVar(&c.Tail, "tail", 0, "CTBcast tail (0 = paper default)")
+	fs.IntVar(&c.Batch, "batch", 0, "leader batch size (0 = off)")
+	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+}
+
+// Args serializes the config back to the argv the launcher passes to a
+// node process (the inverse of RegisterFlags).
+func (c NodeConfig) Args() []string {
+	return []string{
+		"-role", c.Role,
+		"-index", strconv.Itoa(c.Index),
+		"-listen", c.Listen,
+		"-peers", c.Peers,
+		"-app", c.App,
+		"-seed", strconv.FormatInt(c.Seed, 10),
+		"-f", strconv.Itoa(c.F),
+		"-fm", strconv.Itoa(c.Fm),
+		"-memnodes", strconv.Itoa(c.MemNodes),
+		"-clients", strconv.Itoa(c.Clients),
+		"-window", strconv.Itoa(c.Window),
+		"-tail", strconv.Itoa(c.Tail),
+		"-batch", strconv.Itoa(c.Batch),
+		"-cpuprofile", c.CPUProfile,
+	}
+}
+
+// NewAppByName maps the -app flag onto a state-machine constructor.
+func NewAppByName(name string) (func() app.StateMachine, error) {
+	switch name {
+	case "", "kv":
+		return func() app.StateMachine { return app.NewKV(0) }, nil
+	case "flip":
+		return func() app.StateMachine { return app.NewFlip() }, nil
+	case "rkv":
+		return func() app.StateMachine { return app.NewRKV() }, nil
+	case "orderbook":
+		return func() app.StateMachine { return app.NewOrderBook() }, nil
+	default:
+		return nil, fmt.Errorf("wallclock: unknown application %q (want kv, flip, rkv or orderbook)", name)
+	}
+}
+
+// Options maps the shared deployment shape onto cluster.Options. Every
+// process of one deployment must produce identical Options (same flags).
+func (c NodeConfig) Options() (cluster.Options, error) {
+	newApp, err := NewAppByName(c.App)
+	if err != nil {
+		return cluster.Options{}, err
+	}
+	return cluster.Options{
+		Seed:       c.Seed,
+		F:          c.F,
+		Fm:         c.Fm,
+		MemNodes:   c.MemNodes,
+		NumClients: c.Clients,
+		Window:     c.Window,
+		Tail:       c.Tail,
+		BatchSize:  c.Batch,
+		NewApp:     newApp,
+		// The fast-path fallback defaults assume the simulated RDMA fabric,
+		// where a slot that misses unanimity is a rare microsecond hiccup.
+		// Under nettrans every timer stretches by nettrans.TimerScale, which
+		// would put the default 1ms fallback at 100ms — far beyond kernel
+		// TCP's hiccup scale (~1-2ms loaded). 200us here lands the scaled
+		// fallback at 20ms real time: above any loopback hiccup, small
+		// against the 100ms a slot would otherwise stall for.
+		SlowPathDelay: 200 * sim.Microsecond,
+		CTBSlowDelay:  200 * sim.Microsecond,
+	}, nil
+}
+
+// ParsePeers decodes a "-peers" table ("id=host:port,...").
+func ParsePeers(s string) (map[ids.ID]string, error) {
+	table := make(map[ids.ID]string)
+	if strings.TrimSpace(s) == "" {
+		return table, nil
+	}
+	for _, ent := range strings.Split(s, ",") {
+		id, addr, ok := strings.Cut(strings.TrimSpace(ent), "=")
+		if !ok {
+			return nil, fmt.Errorf("wallclock: malformed peer entry %q (want id=host:port)", ent)
+		}
+		n, err := strconv.Atoi(id)
+		if err != nil {
+			return nil, fmt.Errorf("wallclock: malformed peer id %q: %w", id, err)
+		}
+		table[ids.ID(n)] = addr
+	}
+	return table, nil
+}
+
+// FormatPeers is the inverse of ParsePeers, in deterministic id order.
+func FormatPeers(table map[ids.ID]string) string {
+	idList := make([]int, 0, len(table))
+	for id := range table {
+		idList = append(idList, int(id))
+	}
+	sort.Ints(idList)
+	ents := make([]string, 0, len(idList))
+	for _, id := range idList {
+		ents = append(ents, fmt.Sprintf("%d=%s", id, table[ids.ID(id)]))
+	}
+	return strings.Join(ents, ",")
+}
+
+// RunNode runs one cluster member process until SIGINT/SIGTERM or until
+// stdin reaches EOF (the launcher holds a pipe open, so an orphaned node
+// exits with its parent). ready, if non-nil, runs once the node is
+// listening and assembled.
+func RunNode(c NodeConfig, ready func()) error {
+	role, err := cluster.ParseRole(c.Role)
+	if err != nil {
+		return err
+	}
+	opts, err := c.Options()
+	if err != nil {
+		return err
+	}
+	table, err := ParsePeers(c.Peers)
+	if err != nil {
+		return err
+	}
+
+	h := nettrans.NewHost(c.Seed)
+	nt, err := nettrans.Listen(h, nettrans.Options{
+		ListenAddr: c.Listen,
+		Resolve:    nettrans.NewAddrTable(table).Resolve,
+	})
+	if err != nil {
+		return err
+	}
+	defer nt.Close()
+
+	m, err := cluster.NewMember(opts, nt, cluster.MemberSpec{Role: role, Index: c.Index})
+	if err != nil {
+		return err
+	}
+
+	if c.CPUProfile != "" {
+		f, err := os.Create(c.CPUProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
+	h.Start()
+	defer h.Stop()
+	defer h.Do(m.Stop)
+	if os.Getenv("WALLCLOCK_DEBUG") != "" && m.Replica != nil {
+		go func() {
+			for {
+				time.Sleep(5 * time.Second)
+				h.Do(func() {
+					next, exec, cp, waiting := m.Replica.Progress()
+					fmt.Fprintf(os.Stderr,
+						"DEBUG %s%d: next=%d exec=%d chkpt=%d waiting=%d proposeQ=%d echoes=%d deferred=%d late=%d execold=%d net=%+v\n",
+						c.Role, c.Index, next, exec, cp, waiting,
+						m.Replica.PendingProposals(), m.Replica.EchoStateCount(),
+						m.Replica.DeferredCount(), m.Replica.LateProposals(),
+						m.Replica.DroppedExecOld(), nt.Stats())
+				})
+			}
+		}()
+	}
+	if ready != nil {
+		ready()
+	}
+
+	// Exit on signal or when the launcher's stdin pipe closes.
+	sigC := make(chan os.Signal, 1)
+	signal.Notify(sigC, os.Interrupt, syscall.SIGTERM)
+	eofC := make(chan struct{})
+	go func() {
+		buf := make([]byte, 1)
+		for {
+			if _, err := os.Stdin.Read(buf); err != nil {
+				close(eofC)
+				return
+			}
+		}
+	}()
+	select {
+	case <-sigC:
+	case <-eofC:
+	}
+	return nil
+}
