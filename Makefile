@@ -22,10 +22,11 @@ race:
 	$(GO) test -race ./internal/wire/ ./internal/msgring/ ./internal/tbcast/ ./internal/ctbcast/ ./internal/shard/ ./internal/transport/ ./internal/nettrans/
 
 # The bounded-memory regression gate: leader map cardinality must stay flat
-# across checkpoint intervals (uBFT's finite-memory claim), and the
-# per-client exactly-once state must age out churned clients.
+# across checkpoint intervals (uBFT's finite-memory claim), the per-client
+# exactly-once state must age out churned clients, and the MVCC version
+# chains must stay flat as the GC horizon ratchets with checkpoints.
 bounded-mem:
-	$(GO) test -run 'TestLeaderMemoryBounded|TestLeaderMapsFlatAcrossIntervals|TestClientExecStateAged' ./internal/consensus/
+	$(GO) test -run 'TestLeaderMemoryBounded|TestLeaderMapsFlatAcrossIntervals|TestClientExecStateAged|TestVersionGCBounded' ./internal/consensus/
 
 # One iteration of every benchmark in short mode: catches harness rot and
 # prints allocs/op for the hot-path benchmarks on every PR.

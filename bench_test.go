@@ -307,7 +307,9 @@ func BenchmarkCrossShardOrderBook(b *testing.B) {
 // consensus slots. The order-book rows are the headline (>= 2x ops at 90%
 // reads, gated by TestReadMixFastSpeedup); the Memcached rows show the
 // exec-bound regime, where every replica still pays the ~15us server path
-// per read and the win is correspondingly smaller.
+// per read and the win is correspondingly smaller. The point-read rows
+// drive single-key KVGets through the versioned store, and the strong row
+// prices the linearizable 2f+1 mode against the f+1 fast path.
 func BenchmarkReadMix(b *testing.B) {
 	apps := []struct {
 		name string
@@ -339,6 +341,30 @@ func BenchmarkReadMix(b *testing.B) {
 				})
 			}
 		}
+	}
+	for _, row := range []struct {
+		name string
+		run  func(n int) bench.ReadMixResult
+	}{
+		{"KVPoint_read90_ordered", func(n int) bench.ReadMixResult { return bench.ReadMixPoint(1, 2, 4, n, 0.90, false) }},
+		{"KVPoint_read90_fast", func(n int) bench.ReadMixResult { return bench.ReadMixPoint(1, 2, 4, n, 0.90, true) }},
+		{"KVPoint_read90_strong", func(n int) bench.ReadMixResult { return bench.ReadMixStrong(1, 2, 4, n, 0.90) }},
+	} {
+		row := row
+		b.Run(row.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for b.Loop() {
+				res := row.run(samples(b, 200))
+				if res.Completed == 0 {
+					b.Fatal("no requests completed")
+				}
+				b.ReportMetric(res.OpsPerSec/1000, "kops-virtual")
+				b.ReportMetric(res.ReadRec.Percentile(50).Micros(), "read-p50-us")
+				b.ReportMetric(res.WriteRec.Percentile(50).Micros(), "write-p50-us")
+				b.ReportMetric(float64(res.StrongOK), "strong-ok")
+				b.ReportMetric(float64(res.Fallbacks), "fallbacks")
+			}
+		})
 	}
 }
 

@@ -21,6 +21,10 @@
 //   - ReadExecutor executes read-only requests against current state with
 //     no side effects, enabling the unordered read fast path (f+1 quorum
 //     reads that skip consensus entirely).
+//   - Versioned / VersionedReadExecutor expose per-key multi-versioning
+//     (the shared VersionedStore): reads answered as of an exact state
+//     version, enabling consistent snapshot scatter reads and linearizable
+//     strong reads on top of the fast path.
 package app
 
 import (
@@ -152,6 +156,55 @@ type ReadExecutor interface {
 	// ApplyRead executes req read-only; ok=false when req is not a request
 	// this store can answer off the ordered path (writes, unknown opcodes).
 	ApplyRead(req []byte) (res []byte, ok bool)
+}
+
+// Versioned is the MVCC capability: a state machine whose keyed state is
+// multi-versioned (backed by VersionedStore), letting the replica answer
+// reads as of past state versions. The replica layer drives the lifecycle:
+//
+//   - BeginSlot before applying each ordered command, with the state
+//     version that command produces (slot s => version s+1, the same
+//     numbering the fast-read floors speak);
+//   - PruneVersions at stable-checkpoint CREATION — not at the
+//     asynchronous prune — so the horizon is a deterministic function of
+//     the applied state and snapshot digests stay identical across
+//     replicas.
+type Versioned interface {
+	StateMachine
+	// BeginSlot sets the version stamp for the writes of the command about
+	// to be applied.
+	BeginSlot(version uint64)
+	// PruneVersions raises the GC horizon: versions older than the newest
+	// at-or-below-horizon one per key are dropped, and reads pinned below
+	// the horizon are refused from then on.
+	PruneVersions(horizon uint64)
+	// VersionHorizon returns the current GC horizon.
+	VersionHorizon() uint64
+	// VersionCount returns the total retained versions (bounded-memory
+	// regression surface).
+	VersionCount() int
+}
+
+// VersionedReadExecutor answers a read as of an exact state version — the
+// capability behind pinned snapshot scatter legs and strong reads. Every
+// correct replica with lastApplied >= at must produce byte-identical
+// results for the same (req, at), regardless of how far past `at` it has
+// executed; that is what makes pinned quorum digests matchable.
+//
+// Unlike ApplyRead, ApplyReadAt never answers StatusLocked: a read as of
+// version `at` is well-defined even while a transaction holds the key
+// (staged fragments are not part of any version). Instead txnCrossed
+// reports whether the read may straddle an in-flight or recently committed
+// transaction — some key is currently transaction-locked, or has a
+// transaction-installed version newer than `at` — which the shard layer's
+// consistent-cut rule turns into a chase or fallback. Plain single-key
+// writes never set it, so snapshot reads converge under write-heavy load.
+//
+// ok=false refuses the read: not a read-only request, or `at` below the
+// store's GC horizon.
+type VersionedReadExecutor interface {
+	ReadExecutor
+	ApplyReadAt(req []byte, at uint64) (res []byte, txnCrossed bool, ok bool)
 }
 
 // ReadDigest fingerprints a read reply for the f+1 matching rule of the

@@ -1,8 +1,6 @@
 package app
 
 import (
-	"sort"
-
 	"repro/internal/sim"
 	"repro/internal/wire"
 )
@@ -13,9 +11,11 @@ import (
 // capability redesign added the multi-key MSET/MGET surface plus the full
 // shard-layer capability set (Router, Fragmenter, TxnParticipant via the
 // embedded LockTable), so a sharded Memcached deployment gets cross-shard
-// reads and atomic cross-shard writes like the Redis-style store.
+// reads and atomic cross-shard writes like the Redis-style store. Keyed
+// state lives in a VersionedStore, so pinned snapshot reads and strong
+// reads can answer as of any state version above the GC horizon.
 type KV struct {
-	m        map[string][]byte
+	vs       *VersionedStore
 	maxItems int
 	// keys in insertion order for deterministic eviction.
 	order []string
@@ -54,7 +54,7 @@ const kvMultiMax = 1024
 
 // NewKV creates a store bounded to maxItems entries (0 = unbounded).
 func NewKV(maxItems int) *KV {
-	kv := &KV{m: make(map[string][]byte), maxItems: maxItems}
+	kv := &KV{vs: NewVersionedStore(), maxItems: maxItems}
 	kv.LockTable = NewLockTable(kv.writeFragmentKeys, kv.installFragment, kv.Apply)
 	return kv
 }
@@ -127,7 +127,7 @@ func (kv *KV) Apply(req []byte) []byte {
 		if kv.Locked(key) {
 			return kv.ParkOrRefuse([][]byte{key}, req)
 		}
-		kv.set(string(key), val)
+		kv.set(string(key), val, false)
 		return []byte{KVStored}
 	case KVDelete:
 		key := rd.Bytes()
@@ -138,10 +138,10 @@ func (kv *KV) Apply(req []byte) []byte {
 			return kv.ParkOrRefuse([][]byte{key}, req)
 		}
 		k := string(key)
-		if _, ok := kv.m[k]; !ok {
+		if !kv.vs.Has(k) {
 			return []byte{KVNotFound}
 		}
-		delete(kv.m, k)
+		kv.vs.Delete(k)
 		for i, o := range kv.order {
 			if o == k {
 				kv.order = append(kv.order[:i], kv.order[i+1:]...)
@@ -162,7 +162,7 @@ func (kv *KV) Apply(req []byte) []byte {
 			return kv.ParkOrRefuse(keys, req)
 		}
 		for _, p := range pairs {
-			kv.set(string(p.Key), p.Val)
+			kv.set(string(p.Key), p.Val, false)
 		}
 		// Multi-key ops speak the generic status vocabulary, so the ack is
 		// identical whether the write ran on one shard or as a cross-shard
@@ -187,17 +187,23 @@ func (kv *KV) Apply(req []byte) []byte {
 	}
 }
 
-// set installs one key/value pair with the eviction bookkeeping.
-func (kv *KV) set(k string, val []byte) {
-	if _, exists := kv.m[k]; !exists {
+// set installs one key/value pair with the eviction bookkeeping. txn marks
+// the version as installed by a committed transaction fragment, which is
+// what pinned snapshot reads chase.
+func (kv *KV) set(k string, val []byte, txn bool) {
+	if !kv.vs.Has(k) {
 		kv.order = append(kv.order, k)
 		if kv.maxItems > 0 && len(kv.order) > kv.maxItems {
 			evict := kv.order[0]
 			kv.order = kv.order[1:]
-			delete(kv.m, evict)
+			kv.vs.Delete(evict)
 		}
 	}
-	kv.m[k] = val
+	if txn {
+		kv.vs.SetTxn(k, val)
+	} else {
+		kv.vs.Set(k, val)
+	}
 }
 
 // ApplyRead implements ReadExecutor: GETs and multi-key GETs execute
@@ -218,7 +224,7 @@ func (kv *KV) ApplyRead(req []byte) ([]byte, bool) {
 		if rd.Done() != nil {
 			return []byte{KVBadReq}, true
 		}
-		v, ok := kv.m[string(key)]
+		v, ok := kv.vs.Get(string(key))
 		if !ok {
 			return []byte{KVMiss}, true
 		}
@@ -242,7 +248,7 @@ func (kv *KV) ApplyRead(req []byte) ([]byte, bool) {
 			return []byte{StatusLocked}, true
 		}
 		return encodeKeyedReads(len(keys), func(i int) (bool, []byte) {
-			v, ok := kv.m[string(keys[i])]
+			v, ok := kv.vs.Get(string(keys[i]))
 			return ok, v
 		}), true
 	default:
@@ -250,12 +256,73 @@ func (kv *KV) ApplyRead(req []byte) ([]byte, bool) {
 	}
 }
 
+// ApplyReadAt implements VersionedReadExecutor: GETs and multi-key GETs
+// answered as of state version at. Unlike ApplyRead it proceeds under
+// transaction locks (a pinned version is well-defined regardless) and
+// instead reports txnCrossed when the read may straddle a transaction.
+func (kv *KV) ApplyReadAt(req []byte, at uint64) ([]byte, bool, bool) {
+	if len(req) == 0 || at < kv.vs.Horizon() {
+		return nil, false, false
+	}
+	rd := wire.NewReader(req)
+	switch rd.U8() {
+	case KVGet:
+		key := rd.BytesView()
+		if rd.Done() != nil {
+			return []byte{KVBadReq}, false, true
+		}
+		crossed := kv.keyCrossed(key, at)
+		v, ok := kv.vs.GetAt(string(key), at)
+		if !ok {
+			return []byte{KVMiss}, crossed, true
+		}
+		w := wire.NewWriter(4 + len(v))
+		w.U8(KVOK)
+		w.Bytes(v)
+		return w.Finish(), crossed, true
+	case KVMGet:
+		n, ok := readCount(rd, kvMultiMax)
+		if !ok {
+			return []byte{KVBadReq}, false, true
+		}
+		keys := make([][]byte, 0, n)
+		for i := 0; i < n; i++ {
+			keys = append(keys, rd.BytesView())
+		}
+		if rd.Done() != nil {
+			return []byte{KVBadReq}, false, true
+		}
+		crossed := false
+		for _, k := range keys {
+			if kv.keyCrossed(k, at) {
+				crossed = true
+				break
+			}
+		}
+		return encodeKeyedReads(len(keys), func(i int) (bool, []byte) {
+			v, ok := kv.vs.GetAt(string(keys[i]), at)
+			return ok, v
+		}), crossed, true
+	default:
+		return nil, false, false
+	}
+}
+
+// keyCrossed is the per-key consistent-cut rule: the key is currently
+// transaction-locked, or a transaction installed a version after the pin.
+func (kv *KV) keyCrossed(key []byte, at uint64) bool {
+	return kv.Locked(key) || kv.vs.TxnTouched(string(key), at)
+}
+
 // Keys implements Router.
 func (kv *KV) Keys(req []byte) ([][]byte, error) { return KVRequestKeys(req) }
 
 // ReadOnly implements Fragmenter: multi-key GETs scatter-gather, multi-key
-// SETs run 2PC.
-func (kv *KV) ReadOnly(req []byte) bool { return len(req) > 0 && req[0] == KVMGet }
+// SETs run 2PC. Single-key GETs are read-only too — they never span
+// shards, but classifying them here routes point reads onto the fast path.
+func (kv *KV) ReadOnly(req []byte) bool {
+	return len(req) > 0 && (req[0] == KVMGet || req[0] == KVGet)
+}
 
 // Fragment implements Fragmenter.
 func (kv *KV) Fragment(req []byte, keyIdx []int) ([]byte, error) {
@@ -302,28 +369,26 @@ func (kv *KV) installFragment(frag []byte) []byte {
 		return nil
 	}
 	for _, p := range pairs {
-		kv.set(string(p.Key), p.Val)
+		kv.set(string(p.Key), p.Val, true)
 	}
 	return nil
 }
 
 // Len returns the number of stored items.
-func (kv *KV) Len() int { return len(kv.m) }
+func (kv *KV) Len() int { return kv.vs.Len() }
 
-// Snapshot serializes the store deterministically (sorted keys), including
-// the embedded LockTable.
+// Versioned capability: the replica stamps every ordered command's writes
+// and ratchets the GC horizon at stable-checkpoint creation.
+func (kv *KV) BeginSlot(v uint64)     { kv.vs.BeginSlot(v) }
+func (kv *KV) PruneVersions(h uint64) { kv.vs.Ratchet(h) }
+func (kv *KV) VersionHorizon() uint64 { return kv.vs.Horizon() }
+func (kv *KV) VersionCount() int      { return kv.vs.VersionCount() }
+
+// Snapshot serializes the store deterministically (version chains with the
+// GC horizon, sorted keys), including the embedded LockTable.
 func (kv *KV) Snapshot() []byte {
-	keys := make([]string, 0, len(kv.m))
-	for k := range kv.m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	w := wire.NewWriter(64 * (len(keys) + 1))
-	w.Uvarint(uint64(len(keys)))
-	for _, k := range keys {
-		w.String(k)
-		w.Bytes(kv.m[k])
-	}
+	w := wire.NewWriter(64 * (kv.vs.Len() + 1))
+	kv.vs.SnapshotTo(w)
 	// Preserve the eviction order too.
 	w.Uvarint(uint64(len(kv.order)))
 	for _, k := range kv.order {
@@ -336,12 +401,7 @@ func (kv *KV) Snapshot() []byte {
 // Restore replaces the store from a snapshot.
 func (kv *KV) Restore(snap []byte) {
 	rd := wire.NewReader(snap)
-	n := int(rd.Uvarint())
-	kv.m = make(map[string][]byte, n)
-	for i := 0; i < n; i++ {
-		k := rd.String()
-		kv.m[k] = rd.Bytes()
-	}
+	kv.vs.RestoreFrom(rd)
 	no := int(rd.Uvarint())
 	kv.order = make([]string, 0, no)
 	for i := 0; i < no; i++ {

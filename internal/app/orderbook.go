@@ -20,8 +20,15 @@ import (
 // shards), and multi-symbol top-of-book reads (OpTops, scatter-gathered
 // across shards). The legacy symbol-less opcodes operate on the default
 // "" symbol, preserving the paper-workload behavior bit for bit.
+//
+// The books themselves are matched in place (versioning a full limit order
+// book per write would be prohibitive); what is versioned is the read
+// surface: a materialized symbol -> top-of-book view in a VersionedStore,
+// refreshed after every book mutation, so pinned snapshot reads and strong
+// reads answer OpTops as of any state version above the GC horizon.
 type OrderBook struct {
 	books map[string]*book
+	tops  *VersionedStore // symbol -> topsEntry blob, one version per mutation
 	*LockTable
 }
 
@@ -127,7 +134,7 @@ func EncodeTops(syms ...[]byte) []byte {
 
 // NewOrderBook creates an empty matching engine.
 func NewOrderBook() *OrderBook {
-	ob := &OrderBook{books: make(map[string]*book)}
+	ob := &OrderBook{books: make(map[string]*book), tops: NewVersionedStore()}
 	ob.LockTable = NewLockTable(ob.writeFragmentKeys, ob.installFragment, ob.Apply)
 	return ob
 }
@@ -184,6 +191,7 @@ func (ob *OrderBook) Apply(req []byte) []byte {
 			return ob.ParkOrRefuse([][]byte{nil}, req)
 		}
 		id, remaining, fills := ob.book("").place(op, price, qty)
+		ob.noteTops(nil, false)
 		return encodeOrderResp(id, remaining, fills, true)
 	case OpCancel:
 		id := rd.U64()
@@ -195,6 +203,7 @@ func (ob *OrderBook) Apply(req []byte) []byte {
 		}
 		b := ob.book("")
 		ok := cancelFrom(&b.bids, id) || cancelFrom(&b.asks, id)
+		ob.noteTops(nil, false)
 		return encodeOrderResp(id, 0, nil, ok)
 	case OpOrderSym:
 		sym := rd.Bytes()
@@ -208,6 +217,7 @@ func (ob *OrderBook) Apply(req []byte) []byte {
 			return ob.ParkOrRefuse([][]byte{sym}, req)
 		}
 		id, remaining, fills := ob.book(string(sym)).place(side, price, qty)
+		ob.noteTops(sym, false)
 		return encodeOrderResp(id, remaining, fills, true)
 	case OpPair:
 		legs, err := decodePairLegs(rd)
@@ -221,6 +231,7 @@ func (ob *OrderBook) Apply(req []byte) []byte {
 		w.U8(StatusOK)
 		for _, leg := range legs {
 			id, remaining, fills := ob.book(string(leg.Sym)).place(leg.Side, leg.Price, leg.Qty)
+			ob.noteTops(leg.Sym, false)
 			w.Bytes(encodeOrderResp(id, remaining, fills, true))
 		}
 		return w.Finish()
@@ -243,6 +254,28 @@ func (ob *OrderBook) Apply(req []byte) []byte {
 		return encodeOrderResp(0, 0, nil, false)
 	}
 }
+
+// noteTops refreshes the versioned top-of-book view of one symbol after a
+// book mutation (txn marks a transaction-installed version). Every book
+// write funnels through here, so the newest view version always equals the
+// live topsEntry — the invariant pinned reads rely on.
+func (ob *OrderBook) noteTops(sym []byte, txn bool) {
+	e := ob.topsEntry(sym)
+	if txn {
+		ob.tops.SetTxn(string(sym), e)
+	} else {
+		ob.tops.Set(string(sym), e)
+	}
+}
+
+// emptyTops is the top-of-book blob of a symbol with no book (no bid, no
+// ask) — what a pinned read answers for a symbol that did not exist yet.
+var emptyTops = func() []byte {
+	w := wire.NewWriter(4)
+	w.Bool(false)
+	w.Bool(false)
+	return w.Finish()
+}()
 
 // topsEntry encodes one symbol's best bid/ask blob: Bool(hasBid) +
 // price/qty, Bool(hasAsk) + price/qty.
@@ -476,6 +509,50 @@ func (ob *OrderBook) ApplyRead(req []byte) ([]byte, bool) {
 	}), true
 }
 
+// ApplyReadAt implements VersionedReadExecutor: top-of-book reads answered
+// as of state version at, from the versioned view. Unlike ApplyRead it
+// proceeds under transaction locks (a pinned version is well-defined
+// regardless) and instead reports txnCrossed when the read may straddle a
+// pair transaction.
+func (ob *OrderBook) ApplyReadAt(req []byte, at uint64) ([]byte, bool, bool) {
+	if len(req) == 0 || req[0] != OpTops || at < ob.tops.Horizon() {
+		return nil, false, false
+	}
+	rd := wire.NewReader(req)
+	rd.U8()
+	n, ok := readCount(rd, obTopsMax)
+	if !ok {
+		return []byte{StatusBadReq}, false, true
+	}
+	syms := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		syms = append(syms, rd.BytesView())
+	}
+	if rd.Done() != nil {
+		return []byte{StatusBadReq}, false, true
+	}
+	crossed := false
+	for _, sym := range syms {
+		if ob.Locked(sym) || ob.tops.TxnTouched(string(sym), at) {
+			crossed = true
+			break
+		}
+	}
+	return encodeKeyedReads(len(syms), func(i int) (bool, []byte) {
+		if v, ok := ob.tops.GetAt(string(syms[i]), at); ok {
+			return true, v
+		}
+		return true, emptyTops
+	}), crossed, true
+}
+
+// Versioned capability: the replica stamps every ordered command's writes
+// and ratchets the GC horizon at stable-checkpoint creation.
+func (ob *OrderBook) BeginSlot(v uint64)     { ob.tops.BeginSlot(v) }
+func (ob *OrderBook) PruneVersions(h uint64) { ob.tops.Ratchet(h) }
+func (ob *OrderBook) VersionHorizon() uint64 { return ob.tops.Horizon() }
+func (ob *OrderBook) VersionCount() int      { return ob.tops.VersionCount() }
+
 // ReadOnly implements Fragmenter: top-of-book reads scatter-gather, pair
 // orders run 2PC.
 func (ob *OrderBook) ReadOnly(req []byte) bool { return len(req) > 0 && req[0] == OpTops }
@@ -561,6 +638,7 @@ func (ob *OrderBook) installFragment(frag []byte) []byte {
 			return nil
 		}
 		id, remaining, fills := ob.book(string(sym)).place(side, price, qty)
+		ob.noteTops(sym, false)
 		return encodeOrderResp(id, remaining, fills, true)
 	case OpPair:
 		legs, err := decodePairLegs(rd)
@@ -601,6 +679,7 @@ func (ob *OrderBook) Snapshot() []byte {
 			}
 		}
 	}
+	ob.tops.SnapshotTo(w)
 	ob.SnapshotTo(w)
 	return w.Finish()
 }
@@ -625,6 +704,7 @@ func (ob *OrderBook) Restore(snap []byte) {
 		b.asks = read()
 		ob.books[s] = b
 	}
+	ob.tops.RestoreFrom(rd)
 	ob.RestoreFrom(rd)
 }
 

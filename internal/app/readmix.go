@@ -19,6 +19,7 @@ type ReadMixKVWorkload struct {
 	readFrac float64
 	keyLen   int
 	valLen   int
+	points   bool // reads are single-key KVGet point reads
 	written  [][]byte
 }
 
@@ -28,11 +29,23 @@ func NewReadMixKVWorkload(shard, shards int, readFrac float64, rng *rand.Rand) *
 	return &ReadMixKVWorkload{rng: rng, shard: shard, shards: shards, readFrac: readFrac, keyLen: 16, valLen: 32}
 }
 
+// NewPointReadMixKVWorkload is the same mix with single-key KVGet point
+// reads instead of multi-key KVMGets — the smallest request the fast read
+// path serves (no fragment/merge framing at either end).
+func NewPointReadMixKVWorkload(shard, shards int, readFrac float64, rng *rand.Rand) *ReadMixKVWorkload {
+	w := NewReadMixKVWorkload(shard, shards, readFrac, rng)
+	w.points = true
+	return w
+}
+
 // Next returns the next request. Until the first write lands in the pool
 // the stream is all writes, so reads always target plausible keys.
 func (w *ReadMixKVWorkload) Next() []byte {
 	if len(w.written) > 0 && w.rng.Float64() < w.readFrac {
 		k1 := w.written[w.rng.Intn(len(w.written))]
+		if w.points {
+			return EncodeKVGet(k1)
+		}
 		if w.rng.Intn(2) == 0 {
 			return EncodeKVMGet(k1)
 		}

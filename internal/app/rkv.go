@@ -1,7 +1,6 @@
 package app
 
 import (
-	"sort"
 	"strconv"
 
 	"repro/internal/sim"
@@ -15,9 +14,11 @@ import (
 // Fragmenter (MGET scatter-gather and RMSet splitting) and TxnParticipant
 // (cross-shard 2PC through the embedded LockTable, which carries locks,
 // staged fragments, tombstones and the wait queue through
-// Snapshot/Restore).
+// Snapshot/Restore). Keyed state lives in a VersionedStore, so pinned
+// snapshot reads and strong reads can answer as of any state version
+// above the GC horizon.
 type RKV struct {
-	m map[string][]byte
+	vs *VersionedStore
 	*LockTable
 }
 
@@ -66,7 +67,7 @@ type RPair = Pair
 
 // NewRKV creates an empty store.
 func NewRKV() *RKV {
-	r := &RKV{m: make(map[string][]byte)}
+	r := &RKV{vs: NewVersionedStore()}
 	r.LockTable = NewLockTable(r.writeFragmentKeys, r.installFragment, r.Apply)
 	return r
 }
@@ -171,7 +172,7 @@ func (r *RKV) Apply(req []byte) []byte {
 		if r.Locked(key) {
 			return r.ParkOrRefuse([][]byte{key}, req)
 		}
-		r.m[string(key)] = val
+		r.vs.Set(string(key), val)
 		return []byte{ROK}
 	case RDel:
 		key := rd.Bytes()
@@ -181,10 +182,10 @@ func (r *RKV) Apply(req []byte) []byte {
 		if r.Locked(key) {
 			return r.ParkOrRefuse([][]byte{key}, req)
 		}
-		if _, ok := r.m[string(key)]; !ok {
+		if !r.vs.Has(string(key)) {
 			return []byte{RMiss}
 		}
-		delete(r.m, string(key))
+		r.vs.Delete(string(key))
 		return []byte{ROK}
 	case RIncr:
 		key := rd.Bytes()
@@ -195,7 +196,7 @@ func (r *RKV) Apply(req []byte) []byte {
 			return r.ParkOrRefuse([][]byte{key}, req)
 		}
 		cur := int64(0)
-		if v, ok := r.m[string(key)]; ok {
+		if v, ok := r.vs.Get(string(key)); ok {
 			n, err := strconv.ParseInt(string(v), 10, 64)
 			if err != nil {
 				return []byte{RErr}
@@ -203,7 +204,7 @@ func (r *RKV) Apply(req []byte) []byte {
 			cur = n
 		}
 		cur++
-		r.m[string(key)] = []byte(strconv.FormatInt(cur, 10))
+		r.vs.Set(string(key), []byte(strconv.FormatInt(cur, 10)))
 		w := wire.NewWriter(16)
 		w.U8(ROK)
 		w.I64(cur)
@@ -217,10 +218,13 @@ func (r *RKV) Apply(req []byte) []byte {
 		if r.Locked(key) {
 			return r.ParkOrRefuse([][]byte{key}, req)
 		}
-		r.m[k] = append(r.m[k], val...)
+		old, _ := r.vs.Get(k)
+		grown := make([]byte, 0, len(old)+len(val))
+		grown = append(append(grown, old...), val...)
+		r.vs.Set(k, grown)
 		w := wire.NewWriter(16)
 		w.U8(ROK)
-		w.Uvarint(uint64(len(r.m[k])))
+		w.Uvarint(uint64(len(grown)))
 		return w.Finish()
 	case RExists:
 		res, _ := r.ApplyRead(req)
@@ -258,7 +262,7 @@ func (r *RKV) Apply(req []byte) []byte {
 			return r.ParkOrRefuse(keys, req)
 		}
 		for _, p := range pairs {
-			r.m[string(p.Key)] = p.Val
+			r.vs.Set(string(p.Key), p.Val)
 		}
 		return []byte{ROK}
 	default:
@@ -283,7 +287,7 @@ func (r *RKV) ApplyRead(req []byte) ([]byte, bool) {
 		if rd.Done() != nil {
 			return []byte{RBadReq}, true
 		}
-		v, ok := r.m[string(key)]
+		v, ok := r.vs.Get(string(key))
 		if !ok {
 			return []byte{RMiss}, true
 		}
@@ -296,7 +300,7 @@ func (r *RKV) ApplyRead(req []byte) ([]byte, bool) {
 		if rd.Done() != nil {
 			return []byte{RBadReq}, true
 		}
-		_, ok := r.m[string(key)]
+		ok := r.vs.Has(string(key))
 		w := wire.NewWriter(4)
 		w.U8(ROK)
 		w.Bool(ok)
@@ -317,7 +321,7 @@ func (r *RKV) ApplyRead(req []byte) ([]byte, bool) {
 			return []byte{StatusLocked}, true
 		}
 		return encodeKeyedReads(len(keys), func(i int) (bool, []byte) {
-			v, ok := r.m[string(keys[i])]
+			v, ok := r.vs.Get(string(keys[i]))
 			return ok, v
 		}), true
 	default:
@@ -330,7 +334,14 @@ func (r *RKV) ApplyRead(req []byte) ([]byte, bool) {
 func (r *RKV) Keys(req []byte) ([][]byte, error) { return RKVRequestKeys(req) }
 
 // ReadOnly implements Fragmenter: MGETs scatter-gather, RMSets run 2PC.
-func (r *RKV) ReadOnly(req []byte) bool { return len(req) > 0 && req[0] == RMGet }
+// Single-key GET/EXISTS are read-only too — they never span shards, but
+// classifying them here routes point reads onto the fast path.
+func (r *RKV) ReadOnly(req []byte) bool {
+	if len(req) == 0 {
+		return false
+	}
+	return req[0] == RMGet || req[0] == RGet || req[0] == RExists
+}
 
 // Fragment implements Fragmenter: re-encode the request restricted to the
 // keys at the given indices.
@@ -379,29 +390,97 @@ func (r *RKV) installFragment(frag []byte) []byte {
 		return nil
 	}
 	for _, p := range pairs {
-		r.m[string(p.Key)] = p.Val
+		r.vs.SetTxn(string(p.Key), p.Val)
 	}
 	return nil
 }
 
 // Len returns the number of keys.
-func (r *RKV) Len() int { return len(r.m) }
+func (r *RKV) Len() int { return r.vs.Len() }
 
-// Snapshot serializes the store deterministically, including the embedded
-// LockTable (a replica restored via state transfer must agree on in-flight
-// transactions and parked requests, not just committed data).
+// Versioned capability: the replica stamps every ordered command's writes
+// and ratchets the GC horizon at stable-checkpoint creation.
+func (r *RKV) BeginSlot(v uint64)     { r.vs.BeginSlot(v) }
+func (r *RKV) PruneVersions(h uint64) { r.vs.Ratchet(h) }
+func (r *RKV) VersionHorizon() uint64 { return r.vs.Horizon() }
+func (r *RKV) VersionCount() int      { return r.vs.VersionCount() }
+
+// ApplyReadAt implements VersionedReadExecutor: GET, EXISTS and MGET
+// answered as of state version at. Unlike ApplyRead it proceeds under
+// transaction locks (a pinned version is well-defined regardless) and
+// instead reports txnCrossed when the read may straddle a transaction.
+func (r *RKV) ApplyReadAt(req []byte, at uint64) ([]byte, bool, bool) {
+	if len(req) == 0 || at < r.vs.Horizon() {
+		return nil, false, false
+	}
+	rd := wire.NewReader(req)
+	switch rd.U8() {
+	case RGet:
+		key := rd.BytesView()
+		if rd.Done() != nil {
+			return []byte{RBadReq}, false, true
+		}
+		crossed := r.keyCrossed(key, at)
+		v, ok := r.vs.GetAt(string(key), at)
+		if !ok {
+			return []byte{RMiss}, crossed, true
+		}
+		w := wire.NewWriter(4 + len(v))
+		w.U8(ROK)
+		w.Bytes(v)
+		return w.Finish(), crossed, true
+	case RExists:
+		key := rd.BytesView()
+		if rd.Done() != nil {
+			return []byte{RBadReq}, false, true
+		}
+		crossed := r.keyCrossed(key, at)
+		_, ok := r.vs.GetAt(string(key), at)
+		w := wire.NewWriter(4)
+		w.U8(ROK)
+		w.Bool(ok)
+		return w.Finish(), crossed, true
+	case RMGet:
+		n, ok := readCount(rd, rkvMGetMax)
+		if !ok {
+			return []byte{RBadReq}, false, true
+		}
+		keys := make([][]byte, 0, n)
+		for i := 0; i < n; i++ {
+			keys = append(keys, rd.BytesView())
+		}
+		if rd.Done() != nil {
+			return []byte{RBadReq}, false, true
+		}
+		crossed := false
+		for _, k := range keys {
+			if r.keyCrossed(k, at) {
+				crossed = true
+				break
+			}
+		}
+		return encodeKeyedReads(len(keys), func(i int) (bool, []byte) {
+			v, ok := r.vs.GetAt(string(keys[i]), at)
+			return ok, v
+		}), crossed, true
+	default:
+		return nil, false, false
+	}
+}
+
+// keyCrossed is the per-key consistent-cut rule: the key is currently
+// transaction-locked, or a transaction installed a version after the pin.
+func (r *RKV) keyCrossed(key []byte, at uint64) bool {
+	return r.Locked(key) || r.vs.TxnTouched(string(key), at)
+}
+
+// Snapshot serializes the store deterministically (version chains with the
+// GC horizon, sorted keys), including the embedded LockTable (a replica
+// restored via state transfer must agree on in-flight transactions and
+// parked requests, not just committed data).
 func (r *RKV) Snapshot() []byte {
-	keys := make([]string, 0, len(r.m))
-	for k := range r.m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	w := wire.NewWriter(64 * (len(keys) + 1))
-	w.Uvarint(uint64(len(keys)))
-	for _, k := range keys {
-		w.String(k)
-		w.Bytes(r.m[k])
-	}
+	w := wire.NewWriter(64 * (r.vs.Len() + 1))
+	r.vs.SnapshotTo(w)
 	r.SnapshotTo(w)
 	return w.Finish()
 }
@@ -409,12 +488,7 @@ func (r *RKV) Snapshot() []byte {
 // Restore replaces the store from a snapshot.
 func (r *RKV) Restore(snap []byte) {
 	rd := wire.NewReader(snap)
-	n := int(rd.Uvarint())
-	r.m = make(map[string][]byte, n)
-	for i := 0; i < n; i++ {
-		k := rd.String()
-		r.m[k] = rd.Bytes()
-	}
+	r.vs.RestoreFrom(rd)
 	r.RestoreFrom(rd)
 }
 

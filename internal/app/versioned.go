@@ -1,0 +1,235 @@
+package app
+
+import (
+	"sort"
+
+	"repro/internal/wire"
+)
+
+// VersionedStore is the shared MVCC substrate of the keyed applications:
+// every key maps to an ascending chain of (stamp, value) versions, where a
+// version's stamp is the state version that first includes it (a command
+// executed in slot s produces state version s+1, the same numbering the
+// read fast path's floors and frontiers already speak). On top of the
+// chains the store answers two read shapes:
+//
+//   - Get: the newest version — what the ordered path and the unpinned
+//     fast path read.
+//   - GetAt(at): the state as of an exact version `at` — what pinned
+//     snapshot reads and strong reads use. Every correct replica with
+//     lastApplied >= at answers GetAt(at) identically, which is what makes
+//     pinned quorum digests matchable regardless of replica skew.
+//
+// Versions written while installing a staged transaction fragment carry a
+// txn flag; TxnTouched reports whether a key saw transactional writes
+// after a pin, which is how a pinned read detects that it may straddle a
+// cross-shard commit (the shard layer's consistent-cut rule).
+//
+// Chains are garbage-collected by a horizon ratcheted at stable-checkpoint
+// creation (deterministically: same applied state, same horizon on every
+// correct replica — the horizon travels through Snapshot/Restore). The
+// ratchet keeps, per key, the newest version at or below the horizon (it
+// is still visible to every readable pin) and drops everything older, so
+// retained versions are bounded by live keys plus the writes of the last
+// two checkpoint windows; reads below the horizon are refused and fall
+// back to the ordered path.
+type VersionedStore struct {
+	chains  map[string][]version
+	cur     uint64 // stamp applied to writes (set by BeginSlot)
+	horizon uint64 // oldest readable state version
+	live    int    // keys whose newest version is present
+}
+
+// version is one link of a key's chain.
+type version struct {
+	stamp   uint64
+	val     []byte
+	present bool // false = tombstone (delete)
+	txn     bool // installed by a staged transaction fragment
+}
+
+// NewVersionedStore creates an empty store.
+func NewVersionedStore() *VersionedStore {
+	return &VersionedStore{chains: make(map[string][]version)}
+}
+
+// BeginSlot sets the stamp for subsequent writes: the state version the
+// currently executing command produces (slot s => version s+1). The
+// replica calls it before applying each ordered command.
+func (vs *VersionedStore) BeginSlot(v uint64) { vs.cur = v }
+
+// Horizon returns the oldest state version the store can still answer.
+func (vs *VersionedStore) Horizon() uint64 { return vs.horizon }
+
+// Get returns the current value of a key.
+func (vs *VersionedStore) Get(k string) ([]byte, bool) {
+	ch := vs.chains[k]
+	if len(ch) == 0 || !ch[len(ch)-1].present {
+		return nil, false
+	}
+	return ch[len(ch)-1].val, true
+}
+
+// Has reports whether the key currently holds a value.
+func (vs *VersionedStore) Has(k string) bool {
+	ch := vs.chains[k]
+	return len(ch) > 0 && ch[len(ch)-1].present
+}
+
+// GetAt returns the value of a key as of state version at (the newest
+// version with stamp <= at). The caller is responsible for refusing reads
+// below Horizon; GetAt itself just walks the chain.
+func (vs *VersionedStore) GetAt(k string, at uint64) ([]byte, bool) {
+	ch := vs.chains[k]
+	for i := len(ch) - 1; i >= 0; i-- {
+		if ch[i].stamp <= at {
+			if !ch[i].present {
+				return nil, false
+			}
+			return ch[i].val, true
+		}
+	}
+	return nil, false
+}
+
+// TxnTouched reports whether the key has a transaction-installed version
+// newer than the pin `after` — the MVCC half of the consistent-cut rule
+// (the other half, a currently staged lock, lives in the LockTable).
+func (vs *VersionedStore) TxnTouched(k string, after uint64) bool {
+	ch := vs.chains[k]
+	for i := len(ch) - 1; i >= 0; i-- {
+		if ch[i].stamp <= after {
+			return false
+		}
+		if ch[i].txn {
+			return true
+		}
+	}
+	return false
+}
+
+// Set writes a value at the current stamp.
+func (vs *VersionedStore) Set(k string, val []byte) { vs.write(k, val, true, false) }
+
+// SetTxn writes a value at the current stamp, flagged as installed by a
+// committed transaction fragment.
+func (vs *VersionedStore) SetTxn(k string, val []byte) { vs.write(k, val, true, true) }
+
+// Delete writes a tombstone at the current stamp.
+func (vs *VersionedStore) Delete(k string) { vs.write(k, nil, false, false) }
+
+// write appends (or, within one slot, replaces) the newest version of k.
+func (vs *VersionedStore) write(k string, val []byte, present, txn bool) {
+	ch := vs.chains[k]
+	was := len(ch) > 0 && ch[len(ch)-1].present
+	if n := len(ch); n > 0 && ch[n-1].stamp == vs.cur {
+		// Several writes in one slot collapse to one version; the txn flag
+		// is sticky so a same-slot overwrite cannot hide a commit from
+		// TxnTouched.
+		ch[n-1].val, ch[n-1].present, ch[n-1].txn = val, present, txn || ch[n-1].txn
+	} else {
+		ch = append(ch, version{stamp: vs.cur, val: val, present: present, txn: txn})
+		vs.chains[k] = ch
+	}
+	if present != was {
+		if present {
+			vs.live++
+		} else {
+			vs.live--
+		}
+	}
+}
+
+// Ratchet raises the GC horizon and compacts every chain: per key the
+// newest version with stamp <= horizon survives (every readable pin still
+// resolves to it), everything older is dropped, and a chain whose only
+// survivor is a tombstone disappears entirely.
+func (vs *VersionedStore) Ratchet(horizon uint64) {
+	if horizon <= vs.horizon {
+		return
+	}
+	vs.horizon = horizon
+	for k, ch := range vs.chains {
+		keep := 0
+		for i := len(ch) - 1; i >= 0; i-- {
+			if ch[i].stamp <= horizon {
+				keep = i
+				break
+			}
+		}
+		if keep > 0 {
+			ch = append(ch[:0], ch[keep:]...)
+		}
+		if len(ch) == 1 && !ch[0].present && ch[0].stamp <= horizon {
+			delete(vs.chains, k)
+			continue
+		}
+		vs.chains[k] = ch
+	}
+}
+
+// Len returns the number of keys currently holding a value.
+func (vs *VersionedStore) Len() int { return vs.live }
+
+// VersionCount returns the total number of retained versions across all
+// chains — the bounded-memory regression surface.
+func (vs *VersionedStore) VersionCount() int {
+	n := 0
+	for _, ch := range vs.chains {
+		n += len(ch)
+	}
+	return n
+}
+
+// SnapshotTo serializes the store deterministically (sorted keys, chains
+// in stamp order), horizon included — a restored replica refuses exactly
+// the pins the snapshotting replica would have.
+func (vs *VersionedStore) SnapshotTo(w *wire.Writer) {
+	w.U64(vs.horizon)
+	keys := make([]string, 0, len(vs.chains))
+	for k := range vs.chains {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.Uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		ch := vs.chains[k]
+		w.String(k)
+		w.Uvarint(uint64(len(ch)))
+		for _, v := range ch {
+			w.U64(v.stamp)
+			flags := uint8(0)
+			if v.present {
+				flags |= 1
+			}
+			if v.txn {
+				flags |= 2
+			}
+			w.U8(flags)
+			w.Bytes(v.val)
+		}
+	}
+}
+
+// RestoreFrom rebuilds the store from SnapshotTo's serialization.
+func (vs *VersionedStore) RestoreFrom(rd *wire.Reader) {
+	vs.horizon = rd.U64()
+	n := int(rd.Uvarint())
+	vs.chains = make(map[string][]version, n)
+	vs.live = 0
+	for i := 0; i < n; i++ {
+		k := rd.String()
+		cn := int(rd.Uvarint())
+		ch := make([]version, 0, cn)
+		for j := 0; j < cn; j++ {
+			stamp := rd.U64()
+			flags := rd.U8()
+			val := rd.Bytes()
+			ch = append(ch, version{stamp: stamp, val: val, present: flags&1 != 0, txn: flags&2 != 0})
+		}
+		vs.chains[k] = ch
+		if len(ch) > 0 && ch[len(ch)-1].present {
+			vs.live++
+		}
+	}
+}

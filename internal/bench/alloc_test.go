@@ -101,6 +101,47 @@ func TestFastReadAllocBudget(t *testing.T) {
 	}
 }
 
+// TestPointReadAllocBudget extends the read budget to the versioned
+// single-key point read (KVGet through the MVCC store): the smallest
+// request the fast path serves must stay in the same allocation class as
+// the multi-key read above — versioned chains must not add per-read
+// churn.
+func TestPointReadAllocBudget(t *testing.T) {
+	const budget = 45
+
+	d := shard.New(shard.Options{
+		Seed:      1,
+		NewApp:    func(int) app.StateMachine { return app.NewKV(0) },
+		FastReads: true,
+	})
+	defer d.Stop()
+	drive := func(payload []byte) {
+		fired := false
+		if _, err := d.Client(0).Invoke(payload, func([]byte, sim.Duration) { fired = true }); err != nil {
+			t.Fatal(err)
+		}
+		for !fired {
+			if !d.Eng.Step() {
+				t.Fatal("engine ran dry")
+			}
+		}
+	}
+	key := []byte("alloc-probe-key!")
+	drive(app.EncodeKVSet(key, []byte("value")))
+	read := app.EncodeKVGet(key)
+	for i := 0; i < 300; i++ {
+		drive(read)
+	}
+	avg := testing.AllocsPerRun(200, func() { drive(read) })
+	t.Logf("point read: %.1f allocs/request (budget %d)", avg, budget)
+	if avg > budget {
+		t.Errorf("point read allocates %.1f/request, budget is %d", avg, budget)
+	}
+	if fast, fb := d.Client(0).ReadStats(); fast == 0 || fb != 0 {
+		t.Fatalf("point reads did not stay on the fast path: fast=%d fallbacks=%d", fast, fb)
+	}
+}
+
 // TestWirePooledEncodeAllocFree asserts that steady-state encoding through
 // the writer pool is completely allocation-free.
 func TestWirePooledEncodeAllocFree(t *testing.T) {

@@ -23,12 +23,15 @@ import (
 
 // ReadMixResult is one row of the read-mix experiment.
 type ReadMixResult struct {
+	Label     string // workload name for the table
 	Shards    int
 	ReadFrac  float64 // configured read fraction
 	FastReads bool
+	Strong    bool // reads ride the linearizable 2f+1 strong mode
 	Completed int
 	Reads     int    // requests classified read-only (Fragmenter.ReadOnly)
 	FastOK    uint64 // reads answered by an unordered f+1 quorum
+	StrongOK  uint64 // reads answered by the full 2f+1 strong quorum
 	Fallbacks uint64 // reads that fell back to the ordered path
 	Decided   int    // slots decided across all groups (writes + fallbacks)
 	OpsPerSec float64
@@ -62,6 +65,7 @@ func runReadMix(d *shard.Deployment, wls []Workload, readOnly func([]byte) bool,
 	for _, c := range d.Clients {
 		fast, fb := c.ReadStats()
 		res.FastOK += fast
+		res.StrongOK += c.StrongReadStats()
 		res.Fallbacks += fb
 	}
 	if res.Elapsed > 0 && res.Completed > 0 {
@@ -71,13 +75,14 @@ func runReadMix(d *shard.Deployment, wls []Workload, readOnly func([]byte) bool,
 }
 
 // readMixDeployment assembles the S-shard deployment of the experiment.
-func readMixDeployment(seed int64, shards int, fast bool, newApp func(int) app.StateMachine) *shard.Deployment {
+func readMixDeployment(seed int64, shards int, fast, strong bool, newApp func(int) app.StateMachine) *shard.Deployment {
 	return shard.New(shard.Options{
-		Seed:       seed,
-		Shards:     shards,
-		NumClients: shards,
-		NewApp:     newApp,
-		FastReads:  fast,
+		Seed:        seed,
+		Shards:      shards,
+		NumClients:  shards,
+		NewApp:      newApp,
+		FastReads:   fast,
+		StrongReads: strong,
 	})
 }
 
@@ -90,14 +95,44 @@ func readOnlyOf(proto app.StateMachine) func([]byte) bool {
 // ReadMix runs the Memcached-style read mix: KVMGet reads over previously
 // written keys at the given fraction, KVSet writes otherwise.
 func ReadMix(seed int64, shards, outstanding, nPerClient int, readFrac float64, fast bool) ReadMixResult {
-	d := readMixDeployment(seed, shards, fast, func(int) app.StateMachine { return app.NewKV(0) })
+	d := readMixDeployment(seed, shards, fast, false, func(int) app.StateMachine { return app.NewKV(0) })
 	defer d.Stop()
 	wls := make([]Workload, shards)
 	for s := 0; s < shards; s++ {
 		wls[s] = app.NewReadMixKVWorkload(s, shards, readFrac, rand.New(rand.NewSource(seed+int64(s))))
 	}
 	res := runReadMix(d, wls, readOnlyOf(app.NewKV(0)), outstanding, nPerClient)
-	res.ReadFrac, res.FastReads = readFrac, fast
+	res.Label, res.ReadFrac, res.FastReads = "kv", readFrac, fast
+	return res
+}
+
+// ReadMixPoint runs the point-read mix: single-key KVGet reads at the
+// given fraction — the smallest fast-path request, no fragment/merge
+// framing at either end — against the same KVSet write stream.
+func ReadMixPoint(seed int64, shards, outstanding, nPerClient int, readFrac float64, fast bool) ReadMixResult {
+	d := readMixDeployment(seed, shards, fast, false, func(int) app.StateMachine { return app.NewKV(0) })
+	defer d.Stop()
+	wls := make([]Workload, shards)
+	for s := 0; s < shards; s++ {
+		wls[s] = app.NewPointReadMixKVWorkload(s, shards, readFrac, rand.New(rand.NewSource(seed+int64(s))))
+	}
+	res := runReadMix(d, wls, readOnlyOf(app.NewKV(0)), outstanding, nPerClient)
+	res.Label, res.ReadFrac, res.FastReads = "kv-point", readFrac, fast
+	return res
+}
+
+// ReadMixStrong runs the point-read mix in the linearizable strong mode:
+// acceptance needs all 2f+1 replicas to agree on (result, version), so
+// the row prices the strong guarantee against the f+1 fast path above it.
+func ReadMixStrong(seed int64, shards, outstanding, nPerClient int, readFrac float64) ReadMixResult {
+	d := readMixDeployment(seed, shards, false, true, func(int) app.StateMachine { return app.NewKV(0) })
+	defer d.Stop()
+	wls := make([]Workload, shards)
+	for s := 0; s < shards; s++ {
+		wls[s] = app.NewPointReadMixKVWorkload(s, shards, readFrac, rand.New(rand.NewSource(seed+int64(s))))
+	}
+	res := runReadMix(d, wls, readOnlyOf(app.NewKV(0)), outstanding, nPerClient)
+	res.Label, res.ReadFrac, res.Strong = "kv-strong", readFrac, true
 	return res
 }
 
@@ -107,19 +142,20 @@ func ReadMix(seed int64, shards, outstanding, nPerClient int, readFrac float64, 
 // makes it the headline case: ordered throughput is consensus-bound, so
 // skipping consensus for the read majority buys the largest factor.
 func ReadMixOrder(seed int64, shards, outstanding, nPerClient int, readFrac float64, fast bool) ReadMixResult {
-	d := readMixDeployment(seed, shards, fast, func(int) app.StateMachine { return app.NewOrderBook() })
+	d := readMixDeployment(seed, shards, fast, false, func(int) app.StateMachine { return app.NewOrderBook() })
 	defer d.Stop()
 	wls := make([]Workload, shards)
 	for s := 0; s < shards; s++ {
 		wls[s] = app.NewReadMixOrderWorkload(s, shards, readFrac, rand.New(rand.NewSource(seed+int64(s))))
 	}
 	res := runReadMix(d, wls, readOnlyOf(app.NewOrderBook()), outstanding, nPerClient)
-	res.ReadFrac, res.FastReads = readFrac, fast
+	res.Label, res.ReadFrac, res.FastReads = "orderbook", readFrac, fast
 	return res
 }
 
-// ReadMixTable runs the full experiment grid (both apps, 50/90/99% reads,
-// fast reads off and on) for the CLI.
+// ReadMixTable runs the full experiment grid — both apps at 50/90/99%
+// reads with fast reads off and on, plus the point-read and strong-read
+// rows at the headline 90% fraction — for the CLI.
 func ReadMixTable(seed int64, samples int) []ReadMixResult {
 	if samples == 0 {
 		samples = 200
@@ -135,21 +171,28 @@ func ReadMixTable(seed int64, samples int) []ReadMixResult {
 			rows = append(rows, ReadMixOrder(seed, 2, 4, samples, frac, fast))
 		}
 	}
+	for _, fast := range []bool{false, true} {
+		rows = append(rows, ReadMixPoint(seed, 2, 4, samples, 0.90, fast))
+	}
+	rows = append(rows, ReadMixStrong(seed, 2, 4, samples, 0.90))
 	return rows
 }
 
 // PrintReadMix renders the experiment table.
 func PrintReadMix(w io.Writer, rows []ReadMixResult) {
-	fmt.Fprintln(w, "Read fast path: unordered f+1 quorum reads vs the full ordering pipeline")
-	fmt.Fprintln(w, "app        read%  fast  kops/vs   read-p50   write-p50  fast-ok  fallback")
-	name := "kv"
-	for i, r := range rows {
-		if i == len(rows)/2 {
-			name = "orderbook"
+	fmt.Fprintln(w, "Read fast path: unordered quorum reads vs the full ordering pipeline")
+	fmt.Fprintln(w, "workload   read%  mode     kops/vs   read-p50   write-p50  fast-ok   strong  fallback")
+	for _, r := range rows {
+		mode := "ordered"
+		switch {
+		case r.Strong:
+			mode = "strong"
+		case r.FastReads:
+			mode = "fast"
 		}
-		fmt.Fprintf(w, "%-9s  %4.0f%%  %-5v %8.1f  %8.1fus %8.1fus  %7d  %8d\n",
-			name, r.ReadFrac*100, r.FastReads, r.OpsPerSec/1000,
+		fmt.Fprintf(w, "%-9s  %4.0f%%  %-7s %8.1f  %8.1fus %8.1fus  %7d  %7d  %8d\n",
+			r.Label, r.ReadFrac*100, mode, r.OpsPerSec/1000,
 			r.ReadRec.Percentile(50).Micros(), r.WriteRec.Percentile(50).Micros(),
-			r.FastOK, r.Fallbacks)
+			r.FastOK, r.StrongOK, r.Fallbacks)
 	}
 }

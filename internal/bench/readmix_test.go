@@ -89,3 +89,67 @@ func TestReadMixFastSpeedup(t *testing.T) {
 			again.Elapsed, again.FastOK, again.Fallbacks, again.ReadRec.Median())
 	}
 }
+
+// TestPointReadOnFastPath is the point-read acceptance gate: single-key
+// KVGets ride the fast path (no fallbacks on the clean fabric) and their
+// p50 does not exceed the multi-key fast read's p50 at the same mix — a
+// point read is the smallest request the path serves, so the versioned
+// store must not make it costlier than the scatter-shaped one.
+func TestPointReadOnFastPath(t *testing.T) {
+	const (
+		seed        = 1
+		shards      = 2
+		outstanding = 4
+		n           = 150
+		frac        = 0.9
+	)
+	point := ReadMixPoint(seed, shards, outstanding, n, frac, true)
+	multi := ReadMix(seed, shards, outstanding, n, frac, true)
+	ordered := ReadMixPoint(seed, shards, outstanding, n, frac, false)
+	if point.Completed != shards*n || multi.Completed != shards*n {
+		t.Fatalf("completed %d / %d of %d", point.Completed, multi.Completed, shards*n)
+	}
+	if point.FastOK == 0 || point.Fallbacks != 0 {
+		t.Fatalf("point reads off the fast path: fast=%d fallbacks=%d", point.FastOK, point.Fallbacks)
+	}
+	// Same request stream, path on vs off: the fast point read must beat
+	// the ordered point read outright.
+	if pp, op := point.ReadRec.Percentile(50), ordered.ReadRec.Percentile(50); pp >= op {
+		t.Fatalf("fast point-read p50 %v not below ordered point-read p50 %v", pp, op)
+	}
+	// Against the multi-read mix the streams differ (different writes
+	// interleave), so allow queueing noise: the point read must stay
+	// within 5% of the multi-read fast-path p50.
+	if pp, mp := point.ReadRec.Percentile(50), multi.ReadRec.Percentile(50); float64(pp) > 1.05*float64(mp) {
+		t.Fatalf("point-read p50 %v above multi-read fast-path p50 %v", pp, mp)
+	}
+}
+
+// TestStrongReadMixServed: the strong mix answers reads through the full
+// 2f+1 quorum on a clean fabric, deterministically, and strong reads cost
+// more than f+1 fast reads but still beat the ordered pipeline's writes.
+func TestStrongReadMixServed(t *testing.T) {
+	const (
+		seed        = 1
+		shards      = 2
+		outstanding = 4
+		n           = 150
+		frac        = 0.9
+	)
+	strong := ReadMixStrong(seed, shards, outstanding, n, frac)
+	if strong.Completed != shards*n {
+		t.Fatalf("completed %d of %d", strong.Completed, shards*n)
+	}
+	if strong.StrongOK == 0 {
+		t.Fatal("no read served by the strong quorum")
+	}
+	if rp, wp := strong.ReadRec.Percentile(50), strong.WriteRec.Percentile(50); rp >= wp {
+		t.Fatalf("strong-read p50 %v not below ordered-write p50 %v", rp, wp)
+	}
+	again := ReadMixStrong(seed, shards, outstanding, n, frac)
+	if again.Elapsed != strong.Elapsed || again.StrongOK != strong.StrongOK || again.Fallbacks != strong.Fallbacks {
+		t.Fatalf("strong read mix not deterministic: (%v,%d,%d) vs (%v,%d,%d)",
+			strong.Elapsed, strong.StrongOK, strong.Fallbacks,
+			again.Elapsed, again.StrongOK, again.Fallbacks)
+	}
+}

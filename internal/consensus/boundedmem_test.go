@@ -121,6 +121,59 @@ func TestClientExecStateAged(t *testing.T) {
 	}
 }
 
+// TestVersionGCBounded: the MVCC version chains are pruned back by the
+// checkpoint-ratcheted horizon. Overwriting the same few keys forever
+// grows the value history linearly; the retained version count must stay
+// flat across checkpoint intervals, and the horizon must advance (a
+// replica that never ratchets would pass a one-shot size check).
+func TestVersionGCBounded(t *testing.T) {
+	const (
+		window    = 8
+		intervals = 4
+		hotKeys   = 3
+	)
+	u := cluster.NewUBFT(cluster.Options{
+		Seed:   9,
+		Window: window,
+		Tail:   window,
+		NewApp: func() app.StateMachine { return app.NewKV(0) },
+	})
+	defer u.Stop()
+
+	sizeAfter := make([][]int, 0, intervals)
+	req := 0
+	for interval := 0; interval < intervals; interval++ {
+		for i := 0; i < window; i++ {
+			key := []byte(fmt.Sprintf("hot-%d", req%hotKeys))
+			val := []byte(fmt.Sprintf("v%04d", req))
+			req++
+			if res, _, err := u.InvokeSyncErr(0, app.EncodeKVSet(key, val), 50*sim.Millisecond); err != nil || res == nil || res[0] != app.KVStored {
+				t.Fatalf("request %d: res=%v err=%v", req, res, err)
+			}
+		}
+		u.Eng.RunFor(5 * sim.Millisecond)
+		counts := make([]int, len(u.Apps))
+		for j, a := range u.Apps {
+			counts[j] = a.(*app.KV).VersionCount()
+		}
+		sizeAfter = append(sizeAfter, counts)
+	}
+
+	for j, a := range u.Apps {
+		kv := a.(*app.KV)
+		if kv.VersionHorizon() < uint64((intervals-2)*window) {
+			t.Errorf("replica %d: version horizon %d never ratcheted", j, kv.VersionHorizon())
+		}
+		last := sizeAfter[intervals-1][j]
+		if bound := sizeAfter[0][j] + window; last > bound {
+			t.Errorf("replica %d: version count grows across intervals: %v", j, sizeAfter)
+		}
+		if last == 0 {
+			t.Errorf("replica %d: no versions retained at all", j)
+		}
+	}
+}
+
 // TestLeaderMapsFlatAcrossIntervals tightens the bound: the map sizes at
 // the end of interval k must not grow with k (flat, not linear).
 func TestLeaderMapsFlatAcrossIntervals(t *testing.T) {

@@ -26,6 +26,18 @@ func (r *Replica) maybeCreateCheckpoint() {
 	if r.lastApplied < nextSeq || r.cpMine[nextSeq] {
 		return
 	}
+	if r.appVer != nil {
+		// Ratchet the MVCC GC horizon to the PREVIOUS checkpoint seq before
+		// snapshotting. Creation time — not the asynchronous pruneBelow —
+		// is the one point that is a deterministic function of the applied
+		// prefix, so every replica compacts identically and the snapshot
+		// digests still match; the horizon itself travels inside the
+		// snapshot. Keeping one full window of history means any pin a
+		// client derived from a recent frontier stays servable.
+		if prev := nextSeq - Slot(r.cfg.Window); prev > 0 {
+			r.appVer.PruneVersions(uint64(prev))
+		}
+	}
 	snap := r.cfg.App.Snapshot()
 	r.proc.Charge(latmodel.DigestCost(len(snap)))
 	dg := xcrypto.DigestNoCharge(snap)

@@ -243,6 +243,13 @@ type Replica struct {
 	// response when the lock releases. Pruned on the same horizon as exec.
 	deferredResp map[uint64]deferredTarget
 
+	// MVCC capability caches (nil when the application is unversioned) and
+	// the bounded queue of pinned reads parked until execution reaches
+	// their pin (see serveReadAt).
+	appVer      app.Versioned
+	appVerRead  app.VersionedReadExecutor
+	pinnedReads []pinnedRead
+
 	// View change state.
 	sealTarget    View // view being sealed into (0 = not sealing)
 	vcStreak      int  // consecutive view changes without progress (backoff)
@@ -294,6 +301,10 @@ type execEntry struct {
 	// pending marks a request parked in the application's wait queue: it
 	// is executed (dedup holds) but its result arrives at lock release.
 	pending bool
+	// parked marks a result that was produced at lock release (the request
+	// crossed a transaction); retransmissions must re-send the same marker
+	// so they land in the first execution's response class.
+	parked bool
 }
 
 // deferredTarget is the response owed for one parked request.
@@ -349,6 +360,12 @@ func NewReplica(cfg Config, deps Deps) *Replica {
 		pendingNV:     make(map[View][]ReplicaCert),
 		vcShares:      make(map[View]map[ids.ID]map[ids.ID]vcShare),
 		newViewSent:   make(map[View]bool),
+	}
+	if v, ok := cfg.App.(app.Versioned); ok {
+		r.appVer = v
+	}
+	if vr, ok := cfg.App.(app.VersionedReadExecutor); ok {
+		r.appVerRead = vr
 	}
 	initialCP := Checkpoint{Seq: 0, StateDigest: xcrypto.DigestNoCharge(cfg.App.Snapshot())}
 	r.chkpt = initialCP
@@ -1008,6 +1025,7 @@ func (r *Replica) executeReady() {
 		}
 		r.maybeCreateCheckpoint()
 	}
+	r.drainPinnedReads()
 	r.armProgressTimer()
 }
 
@@ -1024,7 +1042,7 @@ func (r *Replica) applyOne(req Request, s Slot) {
 		// result does not exist yet (it arrives at lock release), so for
 		// those re-deliver nothing rather than the wrong cached bytes.
 		if !e.pending {
-			r.deliver(req.Client, req.Num, s, e.res)
+			r.deliver(req.Client, req.Num, s, e.res, e.parked)
 		}
 		return
 	}
@@ -1035,6 +1053,11 @@ func (r *Replica) applyOne(req Request, s Slot) {
 	// before they can be proposed again — so apply it; returning early
 	// would swallow the request and wedge its client. The exec cache only
 	// ever raises its num (it is the retransmission-dedup horizon).
+	if r.appVer != nil {
+		// The command decided in slot s produces state version s+1 (the
+		// numbering the read floors and frontiers speak): stamp its writes.
+		r.appVer.BeginSlot(uint64(s) + 1)
+	}
 	r.proc.Charge(r.cfg.App.ExecCost(req.Payload) + latmodel.AppExecBase)
 	result := r.cfg.App.Apply(req.Payload)
 	r.Executed++
@@ -1056,14 +1079,14 @@ func (r *Replica) applyOne(req Request, s Slot) {
 	if !dup || req.Num > e.num {
 		r.exec[req.Client] = execEntry{num: req.Num, res: result, slot: s}
 	}
-	r.deliver(req.Client, req.Num, s, result)
+	r.deliver(req.Client, req.Num, s, result, false)
 	r.drainReleased(s)
 }
 
 // deliver sends one execution result to its client (direct response plus
 // the optional Responder hook).
-func (r *Replica) deliver(client ids.ID, num uint64, s Slot, result []byte) {
-	r.respond(client, num, s, result)
+func (r *Replica) deliver(client ids.ID, num uint64, s Slot, result []byte, parked bool) {
+	r.respond(client, num, s, result, parked)
 	if r.cfg.Responder != nil {
 		r.cfg.Responder(client, num, s, result)
 	}
@@ -1094,8 +1117,8 @@ func (r *Replica) drainReleased(s Slot) {
 		}
 		delete(r.deferredResp, rel.Ticket)
 		if e, ok := r.exec[tgt.client]; ok && e.num == tgt.num {
-			r.exec[tgt.client] = execEntry{num: tgt.num, res: rel.Result, slot: s}
+			r.exec[tgt.client] = execEntry{num: tgt.num, res: rel.Result, slot: s, parked: true}
 		}
-		r.deliver(tgt.client, tgt.num, s, rel.Result)
+		r.deliver(tgt.client, tgt.num, s, rel.Result, true)
 	}
 }

@@ -19,13 +19,23 @@ import (
 // execution and the client accepts a result once f+1 replicas agree.
 //
 // It also implements the unordered read fast path (the classic PBFT-style
-// read-only optimization): a read-only request goes to all 2f+1 replicas
-// of a group, each executes it tentatively against its last-applied state
-// — off the ordering path, but still charging ExecCost so the proc model
-// stays honest — and replies with the result plus the state version it was
-// read at. The client accepts once f+1 replies carry matching digests at a
-// compatible (monotonic per client per group) version, and falls back to
-// the ordered path on mismatch, timeout, refusal, or a locked key.
+// read-only optimization) at three consistency levels:
+//
+//   - Monotonic (unpinned): each replica executes the read tentatively
+//     against its own last-applied state; the client accepts f+1 matching
+//     digests at versions >= its per-group monotonic floor.
+//   - Snapshot (pinned): the request names an exact state version; every
+//     replica answers as-of that version from its MVCC store (parking
+//     briefly if execution has not reached it), so f+1 matching digests
+//     attest the value AT that version — the building block of the shard
+//     layer's consistent snapshot scatter-gather.
+//   - Strong (linearizable): the client requires ALL 2f+1 replicas to
+//     agree — first sampled unpinned, then pinned at the highest version
+//     any replica revealed — so the accepted version is at least as new as
+//     any write that completed before the read began.
+//
+// Every level falls back transparently to the ordered path on mismatch,
+// timeout, refusal, or a transaction-locked key.
 
 const (
 	tagEcho         uint8 = 23
@@ -34,6 +44,42 @@ const (
 	tagReadRequest  uint8 = 32
 	tagReadResponse uint8 = 33
 )
+
+// tagReadResponse flag bits.
+const (
+	// readFlagServed: the replica answered the read (clear = refused).
+	readFlagServed uint8 = 1 << 0
+	// readFlagCrossed: a pinned read may straddle a transaction — some key
+	// is currently transaction-locked on this replica, or has a
+	// transaction-installed version newer than the pin. The shard layer's
+	// consistent-cut rule turns this into a chase or fallback.
+	readFlagCrossed uint8 = 1 << 1
+)
+
+// tagResponse flag bits.
+const (
+	// respFlagParked: the request parked in the transaction wait queue and
+	// its result was produced at lock release — i.e. an ordered read that
+	// actually crossed a transaction. Parking is a deterministic property
+	// of the ordered execution, so correct replicas agree on it and the
+	// client's f+1 match vouches for the flag (it lives inside the response
+	// class key).
+	respFlagParked uint8 = 1 << 0
+)
+
+// pinnedReadCap bounds the queue of pinned reads parked while execution
+// catches up to their pin (a pin is at most one fast-read round-trip ahead
+// of the slowest correct replica, so entries drain within a round).
+const pinnedReadCap = 512
+
+// pinnedRead is one as-of read waiting for this replica's execution to
+// reach its pin.
+type pinnedRead struct {
+	from    ids.ID
+	num     uint64
+	at      Slot
+	payload []byte
+}
 
 // onRPC handles client traffic arriving at a replica.
 func (r *Replica) onRPC(from ids.ID, payload []byte) {
@@ -68,7 +114,7 @@ func (r *Replica) onClientRequest(from ids.ID, rd *wire.Reader) {
 			// Re-send with the original execution slot: the client's f+1
 			// match covers (result, slot), so a retransmission must land
 			// in the same class as the first-execution responses.
-			r.respond(req.Client, req.Num, e.slot, e.res)
+			r.respond(req.Client, req.Num, e.slot, e.res, e.parked)
 		} else {
 			r.droppedExecOld++
 		}
@@ -99,35 +145,106 @@ func (r *Replica) onClientRequest(from ids.ID, rd *wire.Reader) {
 }
 
 // onReadRequest serves the unordered read fast path: execute the read
-// tentatively against this replica's last-applied state and reply with the
-// result and the state version (LastApplied) it was read at. The read
-// never touches the ordering pipeline — no digest, no echo, no slot — but
-// its execution is charged like any ordered execution. Requests the
-// application cannot answer read-only (no ReadExecutor capability, or a
-// write opcode) are refused explicitly so the client falls back without
-// waiting out its timeout.
+// tentatively — against this replica's last-applied state (unpinned), or
+// as-of the exact version the request pins (at > 0) — and reply with the
+// result plus the state version (LastApplied) execution has reached. The
+// read never touches the ordering pipeline — no digest, no echo, no slot —
+// but its execution is charged like any ordered execution. Requests the
+// application cannot answer read-only (no ReadExecutor capability, a write
+// opcode, a pin below the MVCC GC horizon) are refused explicitly so the
+// client falls back without waiting out its timeout.
 func (r *Replica) onReadRequest(from ids.ID, rd *wire.Reader) {
 	num := rd.U64()
+	at := Slot(rd.U64())
 	payload := rd.BytesView()
 	if rd.Done() != nil {
 		return
 	}
+	if at > 0 {
+		r.serveReadAt(from, num, at, payload)
+		return
+	}
 	var result []byte
-	served := false
+	var flags uint8
 	if re, ok := r.cfg.App.(app.ReadExecutor); ok {
 		if res, readable := re.ApplyRead(payload); readable {
 			r.proc.Charge(r.cfg.App.ExecCost(payload) + latmodel.AppExecBase)
-			result, served = res, true
+			result, flags = res, readFlagServed
 			r.ReadsServed++
 		}
 	}
-	w := wire.GetWriter(32 + len(result))
+	r.replyRead(from, num, flags, result)
+}
+
+// serveReadAt answers a read pinned to an exact state version from the
+// application's MVCC store. A replica whose execution has not yet reached
+// the pin parks the read in a bounded queue drained as slots apply (the pin
+// came from a version some replica already reached, so the wait is one
+// replication delay, not unbounded); everything else it cannot serve — no
+// versioning capability, a pin below the GC horizon, a non-read request, a
+// full queue — is refused immediately so the client can fall back.
+func (r *Replica) serveReadAt(from ids.ID, num uint64, at Slot, payload []byte) {
+	if r.appVerRead == nil {
+		r.replyRead(from, num, 0, nil)
+		return
+	}
+	if r.lastApplied < at {
+		if len(r.pinnedReads) >= pinnedReadCap {
+			r.replyRead(from, num, 0, nil)
+			return
+		}
+		// BytesView aliases the arriving frame: copy before parking.
+		p := make([]byte, len(payload))
+		copy(p, payload)
+		r.pinnedReads = append(r.pinnedReads, pinnedRead{from: from, num: num, at: at, payload: p})
+		return
+	}
+	res, crossed, ok := r.appVerRead.ApplyReadAt(payload, uint64(at))
+	if !ok {
+		r.replyRead(from, num, 0, nil)
+		return
+	}
+	r.proc.Charge(r.cfg.App.ExecCost(payload) + latmodel.AppExecBase)
+	flags := readFlagServed
+	if crossed {
+		flags |= readFlagCrossed
+	}
+	r.ReadsServed++
+	r.replyRead(from, num, flags, res)
+}
+
+// drainPinnedReads serves parked pinned reads whose pin execution has
+// reached (called after every execution batch).
+func (r *Replica) drainPinnedReads() {
+	if len(r.pinnedReads) == 0 {
+		return
+	}
+	kept := r.pinnedReads[:0]
+	for _, pr := range r.pinnedReads {
+		if r.lastApplied < pr.at {
+			kept = append(kept, pr)
+			continue
+		}
+		r.serveReadAt(pr.from, pr.num, pr.at, pr.payload)
+	}
+	for i := len(kept); i < len(r.pinnedReads); i++ {
+		r.pinnedReads[i] = pinnedRead{} // release parked payloads
+	}
+	r.pinnedReads = kept
+}
+
+// replyRead sends one fast-read reply. The version field always carries
+// lastApplied — for a pinned read the RESULT is as-of the pin, but the
+// version still teaches the client how far this replica has executed (its
+// frontier input).
+func (r *Replica) replyRead(to ids.ID, num uint64, flags uint8, result []byte) {
+	w := wire.GetWriter(40 + len(result))
 	w.U8(tagReadResponse)
 	w.U64(num)
 	w.U64(uint64(r.lastApplied))
-	w.Bool(served)
+	w.U8(flags)
 	w.Bytes(result)
-	r.rt.Send(from, router.ChanRPC, w.Finish())
+	r.rt.Send(to, router.ChanRPC, w.Finish())
 	wire.PutWriter(w)
 }
 
@@ -198,10 +315,16 @@ func (r *Replica) finishEcho(dg [xcrypto.DigestLen]byte, req Request) {
 // leader would be lost until the client retransmits.
 func (r *Replica) rebroadcastPending() {
 	for dg, req := range r.reqStore {
-		if _, done := r.proposed[dg]; done || req.IsNoOp() || r.executedReq(req) {
+		if !r.shouldRebroadcast(dg, req) {
 			continue
 		}
 		if r.IsLeader() {
+			// A stale undecided proposal from a previous view is being
+			// re-routed as fresh work: drop its dedup entry so noteEcho and
+			// enqueueProposal do not swallow the re-proposal. If the old
+			// slot later decides anyway, exactly-once execution dedups the
+			// second copy.
+			delete(r.proposed, dg)
 			r.noteEcho(dg, r.cfg.Self)
 		} else {
 			r.sendEcho(dg)
@@ -209,12 +332,45 @@ func (r *Replica) rebroadcastPending() {
 	}
 }
 
+// shouldRebroadcast reports whether a stored client request still needs
+// re-routing toward the (new) leader. A request is settled only when its
+// proposal actually decided (or fell below the stable checkpoint, which
+// implies decided), or when THIS exact request executed. The executed test
+// deliberately requires e.num == req.Num rather than the monotone
+// seenExec: an echo-ordering inversion leaves a lower-numbered, never-
+// executed request in reqStore while the client's exec high-water mark has
+// moved past it — the monotone test would mislabel it settled and a view
+// change at that moment would skip its one rebroadcast, wedging the client
+// (executed requests are deleted from reqStore at execution, so an old-num
+// entry here is exactly that inversion victim).
+func (r *Replica) shouldRebroadcast(dg [xcrypto.DigestLen]byte, req Request) bool {
+	if req.IsNoOp() {
+		return false
+	}
+	if s, proposed := r.proposed[dg]; proposed {
+		if s < r.chkpt.Seq {
+			return false
+		}
+		if _, dec := r.decided[s]; dec {
+			return false
+		}
+		return true
+	}
+	e, ok := r.exec[req.Client]
+	return !ok || e.num != req.Num
+}
+
 // respond sends an execution result back to the client.
-func (r *Replica) respond(client ids.ID, reqNum uint64, slot Slot, result []byte) {
-	w := wire.GetWriter(32 + len(result))
+func (r *Replica) respond(client ids.ID, reqNum uint64, slot Slot, result []byte, parked bool) {
+	w := wire.GetWriter(40 + len(result))
 	w.U8(tagResponse)
 	w.U64(reqNum)
 	w.U64(uint64(slot))
+	var flags uint8
+	if parked {
+		flags |= respFlagParked
+	}
+	w.U8(flags)
 	w.Bytes(result)
 	r.rt.Send(client, router.ChanRPC, w.Finish())
 	wire.PutWriter(w)
@@ -245,30 +401,38 @@ type Client struct {
 
 	// Read fast path stats.
 	FastReads     uint64 // reads answered by an f+1 unordered quorum
+	StrongReads   uint64 // reads answered by a 2f+1 strong quorum
 	ReadFallbacks uint64 // reads that fell back to the ordered path
 }
 
 // resTally accumulates one result class of a pending request: the vote
 // count, the result bytes, and the LOWEST slot/version the class reported.
 //
-// On the ordered path the class key covers (result, slot) together —
-// correct replicas are deterministic state machines that execute a request
-// at one agreed slot, so they all land in one class, while a replica lying
-// about either the result or the slot forms its own class that can never
-// reach f+1 without f+1 colluders. The winning class's slot is therefore
+// On the ordered path the class key covers (result, slot, parked) together
+// — correct replicas are deterministic state machines that execute a
+// request at one agreed slot (and park it, or not, deterministically), so
+// they all land in one class, while a replica lying about the result, the
+// slot or the parked marker forms its own class that can never reach f+1
+// without f+1 colluders. The winning class's slot is therefore
 // quorum-vouched in full: it can neither be inflated (which would poison
 // the read floor and permanently deny the fast-read path) nor deflated
-// (which would quietly weaken read-your-writes).
+// (which would quietly weaken read-your-writes); ditto the parked marker,
+// which drives the shard layer's revalidation decision.
 //
 // On the read path versions stay OUTSIDE the class key — the whole point
 // is accepting the same value read at different versions — and the floor
 // ratchets from the class minimum, which is bounded below by the read's
 // own floor (stale replies are never counted), so a lone Byzantine replica
-// can at worst keep the floor where it already was.
+// can at worst keep the floor where it already was. The crossed flag is
+// OR'd across the counted replies of the class instead: any correct
+// replica that saw the read straddle a transaction taints the accepted
+// result, which can cost a needless chase round but never hide one.
 type resTally struct {
 	count   int
 	result  []byte
 	minSlot Slot
+	parked  bool // ordered path: quorum-vouched parked marker (in the key)
+	crossed bool // read path: OR of txn-crossed flags over counted replies
 }
 
 func (t *resTally) add(result []byte, slot Slot) {
@@ -284,7 +448,7 @@ type pendingReq struct {
 	started sim.Time
 	replied uint64              // bitmask of replica indices already counted
 	byRes   map[uint64]resTally // result checksum -> class tally
-	done    func(result []byte, latency sim.Duration)
+	done    func(result []byte, parked bool, latency sim.Duration)
 	fired   bool
 }
 
@@ -293,6 +457,14 @@ type pendingRead struct {
 	group   int
 	payload []byte
 	minSlot Slot
+	// at pins the read to an exact state version (0 = unpinned: every
+	// replica answers at its own last-applied state).
+	at Slot
+	// strong requires ALL 2f+1 replicas to agree instead of f+1: with the
+	// full group in the quorum, any write that completed before the read
+	// began — which executed on at least f+1 replicas — intersects it, so
+	// the accepted version cannot predate the write (linearizability).
+	strong  bool
 	started sim.Time
 	replied uint64 // bitmask of replica indices already counted
 	// byRes tallies fresh (version >= minSlot) replies per result digest;
@@ -301,18 +473,18 @@ type pendingRead struct {
 	// counted at all.
 	byRes map[uint64]resTally
 	// frontier is the highest version ANY reply carried — advisory input
-	// to the scatter-gather snapshot negotiation only (a forged frontier
-	// costs at most snapRetryMax futile retries before the ordered
-	// fallback); it never ratchets the persistent floor.
+	// to the scatter-gather snapshot pinning and the strong read's second
+	// round only (a forged frontier costs at most futile pin rounds before
+	// the ordered fallback); it never ratchets the persistent floor.
 	frontier Slot
 	refused  int
 	fellBack bool
 	ordNum   uint64 // the ordered request number after fallback
 	timer    sim.Timer
-	done     func(result []byte, slot, frontier Slot, fellBack bool, latency sim.Duration)
+	done     func(result []byte, slot, frontier Slot, crossed, fellBack bool, latency sim.Duration)
 }
 
-// defaultReadTimeout bounds how long a fast read waits for its f+1 quorum
+// defaultReadTimeout bounds how long a fast read waits for its quorum
 // before falling back to the ordered path. Generous against queueing at
 // saturation (a fast read round trip is tens of microseconds), small
 // against the fallback's own consensus latency.
@@ -344,7 +516,7 @@ func NewMultiClient(rt *router.Router, groups [][]ids.ID, f int) *Client {
 	return c
 }
 
-// SetReadTimeout overrides how long a fast read waits for its f+1 quorum
+// SetReadTimeout overrides how long a fast read waits for its quorum
 // before falling back to the ordered path (default 500us of virtual time).
 func (c *Client) SetReadTimeout(d sim.Duration) {
 	if d > 0 {
@@ -366,6 +538,22 @@ func (c *Client) Invoke(payload []byte, done func(result []byte, latency sim.Dur
 // request (its done callback will never fire), which is how the cross-shard
 // coordinator withdraws prepares from a group that timed out.
 func (c *Client) InvokeGroup(group int, payload []byte, done func(result []byte, latency sim.Duration)) uint64 {
+	return c.invokeGroupEx(group, payload, func(result []byte, _ bool, latency sim.Duration) {
+		done(result, latency)
+	})
+}
+
+// InvokeGroupParked is InvokeGroup surfacing the quorum-vouched parked
+// marker: whether the request parked in the transaction wait queue
+// server-side and was answered at lock release (i.e. it crossed a
+// transaction). The shard layer's degraded scatter stage uses it to
+// revalidate sibling legs only behind fallbacks that actually crossed a
+// transaction, not behind every lost packet.
+func (c *Client) InvokeGroupParked(group int, payload []byte, done func(result []byte, parked bool, latency sim.Duration)) uint64 {
+	return c.invokeGroupEx(group, payload, done)
+}
+
+func (c *Client) invokeGroupEx(group int, payload []byte, done func(result []byte, parked bool, latency sim.Duration)) uint64 {
 	c.nextNum++
 	num := c.nextNum
 	c.pending[num] = &pendingReq{
@@ -391,7 +579,9 @@ func (c *Client) InvokeGroup(group int, payload []byte, done func(result []byte,
 // pending. The request itself may still be (or become) decided and executed
 // by the group — Cancel gives up on observing the outcome, it cannot recall
 // the submission. Cancelling a fast read also abandons its ordered
-// fallback, if one is in flight.
+// fallback, if one is in flight. (A strong read that entered its pinned
+// second round is tracked under a fresh number; the original handle no
+// longer cancels it.)
 func (c *Client) Cancel(num uint64) bool {
 	if p, ok := c.pendingReads[num]; ok {
 		delete(c.pendingReads, num)
@@ -427,6 +617,7 @@ func (c *Client) onRPC(from ids.ID, payload []byte) {
 func (c *Client) onResponse(from ids.ID, rd *wire.Reader) {
 	num := rd.U64()
 	slot := Slot(rd.U64())
+	flags := rd.U8()
 	result := rd.Bytes()
 	if rd.Done() != nil {
 		return
@@ -444,11 +635,16 @@ func (c *Client) onResponse(from ids.ID, rd *wire.Reader) {
 		return // one response per replica counts toward the quorum
 	}
 	p.replied |= bit
-	// The class key mixes the slot into the result checksum so the f+1
-	// match covers both (see resTally).
+	parked := flags&respFlagParked != 0
+	// The class key mixes the slot and the parked marker into the result
+	// checksum so the f+1 match covers all three (see resTally).
 	key := xcrypto.ChecksumNoCharge(result) + uint64(slot)*0x9E3779B97F4A7C15
+	if parked {
+		key ^= 0xC2B2AE3D27D4EB4F
+	}
 	t := p.byRes[key]
 	t.add(result, slot)
+	t.parked = parked
 	p.byRes[key] = t
 	if t.count >= c.f+1 {
 		p.fired = true
@@ -459,7 +655,7 @@ func (c *Client) onResponse(from ids.ID, rd *wire.Reader) {
 		// can never observe a version that predates this response
 		// (read-your-writes and monotonic reads across both paths).
 		c.noteVersion(p.group, t.minSlot+1)
-		p.done(result, c.proc.Now().Sub(p.started))
+		p.done(result, t.parked, c.proc.Now().Sub(p.started))
 	}
 }
 
@@ -495,43 +691,81 @@ func (c *Client) InvokeRead(payload []byte, done func(result []byte, latency sim
 
 // InvokeGroupRead is InvokeRead addressed at one replica group.
 func (c *Client) InvokeGroupRead(group int, payload []byte, done func(result []byte, latency sim.Duration)) uint64 {
-	return c.InvokeGroupReadAt(group, payload, 0, func(res []byte, _, _ Slot, _ bool, lat sim.Duration) {
+	return c.InvokeGroupReadAt(group, payload, 0, 0, func(res []byte, _, _ Slot, _, _ bool, lat sim.Duration) {
 		done(res, lat)
 	})
 }
 
-// InvokeGroupReadAt is the slot-aware fast read the shard layer's
-// snapshot-consistent scatter-gather builds on: only replies at state
-// version >= minSlot (and >= this client's monotonic floor for the group)
-// count toward the quorum, and done additionally receives the version the
-// accepted result was read at, the group frontier — the highest version
-// ANY reply revealed, which the caller uses as the group's snapshot slot
-// when negotiating a consistent multi-group read — and whether the read
-// resolved through the ordered fallback, the signal the scatter layer's
-// revalidation round keys on. EVERY fallback reports true: a fallback
-// from plain loss or timeout may still have parked server-side behind a
-// transaction (the client cannot tell a parked ordered read from a slow
-// one without a wire marker — a ROADMAP optimization), and a sibling leg
-// may predate that transaction, so all fallbacks must be treated as
-// potentially lock-crossing.
-func (c *Client) InvokeGroupReadAt(group int, payload []byte, minSlot Slot, done func(result []byte, slot, frontier Slot, fellBack bool, latency sim.Duration)) uint64 {
+// InvokeReadStrong submits a linearizable read to group 0: see
+// InvokeGroupReadStrong.
+func (c *Client) InvokeReadStrong(payload []byte, done func(result []byte, latency sim.Duration)) uint64 {
+	return c.InvokeGroupReadStrong(0, payload, done)
+}
+
+// InvokeGroupReadStrong is the linearizable strong read: it requires ALL
+// 2f+1 replicas of the group to agree on (result, version). Any write that
+// completed before this read began executed on at least f+1 replicas, so
+// the all-replica quorum necessarily includes one that has applied it —
+// the agreed version cannot predate any completed write. Round one samples
+// every replica unpinned; if they answer at one common version the read is
+// done in a single round trip. Otherwise the replicas are skewed: round
+// two re-reads pinned at the highest version round one revealed, which
+// every correct replica serves once its execution catches up (MVCC apps
+// only). Refusals, mismatches beyond round two, or a timeout fall back to
+// the ordered path, which is linearizable by construction.
+func (c *Client) InvokeGroupReadStrong(group int, payload []byte, done func(result []byte, latency sim.Duration)) uint64 {
+	return c.startRead(group, payload, 0, 0, true, c.proc.Now(),
+		func(res []byte, _, _ Slot, _, _ bool, lat sim.Duration) {
+			done(res, lat)
+		})
+}
+
+// InvokeGroupReadAt is the version-aware fast read the shard layer's
+// snapshot-consistent scatter-gather builds on.
+//
+// With at == 0 the read is unpinned: only replies at state version >=
+// minSlot (and >= this client's monotonic floor for the group) count
+// toward the f+1 quorum. With at > 0 the read is pinned: every replica
+// answers as-of exactly that version from its MVCC store, so the f+1
+// matching digests attest the value AT the pin regardless of replica skew.
+//
+// done additionally receives the version the accepted result was read at,
+// the group frontier (the highest version ANY reply revealed — the input
+// for choosing pins), whether the result may have crossed a transaction —
+// for a pinned quorum the OR of the replicas' txn-crossed flags, for an
+// ordered fallback the quorum-vouched parked marker — and whether the read
+// resolved through the ordered fallback. The crossed flag is the shard
+// layer's consistent-cut signal: a clean (uncrossed) pinned leg provably
+// did not straddle any cross-shard transaction that committed before the
+// pin round began.
+func (c *Client) InvokeGroupReadAt(group int, payload []byte, minSlot, at Slot, done func(result []byte, slot, frontier Slot, crossed, fellBack bool, latency sim.Duration)) uint64 {
+	return c.startRead(group, payload, minSlot, at, false, c.proc.Now(), done)
+}
+
+// startRead fires one unordered read round at every replica of the group.
+func (c *Client) startRead(group int, payload []byte, minSlot, at Slot, strong bool, started sim.Time, done func(result []byte, slot, frontier Slot, crossed, fellBack bool, latency sim.Duration)) uint64 {
 	c.nextNum++
 	num := c.nextNum
-	if f := c.readFloor[group]; f > minSlot {
-		minSlot = f
+	if at == 0 {
+		if f := c.readFloor[group]; f > minSlot {
+			minSlot = f
+		}
 	}
 	p := &pendingRead{
 		group:   group,
 		payload: payload,
 		minSlot: minSlot,
-		started: c.proc.Now(),
+		at:      at,
+		strong:  strong,
+		started: started,
 		byRes:   make(map[uint64]resTally),
 		done:    done,
 	}
 	c.pendingReads[num] = p
-	w := wire.GetWriter(32 + len(payload))
+	w := wire.GetWriter(40 + len(payload))
 	w.U8(tagReadRequest)
 	w.U64(num)
+	w.U64(uint64(at))
 	w.Bytes(payload)
 	frame := w.Finish()
 	for _, rep := range c.groups[group] {
@@ -543,14 +777,16 @@ func (c *Client) InvokeGroupReadAt(group int, payload []byte, minSlot Slot, done
 }
 
 // onReadResponse collects one replica's fast-read reply. Acceptance needs
-// f+1 replies carrying the same result digest at versions >= the read's
-// floor; a full round without acceptance (digest mismatch, stale replicas,
-// f+1 refusals) or an accepted-but-locked result falls back to the ordered
-// path.
+// f+1 (strong: all 2f+1) replies carrying the same result digest at
+// compatible versions; a full round without acceptance (digest mismatch,
+// stale replicas, refusals) or an accepted-but-locked result falls back to
+// the ordered path — except a strong sample round that merely found the
+// replicas version-skewed, which re-reads pinned at the revealed frontier
+// first.
 func (c *Client) onReadResponse(from ids.ID, rd *wire.Reader) {
 	num := rd.U64()
 	version := Slot(rd.U64())
-	served := rd.Bool()
+	flags := rd.U8()
 	result := rd.Bytes()
 	if rd.Done() != nil {
 		return
@@ -571,21 +807,35 @@ func (c *Client) onReadResponse(from ids.ID, rd *wire.Reader) {
 	if version > p.frontier {
 		p.frontier = version
 	}
+	n := len(c.groups[p.group])
+	need := c.f + 1
+	if p.strong {
+		need = n
+	}
+	served := flags&readFlagServed != 0
 	if !served {
 		p.refused++
-		if p.refused >= c.f+1 {
-			// At least one correct replica refuses, and refusal is a
-			// deterministic property of the request: no quorum will form.
+		// f+1 refusals prove no quorum will form (at least one correct
+		// replica refuses, and refusal is a deterministic property of the
+		// request); a strong read cannot survive even one.
+		if p.refused >= c.f+1 || p.strong {
 			c.readFallback(num, p)
 			return
 		}
-	} else if version >= p.minSlot {
+	} else if p.at > 0 || version >= p.minSlot {
 		key := app.ReadDigest(result)
+		if p.strong && p.at == 0 {
+			// The strong sample round must be unanimous at ONE version:
+			// the same bytes read at different versions do not certify a
+			// linearization point, so the version joins the class key.
+			key += uint64(version) * 0x9E3779B97F4A7C15
+		}
 		t := p.byRes[key]
 		t.add(result, version)
+		t.crossed = t.crossed || flags&readFlagCrossed != 0
 		p.byRes[key] = t
-		if t.count >= c.f+1 {
-			if len(t.result) == 1 && t.result[0] == app.StatusLocked {
+		if t.count >= need {
+			if p.at == 0 && len(t.result) == 1 && t.result[0] == app.StatusLocked {
 				// A transaction holds the keys: always fall back — the
 				// ordered path parks behind the lock and answers when the
 				// transaction resolves (the wait-queue semantics readers
@@ -595,22 +845,51 @@ func (c *Client) onReadResponse(from ids.ID, rd *wire.Reader) {
 			}
 			p.timer.Cancel()
 			delete(c.pendingReads, num)
-			c.FastReads++
-			c.noteVersion(p.group, t.minSlot)
-			p.done(t.result, t.minSlot, p.frontier, false, c.proc.Now().Sub(p.started))
+			slot := t.minSlot
+			if p.at > 0 {
+				slot = p.at
+			}
+			if p.strong {
+				c.StrongReads++
+			} else {
+				c.FastReads++
+			}
+			c.noteVersion(p.group, slot)
+			p.done(t.result, slot, p.frontier, t.crossed, false, c.proc.Now().Sub(p.started))
 			return
 		}
 	}
-	if bits.OnesCount64(p.replied) == len(c.groups[p.group]) {
+	if bits.OnesCount64(p.replied) == n {
+		if p.strong && p.at == 0 && p.refused == 0 && p.frontier > 0 {
+			// Every replica answered but at skewed versions: pin round.
+			c.strongPin(num, p)
+			return
+		}
 		// Every replica replied and no compatible quorum formed.
 		c.readFallback(num, p)
 	}
 }
 
+// strongPin is the strong read's second round: the sample proved every
+// replica serves the read but execution is skewed, so re-read pinned at
+// the highest version any replica revealed — a version every correct
+// replica can answer as-of (from its MVCC store) once it catches up.
+func (c *Client) strongPin(num uint64, p *pendingRead) {
+	if p.fellBack || c.pendingReads[num] != p {
+		return
+	}
+	p.timer.Cancel()
+	delete(c.pendingReads, num)
+	c.startRead(p.group, p.payload, 0, p.frontier, true, p.started, p.done)
+}
+
 // readFallback re-submits a fast read through the ordered path. The
 // ordered result is always correct (it is the exact path a deployment
 // without fast reads runs), so this is the safety net every fast-read
-// failure mode lands on.
+// failure mode lands on. The crossed flag reported upward is the ordered
+// response's quorum-vouched parked marker: whether the read actually
+// waited out a transaction server-side — the signal that lets the shard
+// layer's revalidation skip fallbacks that merely lost a race or a packet.
 func (c *Client) readFallback(num uint64, p *pendingRead) {
 	if p.fellBack || c.pendingReads[num] != p {
 		return
@@ -618,7 +897,7 @@ func (c *Client) readFallback(num uint64, p *pendingRead) {
 	p.fellBack = true
 	p.timer.Cancel()
 	c.ReadFallbacks++
-	p.ordNum = c.InvokeGroup(p.group, p.payload, func(result []byte, _ sim.Duration) {
+	p.ordNum = c.invokeGroupEx(p.group, p.payload, func(result []byte, parked bool, _ sim.Duration) {
 		delete(c.pendingReads, num)
 		// The ordered execution ratcheted the floor already; report it as
 		// both slot and frontier so a scatter-gather caller never retries
@@ -627,6 +906,6 @@ func (c *Client) readFallback(num uint64, p *pendingRead) {
 		if p.frontier > v {
 			v = p.frontier
 		}
-		p.done(result, v, v, true, c.proc.Now().Sub(p.started))
+		p.done(result, v, v, parked, true, c.proc.Now().Sub(p.started))
 	})
 }

@@ -143,16 +143,34 @@ type Options struct {
 	PrepareTimeout sim.Duration
 
 	// FastReads routes read-only requests (classified by the application's
-	// Fragmenter.ReadOnly capability) through the unordered read fast path:
-	// one round trip to all 2f+1 replicas of the owning group, accepted on
-	// f+1 matching result digests at a compatible state version, with the
-	// ordered path as the always-correct fallback (mismatch, timeout,
-	// locked keys). Scatter-gather multi-reads additionally negotiate a
-	// snapshot slot per group and retry stale legs. Default off: the
-	// ordered path stays bit-identical to a deployment without the feature.
-	// Requires the application to implement app.ReadExecutor (silently
-	// ignored otherwise).
+	// Fragmenter.ReadOnly capability — multi-reads and single-key point
+	// reads alike) through the unordered read fast path: one round trip to
+	// all 2f+1 replicas of the owning group, accepted on f+1 matching
+	// result digests at a compatible state version, with the ordered path
+	// as the always-correct fallback (mismatch, timeout, locked keys).
+	// Scatter-gather multi-reads run the snapshot protocol: after an
+	// unpinned sampling round every leg is re-read PINNED at its group's
+	// revealed frontier (the application's MVCC store answers as-of that
+	// exact version), and the merge is accepted only when every leg is
+	// pinned and provably did not straddle a transaction — a consistent
+	// snapshot cut, never a pre/post mix. Default off: the ordered path
+	// stays bit-identical to a deployment without the feature. Requires the
+	// application to implement app.ReadExecutor (silently ignored
+	// otherwise); the snapshot pinning additionally wants
+	// app.VersionedReadExecutor (legs fall back to the ordered scatter
+	// without it).
 	FastReads bool
+
+	// StrongReads upgrades single-group read-only requests to the
+	// linearizable strong mode: acceptance requires ALL 2f+1 replicas to
+	// agree on (result, version) — first sampled unpinned, then pinned at
+	// the revealed frontier — so the result reflects every write that
+	// completed before the read began. Unreachable strong quorums
+	// (loss, refusals, version churn) fall back transparently to the
+	// ordered path, which is linearizable by construction. Cross-shard
+	// scatter reads keep the snapshot semantics of FastReads. Same
+	// capability requirements as FastReads.
+	StrongReads bool
 
 	// ReadTimeout bounds how long a fast read waits for its quorum before
 	// falling back to the ordered path (default 500us of virtual time).
@@ -386,6 +404,7 @@ func Build(opts Options) (*Deployment, error) {
 			frag:        appFrag,
 			canTxn:      canTxn,
 			fastReads:   opts.FastReads && canRead && appFrag != nil,
+			strongReads: opts.StrongReads && canRead && appFrag != nil,
 			prepTimeout: opts.PrepareTimeout,
 		})
 	}
@@ -462,6 +481,7 @@ type Client struct {
 	frag        app.Fragmenter
 	canTxn      bool
 	fastReads   bool
+	strongReads bool
 	prepTimeout sim.Duration
 	txSeq       uint32
 }
@@ -548,9 +568,12 @@ func (c *Client) Invoke(payload []byte, done func(result []byte, latency sim.Dur
 		if s < 0 || s >= c.shards {
 			return -1, fmt.Errorf("shard: routed to shard %d of %d", s, c.shards)
 		}
-		if c.fastReads && c.frag.ReadOnly(payload) {
+		switch {
+		case c.strongReads && c.frag.ReadOnly(payload):
+			c.cc.InvokeGroupReadStrong(s, payload, done)
+		case c.fastReads && c.frag.ReadOnly(payload):
 			c.cc.InvokeGroupRead(s, payload, done)
-		} else {
+		default:
 			c.cc.InvokeGroup(s, payload, done)
 		}
 		return s, nil
@@ -592,7 +615,8 @@ const (
 // cannot observe a cross-shard write mid-commit. (On the ordered path a
 // leg delayed past the whole transaction on one shard while a sibling leg
 // ran before it can still see a pre/post mix; the fast-read path closes
-// that with its snapshot-slot negotiation, see scatterReadFast.)
+// that by pinning every leg to an MVCC snapshot version, see
+// scatterReadFast.)
 func (c *Client) scatterRead(payload []byte, plan *splitPlan, done func(result []byte, latency sim.Duration)) error {
 	legs, err := c.fragments(payload, plan)
 	if err != nil {
@@ -629,83 +653,132 @@ func (c *Client) scatterRead(payload []byte, plan *splitPlan, done func(result [
 	return nil
 }
 
-// snapRetryMax bounds the snapshot-slot retry rounds of a fast scatter
-// read: each round re-reads only the legs that answered below their
-// group's then-known frontier, so two rounds already cover the
-// slow-replica-quorum case; a frontier that keeps advancing under
-// write load is chased no further (the merge is then exactly as
-// consistent as the ordered path's, never worse).
+// snapRetryMax bounds the PINNED rounds of a fast scatter read after the
+// initial unpinned sampling round. One pinned round resolves the common
+// case (pin each leg at the frontier the sample revealed); a second
+// absorbs one transaction committing between the rounds. Interference
+// that outlasts both rounds — sustained cross-shard write pressure on the
+// exact read set — degrades the whole read to the ordered scatter, which
+// is always correct.
 const snapRetryMax = 2
 
-// scatterReadFast is the snapshot-consistent fast scatter-gather: every
-// leg is an unordered quorum read, and after each full round the client
-// picks a snapshot slot per group — the highest state version any of that
-// group's replies revealed (the frontier) — and retries the legs whose
-// accepted version lies below it, requiring the retry's quorum at or above
-// the snapshot. A leg whose quorum was answered by lagging replicas is
-// therefore re-read at the freshest state its group was known to have
-// reached during the round.
+// scatterReadFast is the snapshot-consistent fast scatter-gather over the
+// applications' MVCC stores. It proceeds in client-barriered rounds:
 //
-// On top of the per-group snapshots sits one revalidation round: if any
-// leg resolved through the ordered fallback — which may have parked
-// across an in-flight transaction, and a fallback from plain loss can
-// park just as invisibly as one that observed StatusLocked, so every
-// fallback counts — every other leg is re-read once through the ORDERED
-// path. The ordered re-read is what makes the
-// guarantee provable: it is proposed after the parked leg resumed, i.e.
-// after that transaction's commit was observed, and every transaction
-// step is itself an earlier consensus-ordered command, so by in-order
-// execution the re-read runs after the transaction's prepare on its group
-// and observes it either committed or locked-then-parked — never the
-// pre-transaction state a first-round fast leg may have seen (a fast
-// re-read could be answered by the same stale f+1 quorum again). This
-// makes the fast scatter exactly as isolated as the ordered path's parked
-// legs; the residual anomaly on BOTH paths is a leg that arrives only
-// after a transaction fully committed on its group (never touching a
-// lock) while a sibling read pre-transaction state — closing that needs
-// per-key versions (ROADMAP).
+//   - Round 0 samples every leg with an unpinned quorum read, which
+//     reveals each group's frontier — the highest state version any of
+//     its replies carried.
+//   - Each following round re-reads EVERY leg pinned at its group's
+//     frontier (InvokeGroupReadAt with at > 0): replicas answer as-of
+//     exactly that version from their version chains, deferring the reply
+//     until they have executed that far, and flag the reply "crossed"
+//     when the leg's keys are transaction-locked or a transaction wrote
+//     them between the pin and the replica's present.
 //
-// Locked legs fall back to the ordered path inside the consensus client
-// and park behind the transaction as usual; a StatusLocked that still
-// surfaces (wait-queue overflow) takes the same bounded retry as the
-// ordered scatter path.
+// The merge is accepted only when every leg is clean in the SAME round:
+// pinned and uncrossed, or answered by a group that has never executed
+// anything (version 0, vacuously transaction-free). That condition is a
+// consistent snapshot cut. Proof sketch: suppose leg A's pinned result
+// includes cross-shard transaction T while sibling leg B's omits it. A's
+// pin came from a frontier observed in an earlier round, so T committed
+// on A's group before B's round began; 2PC commits only after every
+// participant prepared, so T's prepare was executed by f+1 replicas of
+// B's group before B's pinned read was served. B's f+1 served replies
+// intersect that prepared set in at least one replica, which at serving
+// time held T's lock (crossed) or had resolved it — as a commit at a
+// version ≤ B's pin (T included after all) or > it (crossed via the
+// version chain). Either way B could not be both clean and pre-T.
+//
+// A crossed round re-pins all legs at the freshest frontiers and tries
+// again. Any leg that falls back to the ordered path breaks the argument
+// — an ordered result executes at whatever slot consensus assigns, not at
+// a client-chosen pin — so a fallback abandons pinning and degrades the
+// whole read to scatterReadOrdered.
 func (c *Client) scatterReadFast(payload []byte, legs [][]byte, plan *splitPlan, done func(result []byte, latency sim.Duration)) {
 	start := c.proc.Now()
 	n := len(legs)
 	results := make([][]byte, n)
-	slots := make([]consensus.Slot, n)
+	pins := make([]consensus.Slot, n) // 0 = unpinned sample this round
 	fronts := make([]consensus.Slot, n)
-	retries := make([]int, n)
-	fell := make([]bool, n)
-	revalidated := false
-	remaining := n
-	var finish func()
-	var send func(i int, minSlot consensus.Slot, attempt int)
-	send = func(i int, minSlot consensus.Slot, attempt int) {
-		c.cc.InvokeGroupReadAt(plan.shards[i], legs[i], minSlot, func(res []byte, slot, frontier consensus.Slot, fellBack bool, _ sim.Duration) {
-			if len(res) == 1 && res[0] == app.StatusLocked && attempt < lockedRetryMax {
-				c.proc.After(lockedRetryDelay, func() { send(i, minSlot, attempt+1) })
-				return
+	clean := make([]bool, n)
+	anyFell := false
+	round := 0
+	remaining := 0
+	var finishRound func()
+	send := func(i int) {
+		c.cc.InvokeGroupReadAt(plan.shards[i], legs[i], 0, pins[i], func(res []byte, slot, frontier consensus.Slot, crossed, fellBack bool, _ sim.Duration) {
+			results[i] = res
+			if frontier > fronts[i] {
+				fronts[i] = frontier
 			}
-			results[i], slots[i], fronts[i] = res, slot, frontier
-			fell[i] = fell[i] || fellBack
+			anyFell = anyFell || fellBack
+			clean[i] = !fellBack && !crossed && (pins[i] > 0 || (slot == 0 && frontier == 0))
 			remaining--
 			if remaining == 0 {
-				finish()
+				finishRound()
 			}
 		})
 	}
-	// sendOrdered drives one revalidation leg through the ordered path
-	// (same locked-overflow retry as the ordered scatter).
-	var sendOrdered func(i, attempt int)
-	sendOrdered = func(i, attempt int) {
-		c.cc.InvokeGroup(plan.shards[i], legs[i], func(res []byte, _ sim.Duration) {
+	runRound := func() {
+		remaining = n
+		for i := range legs {
+			send(i)
+		}
+	}
+	finishRound = func() {
+		if anyFell {
+			c.scatterReadOrdered(payload, legs, plan, start, done)
+			return
+		}
+		allClean := true
+		for i := range legs {
+			allClean = allClean && clean[i]
+		}
+		if allClean {
+			done(c.frag.Merge(payload, results, plan.legKeys), c.proc.Now().Sub(start))
+			return
+		}
+		if round >= snapRetryMax {
+			c.scatterReadOrdered(payload, legs, plan, start, done)
+			return
+		}
+		round++
+		for i := range legs {
+			pins[i] = fronts[i] // still 0 for an idle group: fresh sample
+		}
+		runRound()
+	}
+	runRound()
+}
+
+// scatterReadOrdered is the degraded stage of a fast scatter read: one
+// ordered read per leg (bounded StatusLocked retry, as the plain ordered
+// scatter), then — only when some leg actually parked behind an in-flight
+// transaction, which the replicas vouch for with the quorum-checked
+// parked marker — one ordered re-read of the legs that did not park. The
+// re-read is proposed after the parked leg's transaction resolved, and
+// every transaction step is an earlier consensus-ordered command, so by
+// in-order execution it observes that transaction committed or
+// locked-then-parked — never the pre-transaction state its first read may
+// have returned. A fallback that merely lost a packet or timed out no
+// longer triggers the extra round (before the parked marker every
+// fallback had to, since parking was invisible to the client).
+func (c *Client) scatterReadOrdered(payload []byte, legs [][]byte, plan *splitPlan, start sim.Time, done func(result []byte, latency sim.Duration)) {
+	n := len(legs)
+	results := make([][]byte, n)
+	parked := make([]bool, n)
+	remaining := n
+	revalidated := false
+	var finish func()
+	var send func(i, attempt int)
+	send = func(i, attempt int) {
+		c.cc.InvokeGroupParked(plan.shards[i], legs[i], func(res []byte, p bool, _ sim.Duration) {
 			if len(res) == 1 && res[0] == app.StatusLocked && attempt < lockedRetryMax {
-				c.proc.After(lockedRetryDelay, func() { sendOrdered(i, attempt+1) })
+				c.proc.After(lockedRetryDelay, func() { send(i, attempt+1) })
 				return
 			}
 			results[i] = res
-			fronts[i] = slots[i] // ordered legs are final: no stale retry
+			parked[i] = parked[i] || p
 			remaining--
 			if remaining == 0 {
 				finish()
@@ -713,37 +786,23 @@ func (c *Client) scatterReadFast(payload []byte, legs [][]byte, plan *splitPlan,
 		})
 	}
 	finish = func() {
-		var stale []int
-		for i := range legs {
-			if slots[i] < fronts[i] && retries[i] < snapRetryMax {
-				stale = append(stale, i)
-			}
-		}
-		if len(stale) > 0 {
-			remaining = len(stale)
-			for _, i := range stale {
-				retries[i]++
-				send(i, fronts[i], 0)
-			}
-			return
-		}
 		if !revalidated {
 			revalidated = true
-			anyFell := false
+			anyParked := false
 			for i := range legs {
-				anyFell = anyFell || fell[i]
+				anyParked = anyParked || parked[i]
 			}
-			if anyFell && n > 1 {
+			if anyParked {
 				var redo []int
 				for i := range legs {
-					if !fell[i] {
+					if !parked[i] {
 						redo = append(redo, i)
 					}
 				}
 				if len(redo) > 0 {
 					remaining = len(redo)
 					for _, i := range redo {
-						sendOrdered(i, 0)
+						send(i, 0)
 					}
 					return
 				}
@@ -752,7 +811,7 @@ func (c *Client) scatterReadFast(payload []byte, legs [][]byte, plan *splitPlan,
 		done(c.frag.Merge(payload, results, plan.legKeys), c.proc.Now().Sub(start))
 	}
 	for i := range legs {
-		send(i, 0, 0)
+		send(i, 0)
 	}
 }
 
@@ -771,3 +830,7 @@ func (c *Client) Pending() int { return c.cc.PendingCount() }
 func (c *Client) ReadStats() (fast, fallbacks uint64) {
 	return c.cc.FastReads, c.cc.ReadFallbacks
 }
+
+// StrongReadStats reports how many reads the strong 2f+1 quorum answered
+// without falling back (fallbacks are counted in ReadStats).
+func (c *Client) StrongReadStats() uint64 { return c.cc.StrongReads }
