@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet doc-lint shard-opcode-gate race bounded-mem bench-smoke bench bench-shard bench-crossshard bench-txn bench-read bench-wallclock pgo fuzz-smoke ci
+.PHONY: all build test vet doc-lint shard-opcode-gate race bounded-mem byz-suite bench-smoke bench bench-shard bench-crossshard bench-txn bench-read bench-wallclock pgo fuzz-smoke fuzz-byz ci
 
 all: build
 
@@ -19,7 +19,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/wire/ ./internal/msgring/ ./internal/tbcast/ ./internal/ctbcast/ ./internal/shard/ ./internal/transport/ ./internal/nettrans/
+	$(GO) test -race ./internal/wire/ ./internal/msgring/ ./internal/tbcast/ ./internal/ctbcast/ ./internal/shard/ ./internal/transport/ ./internal/nettrans/ ./internal/byz/...
 
 # The bounded-memory regression gate: leader map cardinality must stay flat
 # across checkpoint intervals (uBFT's finite-memory claim), the per-client
@@ -71,7 +71,7 @@ bench-read:
 # encoder or constructor (the api_redesign acceptance bar).
 shard-opcode-gate:
 	@files=$$(ls internal/shard/*.go | grep -v _test); \
-	bad=$$(grep -nE 'app\.(R[A-Z]|KV[A-Z]|Op(Buy|Sell|Cancel|OrderSym|Pair|Tops)|Encode[A-Z]|Decode[A-Z]|Pair\{|OrderLeg|New(RKV|OrderBook|Flip))' $$files | grep -vE 'app\.(Encode|Decode)Txn(Prepare|Commit|Abort|Decide|Receipts)' || true); \
+	bad=$$(grep -nE 'app\.(R[A-Z]|KV[A-Z]|Op(Buy|Sell|Cancel|OrderSym|Pair|Tops)|Encode[A-Z]|Decode[A-Z]|Pair\{|OrderLeg|New(RKV|OrderBook|Flip))' $$files | grep -vE 'app\.(Encode|Decode)Txn(Prepare|Commit|Abort|Decide|QueryDecision|Receipts)' || true); \
 	if [ -n "$$bad" ]; then \
 		echo "shard-opcode-gate: app-specific identifiers in internal/shard:"; echo "$$bad"; exit 1; \
 	fi
@@ -114,9 +114,25 @@ pgo:
 	./bin/ubft-bench -transport=net -warmup 500ms -duration 3s -depth 4 \
 		-compare BENCH_wallclock_nopgo.json -json BENCH_wallclock_pgo.json
 
+# The Byzantine scenario suite: every adversarial policy against every
+# transactional app in every read mode, 8 seeds per cell, with the pass
+# matrix printed at the end (-v). The defense-off trip tests and the 2PC
+# commit-phase recovery regression ride along.
+byz-suite:
+	BYZ_SEEDS=8 $(GO) test -v -run 'TestByzMatrix' ./internal/byz/scenario/
+	$(GO) test -run 'TestByzDeterministicPerSeed|TestTrip|TestStrongReadLoneLiar' ./internal/byz/scenario/
+	$(GO) test -run 'TestCommitPhaseRecovery' ./internal/shard/
+
 # Fuzz the wire codec briefly (the seeds always run under `make test`).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzReader -fuzztime 10s ./internal/wire/
 	$(GO) test -run '^$$' -fuzz FuzzRoundTrip -fuzztime 10s ./internal/wire/
 
-ci: build vet doc-lint shard-opcode-gate test race bounded-mem bench-smoke bench-shard bench-crossshard bench-txn bench-read bench-wallclock pgo
+# Fuzz the adversarial read wire surface briefly: hostile tag-31/33 read
+# replies at the client (must never panic or inflate the read floor) and
+# hostile tag-30/32 requests at a replica (the seeds run under `make test`).
+fuzz-byz:
+	$(GO) test -run '^$$' -fuzz FuzzClientReadReply -fuzztime 10s ./internal/consensus/
+	$(GO) test -run '^$$' -fuzz FuzzReplicaReadRequest -fuzztime 10s ./internal/consensus/
+
+ci: build vet doc-lint shard-opcode-gate test race bounded-mem byz-suite bench-smoke bench-shard bench-crossshard bench-txn bench-read bench-wallclock pgo

@@ -111,6 +111,35 @@ type TxnParticipant interface {
 	Decided(txid uint64, commit bool) uint8
 }
 
+// TxnRecoverable is the commit-phase-recovery capability layered on
+// TxnParticipant: a participant that remembers each staged transaction's
+// coordinator group can be swept after a partition — a recovery agent reads
+// the staged (txid, coord) pairs, replays the coordinator group's decision
+// log via OpTxnQueryDecision, and drives the ordered commit/abort that
+// releases the stranded locks. LockTable implements it, so every embedding
+// application (KV, RKV, OrderBook) is recoverable for free.
+type TxnRecoverable interface {
+	TxnParticipant
+	// NoteTxnCoord stamps a staged transaction with its coordinator group
+	// (called by ApplyTxn right after a successful Prepare; idempotent).
+	NoteTxnCoord(txid, coord uint64)
+	// StagedTxns lists the prepared-but-undecided transactions ascending by
+	// txid — the recovery agent's sweep surface. It must be read-only.
+	StagedTxns() []StagedTxn
+	// QueryDecision returns the recorded decision for txid, tombstoning an
+	// undecided txid as aborted first (query-or-abort): after it runs, the
+	// answer is durable and a straggling commit decide can no longer flip
+	// it. Only meaningful on the coordinator group's replicas.
+	QueryDecision(txid uint64) bool
+}
+
+// StagedTxn is one prepared-but-undecided transaction a participant holds
+// locks for, with the coordinator group that owns its outcome.
+type StagedTxn struct {
+	Txid  uint64
+	Coord uint64
+}
+
 // Deferring is the wait-queue capability the replica execution layer
 // consumes: a state machine whose Apply may park a request blocked on a
 // transaction lock (returning nil) and complete it during a later

@@ -106,7 +106,7 @@ func TestTxnParticipantGeneric(t *testing.T) {
 			lt := sm.(lockTabler)
 			a, b, c := []byte("ka"), []byte("kb"), []byte("kc")
 
-			if res := sm.Apply(EncodeTxnPrepare(1, ta.writeFrag(a, b, '1'))); len(res) != 1 || res[0] != StatusOK {
+			if res := sm.Apply(EncodeTxnPrepare(1, 0, ta.writeFrag(a, b, '1'))); len(res) != 1 || res[0] != StatusOK {
 				t.Fatalf("prepare tx1: %v", res)
 			}
 			if lt.LockedKeys() != 2 || lt.StagedTxs() != 1 {
@@ -117,14 +117,14 @@ func TestTxnParticipantGeneric(t *testing.T) {
 				t.Fatal("staged write visible before commit")
 			}
 			// A conflicting prepare votes no and locks nothing new.
-			if res := sm.Apply(EncodeTxnPrepare(2, ta.writeFrag(c, b, '2'))); res[0] != StatusConflict {
+			if res := sm.Apply(EncodeTxnPrepare(2, 0, ta.writeFrag(c, b, '2'))); res[0] != StatusConflict {
 				t.Fatalf("conflicting prepare: %v, want StatusConflict", res)
 			}
 			if lt.LockedKeys() != 2 {
 				t.Fatalf("conflicting prepare leaked locks: %d", lt.LockedKeys())
 			}
 			// Re-delivered prepare for the same txid re-votes yes.
-			if res := sm.Apply(EncodeTxnPrepare(1, ta.writeFrag(a, b, '1'))); res[0] != StatusOK {
+			if res := sm.Apply(EncodeTxnPrepare(1, 0, ta.writeFrag(a, b, '1'))); res[0] != StatusOK {
 				t.Fatalf("re-prepare tx1: %v", res)
 			}
 
@@ -180,7 +180,7 @@ func TestTxnParticipantGeneric(t *testing.T) {
 			// The abort tombstone refuses a prepare ordered after its own
 			// abort — the late-prepare race that would otherwise strand the
 			// locks forever.
-			if res := sm.Apply(EncodeTxnPrepare(3, ta.writeFrag(a, b, '3'))); res[0] != StatusConflict {
+			if res := sm.Apply(EncodeTxnPrepare(3, 0, ta.writeFrag(a, b, '3'))); res[0] != StatusConflict {
 				t.Fatalf("prepare after abort: %v, want StatusConflict (tombstoned)", res)
 			}
 			if lt.LockedKeys() != 0 {
@@ -188,7 +188,7 @@ func TestTxnParticipantGeneric(t *testing.T) {
 			}
 
 			// Abort path: stage then abort leaves no trace.
-			if res := sm.Apply(EncodeTxnPrepare(4, ta.writeFrag(c, b, '4'))); res[0] != StatusOK {
+			if res := sm.Apply(EncodeTxnPrepare(4, 0, ta.writeFrag(c, b, '4'))); res[0] != StatusOK {
 				t.Fatalf("prepare tx4: %v", res)
 			}
 			if res := sm.Apply(EncodeTxnAbort(4)); res[0] != StatusOK {
@@ -221,7 +221,7 @@ func TestLockTableSnapshotRoundTrip(t *testing.T) {
 		t.Run(ta.name, func(t *testing.T) {
 			sm := ta.mk()
 			a, b := []byte("xa"), []byte("xb")
-			if res := sm.Apply(EncodeTxnPrepare(7, ta.writeFrag(a, b, '1'))); res[0] != StatusOK {
+			if res := sm.Apply(EncodeTxnPrepare(7, 0, ta.writeFrag(a, b, '1'))); res[0] != StatusOK {
 				t.Fatalf("prepare: %v", res)
 			}
 			if res := sm.Apply(ta.singleWrite(a, '9')); res != nil {
@@ -295,7 +295,7 @@ func TestPrepareValidatesFragments(t *testing.T) {
 	}
 	for _, tc := range cases {
 		lt := tc.sm.(lockTabler)
-		if res := tc.sm.Apply(EncodeTxnPrepare(1, tc.frag)); len(res) != 1 || res[0] != StatusBadReq {
+		if res := tc.sm.Apply(EncodeTxnPrepare(1, 0, tc.frag)); len(res) != 1 || res[0] != StatusBadReq {
 			t.Errorf("%s: prepare = %v, want StatusBadReq", tc.name, res)
 		}
 		if lt.LockedKeys() != 0 || lt.StagedTxs() != 0 {
@@ -328,7 +328,7 @@ func TestLockTableDecisionLogBounded(t *testing.T) {
 // caller falls back to StatusLocked + retry) instead of growing unbounded.
 func TestLockTableParkedCap(t *testing.T) {
 	r := NewRKV()
-	if res := r.Apply(EncodeTxnPrepare(1, EncodeRMSet(Pair{Key: []byte("k"), Val: []byte("v")}))); res[0] != StatusOK {
+	if res := r.Apply(EncodeTxnPrepare(1, 0, EncodeRMSet(Pair{Key: []byte("k"), Val: []byte("v")}))); res[0] != StatusOK {
 		t.Fatalf("prepare: %v", res)
 	}
 	for i := 0; i < parkedCap; i++ {
@@ -449,7 +449,7 @@ func TestFragmentWrites(t *testing.T) {
 					t.Fatalf("fragment %d: %v", i, err)
 				}
 				sm := ta.mk()
-				if res := sm.Apply(EncodeTxnPrepare(1, frag)); len(res) != 1 || res[0] != StatusOK {
+				if res := sm.Apply(EncodeTxnPrepare(1, 0, frag)); len(res) != 1 || res[0] != StatusOK {
 					t.Fatalf("fragment %d not preparable: %v", i, res)
 				}
 				if got := sm.(lockTabler).LockedKeys(); got != 1 {

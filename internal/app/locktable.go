@@ -64,8 +64,9 @@ type LockTable struct {
 
 // stagedTxn is one prepared (locked but not yet committed) transaction.
 type stagedTxn struct {
-	keys []string // locked keys, in fragment order
-	frag []byte   // the staged write fragment
+	keys  []string // locked keys, in fragment order
+	frag  []byte   // the staged write fragment
+	coord uint64   // coordinator group (for commit-phase recovery)
 }
 
 // parkedReq is one wait-queue entry.
@@ -206,10 +207,52 @@ func (lt *LockTable) Abort(txid uint64) uint8 {
 }
 
 // Decided records the coordinator group's durable decision for txid
-// (TxnParticipant hook).
+// (TxnParticipant hook). First write wins: if a decision is already logged
+// and disagrees — a query-or-abort tombstone from a recovery sweep beat
+// this decide into the log — the existing record stands and the caller
+// learns via StatusConflict, so a transaction driver whose commit decide
+// lost the race reports the transaction aborted instead of committed.
 func (lt *LockTable) Decided(txid uint64, commit bool) uint8 {
+	if prev, dup := lt.decisions[txid]; dup && prev != commit {
+		return StatusConflict
+	}
 	lt.record(txid, commit)
 	return StatusOK
+}
+
+// NoteTxnCoord stamps a staged transaction with its coordinator group
+// (TxnRecoverable hook; no-op for unknown txids, idempotent for dups).
+func (lt *LockTable) NoteTxnCoord(txid, coord uint64) {
+	if tx, ok := lt.staged[txid]; ok {
+		tx.coord = coord
+	}
+}
+
+// StagedTxns lists the prepared-but-undecided transactions ascending by
+// txid (TxnRecoverable hook — the recovery agent's sweep surface).
+func (lt *LockTable) StagedTxns() []StagedTxn {
+	out := make([]StagedTxn, 0, len(lt.staged))
+	for id, tx := range lt.staged {
+		out = append(out, StagedTxn{Txid: id, Coord: tx.coord})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Txid < out[j].Txid })
+	return out
+}
+
+// QueryDecision returns the recorded decision for txid, first tombstoning
+// an undecided txid as aborted (TxnRecoverable hook, query-or-abort): the
+// query is itself a consensus-ordered command, so after it executes the
+// outcome is durable on every replica of the coordinator group and a
+// straggling commit decide behind it is refused by Decided's first-write
+// rule. Presumed abort makes the no-record answer correct: a coordinator
+// that logged nothing can only have aborted (or will, when its own decide
+// hits the tombstone).
+func (lt *LockTable) QueryDecision(txid uint64) bool {
+	if commit, ok := lt.decisions[txid]; ok {
+		return commit
+	}
+	lt.record(txid, false)
+	return false
 }
 
 // record appends to the bounded decision log, first write wins: a
@@ -364,6 +407,7 @@ func (lt *LockTable) SnapshotTo(w *wire.Writer) {
 	for _, id := range txids {
 		tx := lt.staged[id]
 		w.U64(id)
+		w.Uvarint(tx.coord)
 		w.Uvarint(uint64(len(tx.keys)))
 		for _, k := range tx.keys {
 			w.String(k)
@@ -405,8 +449,9 @@ func (lt *LockTable) RestoreFrom(rd *wire.Reader) {
 	lt.staged = make(map[uint64]*stagedTxn, nt)
 	for i := 0; i < nt; i++ {
 		id := rd.U64()
+		coord := rd.Uvarint()
 		nk := int(rd.Uvarint())
-		tx := &stagedTxn{keys: make([]string, 0, nk)}
+		tx := &stagedTxn{keys: make([]string, 0, nk), coord: coord}
 		for j := 0; j < nk; j++ {
 			k := rd.String()
 			tx.keys = append(tx.keys, k)

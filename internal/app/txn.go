@@ -45,16 +45,38 @@ const (
 	OpTxnAbort uint8 = 0xF2
 	// OpTxnDecide records the coordinator group's durable decision.
 	OpTxnDecide uint8 = 0xF3
+	// OpTxnQueryDecision asks the coordinator group for txid's recorded
+	// decision — and, query-or-abort, tombstones txid as aborted if no
+	// decision exists yet, so a late commit can never race the query. It
+	// is the recovery path for a participant stranded past the commit
+	// fan-out's bounded retry backoff.
+	OpTxnQueryDecision uint8 = 0xF4
 )
 
 // EncodeTxnPrepare builds a 2PC prepare carrying one participant shard's
-// fragment of the original multi-key write.
-func EncodeTxnPrepare(txid uint64, fragment []byte) []byte {
-	w := wire.NewWriter(24 + len(fragment))
+// fragment of the original multi-key write. coord names the coordinator
+// group (the group whose decision log resolves the transaction), so a
+// stranded participant knows where to send OpTxnQueryDecision.
+func EncodeTxnPrepare(txid, coord uint64, fragment []byte) []byte {
+	w := wire.NewWriter(32 + len(fragment))
 	w.U8(OpTxnPrepare)
 	w.U64(txid)
+	w.Uvarint(coord)
 	w.Bytes(fragment)
 	return w.Finish()
+}
+
+// EncodeTxnQueryDecision builds the coordinator-group query for txid's
+// decision (query-or-abort: the query itself tombstones an undecided txid
+// as aborted).
+func EncodeTxnQueryDecision(txid uint64) []byte { return encodeTxnOp(OpTxnQueryDecision, txid) }
+
+// DecodeTxnQueryDecision parses an OpTxnQueryDecision response.
+func DecodeTxnQueryDecision(res []byte) (commit, ok bool) {
+	if len(res) != 2 || res[0] != StatusOK {
+		return false, false
+	}
+	return res[1] != 0, true
 }
 
 // EncodeTxnCommit builds a 2PC commit for txid.
@@ -138,11 +160,20 @@ func ApplyTxn(p TxnParticipant, req []byte) ([]byte, bool) {
 	switch op {
 	case OpTxnPrepare:
 		txid := rd.U64()
+		coord := rd.Uvarint()
 		frag := rd.Bytes()
 		if rd.Done() != nil {
 			return []byte{StatusBadReq}, true
 		}
-		return []byte{p.Prepare(txid, frag)}, true
+		st := p.Prepare(txid, frag)
+		if st == StatusOK {
+			// Stamp the staged transaction with its coordinator group so
+			// commit-phase recovery knows whose decision log to replay.
+			if rec, ok := p.(TxnRecoverable); ok {
+				rec.NoteTxnCoord(txid, coord)
+			}
+		}
+		return []byte{st}, true
 	case OpTxnCommit:
 		txid := rd.U64()
 		if rd.Done() != nil {
@@ -168,6 +199,21 @@ func ApplyTxn(p TxnParticipant, req []byte) ([]byte, bool) {
 			return []byte{StatusBadReq}, true
 		}
 		return []byte{p.Decided(txid, commit)}, true
+	case OpTxnQueryDecision:
+		txid := rd.U64()
+		if rd.Done() != nil {
+			return []byte{StatusBadReq}, true
+		}
+		rec, ok := p.(TxnRecoverable)
+		if !ok {
+			return []byte{StatusBadReq}, true
+		}
+		commit := rec.QueryDecision(txid)
+		out := []byte{StatusOK, 0}
+		if commit {
+			out[1] = 1
+		}
+		return out, true
 	default:
 		return []byte{StatusBadReq}, true
 	}

@@ -287,7 +287,7 @@ func TestKVPinnedReadCrossedSignal(t *testing.T) {
 		t.Fatalf("fragment: %v", err)
 	}
 	ver.BeginSlot(3)
-	if res := kv.Apply(app.EncodeTxnPrepare(7, frag)); len(res) != 1 || res[0] != app.StatusOK {
+	if res := kv.Apply(app.EncodeTxnPrepare(7, 0, frag)); len(res) != 1 || res[0] != app.StatusOK {
 		t.Fatalf("prepare: %v", res)
 	}
 	// The live read path refuses; the pinned path answers pre-txn state

@@ -1,0 +1,340 @@
+// Package byz is the Byzantine fault-injection layer: it wraps a
+// deployment's transport.Fabric so selected nodes send *adversarial*
+// traffic — equivocating proposals, forged read replies, selective
+// silence, corrupted 2PC votes — while the rest of the cluster runs
+// unmodified. The paper's whole claim (uBFT: safety with up to f Byzantine
+// replicas over disaggregated memory) rests on quorum-intersection
+// arguments; this package turns those arguments into executable attacks so
+// the scenario suite (internal/byz/scenario) can assert the defenses hold
+// — and, with the defenses explicitly switched off, that the invariant
+// checker actually trips.
+//
+// Design: a Policy rewrites a node's OUTBOUND frames — each Send becomes
+// zero (drop), one (forward/mutate) or several (replay) sends. Outbound
+// interposition is exactly the Byzantine power model: a faulty node can
+// say anything to anyone, but it cannot forge another node's sender
+// identity (the transport authenticates links, §2.4) and it cannot stop
+// correct nodes from talking to each other. Policies parse the same wire
+// formats the protocol uses (router channel tag, msgring frame + checksum,
+// consensus PREPARE, RPC response) and re-encode with recomputed
+// checksums, so corrupted frames are indistinguishable from honest traffic
+// at the transport layer — the defenses above it have to do the work.
+//
+// Mutating policies are pure functions of (destination, frame): a
+// retransmitted frame carries the same corruption, so the attack is
+// deterministic per seed and cannot be detected as mere bit-rot.
+package byz
+
+import (
+	"repro/internal/ids"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/transport"
+	"repro/internal/wire"
+	"repro/internal/xcrypto"
+)
+
+// Policy rewrites one outbound frame: nil drops it, one element forwards
+// (possibly mutated), several also inject (replays). frame is the full
+// endpoint payload including the router channel tag; returned frames must
+// be fresh slices or the unmodified input, never a mutated alias.
+type Policy interface {
+	Outbound(to ids.ID, frame []byte) [][]byte
+}
+
+// Fabric wraps an inner transport fabric, attaching policies to chosen
+// node IDs. Uninfected nodes still go through a passthrough wrapper, so
+// the conformance suite can prove wrapping alone preserves the transport
+// contract (per-link FIFO, authenticated senders) for honest traffic.
+type Fabric struct {
+	inner    transport.Fabric
+	policies map[ids.ID]Policy
+}
+
+// Wrap builds a Byzantine-injectable view of inner.
+func Wrap(inner transport.Fabric) *Fabric {
+	return &Fabric{inner: inner, policies: make(map[ids.ID]Policy)}
+}
+
+// Infect attaches a policy to node id's future endpoint. Must be called
+// before the deployment creates that endpoint (assembly time).
+func (f *Fabric) Infect(id ids.ID, p Policy) { f.policies[id] = p }
+
+// Engine implements transport.Fabric.
+func (f *Fabric) Engine() *sim.Engine { return f.inner.Engine() }
+
+// NewEndpoint implements transport.Fabric: every endpoint is wrapped, with
+// the node's policy (nil = honest passthrough).
+func (f *Fabric) NewEndpoint(id ids.ID, name string) (transport.Endpoint, error) {
+	ep, err := f.inner.NewEndpoint(id, name)
+	if err != nil {
+		return nil, err
+	}
+	return &endpoint{Endpoint: ep, policy: f.policies[id]}, nil
+}
+
+// endpoint applies the node's policy to every Send; receives and handler
+// wiring pass straight through (Byzantine power is over what a node says,
+// not over what others deliver to it).
+type endpoint struct {
+	transport.Endpoint
+	policy Policy
+}
+
+func (e *endpoint) Send(to ids.ID, payload []byte) {
+	if e.policy == nil {
+		e.Endpoint.Send(to, payload)
+		return
+	}
+	for _, f := range e.policy.Outbound(to, payload) {
+		e.Endpoint.Send(to, f)
+	}
+}
+
+// keep forwards a frame unmodified.
+func keep(frame []byte) [][]byte { return [][]byte{frame} }
+
+// Wire-format constants the policies parse. These deliberately duplicate
+// the protocol packages' unexported values — an adversary crafts frames
+// from the wire format, not from friendly APIs — and are pinned by the
+// harness tests, which fail loudly if the formats drift.
+const (
+	ringTagLock   = 1 // broadcaster channel: <LOCK, k, m>
+	ringTagLocked = 4 // per-process channel: <LOCKED, k, m>
+
+	consTagPrepare = 1 // consensus message: PREPARE(view, slot, request)
+
+	rpcTagResponse     = 31 // [num, slot, flags, result]
+	rpcTagReadResponse = 33 // [num, version, flags, result]
+
+	respFlagParked  = 1 << 0
+	readFlagServed  = 1 << 0
+	readFlagCrossed = 1 << 1
+)
+
+// Passthrough forwards every frame untouched: the honest-traffic control
+// policy the transport conformance suite runs against.
+type Passthrough struct{}
+
+// Outbound implements Policy.
+func (Passthrough) Outbound(_ ids.ID, frame []byte) [][]byte { return keep(frame) }
+
+// Silence mutes the node toward a chosen subset of the cluster — the
+// "selective silence" adversary: by staying responsive to f+1 nodes and
+// silent toward the rest it can try to split quorums or starve specific
+// followers into view changes, without ever sending a malformed byte.
+type Silence struct {
+	Targets map[ids.ID]bool
+}
+
+// SilenceOf builds a Silence policy muting the given targets.
+func SilenceOf(targets ...ids.ID) *Silence {
+	m := make(map[ids.ID]bool, len(targets))
+	for _, t := range targets {
+		m[t] = true
+	}
+	return &Silence{Targets: m}
+}
+
+// Outbound implements Policy.
+func (s *Silence) Outbound(to ids.ID, frame []byte) [][]byte {
+	if s.Targets[to] {
+		return nil
+	}
+	return keep(frame)
+}
+
+// Equivocate is the equivocating broadcaster: PREPARE proposals carried in
+// this node's CTBcast LOCK (and LOCKED echo) frames are mutated
+// per-destination, so different followers are told different commands for
+// the same slot — the classic split-brain attack CTBcast's LOCKED
+// unanimity rule exists to stop (a divergent lock set can never reach
+// unanimity, forcing the signed slow path, whose SWMR register arbitration
+// picks ONE of the variants for everyone). The mutation XORs the client
+// request's payload with a destination-derived byte: same length, valid
+// framing, recomputed ring checksum — only the command bytes lie.
+type Equivocate struct{}
+
+// Outbound implements Policy.
+func (Equivocate) Outbound(to ids.ID, frame []byte) [][]byte {
+	if len(frame) == 0 || frame[0] != router.ChanRing {
+		return keep(frame)
+	}
+	rd := wire.NewReader(frame[1:])
+	inst := rd.U32()
+	slot := rd.U32()
+	inc := rd.U64()
+	rd.U64() // original checksum, recomputed below
+	data := rd.Bytes()
+	if rd.Done() != nil || len(data) == 0 {
+		return keep(frame)
+	}
+	tag := data[0]
+	if tag != ringTagLock && tag != ringTagLocked {
+		return keep(frame) // leave SIGNED/summary traffic to the slow path
+	}
+	drd := wire.NewReader(data[1:])
+	k := drd.U64()
+	m := drd.Bytes()
+	if drd.Done() != nil {
+		return keep(frame)
+	}
+	m2, ok := mutatePrepare(m, to)
+	if !ok {
+		return keep(frame)
+	}
+	dw := wire.NewWriter(16 + len(m2))
+	dw.U8(tag)
+	dw.U64(k)
+	dw.Bytes(m2)
+	newData := dw.Finish()
+	w := wire.NewWriter(len(frame) + 16)
+	w.U8(router.ChanRing)
+	w.U32(inst)
+	w.U32(slot)
+	w.U64(inc)
+	w.U64(xcrypto.ChecksumNoCharge(newData))
+	w.Bytes(newData)
+	return [][]byte{w.Finish()}
+}
+
+// mutatePrepare rewrites the client payload inside a PREPARE carrying
+// exactly one non-empty request, with a destination-derived XOR mask
+// (pure in (to, m), so retransmissions equivocate consistently).
+func mutatePrepare(m []byte, to ids.ID) ([]byte, bool) {
+	rd := wire.NewReader(m)
+	if rd.U8() != consTagPrepare {
+		return nil, false
+	}
+	view := rd.U64()
+	slot := rd.U64()
+	client := rd.I64()
+	num := rd.U64()
+	payload := rd.Bytes()
+	if rd.Done() != nil || len(payload) == 0 {
+		return nil, false // filler/no-op proposals have nothing to equivocate
+	}
+	mask := byte(uint64(to)&0xff) ^ 0xA5
+	if mask == 0 {
+		mask = 0xA5
+	}
+	forged := make([]byte, len(payload))
+	for i, b := range payload {
+		forged[i] = b ^ mask
+	}
+	w := wire.NewWriter(len(m) + 8)
+	w.U8(consTagPrepare)
+	w.U64(view)
+	w.U64(slot)
+	w.I64(client)
+	w.U64(num)
+	w.Bytes(forged)
+	return w.Finish(), true
+}
+
+// ForgeReads corrupts this replica's client-facing replies: read replies
+// (tag 33) get flipped result bytes, a version inflated by 2^40 and lying
+// served/crossed flags; ordered replies (tag 31) get flipped result bytes,
+// an inflated slot and a flipped parked marker. The attack targets the f+1
+// fast-read floor (a forged version must never ratchet the client's
+// monotonic floor), the 2f+1 strong-read rule (a lone liar must never get
+// a wrong value accepted) and the shard layer's parked/crossed
+// revalidation signals.
+type ForgeReads struct{}
+
+// Outbound implements Policy.
+func (ForgeReads) Outbound(_ ids.ID, frame []byte) [][]byte {
+	if len(frame) < 2 || frame[0] != router.ChanRPC {
+		return keep(frame)
+	}
+	tag := frame[1]
+	if tag != rpcTagResponse && tag != rpcTagReadResponse {
+		return keep(frame)
+	}
+	rd := wire.NewReader(frame[2:])
+	num := rd.U64()
+	version := rd.U64()
+	flags := rd.U8()
+	result := rd.Bytes()
+	if rd.Done() != nil {
+		return keep(frame)
+	}
+	forged := make([]byte, len(result))
+	for i, b := range result {
+		forged[i] = b ^ 0x5A
+	}
+	version += 1 << 40 // claim a state version far past anything real
+	if tag == rpcTagReadResponse {
+		flags = (flags | readFlagServed) ^ readFlagCrossed
+	} else {
+		flags ^= respFlagParked
+	}
+	w := wire.NewWriter(len(frame) + 8)
+	w.U8(router.ChanRPC)
+	w.U8(tag)
+	w.U64(num)
+	w.U64(version)
+	w.U8(flags)
+	w.Bytes(forged)
+	return [][]byte{w.Finish()}
+}
+
+// CorruptVotes attacks the 2PC plane: single-status-byte ordered replies —
+// exactly the shape of prepare votes, commit/abort acks and decide acks —
+// are flipped between StatusOK (0) and StatusConflict (5), so a yes-vote
+// reads as a refusal and vice versa; and every replayEvery'th corrupted
+// reply is accompanied by a replay of the previous reply sent to the same
+// destination (a stale decide/vote from an earlier transaction). The
+// client-side defenses under test: per-replica dedup bitmasks, the f+1
+// matching rule over (result, slot), and request-number matching.
+type CorruptVotes struct {
+	// ReplayEvery injects a stale replay every Nth response (default 3).
+	ReplayEvery int
+
+	sent  int
+	prevs map[ids.ID][]byte
+}
+
+// Outbound implements Policy.
+func (p *CorruptVotes) Outbound(to ids.ID, frame []byte) [][]byte {
+	if len(frame) < 2 || frame[0] != router.ChanRPC || frame[1] != rpcTagResponse {
+		return keep(frame)
+	}
+	rd := wire.NewReader(frame[2:])
+	num := rd.U64()
+	slot := rd.U64()
+	flags := rd.U8()
+	result := rd.Bytes()
+	if rd.Done() != nil || len(result) != 1 {
+		return keep(frame)
+	}
+	forged := result[0]
+	switch forged {
+	case 0: // StatusOK -> StatusConflict: a yes-vote becomes a refusal
+		forged = 5
+	case 5: // StatusConflict -> StatusOK: a refusal becomes a yes-vote
+		forged = 0
+	}
+	w := wire.NewWriter(len(frame) + 4)
+	w.U8(router.ChanRPC)
+	w.U8(rpcTagResponse)
+	w.U64(num)
+	w.U64(slot)
+	w.U8(flags)
+	w.Bytes([]byte{forged})
+	out := [][]byte{w.Finish()}
+
+	every := p.ReplayEvery
+	if every <= 0 {
+		every = 3
+	}
+	if p.prevs == nil {
+		p.prevs = make(map[ids.ID][]byte)
+	}
+	p.sent++
+	if prev := p.prevs[to]; prev != nil && p.sent%every == 0 {
+		out = append(out, prev)
+	}
+	p.prevs[to] = out[0]
+	return out
+}

@@ -1,0 +1,167 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// matrixSeeds returns the seeds each (policy, app, read-mode) cell runs.
+// `make byz-suite` sets BYZ_SEEDS=8; the default keeps `go test ./...`
+// quick while still running every cell twice.
+func matrixSeeds(t *testing.T) []int64 {
+	n := 2
+	if env := os.Getenv("BYZ_SEEDS"); env != "" {
+		v, err := strconv.Atoi(env)
+		if err != nil || v < 1 {
+			t.Fatalf("BYZ_SEEDS=%q is not a positive integer", env)
+		}
+		n = v
+	}
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	return seeds
+}
+
+// TestByzMatrix runs every policy against every app in every read mode,
+// one deterministic run per seed, and asserts every safety invariant holds
+// with the defenses on. The pass matrix is printed at the end (visible
+// under -v, which `make byz-suite` uses).
+func TestByzMatrix(t *testing.T) {
+	seeds := matrixSeeds(t)
+	type cell struct {
+		policy, app, mode string
+		passed, failed    int
+	}
+	var cells []*cell
+	for _, policy := range Policies() {
+		for _, appName := range Apps() {
+			for _, mode := range ReadModes() {
+				c := &cell{policy: policy, app: appName, mode: mode}
+				cells = append(cells, c)
+				name := fmt.Sprintf("%s/%s/%s", policy, appName, mode)
+				t.Run(name, func(t *testing.T) {
+					for _, seed := range seeds {
+						rep := Run(Config{Seed: seed, App: appName, ReadMode: mode, Policy: policy})
+						if rep.OK() {
+							c.passed++
+							continue
+						}
+						c.failed++
+						t.Errorf("seed %d: %d invariant violations:\n  %s",
+							seed, len(rep.Violations), strings.Join(rep.Violations, "\n  "))
+					}
+				})
+			}
+		}
+	}
+	t.Logf("byz-suite pass matrix (%d seeds per cell):", len(seeds))
+	t.Logf("%-14s %-11s %-9s %s", "policy", "app", "readmode", "pass/total")
+	for _, c := range cells {
+		t.Logf("%-14s %-11s %-9s %d/%d", c.policy, c.app, c.mode, c.passed, c.passed+c.failed)
+	}
+}
+
+// TestByzDeterministicPerSeed: the harness is a pure function of its seed —
+// the exact precondition for "every Byzantine scenario deterministic per
+// seed". Two runs of an adversarial cell must agree op for op.
+func TestByzDeterministicPerSeed(t *testing.T) {
+	cfg := Config{Seed: 3, App: "rkv", ReadMode: ReadFast, Policy: ForgeReads}
+	a, b := Run(cfg), Run(cfg)
+	if a.Ops != b.Ops || a.Commits != b.Commits || len(a.Violations) != len(b.Violations) {
+		t.Fatalf("same seed diverged: ops %d/%d commits %d/%d violations %d/%d",
+			a.Ops, b.Ops, a.Commits, b.Commits, len(a.Violations), len(b.Violations))
+	}
+}
+
+// requireTrip asserts at least one of the given seeds produces an
+// invariant violation — the checker-sensitivity bar: with a defense
+// switched off, the attack it bounds must become visible.
+func requireTrip(t *testing.T, what string, cfgs []Config) {
+	t.Helper()
+	for _, cfg := range cfgs {
+		if rep := Run(cfg); !rep.OK() {
+			t.Logf("%s tripped at seed %d: %s", what, cfg.Seed, rep.Violations[0])
+			return
+		}
+	}
+	t.Fatalf("%s: invariant checker never tripped with the defense disabled", what)
+}
+
+// TestTripEquivocation: equivocation is bounded by TWO independent
+// defenses, and both must be switched off before the attack lands.
+// CTBcast's LOCKED unanimity (defense one) refuses to deliver divergent
+// variants; the Sec. 5.4 echo rule (defense two) makes followers withhold
+// their endorsement of any prepare whose request the client never sent
+// them directly, so forged payloads starve the slot and the view change
+// re-proposes the original. With both off, correct replicas endorse and
+// execute different commands and the checker must see it.
+func TestTripEquivocation(t *testing.T) {
+	requireTrip(t, "equivocation with unanimity and echo off", []Config{
+		{Seed: 1, App: "rkv", ReadMode: ReadFast, Policy: Equivocate,
+			UnsafeFirstLockDelivers: true, DisableEchoWait: true},
+		{Seed: 2, App: "rkv", ReadMode: ReadFast, Policy: Equivocate,
+			UnsafeFirstLockDelivers: true, DisableEchoWait: true},
+	})
+}
+
+// TestTripForgedReads: with the client's f+1 matching rule off (any single
+// reply accepted) and the ordered fallback disabled, the forging replica's
+// inflated-version garbage replies win reads — read-your-writes and the
+// floor invariant must trip.
+func TestTripForgedReads(t *testing.T) {
+	var cfgs []Config
+	for seed := int64(1); seed <= 8; seed++ {
+		cfgs = append(cfgs, Config{
+			Seed: seed, App: "rkv", ReadMode: ReadFast, Policy: ForgeReads,
+			UnsafeQuorumOne: true, UnsafeNoReadFallback: true,
+		})
+	}
+	requireTrip(t, "forged reads with quorum off", cfgs)
+}
+
+// TestTripCorruptVotes: with the quorum rule off, the vote-flipping
+// participant's lone reply decides 2PC phases — flipped prepare votes and
+// poisoned single-status acks must surface as violations.
+func TestTripCorruptVotes(t *testing.T) {
+	var cfgs []Config
+	for seed := int64(1); seed <= 8; seed++ {
+		cfgs = append(cfgs, Config{
+			Seed: seed, App: "rkv", ReadMode: ReadFast, Policy: CorruptVotes,
+			UnsafeQuorumOne: true,
+		})
+	}
+	requireTrip(t, "corrupted votes with quorum off", cfgs)
+}
+
+// TestTripSilenceBeyondF: two silent replicas exceed the f=1 bound every
+// quorum argument assumes — the client can never assemble f+1 matching
+// replies and the completion invariant must trip. (This is the "why f=1
+// bounds the attack" demonstration: one silent replica, as in the matrix,
+// is harmless.)
+func TestTripSilenceBeyondF(t *testing.T) {
+	requireTrip(t, "silence beyond f", []Config{
+		{Seed: 1, App: "kv", ReadMode: ReadFast, Policy: Silence, SilenceBoth: true},
+	})
+}
+
+// TestStrongReadLoneLiar: the 2f+1 strong-read rule under one forging
+// replica. The liar can force fallbacks (its reply breaks the all-replicas
+// agreement), but every accepted value must still be correct — asserted
+// across apps and seeds by the full invariant set.
+func TestStrongReadLoneLiar(t *testing.T) {
+	for _, appName := range Apps() {
+		t.Run(appName, func(t *testing.T) {
+			for seed := int64(1); seed <= 4; seed++ {
+				rep := Run(Config{Seed: seed, App: appName, ReadMode: ReadStrong, Policy: ForgeReads})
+				if !rep.OK() {
+					t.Errorf("seed %d: %s", seed, strings.Join(rep.Violations, "; "))
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,360 @@
+// Package scenario is the seeded Byzantine scenario harness: it assembles
+// a two-shard deployment on a byz-wrapped fabric, runs one adversarial
+// policy against one application in one read mode, and machine-checks the
+// safety invariants the paper's f=1 bound promises — agreement across
+// correct replicas, read-your-writes, monotonic reads, an uninflatable
+// read floor, no torn cross-shard state, exactly-once execution, and
+// bounded-time completion. Every run is a pure function of its seed
+// (virtual-time simulation, deterministic policies), so a failing cell
+// replays exactly.
+//
+// The same harness runs the defense-off trip scenarios: with CTBcast's
+// LOCKED unanimity disabled (UnsafeFirstLockDelivers), the client's f+1
+// matching rule disabled (UnsafeQuorumOne), or more than f replicas
+// infected, the SAME invariant checker must report violations — proving
+// the checker can actually see the attacks the defenses stop.
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/app"
+	"repro/internal/byz"
+	"repro/internal/cluster"
+	"repro/internal/consensus"
+	"repro/internal/ids"
+	"repro/internal/shard"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// Policy names the adversarial behaviour of the infected replica(s).
+const (
+	Honest       = "honest"
+	Silence      = "silence"
+	Equivocate   = "equivocate"
+	ForgeReads   = "forgereads"
+	CorruptVotes = "corruptvotes"
+)
+
+// Read mode names: how the workload's reads travel.
+const (
+	ReadFast     = "fast"     // unordered f+1 quorum reads
+	ReadSnapshot = "snapshot" // pinned snapshot scatter reads across shards
+	ReadStrong   = "strong"   // linearizable 2f+1 strong reads
+)
+
+// Policies, Apps and ReadModes enumerate the matrix axes.
+func Policies() []string { return []string{Honest, Silence, Equivocate, ForgeReads, CorruptVotes} }
+func Apps() []string     { return []string{"kv", "rkv", "orderbook"} }
+func ReadModes() []string {
+	return []string{ReadFast, ReadSnapshot, ReadStrong}
+}
+
+// Config selects one cell of the scenario matrix, plus the defense-off
+// knobs the trip tests flip.
+type Config struct {
+	Seed     int64
+	App      string // "kv" | "rkv" | "orderbook"
+	ReadMode string // ReadFast | ReadSnapshot | ReadStrong
+	Policy   string // Honest | Silence | Equivocate | ForgeReads | CorruptVotes
+	Rounds   int    // workload rounds (default 4)
+
+	// Defense-off knobs — trip tests only. Each disables exactly the
+	// mechanism that bounds one attack at f=1.
+	UnsafeFirstLockDelivers bool // CTBcast delivers on first LOCK (equivocation defense off)
+	UnsafeQuorumOne         bool // client accepts 1 reply (quorum defense off)
+	UnsafeNoReadFallback    bool // fast reads never fall back to the ordered path
+	// DisableEchoWait turns off the Sec. 5.4 echo rule (followers endorse a
+	// prepare without holding the client's direct request copy). The
+	// equivocation trip needs it: the forged payload's digest matches no
+	// echoed request, so with the echo rule on followers refuse to vote for
+	// the divergent prepare and the view change rescues the run even with
+	// unanimity disabled — the two defenses independently bound the attack.
+	DisableEchoWait bool
+	// SilenceBoth infects a second replica with the silence policy —
+	// deliberately exceeding f, the bound the paper's quorum arithmetic
+	// assumes — so the completion invariant must trip.
+	SilenceBoth bool
+}
+
+// Report is the machine-checked outcome of one scenario run.
+type Report struct {
+	Violations []string
+	Ops        int // operations issued
+	Commits    int // cross-shard transactions committed
+}
+
+// OK reports whether every invariant held.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+func (r *Report) violate(format string, args ...any) {
+	r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+}
+
+// Deployment geometry: 2 shards of 3 replicas (f=1) sharing one memory
+// pool, one client. The infected replica is replica 0 of the shard the
+// attack targets (group 0 for consensus/read attacks, group 1 — a 2PC
+// participant that is not the coordinator — for vote corruption).
+const (
+	nShards    = 2
+	byzReplica = ids.ID(0)   // replica 0 of group 0 (leader of view 0)
+	byzVoter   = ids.ID(100) // replica 0 of group 1
+	clientID   = ids.ID(200_000)
+	opBudget   = 20 * sim.Millisecond // virtual-time completion bound per op
+)
+
+// Infected returns the replica IDs a config infects (excluded from the
+// agreement check — a Byzantine replica's state is unconstrained).
+func (cfg Config) Infected() []ids.ID {
+	switch cfg.Policy {
+	case Silence:
+		if cfg.SilenceBoth {
+			return []ids.ID{0, 1}
+		}
+		return []ids.ID{byzReplica}
+	case Equivocate, ForgeReads:
+		return []ids.ID{byzReplica}
+	case CorruptVotes:
+		return []ids.ID{byzVoter}
+	}
+	return nil
+}
+
+// Run executes one scenario cell and returns its invariant report.
+func Run(cfg Config) *Report {
+	rep := &Report{}
+	ad, ok := adapters()[cfg.App]
+	if !ok {
+		rep.violate("unknown app %q", cfg.App)
+		return rep
+	}
+	if cfg.Rounds == 0 {
+		cfg.Rounds = 4
+	}
+
+	// Assemble the fabric ourselves so every endpoint goes through the byz
+	// wrapper (shard.Build sees an opaque transport.Fabric).
+	eng := sim.NewEngine(cfg.Seed)
+	net := simnet.New(eng, simnet.RDMAOptions())
+	fab := byz.Wrap(simnet.AsFabric(net))
+	switch cfg.Policy {
+	case Silence:
+		fab.Infect(byzReplica, byz.SilenceOf(clientID))
+		if cfg.SilenceBoth {
+			fab.Infect(ids.ID(1), byz.SilenceOf(clientID))
+		}
+	case Equivocate:
+		fab.Infect(byzReplica, byz.Equivocate{})
+	case ForgeReads:
+		fab.Infect(byzReplica, byz.ForgeReads{})
+	case CorruptVotes:
+		fab.Infect(byzVoter, &byz.CorruptVotes{})
+	}
+
+	// cluster fill maps EchoTimeout==0 onto the paper default; a negative
+	// value reaches consensus unchanged, where <= 0 means "endorse without
+	// waiting for the client's request copy" — the defense-off setting.
+	echo := sim.Duration(0)
+	if cfg.DisableEchoWait {
+		echo = -1
+	}
+	d, err := shard.Build(shard.Options{
+		Seed:        cfg.Seed,
+		Shards:      nShards,
+		NewApp:      ad.newApp,
+		FastReads:   cfg.ReadMode == ReadFast || cfg.ReadMode == ReadSnapshot || cfg.ReadMode == ReadStrong,
+		StrongReads: cfg.ReadMode == ReadStrong,
+		Group: cluster.Options{
+			Fabric: fab,
+			// View changes are the liveness half of the equivocation
+			// defense: CTBcast's unanimity rule wedges an equivocating
+			// leader's own channel (a follower that locked one variant
+			// refuses the SIGNED other, Algorithm 1 line 28), and the view
+			// change then replaces that leader so the pending requests
+			// re-propose under an honest one.
+			ViewChangeTimeout:       2 * sim.Millisecond,
+			EchoTimeout:             echo,
+			UnsafeFirstLockDelivers: cfg.UnsafeFirstLockDelivers,
+		},
+	})
+	if err != nil {
+		rep.violate("build: %v", err)
+		return rep
+	}
+	defer d.Stop()
+	cl := d.Client(0)
+	if cfg.UnsafeQuorumOne {
+		cl.SetUnsafeQuorumOne(true)
+	}
+	if cfg.UnsafeNoReadFallback {
+		cl.SetUnsafeNoReadFallback(true)
+	}
+
+	h := &harness{cfg: cfg, ad: ad, d: d, rep: rep}
+	h.workload()
+	h.checkAgreement()
+	return rep
+}
+
+// harness drives one run's workload and invariant state.
+type harness struct {
+	cfg Config
+	ad  appAdapter
+	d   *shard.Deployment
+	rep *Report
+
+	modelA    int // last acknowledged counter of the single-key probe
+	modelPair int // last committed counter of the atomic pair
+	lastReadA int // monotonic-read watermark
+}
+
+// do submits one request and runs virtual time until it completes or the
+// budget expires. ok=false means the op never finished (completion
+// violation recorded by the caller with context).
+func (h *harness) do(payload []byte) ([]byte, bool) {
+	var res []byte
+	fired := false
+	if _, err := h.d.Client(0).Invoke(payload, func(r []byte, _ sim.Duration) { res, fired = r, true }); err != nil {
+		h.rep.violate("invoke error: %v", err)
+		return nil, false
+	}
+	h.rep.Ops++
+	if err := cluster.SyncWait(h.d.Eng, opBudget, func() bool { return fired }); err != nil {
+		return nil, false
+	}
+	return res, true
+}
+
+// workload runs Rounds of: single-key write, single-key read (RYW +
+// monotonicity), atomic cross-shard pair write, cross-shard pair read
+// (torn check + RYW), and the read-floor sanity check.
+func (h *harness) workload() {
+	a := keyOn(0, "a")
+	p := keyOn(0, "p")
+	q := keyOn(1, "q")
+	for i := 1; i <= h.cfg.Rounds; i++ {
+		// Single-key write on the attacked group.
+		if res, done := h.do(h.ad.write1(a, i)); !done {
+			h.rep.violate("round %d: single-key write never completed", i)
+		} else if !h.ad.wrote1OK(res) {
+			h.rep.violate("round %d: single-key write acknowledged %v", i, res)
+		} else {
+			h.modelA = i
+		}
+		// Read it back: read-your-writes and monotonicity.
+		if res, done := h.do(h.ad.read1(a)); !done {
+			h.rep.violate("round %d: single-key read never completed", i)
+		} else if c, present, ok := h.ad.val1(res); !ok {
+			h.rep.violate("round %d: unparseable read response %v", i, res)
+		} else if !present || c != h.modelA {
+			h.rep.violate("round %d: read-your-writes broken: read counter %d (present=%v), wrote %d", i, c, present, h.modelA)
+		} else {
+			if c < h.lastReadA {
+				h.rep.violate("round %d: monotonic reads broken: %d after %d", i, c, h.lastReadA)
+			}
+			h.lastReadA = c
+		}
+		// Atomic cross-shard pair write (2PC through the byz fabric).
+		if res, done := h.do(h.ad.pairWrite(p, q, i)); !done {
+			h.rep.violate("round %d: pair write never completed", i)
+		} else if !h.ad.commitOK(res) {
+			h.rep.violate("round %d: pair write did not commit: %v", i, res)
+		} else {
+			h.modelPair = i
+			h.rep.Commits++
+		}
+		// Cross-shard read of the pair: never torn, reflects the commit.
+		if res, done := h.do(h.ad.readPair(p, q)); !done {
+			h.rep.violate("round %d: pair read never completed", i)
+		} else if c1, c2, ok := h.ad.valPair(res); !ok {
+			h.rep.violate("round %d: unparseable pair read %v", i, res)
+		} else {
+			if c1 != c2 {
+				h.rep.violate("round %d: torn cross-shard state: %d vs %d", i, c1, c2)
+			}
+			if h.modelPair > 0 && c1 != h.modelPair {
+				h.rep.violate("round %d: pair read counter %d, committed %d", i, c1, h.modelPair)
+			}
+		}
+		h.checkFloor(i)
+	}
+}
+
+// checkFloor asserts the client's monotonic read floor stays anchored to
+// real execution: a forged reply claiming version 2^40 must never ratchet
+// it past what the group actually decided (small slack for the +1 floor
+// semantics and in-flight decisions).
+func (h *harness) checkFloor(round int) {
+	for g, grp := range h.d.Groups {
+		floor := h.d.Client(0).ReadFloor(g)
+		if int(floor) > grp.DecidedCount()+4 {
+			h.rep.violate("round %d: group %d read floor %d inflated past decided %d",
+				round, g, floor, grp.DecidedCount())
+		}
+	}
+}
+
+// checkAgreement compares the correct replicas of each group after
+// quiescence: every pair that reached the group's maximum decided count
+// must hold bit-identical application state. Infected replicas are
+// excluded — a Byzantine replica's local state is unconstrained.
+func (h *harness) checkAgreement() {
+	h.d.Eng.RunFor(4 * sim.Millisecond) // drain in-flight traffic
+	infected := make(map[ids.ID]bool)
+	for _, id := range h.cfg.Infected() {
+		infected[id] = true
+	}
+	for g, grp := range h.d.Groups {
+		maxDec := 0
+		for ri, r := range grp.Replicas {
+			if !infected[grp.ReplicaIDs[ri]] && r.DecidedCount() > maxDec {
+				maxDec = r.DecidedCount()
+			}
+		}
+		var ref []byte
+		refIdx := -1
+		for ri, r := range grp.Replicas {
+			if infected[grp.ReplicaIDs[ri]] || r.DecidedCount() != maxDec {
+				continue
+			}
+			snap := grp.Apps[ri].Snapshot()
+			if ref == nil {
+				ref, refIdx = snap, ri
+				continue
+			}
+			if !bytesEqual(ref, snap) {
+				h.rep.violate("group %d: replicas %d and %d disagree at decided=%d (%d vs %d snapshot bytes)",
+					g, refIdx, ri, maxDec, len(ref), len(snap))
+			}
+		}
+	}
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// keyOn returns a probe key (prefix plus a counter) hashing onto shard s.
+func keyOn(s int, prefix string) []byte {
+	for n := 0; ; n++ {
+		k := []byte(prefix + "-" + strconv.Itoa(n))
+		if app.ShardOfKey(k, nShards) == s {
+			return k
+		}
+	}
+}
+
+// Guard against silent wire-format drift: the byz policies parse consensus
+// frames from raw bytes. consensus keeps exporting the request codec the
+// Equivocate policy's mutation target round-trips through.
+var _ = consensus.EncodeRequest

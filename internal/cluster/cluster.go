@@ -54,6 +54,12 @@ type Options struct {
 	EchoTimeout       sim.Duration // 0 disables the echo round
 	BatchSize         int          // >1 enables leader-side batching (§9 extension)
 
+	// UnsafeFirstLockDelivers disables CTBcast's LOCKED unanimity check on
+	// every replica — the equivocation defense. Byzantine-harness only (it
+	// lets the adversarial suite prove its invariant checker can detect
+	// divergence); never set in production deployments.
+	UnsafeFirstLockDelivers bool
+
 	// NewApp builds one state-machine instance per replica; nil defaults
 	// to Flip.
 	NewApp func() app.StateMachine
@@ -178,6 +184,8 @@ func (o *Options) ConsensusConfig(self ids.ID, replicas, memNodes []ids.ID, a ap
 		EchoTimeout:       o.EchoTimeout,
 		BatchSize:         o.BatchSize,
 		App:               a,
+
+		UnsafeFirstLockDelivers: o.UnsafeFirstLockDelivers,
 	}
 }
 

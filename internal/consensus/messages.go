@@ -32,6 +32,12 @@ const (
 	tagCertifyVC   uint8 = 20
 	tagStateReq    uint8 = 21
 	tagStateResp   uint8 = 22
+	// tagStagedQuery/tagStagedResp are the commit-phase-recovery hint scan:
+	// a recovery agent asks a replica for its prepared-but-undecided
+	// transactions and gets the (txid, coordinator group) pairs back. Both
+	// ride ChanDirect; tagEcho (23) lives in rpc.go.
+	tagStagedQuery uint8 = 24
+	tagStagedResp  uint8 = 25
 )
 
 // Request is a client command. A no-op request (view-change filler) has

@@ -1,0 +1,90 @@
+package consensus
+
+import (
+	"repro/internal/app"
+	"repro/internal/ids"
+	"repro/internal/router"
+	"repro/internal/wire"
+)
+
+// This file is the replica side of commit-phase recovery: the staged-
+// transaction hint scan. A 2PC participant that voted yes and then missed
+// the commit fan-out past the driver's bounded retry backoff holds its
+// locks with no client retaining any transaction state (shard/txn.go's
+// inherent blocking case). The recovery path is pull-based: a recovery
+// agent periodically asks each replica for its prepared-but-undecided
+// transactions (tagStagedQuery -> tagStagedResp, the coordinator group
+// stamped on each by the prepare envelope), cross-checks the hints across
+// f+1 replicas of the group — a lone Byzantine replica cannot fabricate a
+// stranded transaction — and then drives ordered OpTxnQueryDecision /
+// OpTxnCommit / OpTxnAbort commands that resolve it on every replica.
+//
+// The hint scan itself is advisory and unordered (any replica can answer
+// from its current state); everything that mutates state goes through
+// consensus as ordinary ordered commands, so recovery can never diverge
+// replicas. The agent lives in internal/shard (RecoveryAgent).
+
+// stagedHintCap bounds how many staged-transaction hints one response
+// carries; a replica with more stranded transactions than this answers the
+// oldest ones first and the next sweep picks up the rest.
+const stagedHintCap = 256
+
+// onStagedQuery answers a recovery agent's hint scan with this replica's
+// prepared-but-undecided transactions (empty unless the application is
+// TxnRecoverable). The nonce is echoed so the agent can match responses to
+// its sweep round.
+func (r *Replica) onStagedQuery(from ids.ID, rd *wire.Reader) {
+	nonce := rd.U64()
+	if rd.Done() != nil {
+		return
+	}
+	var staged []app.StagedTxn
+	if rec, ok := r.cfg.App.(app.TxnRecoverable); ok {
+		staged = rec.StagedTxns()
+	}
+	if len(staged) > stagedHintCap {
+		staged = staged[:stagedHintCap]
+	}
+	w := wire.GetWriter(16 + 16*len(staged))
+	w.U8(tagStagedResp)
+	w.U64(nonce)
+	w.Uvarint(uint64(len(staged)))
+	for _, tx := range staged {
+		w.U64(tx.Txid)
+		w.Uvarint(tx.Coord)
+	}
+	r.rt.Send(from, router.ChanDirect, w.Finish())
+	wire.PutWriter(w)
+}
+
+// EncodeStagedQuery builds the hint-scan request a recovery agent sends a
+// replica on ChanDirect.
+func EncodeStagedQuery(nonce uint64) []byte {
+	w := wire.NewWriter(16)
+	w.U8(tagStagedQuery)
+	w.U64(nonce)
+	return w.Finish()
+}
+
+// DecodeStagedResp parses a replica's hint-scan response (a ChanDirect
+// frame). ok=false for anything that is not a well-formed tagStagedResp.
+func DecodeStagedResp(payload []byte) (nonce uint64, staged []app.StagedTxn, ok bool) {
+	rd := wire.NewReader(payload)
+	if rd.U8() != tagStagedResp {
+		return 0, nil, false
+	}
+	nonce = rd.U64()
+	n := rd.Uvarint()
+	if n > stagedHintCap || rd.Err() != nil {
+		return 0, nil, false
+	}
+	staged = make([]app.StagedTxn, 0, n)
+	for i := uint64(0); i < n; i++ {
+		tx := app.StagedTxn{Txid: rd.U64(), Coord: rd.Uvarint()}
+		staged = append(staged, tx)
+	}
+	if rd.Done() != nil {
+		return 0, nil, false
+	}
+	return nonce, staged, true
+}

@@ -50,6 +50,11 @@ type Config struct {
 	// CTBMode configures the underlying CTBcast groups.
 	CTBMode      ctbcast.PathMode
 	CTBSlowDelay sim.Duration
+	// UnsafeFirstLockDelivers disables CTBcast's LOCKED unanimity check
+	// (the equivocation defense) in every group. Byzantine-harness only:
+	// it exists so the adversarial suite can prove its invariant checker
+	// trips when the defense is off. Never set in production.
+	UnsafeFirstLockDelivers bool
 	// ViewChangeTimeout is the leader-suspicion timeout; zero disables
 	// view changes (stable-leader benchmarks).
 	ViewChangeTimeout sim.Duration
@@ -400,6 +405,8 @@ func NewReplica(cfg Config, deps Deps) *Replica {
 			SummaryCap:    cfg.Window*(cfg.MsgCap+512) + 4096,
 			Mode:          cfg.CTBMode,
 			SlowPathDelay: cfg.CTBSlowDelay,
+
+			UnsafeFirstLockDelivers: cfg.UnsafeFirstLockDelivers,
 			InstanceBase:  cfg.groupInstanceBase(i),
 			RegionBase:    cfg.regionBase(i),
 			Deliver:       func(k uint64, m []byte) { r.onConsensusMsg(p, m) },

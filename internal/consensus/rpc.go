@@ -403,6 +403,12 @@ type Client struct {
 	FastReads     uint64 // reads answered by an f+1 unordered quorum
 	StrongReads   uint64 // reads answered by a 2f+1 strong quorum
 	ReadFallbacks uint64 // reads that fell back to the ordered path
+
+	// Byzantine-harness defense-off switches (see the SetUnsafe* setters):
+	// accept the first matching class instead of a quorum, and disable the
+	// ordered-path fallback safety net. Never set in production.
+	unsafeQuorumOne      bool
+	unsafeNoReadFallback bool
 }
 
 // resTally accumulates one result class of a pending request: the vote
@@ -527,6 +533,25 @@ func (c *Client) SetReadTimeout(d sim.Duration) {
 // Groups returns how many replica groups this client can address.
 func (c *Client) Groups() int { return len(c.groups) }
 
+// ReadFloor exposes the per-group monotonic read floor (the lowest state
+// version a fast read may be answered at) — the Byzantine harness and the
+// adversarial fuzz targets assert a hostile reply can never inflate it.
+func (c *Client) ReadFloor(group int) Slot { return c.readFloor[group] }
+
+// SetUnsafeQuorumOne makes every quorum rule accept the FIRST reply class
+// (need=1) instead of f+1 / 2f+1 — i.e. it switches the response and read
+// quorum checks off. Byzantine-harness only: it exists so the adversarial
+// suite can prove a lone forging replica is accepted (and the invariant
+// checker trips) once the quorum defense is gone. Never set in production.
+func (c *Client) SetUnsafeQuorumOne(on bool) { c.unsafeQuorumOne = on }
+
+// SetUnsafeNoReadFallback disables the ordered-path fallback safety net of
+// the read fast path (failed reads hang instead of falling back).
+// Byzantine-harness only: with the fallback off, an attack that merely
+// forces a fallback in production instead surfaces as a stuck or wrong
+// read the invariant checker can observe. Never set in production.
+func (c *Client) SetUnsafeNoReadFallback(on bool) { c.unsafeNoReadFallback = on }
+
 // Invoke submits payload to group 0 for replicated execution; done receives
 // the f+1-confirmed result and the end-to-end latency.
 func (c *Client) Invoke(payload []byte, done func(result []byte, latency sim.Duration)) uint64 {
@@ -646,7 +671,11 @@ func (c *Client) onResponse(from ids.ID, rd *wire.Reader) {
 	t.add(result, slot)
 	t.parked = parked
 	p.byRes[key] = t
-	if t.count >= c.f+1 {
+	need := c.f + 1
+	if c.unsafeQuorumOne {
+		need = 1
+	}
+	if t.count >= need {
 		p.fired = true
 		delete(c.pending, num)
 		// The request executed at the slot the winning class vouches for
@@ -812,6 +841,9 @@ func (c *Client) onReadResponse(from ids.ID, rd *wire.Reader) {
 	if p.strong {
 		need = n
 	}
+	if c.unsafeQuorumOne {
+		need = 1
+	}
 	served := flags&readFlagServed != 0
 	if !served {
 		p.refused++
@@ -892,6 +924,11 @@ func (c *Client) strongPin(num uint64, p *pendingRead) {
 // layer's revalidation skip fallbacks that merely lost a race or a packet.
 func (c *Client) readFallback(num uint64, p *pendingRead) {
 	if p.fellBack || c.pendingReads[num] != p {
+		return
+	}
+	if c.unsafeNoReadFallback {
+		// Defense-off mode (Byzantine harness): let the failed read hang so
+		// the attack's effect is observable instead of safely absorbed.
 		return
 	}
 	p.fellBack = true

@@ -266,6 +266,8 @@ func (r *Replica) onDirect(from ids.ID, payload []byte) {
 		r.onStateTransfer(from, tag, rd)
 	case tagEcho:
 		r.onEcho(from, rd)
+	case tagStagedQuery:
+		r.onStagedQuery(from, rd)
 	}
 }
 

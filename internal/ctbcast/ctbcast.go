@@ -125,6 +125,15 @@ type Params struct {
 	// ApplySummary applies a certified summary for a gap the upper layer
 	// missed. May be nil.
 	ApplySummary func(id uint64, state []byte)
+
+	// UnsafeFirstLockDelivers, when set, delivers a LOCK message the moment
+	// this process locks it, skipping the LOCKED unanimity check that is
+	// CTBcast's only equivocation defense. FOR THE BYZANTINE HARNESS ONLY:
+	// it exists so the adversarial scenario suite can prove the invariant
+	// checker actually detects divergence when the defense is off (an
+	// equivocating broadcaster then splits correct processes). Never set it
+	// in production configurations.
+	UnsafeFirstLockDelivers bool
 }
 
 // Env bundles the per-host infrastructure a Group plugs into.
@@ -495,6 +504,15 @@ func (g *Group) onLock(k uint64, m []byte) {
 		return
 	}
 	g.locks[slot] = lockEntry{k: k, dg: xcrypto.Digest(g.env.Proc, m), ok: true}
+	if g.p.UnsafeFirstLockDelivers {
+		// Defense-off mode (Byzantine harness): deliver on first LOCK,
+		// bypassing the LOCKED unanimity exchange entirely. An equivocating
+		// broadcaster now makes different processes deliver different m for
+		// the same k — exactly the divergence the unanimity rule prevents.
+		g.FastDeliveries++
+		g.deliverOnce(k, append([]byte(nil), m...))
+		return
+	}
 	// TBcast-broadcast <LOCKED, k, m> on my channel.
 	w := wire.GetWriter(16 + len(m))
 	w.U8(tagLocked)

@@ -176,6 +176,13 @@ type Options struct {
 	// falling back to the ordered path (default 500us of virtual time).
 	ReadTimeout sim.Duration
 
+	// Recovery deploys the 2PC commit-phase recovery agent (recovery.go):
+	// an extra host that sweeps replicas for prepared-but-undecided
+	// transactions and resolves stranded ones by replaying the coordinator
+	// group's decision log through ordered commands. Sweeps are explicit
+	// (Deployment.Recovery.SweepNow); default off.
+	Recovery bool
+
 	// NetOptions overrides the network model (defaults to RDMA-class).
 	NetOptions *simnet.Options
 }
@@ -260,6 +267,10 @@ type Deployment struct {
 	Clients    []*Client
 	ClientIDs  []ids.ID
 
+	// Recovery is the commit-phase recovery agent (nil unless
+	// Options.Recovery).
+	Recovery *RecoveryAgent
+
 	opts Options
 }
 
@@ -341,6 +352,9 @@ func Build(opts Options) (*Deployment, error) {
 		d.ClientIDs = append(d.ClientIDs, ids.ID(clientIDBase+c))
 	}
 	signers = append(signers, d.ClientIDs...)
+	if opts.Recovery {
+		signers = append(signers, ids.ID(recoveryIDBase))
+	}
 	d.Registry = xcrypto.NewRegistry(opts.Seed+1, signers)
 
 	// The shared memory-node pool.
@@ -407,6 +421,14 @@ func Build(opts Options) (*Deployment, error) {
 			strongReads: opts.StrongReads && canRead && appFrag != nil,
 			prepTimeout: opts.PrepareTimeout,
 		})
+	}
+
+	if opts.Recovery {
+		ep, err := endpoint(ids.ID(recoveryIDBase), "recovery")
+		if err != nil {
+			return nil, err
+		}
+		d.Recovery = NewRecoveryAgent(router.New(ep), groupIDs, g.F)
 	}
 	return d, nil
 }
@@ -834,3 +856,17 @@ func (c *Client) ReadStats() (fast, fallbacks uint64) {
 // StrongReadStats reports how many reads the strong 2f+1 quorum answered
 // without falling back (fallbacks are counted in ReadStats).
 func (c *Client) StrongReadStats() uint64 { return c.cc.StrongReads }
+
+// ReadFloor exposes the client's monotonic read floor for one group (the
+// Byzantine harness asserts forged replies can never inflate it).
+func (c *Client) ReadFloor(group int) consensus.Slot { return c.cc.ReadFloor(group) }
+
+// SetUnsafeQuorumOne disables the client's f+1 matching rule — the quorum
+// defense against forged replies. Byzantine-harness only: it lets the
+// adversarial suite prove its invariant checker trips when the defense is
+// off; never set outside tests.
+func (c *Client) SetUnsafeQuorumOne(on bool) { c.cc.SetUnsafeQuorumOne(on) }
+
+// SetUnsafeNoReadFallback disables the fast-read ordered fallback.
+// Byzantine-harness only, as SetUnsafeQuorumOne.
+func (c *Client) SetUnsafeNoReadFallback(on bool) { c.cc.SetUnsafeNoReadFallback(on) }

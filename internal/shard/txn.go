@@ -73,9 +73,10 @@ func (c *Client) beginTx(payload []byte, plan *splitPlan, done func(result []byt
 		done:    done,
 		pending: make([]uint64, len(plan.shards)),
 	}
+	coord := uint64(plan.shards[0])
 	for i := range plan.shards {
 		i := i
-		tx.pending[i] = c.cc.InvokeGroup(plan.shards[i], app.EncodeTxnPrepare(tx.txid, frags[i]),
+		tx.pending[i] = c.cc.InvokeGroup(plan.shards[i], app.EncodeTxnPrepare(tx.txid, coord, frags[i]),
 			func(res []byte, _ sim.Duration) { c.onVote(tx, i, res) })
 	}
 	tx.timer = c.proc.After(c.prepTimeout, func() { c.abortTx(tx) })
@@ -118,10 +119,14 @@ func (c *Client) decideTx(tx *txState) {
 // exhaustion the transaction aborts — no commit was sent anywhere yet, so
 // aborting keeps every participant consistent. (The decision may have been
 // logged with its acks lost; first-write-wins in the decision log and the
-// advisory nature of an unobserved record keep that harmless.)
+// advisory nature of an unobserved record keep that harmless.) A decide
+// acknowledged with StatusConflict lost the first-write race to a
+// query-or-abort tombstone — a recovery sweep already resolved this txid as
+// aborted — so the transaction aborts: the tombstone, not this decide, is
+// what every participant will observe.
 func (c *Client) sendDecide(tx *txState) {
-	c.retryFanout([]int{tx.shards[0]}, app.EncodeTxnDecide(tx.txid, true), func(allAcked bool, _ [][]byte) {
-		if allAcked {
+	c.retryFanout([]int{tx.shards[0]}, app.EncodeTxnDecide(tx.txid, true), func(allAcked bool, resps [][]byte) {
+		if allAcked && len(resps[0]) == 1 && resps[0][0] == app.StatusOK {
 			c.sendCommits(tx)
 		} else {
 			c.abortTx(tx)

@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/byz"
 	"repro/internal/ids"
 	"repro/internal/nettrans"
 	"repro/internal/sim"
@@ -95,10 +96,21 @@ type simWorld struct {
 }
 
 func newSimWorld(t *testing.T, n int) *simWorld {
+	return newSimWorldWrapped(t, n, nil)
+}
+
+// newSimWorldWrapped builds the simnet world with an optional fabric
+// wrapper interposed — the byz-wrapped conformance entry proves the
+// Byzantine fault-injection layer is contract-transparent for honest
+// traffic.
+func newSimWorldWrapped(t *testing.T, n int, wrap func(transport.Fabric) transport.Fabric) *simWorld {
 	e := sim.NewEngine(7)
 	net := simnet.New(e, simnet.RDMAOptions())
 	w := &simWorld{eng: net, e: e}
-	fab := simnet.AsFabric(net)
+	var fab transport.Fabric = simnet.AsFabric(net)
+	if wrap != nil {
+		fab = wrap(fab)
+	}
 	for i := 0; i < n; i++ {
 		ep, err := fab.NewEndpoint(ids.ID(i), fmt.Sprintf("n%d", i))
 		if err != nil {
@@ -253,6 +265,18 @@ func conformanceWorlds(t *testing.T) map[string]func(t *testing.T, n int) (world
 		},
 		"nettrans": func(t *testing.T, n int) (world, []*recorder) {
 			w := newNetWorld(t, n, netQueueSlots)
+			return w, w.recs
+		},
+		// The Byzantine fault-injection wrapper must be invisible to honest
+		// traffic: every endpoint goes through byz (node 0 even carries an
+		// explicit identity policy), and the full contract — per-link FIFO,
+		// sender identity, no duplicates, heal-resumes — must hold verbatim.
+		"byz-wrapped": func(t *testing.T, n int) (world, []*recorder) {
+			w := newSimWorldWrapped(t, n, func(inner transport.Fabric) transport.Fabric {
+				f := byz.Wrap(inner)
+				f.Infect(ids.ID(0), byz.Passthrough{})
+				return f
+			})
 			return w, w.recs
 		},
 	}
