@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// AppAgnostic is the typed reimplementation of the old shard-opcode-gate
+// grep: the shard layer must stay application-agnostic, so its non-test
+// sources may reference internal/app only through the capability
+// interfaces, the generic transaction envelope, generic statuses, and the
+// generic routing helper. Any other app identifier — an app-specific
+// opcode, encoder, constructor or response type — couples the sharding
+// fabric to one application and is an error. Waivers read
+// //ubft:appagnostic <why>.
+type AppAgnostic struct {
+	// ShardPath is the package held to the capability boundary.
+	ShardPath string
+	// AppPath is the application package.
+	AppPath string
+	// Allowed lists permitted identifier names; AllowedRE permits families
+	// (the generic txn envelope codecs, the generic status bytes).
+	Allowed   map[string]bool
+	AllowedRE *regexp.Regexp
+}
+
+// NewAppAgnostic returns the gate bound to repro/internal/shard.
+func NewAppAgnostic() *AppAgnostic {
+	return &AppAgnostic{
+		ShardPath: "repro/internal/shard",
+		AppPath:   "repro/internal/app",
+		Allowed: map[string]bool{
+			// Capability interfaces: how shard discovers what an app can do.
+			"StateMachine":          true,
+			"Router":                true,
+			"Fragmenter":            true,
+			"TxnParticipant":        true,
+			"ReadExecutor":          true,
+			"VersionedReadExecutor": true,
+			// Generic building blocks shared by every transactional app.
+			"LockTable":    true,
+			"NewLockTable": true,
+			"ShardOfKey":   true,
+		},
+		// The generic transaction envelope and the app-agnostic status
+		// bytes every participant speaks.
+		AllowedRE: regexp.MustCompile(`^(Encode|Decode)Txn[A-Z][A-Za-z]*$|^Status[A-Z][A-Za-z]*$`),
+	}
+}
+
+// Name implements Pass.
+func (a *AppAgnostic) Name() string { return "appagnostic" }
+
+// Directive implements Pass.
+func (a *AppAgnostic) Directive() string { return "appagnostic" }
+
+// Run implements Pass. Only package-qualified references (`app.X`) are
+// checked: a method or field reached through a value of a capability
+// interface type (r.Keys, frag.ReadOnly, staged.Coord) was already granted
+// by whichever allowed entry point produced the value — the interface IS
+// the boundary.
+func (a *AppAgnostic) Run(w *World) []Finding {
+	var out []Finding
+	for _, pkg := range w.Pkgs {
+		if pkg.Path != a.ShardPath {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				qual, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pn, ok := pkg.Info.Uses[qual].(*types.PkgName)
+				if !ok || pn.Imported().Path() != a.AppPath {
+					return true
+				}
+				name := sel.Sel.Name
+				if a.Allowed[name] || (a.AllowedRE != nil && a.AllowedRE.MatchString(name)) {
+					return true
+				}
+				out = append(out, Finding{
+					Pos: w.Fset.Position(sel.Pos()),
+					Msg: fmt.Sprintf("app-specific identifier app.%s in the shard layer (use the capability interfaces / generic txn envelope)", name),
+				})
+				return true
+			})
+		}
+	}
+	return out
+}

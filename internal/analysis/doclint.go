@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// DocLint is the typed replacement of the old doc-lint shell grep: every
+// internal package must open with a `// Package <name> ...` doc comment on
+// its package clause (docs/ARCHITECTURE.md and `go doc` across the tree
+// rely on them). The check parses the AST, so build-tagged files, grouped
+// comments and creative whitespace cannot fool it the way a regex could.
+// Waivers read //ubft:doclint <why>.
+type DocLint struct {
+	// Prefix selects the packages held to the rule.
+	Prefix string
+}
+
+// NewDocLint returns the pass over repro/internal/...
+func NewDocLint() *DocLint { return &DocLint{Prefix: "repro/internal/"} }
+
+// Name implements Pass.
+func (d *DocLint) Name() string { return "doclint" }
+
+// Directive implements Pass.
+func (d *DocLint) Directive() string { return "doclint" }
+
+// Run implements Pass.
+func (d *DocLint) Run(w *World) []Finding {
+	var out []Finding
+	for _, pkg := range w.Pkgs {
+		if !strings.HasPrefix(pkg.Path, d.Prefix) {
+			continue
+		}
+		if f := docFile(pkg); f != nil {
+			continue
+		}
+		if len(pkg.Files) == 0 {
+			continue
+		}
+		out = append(out, Finding{
+			Pos: w.Fset.Position(pkg.Files[0].Name.Pos()),
+			Msg: fmt.Sprintf("package %s has no '// Package %s ...' doc comment", pkg.Path, pkg.Name),
+		})
+	}
+	return out
+}
+
+// docFile returns the file carrying a well-formed package doc comment.
+func docFile(pkg *Package) *ast.File {
+	want := "Package " + pkg.Name
+	for _, f := range pkg.Files {
+		if f.Doc == nil {
+			continue
+		}
+		text := f.Doc.Text()
+		if text == want+"\n" || strings.HasPrefix(text, want+" ") || strings.HasPrefix(text, want+"\n") {
+			return f
+		}
+	}
+	return nil
+}

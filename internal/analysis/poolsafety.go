@@ -1,0 +1,388 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolSafety enforces the lifetime rules of the pooled/zero-copy wire
+// surfaces, in every module package:
+//
+//   - A result of wire.Reader.BytesView/RawView aliases the reader's
+//     buffer. It must not be stored into a struct field, map/slice element
+//     or package-level variable, and must not be returned, without an
+//     explicit copy (append/bytes.Clone/string conversion). Passing a view
+//     down a call chain is allowed — the callee owns the judgment there.
+//     Exception: when the reader itself is caller-owned — it arrived as a
+//     parameter/receiver, or was built by wire.NewReader over bytes that
+//     reference a parameter — returning a view hands the caller an alias
+//     of memory the caller already owns, which extends no lifetime. That
+//     is the decode-borrow contract (key extractors, decodeRequest).
+//     Stores into fields/maps/globals are flagged either way: they outlive
+//     the call no matter who owns the buffer.
+//   - A writer from wire.GetWriter must reach wire.PutWriter in the same
+//     function (directly or deferred), or escape explicitly (returned,
+//     returned via Finish, handed to another function, or stored as a
+//     field — a documented owner). A return between GetWriter and a
+//     non-deferred PutWriter leaks on that path and is flagged.
+//
+// The tracking is per-function and flow-lite (single forward scan):
+// re-assigning a tainted variable from a clean expression clears it.
+// Waivers read //ubft:poolsafety <why>.
+type PoolSafety struct {
+	// WirePath is the import path of the wire package.
+	WirePath string
+}
+
+// NewPoolSafety returns the pass bound to repro/internal/wire.
+func NewPoolSafety() *PoolSafety { return &PoolSafety{WirePath: "repro/internal/wire"} }
+
+// Name implements Pass.
+func (p *PoolSafety) Name() string { return "poolsafety" }
+
+// Directive implements Pass.
+func (p *PoolSafety) Directive() string { return "poolsafety" }
+
+// Run implements Pass.
+func (p *PoolSafety) Run(w *World) []Finding {
+	var out []Finding
+	for _, pkg := range w.Pkgs {
+		for _, f := range pkg.Files {
+			// Each function (and each function literal) is an independent
+			// analysis unit.
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					if n.Body != nil {
+						out = append(out, p.checkFunc(w, pkg, n.Recv, n.Type, n.Body)...)
+					}
+					return false
+				case *ast.FuncLit:
+					out = append(out, p.checkFunc(w, pkg, nil, n.Type, n.Body)...)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// isViewCall reports whether call invokes (*wire.Reader).BytesView or
+// (*wire.Reader).RawView.
+func (p *PoolSafety) isViewCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != p.WirePath {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return obj.Name() == "BytesView" || obj.Name() == "RawView"
+}
+
+// wireFunc reports whether call invokes the named package-level function
+// of the wire package.
+func (p *PoolSafety) wireFunc(pkg *Package, call *ast.CallExpr, name string) bool {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return false
+	}
+	obj, ok := pkg.Info.Uses[id].(*types.Func)
+	return ok && obj.Pkg() != nil && obj.Pkg().Path() == p.WirePath &&
+		obj.Name() == name && obj.Type().(*types.Signature).Recv() == nil
+}
+
+// pooledWriter tracks one wire.GetWriter acquisition within a function.
+type pooledWriter struct {
+	obj     types.Object
+	pos     token.Pos
+	putPos  token.Pos // first non-deferred PutWriter
+	defPut  bool      // deferred PutWriter seen
+	escaped bool      // returned / passed along / stored
+}
+
+// isReaderType reports whether t is wire.Reader or *wire.Reader.
+func (p *PoolSafety) isReaderType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == p.WirePath && obj.Name() == "Reader"
+}
+
+// checkFunc analyzes one function body. recv/ftype supply the parameter
+// list, from which caller-owned readers are seeded.
+func (p *PoolSafety) checkFunc(w *World, pkg *Package, recv *ast.FieldList, ftype *ast.FuncType, body *ast.BlockStmt) []Finding {
+	var out []Finding
+	report := func(pos token.Pos, format string, args ...any) {
+		out = append(out, Finding{Pos: w.Fset.Position(pos), Msg: fmt.Sprintf(format, args...)})
+	}
+
+	// Parameters and the receiver are caller-owned memory. A reader among
+	// them — or a local reader built over bytes referencing them — yields
+	// views the caller may legitimately receive back.
+	paramObjs := make(map[types.Object]bool)
+	callerReader := make(map[types.Object]bool)
+	seedParams := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				obj := pkg.Info.Defs[name]
+				if obj == nil {
+					continue
+				}
+				paramObjs[obj] = true
+				if p.isReaderType(obj.Type()) {
+					callerReader[obj] = true
+				}
+			}
+		}
+	}
+	seedParams(recv)
+	seedParams(ftype.Params)
+
+	// refersToParam reports whether any identifier in e resolves to a
+	// parameter (covers req, req[1:], &buf[0] ...).
+	refersToParam := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && paramObjs[pkg.Info.Uses[id]] {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+
+	tainted := make(map[types.Object]bool)     // view-aliased locals
+	callerTaint := make(map[types.Object]bool) // taint traces to a caller-owned reader
+	var writers []*pooledWriter
+	findWriter := func(obj types.Object) *pooledWriter {
+		if obj == nil {
+			return nil
+		}
+		for _, wr := range writers {
+			if wr.obj == obj {
+				return wr
+			}
+		}
+		return nil
+	}
+
+	// viewIn returns a tainted identifier or view call inside expr (nil if
+	// none) plus whether the borrow traces to a caller-owned reader. Call
+	// expressions other than the view methods launder the borrow (append,
+	// bytes.Clone, conversions, digesting — the callee's call).
+	var viewIn func(e ast.Expr) (ast.Expr, bool)
+	viewIn = func(e ast.Expr) (ast.Expr, bool) {
+		switch e := e.(type) {
+		case nil:
+			return nil, false
+		case *ast.Ident:
+			if obj := pkg.Info.Uses[e]; obj != nil && tainted[obj] {
+				return e, callerTaint[obj]
+			}
+			return nil, false
+		case *ast.CallExpr:
+			if p.isViewCall(pkg, e) {
+				owned := false
+				if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+					if id, ok := sel.X.(*ast.Ident); ok {
+						owned = callerReader[objOf(pkg, id)]
+					}
+				}
+				return e, owned
+			}
+			return nil, false
+		case *ast.CompositeLit:
+			for _, el := range e.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				if bad, owned := viewIn(el); bad != nil {
+					return bad, owned
+				}
+			}
+			return nil, false
+		case *ast.UnaryExpr:
+			return viewIn(e.X)
+		case *ast.ParenExpr:
+			return viewIn(e.X)
+		case *ast.SliceExpr:
+			return viewIn(e.X) // v[a:b] still aliases
+		}
+		return nil, false
+	}
+
+	describe := func(e ast.Expr) string {
+		if id, ok := e.(*ast.Ident); ok {
+			return fmt.Sprintf("view-aliased %q", id.Name)
+		}
+		return "BytesView/RawView result"
+	}
+
+	isGlobal := func(id *ast.Ident) bool {
+		v, ok := objOf(pkg, id).(*types.Var)
+		return ok && v.Parent() == pkg.Types.Scope()
+	}
+
+	checkAssign := func(lhs, rhs ast.Expr, tok token.Token) {
+		bad, owned := viewIn(rhs)
+		switch l := lhs.(type) {
+		case *ast.Ident:
+			if call, ok := rhs.(*ast.CallExpr); ok && p.wireFunc(pkg, call, "GetWriter") {
+				if obj := objOf(pkg, l); obj != nil {
+					writers = append(writers, &pooledWriter{obj: obj, pos: call.Pos()})
+				}
+				return
+			}
+			if call, ok := rhs.(*ast.CallExpr); ok && p.wireFunc(pkg, call, "NewReader") &&
+				len(call.Args) == 1 && refersToParam(call.Args[0]) {
+				// A reader over caller-supplied bytes is caller-owned.
+				if obj := objOf(pkg, l); obj != nil {
+					callerReader[obj] = true
+				}
+				return
+			}
+			if bad != nil && isGlobal(l) {
+				report(bad.Pos(), "%s stored in package-level variable %q (copy first)", describe(bad), l.Name)
+				return
+			}
+			obj := objOf(pkg, l)
+			if obj == nil {
+				return
+			}
+			if bad != nil {
+				tainted[obj] = true
+				callerTaint[obj] = owned
+			} else if tok == token.ASSIGN || tok == token.DEFINE {
+				delete(tainted, obj) // clean overwrite clears the borrow
+				delete(callerTaint, obj)
+			}
+		case *ast.SelectorExpr:
+			if bad != nil {
+				report(bad.Pos(), "%s stored into field %q (outlives the reader's buffer; copy first)", describe(bad), l.Sel.Name)
+			}
+			// Storing a writer into a field is an explicit ownership escape.
+			if id, ok := rhs.(*ast.Ident); ok {
+				if wr := findWriter(objOf(pkg, id)); wr != nil {
+					wr.escaped = true
+				}
+			}
+		case *ast.IndexExpr:
+			if bad != nil {
+				report(bad.Pos(), "%s stored into map/slice element (outlives the reader's buffer; copy first)", describe(bad))
+			}
+		}
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // separate unit
+		case *ast.DeferStmt:
+			if p.wireFunc(pkg, n.Call, "PutWriter") && len(n.Call.Args) == 1 {
+				if id, ok := n.Call.Args[0].(*ast.Ident); ok {
+					if wr := findWriter(pkg.Info.Uses[id]); wr != nil {
+						wr.defPut = true
+					}
+				}
+			}
+			return true
+		case *ast.CallExpr:
+			if p.wireFunc(pkg, n, "PutWriter") && len(n.Args) == 1 {
+				if id, ok := n.Args[0].(*ast.Ident); ok {
+					if wr := findWriter(pkg.Info.Uses[id]); wr != nil && wr.putPos == token.NoPos {
+						wr.putPos = n.Pos()
+					}
+				}
+				return true
+			}
+			// A writer passed bare to another call escapes to a documented
+			// owner (sends, encoders that adopt the buffer).
+			for _, a := range n.Args {
+				if id, ok := a.(*ast.Ident); ok {
+					if wr := findWriter(pkg.Info.Uses[id]); wr != nil {
+						wr.escaped = true
+					}
+				}
+			}
+			return true
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					checkAssign(n.Lhs[i], n.Rhs[i], n.Tok)
+				}
+			}
+			return true
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if bad, owned := viewIn(res); bad != nil && !owned {
+					report(bad.Pos(), "%s returned without copy (append to a fresh slice or use Bytes)", describe(bad))
+				}
+				// Returning the writer itself is an explicit escape;
+				// returning w.Finish() transfers buffer ownership out.
+				if id, ok := res.(*ast.Ident); ok {
+					if wr := findWriter(pkg.Info.Uses[id]); wr != nil {
+						wr.escaped = true
+					}
+				}
+				if call, ok := res.(*ast.CallExpr); ok {
+					if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+						if id, ok := sel.X.(*ast.Ident); ok {
+							if wr := findWriter(pkg.Info.Uses[id]); wr != nil {
+								wr.escaped = true
+							}
+						}
+					}
+				}
+			}
+			// Early-return leak: acquired, not yet put, not deferred, not
+			// escaped, and the first put (if any) is after this return.
+			for _, wr := range writers {
+				if wr.defPut || wr.escaped {
+					continue
+				}
+				if wr.pos < n.Pos() && (wr.putPos == token.NoPos || wr.putPos > n.Pos()) {
+					report(n.Pos(), "return before wire.PutWriter for writer acquired at line %d (defer the put or put before returning)",
+						w.Fset.Position(wr.pos).Line)
+				}
+			}
+			return true
+		}
+		return true
+	})
+
+	for _, wr := range writers {
+		if wr.putPos == token.NoPos && !wr.defPut && !wr.escaped {
+			report(wr.pos, "wire.GetWriter result never reaches wire.PutWriter and does not escape")
+		}
+	}
+	return out
+}
+
+func objOf(pkg *Package, id *ast.Ident) types.Object {
+	if obj := pkg.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return pkg.Info.Uses[id]
+}

@@ -1,0 +1,325 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// TagRegistry enforces that wire tags, opcodes, channel bytes and status
+// bytes live in the central registry (internal/wire for the protocol
+// planes, internal/app for application opcodes/statuses):
+//
+//   - Outside the registry packages, a constant whose name says it is a
+//     tag/opcode/channel/status/flag must not be initialized from an
+//     integer literal — it must reference a registry constant (shadow
+//     blocks that deliberately speak a foreign format carry a
+//     //ubft:tagregistry waiver on the block).
+//   - A raw integer literal must not be compared against a byte read from
+//     the wire (switch/== on wire.Reader.U8 results or tag-named bytes) —
+//     decode paths dispatch on registry names, never magic numbers.
+//   - Cross-check: registry constants marked `//wire:client-reply` are the
+//     client-facing reply tags the Byzantine harness must attack. The
+//     ForgeReads policy must reference every one, and CorruptVotes at
+//     least one, so a new reply tag cannot silently bypass the adversarial
+//     suite.
+//
+// Waivers read //ubft:tagregistry <why>.
+type TagRegistry struct {
+	// RegistryPkgs may declare tag constants with literal values.
+	RegistryPkgs map[string]bool
+	// MarkerPkg is the package scanned for //wire:client-reply markers.
+	MarkerPkg string
+	// ByzPath hosts the ForgeReads/CorruptVotes policies to cross-check.
+	ByzPath string
+}
+
+// NewTagRegistry returns the pass bound to the repro tree layout.
+func NewTagRegistry() *TagRegistry {
+	return &TagRegistry{
+		RegistryPkgs: map[string]bool{
+			"repro/internal/wire": true,
+			"repro/internal/app":  true,
+		},
+		MarkerPkg: "repro/internal/wire",
+		ByzPath:   "repro/internal/byz",
+	}
+}
+
+// Name implements Pass.
+func (t *TagRegistry) Name() string { return "tagregistry" }
+
+// Directive implements Pass.
+func (t *TagRegistry) Directive() string { return "tagregistry" }
+
+// tagNameRE matches constant names that denote wire tags, opcodes,
+// channel bytes, status bytes or wire flag bits.
+var tagNameRE = regexp.MustCompile(`(?i)^(ring)?(tag|chan|status|memstatus)|^(mem)?op[A-Z0-9]|flag[A-Z]`)
+
+// Run implements Pass.
+func (t *TagRegistry) Run(w *World) []Finding {
+	var out []Finding
+	report := func(pos token.Pos, format string, args ...any) {
+		out = append(out, Finding{Pos: w.Fset.Position(pos), Msg: fmt.Sprintf(format, args...)})
+	}
+
+	for _, pkg := range w.Pkgs {
+		if t.RegistryPkgs[pkg.Path] {
+			continue
+		}
+		t.checkShadowConsts(w, pkg, report)
+		t.checkLiteralSinks(w, pkg, report)
+	}
+	out = append(out, t.crossCheckByz(w)...)
+	return out
+}
+
+// checkShadowConsts flags tag-named constants initialized from integer
+// literals outside the registry.
+func (t *TagRegistry) checkShadowConsts(w *World, pkg *Package, report func(token.Pos, string, ...any)) {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if !tagNameRE.MatchString(name.Name) || i >= len(vs.Values) {
+						continue
+					}
+					if lit := intLiteralIn(vs.Values[i]); lit != nil {
+						report(name.Pos(),
+							"tag-like constant %q defined from literal %s outside the wire/app registry (reference a registry constant, or waive a deliberate foreign-format block)",
+							name.Name, lit.Value)
+					}
+				}
+			}
+		}
+	}
+}
+
+// intLiteralIn returns an INT literal inside e (possibly under unary ops,
+// shifts, or parens), or nil. A reference like wire.TagPrepare has none.
+func intLiteralIn(e ast.Expr) *ast.BasicLit {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		if e.Kind == token.INT {
+			return e
+		}
+	case *ast.ParenExpr:
+		return intLiteralIn(e.X)
+	case *ast.UnaryExpr:
+		return intLiteralIn(e.X)
+	case *ast.BinaryExpr:
+		if l := intLiteralIn(e.X); l != nil {
+			return l
+		}
+		return intLiteralIn(e.Y)
+	case *ast.CallExpr: // conversions like uint8(7)
+		if len(e.Args) == 1 {
+			return intLiteralIn(e.Args[0])
+		}
+	}
+	return nil
+}
+
+// checkLiteralSinks flags integer literals dispatched against wire bytes:
+// switch cases over wire.Reader.U8 (or a tag-named byte variable) and
+// ==/!= comparisons of the same.
+func (t *TagRegistry) checkLiteralSinks(w *World, pkg *Package, report func(token.Pos, string, ...any)) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SwitchStmt:
+				if n.Tag == nil || !t.isWireByteExpr(pkg, n.Tag) {
+					return true
+				}
+				for _, c := range n.Body.List {
+					cc, ok := c.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if lit, ok := e.(*ast.BasicLit); ok && lit.Kind == token.INT {
+							report(lit.Pos(), "raw tag literal %s in wire-byte switch (use a registry constant)", lit.Value)
+						}
+					}
+				}
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				lit, other := asLitAndExpr(n.X, n.Y)
+				if lit == nil || !t.isWireByteExpr(pkg, other) {
+					return true
+				}
+				report(lit.Pos(), "raw tag literal %s compared against a wire byte (use a registry constant)", lit.Value)
+			}
+			return true
+		})
+	}
+}
+
+func asLitAndExpr(a, b ast.Expr) (*ast.BasicLit, ast.Expr) {
+	if lit, ok := a.(*ast.BasicLit); ok && lit.Kind == token.INT {
+		return lit, b
+	}
+	if lit, ok := b.(*ast.BasicLit); ok && lit.Kind == token.INT {
+		return lit, a
+	}
+	return nil, nil
+}
+
+// isWireByteExpr reports whether e is a byte fished off the wire: a call
+// to (*wire.Reader).U8, or an identifier of byte/uint8 type whose name
+// names a tag/opcode/status.
+func (t *TagRegistry) isWireByteExpr(pkg *Package, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		sel, ok := e.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		obj, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || obj.Pkg() == nil || obj.Name() != "U8" {
+			return false
+		}
+		sig, ok := obj.Type().(*types.Signature)
+		return ok && sig.Recv() != nil && obj.Pkg().Path() == t.MarkerPkg
+	case *ast.Ident:
+		tv := pkg.Info.TypeOf(e)
+		if tv == nil {
+			return false
+		}
+		b, ok := tv.Underlying().(*types.Basic)
+		if !ok || b.Kind() != types.Uint8 {
+			return false
+		}
+		n := strings.ToLower(e.Name)
+		return strings.Contains(n, "tag") || strings.Contains(n, "opcode") ||
+			n == "op" || strings.Contains(n, "status")
+	}
+	return false
+}
+
+// crossCheckByz verifies the adversarial policies cover every marked
+// client-reply tag in the registry.
+func (t *TagRegistry) crossCheckByz(w *World) []Finding {
+	byz := w.ByPath(t.ByzPath)
+	marker := w.ByPath(t.MarkerPkg)
+	if marker == nil {
+		return nil
+	}
+	replyTags := t.markedConsts(w, marker, "//wire:client-reply")
+	if byz == nil || len(replyTags) == 0 {
+		return nil
+	}
+
+	refs := map[string]map[string]bool{} // policy type -> registry const names referenced
+	for _, f := range byz.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Name.Name != "Outbound" || fd.Body == nil {
+				continue
+			}
+			recv := recvTypeName(fd)
+			if recv != "ForgeReads" && recv != "CorruptVotes" {
+				continue
+			}
+			if refs[recv] == nil {
+				refs[recv] = map[string]bool{}
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if obj := byz.Info.Uses[id]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == t.MarkerPkg {
+					refs[recv][obj.Name()] = true
+				}
+				return true
+			})
+		}
+	}
+
+	var out []Finding
+	pos := w.Fset.Position(marker.Files[0].Pos())
+	for _, name := range replyTags {
+		if fr, ok := refs["ForgeReads"]; !ok || !fr[name] {
+			out = append(out, Finding{Pos: pos,
+				Msg: fmt.Sprintf("client-reply tag %s.%s is not handled by the byz ForgeReads policy (new reply tags must not bypass the adversarial harness)",
+					marker.Name, name)})
+		}
+	}
+	if cv, ok := refs["CorruptVotes"]; len(replyTags) > 0 && (!ok || !anyIn(cv, replyTags)) {
+		out = append(out, Finding{Pos: pos,
+			Msg: "the byz CorruptVotes policy references no client-reply tag from the registry"})
+	}
+	return out
+}
+
+func anyIn(set map[string]bool, names []string) bool {
+	for _, n := range names {
+		if set[n] {
+			return true
+		}
+	}
+	return false
+}
+
+// markedConsts returns the names of constants in pkg whose line comment
+// carries the given marker.
+func (t *TagRegistry) markedConsts(w *World, pkg *Package, marker string) []string {
+	var names []string
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || vs.Comment == nil {
+					continue
+				}
+				marked := false
+				for _, c := range vs.Comment.List {
+					// The marker may carry a trailing payload description:
+					// //wire:client-reply [num, slot, flags, result]
+					text := strings.TrimSpace(c.Text)
+					if text == marker || strings.HasPrefix(text, marker+" ") {
+						marked = true
+					}
+				}
+				if marked {
+					for _, n := range vs.Names {
+						names = append(names, n.Name)
+					}
+				}
+			}
+		}
+	}
+	return names
+}
+
+func recvTypeName(fd *ast.FuncDecl) string {
+	if len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}

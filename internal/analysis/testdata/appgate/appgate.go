@@ -1,0 +1,26 @@
+// Package appgate is an appagnostic-pass fixture: the planted RMGet
+// opcode and the KV constructor are app-specific references the gate must
+// flag; the capability interfaces, the generic routing helper and the
+// status bytes are the sanctioned surface.
+package appgate
+
+import "repro/internal/app"
+
+// Plant dispatches on an app-specific opcode — the planted violation.
+func Plant(req []byte) bool {
+	return len(req) > 0 && req[0] == app.RMGet // want "app-specific identifier app.RMGet"
+}
+
+// Sanctioned touches only the capability surface — accepted.
+func Sanctioned(sm app.StateMachine, r app.Router) uint8 {
+	_ = app.ShardOfKey([]byte("k"), 4)
+	_ = sm
+	_ = r
+	return app.StatusOK
+}
+
+// The deliberate coupling, documented by a waiver (mirrors the shard
+// layer's default KV factory).
+//
+//ubft:appagnostic fixture specimen: the test double deliberately defaults to the KV application
+var defaultApp = app.NewKV

@@ -1,0 +1,31 @@
+// Package byzbad is the tagregistry cross-check fixture: its ForgeReads
+// policy handles only wire.TagResponse, so the pass must report the
+// unhandled wire.TagReadResponse; and with no CorruptVotes reference to a
+// client-reply tag, the vote-corruption gap is reported too.
+package byzbad
+
+import "repro/internal/wire"
+
+// ForgeReads mirrors the shape of the real policy — a type with an
+// Outbound method — but deliberately covers only one of the two marked
+// client-reply tags.
+type ForgeReads struct{}
+
+// Outbound flips a bit in TagResponse replies only.
+func (ForgeReads) Outbound(b []byte) []byte {
+	if len(b) > 0 && b[0] == byte(wire.TagResponse) {
+		b[0] ^= 1
+	}
+	return b
+}
+
+// CorruptVotes references no registry tag at all.
+type CorruptVotes struct{}
+
+// Outbound mangles the payload blindly.
+func (CorruptVotes) Outbound(b []byte) []byte {
+	for i := range b {
+		b[i] ^= 0x55
+	}
+	return b
+}

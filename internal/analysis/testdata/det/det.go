@@ -1,0 +1,59 @@
+// Package det is a determinism-pass fixture: every line marked `want` is
+// a violation the pass must report, the unmarked loops are accepted
+// order-insensitive shapes, and the waived loop shows the escape hatch.
+package det
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Violations collects one specimen of each forbidden construct.
+func Violations(m map[string]int) time.Time {
+	go func() {}()         // want "go statement in deterministic package"
+	_ = rand.Int()         // want "global rand.Int in deterministic package"
+	_, _ = crand.Read(nil) // want "crypto/rand in deterministic package"
+	for k, v := range m {  // want "range over map with order-sensitive body"
+		if v > 0 {
+			println(k)
+		}
+	}
+	time.Sleep(0)     // want "wall clock in deterministic package: time.Sleep"
+	return time.Now() // want "wall clock in deterministic package: time.Now"
+}
+
+// Sum accumulates commutatively — accepted.
+func Sum(m map[string]int) int {
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// Keys collects then sorts in the same function — accepted.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Seeded randomness flows from an explicit generator — accepted.
+func Seeded(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Int()
+}
+
+// FirstKeys deliberately exposes iteration order; the waiver documents it.
+func FirstKeys(m map[string]int) []string {
+	var out []string
+	//ubft:deterministic fixture specimen: order intentionally unconstrained, consumers treat the result as a set
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,2 @@
+//ubft:doclint fixture specimen: scratch package, deliberately undocumented
+package docwaived

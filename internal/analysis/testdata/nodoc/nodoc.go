@@ -1,0 +1,1 @@
+package nodoc // want "has no '// Package nodoc ...' doc comment"

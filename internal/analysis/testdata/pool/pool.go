@@ -1,0 +1,69 @@
+// Package pool is a poolsafety-pass fixture: stores and uncopied returns
+// of BytesView/RawView borrows are flagged, the caller-owned decode
+// borrow and the copied return are accepted, and GetWriter lifecycle
+// violations are caught.
+package pool
+
+import "repro/internal/wire"
+
+type holder struct{ view []byte }
+
+var global []byte
+
+func frame() []byte { return []byte{1, 2, 3, 4} }
+
+// Leaks stores pool-backed views into state that outlives the buffer.
+func Leaks(h *holder, m map[int][]byte) []byte {
+	r := wire.NewReader(frame())
+	v := r.BytesView()
+	h.view = v           // want "stored into field"
+	m[1] = r.BytesView() // want "stored into map/slice element"
+	global = v           // want "stored in package-level variable"
+	return v             // want "returned without copy"
+}
+
+// Key is the sanctioned decode borrow: rd wraps the caller's own bytes,
+// so returning a view extends no lifetime — accepted.
+func Key(req []byte) []byte {
+	rd := wire.NewReader(req)
+	rd.U8()
+	return rd.BytesView()
+}
+
+// Copied returns go through append — accepted.
+func Copied() []byte {
+	r := wire.NewReader(frame())
+	return append([]byte(nil), r.BytesView()...)
+}
+
+// LeakWriter acquires a pooled writer that never reaches PutWriter.
+func LeakWriter() {
+	w := wire.GetWriter(8) // want "never reaches wire.PutWriter"
+	w.U8(1)
+}
+
+// EarlyReturn leaks the writer on the early path.
+func EarlyReturn(cond bool) {
+	w := wire.GetWriter(8)
+	w.U8(1)
+	if cond {
+		return // want "return before wire.PutWriter"
+	}
+	wire.PutWriter(w)
+}
+
+// RoundTrip is the clean lifecycle — accepted.
+func RoundTrip() []byte {
+	w := wire.GetWriter(8)
+	defer wire.PutWriter(w)
+	w.U8(1)
+	return append([]byte(nil), w.Finish()...)
+}
+
+// Retain keeps a view in a struct under a waiver: the fixture's buffers
+// are never recycled, mirroring the ctbcast delivery-path contract.
+func Retain(h *holder) {
+	r := wire.NewReader(frame())
+	//ubft:poolsafety fixture specimen: this buffer is never returned to the pool
+	h.view = r.BytesView()
+}

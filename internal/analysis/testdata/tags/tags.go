@@ -1,0 +1,38 @@
+// Package tags is a tagregistry-pass fixture: shadow tag constants and
+// raw literal dispatch are flagged, registry references are accepted, and
+// a block waiver covers a deliberate foreign-format block.
+package tags
+
+import "repro/internal/wire"
+
+const (
+	tagBogus   uint8 = 7 // want "defined from literal 7 outside the wire/app registry"
+	statusEvil uint8 = 9 // want "defined from literal 9 outside the wire/app registry"
+)
+
+// tagAliased references the registry — accepted.
+const tagAliased = wire.TagPrepare
+
+// A self-contained foreign protocol block, waived as a block.
+//
+//ubft:tagregistry fixture specimen: this block speaks a foreign format, not the uBFT registry
+const (
+	tagForeignA uint8 = 40
+	tagForeignB uint8 = 41
+)
+
+// Dispatch switches raw literals against a wire byte.
+func Dispatch(r *wire.Reader) int {
+	switch r.U8() {
+	case 3: // want "raw tag literal 3 in wire-byte switch"
+		return 1
+	case wire.TagPrepare: // registry constant — accepted
+		return 2
+	}
+	return 0
+}
+
+// Compare tests a tag-named byte against a raw literal.
+func Compare(tag uint8) bool {
+	return tag == 9 // want "raw tag literal 9 compared against a wire byte"
+}

@@ -1,0 +1,10 @@
+// Package waivers exercises the framework's own findings: a
+// justification-free waiver and a waiver that suppresses nothing are both
+// reported.
+package waivers
+
+//ubft:doclint
+const placeholder = 1
+
+//ubft:deterministic nothing on the next line needs this waiver
+const unusedTarget = 2

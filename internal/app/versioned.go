@@ -149,6 +149,7 @@ func (vs *VersionedStore) Ratchet(horizon uint64) {
 		return
 	}
 	vs.horizon = horizon
+	//ubft:deterministic per-key chain trim: each iteration reads and writes only chains[k], so iteration order cannot be observed
 	for k, ch := range vs.chains {
 		keep := 0
 		for i := len(ch) - 1; i >= 0; i-- {

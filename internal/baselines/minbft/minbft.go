@@ -31,6 +31,9 @@ import (
 	"repro/internal/xcrypto"
 )
 
+// MinBFT's private wire format on ChanBaseline.
+//
+//ubft:tagregistry MinBFT baseline speaks its own self-contained protocol, not the uBFT registry
 const (
 	tagRequest uint8 = 1
 	tagPrepare uint8 = 2

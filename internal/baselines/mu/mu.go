@@ -24,6 +24,9 @@ import (
 	"repro/internal/wire"
 )
 
+// Mu's private wire format on ChanBaseline.
+//
+//ubft:tagregistry Mu baseline speaks its own self-contained protocol, not the uBFT registry
 const (
 	tagRequest   uint8 = 1
 	tagResponse  uint8 = 2

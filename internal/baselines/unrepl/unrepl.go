@@ -13,6 +13,9 @@ import (
 	"repro/internal/wire"
 )
 
+// The unreplicated baseline's private wire format on ChanBaseline.
+//
+//ubft:tagregistry unreplicated baseline speaks its own self-contained protocol, not the uBFT registry
 const (
 	tagRequest  uint8 = 1
 	tagResponse uint8 = 2

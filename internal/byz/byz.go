@@ -26,6 +26,7 @@
 package byz
 
 import (
+	"repro/internal/app"
 	"repro/internal/ids"
 	"repro/internal/router"
 	"repro/internal/sim"
@@ -94,24 +95,6 @@ func (e *endpoint) Send(to ids.ID, payload []byte) {
 // keep forwards a frame unmodified.
 func keep(frame []byte) [][]byte { return [][]byte{frame} }
 
-// Wire-format constants the policies parse. These deliberately duplicate
-// the protocol packages' unexported values — an adversary crafts frames
-// from the wire format, not from friendly APIs — and are pinned by the
-// harness tests, which fail loudly if the formats drift.
-const (
-	ringTagLock   = 1 // broadcaster channel: <LOCK, k, m>
-	ringTagLocked = 4 // per-process channel: <LOCKED, k, m>
-
-	consTagPrepare = 1 // consensus message: PREPARE(view, slot, request)
-
-	rpcTagResponse     = 31 // [num, slot, flags, result]
-	rpcTagReadResponse = 33 // [num, version, flags, result]
-
-	respFlagParked  = 1 << 0
-	readFlagServed  = 1 << 0
-	readFlagCrossed = 1 << 1
-)
-
 // Passthrough forwards every frame untouched: the honest-traffic control
 // policy the transport conformance suite runs against.
 type Passthrough struct{}
@@ -170,7 +153,7 @@ func (Equivocate) Outbound(to ids.ID, frame []byte) [][]byte {
 		return keep(frame)
 	}
 	tag := data[0]
-	if tag != ringTagLock && tag != ringTagLocked {
+	if tag != wire.RingTagLock && tag != wire.RingTagLocked {
 		return keep(frame) // leave SIGNED/summary traffic to the slow path
 	}
 	drd := wire.NewReader(data[1:])
@@ -203,7 +186,7 @@ func (Equivocate) Outbound(to ids.ID, frame []byte) [][]byte {
 // (pure in (to, m), so retransmissions equivocate consistently).
 func mutatePrepare(m []byte, to ids.ID) ([]byte, bool) {
 	rd := wire.NewReader(m)
-	if rd.U8() != consTagPrepare {
+	if rd.U8() != wire.TagPrepare {
 		return nil, false
 	}
 	view := rd.U64()
@@ -223,7 +206,7 @@ func mutatePrepare(m []byte, to ids.ID) ([]byte, bool) {
 		forged[i] = b ^ mask
 	}
 	w := wire.NewWriter(len(m) + 8)
-	w.U8(consTagPrepare)
+	w.U8(wire.TagPrepare)
 	w.U64(view)
 	w.U64(slot)
 	w.I64(client)
@@ -233,9 +216,13 @@ func mutatePrepare(m []byte, to ids.ID) ([]byte, bool) {
 }
 
 // ForgeReads corrupts this replica's client-facing replies: read replies
-// (tag 33) get flipped result bytes, a version inflated by 2^40 and lying
-// served/crossed flags; ordered replies (tag 31) get flipped result bytes,
-// an inflated slot and a flipped parked marker. The attack targets the f+1
+// (wire.TagReadResponse) get flipped result bytes, a version inflated by
+// 2^40 and lying served/crossed flags; ordered replies (wire.TagResponse)
+// get flipped result bytes, an inflated slot and a flipped parked marker.
+// The policies parse frames straight off the wire registry
+// (internal/wire/tags.go); the tagregistry lint cross-checks that every
+// //wire:client-reply tag in the registry is exercised here, so a new
+// client-facing reply tag cannot dodge the harness. The attack targets the f+1
 // fast-read floor (a forged version must never ratchet the client's
 // monotonic floor), the 2f+1 strong-read rule (a lone liar must never get
 // a wrong value accepted) and the shard layer's parked/crossed
@@ -248,7 +235,7 @@ func (ForgeReads) Outbound(_ ids.ID, frame []byte) [][]byte {
 		return keep(frame)
 	}
 	tag := frame[1]
-	if tag != rpcTagResponse && tag != rpcTagReadResponse {
+	if tag != wire.TagResponse && tag != wire.TagReadResponse {
 		return keep(frame)
 	}
 	rd := wire.NewReader(frame[2:])
@@ -264,10 +251,10 @@ func (ForgeReads) Outbound(_ ids.ID, frame []byte) [][]byte {
 		forged[i] = b ^ 0x5A
 	}
 	version += 1 << 40 // claim a state version far past anything real
-	if tag == rpcTagReadResponse {
-		flags = (flags | readFlagServed) ^ readFlagCrossed
+	if tag == wire.TagReadResponse {
+		flags = (flags | wire.ReadFlagServed) ^ wire.ReadFlagCrossed
 	} else {
-		flags ^= respFlagParked
+		flags ^= wire.RespFlagParked
 	}
 	w := wire.NewWriter(len(frame) + 8)
 	w.U8(router.ChanRPC)
@@ -297,7 +284,7 @@ type CorruptVotes struct {
 
 // Outbound implements Policy.
 func (p *CorruptVotes) Outbound(to ids.ID, frame []byte) [][]byte {
-	if len(frame) < 2 || frame[0] != router.ChanRPC || frame[1] != rpcTagResponse {
+	if len(frame) < 2 || frame[0] != router.ChanRPC || frame[1] != wire.TagResponse {
 		return keep(frame)
 	}
 	rd := wire.NewReader(frame[2:])
@@ -310,14 +297,14 @@ func (p *CorruptVotes) Outbound(to ids.ID, frame []byte) [][]byte {
 	}
 	forged := result[0]
 	switch forged {
-	case 0: // StatusOK -> StatusConflict: a yes-vote becomes a refusal
-		forged = 5
-	case 5: // StatusConflict -> StatusOK: a refusal becomes a yes-vote
-		forged = 0
+	case app.StatusOK: // a yes-vote becomes a refusal
+		forged = app.StatusConflict
+	case app.StatusConflict: // a refusal becomes a yes-vote
+		forged = app.StatusOK
 	}
 	w := wire.NewWriter(len(frame) + 4)
 	w.U8(router.ChanRPC)
-	w.U8(rpcTagResponse)
+	w.U8(wire.TagResponse)
 	w.U64(num)
 	w.U64(slot)
 	w.U8(flags)

@@ -98,11 +98,11 @@ func (r *Report) violate(format string, args ...any) {
 // attack targets (group 0 for consensus/read attacks, group 1 — a 2PC
 // participant that is not the coordinator — for vote corruption).
 const (
-	nShards    = 2
-	byzReplica = ids.ID(0)   // replica 0 of group 0 (leader of view 0)
-	byzVoter   = ids.ID(100) // replica 0 of group 1
-	clientID   = ids.ID(200_000)
-	opBudget   = 20 * sim.Millisecond // virtual-time completion bound per op
+	nShards       = 2
+	byzReplica    = ids.ID(0)   // replica 0 of group 0 (leader of view 0)
+	byzVoter      = ids.ID(100) // replica 0 of group 1
+	clientID      = ids.ID(200_000)
+	perOpDeadline = 20 * sim.Millisecond // virtual-time completion bound per op
 )
 
 // Infected returns the replica IDs a config infects (excluded from the
@@ -221,7 +221,7 @@ func (h *harness) do(payload []byte) ([]byte, bool) {
 		return nil, false
 	}
 	h.rep.Ops++
-	if err := cluster.SyncWait(h.d.Eng, opBudget, func() bool { return fired }); err != nil {
+	if err := cluster.SyncWait(h.d.Eng, perOpDeadline, func() bool { return fired }); err != nil {
 		return nil, false
 	}
 	return res, true

@@ -173,8 +173,9 @@ func (r *Replica) bringUpToSpeed(cp *Checkpoint) {
 		r.adoptSnapshot(cp.Seq, snap)
 		return
 	}
-	// State transfer: ask a signer of the certificate for the snapshot.
-	for p := range cp.Sigs {
+	// State transfer: ask a signer of the certificate for the snapshot —
+	// the lowest-ID signer, so every run picks the same peer.
+	for _, p := range sortedIDs(cp.Sigs) {
 		if p == r.cfg.Self {
 			continue
 		}

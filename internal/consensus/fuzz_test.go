@@ -33,8 +33,8 @@ func clientFuzzRig(t *testing.T) *Client {
 	}
 	crt := router.New(net.AddNode(ids.ID(200), "client"))
 	c := NewClient(crt, repIDs, 1)
-	c.InvokeGroup(0, []byte("w"), func([]byte, sim.Duration) {})          // num 1
-	c.InvokeGroupRead(0, []byte("r"), func([]byte, sim.Duration) {})      // num 2
+	c.InvokeGroup(0, []byte("w"), func([]byte, sim.Duration) {})           // num 1
+	c.InvokeGroupRead(0, []byte("r"), func([]byte, sim.Duration) {})       // num 2
 	c.InvokeGroupReadStrong(0, []byte("s"), func([]byte, sim.Duration) {}) // num 3
 	return c
 }
@@ -64,9 +64,9 @@ func FuzzClientReadReply(f *testing.F) {
 	f.Add(uint8(0), encodeReply(tagReadResponse, 2, 9, readFlagServed|readFlagCrossed, nil))
 	f.Add(uint8(1), encodeReply(tagReadResponse, 2, 3, 0, nil)) // refusal
 	f.Add(uint8(2), encodeReply(tagReadResponse, 3, 1<<62, readFlagServed, []byte("strong-forge")))
-	f.Add(uint8(0), []byte{tagReadResponse, 0x02})     // truncated
-	f.Add(uint8(1), []byte{tagResponse})               // tag only
-	f.Add(uint8(2), []byte{})                          // empty
+	f.Add(uint8(0), []byte{tagReadResponse, 0x02}) // truncated
+	f.Add(uint8(1), []byte{tagResponse})           // tag only
+	f.Add(uint8(2), []byte{})                      // empty
 	f.Fuzz(func(t *testing.T, fromSel uint8, data []byte) {
 		c := clientFuzzRig(t)
 		c.onRPC(ids.ID(fromSel%3), data)

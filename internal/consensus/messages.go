@@ -15,29 +15,30 @@ type View uint64
 // Slot numbers consensus slots (the total order position of a request).
 type Slot uint64
 
-// Message tags. CTBcast carries the consensus-level messages (PREPARE,
-// COMMIT, CHECKPOINT, SEAL_VIEW, NEW_VIEW); the auxiliary TBcast channel
-// carries CERTIFY, WILL_CERTIFY, WILL_COMMIT and CERTIFY_CHECKPOINT; view
-// change certificate shares travel as direct messages.
+// Message tags, aliased from the wire registry. CTBcast carries the
+// consensus-level messages (PREPARE, COMMIT, CHECKPOINT, SEAL_VIEW,
+// NEW_VIEW); the auxiliary TBcast channel carries CERTIFY, WILL_CERTIFY,
+// WILL_COMMIT and CERTIFY_CHECKPOINT; view change certificate shares
+// travel as direct messages.
 const (
-	tagPrepare     uint8 = 1
-	tagCommit      uint8 = 2
-	tagCheckpoint  uint8 = 3
-	tagSealView    uint8 = 4
-	tagNewView     uint8 = 5
-	tagCertify     uint8 = 10
-	tagWillCertify uint8 = 11
-	tagWillCommit  uint8 = 12
-	tagCertifyCP   uint8 = 13
-	tagCertifyVC   uint8 = 20
-	tagStateReq    uint8 = 21
-	tagStateResp   uint8 = 22
+	tagPrepare     = wire.TagPrepare
+	tagCommit      = wire.TagCommit
+	tagCheckpoint  = wire.TagCheckpoint
+	tagSealView    = wire.TagSealView
+	tagNewView     = wire.TagNewView
+	tagCertify     = wire.TagCertify
+	tagWillCertify = wire.TagWillCertify
+	tagWillCommit  = wire.TagWillCommit
+	tagCertifyCP   = wire.TagCertifyCP
+	tagCertifyVC   = wire.TagCertifyVC
+	tagStateReq    = wire.TagStateReq
+	tagStateResp   = wire.TagStateResp
 	// tagStagedQuery/tagStagedResp are the commit-phase-recovery hint scan:
 	// a recovery agent asks a replica for its prepared-but-undecided
 	// transactions and gets the (txid, coordinator group) pairs back. Both
 	// ride ChanDirect; tagEcho (23) lives in rpc.go.
-	tagStagedQuery uint8 = 24
-	tagStagedResp  uint8 = 25
+	tagStagedQuery = wire.TagStagedQuery
+	tagStagedResp  = wire.TagStagedResp
 )
 
 // Request is a client command. A no-op request (view-change filler) has
@@ -219,15 +220,6 @@ func decodeCommitCert(rd *wire.Reader) (CommitCert, error) {
 		c.Sigs[id] = rd.Bytes()
 	}
 	return c, rd.Err()
-}
-
-func sortedIDs(m map[ids.ID]xcrypto.Signature) []ids.ID {
-	out := make([]ids.ID, 0, len(m))
-	for id := range m {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
 }
 
 // Checkpoint is CΣ: the application state digest after applying all slots

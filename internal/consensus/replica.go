@@ -407,12 +407,12 @@ func NewReplica(cfg Config, deps Deps) *Replica {
 			SlowPathDelay: cfg.CTBSlowDelay,
 
 			UnsafeFirstLockDelivers: cfg.UnsafeFirstLockDelivers,
-			InstanceBase:  cfg.groupInstanceBase(i),
-			RegionBase:    cfg.regionBase(i),
-			Deliver:       func(k uint64, m []byte) { r.onConsensusMsg(p, m) },
-			Validate:      func(k uint64, m []byte) bool { return r.validateMsg(p, m) },
-			Capture:       func(id uint64) []byte { return r.captureState(p) },
-			ApplySummary:  func(id uint64, st []byte) { r.applySummary(p, st) },
+			InstanceBase:            cfg.groupInstanceBase(i),
+			RegionBase:              cfg.regionBase(i),
+			Deliver:                 func(k uint64, m []byte) { r.onConsensusMsg(p, m) },
+			Validate:                func(k uint64, m []byte) bool { return r.validateMsg(p, m) },
+			Capture:                 func(id uint64) []byte { return r.captureState(p) },
+			ApplySummary:            func(id uint64, st []byte) { r.applySummary(p, st) },
 		}, env)
 	}
 
@@ -461,8 +461,8 @@ func AllocateCluster(cfg Config, nodes []*memnode.Node) {
 // Stop cancels background activity (teardown for tests and benches).
 func (r *Replica) Stop() {
 	r.stopped = true
-	for _, g := range r.groups {
-		g.Stop()
+	for _, id := range sortedIDs(r.groups) {
+		r.groups[id].Stop()
 	}
 	r.auxOut.Stop()
 	r.progressTimer.Cancel()

@@ -38,22 +38,22 @@ import (
 // timeout, refusal, or a transaction-locked key.
 
 const (
-	tagEcho         uint8 = 23
-	tagRequest      uint8 = 30
-	tagResponse     uint8 = 31
-	tagReadRequest  uint8 = 32
-	tagReadResponse uint8 = 33
+	tagEcho         = wire.TagEcho
+	tagRequest      = wire.TagRequest
+	tagResponse     = wire.TagResponse
+	tagReadRequest  = wire.TagReadRequest
+	tagReadResponse = wire.TagReadResponse
 )
 
 // tagReadResponse flag bits.
 const (
 	// readFlagServed: the replica answered the read (clear = refused).
-	readFlagServed uint8 = 1 << 0
+	readFlagServed = wire.ReadFlagServed
 	// readFlagCrossed: a pinned read may straddle a transaction — some key
 	// is currently transaction-locked on this replica, or has a
 	// transaction-installed version newer than the pin. The shard layer's
 	// consistent-cut rule turns this into a chase or fallback.
-	readFlagCrossed uint8 = 1 << 1
+	readFlagCrossed = wire.ReadFlagCrossed
 )
 
 // tagResponse flag bits.
@@ -64,7 +64,7 @@ const (
 	// of the ordered execution, so correct replicas agree on it and the
 	// client's f+1 match vouches for the flag (it lives inside the response
 	// class key).
-	respFlagParked uint8 = 1 << 0
+	respFlagParked = wire.RespFlagParked
 )
 
 // pinnedReadCap bounds the queue of pinned reads parked while execution
@@ -129,8 +129,9 @@ func (r *Replica) onClientRequest(from ids.ID, rd *wire.Reader) {
 
 	// Unblock any PREPARE waiting for this request's endorsement (batch
 	// containers become endorsable once their last sub-request arrives).
-	for _, ss := range r.slots {
-		if ss.waitingReq != nil && r.requestKnown(ss.waitingReq.Req) {
+	// Slot order, so endorsements are emitted identically every run.
+	for _, s := range sortedSlots(r.slots) {
+		if ss := r.slots[s]; ss.waitingReq != nil && r.requestKnown(ss.waitingReq.Req) {
 			r.endorse(*ss.waitingReq)
 		}
 	}
@@ -314,8 +315,10 @@ func (r *Replica) finishEcho(dg [xcrypto.DigestLen]byte, req Request) {
 // enqueues its own copies. Without this, requests echoed to a crashed
 // leader would be lost until the client retransmits.
 func (r *Replica) rebroadcastPending() {
-	for dg, req := range r.reqStore {
-		if !r.shouldRebroadcast(dg, req) {
+	// Digest order: the re-echo/re-proposal sequence is part of the
+	// deterministic trace.
+	for _, dg := range sortedDigests(r.reqStore) {
+		if !r.shouldRebroadcast(dg, r.reqStore[dg]) {
 			continue
 		}
 		if r.IsLeader() {

@@ -2,6 +2,7 @@ package consensus
 
 import (
 	"bytes"
+	"sort"
 
 	"repro/internal/ids"
 	"repro/internal/router"
@@ -72,15 +73,18 @@ func (r *Replica) resetProgressTimer() {
 // a known client request that is neither proposed-and-decided nor covered
 // by a checkpoint.
 func (r *Replica) hasUndecidedWork() bool {
+	// Prune executed entries first (pure deletes, order-free), then scan —
+	// mixing the delete with the early return would make the pruned set
+	// depend on map iteration order.
 	for dg, req := range r.reqStore {
-		if req.IsNoOp() {
-			continue
-		}
-		if r.executedReq(req) {
+		if !req.IsNoOp() && r.executedReq(req) {
 			delete(r.reqStore, dg) // executed: no longer evidence of stall
-			continue
 		}
-		return true
+	}
+	for _, req := range r.reqStore {
+		if !req.IsNoOp() {
+			return true
+		}
 	}
 	// Prepared-but-undecided slots also count (the leader proposed but the
 	// protocol stalled).
@@ -144,8 +148,8 @@ func (r *Replica) sealTo(v View) {
 	// at seal time guarantees the f+1 shares PΣ needs, even when views
 	// diverged transiently.
 	for _, p := range r.cfg.Replicas {
-		for s, pr := range r.state[p].prepares {
-			if s >= r.chkpt.Seq && !r.slot(s).sent(pr.View, sentCommit) {
+		for _, s := range sortedSlots(r.state[p].prepares) {
+			if pr := r.state[p].prepares[s]; s >= r.chkpt.Seq && !r.slot(s).sent(pr.View, sentCommit) {
 				r.sendCertify(pr.View, s)
 			}
 		}
@@ -158,16 +162,14 @@ func (r *Replica) maybeSeal() {
 	if !r.isSealing() || r.stopped {
 		return
 	}
+	// Pure scan first, then clear: bailing out of a loop that also deletes
+	// would leave a map whose contents depend on iteration order.
 	for key := range r.promised {
-		if key.s < r.chkpt.Seq {
-			delete(r.promised, key) // covered by a checkpoint
-			continue
-		}
-		if !r.slot(key.s).sent(key.v, sentCommit) {
+		if key.s >= r.chkpt.Seq && !r.slot(key.s).sent(key.v, sentCommit) {
 			return // still waiting for the certificate
 		}
-		delete(r.promised, key)
 	}
+	clear(r.promised) // every promise honoured or checkpoint-covered
 	v := r.sealTarget
 	r.sealTarget = 0
 	r.view = v
@@ -234,7 +236,8 @@ func (r *Replica) onSealView(p ids.ID, v View) {
 // while this replica was still sealing.
 func (r *Replica) reprocessPrepares() {
 	leader := r.cfg.leaderOf(r.view)
-	for s, pr := range r.state[leader].prepares {
+	for _, s := range sortedSlots(r.state[leader].prepares) {
+		pr := r.state[leader].prepares[s]
 		if pr.View != r.view || !r.inWindow(s) {
 			continue
 		}
@@ -293,13 +296,25 @@ func (r *Replica) onCertifyVC(from ids.ID, v View, about ids.ID, stateBytes []by
 	r.vcShares[v][about][from] = vcShare{stateBytes: stateBytes, sig: sig}
 
 	// A replica's state is certified once f+1 signers agree on the bytes.
+	// The certified slice feeds straight into the NEW_VIEW message
+	// (startView truncates it to f+1), so build it in sorted order — about
+	// IDs ascending, candidate states lexicographic — to keep the message
+	// bytes identical across runs.
 	certified := make([]ReplicaCert, 0, r.cfg.n())
-	for aboutID, shares := range r.vcShares[v] {
+	for _, aboutID := range sortedIDs(r.vcShares[v]) {
+		shares := r.vcShares[v][aboutID]
 		byState := make(map[string][]ids.ID)
-		for signer, sh := range shares {
+		for _, signer := range sortedIDs(shares) {
+			sh := shares[signer]
 			byState[string(sh.stateBytes)] = append(byState[string(sh.stateBytes)], signer)
 		}
-		for stateStr, signers := range byState {
+		states := make([]string, 0, len(byState))
+		for st := range byState {
+			states = append(states, st)
+		}
+		sort.Strings(states)
+		for _, stateStr := range states {
+			signers := byState[stateStr]
 			if len(signers) >= r.cfg.F+1 {
 				sigs := make(map[ids.ID]xcrypto.Signature, len(signers))
 				for _, s := range signers {
@@ -374,16 +389,14 @@ func (r *Replica) mustPropose(s Slot, certs []ReplicaCert) (Request, bool) {
 		if err != nil {
 			continue
 		}
-		for sl, cc := range cs.Commits {
+		for sl := range cs.Commits {
 			if sl > maxOpen {
 				maxOpen = sl
 			}
-			if sl == s {
-				cc := cc
-				if best == nil || cc.View > best.View {
-					best = &cc
-				}
-			}
+		}
+		if cc, ok := cs.Commits[s]; ok && (best == nil || cc.View > best.View) {
+			cc := cc
+			best = &cc
 		}
 	}
 	if best != nil {
@@ -565,7 +578,9 @@ func (r *Replica) applySummary(p ids.ID, stateBytes []byte) {
 		st.checkpoint = cs.Checkpoint
 		r.maybeCheckpoint(cs.Checkpoint)
 	}
-	for s, c := range cs.Commits {
+	// Slot order: onCommit can decide slots and emit messages.
+	for _, s := range sortedSlots(cs.Commits) {
+		c := cs.Commits[s]
 		st.commits[s] = c
 		r.onCommit(p, c)
 	}

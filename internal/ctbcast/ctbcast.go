@@ -45,12 +45,13 @@ import (
 	"repro/internal/xcrypto"
 )
 
-// Message tags on the broadcaster's tail-broadcast channel.
+// Message tags on the broadcaster's tail-broadcast channel, aliased from
+// the wire registry.
 const (
-	tagLock    uint8 = 1
-	tagSigned  uint8 = 2
-	tagSummary uint8 = 3
-	tagLocked  uint8 = 4 // on receivers' LOCKED channels
+	tagLock    = wire.RingTagLock
+	tagSigned  = wire.RingTagSigned
+	tagSummary = wire.RingTagSummary
+	tagLocked  = wire.RingTagLocked // on receivers' LOCKED channels
 )
 
 // registerValueCap is the capacity of each SWMR register's value:
@@ -488,6 +489,7 @@ func (g *Group) onBroadcasterMsg(from ids.ID, payload []byte) {
 		sigs := make(map[ids.ID]xcrypto.Signature, nsigs)
 		for i := 0; i < nsigs; i++ {
 			signer := ids.ID(r.I64())
+			//ubft:poolsafety summary-cert signatures alias the delivered frame, which is per-message and never recycled; onSummaryCert verifies and drops them before the next frame
 			sigs[signer] = r.BytesView()
 		}
 		if r.Done() != nil {
@@ -540,6 +542,7 @@ func (g *Group) onLockedMsg(q ids.ID, payload []byte) {
 	if k <= ent.k {
 		return
 	}
+	//ubft:poolsafety locked-array entries borrow the delivered frame, which is per-message and never recycled (see the borrow-mode note above)
 	ent.k, ent.m = k, m
 	// Unanimity check: all n processes locked the same (k, m).
 	first := true

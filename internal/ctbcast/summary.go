@@ -22,7 +22,7 @@ import (
 // double-buffering the paper uses to avoid latency hiccups (footnote 3)
 // and the mechanism behind Figure 11's thrashing at small t.
 
-const tagSummaryShare uint8 = 9
+const tagSummaryShare = wire.RingTagSummaryShare
 
 // SummaryHub routes CERTIFY_SUMMARY shares arriving at one host to the
 // broadcaster groups living there. One per host.

@@ -28,18 +28,18 @@ import (
 	"repro/internal/wire"
 )
 
-// Op codes of the memory-node wire protocol.
+// Op codes of the memory-node wire protocol, aliased from the registry.
 const (
-	opWrite uint8 = 1
-	opRead  uint8 = 2
+	opWrite = wire.MemOpWrite
+	opRead  = wire.MemOpRead
 )
 
-// Status codes of responses.
+// Status codes of responses, aliased from the registry.
 const (
-	StatusOK         uint8 = 0
-	StatusPermDenied uint8 = 1
-	StatusNoRegion   uint8 = 2
-	StatusBadRequest uint8 = 3
+	StatusOK         = wire.MemStatusOK
+	StatusPermDenied = wire.MemStatusPermDenied
+	StatusNoRegion   = wire.MemStatusNoRegion
+	StatusBadRequest = wire.MemStatusBadRequest
 )
 
 // RegionID names a region within one memory node. Region IDs are allocated

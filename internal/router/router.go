@@ -11,19 +11,20 @@ import (
 
 	"repro/internal/ids"
 	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
-// Channel tags. Kept in one place so the wire format is self-describing.
+// Channel tags, aliased from the wire registry so the wire format stays
+// self-describing in one place.
 const (
-	ChanMemReq   uint8 = 1 // host -> memory node: register READ/WRITE
-	ChanMemResp  uint8 = 2 // memory node -> host: completions
-	ChanRing     uint8 = 3 // message-ring RDMA writes (sender -> receiver)
-	ChanRingAck  uint8 = 4 // tail-broadcast acknowledgements
-	ChanRPC      uint8 = 5 // client <-> replica requests/responses
-	ChanDirect   uint8 = 6 // consensus direct messages (view-change shares, summaries)
-	ChanBaseline uint8 = 7 // baseline protocols (Mu, MinBFT)
-	ChanSummary  uint8 = 8 // CTBcast summary certificate shares
-
+	ChanMemReq   = wire.ChanMemReq   // host -> memory node: register READ/WRITE
+	ChanMemResp  = wire.ChanMemResp  // memory node -> host: completions
+	ChanRing     = wire.ChanRing     // message-ring RDMA writes (sender -> receiver)
+	ChanRingAck  = wire.ChanRingAck  // tail-broadcast acknowledgements
+	ChanRPC      = wire.ChanRPC      // client <-> replica requests/responses
+	ChanDirect   = wire.ChanDirect   // consensus direct messages (view-change shares, summaries)
+	ChanBaseline = wire.ChanBaseline // baseline protocols (Mu, MinBFT)
+	ChanSummary  = wire.ChanSummary  // CTBcast summary certificate shares
 )
 
 // Handler consumes a demultiplexed message.

@@ -201,6 +201,7 @@ func (o *Options) normalize() error {
 		return fmt.Errorf("shard: negative NumClients=%d", o.NumClients)
 	}
 	if o.NewApp == nil {
+		//ubft:appagnostic nil-NewApp convenience default (a KV factory for tests and benches) — the one deliberate app coupling in the shard layer
 		o.NewApp = func(int) app.StateMachine { return app.NewKV(0) }
 	}
 	if o.PrepareTimeout == 0 {
