@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint doc-lint shard-opcode-gate race bounded-mem byz-suite bench-smoke bench bench-shard bench-crossshard bench-txn bench-read bench-wallclock pgo fuzz-smoke fuzz-byz ci
+.PHONY: all build test vet lint doc-lint shard-opcode-gate race bounded-mem byz-suite chaos-suite bench-smoke bench bench-shard bench-crossshard bench-txn bench-read bench-wallclock pgo fuzz-smoke fuzz-byz ci
 
 all: build
 
@@ -91,11 +91,15 @@ doc-lint:
 # nodes) as OS processes on loopback, clients in-process, measured with the
 # wall clock — real p50/p99 latency and kops/s, written to
 # BENCH_wallclock.json. The CI smoke for the nettrans transport, the local
-# launcher and the closed-loop bench driver.
+# launcher and the closed-loop bench driver. The second run is the chaos
+# gate: a follower ubft-node is SIGKILLed a third into the measure window
+# and respawned in cold-rejoin mode at two thirds; the bench fails unless
+# it drains with zero failed operations.
 bench-wallclock:
 	@mkdir -p bin
 	$(GO) build -o bin/ubft-bench ./cmd/ubft-bench
 	./bin/ubft-bench -transport=net -warmup 300ms -duration 1s -depth 4 -json BENCH_wallclock.json
+	./bin/ubft-bench -transport=net -chaos -warmup 300ms -duration 3s -depth 4
 
 # Profile-guided optimization round trip: run the wall-clock bench with CPU
 # profiling on every node process and the client, merge the profiles into
@@ -123,6 +127,17 @@ byz-suite:
 	$(GO) test -run 'TestByzDeterministicPerSeed|TestTrip|TestStrongReadLoneLiar' ./internal/byz/scenario/
 	$(GO) test -run 'TestCommitPhaseRecovery' ./internal/shard/
 
+# The crash-restart chaos suite: every supported Byzantine policy crossed
+# with a seeded kill/restart schedule (a correct follower SIGKILLed and
+# cold-rejoined per cycle while the adversary stays live), 6 seeds per
+# cell, pass matrix printed at the end (-v). The restart-determinism gate
+# (same seed => bit-identical final snapshots across runs) and the
+# simulated-cluster restart regressions ride along.
+chaos-suite:
+	CHAOS_SEEDS=6 $(GO) test -v -run 'TestChaosMatrix' ./internal/byz/scenario/
+	$(GO) test -run 'TestChaosDeterministicPerSeed' ./internal/byz/scenario/
+	$(GO) test -run 'TestRestart|TestRepeatedRestartCycles' ./internal/cluster/
+
 # Fuzz the wire codec briefly (the seeds always run under `make test`).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzReader -fuzztime 10s ./internal/wire/
@@ -135,4 +150,4 @@ fuzz-byz:
 	$(GO) test -run '^$$' -fuzz FuzzClientReadReply -fuzztime 10s ./internal/consensus/
 	$(GO) test -run '^$$' -fuzz FuzzReplicaReadRequest -fuzztime 10s ./internal/consensus/
 
-ci: build lint test race bounded-mem byz-suite bench-smoke bench-shard bench-crossshard bench-txn bench-read bench-wallclock pgo
+ci: build lint test race bounded-mem byz-suite chaos-suite bench-smoke bench-shard bench-crossshard bench-txn bench-read bench-wallclock pgo

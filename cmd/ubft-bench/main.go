@@ -65,6 +65,7 @@ func main() {
 	flag.StringVar(&wc.jsonPath, "json", "", "net transport: write a machine-readable BENCH_<name>.json here")
 	flag.StringVar(&wc.compare, "compare", "", "net transport: baseline BENCH json to report a delta against (PGO on vs off)")
 	flag.StringVar(&wc.profileDir, "profile-dir", "", "net transport: collect per-node CPU profiles into this directory (PGO)")
+	flag.BoolVar(&wc.chaos, "chaos", false, "net transport: SIGKILL a follower replica mid-measure and respawn it (cold rejoin over TCP)")
 	flag.Parse()
 
 	if *transport != "sim" && *transport != "net" {

@@ -34,6 +34,7 @@ type wallclockFlags struct {
 	jsonPath   string
 	compare    string
 	profileDir string
+	chaos      bool
 }
 
 // runWallclock launches the node fleet (re-exec of this binary), drives
@@ -64,6 +65,18 @@ func runWallclock(f wallclockFlags) error {
 		Warmup:     f.warmup,
 		Measure:    f.measure,
 	}
+	if f.chaos {
+		// Crash-test a follower (never the view-0 leader, so the workload
+		// keeps its leader while the victim is down): SIGKILL its process a
+		// third into the measure window, respawn it in cold-rejoin mode at
+		// two thirds. The bench's own gates — zero failed operations, full
+		// drain — are the pass criteria.
+		victim := lc.ReplicaIDs[len(lc.ReplicaIDs)-1]
+		opts.Chaos = &wallclock.ChaosSchedule{
+			Kill:    func() error { return lc.KillNode(victim) },
+			Restart: func() error { return lc.RestartNode(victim) },
+		}
+	}
 	if f.profileDir != "" {
 		opts.CPUProfile = f.profileDir + "/client.pprof"
 	}
@@ -83,6 +96,9 @@ func runWallclock(f wallclockFlags) error {
 	pgo := "off"
 	if res.PGO {
 		pgo = "on"
+	}
+	if res.Chaos {
+		fmt.Printf("chaos: follower SIGKILLed at measure/3, respawned (cold rejoin) at 2/3 — zero failed ops, full drain\n")
 	}
 	fmt.Printf("wall-clock %s over %s: %d replicas, %d memory nodes, %d clients x depth %d (pgo %s)\n",
 		res.Workload, res.Transport, res.Replicas, res.MemNodes, res.Clients, res.Depth, pgo)

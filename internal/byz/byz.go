@@ -30,6 +30,7 @@ import (
 	"repro/internal/ids"
 	"repro/internal/router"
 	"repro/internal/sim"
+	"repro/internal/simnet"
 	"repro/internal/transport"
 	"repro/internal/wire"
 	"repro/internal/xcrypto"
@@ -63,6 +64,16 @@ func (f *Fabric) Infect(id ids.ID, p Policy) { f.policies[id] = p }
 
 // Engine implements transport.Fabric.
 func (f *Fabric) Engine() *sim.Engine { return f.inner.Engine() }
+
+// Network exposes the wrapped fabric's simulated network when it has one
+// (the cluster layer probes for this accessor so partition/GST/restart
+// chaos composes with Byzantine injection; nil for non-simnet backends).
+func (f *Fabric) Network() *simnet.Network {
+	if nf, ok := f.inner.(interface{ Network() *simnet.Network }); ok {
+		return nf.Network()
+	}
+	return nil
+}
 
 // NewEndpoint implements transport.Fabric: every endpoint is wrapped, with
 // the node's policy (nil = honest passthrough).

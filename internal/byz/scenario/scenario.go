@@ -231,55 +231,62 @@ func (h *harness) do(payload []byte) ([]byte, bool) {
 // monotonicity), atomic cross-shard pair write, cross-shard pair read
 // (torn check + RYW), and the read-floor sanity check.
 func (h *harness) workload() {
+	for i := 1; i <= h.cfg.Rounds; i++ {
+		h.round(i)
+	}
+}
+
+// round runs one workload round; i numbers rounds from 1 monotonically
+// across the whole run (the chaos harness interleaves rounds with
+// kill/restart events, so the counter lives at the caller).
+func (h *harness) round(i int) {
 	a := keyOn(0, "a")
 	p := keyOn(0, "p")
 	q := keyOn(1, "q")
-	for i := 1; i <= h.cfg.Rounds; i++ {
-		// Single-key write on the attacked group.
-		if res, done := h.do(h.ad.write1(a, i)); !done {
-			h.rep.violate("round %d: single-key write never completed", i)
-		} else if !h.ad.wrote1OK(res) {
-			h.rep.violate("round %d: single-key write acknowledged %v", i, res)
-		} else {
-			h.modelA = i
-		}
-		// Read it back: read-your-writes and monotonicity.
-		if res, done := h.do(h.ad.read1(a)); !done {
-			h.rep.violate("round %d: single-key read never completed", i)
-		} else if c, present, ok := h.ad.val1(res); !ok {
-			h.rep.violate("round %d: unparseable read response %v", i, res)
-		} else if !present || c != h.modelA {
-			h.rep.violate("round %d: read-your-writes broken: read counter %d (present=%v), wrote %d", i, c, present, h.modelA)
-		} else {
-			if c < h.lastReadA {
-				h.rep.violate("round %d: monotonic reads broken: %d after %d", i, c, h.lastReadA)
-			}
-			h.lastReadA = c
-		}
-		// Atomic cross-shard pair write (2PC through the byz fabric).
-		if res, done := h.do(h.ad.pairWrite(p, q, i)); !done {
-			h.rep.violate("round %d: pair write never completed", i)
-		} else if !h.ad.commitOK(res) {
-			h.rep.violate("round %d: pair write did not commit: %v", i, res)
-		} else {
-			h.modelPair = i
-			h.rep.Commits++
-		}
-		// Cross-shard read of the pair: never torn, reflects the commit.
-		if res, done := h.do(h.ad.readPair(p, q)); !done {
-			h.rep.violate("round %d: pair read never completed", i)
-		} else if c1, c2, ok := h.ad.valPair(res); !ok {
-			h.rep.violate("round %d: unparseable pair read %v", i, res)
-		} else {
-			if c1 != c2 {
-				h.rep.violate("round %d: torn cross-shard state: %d vs %d", i, c1, c2)
-			}
-			if h.modelPair > 0 && c1 != h.modelPair {
-				h.rep.violate("round %d: pair read counter %d, committed %d", i, c1, h.modelPair)
-			}
-		}
-		h.checkFloor(i)
+	// Single-key write on the attacked group.
+	if res, done := h.do(h.ad.write1(a, i)); !done {
+		h.rep.violate("round %d: single-key write never completed", i)
+	} else if !h.ad.wrote1OK(res) {
+		h.rep.violate("round %d: single-key write acknowledged %v", i, res)
+	} else {
+		h.modelA = i
 	}
+	// Read it back: read-your-writes and monotonicity.
+	if res, done := h.do(h.ad.read1(a)); !done {
+		h.rep.violate("round %d: single-key read never completed", i)
+	} else if c, present, ok := h.ad.val1(res); !ok {
+		h.rep.violate("round %d: unparseable read response %v", i, res)
+	} else if !present || c != h.modelA {
+		h.rep.violate("round %d: read-your-writes broken: read counter %d (present=%v), wrote %d", i, c, present, h.modelA)
+	} else {
+		if c < h.lastReadA {
+			h.rep.violate("round %d: monotonic reads broken: %d after %d", i, c, h.lastReadA)
+		}
+		h.lastReadA = c
+	}
+	// Atomic cross-shard pair write (2PC through the byz fabric).
+	if res, done := h.do(h.ad.pairWrite(p, q, i)); !done {
+		h.rep.violate("round %d: pair write never completed", i)
+	} else if !h.ad.commitOK(res) {
+		h.rep.violate("round %d: pair write did not commit: %v", i, res)
+	} else {
+		h.modelPair = i
+		h.rep.Commits++
+	}
+	// Cross-shard read of the pair: never torn, reflects the commit.
+	if res, done := h.do(h.ad.readPair(p, q)); !done {
+		h.rep.violate("round %d: pair read never completed", i)
+	} else if c1, c2, ok := h.ad.valPair(res); !ok {
+		h.rep.violate("round %d: unparseable pair read %v", i, res)
+	} else {
+		if c1 != c2 {
+			h.rep.violate("round %d: torn cross-shard state: %d vs %d", i, c1, c2)
+		}
+		if h.modelPair > 0 && c1 != h.modelPair {
+			h.rep.violate("round %d: pair read counter %d, committed %d", i, c1, h.modelPair)
+		}
+	}
+	h.checkFloor(i)
 }
 
 // checkFloor asserts the client's monotonic read floor stays anchored to

@@ -202,6 +202,13 @@ type UBFT struct {
 	ReplicaIDs []ids.ID
 	MemNodeIDs []ids.ID
 	ClientIDs  []ids.ID
+
+	// Restart support (simnet-backed deployments): the fabric endpoints are
+	// created on, the normalized options, and the per-replica incarnation
+	// nonce fed to the cold-rejoin handshake.
+	fab        transport.Fabric
+	opts       Options
+	joinNonces []uint64
 }
 
 // IDLayout returns the deterministic identity assignment of a cluster with
@@ -259,12 +266,18 @@ func Build(opts Options) (*UBFT, error) {
 		fab = simnet.AsFabric(u.Net)
 	} else {
 		u.Eng = fab.Engine()
-		if sf, ok := fab.(simnet.Fabric); ok {
-			u.Net = sf.Network()
+		// Wrapping fabrics (the Byzantine injector) expose the underlying
+		// simulated network through the same accessor simnet.Fabric has, so
+		// fault injection composes with partition/GST/restart chaos.
+		if nf, ok := fab.(interface{ Network() *simnet.Network }); ok {
+			u.Net = nf.Network()
 		}
 	}
+	u.fab = fab
+	u.opts = opts
 
 	u.ReplicaIDs, u.MemNodeIDs, u.ClientIDs = IDLayout(opts.F, opts.Fm, opts.MemNodes, opts.NumClients)
+	u.joinNonces = make([]uint64, len(u.ReplicaIDs))
 
 	// Keys for replicas and clients (memory nodes do not sign).
 	u.Registry = SignerRegistry(opts.Seed, u.ReplicaIDs, u.ClientIDs)
@@ -326,6 +339,54 @@ func SignerRegistry(seed int64, replicaIDs, clientIDs []ids.ID) *xcrypto.Registr
 
 // Client returns client i (panics if absent).
 func (u *UBFT) Client(i int) *consensus.Client { return u.Clients[i] }
+
+// KillReplica crash-stops replica i: its simulated processes drop every
+// queued delivery and timer, and its network identity is unregistered so
+// RestartReplica can rebind it. Requires a simnet-backed deployment.
+func (u *UBFT) KillReplica(i int) error {
+	if u.Net == nil {
+		return fmt.Errorf("cluster: KillReplica requires a simulated network")
+	}
+	id := u.ReplicaIDs[i]
+	if u.Net.Node(id) == nil {
+		return fmt.Errorf("cluster: replica %v already killed", id)
+	}
+	u.Replicas[i].Crash()
+	u.Net.RemoveNode(id)
+	return nil
+}
+
+// RestartReplica boots a fresh replica process for slot i after
+// KillReplica: a new endpoint on the same fabric (a Byzantine-wrapping
+// fabric re-attaches its policy), a fresh application instance, and a
+// consensus replica started in cold-rejoin mode with a bumped incarnation
+// nonce. The replica probes the cluster, pulls the f+1-vouched snapshot
+// and observes until the first post-join stable checkpoint before
+// participating again.
+func (u *UBFT) RestartReplica(i int) error {
+	if u.Net == nil {
+		return fmt.Errorf("cluster: RestartReplica requires a simulated network")
+	}
+	id := u.ReplicaIDs[i]
+	if u.Net.Node(id) != nil {
+		return fmt.Errorf("cluster: replica %v still registered (KillReplica first)", id)
+	}
+	ep, err := u.fab.NewEndpoint(id, fmt.Sprintf("replica%d", i))
+	if err != nil {
+		return fmt.Errorf("cluster: restarting replica %d: %w", i, err)
+	}
+	u.joinNonces[i]++
+	a := u.opts.NewApp()
+	cfg := u.opts.ConsensusConfig(id, u.ReplicaIDs, u.MemNodeIDs, a)
+	cfg.ColdJoin = true
+	cfg.JoinNonce = u.joinNonces[i]
+	u.Apps[i] = a
+	u.Replicas[i] = consensus.NewReplica(cfg, consensus.Deps{
+		RT:       router.New(ep),
+		Registry: u.Registry,
+	})
+	return nil
+}
 
 // Stop tears down background timers on all replicas.
 func (u *UBFT) Stop() {

@@ -50,6 +50,13 @@ var ErrNoFabric = errors.New("cluster: member construction needs an injected tra
 type MemberSpec struct {
 	Role  Role
 	Index int // replica i, memory node j, or client c (not the wire ID)
+
+	// ColdJoin boots a replica in the recovering state of the cold-rejoin
+	// protocol (a process restarted after a crash); JoinNonce is its
+	// incarnation counter, which must strictly exceed every nonce this
+	// identity used before. Replica role only.
+	ColdJoin  bool
+	JoinNonce uint64
 }
 
 // Member is one assembled node. Exactly one of Replica/MemNode/Client is
@@ -108,7 +115,10 @@ func NewMember(opts Options, fab transport.Fabric, spec MemberSpec) (*Member, er
 			return nil, fmt.Errorf("cluster: wiring replica%d: %w", spec.Index, eerr)
 		}
 		m.App = opts.NewApp()
-		m.Replica = consensus.NewReplica(cfgFor(m.ID, m.App), consensus.Deps{
+		cfg := cfgFor(m.ID, m.App)
+		cfg.ColdJoin = spec.ColdJoin
+		cfg.JoinNonce = spec.JoinNonce
+		m.Replica = consensus.NewReplica(cfg, consensus.Deps{
 			RT:       router.New(ep),
 			Registry: reg,
 		})

@@ -1,5 +1,10 @@
 package consensus
 
+import (
+	"fmt"
+	"strings"
+)
+
 // Accessors used by tests, the benchmark harness and the memory-consumption
 // accounting (Table 2).
 
@@ -45,6 +50,29 @@ func (r *Replica) Progress() (nextSlot, lastExec, chkptSeq Slot, waiting int) {
 		}
 	}
 	return r.nextSlot, r.lastApplied, r.chkpt.Seq, waiting
+}
+
+// StallReport renders the pipeline state of every slot between the last
+// applied one and the proposal frontier — which slots are decided, which
+// have vote masks pending, which wait for a client request copy — for the
+// wall-clock harness's wedge diagnostics.
+func (r *Replica) StallReport() string {
+	var b strings.Builder
+	hi := r.nextSlot
+	if hi > r.lastApplied+8 {
+		hi = r.lastApplied + 8
+	}
+	for s := r.lastApplied; s <= hi; s++ {
+		_, dec := r.decided[s]
+		fmt.Fprintf(&b, "[s%d dec=%v", s, dec)
+		if ss := r.slots[s]; ss != nil {
+			fmt.Fprintf(&b, " certify=%v commit=%v sent=%v wait=%v fb=%v",
+				ss.willCertify, ss.willCommit, ss.sentFlags,
+				ss.waitingReq != nil, ss.fallback.Pending())
+		}
+		b.WriteString("] ")
+	}
+	return b.String()
 }
 
 // Groups exposes per-broadcaster CTBcast statistics.

@@ -168,11 +168,26 @@ func TestValidateSealViewMonotonic(t *testing.T) {
 		t.Fatal("legitimate SEAL_VIEW rejected")
 	}
 	r.onSealView(ids.ID(1), 2)
-	if r.validateMsg(ids.ID(1), mkSeal(2)) {
-		t.Fatal("non-increasing SEAL_VIEW validated")
+	// Non-increasing seals stay wire-valid (a cold-rejoined replica's
+	// reborn channel re-declares a view peers may already have recorded),
+	// but onSealView must treat them as no-ops: the per-peer view must not
+	// regress and newViewUsed must survive, keeping a second NEW_VIEW in
+	// the same view Byzantine.
+	if !r.validateMsg(ids.ID(1), mkSeal(2)) {
+		t.Fatal("re-declared SEAL_VIEW rejected at the wire")
 	}
-	if r.validateMsg(ids.ID(1), mkSeal(1)) {
-		t.Fatal("regressing SEAL_VIEW validated")
+	st := r.state[ids.ID(1)]
+	st.newViewUsed = true
+	r.onSealView(ids.ID(1), 2)
+	if st.view != 2 || !st.newViewUsed {
+		t.Fatalf("equal SEAL_VIEW not a no-op: view=%d newViewUsed=%v", st.view, st.newViewUsed)
+	}
+	r.onSealView(ids.ID(1), 1)
+	if st.view != 2 || !st.newViewUsed {
+		t.Fatalf("regressing SEAL_VIEW not a no-op: view=%d newViewUsed=%v", st.view, st.newViewUsed)
+	}
+	if r.validateMsg(ids.ID(1), []byte{tagSealView}) {
+		t.Fatal("truncated SEAL_VIEW validated")
 	}
 }
 

@@ -44,6 +44,13 @@ func (r *Replica) maybeCreateCheckpoint() {
 	r.snapshots[nextSeq] = snap
 	r.cpDigest[nextSeq] = dg
 	r.cpMine[nextSeq] = true
+	if r.observing() {
+		// The snapshot and digest are recorded (they serve state transfers
+		// and cross-check incoming certificates), but an observing joiner
+		// contributes no certify share: the 2f live replicas reach f+1 on
+		// their own, and their certificate is what ends the observe window.
+		return
+	}
 	// Background signature (§5.4: checkpoints are the fast path's
 	// bookkeeping signatures, off the critical path on the crypto pool).
 	r.signer.SignBg(r.bgProc, r.proc, checkpointPayload(nextSeq, dg), func(sig xcrypto.Signature) {
@@ -149,15 +156,25 @@ func (r *Replica) maybeCheckpoint(cp Checkpoint) {
 	r.chkpt = cp
 	r.bringUpToSpeed(&cp)
 	r.pruneBelow(cp.Seq)
+	if r.nextSlot < cp.Seq {
+		r.nextSlot = cp.Seq
+	}
+	if r.observing() {
+		// A rejoining replica stays silent: no rebroadcast (peers' frozen
+		// record of our pre-crash checkpoint could make an equal-seq
+		// rebroadcast fail their strict Supersedes check) and no proposals.
+		// If this checkpoint is the first stable one past the sync point
+		// and our state has caught up, the observe window ends here.
+		r.armJoinPull()
+		r.maybeResumeFromJoin()
+		return
+	}
 	// Line 61: re-broadcast the checkpoint so every correct replica learns
 	// it even when only one correct replica decided (liveness, §B.3).
 	w := wire.NewWriter(256)
 	w.U8(tagCheckpoint)
 	cp.encode(w)
 	r.groups[r.cfg.Self].Broadcast(w.Finish())
-	if r.nextSlot < cp.Seq {
-		r.nextSlot = cp.Seq
-	}
 	r.pumpProposals()
 	r.maybeSeal()
 }
@@ -196,6 +213,7 @@ func (r *Replica) adoptSnapshot(seq Slot, snap []byte) {
 	r.lastApplied = seq
 	r.snapshots[seq] = snap
 	r.executeReady()
+	r.maybeResumeFromJoin()
 }
 
 // pruneBelow discards all per-slot state covered by a stable checkpoint:

@@ -206,6 +206,55 @@ func TestViewChangePreservesDecidedRequests(t *testing.T) {
 	}
 }
 
+func TestViewChangeFragmentedNewView(t *testing.T) {
+	// A NEW_VIEW carries f+1 certified states whose undecided commit
+	// certificates embed full request payloads, so with a small message cap
+	// and a burst of fat slow-path requests the message outgrows the
+	// CTBcast per-message cap and must travel as a fragment train on the
+	// new leader's channel. Slow-path-only mode keeps COMMIT certificates
+	// accumulating deterministically in every replica's certified state.
+	u := flipCluster(cluster.Options{
+		NewApp:            func() app.StateMachine { return app.NewKV(0) },
+		Window:            32,
+		Tail:              16,
+		MsgCap:            1024,
+		DisableFastPath:   true,
+		CTBMode:           ctbcast.SlowOnly,
+		ViewChangeTimeout: 500 * sim.Microsecond,
+	})
+	defer u.Stop()
+	val := bytes.Repeat([]byte("v"), 700)
+	for i := 0; i < 12; i++ {
+		k := []byte(fmt.Sprintf("key-%02d", i))
+		if res, _ := u.InvokeSync(0, app.EncodeKVSet(k, val), 100*sim.Millisecond); res == nil {
+			t.Fatalf("pre-crash set %d failed", i)
+		}
+	}
+	// Crash the view-0 leader; the view change must reassemble those
+	// commits into the NEW_VIEW and still make progress afterwards.
+	u.Net.Node(u.ReplicaIDs[0]).Proc().Crash()
+	if res, _ := u.InvokeSync(0, app.EncodeKVSet([]byte("after"), []byte("vc")), 1000*sim.Millisecond); res == nil {
+		t.Fatal("request after leader crash timed out (view change failed)")
+	}
+	var frags uint64
+	for _, i := range []int{1, 2} {
+		frags += u.Replicas[i].NewViewFragsSent
+	}
+	if frags == 0 {
+		t.Fatal("view change completed without fragmenting the NEW_VIEW (workload no longer exceeds the cap?)")
+	}
+	u.Eng.RunFor(20 * sim.Millisecond)
+	s1, s2 := u.Apps[1].Snapshot(), u.Apps[2].Snapshot()
+	if !bytes.Equal(s1, s2) {
+		t.Fatal("surviving replicas diverged after fragmented view change")
+	}
+	kv := app.NewKV(0)
+	kv.Restore(s1)
+	if kv.Len() != 13 {
+		t.Fatalf("kv has %d keys, want 13", kv.Len())
+	}
+}
+
 func TestKVApplication(t *testing.T) {
 	u := flipCluster(cluster.Options{NewApp: func() app.StateMachine { return app.NewKV(0) }})
 	defer u.Stop()

@@ -26,6 +26,7 @@ const (
 	tagCheckpoint  = wire.TagCheckpoint
 	tagSealView    = wire.TagSealView
 	tagNewView     = wire.TagNewView
+	tagNewViewFrag = wire.TagNewViewFrag
 	tagCertify     = wire.TagCertify
 	tagWillCertify = wire.TagWillCertify
 	tagWillCommit  = wire.TagWillCommit
@@ -39,6 +40,12 @@ const (
 	// ride ChanDirect; tagEcho (23) lives in rpc.go.
 	tagStagedQuery = wire.TagStagedQuery
 	tagStagedResp  = wire.TagStagedResp
+	// tagJoinProbe/tagJoinAns are the cold-rejoin handshake: a restarted
+	// replica probes for the cluster's sync point and f+1 matching answers
+	// (view, stable checkpoint seq, state digest) fix it — no lone
+	// Byzantine peer can define where the joiner syncs to. See rejoin.go.
+	tagJoinProbe = wire.TagJoinProbe
+	tagJoinAns   = wire.TagJoinAns
 )
 
 // Request is a client command. A no-op request (view-change filler) has
@@ -384,4 +391,43 @@ func decodeNewView(rd *wire.Reader) (NewViewMsg, error) {
 		nv.Certs = append(nv.Certs, c)
 	}
 	return nv, rd.Err()
+}
+
+// nvFragOverhead bounds the framing around one NEW_VIEW fragment's chunk:
+// tag (1) + view (8) + idx/total uvarints (≤5 each) + chunk length prefix
+// (≤5), rounded up for headroom.
+const nvFragOverhead = 32
+
+// nvFrag is one chunk of a NEW_VIEW message too large for the CTBcast
+// per-message cap. The chunks of one train, concatenated in index order,
+// are exactly the bytes encodeNewView produced (leading tag included).
+// Trains ride the leader's own FIFO non-equivocated channel, so every
+// correct receiver that delivers the full train reassembles identical
+// bytes; a train interrupted by a summary jump is discarded, same as a
+// monolithic NEW_VIEW the summary skipped.
+type nvFrag struct {
+	view       View
+	idx, total int
+	chunk      []byte
+}
+
+func encodeNewViewFrag(f nvFrag) []byte {
+	w := wire.NewWriter(nvFragOverhead + len(f.chunk))
+	w.U8(tagNewViewFrag)
+	w.U64(uint64(f.view))
+	w.Uvarint(uint64(f.idx))
+	w.Uvarint(uint64(f.total))
+	w.Bytes(f.chunk)
+	return w.Finish()
+}
+
+func decodeNewViewFrag(rd *wire.Reader) (nvFrag, error) {
+	f := nvFrag{View(rd.U64()), int(rd.Uvarint()), int(rd.Uvarint()), rd.Bytes()}
+	if err := rd.Err(); err != nil {
+		return f, err
+	}
+	if f.total < 2 || f.idx < 0 || f.idx >= f.total || len(f.chunk) == 0 {
+		return f, fmt.Errorf("consensus: malformed NEW_VIEW fragment %d/%d (%dB)", f.idx, f.total, len(f.chunk))
+	}
+	return f, nil
 }

@@ -165,6 +165,36 @@ func TestNewViewRoundTrip(t *testing.T) {
 	}
 }
 
+func TestNewViewFragRoundTrip(t *testing.T) {
+	f := nvFrag{view: 3, idx: 1, total: 4, chunk: []byte("chunk-bytes")}
+	rd := wire.NewReader(encodeNewViewFrag(f))
+	if rd.U8() != tagNewViewFrag {
+		t.Fatal("tag wrong")
+	}
+	got, err := decodeNewViewFrag(rd)
+	if err != nil || rd.Done() != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.view != 3 || got.idx != 1 || got.total != 4 || !bytes.Equal(got.chunk, f.chunk) {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestNewViewFragRejectsMalformed(t *testing.T) {
+	bad := []nvFrag{
+		{view: 1, idx: 0, total: 1, chunk: []byte("x")}, // 1-chunk train: must be monolithic
+		{view: 1, idx: 4, total: 4, chunk: []byte("x")}, // idx out of range
+		{view: 1, idx: 0, total: 2, chunk: nil},         // empty chunk
+	}
+	for i, f := range bad {
+		rd := wire.NewReader(encodeNewViewFrag(f))
+		rd.U8()
+		if _, err := decodeNewViewFrag(rd); err == nil {
+			t.Errorf("case %d: malformed fragment %+v decoded without error", i, f)
+		}
+	}
+}
+
 func TestDecodersRejectGarbage(t *testing.T) {
 	prop := func(garbage []byte) bool {
 		// None of these may panic; errors are fine.
@@ -175,6 +205,7 @@ func TestDecodersRejectGarbage(t *testing.T) {
 		_, _ = decodeCertifiedState(garbage)
 		rd2 := wire.NewReader(garbage)
 		_, _ = decodeNewView(rd2)
+		_, _ = decodeNewViewFrag(wire.NewReader(garbage))
 		_, _ = DecodeRequest(garbage)
 		return true
 	}

@@ -70,6 +70,17 @@ type Config struct {
 	// same memory nodes (§1: "they can be shared among many applications").
 	RegionOffset memnode.RegionID
 
+	// ColdJoin boots the replica in the recovering state of the cold-rejoin
+	// protocol (rejoin.go): it probes the cluster for a sync point, pulls
+	// the certified snapshot, and observes (no proposals, echoes or votes)
+	// until the first post-join stable checkpoint. Set when re-creating a
+	// replica that crashed and lost all in-memory state.
+	ColdJoin bool
+	// JoinNonce is this replica's incarnation counter, strictly increasing
+	// across restarts. Peers reset the joiner's broadcast channels only
+	// when the nonce increases, so probe retransmissions are idempotent.
+	JoinNonce uint64
+
 	App app.StateMachine
 	// Responder delivers execution results toward the client (wired by
 	// the RPC server). May be nil.
@@ -77,6 +88,12 @@ type Config struct {
 }
 
 func (c *Config) n() int { return len(c.Replicas) }
+
+// groupMsgCap is the per-message byte cap of the consensus CTBcast
+// channels: the client-request cap plus room for consensus framing and
+// certificates. A NEW_VIEW larger than this travels as a fragment train
+// (see broadcastNewView / tagNewViewFrag).
+func (c *Config) groupMsgCap() int { return c.MsgCap + 4096 }
 
 // leaderOf returns the leader of view v (round-robin, §5.3).
 func (c *Config) leaderOf(v View) ids.ID { return c.Replicas[int(uint64(v)%uint64(c.n()))] }
@@ -122,6 +139,17 @@ type replicaState struct {
 	prepares    map[Slot]Prepare
 	commits     map[Slot]CommitCert
 	checkpoint  Checkpoint
+
+	// NEW_VIEW fragment reassembly (a NEW_VIEW exceeding the channel's
+	// per-message cap travels as a FIFO train of tagNewViewFrag chunks).
+	// nvSkip marks a train whose prefix a summary jump skipped: the
+	// remaining chunks are discarded without branding p Byzantine, exactly
+	// as a monolithic NEW_VIEW inside the summarized gap would be.
+	nvBuf   []byte
+	nvView  View
+	nvTotal int // chunks expected; 0 = no train in progress
+	nvNext  int // next chunk index expected
+	nvSkip  bool
 }
 
 // voteKey identifies fast-path vote sets.
@@ -255,6 +283,24 @@ type Replica struct {
 	appVerRead  app.VersionedReadExecutor
 	pinnedReads []pinnedRead
 
+	// Cold-rejoin state (rejoin.go). joinPhase tracks this replica's own
+	// recovery; peerJoinNonce tracks the highest incarnation seen per peer
+	// (channel resets fire only on an increase).
+	joinPhase      joinPhase
+	joinSyncSeq    Slot // stable-checkpoint seq of the adopted sync point
+	joinAnswers    map[ids.ID]joinAnswer
+	joinProbeTimer sim.Timer
+	joinPullTimer  sim.Timer
+	joinPullTries  int
+	peerJoinNonce  map[ids.ID]uint64
+	// noLeadView blocks proposing while r.view equals it (set on resume):
+	// an amnesiac leader re-proposing a slot it already prepared pre-crash
+	// in the same view would trip peers' duplicate-prepare check. The
+	// followers' suspicion timers rotate leadership instead. Views start at
+	// 0, so the sentinel for "no block" is noLeadSet=false.
+	noLeadView View
+	noLeadSet  bool
+
 	// View change state.
 	sealTarget    View // view being sealed into (0 = not sealing)
 	vcStreak      int  // consecutive view changes without progress (backoff)
@@ -269,7 +315,15 @@ type Replica struct {
 	FastDecides uint64
 	SlowDecides uint64
 	ViewChanges uint64
-	Executed    uint64
+	// NewViewFragsSent counts NEW_VIEW chunks this replica broadcast as a
+	// new leader because the message exceeded the channel's per-message
+	// cap (0 when every NEW_VIEW fit in one message).
+	NewViewFragsSent uint64
+	Executed         uint64
+	// Rejoins counts completed cold rejoins (probe -> sync -> observe ->
+	// resume); it flips to 1 when a ColdJoin replica regains full
+	// participation.
+	Rejoins uint64
 	// ReadsServed counts unordered fast-path reads executed tentatively
 	// against last-applied state.
 	ReadsServed uint64
@@ -365,6 +419,8 @@ func NewReplica(cfg Config, deps Deps) *Replica {
 		pendingNV:     make(map[View][]ReplicaCert),
 		vcShares:      make(map[View]map[ids.ID]map[ids.ID]vcShare),
 		newViewSent:   make(map[View]bool),
+		joinAnswers:   make(map[ids.ID]joinAnswer),
+		peerJoinNonce: make(map[ids.ID]uint64),
 	}
 	if v, ok := cfg.App.(app.Versioned); ok {
 		r.appVer = v
@@ -401,7 +457,7 @@ func NewReplica(cfg Config, deps Deps) *Replica {
 			Procs:         cfg.Replicas,
 			F:             cfg.F,
 			Tail:          cfg.Tail,
-			MsgCap:        cfg.MsgCap + 4096, // consensus framing + certificates
+			MsgCap:        cfg.groupMsgCap(),
 			SummaryCap:    cfg.Window*(cfg.MsgCap+512) + 4096,
 			Mode:          cfg.CTBMode,
 			SlowPathDelay: cfg.CTBSlowDelay,
@@ -437,6 +493,9 @@ func NewReplica(cfg Config, deps Deps) *Replica {
 
 	deps.RT.Register(router.ChanDirect, r.onDirect)
 	deps.RT.Register(router.ChanRPC, r.onRPC)
+	if cfg.ColdJoin {
+		r.startColdJoin()
+	}
 	return r
 }
 
@@ -467,12 +526,24 @@ func (r *Replica) Stop() {
 	r.auxOut.Stop()
 	r.progressTimer.Cancel()
 	r.batchTimer.Cancel()
+	r.joinProbeTimer.Cancel()
+	r.joinPullTimer.Cancel()
 	for _, s := range r.slots {
 		s.fallback.Cancel()
 	}
 	for _, t := range r.echoTimers {
 		t.Cancel()
 	}
+}
+
+// Crash crash-stops the replica (chaos harness): Stop plus crashing its
+// simulated processes, so queued deliveries, timers and in-flight
+// background crypto all die with it. Permanent for this instance — a
+// restart builds a fresh Replica with Config.ColdJoin set.
+func (r *Replica) Crash() {
+	r.Stop()
+	r.proc.Crash()
+	r.bgProc.Crash()
 }
 
 // View returns the replica's current view.
@@ -559,8 +630,11 @@ func (r *Replica) enqueueProposal(req Request) {
 // pumpProposals proposes queued requests while the window and leadership
 // conditions of Algorithm 2 line 15 hold.
 func (r *Replica) pumpProposals() {
-	if r.stopped || !r.IsLeader() || r.isSealing() {
+	if r.stopped || r.observing() || !r.IsLeader() || r.isSealing() {
 		return
+	}
+	if r.noLeadSet && r.view == r.noLeadView {
+		return // just rejoined: don't lead the resume view (see rejoin.go)
 	}
 	if r.view > 0 && !r.newViewSent[r.view] {
 		return // must broadcast NEW_VIEW before proposing (line 15)
@@ -655,6 +729,43 @@ func (r *Replica) onConsensusMsg(p ids.ID, m []byte) {
 			return
 		}
 		r.onNewView(p, nv)
+	case tagNewViewFrag:
+		fr, err := decodeNewViewFrag(rd)
+		if err != nil {
+			return
+		}
+		r.onNewViewFrag(p, fr)
+	}
+}
+
+// onNewViewFrag accumulates one chunk of a fragmented NEW_VIEW train
+// (validation already passed). Index 0 always starts a fresh train — a
+// reborn leader's channel reset re-pushes its tail from the top. A chunk
+// that does not extend the current train is a mid-train resume after a
+// summary jump healed a FIFO gap: the prefix is gone, so the remainder of
+// the train is discarded (nvSkip) rather than treated as Byzantine.
+func (r *Replica) onNewViewFrag(p ids.ID, fr nvFrag) {
+	st := r.state[p]
+	switch {
+	case fr.idx == 0:
+		st.nvBuf = append(st.nvBuf[:0], fr.chunk...)
+		st.nvView, st.nvTotal, st.nvNext, st.nvSkip = fr.view, fr.total, 1, false
+	case st.nvSkip || st.nvTotal != fr.total || st.nvNext != fr.idx || st.nvView != fr.view:
+		st.nvBuf, st.nvTotal, st.nvNext, st.nvSkip = nil, 0, 0, true
+		return
+	default:
+		st.nvBuf = append(st.nvBuf, fr.chunk...)
+		st.nvNext++
+	}
+	if st.nvNext < st.nvTotal {
+		return
+	}
+	rd := wire.NewReader(st.nvBuf)
+	_ = rd.U8() // tagNewView, verified with the full message by validateMsg
+	nv, err := decodeNewView(rd)
+	st.nvBuf, st.nvTotal, st.nvNext = nil, 0, 0
+	if err == nil && rd.Done() == nil {
+		r.onNewView(p, nv)
 	}
 }
 
@@ -714,6 +825,13 @@ func (r *Replica) endorseOrWait(pr Prepare) {
 func (r *Replica) endorse(pr Prepare) {
 	ss := r.slot(pr.Slot)
 	ss.waitingReq = nil
+	if r.observing() {
+		// Observe-only window: record the prepare (already in state[p]) but
+		// cast no votes — a rejoined replica that forgot its pre-crash
+		// promises must not be able to contradict them (amnesia
+		// equivocation). It still decides passively via others' certs.
+		return
+	}
 	if r.cfg.FastPath {
 		// Fast path: WILL_CERTIFY promise (line 21).
 		if !ss.sent(pr.View, sentWillCertify) {
@@ -743,7 +861,7 @@ func (r *Replica) endorse(pr Prepare) {
 // delivered for (v, s).
 func (r *Replica) sendCertify(v View, s Slot) {
 	ss := r.slot(s)
-	if ss.sent(v, sentCertify) {
+	if ss.sent(v, sentCertify) || r.observing() {
 		return
 	}
 	pr, ok := r.state[r.cfg.leaderOf(v)].prepares[s]
@@ -863,6 +981,9 @@ func (r *Replica) onWillCertify(p ids.ID, v View, s Slot) {
 		ss.willCertify = make(map[voteKey]uint64, 1)
 	}
 	ss.willCertify[key] |= bit
+	if r.observing() {
+		return // no WILL_COMMIT promises during the observe-only window
+	}
 	if ss.willCertify[key] == r.fullVote() && !ss.sent(v, sentWillCommit) {
 		ss.markSent(v, sentWillCommit)
 		r.promised[key] = true
@@ -918,8 +1039,8 @@ func (r *Replica) onCertify(p ids.ID, v View, s Slot, dg [xcrypto.DigestLen]byte
 		ss.certSigs[key] = make(map[ids.ID]xcrypto.Signature)
 	}
 	ss.certSigs[key][p] = sig
-	if len(ss.certSigs[key]) < r.cfg.F+1 || ss.sent(v, sentCommit) {
-		return
+	if len(ss.certSigs[key]) < r.cfg.F+1 || ss.sent(v, sentCommit) || r.observing() {
+		return // observing: collect shares but broadcast no COMMIT
 	}
 	pr, ok := r.state[r.cfg.leaderOf(v)].prepares[s]
 	if !ok || pr.View != v || pr.Req.Digest() != dg {

@@ -97,6 +97,15 @@ func (r *Replica) onRPC(from ids.ID, payload []byte) {
 
 // onClientRequest handles an ordered (write-path) client request.
 func (r *Replica) onClientRequest(from ids.ID, rd *wire.Reader) {
+	if r.observing() {
+		// Observe-only window: no echoes, no proposals. Dropping (rather
+		// than storing) is deliberate — the other 2f replicas hold the
+		// client's copy and decide it, but it would execute below this
+		// replica's rejoin snapshot, so a stored copy here would never be
+		// marked executed and would read as permanently stalled work,
+		// feeding the suspicion timer spurious view changes after resume.
+		return
+	}
 	req := decodeRequest(rd)
 	if rd.Done() != nil || req.IsNoOp() {
 		return
@@ -159,6 +168,13 @@ func (r *Replica) onReadRequest(from ids.ID, rd *wire.Reader) {
 	at := Slot(rd.U64())
 	payload := rd.BytesView()
 	if rd.Done() != nil {
+		return
+	}
+	if r.observing() {
+		// Refuse explicitly while rejoining: our state is mid-transfer, and
+		// an explicit refusal lets the client complete its quorum from the
+		// 2f live replicas (or fall back) instead of waiting out a timeout.
+		r.replyRead(from, num, 0, nil)
 		return
 	}
 	if at > 0 {
@@ -263,7 +279,7 @@ func (r *Replica) sendEcho(dg [xcrypto.DigestLen]byte) {
 func (r *Replica) onEcho(from ids.ID, rd *wire.Reader) {
 	var dg [xcrypto.DigestLen]byte
 	copy(dg[:], rd.Raw(xcrypto.DigestLen))
-	if rd.Done() != nil || r.cfg.indexOf(from) < 0 {
+	if rd.Done() != nil || r.cfg.indexOf(from) < 0 || r.observing() {
 		return
 	}
 	r.noteEcho(dg, from)

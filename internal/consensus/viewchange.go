@@ -44,8 +44,8 @@ func (r *Replica) suspicionTimeout() sim.Duration {
 // armProgressTimer (re)arms the leader-suspicion timer while there is
 // undecided work in flight.
 func (r *Replica) armProgressTimer() {
-	if r.cfg.ViewChangeTimeout <= 0 || r.stopped {
-		return
+	if r.cfg.ViewChangeTimeout <= 0 || r.stopped || r.observing() {
+		return // an observing joiner never drives view changes
 	}
 	if !r.hasUndecidedWork() {
 		return
@@ -120,12 +120,28 @@ func (r *Replica) hasPrepare(s Slot) bool {
 
 func (r *Replica) isSealing() bool { return r.sealTarget > r.view }
 
-// changeView targets the next view.
+// changeView targets the next view — or jumps straight to the highest
+// view any peer has declared, if that is further. Views can diverge by
+// more than one during an asynchronous period (each replica's suspicion
+// timer advances it unilaterally), and joinView's f+1-sealers rule cannot
+// re-converge a two-replica active set from unequal views: each side
+// advances one view per backed-off timeout, so a laggard never catches a
+// leader moving at the same capped rate. Jumping on our own timeout is
+// the PBFT catch-up analog and is safe — a seal only promises silence in
+// lower views; decisions still need f+1 certificates in the new view. A
+// Byzantine peer advertising an absurd seal can at worst drag every
+// correct replica to the same high view number, where they converge.
 func (r *Replica) changeView() {
 	if r.isSealing() {
 		return // a seal is already in flight; the backoff timer retries
 	}
-	r.sealTo(r.view + 1)
+	target := r.view + 1
+	for _, q := range r.cfg.Replicas {
+		if sv := r.state[q].sealedView; sv > target {
+			target = sv
+		}
+	}
+	r.sealTo(target)
 }
 
 // joinView targets a specific higher view (observed via f+1 seals or a
@@ -159,7 +175,7 @@ func (r *Replica) sealTo(v View) {
 
 // maybeSeal broadcasts SEAL_VIEW once every promise is honoured.
 func (r *Replica) maybeSeal() {
-	if !r.isSealing() || r.stopped {
+	if !r.isSealing() || r.stopped || r.observing() {
 		return
 	}
 	// Pure scan first, then clear: bailing out of a loop that also deletes
@@ -194,9 +210,36 @@ func (r *Replica) maybeSeal() {
 // state toward the new leader, and join views the quorum is moving to.
 func (r *Replica) onSealView(p ids.ID, v View) {
 	st := r.state[p]
+	if v <= st.view {
+		// Not a view advance: a correct replica only re-declares a view it
+		// already held when resuming after a cold restart (its reborn
+		// channel must re-state the view before anything else). Ignore —
+		// and in particular do NOT clear newViewUsed, whose strict-increase
+		// coupling is what makes a second NEW_VIEW in the same view
+		// Byzantine.
+		return
+	}
 	st.sealedView = v
 	st.view = v
 	st.newViewUsed = false
+	if r.observing() {
+		// Passive view tracking while rejoining: record the seal and follow
+		// the quorum's view, but sign nothing (an amnesiac CertifyVC could
+		// omit promises this replica made before it crashed) and broadcast
+		// no seal of our own.
+		if v > r.view {
+			sealers := 0
+			for _, q := range r.cfg.Replicas {
+				if r.state[q].sealedView >= v {
+					sealers++
+				}
+			}
+			if sealers >= r.cfg.F+1 {
+				r.view = v
+			}
+		}
+		return
+	}
 	// Certify p's state as this replica has delivered it.
 	cs := CertifiedState{
 		View:       v,
@@ -271,6 +314,10 @@ func (r *Replica) onDirect(from ids.ID, payload []byte) {
 		r.onEcho(from, rd)
 	case tagStagedQuery:
 		r.onStagedQuery(from, rd)
+	case tagJoinProbe:
+		r.onJoinProbe(from, rd)
+	case tagJoinAns:
+		r.onJoinAns(from, rd)
 	}
 }
 
@@ -278,7 +325,9 @@ func (r *Replica) onDirect(from ids.ID, payload []byte) {
 // matching shares about f+1 distinct replicas, then broadcast NEW_VIEW and
 // re-propose the open slots.
 func (r *Replica) onCertifyVC(from ids.ID, v View, about ids.ID, stateBytes []byte, sig xcrypto.Signature) {
-	if r.cfg.leaderOf(v) != r.cfg.Self || v < r.view || r.newViewSent[v] {
+	if r.cfg.leaderOf(v) != r.cfg.Self || v < r.view || r.newViewSent[v] || r.observing() {
+		// Observing: an amnesiac leader must not start a view; the
+		// followers' suspicion timers move the cluster to the next one.
 		return
 	}
 	if r.cfg.indexOf(from) < 0 || r.cfg.indexOf(about) < 0 {
@@ -349,7 +398,7 @@ func (r *Replica) onCertifyVC(from ids.ID, v View, about ids.ID, stateBytes []by
 // r.view == v and that SEAL_VIEW(v) was broadcast before.
 func (r *Replica) startView(v View, certs []ReplicaCert) {
 	nv := NewViewMsg{View: v, Certs: certs[:r.cfg.F+1]}
-	r.groups[r.cfg.Self].Broadcast(encodeNewView(nv))
+	r.broadcastNewView(nv)
 	r.state[r.cfg.Self].newView = &nv
 	// Adopt the highest certified checkpoint.
 	for _, c := range nv.Certs {
@@ -376,6 +425,32 @@ func (r *Replica) startView(v View, certs []ReplicaCert) {
 	}
 	r.rebroadcastPending()
 	r.pumpProposals()
+}
+
+// broadcastNewView puts nv on this leader's own channel. The certified
+// states it carries scale with the in-flight window (up to f+1 replicas'
+// undecided commits, request payloads included), so the message can
+// legitimately exceed the channel's per-message cap; it then travels as a
+// FIFO train of tagNewViewFrag chunks that receivers reassemble — the
+// channel's non-equivocation covers the train exactly as it would the
+// monolithic message.
+func (r *Replica) broadcastNewView(nv NewViewMsg) {
+	b := encodeNewView(nv)
+	g := r.groups[r.cfg.Self]
+	if len(b) <= g.MsgCap() {
+		g.Broadcast(b)
+		return
+	}
+	chunk := g.MsgCap() - nvFragOverhead
+	total := (len(b) + chunk - 1) / chunk
+	for i := 0; i < total; i++ {
+		lo, hi := i*chunk, (i+1)*chunk
+		if hi > len(b) {
+			hi = len(b)
+		}
+		g.Broadcast(encodeNewViewFrag(nvFrag{view: nv.View, idx: i, total: total, chunk: b[lo:hi]}))
+		r.NewViewFragsSent++
+	}
 }
 
 // mustPropose implements lines 25-27. any=true means the slot is beyond
@@ -420,6 +495,14 @@ func (r *Replica) onNewView(p ids.ID, nv NewViewMsg) {
 			continue
 		}
 		r.maybeCheckpoint(cs.Checkpoint)
+	}
+	if r.observing() {
+		// Passive view tracking: the NEW_VIEW message is f+1-certified, so
+		// a rejoining replica may follow it without sealing or re-echoing.
+		if nv.View > r.view {
+			r.view = nv.View
+		}
+		return
 	}
 	// Catch up to the new view (line 23), declaring it on our own channel.
 	r.joinView(nv.View)
@@ -496,48 +579,112 @@ func (r *Replica) validateMsg(p ids.ID, m []byte) bool {
 		}
 		return r.verifyCheckpointCert(&cp)
 	case tagSealView:
-		v := View(rd.U64())
+		_ = rd.U64()
 		if rd.Done() != nil {
 			return false
 		}
-		return v > st.view
+		// Any well-formed view declaration is acceptable: a cold-rejoined
+		// replica re-declares its current view as the first message of its
+		// reborn channel, and different peers' frozen FIFO prefixes may
+		// record different pre-crash views for it, so a strict v > st.view
+		// check would brand a correct joiner Byzantine at some peers.
+		// onSealView ignores non-advancing seals, so tolerance is free.
+		return true
 	case tagNewView:
 		nv, err := decodeNewView(rd)
 		if err != nil || rd.Done() != nil {
 			return false
 		}
-		if r.cfg.leaderOf(st.view) != p || nv.View != st.view {
+		return r.validNewView(p, st, nv)
+	case tagNewViewFrag:
+		fr, err := decodeNewViewFrag(rd)
+		if err != nil || rd.Done() != nil {
+			return false
+		}
+		if r.cfg.leaderOf(st.view) != p || fr.view != st.view {
 			return false
 		}
 		if st.newViewUsed {
-			return false // must be p's first non-CHECKPOINT message in the view
+			return false // the train must precede any prepare in the view
 		}
-		seen := make(map[ids.ID]bool)
-		for _, c := range nv.Certs {
-			if seen[c.About] || r.cfg.indexOf(c.About) < 0 {
-				return false
-			}
-			seen[c.About] = true
-			cs, err := decodeCertifiedState(c.StateBytes)
-			if err != nil || cs.View != nv.View {
-				return false
-			}
-			valid := 0
-			for q, sig := range c.Sigs {
-				if r.cfg.indexOf(q) < 0 {
-					continue
-				}
-				if r.signer.Verify(r.proc, q, vcSharePayload(nv.View, c.About, c.StateBytes), sig) {
-					valid++
-				}
-			}
-			if valid < r.cfg.F+1 {
-				return false
-			}
+		if fr.total > r.maxNewViewFrags() {
+			return false // larger than any legitimate NEW_VIEW could be
 		}
-		return len(nv.Certs) >= r.cfg.F+1
+		if fr.idx == 0 {
+			return true // always starts a fresh train (channel-reset re-push)
+		}
+		if st.nvSkip || st.nvTotal != fr.total || st.nvNext != fr.idx || st.nvView != fr.view {
+			// Mid-train resume after a summary jump healed a FIFO gap:
+			// the prefix is gone, so delivery discards the remainder —
+			// not proof of a Byzantine leader.
+			return true
+		}
+		if fr.idx < fr.total-1 {
+			return true
+		}
+		// Final chunk: the reassembled bytes must validate exactly like a
+		// monolithic NEW_VIEW (delivery appends the chunk after us).
+		buf := make([]byte, 0, len(st.nvBuf)+len(fr.chunk))
+		buf = append(append(buf, st.nvBuf...), fr.chunk...)
+		frd := wire.NewReader(buf)
+		if frd.U8() != tagNewView {
+			return false
+		}
+		nv, err := decodeNewView(frd)
+		if err != nil || frd.Done() != nil {
+			return false
+		}
+		return r.validNewView(p, st, nv)
 	}
 	return false // unknown tag: Byzantine
+}
+
+// validNewView vets a (possibly reassembled) NEW_VIEW from broadcaster p:
+// it must open p's current view as its first non-CHECKPOINT message and
+// carry f+1 distinct replica certs, each with f+1 valid attesting
+// signatures over its certified state.
+func (r *Replica) validNewView(p ids.ID, st *replicaState, nv NewViewMsg) bool {
+	if r.cfg.leaderOf(st.view) != p || nv.View != st.view {
+		return false
+	}
+	if st.newViewUsed {
+		return false // must be p's first non-CHECKPOINT message in the view
+	}
+	seen := make(map[ids.ID]bool)
+	for _, c := range nv.Certs {
+		if seen[c.About] || r.cfg.indexOf(c.About) < 0 {
+			return false
+		}
+		seen[c.About] = true
+		cs, err := decodeCertifiedState(c.StateBytes)
+		if err != nil || cs.View != nv.View {
+			return false
+		}
+		valid := 0
+		for q, sig := range c.Sigs {
+			if r.cfg.indexOf(q) < 0 {
+				continue
+			}
+			if r.signer.Verify(r.proc, q, vcSharePayload(nv.View, c.About, c.StateBytes), sig) {
+				valid++
+			}
+		}
+		if valid < r.cfg.F+1 {
+			return false
+		}
+	}
+	return len(nv.Certs) >= r.cfg.F+1
+}
+
+// maxNewViewFrags bounds a fragment train's advertised length: the largest
+// legitimate NEW_VIEW is f+1 replica certs, each a certified state no
+// bigger than the channel summary cap plus f+1 signatures and framing.
+// Anything advertising more chunks than that is Byzantine.
+func (r *Replica) maxNewViewFrags() int {
+	perCert := r.cfg.Window*(r.cfg.MsgCap+512) + 4096 // = the group SummaryCap
+	maxBytes := (r.cfg.F+1)*(perCert+(r.cfg.F+1)*(xcrypto.SigLen+16)+64) + 64
+	chunk := r.cfg.groupMsgCap() - nvFragOverhead
+	return (maxBytes+chunk-1)/chunk + 1
 }
 
 // ---------------------------------------------------------------------
@@ -574,6 +721,11 @@ func (r *Replica) applySummary(p ids.ID, stateBytes []byte) {
 	}
 	st := r.state[p]
 	st.view = cs.View
+	// A summary jump may have skipped part of a NEW_VIEW fragment train;
+	// the prefix is unrecoverable, so discard the train's remainder as it
+	// arrives (the skipped NEW_VIEW itself is gone either way — summaries
+	// carry checkpoints and commits, not view-opening messages).
+	st.nvBuf, st.nvTotal, st.nvNext, st.nvSkip = nil, 0, 0, true
 	if cs.Checkpoint.Supersedes(&st.checkpoint) {
 		st.checkpoint = cs.Checkpoint
 		r.maybeCheckpoint(cs.Checkpoint)

@@ -333,6 +333,62 @@ func (g *Group) Stop() {
 // NextIdentifier returns the identifier the next Broadcast will use.
 func (g *Group) NextIdentifier() uint64 { return g.nextK }
 
+// ResetChannel rewinds this member's receiver-side state for a broadcaster
+// that provably cold-restarted and will number its stream from k=1 again:
+// locks, delivered marks, the LOCKED arrays of every member (their LOCKED
+// re-announcements for the fresh stream carry small identifiers the stale
+// high-k entries would otherwise shadow), FIFO buffering, and pending
+// slow-path work. This member's own SWMR registers for the group are
+// overwritten with garbage so stale signed entries from the pre-restart
+// stream cannot collide with the fresh stream's identifiers during
+// slow-path arbitration (decodeRegValue rejects them as garbage).
+//
+// byzBlocked is deliberately preserved: a broadcaster proven Byzantine must
+// not launder itself by pretending to restart. The upper layer's own
+// per-broadcaster FIFO state (the consensus Validate hook's view/prepare
+// history) is untouched too — that is where cross-restart equivocation is
+// caught.
+func (g *Group) ResetChannel() {
+	for i := range g.locks {
+		g.locks[i] = lockEntry{}
+	}
+	for i := range g.delivered {
+		g.delivered[i] = 0
+	}
+	for _, q := range g.p.Procs {
+		ents := g.locked[q]
+		for i := range ents {
+			ents[i] = lockedEntry{}
+		}
+	}
+	g.slowPending = make(map[uint64][]byte)
+	for k, t := range g.fallbacks {
+		t.Cancel()
+		delete(g.fallbacks, k)
+	}
+	g.nextDeliver = 1
+	g.pendingFIFO = make(map[uint64][]byte)
+	for _, reg := range g.myRegs {
+		reg.Write(0, []byte{0xff}, func(error) {})
+	}
+}
+
+// ResetMember rewinds this member's outbound ack state toward a group
+// member that cold-restarted: the member's fresh ring receivers hold
+// nothing, so every channel this member broadcasts on (its own stream if it
+// is the designated broadcaster, and its LOCKED channel in every case)
+// must re-push the retained tail — including the latest summary
+// certificate, which is what heals the restarted member's FIFO gap on an
+// otherwise idle channel.
+func (g *Group) ResetMember(to ids.ID) {
+	if g.bcast != nil {
+		g.bcast.ResetReceiver(to)
+	}
+	if g.lockedSelf != nil {
+		g.lockedSelf.ResetReceiver(to)
+	}
+}
+
 // Broadcast sends m with the next identifier. Only the designated
 // broadcaster may call it. If the summary protocol requires blocking
 // (paper §5.2: every t/2 messages), the message queues until the summary
@@ -729,6 +785,10 @@ func (g *Group) drainFIFO() {
 // Blocked reports whether the upper layer declared the broadcaster
 // Byzantine (deliveries stopped).
 func (g *Group) Blocked() bool { return g.byzBlocked }
+
+// MsgCap returns the per-message byte cap Broadcast enforces, so the upper
+// layer can fragment messages that would otherwise exceed it.
+func (g *Group) MsgCap() int { return g.p.MsgCap }
 
 // Delivered returns the count of FIFO-delivered identifiers.
 func (g *Group) Delivered() uint64 { return g.nextDeliver - 1 }

@@ -43,11 +43,20 @@ type Hub struct {
 	rt        *router.Router
 	proc      *sim.Proc
 	receivers map[ringKey]*Receiver
+	// byPeer indexes receivers by sending peer in registration order, so
+	// ResetPeer walks them deterministically (registration order is fixed
+	// by the assembly code, identical on every replica and every run).
+	byPeer map[ids.ID][]*Receiver
 }
 
 // NewHub installs the hub on the host's ring channel.
 func NewHub(rt *router.Router, proc *sim.Proc) *Hub {
-	h := &Hub{rt: rt, proc: proc, receivers: make(map[ringKey]*Receiver)}
+	h := &Hub{
+		rt:        rt,
+		proc:      proc,
+		receivers: make(map[ringKey]*Receiver),
+		byPeer:    make(map[ids.ID][]*Receiver),
+	}
 	rt.Register(router.ChanRing, h.onFrame)
 	return h
 }
@@ -336,12 +345,33 @@ func NewReceiver(h *Hub, peer ids.ID, inst Instance, slots, slotCap int, deliver
 		AllocatedBytes: slots * (slotCap + 20),
 	}
 	h.receivers[key] = r
+	h.byPeer[peer] = append(h.byPeer[peer], r)
 	return r
 }
 
 // NextIndex returns the absolute index of the next message the receiver
 // expects to deliver.
 func (r *Receiver) NextIndex() uint64 { return r.nextIdx }
+
+// Reset rewinds the receiver to index 0 and forgets every stored slot. Used
+// when the sending peer provably cold-restarted (its ring writer starts over
+// at absolute index 0): without the rewind the monotone nextIdx would make
+// the receiver discard the fresh incarnation's frames forever.
+func (r *Receiver) Reset() {
+	r.nextIdx = 0
+	for i := range r.stored {
+		r.stored[i] = storedSlot{}
+	}
+}
+
+// ResetPeer rewinds every receiver registered on the hub for rings written
+// by peer (its broadcast channel, its LOCKED channels in every group, its
+// auxiliary channel). Called when peer cold-restarts.
+func (h *Hub) ResetPeer(peer ids.ID) {
+	for _, recv := range h.byPeer[peer] {
+		recv.Reset()
+	}
+}
 
 func (r *Receiver) accept(slot int, inc, chk uint64, data []byte) {
 	if slot < 0 || slot >= r.slots || inc == 0 {

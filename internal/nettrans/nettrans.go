@@ -20,10 +20,16 @@ import (
 //
 //	u64 seq | i64 from | i64 to | payload...
 //
-// seq is per directed (from, to) link, starting at 1, monotone across
-// reconnects — the receiver's duplicate/staleness filter. A fresh
-// connection opens with a hello frame (magic, version) so garbage and
-// cross-version peers are rejected at accept time.
+// seq is per directed (from, to) link, monotone across reconnects — the
+// receiver's duplicate/staleness filter. Each link's counter starts at
+// the sender process's boot epoch (nanoseconds at Listen time) rather
+// than 1, so a crashed-and-restarted process emits seqs strictly above
+// anything its previous incarnation reached and the filter at every
+// receiver stays valid across the rebirth: a predecessor advances its
+// counter by one per frame from its own epoch, and no incarnation sends
+// frames faster than one per nanosecond. A fresh connection opens with a
+// hello frame (magic, version) so garbage and cross-version peers are
+// rejected at accept time.
 const (
 	frameHeaderLen = 24
 	helloMagic     = 0x75424654 // "uBFT"
@@ -56,6 +62,15 @@ type Options struct {
 	// stops draining its socket for this long is declared stalled, the
 	// connection is torn down and redialed (default 2s).
 	WriteStallTimeout time.Duration
+	// EvictAfterFails is the consecutive-failure threshold (failed dials
+	// and write stalls both count) past which a peer is evicted: new
+	// frames for it are fast-dropped instead of queued, and redialing
+	// slows to ReadmitProbeInterval. Default 8.
+	EvictAfterFails int
+	// ReadmitProbeInterval is the probe period for an evicted peer. A
+	// probe that connects (and gets its hello accepted) re-admits the
+	// peer. Default 500ms.
+	ReadmitProbeInterval time.Duration
 }
 
 func (o *Options) fill() {
@@ -77,18 +92,28 @@ func (o *Options) fill() {
 	if o.WriteStallTimeout == 0 {
 		o.WriteStallTimeout = 2 * time.Second
 	}
+	if o.EvictAfterFails == 0 {
+		o.EvictAfterFails = 8
+	}
+	if o.ReadmitProbeInterval == 0 {
+		o.ReadmitProbeInterval = 500 * time.Millisecond
+	}
 }
 
 // Stats are cumulative transport counters (atomically updated; read with
 // Stats()).
 type Stats struct {
-	MsgsSent  uint64 // frames enqueued for transmission (incl. loopback)
-	BytesSent uint64 // payload bytes enqueued
-	Dropped   uint64 // tail-dropped frames (queue overflow, loopback full)
-	Redials   uint64 // reconnect attempts after a broken/stalled conn
-	Stalls    uint64 // write-stall teardowns
-	Dups      uint64 // inbound frames suppressed by the seq filter
-	Rejected  uint64 // malformed/unroutable inbound frames or conns
+	MsgsSent   uint64 // frames enqueued for transmission (incl. loopback)
+	BytesSent  uint64 // payload bytes enqueued
+	Dropped    uint64 // tail-dropped frames (queue overflow, loopback full)
+	Redials    uint64 // reconnect attempts after a broken/stalled conn
+	Stalls     uint64 // write-stall teardowns
+	Dups       uint64 // inbound frames suppressed by the seq filter
+	Rejected   uint64 // malformed/unroutable inbound frames or conns
+	QueueFull  uint64 // ring-overflow overwrites (backpressure; subset of Dropped)
+	Evictions  uint64 // peers declared dead after EvictAfterFails failures
+	Readmits   uint64 // evicted peers revived by a successful probe
+	EvictDrops uint64 // frames fast-dropped while the peer was evicted (subset of Dropped)
 }
 
 // Net is one process's attachment to the fabric: a listener, the local
@@ -108,11 +133,18 @@ type Net struct {
 	// directed (from, to) pair. Host-loop goroutine only.
 	lastSeq map[[2]ids.ID]uint64
 
+	// seqEpoch seeds every outbound link's seq counter (see the frame
+	// layout comment): wall-clock nanoseconds at Listen time, so a reborn
+	// process outruns its predecessor's high-water marks at the receivers.
+	seqEpoch uint64
+
 	stop chan struct{}
 	wg   sync.WaitGroup
 
 	msgsSent, bytesSent, dropped    atomic.Uint64
 	redials, stalls, dups, rejected atomic.Uint64
+	queueFull, evictions            atomic.Uint64
+	readmits, evictDrops            atomic.Uint64
 }
 
 // Listen binds opts.ListenAddr and starts accepting. The Net serves
@@ -140,14 +172,15 @@ func Listen(h *Host, opts Options) (*Net, error) {
 		time.Sleep(50 * time.Millisecond)
 	}
 	n := &Net{
-		host:    h,
-		opts:    opts,
-		ln:      ln,
-		local:   make(map[ids.ID]*Node),
-		links:   make(map[ids.ID]*peerLink),
-		conns:   make(map[net.Conn]struct{}),
-		lastSeq: make(map[[2]ids.ID]uint64),
-		stop:    make(chan struct{}),
+		host:     h,
+		opts:     opts,
+		ln:       ln,
+		local:    make(map[ids.ID]*Node),
+		links:    make(map[ids.ID]*peerLink),
+		conns:    make(map[net.Conn]struct{}),
+		lastSeq:  make(map[[2]ids.ID]uint64),
+		seqEpoch: uint64(time.Now().UnixNano()),
+		stop:     make(chan struct{}),
 	}
 	n.wg.Add(1)
 	go n.acceptLoop()
@@ -166,14 +199,41 @@ func (n *Net) Host() *Host { return n.host }
 // Stats returns a snapshot of the transport counters.
 func (n *Net) Stats() Stats {
 	return Stats{
-		MsgsSent:  n.msgsSent.Load(),
-		BytesSent: n.bytesSent.Load(),
-		Dropped:   n.dropped.Load(),
-		Redials:   n.redials.Load(),
-		Stalls:    n.stalls.Load(),
-		Dups:      n.dups.Load(),
-		Rejected:  n.rejected.Load(),
+		MsgsSent:   n.msgsSent.Load(),
+		BytesSent:  n.bytesSent.Load(),
+		Dropped:    n.dropped.Load(),
+		Redials:    n.redials.Load(),
+		Stalls:     n.stalls.Load(),
+		Dups:       n.dups.Load(),
+		Rejected:   n.rejected.Load(),
+		QueueFull:  n.queueFull.Load(),
+		Evictions:  n.evictions.Load(),
+		Readmits:   n.readmits.Load(),
+		EvictDrops: n.evictDrops.Load(),
 	}
+}
+
+// PeerState is the health snapshot of one outbound link.
+type PeerState struct {
+	Evicted     bool // fast-dropping; probing at ReadmitProbeInterval
+	ConsecFails int  // consecutive failed dials / stalled writes
+	Queued      int  // frames waiting in the ring
+}
+
+// Peers snapshots the health of every outbound link this attachment has
+// opened (links are created lazily on first send to a remote node).
+func (n *Net) Peers() map[ids.ID]PeerState {
+	n.mu.Lock()
+	links := make(map[ids.ID]*peerLink, len(n.links))
+	for id, l := range n.links {
+		links[id] = l
+	}
+	n.mu.Unlock()
+	out := make(map[ids.ID]PeerState, len(links))
+	for id, l := range links {
+		out[id] = l.state()
+	}
+	return out
 }
 
 // NewEndpoint registers a local node, satisfying transport.Fabric.
@@ -413,8 +473,12 @@ func (nd *Node) Send(to ids.ID, payload []byte) {
 		return
 	}
 	nd.mu.Lock()
-	nd.seqs[to]++
-	seq := nd.seqs[to]
+	seq, ok := nd.seqs[to]
+	if !ok {
+		seq = n.seqEpoch // first frame on this link: start at the boot epoch
+	}
+	seq++
+	nd.seqs[to] = seq
 	nd.mu.Unlock()
 	if l := n.link(to); l != nil {
 		l.enqueue(seq, nd.id, to, payload)

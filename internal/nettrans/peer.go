@@ -19,6 +19,16 @@ import (
 // always holds the newest QueueSlots frames and a dead peer costs bounded
 // memory. Frame buffers are owned by the ring slots and reused across
 // enqueues, so the steady state allocates nothing per frame.
+//
+// Health tracking: consecutive delivery failures — failed dial attempts
+// and stalled writes alike — are counted, and past EvictAfterFails the
+// peer is EVICTED: new frames are fast-dropped at enqueue (no encoding,
+// no queue churn) and the writer's redial loop slows to one probe per
+// ReadmitProbeInterval. A probe whose hello is accepted re-admits the
+// peer; the layers above retransmit, so traffic resumes without any
+// transport-level replay. Eviction is a rate bound, not a death sentence:
+// a crashed process that restarts on the same address is picked up by the
+// next probe.
 type peerLink struct {
 	net *Net
 	to  ids.ID
@@ -31,6 +41,9 @@ type peerLink struct {
 	free   [][]byte // retired buffers ready for reuse
 	closed bool
 	conn   net.Conn // current connection (guarded by mu; writer replaces it)
+
+	evicted     bool // past the failure threshold; fast-drop + slow probes
+	consecFails int  // consecutive failed dials / stalled writes
 }
 
 func newPeerLink(n *Net, to ids.ID) *peerLink {
@@ -41,8 +54,23 @@ func newPeerLink(n *Net, to ids.ID) *peerLink {
 
 // enqueue frames (seq, from, to, payload) into the ring, overwriting the
 // oldest frame on overflow. Runs on the caller's goroutine (host loop);
-// never blocks.
+// never blocks. Frames for an evicted peer are dropped before encoding.
 func (l *peerLink) enqueue(seq uint64, from, to ids.ID, payload []byte) {
+	l.mu.Lock()
+	closed := l.closed
+	// While evicted, admit a frame only when the ring is empty: the writer
+	// probes from inside dial() and needs one frame in flight to stay
+	// there, but everything beyond that carrier is dropped unencoded.
+	fastDrop := !closed && l.evicted && l.count > 0
+	l.mu.Unlock()
+	if closed {
+		return
+	}
+	if fastDrop {
+		l.net.evictDrops.Add(1)
+		l.net.dropped.Add(1)
+		return
+	}
 	w := wire.GetWriter(frameHeaderLen + len(payload))
 	w.U64(seq)
 	w.I64(int64(from))
@@ -63,6 +91,7 @@ func (l *peerLink) enqueue(seq uint64, from, to ids.ID, payload []byte) {
 		slot = l.head
 		l.head = (l.head + 1) % len(l.ring)
 		l.net.dropped.Add(1)
+		l.net.queueFull.Add(1) // backpressure: the writer is not keeping up
 	} else {
 		slot = (l.head + l.count) % len(l.ring)
 		l.count++
@@ -140,7 +169,11 @@ func (l *peerLink) sleep(d time.Duration) bool {
 
 // dial resolves and connects to the peer, retrying with exponential
 // backoff until it succeeds or the attachment closes (nil return). A fresh
-// connection opens with the hello frame.
+// connection opens with the hello frame. Every failed attempt feeds the
+// eviction counter; once the peer is evicted the retry period switches
+// from the exponential backoff to ReadmitProbeInterval, so a dead peer
+// costs one cheap connect probe per interval instead of a hot redial
+// loop, and the first probe that lands re-admits it.
 func (l *peerLink) dial() net.Conn {
 	o := l.net.opts
 	backoff := o.DialBackoffMin
@@ -150,7 +183,11 @@ func (l *peerLink) dial() net.Conn {
 		}
 		if attempt > 0 {
 			l.net.redials.Add(1)
-			if !l.sleep(backoff) {
+			wait := backoff
+			if l.isEvicted() {
+				wait = o.ReadmitProbeInterval
+			}
+			if !l.sleep(wait) {
 				return nil
 			}
 			if backoff *= 2; backoff > o.DialBackoffMax {
@@ -159,10 +196,12 @@ func (l *peerLink) dial() net.Conn {
 		}
 		addr, ok := o.Resolve(l.to)
 		if !ok {
+			l.noteFailure()
 			continue // not resolvable (partitioned/not yet deployed): retry
 		}
 		c, err := net.DialTimeout("tcp", addr, o.DialTimeout)
 		if err != nil {
+			l.noteFailure()
 			continue
 		}
 		if c.LocalAddr().String() == c.RemoteAddr().String() {
@@ -171,6 +210,7 @@ func (l *peerLink) dial() net.Conn {
 			// (src port == dst port), which would both fake a link and
 			// hold the port against the peer's bind. Release and retry.
 			c.Close()
+			l.noteFailure()
 			continue
 		}
 		if tc, ok := c.(*net.TCPConn); ok {
@@ -182,8 +222,10 @@ func (l *peerLink) dial() net.Conn {
 		c.SetWriteDeadline(time.Now().Add(o.WriteStallTimeout))
 		if _, err := c.Write(hello[:]); err != nil {
 			c.Close()
+			l.noteFailure()
 			continue
 		}
+		l.noteSuccess() // the peer accepted our hello: alive (re-admit)
 		return c
 	}
 }
@@ -192,6 +234,44 @@ func (l *peerLink) isClosed() bool {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.closed
+}
+
+// state snapshots the link's health for Net.Peers.
+func (l *peerLink) state() PeerState {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return PeerState{Evicted: l.evicted, ConsecFails: l.consecFails, Queued: l.count}
+}
+
+// noteFailure records one failed delivery attempt (dial or write) and
+// evicts the peer at the threshold.
+func (l *peerLink) noteFailure() {
+	l.mu.Lock()
+	l.consecFails++
+	if !l.evicted && l.consecFails >= l.net.opts.EvictAfterFails {
+		l.evicted = true
+		l.net.evictions.Add(1)
+	}
+	l.mu.Unlock()
+}
+
+// noteSuccess records a successful dial (hello accepted) or frame write,
+// re-admitting an evicted peer.
+func (l *peerLink) noteSuccess() {
+	l.mu.Lock()
+	l.consecFails = 0
+	if l.evicted {
+		l.evicted = false
+		l.net.readmits.Add(1)
+	}
+	l.mu.Unlock()
+}
+
+// isEvicted reports the current eviction state.
+func (l *peerLink) isEvicted() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.evicted
 }
 
 // setConn publishes the writer's current connection so close/breakConn can
@@ -240,11 +320,14 @@ func (l *peerLink) run() {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
 				l.net.stalls.Add(1) // peer stopped draining: stall detector fired
 			}
+			l.noteFailure()
 			conn.Close()
 			conn = nil
 			l.setConn(nil)
 			// The frame is lost (tail semantics); newer traffic flows as
 			// soon as the redial lands.
+		} else {
+			l.noteSuccess()
 		}
 		l.retire(body)
 	}

@@ -589,9 +589,9 @@ func TestCrossShardLossyNetwork(t *testing.T) {
 					// same requirement the consensus asynchrony tests
 					// document): a leader wedged by pre-GST loss must be
 					// replaceable, or no retransmission round can ever
-					// land. The raised MsgCap makes room for the NEW-VIEW
-					// state the backlog accumulates.
-					Group: cluster.Options{ViewChangeTimeout: 2 * sim.Millisecond, MsgCap: 65536},
+					// land. The NEW-VIEW state the backlog accumulates can
+					// outgrow the default message cap; it fragments.
+					Group: cluster.Options{ViewChangeTimeout: 2 * sim.Millisecond},
 					NetOptions: &simnet.Options{
 						BaseLatency:   2 * sim.Microsecond,
 						Jitter:        sim.Microsecond / 2,

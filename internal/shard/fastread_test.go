@@ -198,7 +198,7 @@ func TestFastReadMonotonicUnderLossyFabric(t *testing.T) {
 			NumClients: 1,
 			NewApp:     func(int) app.StateMachine { return app.NewKV(0) },
 			FastReads:  true,
-			Group:      cluster.Options{ViewChangeTimeout: 2 * sim.Millisecond, MsgCap: 65536},
+			Group:      cluster.Options{ViewChangeTimeout: 2 * sim.Millisecond},
 			NetOptions: &simnet.Options{
 				BaseLatency:   2 * sim.Microsecond,
 				Jitter:        sim.Microsecond / 2,

@@ -273,6 +273,10 @@ type Deployment struct {
 	Recovery *RecoveryAgent
 
 	opts Options
+	// Restart support: the fabric endpoints are created on and the
+	// per-group, per-replica incarnation nonces for cold rejoin.
+	fab        transport.Fabric
+	joinNonces [][]uint64
 }
 
 // New builds and wires an S-shard deployment on one engine. Invalid
@@ -324,10 +328,13 @@ func Build(opts Options) (*Deployment, error) {
 		fab = simnet.AsFabric(d.Net)
 	} else {
 		d.Eng = fab.Engine()
-		if sf, ok := fab.(simnet.Fabric); ok {
-			d.Net = sf.Network()
+		// Wrapping fabrics (the Byzantine injector) expose the underlying
+		// simulated network through the same accessor simnet.Fabric has.
+		if nf, ok := fab.(interface{ Network() *simnet.Network }); ok {
+			d.Net = nf.Network()
 		}
 	}
+	d.fab = fab
 	endpoint := func(id ids.ID, name string) (transport.Endpoint, error) {
 		ep, err := fab.NewEndpoint(id, name)
 		if err != nil {
@@ -345,6 +352,7 @@ func Build(opts Options) (*Deployment, error) {
 		}
 		signers = append(signers, grp.ReplicaIDs...)
 		d.Groups = append(d.Groups, grp)
+		d.joinNonces = append(d.joinNonces, make([]uint64, n))
 	}
 	for j := 0; j < nm; j++ {
 		d.MemNodeIDs = append(d.MemNodeIDs, ids.ID(memNodeIDBase+j))
@@ -432,6 +440,55 @@ func Build(opts Options) (*Deployment, error) {
 		d.Recovery = NewRecoveryAgent(router.New(ep), groupIDs, g.F)
 	}
 	return d, nil
+}
+
+// KillReplica crash-stops replica i of shard s (see cluster.KillReplica):
+// its processes drop all queued work and its network identity is freed for
+// a later RestartReplica. Requires a simnet-backed deployment.
+func (d *Deployment) KillReplica(s, i int) error {
+	if d.Net == nil {
+		return fmt.Errorf("shard: KillReplica requires a simulated network")
+	}
+	grp := d.Groups[s]
+	id := grp.ReplicaIDs[i]
+	if d.Net.Node(id) == nil {
+		return fmt.Errorf("shard: replica %v already killed", id)
+	}
+	grp.Replicas[i].Crash()
+	d.Net.RemoveNode(id)
+	return nil
+}
+
+// RestartReplica boots a fresh cold-rejoining replica for slot i of shard
+// s after KillReplica: fresh endpoint on the same fabric, fresh
+// application instance, bumped incarnation nonce, and the group's SWMR
+// region offset preserved so the reborn replica lands on its own region
+// span.
+func (d *Deployment) RestartReplica(s, i int) error {
+	if d.Net == nil {
+		return fmt.Errorf("shard: RestartReplica requires a simulated network")
+	}
+	grp := d.Groups[s]
+	id := grp.ReplicaIDs[i]
+	if d.Net.Node(id) != nil {
+		return fmt.Errorf("shard: replica %v still registered (KillReplica first)", id)
+	}
+	ep, err := d.fab.NewEndpoint(id, fmt.Sprintf("s%dr%d", s, i))
+	if err != nil {
+		return fmt.Errorf("shard: restarting s%dr%d: %w", s, i, err)
+	}
+	d.joinNonces[s][i]++
+	a := d.opts.NewApp(s)
+	cfg := d.opts.Group.ConsensusConfig(id, grp.ReplicaIDs, d.MemNodeIDs, a)
+	cfg.RegionOffset = grp.RegionOffset
+	cfg.ColdJoin = true
+	cfg.JoinNonce = d.joinNonces[s][i]
+	grp.Apps[i] = a
+	grp.Replicas[i] = consensus.NewReplica(cfg, consensus.Deps{
+		RT:       router.New(ep),
+		Registry: d.Registry,
+	})
+	return nil
 }
 
 // Shards returns S.

@@ -207,7 +207,7 @@ func TestStrongReadLinearizableUnderLossyFabric(t *testing.T) {
 			NumClients:  2,
 			NewApp:      func(int) app.StateMachine { return app.NewKV(0) },
 			StrongReads: true,
-			Group:       cluster.Options{ViewChangeTimeout: 2 * sim.Millisecond, MsgCap: 65536},
+			Group:       cluster.Options{ViewChangeTimeout: 2 * sim.Millisecond},
 			NetOptions: &simnet.Options{
 				BaseLatency:   2 * sim.Microsecond,
 				Jitter:        sim.Microsecond / 2,

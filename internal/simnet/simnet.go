@@ -136,6 +136,14 @@ func (n *Network) AttachNode(id ids.ID, proc *sim.Proc) *Node {
 // Node looks up a registered node (nil if absent).
 func (n *Network) Node(id ids.ID) *Node { return n.nodes[id] }
 
+// RemoveNode unregisters a node so its identity can be re-registered by a
+// restarted process (crash-restart chaos). In-flight messages to the old
+// node were bound to its process at send time and die with it; messages
+// sent after the identity is re-registered reach the new process. Callers
+// must remove and re-add within one simulated event so no send observes
+// the unregistered identity.
+func (n *Network) RemoveNode(id ids.ID) { delete(n.nodes, id) }
+
 // Fabric adapts the network to the transport.Fabric contract so the
 // deployment layers (cluster, shard) can assemble clusters without naming
 // the simulated backend. AsFabric is the constructor.
@@ -251,7 +259,13 @@ func (nd *Node) Send(to ids.ID, payload []byte) {
 	}
 	dst := nd.net.nodes[to]
 	if dst == nil {
-		panic(fmt.Sprintf("simnet: send to unknown node %v", to))
+		// A crashed-and-removed host: packets to it vanish, exactly like a
+		// partition (clients and peers keep broadcasting to a dead replica
+		// until it rejoins). Counted as drops.
+		nd.proc.Charge(latmodel.DispatchCost)
+		nd.net.MsgsSent++
+		nd.net.Dropped++
+		return
 	}
 	nd.proc.Charge(latmodel.DispatchCost)
 	nd.net.MsgsSent++

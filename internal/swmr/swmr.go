@@ -15,12 +15,19 @@
 //
 // Reliability comes from quorum replication across 2f_m+1 memory nodes:
 // WRITEs complete at f_m+1 acks, READs at f_m+1 responses, so reads
-// intersect the last completed write.
+// intersect the last completed write. Pending quorum operations are
+// retransmitted to the nodes that have not yet responded: before GST the
+// network may drop request or response frames, and a register operation
+// whose callback never fires would freeze the writer's cooldown queue and
+// wedge every protocol layered above it (CTBcast's slow path in
+// particular). Both operations are idempotent at the memory node, and
+// responses are deduplicated per node, so retransmission is safe.
 package swmr
 
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/ids"
 	"repro/internal/latmodel"
@@ -44,6 +51,19 @@ var ErrTooManyRetries = errors.New("swmr: read retry budget exhausted")
 // maxReadRetries bounds read retries; after GST a single retry suffices.
 const maxReadRetries = 64
 
+// retransmitInterval is the base period of the retransmission loop. Each
+// pending operation backs off exponentially from this (doubling up to
+// maxRetransmitBackoff): a slow quorum is usually a busy processor, not a
+// lossy link, and blind periodic resends would pile dispatch cost onto the
+// already-busy hosts — the same metastable feedback the CTBcast fallback
+// delay guards against. Only matters before GST (or across a memory-node
+// crash); after GST the first transmission always completes the quorum
+// and the timer disarms.
+const retransmitInterval = 250 * sim.Microsecond
+
+// maxRetransmitBackoff caps a pending operation's retransmission period.
+const maxRetransmitBackoff = 4 * sim.Millisecond
+
 // slotHeaderLen is checksum(8) + timestamp(8) + length(4).
 const slotHeaderLen = 20
 
@@ -55,17 +75,22 @@ type Store struct {
 	nodes []ids.ID
 	fm    int
 
-	nextSeq uint64
-	writes  map[uint64]*writeOp
-	reads   map[uint64]*readOp
+	nextSeq    uint64
+	writes     map[uint64]*writeOp
+	reads      map[uint64]*readOp
+	retransmit sim.Timer
 }
 
 type writeOp struct {
-	need int
-	got  int
-	fail int
-	n    int
-	done func(error)
+	need      int
+	got       int
+	fail      int
+	n         int
+	done      func(error)
+	frame     []byte
+	responded map[ids.ID]bool
+	nextRetry sim.Time
+	backoff   sim.Duration
 }
 
 type readOp struct {
@@ -74,6 +99,10 @@ type readOp struct {
 	fails     int
 	n         int
 	done      func(snapshots [][]byte, err error)
+	frame     []byte
+	responded map[ids.ID]bool
+	nextRetry sim.Time
+	backoff   sim.Duration
 }
 
 // NewStore creates the client. nodes must list the 2f_m+1 memory nodes.
@@ -108,6 +137,10 @@ func (s *Store) onResponse(from ids.ID, payload []byte) {
 		if op == nil {
 			return // late completion after quorum; ignore
 		}
+		if op.responded[from] {
+			return // retransmission echo: each node counts once
+		}
+		op.responded[from] = true
 		if resp.Status == memnode.StatusOK {
 			op.got++
 		} else {
@@ -126,6 +159,10 @@ func (s *Store) onResponse(from ids.ID, payload []byte) {
 	if op == nil {
 		return
 	}
+	if op.responded[from] {
+		return // retransmission echo: each node counts once
+	}
+	op.responded[from] = true
 	if resp.Status == memnode.StatusOK {
 		op.snapshots = append(op.snapshots, resp.Data)
 	} else {
@@ -141,27 +178,93 @@ func (s *Store) onResponse(from ids.ID, payload []byte) {
 }
 
 // writeAll issues the same region write to every memory node; done runs at
-// f_m+1 completions.
+// f_m+1 completions. The frame is retained for retransmission until the
+// quorum completes (memory-node writes are idempotent).
 func (s *Store) writeAll(region memnode.RegionID, off int, data []byte, done func(error)) {
 	s.nextSeq++
 	seq := s.nextSeq
-	s.writes[seq] = &writeOp{need: s.fm + 1, n: len(s.nodes), done: done}
 	frame := memnode.EncodeWrite(seq, region, off, data)
+	s.writes[seq] = &writeOp{need: s.fm + 1, n: len(s.nodes), done: done,
+		frame: frame, responded: make(map[ids.ID]bool, len(s.nodes)),
+		nextRetry: s.proc.Now().Add(retransmitInterval), backoff: retransmitInterval}
 	for _, nid := range s.nodes {
 		s.rt.Send(nid, router.ChanMemReq, frame)
 	}
+	s.armRetransmit()
 }
 
 // readAll issues a region read to every memory node; done runs with f_m+1
-// snapshots.
+// snapshots. The frame is retained for retransmission until the quorum
+// completes (reads are pure).
 func (s *Store) readAll(region memnode.RegionID, done func([][]byte, error)) {
 	s.nextSeq++
 	seq := s.nextSeq
-	s.reads[seq] = &readOp{need: s.fm + 1, n: len(s.nodes), done: done}
 	frame := memnode.EncodeRead(seq, region)
+	s.reads[seq] = &readOp{need: s.fm + 1, n: len(s.nodes), done: done,
+		frame: frame, responded: make(map[ids.ID]bool, len(s.nodes)),
+		nextRetry: s.proc.Now().Add(retransmitInterval), backoff: retransmitInterval}
 	for _, nid := range s.nodes {
 		s.rt.Send(nid, router.ChanMemReq, frame)
 	}
+	s.armRetransmit()
+}
+
+// armRetransmit schedules the retransmission loop if any quorum operation
+// is pending. The loop re-pushes each pending op's frame to exactly the
+// nodes that have not responded, then disarms itself once the maps drain —
+// a quiescent post-GST system never keeps the timer alive.
+func (s *Store) armRetransmit() {
+	if s.retransmit.Pending() || (len(s.writes) == 0 && len(s.reads) == 0) {
+		return
+	}
+	s.retransmit = s.proc.After(retransmitInterval, func() {
+		// Sorted seq order: the send sequence must not depend on map
+		// iteration order (every send perturbs the simulated network's
+		// deterministic event stream).
+		seqs := make([]uint64, 0, len(s.writes)+len(s.reads))
+		for sq := range s.writes {
+			seqs = append(seqs, sq)
+		}
+		for sq := range s.reads {
+			seqs = append(seqs, sq)
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		now := s.proc.Now()
+		for _, seq := range seqs {
+			var frame []byte
+			var responded map[ids.ID]bool
+			if op := s.writes[seq]; op != nil {
+				if now < op.nextRetry {
+					continue
+				}
+				frame, responded = op.frame, op.responded
+				op.backoff = minDuration(2*op.backoff, maxRetransmitBackoff)
+				op.nextRetry = now.Add(op.backoff)
+			} else if op := s.reads[seq]; op != nil {
+				if now < op.nextRetry {
+					continue
+				}
+				frame, responded = op.frame, op.responded
+				op.backoff = minDuration(2*op.backoff, maxRetransmitBackoff)
+				op.nextRetry = now.Add(op.backoff)
+			} else {
+				continue
+			}
+			for _, nid := range s.nodes {
+				if !responded[nid] {
+					s.rt.Send(nid, router.ChanMemReq, frame)
+				}
+			}
+		}
+		s.armRetransmit()
+	})
+}
+
+func minDuration(a, b sim.Duration) sim.Duration {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // Register is a handle to one reliable SWMR regular register. The same

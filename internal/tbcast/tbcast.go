@@ -157,6 +157,19 @@ func (b *Broadcaster) Stop() {
 // Next returns the absolute index the next broadcast will get.
 func (b *Broadcaster) Next() uint64 { return b.next }
 
+// ResetReceiver forgets everything the given receiver acknowledged, so the
+// retransmission loop re-pushes the whole retained tail to it. Used when
+// the receiver provably cold-restarted: its fresh ring receiver holds
+// nothing, but the pre-restart acks would otherwise mark it fully caught
+// up and an idle channel would never send it the tail again.
+func (b *Broadcaster) ResetReceiver(to ids.ID) {
+	if _, ok := b.acked[to]; !ok {
+		return
+	}
+	b.acked[to] = 0
+	b.armRetransmit()
+}
+
 // AllocatedBytes sums the ring memory pinned by this channel's senders.
 func (b *Broadcaster) AllocatedBytes() int {
 	total := 0

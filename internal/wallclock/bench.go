@@ -28,7 +28,21 @@ type BenchOptions struct {
 	Warmup  time.Duration // discarded lead-in (connection dialing, JIT-ish effects)
 	Measure time.Duration // measured window
 
+	// Chaos, when non-nil, crash-tests the fleet mid-measure: Kill fires
+	// at one third of the measured window (SIGKILL a real node process),
+	// Restart at two thirds (respawn it in cold-rejoin mode). The bench
+	// gate stays as strict as ever — the run fails on any failed
+	// operation or a drain that does not complete — which is exactly the
+	// claim under test: a crash and rejoin must be invisible to clients.
+	Chaos *ChaosSchedule
+
 	CPUProfile string // client-process profile (PGO collection)
+}
+
+// ChaosSchedule carries the launcher hooks RunBench fires mid-measure.
+type ChaosSchedule struct {
+	Kill    func() error // SIGKILL the victim node process
+	Restart func() error // respawn it (cold-rejoin mode), wait until listening
 }
 
 // BenchResult is the measured outcome, JSON-shaped for BENCH_*.json.
@@ -42,6 +56,7 @@ type BenchResult struct {
 	Depth     int     `json:"depth"`
 	Ops       int     `json:"ops"`
 	ElapsedS  float64 `json:"elapsed_s"`
+	Chaos     bool    `json:"chaos,omitempty"`
 	Kops      float64 `json:"kops_per_s"`
 	P50us     float64 `json:"p50_us"`
 	P99us     float64 `json:"p99_us"`
@@ -232,9 +247,32 @@ func RunBench(o BenchOptions) (*BenchResult, error) {
 	})
 	defer stopT.Stop()
 
+	// Chaos schedule: SIGKILL at measure/3, respawn at 2*measure/3. The
+	// hooks run on their own timer goroutines (they block on process
+	// reaping and listener readiness); failures surface after the drain.
+	chaosErr := make(chan error, 2)
+	if o.Chaos != nil {
+		killT := time.AfterFunc(o.Warmup+o.Measure/3, func() {
+			if err := o.Chaos.Kill(); err != nil {
+				chaosErr <- fmt.Errorf("wallclock: chaos kill: %w", err)
+			}
+		})
+		defer killT.Stop()
+		restartT := time.AfterFunc(o.Warmup+2*o.Measure/3, func() {
+			if err := o.Chaos.Restart(); err != nil {
+				chaosErr <- fmt.Errorf("wallclock: chaos restart: %w", err)
+			}
+		})
+		defer restartT.Stop()
+	}
+
+	// The drain deadline: everything outstanding at the end of the measure
+	// window must complete within this grace on top of warmup+measure.
+	const drainGrace = 30 * time.Second
+	drainDeadline := o.Warmup + o.Measure + drainGrace
 	select {
 	case <-doneC:
-	case <-time.After(o.Warmup + o.Measure + 30*time.Second):
+	case <-time.After(drainDeadline):
 		if os.Getenv("WALLCLOCK_DEBUG") != "" {
 			h.Do(func() {
 				fmt.Fprintf(os.Stderr, "DEBUG wedge: outstanding=%d stats=%+v\n", outstanding, nt.Stats())
@@ -244,7 +282,13 @@ func RunBench(o BenchOptions) (*BenchResult, error) {
 			})
 			time.Sleep(time.Second)
 		}
-		return nil, fmt.Errorf("wallclock: bench did not drain %s after the measure window (cluster wedged?)", "30s")
+		return nil, fmt.Errorf("wallclock: bench did not drain within %v of starting (%v grace past the measure window; cluster wedged?)", drainDeadline, drainGrace)
+	}
+
+	select {
+	case err := <-chaosErr:
+		return nil, err
+	default:
 	}
 
 	// Collect results off the host loop only after the drain barrier.
@@ -258,6 +302,7 @@ func RunBench(o BenchOptions) (*BenchResult, error) {
 		Depth:     o.Depth,
 		Ops:       ops,
 		PGO:       PGOEnabled(),
+		Chaos:     o.Chaos != nil,
 	}
 	if ops == 0 {
 		return nil, fmt.Errorf("wallclock: zero completed operations in the measure window")

@@ -5,6 +5,7 @@ import (
 	"net"
 	"os"
 	"os/exec"
+	"sync"
 	"syscall"
 	"time"
 
@@ -15,6 +16,22 @@ import (
 // readyTimeout bounds how long LaunchLocal waits for every spawned node's
 // listener to accept.
 const readyTimeout = 15 * time.Second
+
+// termGrace is how long Stop waits after SIGTERM before escalating to
+// SIGKILL. Nodes exit promptly on SIGTERM (and flush their CPU profiles),
+// so the grace window is generous relative to the expected instant exit.
+const termGrace = 5 * time.Second
+
+// nodeProc is one spawned node process plus everything needed to respawn
+// it in place: its role coordinates, its address, and its stdin pipe (the
+// orphan-exit signal).
+type nodeProc struct {
+	id    ids.ID
+	role  cluster.Role
+	index int
+	cmd   *exec.Cmd
+	pipe  *os.File // stdin write end; closing it makes an orphan exit
+}
 
 // LocalCluster is a fleet of node processes launched on this machine plus
 // the address plan the parent's in-process clients join with.
@@ -27,8 +44,14 @@ type LocalCluster struct {
 	MemNodeIDs []ids.ID
 	ClientIDs  []ids.ID
 
-	procs []*exec.Cmd
-	pipes []*os.File // stdin write ends; closing them makes orphans exit
+	exe        []string
+	base       NodeConfig
+	profileDir string
+
+	mu         sync.Mutex
+	nodes      map[ids.ID]*nodeProc
+	joinNonces map[ids.ID]uint64 // incarnation counter per restarted node
+	stopped    bool
 }
 
 // allocPort reserves a free loopback TCP port by binding :0 and closing
@@ -62,7 +85,14 @@ func LaunchLocal(exe []string, base NodeConfig, profileDir string) (*LocalCluste
 		return nil, err
 	}
 
-	lc := &LocalCluster{Table: make(map[ids.ID]string)}
+	lc := &LocalCluster{
+		Table:      make(map[ids.ID]string),
+		exe:        append([]string{}, exe...),
+		base:       base,
+		profileDir: profileDir,
+		nodes:      make(map[ids.ID]*nodeProc),
+		joinNonces: make(map[ids.ID]uint64),
+	}
 	lc.ReplicaIDs, lc.MemNodeIDs, lc.ClientIDs = cluster.IDLayout(opts.F, opts.Fm, opts.MemNodes, opts.NumClients)
 
 	// Address plan: one port per spawned node, one shared port for every
@@ -84,42 +114,14 @@ func LaunchLocal(exe []string, base NodeConfig, profileDir string) (*LocalCluste
 	}
 	lc.PeersArg = FormatPeers(lc.Table)
 
-	spawn := func(role cluster.Role, index int, id ids.ID) error {
-		cfg := base
-		cfg.Role = string(role)
-		cfg.Index = index
-		cfg.Listen = lc.Table[id]
-		cfg.Peers = lc.PeersArg
-		if profileDir != "" {
-			cfg.CPUProfile = fmt.Sprintf("%s/node-%d.pprof", profileDir, int(id))
-		}
-		cmd := exec.Command(exe[0], append(append([]string{}, exe[1:]...), cfg.Args()...)...)
-		pr, pw, err := os.Pipe()
-		if err != nil {
-			return err
-		}
-		cmd.Stdin = pr
-		cmd.Stdout = os.Stderr
-		cmd.Stderr = os.Stderr
-		if err := cmd.Start(); err != nil {
-			pr.Close()
-			pw.Close()
-			return fmt.Errorf("wallclock: spawning %s%d: %w", role, index, err)
-		}
-		pr.Close()
-		lc.procs = append(lc.procs, cmd)
-		lc.pipes = append(lc.pipes, pw)
-		return nil
-	}
-
 	for i, id := range lc.ReplicaIDs {
-		if err := spawn(cluster.RoleReplica, i, id); err != nil {
+		if err := lc.spawn(cluster.RoleReplica, i, id, false, 0); err != nil {
 			lc.Stop()
 			return nil, err
 		}
 	}
 	for j, id := range lc.MemNodeIDs {
-		if err := spawn(cluster.RoleMemNode, j, id); err != nil {
+		if err := lc.spawn(cluster.RoleMemNode, j, id, false, 0); err != nil {
 			lc.Stop()
 			return nil, err
 		}
@@ -132,65 +134,186 @@ func LaunchLocal(exe []string, base NodeConfig, profileDir string) (*LocalCluste
 	return lc, nil
 }
 
+// spawn starts one node process on its planned address and records it for
+// Stop/KillNode/RestartNode.
+func (lc *LocalCluster) spawn(role cluster.Role, index int, id ids.ID, coldJoin bool, nonce uint64) error {
+	cfg := lc.base
+	cfg.Role = string(role)
+	cfg.Index = index
+	cfg.Listen = lc.Table[id]
+	cfg.Peers = lc.PeersArg
+	cfg.ColdJoin = coldJoin
+	cfg.JoinNonce = nonce
+	if lc.profileDir != "" {
+		cfg.CPUProfile = fmt.Sprintf("%s/node-%d.pprof", lc.profileDir, int(id))
+		if nonce > 0 {
+			// A respawned incarnation must not clobber its predecessor's
+			// profile (pprof merges all files in the directory anyway).
+			cfg.CPUProfile = fmt.Sprintf("%s/node-%d-r%d.pprof", lc.profileDir, int(id), nonce)
+		}
+	}
+	cmd := exec.Command(lc.exe[0], append(append([]string{}, lc.exe[1:]...), cfg.Args()...)...)
+	pr, pw, err := os.Pipe()
+	if err != nil {
+		return err
+	}
+	cmd.Stdin = pr
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		pr.Close()
+		pw.Close()
+		return fmt.Errorf("wallclock: spawning %s%d: %w", role, index, err)
+	}
+	pr.Close()
+	lc.mu.Lock()
+	lc.nodes[id] = &nodeProc{id: id, role: role, index: index, cmd: cmd, pipe: pw}
+	lc.mu.Unlock()
+	return nil
+}
+
+// KillNode SIGKILLs the process currently serving node id — no shutdown
+// grace, no flush: the crash the recovery protocol is built for. The dead
+// process is reaped (Wait) so no zombie outlives the harness; peers keep
+// running and the launcher keeps the node's address reserved for a
+// RestartNode.
+func (lc *LocalCluster) KillNode(id ids.ID) error {
+	lc.mu.Lock()
+	np := lc.nodes[id]
+	if np != nil {
+		delete(lc.nodes, id)
+	}
+	lc.mu.Unlock()
+	if np == nil {
+		return fmt.Errorf("wallclock: node %d is not running", int(id))
+	}
+	np.pipe.Close()
+	if np.cmd.Process != nil {
+		np.cmd.Process.Kill()
+	}
+	np.cmd.Wait()
+	return nil
+}
+
+// RestartNode respawns a previously killed node on its original address.
+// Replicas come back in cold-rejoin mode with a fresh incarnation nonce
+// (strictly above every one this identity used before), so the reborn
+// process announces itself to its peers, pulls the f+1-certified snapshot
+// and resumes; memory nodes are crash-only and restart blank. Blocks until
+// the new process accepts connections.
+func (lc *LocalCluster) RestartNode(id ids.ID) error {
+	lc.mu.Lock()
+	if lc.stopped {
+		lc.mu.Unlock()
+		return fmt.Errorf("wallclock: cluster already stopped")
+	}
+	if _, running := lc.nodes[id]; running {
+		lc.mu.Unlock()
+		return fmt.Errorf("wallclock: node %d is still running", int(id))
+	}
+	var role cluster.Role
+	index := -1
+	for i, rid := range lc.ReplicaIDs {
+		if rid == id {
+			role, index = cluster.RoleReplica, i
+		}
+	}
+	for j, mid := range lc.MemNodeIDs {
+		if mid == id {
+			role, index = cluster.RoleMemNode, j
+		}
+	}
+	if index < 0 {
+		lc.mu.Unlock()
+		return fmt.Errorf("wallclock: node %d is not part of this deployment", int(id))
+	}
+	lc.joinNonces[id]++
+	nonce := lc.joinNonces[id]
+	lc.mu.Unlock()
+
+	coldJoin := role == cluster.RoleReplica
+	if err := lc.spawn(role, index, id, coldJoin, nonce); err != nil {
+		return err
+	}
+	return lc.waitReadyOne(id, time.Now().Add(readyTimeout))
+}
+
 // waitReady dials every spawned node's listener until it accepts.
 func (lc *LocalCluster) waitReady() error {
 	deadline := time.Now().Add(readyTimeout)
 	for _, id := range append(append([]ids.ID{}, lc.ReplicaIDs...), lc.MemNodeIDs...) {
-		addr := lc.Table[id]
-		for {
-			c, err := net.DialTimeout("tcp", addr, time.Second)
-			if err == nil {
-				// Guard against TCP self-connect: probing a loopback
-				// ephemeral port before its node binds can connect to
-				// itself, which would both report false readiness and hold
-				// the port against the node. Close releases it; retry.
-				ready := c.LocalAddr().String() != c.RemoteAddr().String()
-				c.Close()
-				if ready {
-					break
-				}
-			}
-			if time.Now().After(deadline) {
-				return fmt.Errorf("wallclock: node %d (%s) not accepting within %v", int(id), addr, readyTimeout)
-			}
-			time.Sleep(10 * time.Millisecond)
+		if err := lc.waitReadyOne(id, deadline); err != nil {
+			return err
 		}
 	}
 	return nil
 }
 
-// Stop tears the fleet down: close the stdin pipes (the nodes' exit
-// signal, which also flushes their CPU profiles), give them a grace
-// period, then SIGTERM and finally kill stragglers.
+// waitReadyOne dials one node's listener until it accepts or the deadline
+// passes.
+func (lc *LocalCluster) waitReadyOne(id ids.ID, deadline time.Time) error {
+	addr := lc.Table[id]
+	for {
+		c, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			// Guard against TCP self-connect: probing a loopback
+			// ephemeral port before its node binds can connect to
+			// itself, which would both report false readiness and hold
+			// the port against the node. Close releases it; retry.
+			ready := c.LocalAddr().String() != c.RemoteAddr().String()
+			c.Close()
+			if ready {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("wallclock: node %d (%s) not accepting within %v", int(id), addr, readyTimeout)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Stop tears the fleet down, SIGTERM-first: every node gets the signal
+// (plus its stdin-EOF exit cue, which also flushes CPU profiles)
+// immediately, then a grace window to exit cleanly; stragglers are
+// SIGKILLed. Every process is reaped with Wait either way, so no zombies
+// outlive the harness. Idempotent.
 func (lc *LocalCluster) Stop() {
-	for _, pw := range lc.pipes {
-		pw.Close()
+	lc.mu.Lock()
+	if lc.stopped {
+		lc.mu.Unlock()
+		return
+	}
+	lc.stopped = true
+	procs := make([]*nodeProc, 0, len(lc.nodes))
+	for _, np := range lc.nodes {
+		procs = append(procs, np)
+	}
+	lc.nodes = make(map[ids.ID]*nodeProc)
+	lc.mu.Unlock()
+
+	for _, np := range procs {
+		np.pipe.Close()
+		if np.cmd.Process != nil {
+			np.cmd.Process.Signal(syscall.SIGTERM)
+		}
 	}
 	done := make(chan struct{})
 	go func() {
-		for _, p := range lc.procs {
-			p.Wait()
+		for _, np := range procs {
+			np.cmd.Wait()
 		}
 		close(done)
 	}()
 	select {
 	case <-done:
 		return
-	case <-time.After(3 * time.Second):
+	case <-time.After(termGrace):
 	}
-	for _, p := range lc.procs {
-		if p.Process != nil {
-			p.Process.Signal(syscall.SIGTERM)
+	for _, np := range procs {
+		if np.cmd.Process != nil {
+			np.cmd.Process.Kill()
 		}
 	}
-	select {
-	case <-done:
-	case <-time.After(2 * time.Second):
-		for _, p := range lc.procs {
-			if p.Process != nil {
-				p.Process.Kill()
-			}
-		}
-		<-done
-	}
+	<-done
 }

@@ -42,6 +42,7 @@ const (
 	TagCheckpoint  uint8 = 3
 	TagSealView    uint8 = 4
 	TagNewView     uint8 = 5
+	TagNewViewFrag uint8 = 6 // one chunk of a NEW_VIEW exceeding the channel cap
 	TagCertify     uint8 = 10
 	TagWillCertify uint8 = 11
 	TagWillCommit  uint8 = 12
@@ -52,6 +53,8 @@ const (
 	TagEcho        uint8 = 23
 	TagStagedQuery uint8 = 24 // commit-phase recovery: prepared-txn hint scan
 	TagStagedResp  uint8 = 25
+	TagJoinProbe   uint8 = 26 // cold rejoin: restarted replica's sync-point probe
+	TagJoinAns     uint8 = 27 // cold rejoin: (view, stable checkpoint) answer
 )
 
 // Client RPC tags (first byte after ChanRPC). The //wire:client-reply
